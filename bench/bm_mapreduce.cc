@@ -1,0 +1,96 @@
+// Micro-benchmarks of the MapReduce engine: per-job overhead versus
+// direct computation, and how partition count affects the cost job.
+
+#include <benchmark/benchmark.h>
+
+#include "clustering/cost.h"
+#include "clustering/mapreduce_kmeans.h"
+#include "common/macros.h"
+#include "data/synthetic.h"
+#include "mapreduce/job.h"
+#include "rng/rng.h"
+
+namespace kmeansll {
+namespace {
+
+struct Workload {
+  Dataset data;
+  Matrix centers;
+};
+
+const Workload& BenchWorkload() {
+  static const Workload* w = [] {
+    auto generated = data::GenerateKddLike({.n = 8192, .dim = 42},
+                                           rng::Rng(31));
+    KMEANSLL_CHECK(generated.ok());
+    auto* out = new Workload();
+    out->data = std::move(generated->data);
+    out->centers = generated->true_centers;
+    return out;
+  }();
+  return *w;
+}
+
+void BM_DirectCost(benchmark::State& state) {
+  const auto& w = BenchWorkload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeCost(w.data, w.centers));
+  }
+}
+BENCHMARK(BM_DirectCost)->Unit(benchmark::kMillisecond);
+
+void BM_MapReduceCost(benchmark::State& state) {
+  const auto& w = BenchWorkload();
+  MRContext ctx;
+  ctx.num_partitions = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MRComputeCost(w.data, w.centers, ctx));
+  }
+}
+BENCHMARK(BM_MapReduceCost)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EngineOverheadTinyJob(benchmark::State& state) {
+  // A job whose map work is trivial measures pure engine overhead
+  // (emitter allocation, shuffle map, reduce dispatch).
+  const int64_t tasks = state.range(0);
+  std::vector<int> partitions(static_cast<size_t>(tasks), 1);
+  for (auto _ : state) {
+    mapreduce::Job<int, int, int64_t, int64_t> job;
+    job.WithMap([](int64_t, const int& v,
+                   mapreduce::Emitter<int, int64_t>* out) {
+         out->Emit(0, v);
+       })
+        .WithCombine([](const int64_t& a, const int64_t& b) { return a + b; })
+        .WithReduce([](const int&, std::vector<int64_t>& values) {
+          int64_t sum = 0;
+          for (int64_t v : values) sum += v;
+          return sum;
+        });
+    benchmark::DoNotOptimize(job.Run(nullptr, partitions));
+  }
+}
+BENCHMARK(BM_EngineOverheadTinyJob)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_MRKMeansLLRound(benchmark::State& state) {
+  // One full k-means|| initialization through the engine (r = 2 rounds).
+  const auto& w = BenchWorkload();
+  KMeansLLOptions options;
+  options.oversampling = 40.0;
+  options.rounds = 2;
+  MRContext ctx;
+  ctx.num_partitions = 8;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    auto result =
+        MRKMeansLLInit(w.data, 20, rng::Rng(++seed), options, ctx);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_MRKMeansLLRound)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kmeansll

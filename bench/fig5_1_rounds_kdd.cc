@@ -1,0 +1,74 @@
+// Figure 5.1 of the paper: final cost vs number of rounds r for
+// ℓ/k ∈ {1, 2, 4} and k ∈ {17, 33, 65, 129} on a 10% sample of
+// KDDCup1999 (stand-in), using exact-ℓ joint sampling per round (the
+// paper draws "exactly ℓ points from the joint distribution in every
+// round" for this experiment).
+//
+// Expected shape: cost monotonically decreasing in r; oversampling
+// (ℓ/k = 2, 4) helps for small r, with the benefit fading by r ≈ 8.
+
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "data/transform.h"
+
+namespace kmeansll::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  eval::Args args(argc, argv);
+  const int64_t full_n = DataSize(args, 32768);
+  const int64_t trials = Trials(args, 3);
+  SetLogLevel(LogLevel::kError);  // undershoot warnings are expected
+
+  data::KddLikeParams params;
+  params.n = full_n;
+  auto generated = data::GenerateKddLike(params, rng::Rng(424242));
+  generated.status().Abort("KddLike generation");
+  auto sample = data::SampleFraction(generated->data, 0.1, rng::Rng(5));
+  sample.status().Abort("10% sample");
+  const Dataset& data = *sample;
+
+  PrintHeader("Figure 5.1: final cost vs rounds (10% KDD sample)",
+              "n=" + std::to_string(data.n()) +
+                  ", exact-l sampling, k in {17,33,65,129}, l/k in "
+                  "{1,2,4}, " +
+                  std::to_string(trials) + " trials (paper: 11)");
+
+  const std::vector<int64_t> ks = {17, 33, 65, 129};
+  const std::vector<double> ell_factors = {1.0, 2.0, 4.0};
+  const std::vector<int64_t> rounds_grid = {1, 2, 4, 8, 16};
+
+  eval::TablePrinter table({"k", "l/k", "rounds", "final cost (median)"});
+  for (int64_t k : ks) {
+    for (double ell_factor : ell_factors) {
+      for (int64_t rounds : rounds_grid) {
+        auto summary = eval::RunTrials(trials, [&](int64_t t) {
+          KMeansConfig config;
+          config.k = k;
+          config.init = InitMethod::kKMeansParallel;
+          config.seed = 9200 + static_cast<uint64_t>(t);
+          config.kmeansll.oversampling =
+              ell_factor * static_cast<double>(k);
+          config.kmeansll.rounds = rounds;
+          config.kmeansll.exact_ell = true;
+          config.lloyd.max_iterations = 50;
+          return Fit(data, config).final_cost;
+        });
+        table.AddRow({std::to_string(k), eval::Cell(ell_factor, 1),
+                      std::to_string(rounds),
+                      eval::Cell(summary.median, 3)});
+      }
+    }
+  }
+  Emit(table, "fig5_1_rounds_kdd");
+}
+
+}  // namespace
+}  // namespace kmeansll::bench
+
+int main(int argc, char** argv) {
+  kmeansll::bench::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 5.2 of the paper: seed cost and final cost of k-means|| as a
+// function of the number of initialization rounds on GaussMixture
+// (k = 50, R ∈ {1, 10, 100}), for ℓ/k ∈ {0.1, 0.5, 1, 2, 10}, with the
+// k-means++ cost as the reference line.
+//
+// Expected shape: r·ℓ < k → much worse than k-means++; once r·ℓ ≥ k the
+// curves drop to (or below) the k-means++ level.
+
+#include <cmath>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+
+namespace kmeansll::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  eval::Args args(argc, argv);
+  const int64_t n = DataSize(args, 10000);
+  const int64_t k = args.GetInt("k", 50);
+  const int64_t trials = Trials(args, 3);
+  SetLogLevel(LogLevel::kError);  // undershoot warnings are expected
+
+  PrintHeader("Figure 5.2: cost vs initialization rounds (GaussMixture)",
+              "n=" + std::to_string(n) + ", d=15, k=" + std::to_string(k) +
+                  ", l/k in {0.1,0.5,1,2,10}, " + std::to_string(trials) +
+                  " trials; km++ reference per R");
+
+  const std::vector<double> ell_factors = {0.1, 0.5, 1.0, 2.0, 10.0};
+  const std::vector<int64_t> rounds_grid = {1, 2, 3, 5, 8, 15};
+
+  eval::TablePrinter table(
+      {"R", "l/k", "rounds", "seed cost", "final cost"});
+
+  for (double r_variance : {1.0, 10.0, 100.0}) {
+    data::GaussMixtureParams params;
+    params.n = n;
+    params.k = k;
+    params.dim = 15;
+    params.center_stddev = std::sqrt(r_variance);
+    auto generated = data::GenerateGaussMixture(
+        params, rng::Rng(991 + static_cast<uint64_t>(r_variance)));
+    generated.status().Abort("GaussMixture generation");
+    const Dataset& data = generated->data;
+
+    // k-means++ reference.
+    auto reference = eval::RunMultiTrials(trials, [&](int64_t t) {
+      KMeansConfig config;
+      config.k = k;
+      config.init = InitMethod::kKMeansPP;
+      config.seed = 9300 + static_cast<uint64_t>(t);
+      config.lloyd.max_iterations = 100;
+      KMeansReport report = Fit(data, config);
+      return std::vector<double>{report.seed_cost, report.final_cost};
+    });
+    table.AddRow({eval::Cell(r_variance, 0), "km++", "--",
+                  eval::Cell(reference[0].median, 3),
+                  eval::Cell(reference[1].median, 3)});
+
+    for (double ell_factor : ell_factors) {
+      for (int64_t rounds : rounds_grid) {
+        auto summaries = eval::RunMultiTrials(trials, [&](int64_t t) {
+          KMeansConfig config;
+          config.k = k;
+          config.init = InitMethod::kKMeansParallel;
+          config.seed = 9400 + static_cast<uint64_t>(t);
+          config.kmeansll.oversampling =
+              ell_factor * static_cast<double>(k);
+          config.kmeansll.rounds = rounds;
+          config.lloyd.max_iterations = 100;
+          KMeansReport report = Fit(data, config);
+          return std::vector<double>{report.seed_cost, report.final_cost};
+        });
+        table.AddRow({eval::Cell(r_variance, 0),
+                      eval::Cell(ell_factor, 1), std::to_string(rounds),
+                      eval::Cell(summaries[0].median, 3),
+                      eval::Cell(summaries[1].median, 3)});
+      }
+    }
+  }
+  Emit(table, "fig5_2_rounds_gauss");
+}
+
+}  // namespace
+}  // namespace kmeansll::bench
+
+int main(int argc, char** argv) {
+  kmeansll::bench::Run(argc, argv);
+  return 0;
+}

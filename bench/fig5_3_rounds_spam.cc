@@ -1,0 +1,84 @@
+// Figure 5.3 of the paper: seed and final cost of k-means|| vs number of
+// initialization rounds on Spam (stand-in), k ∈ {20, 50, 100},
+// ℓ/k ∈ {0.1, 0.5, 1, 2, 10}, with k-means++ reference.
+//
+// Expected shape: identical to Figure 5.2 — the curves reach the
+// k-means++ level as soon as r·ℓ ≥ k.
+
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+
+namespace kmeansll::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  eval::Args args(argc, argv);
+  const int64_t n = DataSize(args, 4601);
+  const int64_t trials = Trials(args, 3);
+  SetLogLevel(LogLevel::kError);  // undershoot warnings are expected
+
+  data::SpamLikeParams params;
+  params.n = n;
+  auto generated = data::GenerateSpamLike(params, rng::Rng(777));
+  generated.status().Abort("SpamLike generation");
+  const Dataset& data = generated->data;
+
+  PrintHeader("Figure 5.3: cost vs initialization rounds (Spam)",
+              "n=" + std::to_string(n) +
+                  ", d=58, k in {20,50,100}, l/k in {0.1,0.5,1,2,10}, " +
+                  std::to_string(trials) + " trials; km++ reference per k");
+
+  const std::vector<int64_t> ks = {20, 50, 100};
+  const std::vector<double> ell_factors = {0.1, 0.5, 1.0, 2.0, 10.0};
+  const std::vector<int64_t> rounds_grid = {1, 2, 3, 5, 8, 15};
+
+  eval::TablePrinter table(
+      {"k", "l/k", "rounds", "seed cost", "final cost"});
+
+  for (int64_t k : ks) {
+    auto reference = eval::RunMultiTrials(trials, [&](int64_t t) {
+      KMeansConfig config;
+      config.k = k;
+      config.init = InitMethod::kKMeansPP;
+      config.seed = 9500 + static_cast<uint64_t>(t);
+      config.lloyd.max_iterations = 60;
+      KMeansReport report = Fit(data, config);
+      return std::vector<double>{report.seed_cost, report.final_cost};
+    });
+    table.AddRow({std::to_string(k), "km++", "--",
+                  eval::Cell(reference[0].median, 3),
+                  eval::Cell(reference[1].median, 3)});
+
+    for (double ell_factor : ell_factors) {
+      for (int64_t rounds : rounds_grid) {
+        auto summaries = eval::RunMultiTrials(trials, [&](int64_t t) {
+          KMeansConfig config;
+          config.k = k;
+          config.init = InitMethod::kKMeansParallel;
+          config.seed = 9600 + static_cast<uint64_t>(t);
+          config.kmeansll.oversampling =
+              ell_factor * static_cast<double>(k);
+          config.kmeansll.rounds = rounds;
+          config.lloyd.max_iterations = 60;
+          KMeansReport report = Fit(data, config);
+          return std::vector<double>{report.seed_cost, report.final_cost};
+        });
+        table.AddRow({std::to_string(k), eval::Cell(ell_factor, 1),
+                      std::to_string(rounds),
+                      eval::Cell(summaries[0].median, 3),
+                      eval::Cell(summaries[1].median, 3)});
+      }
+    }
+  }
+  Emit(table, "fig5_3_rounds_spam");
+}
+
+}  // namespace
+}  // namespace kmeansll::bench
+
+int main(int argc, char** argv) {
+  kmeansll::bench::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Shared experiment runner for the KDDCup1999-based tables (3, 4, 5).
+//
+// Paper setting: n = 4.8M, d = 42, k ∈ {500, 1000}, Hadoop cluster.
+// Default here: KddLike n = 32768, k ∈ {50, 100} — same n/k regime
+// (hundreds of points per cluster), single core. Override with --n and
+// --k1/--k2 to approach paper scale on bigger machines.
+//
+// Methods: Random (Lloyd capped at 20 iterations, §4.2), Partition, and
+// k-means|| with ℓ/k ∈ {0.1, 0.5, 1, 2, 10} (r = 15 for ℓ = 0.1k, else
+// r = 5 — the paper's setting, since five rounds of 0.1k·5 < k would
+// undershoot).
+
+#ifndef KMEANSLL_BENCH_KDD_COMMON_H_
+#define KMEANSLL_BENCH_KDD_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace kmeansll::bench {
+
+struct KddMethodResult {
+  std::string name;
+  double final_cost = 0;
+  double seed_cost = 0;
+  double measured_seconds = 0;      ///< single-core wall clock (init+Lloyd)
+  double init_seconds = 0;          ///< single-core wall clock (init only)
+  int64_t intermediate_centers = 0;
+  int64_t lloyd_iterations = 0;
+  int64_t rounds = 0;
+  double oversampling = 0;          ///< ℓ, 0 for non-k-means|| methods
+  InitMethod init = InitMethod::kRandom;
+};
+
+struct KddExperiment {
+  int64_t n = 0;
+  int64_t k = 0;
+  std::vector<KddMethodResult> methods;
+};
+
+/// Runs all methods for one k; medians over `trials`.
+inline KddExperiment RunKddExperiment(const Dataset& data, int64_t k,
+                                      int64_t trials) {
+  KddExperiment experiment;
+  experiment.n = data.n();
+  experiment.k = k;
+
+  struct Spec {
+    std::string name;
+    InitMethod init;
+    double ell_factor;  // ℓ = factor · k
+    int64_t rounds;
+  };
+  std::vector<Spec> specs = {
+      {"Random", InitMethod::kRandom, 0, 0},
+      {"Partition", InitMethod::kPartition, 0, 0},
+      {"k-means|| l=0.1k", InitMethod::kKMeansParallel, 0.1, 15},
+      {"k-means|| l=0.5k", InitMethod::kKMeansParallel, 0.5, 5},
+      {"k-means|| l=k", InitMethod::kKMeansParallel, 1.0, 5},
+      {"k-means|| l=2k", InitMethod::kKMeansParallel, 2.0, 5},
+      {"k-means|| l=10k", InitMethod::kKMeansParallel, 10.0, 5},
+  };
+
+  for (const Spec& spec : specs) {
+    std::vector<double> finals, seeds, seconds, init_seconds, intermediates,
+        iterations;
+    for (int64_t t = 0; t < trials; ++t) {
+      KMeansConfig config;
+      config.k = k;
+      config.init = spec.init;
+      config.seed = 8800 + static_cast<uint64_t>(t);
+      config.kmeansll.oversampling =
+          spec.ell_factor * static_cast<double>(k);
+      config.kmeansll.rounds = spec.rounds;
+      // Parallel setting: Lloyd bounded at 20 iterations (paper §4.2).
+      config.lloyd.max_iterations = 20;
+      KMeansReport report = Fit(data, config);
+      finals.push_back(report.final_cost);
+      seeds.push_back(report.seed_cost);
+      seconds.push_back(report.total_seconds);
+      init_seconds.push_back(report.init_seconds);
+      intermediates.push_back(
+          static_cast<double>(report.init.intermediate_centers));
+      iterations.push_back(static_cast<double>(report.lloyd_iterations));
+    }
+    KddMethodResult result;
+    result.name = spec.name;
+    result.init = spec.init;
+    result.oversampling = spec.ell_factor * static_cast<double>(k);
+    result.rounds = spec.rounds;
+    result.final_cost = eval::Summarize(finals).median;
+    result.seed_cost = eval::Summarize(seeds).median;
+    result.measured_seconds = eval::Summarize(seconds).median;
+    result.init_seconds = eval::Summarize(init_seconds).median;
+    result.intermediate_centers =
+        static_cast<int64_t>(eval::Summarize(intermediates).median);
+    result.lloyd_iterations =
+        static_cast<int64_t>(eval::Summarize(iterations).median);
+    experiment.methods.push_back(result);
+  }
+  return experiment;
+}
+
+/// Generates the KddLike workload for the benches.
+inline Dataset MakeKddData(int64_t n) {
+  data::KddLikeParams params;
+  params.n = n;
+  auto generated = data::GenerateKddLike(params, rng::Rng(424242));
+  generated.status().Abort("KddLike generation");
+  return std::move(generated->data);
+}
+
+}  // namespace kmeansll::bench
+
+#endif  // KMEANSLL_BENCH_KDD_COMMON_H_

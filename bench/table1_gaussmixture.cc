@@ -1,0 +1,92 @@
+// Table 1 of the paper: median cost (seed and final) on GaussMixture with
+// k = 50, center variance R ∈ {1, 10, 100}, for Random, k-means++, and
+// k-means|| with (ℓ = k/2, r = 5) and (ℓ = 2k, r = 5). Costs are printed
+// scaled down by 10^4, as in the paper.
+//
+// Expected shape (paper): seed cost k-means||(2k) < k-means||(k/2) <
+// k-means++; final costs of all seeded methods comparable; Random's final
+// cost far worse for large R.
+
+#include <cmath>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace kmeansll::bench {
+namespace {
+
+struct MethodSpec {
+  std::string name;
+  InitMethod init;
+  double oversampling = -1.0;  // only for k-means||
+};
+
+void Run(int argc, char** argv) {
+  eval::Args args(argc, argv);
+  const int64_t k = args.GetInt("k", 50);
+  const int64_t n = DataSize(args, 10000);
+  const int64_t trials = Trials(args, 5);
+  const double scale = 1e4;
+
+  PrintHeader("Table 1: GaussMixture, k=" + std::to_string(k),
+              "n=" + std::to_string(n) + ", d=15, R in {1,10,100}, " +
+                  std::to_string(trials) +
+                  " trials (paper: 11), costs scaled by 1e4");
+
+  const std::vector<MethodSpec> methods = {
+      {"Random", InitMethod::kRandom},
+      {"k-means++", InitMethod::kKMeansPP},
+      {"k-means|| l=k/2 r=5", InitMethod::kKMeansParallel, 0.5 * k},
+      {"k-means|| l=2k r=5", InitMethod::kKMeansParallel, 2.0 * k},
+  };
+
+  eval::TablePrinter table({"method", "R=1 seed", "R=1 final", "R=10 seed",
+                            "R=10 final", "R=100 seed", "R=100 final"});
+
+  std::vector<std::vector<std::string>> rows(methods.size());
+  for (size_t m = 0; m < methods.size(); ++m) {
+    rows[m].push_back(methods[m].name);
+  }
+
+  for (double r_variance : {1.0, 10.0, 100.0}) {
+    data::GaussMixtureParams params;
+    params.n = n;
+    params.k = k;
+    params.dim = 15;
+    params.center_stddev = std::sqrt(r_variance);
+    auto generated = data::GenerateGaussMixture(
+        params, rng::Rng(991 + static_cast<uint64_t>(r_variance)));
+    generated.status().Abort("GaussMixture generation");
+    const Dataset& data = generated->data;
+
+    for (size_t m = 0; m < methods.size(); ++m) {
+      auto summaries = eval::RunMultiTrials(trials, [&](int64_t t) {
+        KMeansConfig config;
+        config.k = k;
+        config.init = methods[m].init;
+        config.seed = 7000 + static_cast<uint64_t>(t);
+        config.kmeansll.oversampling = methods[m].oversampling;
+        config.kmeansll.rounds = 5;
+        config.lloyd.max_iterations = 300;
+        KMeansReport report = Fit(data, config);
+        return std::vector<double>{report.seed_cost, report.final_cost};
+      });
+      // The paper reports no seed cost for Random ("—").
+      rows[m].push_back(methods[m].init == InitMethod::kRandom
+                            ? "--"
+                            : eval::CellScaled(summaries[0].median, scale));
+      rows[m].push_back(eval::CellScaled(summaries[1].median, scale));
+    }
+  }
+
+  for (auto& row : rows) table.AddRow(std::move(row));
+  Emit(table, "table1_gaussmixture");
+}
+
+}  // namespace
+}  // namespace kmeansll::bench
+
+int main(int argc, char** argv) {
+  kmeansll::bench::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Table 3 of the paper: clustering cost on KDDCup1999 (stand-in) for
+// two k values, r = 5; Random vs Partition vs k-means|| at
+// ℓ/k ∈ {0.1, 0.5, 1, 2, 10}. Costs scaled down by 10^10 in the paper;
+// here the scale is chosen from the data (printed in the header).
+//
+// Expected shape: Random worse by orders of magnitude; k-means|| with
+// ℓ ≥ 2k at least matches Partition.
+
+
+#include "kdd_common.h"
+
+namespace kmeansll::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  eval::Args args(argc, argv);
+  const int64_t n = DataSize(args, 32768);
+  const int64_t k1 = args.GetInt("k1", 50);
+  const int64_t k2 = args.GetInt("k2", 100);
+  const int64_t trials = Trials(args, 3);
+
+  Dataset data = MakeKddData(n);
+  PrintHeader("Table 3: KDD-like clustering cost (r=5)",
+              "n=" + std::to_string(n) + ", d=42, k in {" +
+                  std::to_string(k1) + "," + std::to_string(k2) +
+                  "} (paper: 4.8M, k in {500,1000}), " +
+                  std::to_string(trials) + " trials");
+
+  KddExperiment e1 = RunKddExperiment(data, k1, trials);
+  KddExperiment e2 = RunKddExperiment(data, k2, trials);
+
+  eval::TablePrinter table({"method", "k=" + std::to_string(k1),
+                            "k=" + std::to_string(k2)});
+  for (size_t m = 0; m < e1.methods.size(); ++m) {
+    table.AddRow({e1.methods[m].name,
+                  eval::Cell(e1.methods[m].final_cost, 2),
+                  eval::Cell(e2.methods[m].final_cost, 2)});
+  }
+  Emit(table, "table3_kdd_cost");
+}
+
+}  // namespace
+}  // namespace kmeansll::bench
+
+int main(int argc, char** argv) {
+  kmeansll::bench::Run(argc, argv);
+  return 0;
+}

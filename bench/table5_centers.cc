@@ -1,0 +1,47 @@
+// Table 5 of the paper: number of intermediate centers selected before
+// the reclustering step on KDDCup1999 (stand-in) — Partition vs k-means||
+// across ℓ/k settings.
+//
+// Expected shape: Partition's intermediate set (≈ 3·√(n·k)·ln k, i.e.
+// 10^5–10^6 at paper scale) is orders of magnitude larger than
+// k-means||'s (≈ r·ℓ, i.e. a few hundred to a few thousand).
+
+#include "kdd_common.h"
+
+namespace kmeansll::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  eval::Args args(argc, argv);
+  const int64_t n = DataSize(args, 32768);
+  const int64_t k1 = args.GetInt("k1", 50);
+  const int64_t k2 = args.GetInt("k2", 100);
+  const int64_t trials = Trials(args, 3);
+
+  Dataset data = MakeKddData(n);
+  PrintHeader("Table 5: intermediate centers before reclustering",
+              "KDD-like n=" + std::to_string(n) + ", k in {" +
+                  std::to_string(k1) + "," + std::to_string(k2) + "}, " +
+                  std::to_string(trials) + " trials");
+
+  KddExperiment e1 = RunKddExperiment(data, k1, trials);
+  KddExperiment e2 = RunKddExperiment(data, k2, trials);
+
+  eval::TablePrinter table({"method", "k=" + std::to_string(k1),
+                            "k=" + std::to_string(k2)});
+  for (size_t m = 0; m < e1.methods.size(); ++m) {
+    if (e1.methods[m].init == InitMethod::kRandom) continue;  // not in paper
+    table.AddRow({e1.methods[m].name,
+                  eval::CellInt(e1.methods[m].intermediate_centers),
+                  eval::CellInt(e2.methods[m].intermediate_centers)});
+  }
+  Emit(table, "table5_centers");
+}
+
+}  // namespace
+}  // namespace kmeansll::bench
+
+int main(int argc, char** argv) {
+  kmeansll::bench::Run(argc, argv);
+  return 0;
+}

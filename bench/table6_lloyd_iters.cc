@@ -1,0 +1,77 @@
+// Table 6 of the paper: number of Lloyd iterations until convergence
+// (average over 10 runs) on Spam for k ∈ {20, 50, 100}: Random,
+// k-means++, k-means|| (ℓ = 0.5k and ℓ = 2k, r = 5).
+//
+// Expected shape: k-means|| ≤ k-means++ ≪ Random.
+
+#include <vector>
+
+#include "bench_util.h"
+
+namespace kmeansll::bench {
+namespace {
+
+struct MethodSpec {
+  std::string name;
+  InitMethod init;
+  double ell_factor = 0.0;
+};
+
+void Run(int argc, char** argv) {
+  eval::Args args(argc, argv);
+  const int64_t n = DataSize(args, 4601);
+  const int64_t trials = Trials(args, 5);
+
+  data::SpamLikeParams params;
+  params.n = n;
+  auto generated = data::GenerateSpamLike(params, rng::Rng(777));
+  generated.status().Abort("SpamLike generation");
+  const Dataset& data = generated->data;
+
+  PrintHeader("Table 6: Lloyd iterations until convergence (Spam)",
+              "n=" + std::to_string(n) + ", d=58, mean over " +
+                  std::to_string(trials) + " runs (paper: 10)");
+
+  const std::vector<MethodSpec> methods = {
+      {"Random", InitMethod::kRandom},
+      {"k-means++", InitMethod::kKMeansPP},
+      {"k-means|| l=0.5k r=5", InitMethod::kKMeansParallel, 0.5},
+      {"k-means|| l=2k r=5", InitMethod::kKMeansParallel, 2.0},
+  };
+
+  eval::TablePrinter table({"method", "k=20", "k=50", "k=100"});
+  std::vector<std::vector<std::string>> rows(methods.size());
+  for (size_t m = 0; m < methods.size(); ++m) {
+    rows[m].push_back(methods[m].name);
+  }
+
+  for (int64_t k : {int64_t{20}, int64_t{50}, int64_t{100}}) {
+    for (size_t m = 0; m < methods.size(); ++m) {
+      auto summary = eval::RunTrials(trials, [&](int64_t t) {
+        KMeansConfig config;
+        config.k = k;
+        config.init = methods[m].init;
+        config.seed = 8600 + static_cast<uint64_t>(t);
+        config.kmeansll.oversampling =
+            methods[m].ell_factor * static_cast<double>(k);
+        config.kmeansll.rounds = 5;
+        // Run to the assignment fixed point (convergence), capped high.
+        config.lloyd.max_iterations = 500;
+        KMeansReport report = Fit(data, config);
+        return static_cast<double>(report.lloyd_iterations);
+      });
+      rows[m].push_back(eval::Cell(summary.mean, 1));
+    }
+  }
+
+  for (auto& row : rows) table.AddRow(std::move(row));
+  Emit(table, "table6_lloyd_iters");
+}
+
+}  // namespace
+}  // namespace kmeansll::bench
+
+int main(int argc, char** argv) {
+  kmeansll::bench::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Side-by-side comparison of all four initialization methods on one
+// dataset — a miniature of the paper's Tables 1/5/6 in a single run.
+//
+//   ./compare_initializations [--k=50] [--n=10000] [--trials=5]
+
+#include <iostream>
+#include <vector>
+
+#include "core/kmeans.h"
+#include "data/synthetic.h"
+#include "eval/args.h"
+#include "eval/table.h"
+#include "eval/trials.h"
+#include "rng/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace kmeansll;
+  eval::Args args(argc, argv);
+  const int64_t k = args.GetInt("k", 50);
+  const int64_t n = args.GetInt("n", 10000);
+  const int64_t trials = args.GetInt("trials", 5);
+
+  data::GaussMixtureParams params;
+  params.n = n;
+  params.k = k;
+  params.dim = 15;
+  params.center_stddev = 10.0;
+  auto generated = data::GenerateGaussMixture(params, rng::Rng(7));
+  generated.status().Abort("data generation");
+  const Dataset& data = generated->data;
+
+  struct Spec {
+    const char* name;
+    InitMethod init;
+  };
+  const std::vector<Spec> specs = {
+      {"Random", InitMethod::kRandom},
+      {"k-means++", InitMethod::kKMeansPP},
+      {"k-means|| (l=2k,r=5)", InitMethod::kKMeansParallel},
+      {"Partition", InitMethod::kPartition},
+  };
+
+  eval::TablePrinter table({"method", "seed cost", "final cost",
+                            "lloyd iters", "intermediate", "seconds"});
+  for (const Spec& spec : specs) {
+    auto summaries = eval::RunMultiTrials(trials, [&](int64_t t) {
+      KMeansConfig config;
+      config.k = k;
+      config.init = spec.init;
+      config.seed = 100 + static_cast<uint64_t>(t);
+      config.kmeansll.oversampling = 2.0 * static_cast<double>(k);
+      config.kmeansll.rounds = 5;
+      config.lloyd.max_iterations = 300;
+      auto report = KMeans(config).Fit(data);
+      report.status().Abort("Fit");
+      return std::vector<double>{
+          report->seed_cost, report->final_cost,
+          static_cast<double>(report->lloyd_iterations),
+          static_cast<double>(report->init.intermediate_centers),
+          report->total_seconds};
+    });
+    table.AddRow({spec.name, eval::Cell(summaries[0].median, 3),
+                  eval::Cell(summaries[1].median, 3),
+                  eval::Cell(summaries[2].median, 1),
+                  eval::CellInt(static_cast<int64_t>(summaries[3].median)),
+                  eval::Cell(summaries[4].median, 2)});
+  }
+
+  std::cout << "GaussMixture n=" << n << " d=15 k=" << k << ", medians over "
+            << trials << " trials\n\n";
+  table.Print(std::cout);
+  std::cout << "\nReading the table:\n"
+               "  * seeded methods land orders of magnitude below Random "
+               "on seed cost;\n"
+               "  * k-means|| needs only r=5 passes (vs k for k-means++) "
+               "and a tiny\n    intermediate set (vs Partition);\n"
+               "  * Lloyd converges fastest from k-means|| seeds.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// The paper's §3.5 pipeline end to end on the MapReduce engine: parallel
+// k-means|| initialization and parallel Lloyd iterations over dataset
+// partitions, with Hadoop-style job counters — and a demonstration that
+// the result does not depend on how the data is partitioned.
+//
+//   ./mapreduce_pipeline [--n=20000] [--k=50] [--partitions=16]
+
+#include <iostream>
+
+#include "core/kmeans.h"
+#include "data/synthetic.h"
+#include "eval/args.h"
+#include "rng/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace kmeansll;
+  eval::Args args(argc, argv);
+  const int64_t n = args.GetInt("n", 20000);
+  const int64_t k = args.GetInt("k", 50);
+  const int64_t partitions = args.GetInt("partitions", 16);
+
+  data::KddLikeParams params;
+  params.n = n;
+  auto generated = data::GenerateKddLike(params, rng::Rng(99));
+  generated.status().Abort("data generation");
+  const Dataset& data = generated->data;
+  std::cout << "KDD-like dataset: " << data.n() << " x " << data.dim()
+            << ", " << partitions << " partitions ('mappers')\n\n";
+
+  KMeansConfig config;
+  config.k = k;
+  config.init = InitMethod::kKMeansParallel;
+  config.kmeansll.rounds = 5;
+  config.seed = 11;
+  config.lloyd.max_iterations = 20;
+  config.use_mapreduce = true;
+  config.num_partitions = partitions;
+  config.num_threads = 4;  // engine workers executing map tasks
+
+  auto report = KMeans(config).Fit(data);
+  report.status().Abort("Fit");
+
+  std::cout << "seed cost  : " << report->seed_cost << "\n"
+            << "final cost : " << report->final_cost << "\n"
+            << "lloyd iters: " << report->lloyd_iterations << "\n\n"
+            << "MapReduce job counters:\n";
+  for (const auto& [name, value] : report->counters.Snapshot()) {
+    std::cout << "  " << name << " = " << value << "\n";
+  }
+
+  // Partition-count invariance: per-point randomness is hashed from
+  // (seed, round, index), so re-running with a different partitioning
+  // selects the same candidates and produces the same seed cost.
+  KMeansConfig other = config;
+  other.num_partitions = 3;
+  auto rerun = KMeans(other).Fit(data);
+  rerun.status().Abort("rerun");
+  std::cout << "\nre-run with 3 partitions instead of " << partitions
+            << ": seed cost " << rerun->seed_cost << " (delta "
+            << rerun->seed_cost - report->seed_cost << ")\n";
+  return 0;
+}

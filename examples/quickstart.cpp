@@ -1,0 +1,81 @@
+// Quickstart: cluster a synthetic dataset with k-means|| seeding, inspect
+// the report, save the model, reload it, and classify new points.
+//
+//   ./quickstart [--k=20] [--n=5000] [--seed=42]
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/kmeans.h"
+#include "data/synthetic.h"
+#include "eval/args.h"
+#include "rng/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace kmeansll;
+  eval::Args args(argc, argv);
+  const int64_t k = args.GetInt("k", 20);
+  const int64_t n = args.GetInt("n", 5000);
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+
+  // 1. Get some data: a mixture of k Gaussians in 10 dimensions. We draw
+  //    extra points and hold them out as a test split for step 5.
+  const int64_t holdout = n / 5;
+  data::GaussMixtureParams params;
+  params.n = n + holdout;
+  params.k = k;
+  params.dim = 10;
+  params.center_stddev = 5.0;
+  auto generated = data::GenerateGaussMixture(params, rng::Rng(seed));
+  generated.status().Abort("data generation");
+  std::vector<int64_t> train_rows(n), test_rows(holdout);
+  for (int64_t i = 0; i < n; ++i) train_rows[i] = i;
+  for (int64_t i = 0; i < holdout; ++i) test_rows[i] = n + i;
+  Dataset data = generated->data.Gather(train_rows);
+  Dataset test = generated->data.Gather(test_rows);
+  std::cout << "dataset: " << data.n() << " train + " << test.n()
+            << " held-out points in R^" << data.dim() << "\n";
+
+  // 2. Configure the estimator: k-means|| seeding (ℓ = 2k, r = 5 — the
+  //    paper's recommended setting) followed by Lloyd refinement.
+  KMeansConfig config;
+  config.k = k;
+  config.init = InitMethod::kKMeansParallel;
+  config.kmeansll.oversampling = 2.0 * static_cast<double>(k);
+  config.kmeansll.rounds = 5;
+  config.lloyd.max_iterations = 100;
+  config.seed = seed;
+
+  // 3. Fit.
+  KMeans model(config);
+  auto report = model.Fit(data);
+  report.status().Abort("Fit");
+  std::cout << "seed cost   : " << report->seed_cost << "\n"
+            << "final cost  : " << report->final_cost << "\n"
+            << "lloyd iters : " << report->lloyd_iterations
+            << (report->lloyd_converged ? " (converged)" : " (capped)")
+            << "\n"
+            << "init rounds : " << report->init.rounds << ", "
+            << report->init.intermediate_centers
+            << " intermediate centers\n"
+            << "total time  : " << report->total_seconds << " s\n";
+
+  // 4. Persist the model and reload it.
+  const std::string path = "/tmp/kmeansll_quickstart.model";
+  SaveCenters(report->centers, path).Abort("SaveCenters");
+  auto loaded = LoadCenters(path);
+  loaded.status().Abort("LoadCenters");
+  std::cout << "model round-tripped through " << path << ": "
+            << loaded->rows() << " x " << loaded->cols() << "\n";
+
+  // 5. Classify the held-out points drawn from the same mixture.
+  Assignment assignment = Predict(*loaded, test);
+  std::cout << "predicted " << assignment.cluster.size()
+            << " held-out points; mean per-point cost "
+            << assignment.cost / static_cast<double>(test.n())
+            << " (train: "
+            << report->final_cost / static_cast<double>(data.n()) << ")\n";
+  std::remove(path.c_str());
+  return 0;
+}

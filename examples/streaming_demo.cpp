@@ -1,0 +1,91 @@
+// Clustering an unbounded stream with bounded memory: points arrive one
+// at a time, blocks are compressed on the fly (k-means#), and the final
+// centers come from reclustering the retained coreset — the one-pass
+// regime of the streaming-k-means literature the paper builds on.
+//
+//   ./streaming_demo [--k=20] [--n=50000] [--block=2048]
+
+#include <iostream>
+#include <span>
+
+#include "clustering/cost.h"
+#include "clustering/coreset.h"
+#include "clustering/streaming.h"
+#include "core/kmeans.h"
+#include "data/synthetic.h"
+#include "data/transform.h"
+#include "eval/args.h"
+#include "rng/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace kmeansll;
+  eval::Args args(argc, argv);
+  const int64_t k = args.GetInt("k", 20);
+  const int64_t n = args.GetInt("n", 50000);
+  const int64_t block = args.GetInt("block", 2048);
+
+  // The "stream": a shuffled mixture we pretend not to be able to hold.
+  data::GaussMixtureParams params;
+  params.n = n;
+  params.k = k;
+  params.dim = 12;
+  params.center_stddev = 8.0;
+  auto generated = data::GenerateGaussMixture(params, rng::Rng(21));
+  generated.status().Abort("data generation");
+  Dataset stream = data::ShuffleRows(generated->data, rng::Rng(22));
+
+  StreamingOptions options;
+  options.k = k;
+  options.dim = stream.dim();
+  options.block_size = block;
+  options.seed = 23;
+  auto clusterer = StreamingKMeans::Create(options);
+  clusterer.status().Abort("Create");
+
+  for (int64_t i = 0; i < stream.n(); ++i) {
+    clusterer
+        ->Add(std::span<const double>(stream.Point(i),
+                                      static_cast<size_t>(stream.dim())))
+        .Abort("Add");
+  }
+  std::cout << "streamed " << clusterer->points_seen()
+            << " points; retained coreset of " << clusterer->coreset_size()
+            << " weighted representatives ("
+            << 100.0 * static_cast<double>(clusterer->coreset_size()) /
+                   static_cast<double>(n)
+            << "% of the stream)\n";
+
+  auto centers = clusterer->Finalize();
+  centers.status().Abort("Finalize");
+  double streaming_cost = ComputeCost(stream, *centers);
+
+  // Batch reference: the full pipeline with everything in memory.
+  KMeansConfig config;
+  config.k = k;
+  config.seed = 24;
+  config.lloyd.max_iterations = 100;
+  auto batch = KMeans(config).Fit(stream);
+  batch.status().Abort("batch Fit");
+
+  std::cout << "one-pass streaming cost : " << streaming_cost << "\n"
+            << "batch k-means|| cost    : " << batch->final_cost << "\n"
+            << "streaming/batch ratio   : "
+            << streaming_cost / batch->final_cost << "\n\n";
+
+  // Bonus: the reusable-coreset workflow — build once, sweep k cheaply.
+  auto coreset = BuildCoreset(stream, 30 * k, rng::Rng(25));
+  coreset.status().Abort("BuildCoreset");
+  std::cout << "coreset sweep over k (built once, " << coreset->n()
+            << " weighted points):\n";
+  for (int64_t sweep_k : {k / 2, k, 2 * k}) {
+    KMeansConfig sweep;
+    sweep.k = sweep_k;
+    sweep.seed = 26;
+    sweep.lloyd.max_iterations = 50;
+    auto model = KMeans(sweep).Fit(*coreset);
+    model.status().Abort("coreset Fit");
+    std::cout << "  k=" << sweep_k << ": cost on full stream "
+              << ComputeCost(stream, model->centers) << "\n";
+  }
+  return 0;
+}

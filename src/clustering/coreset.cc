@@ -1,0 +1,93 @@
+#include "clustering/coreset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "distance/nearest.h"
+#include "rng/reservoir.h"
+#include "rng/splitmix64.h"
+
+namespace kmeansll {
+
+Result<Dataset> BuildCoreset(const Dataset& data, int64_t target_size,
+                             rng::Rng rng, const CoresetOptions& options) {
+  if (target_size < 1) {
+    return Status::InvalidArgument("target_size must be >= 1");
+  }
+  if (target_size > data.n()) {
+    return Status::InvalidArgument(
+        "target_size " + std::to_string(target_size) + " exceeds n=" +
+        std::to_string(data.n()));
+  }
+  if (options.rounds < 1) {
+    return Status::InvalidArgument("rounds must be >= 1");
+  }
+
+  const int64_t rounds = options.rounds;
+  // Per-round quota; the initial uniformly chosen point takes one slot.
+  const double ell =
+      static_cast<double>(target_size - 1) / static_cast<double>(rounds);
+  const auto ell_int = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(std::ceil(ell))));
+
+  rng::Rng init_rng = rng.Fork(rng::StreamPurpose::kInitialCenter);
+  Matrix candidates(data.dim());
+  candidates.AppendRow(
+      data.Point(static_cast<int64_t>(init_rng.NextBounded(data.n()))));
+
+  MinDistanceTracker tracker(data);
+  tracker.AddCenters(candidates, 0);
+
+  for (int64_t round = 0; round < rounds; ++round) {
+    if (candidates.rows() >= target_size) break;
+    const double phi = tracker.Potential();
+    if (!(phi > 0.0)) break;
+    const int64_t remaining = target_size - candidates.rows();
+    const int64_t quota = std::min<int64_t>(
+        remaining, options.exact_size ? ell_int : ell_int);
+    const uint64_t round_seed = rng::HashCombine(
+        rng.Fork(rng::StreamPurpose::kRoundSampling, round).root_key(),
+        static_cast<uint64_t>(round));
+
+    std::vector<int64_t> chosen;
+    if (options.exact_size) {
+      rng::WeightedReservoir reservoir(
+          quota, rng.Fork(rng::StreamPurpose::kRoundSampling, round));
+      for (int64_t i = 0; i < data.n(); ++i) {
+        double w = data.Weight(i) * tracker.Distance2(i);
+        if (!(w > 0.0)) continue;
+        double u = rng::UniformAtIndex(round_seed, static_cast<uint64_t>(i));
+        while (u <= 0.0) {
+          u = rng::UniformAtIndex(round_seed ^ 0x5bf0,
+                                  static_cast<uint64_t>(i));
+        }
+        reservoir.OfferWithUniform(i, w, u);
+      }
+      chosen = reservoir.Items();
+      std::sort(chosen.begin(), chosen.end());
+    } else {
+      double scaled_ell = static_cast<double>(quota);
+      for (int64_t i = 0; i < data.n(); ++i) {
+        double p = scaled_ell * data.Weight(i) * tracker.Distance2(i) / phi;
+        if (p <= 0.0) continue;
+        if (rng::UniformAtIndex(round_seed, static_cast<uint64_t>(i)) < p) {
+          chosen.push_back(i);
+        }
+      }
+    }
+    int64_t previous = candidates.rows();
+    for (int64_t i : chosen) candidates.AppendRow(data.Point(i));
+    tracker.AddCenters(candidates, previous);
+  }
+
+  // Step 7: transfer every point's weight to its closest representative.
+  std::vector<double> weights(static_cast<size_t>(candidates.rows()), 0.0);
+  for (int64_t i = 0; i < data.n(); ++i) {
+    weights[static_cast<size_t>(tracker.ClosestCenter(i))] +=
+        data.Weight(i);
+  }
+  return Dataset::WithWeights(std::move(candidates), std::move(weights));
+}
+
+}  // namespace kmeansll

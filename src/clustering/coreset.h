@@ -1,0 +1,40 @@
+// Weighted coreset construction via k-means|| oversampling.
+//
+// Steps 1–7 of Algorithm 2 are exactly a coreset builder: the O(ℓ·r)
+// D²-sampled candidates, weighted by the points they attract, form a
+// small weighted proxy of the dataset whose k-clustering cost tracks the
+// full data's (this is why reclustering the candidates works — Theorem
+// 1). This module exposes that machinery directly, so users can build a
+// coreset once and run many cheap experiments (different k, repeated
+// seedings, hyper-parameter sweeps) against it.
+
+#ifndef KMEANSLL_CLUSTERING_CORESET_H_
+#define KMEANSLL_CLUSTERING_CORESET_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "matrix/dataset.h"
+#include "rng/rng.h"
+
+namespace kmeansll {
+
+/// Options for BuildCoreset.
+struct CoresetOptions {
+  /// Sampling rounds (more rounds = better-adapted candidates).
+  int64_t rounds = 5;
+  /// Exact-ℓ joint sampling for a deterministic coreset size.
+  bool exact_size = true;
+};
+
+/// Builds a weighted coreset of ~`target_size` points. The returned
+/// Dataset's weights sum to the input's total weight (every input point
+/// hands its weight to its closest representative). Fails if
+/// target_size < 1 or target_size > n.
+Result<Dataset> BuildCoreset(const Dataset& data, int64_t target_size,
+                             rng::Rng rng,
+                             const CoresetOptions& options = {});
+
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_CLUSTERING_CORESET_H_

@@ -1,0 +1,59 @@
+#include "clustering/cost.h"
+
+#include "common/math_util.h"
+#include "distance/l2.h"
+#include "distance/nearest.h"
+#include "parallel/parallel_for.h"
+
+namespace kmeansll {
+
+double ComputeCost(const Dataset& data, const Matrix& centers,
+                   ThreadPool* pool) {
+  KMEANSLL_CHECK_GT(centers.rows(), 0);
+  KMEANSLL_CHECK_EQ(centers.cols(), data.dim());
+  NearestCenterSearch search(centers);
+  auto map = [&](IndexRange r) {
+    KahanSum partial;
+    for (int64_t i = r.begin; i < r.end; ++i) {
+      partial.Add(data.Weight(i) * search.Find(data.Point(i)).distance2);
+    }
+    return partial;
+  };
+  auto combine = [](KahanSum a, KahanSum b) {
+    a.Merge(b);
+    return a;
+  };
+  KahanSum total = ParallelReduce<KahanSum>(pool, data.n(), KahanSum(), map,
+                                            combine);
+  return total.Total();
+}
+
+Assignment ComputeAssignment(const Dataset& data, const Matrix& centers,
+                             ThreadPool* pool) {
+  KMEANSLL_CHECK_GT(centers.rows(), 0);
+  KMEANSLL_CHECK_EQ(centers.cols(), data.dim());
+  NearestCenterSearch search(centers);
+  Assignment out;
+  out.cluster.assign(static_cast<size_t>(data.n()), -1);
+
+  auto map = [&](IndexRange r) {
+    KahanSum partial;
+    for (int64_t i = r.begin; i < r.end; ++i) {
+      NearestResult nearest = search.Find(data.Point(i));
+      out.cluster[static_cast<size_t>(i)] =
+          static_cast<int32_t>(nearest.index);
+      partial.Add(data.Weight(i) * nearest.distance2);
+    }
+    return partial;
+  };
+  auto combine = [](KahanSum a, KahanSum b) {
+    a.Merge(b);
+    return a;
+  };
+  KahanSum total = ParallelReduce<KahanSum>(pool, data.n(), KahanSum(), map,
+                                            combine);
+  out.cost = total.Total();
+  return out;
+}
+
+}  // namespace kmeansll

@@ -1,0 +1,27 @@
+// Clustering cost φ_X(C) = Σ_x w_x · min_c ||x - c||² and full
+// point-to-center assignment. These are the primitives shared by every
+// initializer, Lloyd's iteration, and the evaluation harness; both have a
+// sequential path and a deterministic thread-pool path.
+
+#ifndef KMEANSLL_CLUSTERING_COST_H_
+#define KMEANSLL_CLUSTERING_COST_H_
+
+#include "clustering/types.h"
+#include "matrix/dataset.h"
+#include "matrix/matrix.h"
+#include "parallel/thread_pool.h"
+
+namespace kmeansll {
+
+/// φ_X(C); `pool` may be null for sequential execution. Centers must be
+/// non-empty and match the data dimension.
+double ComputeCost(const Dataset& data, const Matrix& centers,
+                   ThreadPool* pool = nullptr);
+
+/// Nearest-center assignment for every point plus the implied cost.
+Assignment ComputeAssignment(const Dataset& data, const Matrix& centers,
+                             ThreadPool* pool = nullptr);
+
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_CLUSTERING_COST_H_

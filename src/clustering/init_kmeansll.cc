@@ -1,0 +1,174 @@
+#include "clustering/init_kmeansll.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "clustering/lloyd.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "distance/nearest.h"
+#include "rng/reservoir.h"
+#include "rng/splitmix64.h"
+
+namespace kmeansll {
+
+namespace internal {
+
+Result<double> ResolveOversampling(double oversampling, int64_t k) {
+  if (oversampling <= 0.0) return 2.0 * static_cast<double>(k);
+  if (!std::isfinite(oversampling)) {
+    return Status::InvalidArgument("oversampling must be finite");
+  }
+  return oversampling;
+}
+
+int64_t ResolveRounds(int64_t rounds, double psi) {
+  if (rounds != KMeansLLOptions::kAutoRounds) return rounds;
+  if (!(psi > 1.0)) return 1;
+  auto r = static_cast<int64_t>(std::ceil(std::log(psi)));
+  return std::clamp<int64_t>(r, 1, 40);
+}
+
+Result<Matrix> ReclusterCandidates(const Matrix& candidates,
+                                   const std::vector<double>& weights,
+                                   int64_t k, rng::Rng rng,
+                                   const KMeansLLOptions& options,
+                                   InitTelemetry* telemetry) {
+  WallTimer timer;
+  KMEANSLL_ASSIGN_OR_RETURN(
+      Dataset coreset,
+      Dataset::WithWeights(candidates, weights));
+
+  KMeansPPOptions pp_options = options.recluster_kmeanspp;
+  KMEANSLL_ASSIGN_OR_RETURN(
+      InitResult seeded,
+      KMeansPPInit(coreset, k, rng.Fork(rng::StreamPurpose::kRecluster),
+                   pp_options));
+
+  Matrix centers = std::move(seeded.centers);
+  if (options.recluster == ReclusterMethod::kWeightedKMeansPPPlusLloyd &&
+      options.recluster_lloyd_iterations > 0) {
+    LloydOptions lloyd_options;
+    lloyd_options.max_iterations = options.recluster_lloyd_iterations;
+    KMEANSLL_ASSIGN_OR_RETURN(
+        LloydResult refined,
+        RunLloyd(coreset, centers, lloyd_options, /*pool=*/nullptr));
+    centers = std::move(refined.centers);
+  }
+  if (telemetry != nullptr) {
+    telemetry->recluster_seconds += timer.ElapsedSeconds();
+  }
+  return centers;
+}
+
+}  // namespace internal
+
+Result<InitResult> KMeansLLInit(const Dataset& data, int64_t k,
+                                rng::Rng rng,
+                                const KMeansLLOptions& options) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (k > data.n()) {
+    return Status::InvalidArgument("k=" + std::to_string(k) +
+                                   " exceeds n=" + std::to_string(data.n()));
+  }
+  if (options.rounds != KMeansLLOptions::kAutoRounds && options.rounds < 0) {
+    return Status::InvalidArgument("rounds must be >= 0 or kAutoRounds");
+  }
+  KMEANSLL_ASSIGN_OR_RETURN(
+      double ell, internal::ResolveOversampling(options.oversampling, k));
+
+  WallTimer timer;
+  InitResult result;
+  result.centers = Matrix(data.dim());
+
+  // Step 1: one initial center, uniformly at random.
+  rng::Rng init_rng = rng.Fork(rng::StreamPurpose::kInitialCenter);
+  auto first = static_cast<int64_t>(init_rng.NextBounded(data.n()));
+  Matrix candidates(data.dim());
+  candidates.AppendRow(data.Point(first));
+
+  // Step 2: ψ = φ_X(C).
+  MinDistanceTracker tracker(data);
+  double psi = tracker.AddCenters(candidates, 0);
+  result.telemetry.data_passes = 1;
+  result.telemetry.round_potentials.push_back(psi);
+
+  const int64_t rounds = internal::ResolveRounds(options.rounds, psi);
+  const auto ell_int =
+      static_cast<int64_t>(std::llround(std::ceil(ell)));
+
+  // Steps 3–6: r rounds of oversampled D² selection.
+  for (int64_t round = 0; round < rounds; ++round) {
+    const double phi = tracker.Potential();
+    if (!(phi > 0.0)) break;  // every point coincides with a candidate
+
+    // Randomness for round `round` is a pure function of
+    // (seed, round, point index): reproducible under any partitioning.
+    const uint64_t round_seed = rng::HashCombine(
+        rng.Fork(rng::StreamPurpose::kRoundSampling, round).root_key(),
+        static_cast<uint64_t>(round));
+
+    std::vector<int64_t> chosen;
+    if (options.exact_ell) {
+      rng::WeightedReservoir reservoir(
+          ell_int, rng.Fork(rng::StreamPurpose::kRoundSampling, round));
+      for (int64_t i = 0; i < data.n(); ++i) {
+        double w = data.Weight(i) * tracker.Distance2(i);
+        if (!(w > 0.0)) continue;
+        // Key derived from per-point hashed uniform => deterministic.
+        double u = rng::UniformAtIndex(round_seed, static_cast<uint64_t>(i));
+        while (u <= 0.0) u = rng::UniformAtIndex(round_seed ^ 0x5bf0, static_cast<uint64_t>(i));
+        reservoir.OfferWithUniform(i, w, u);
+      }
+      chosen = reservoir.Items();
+      std::sort(chosen.begin(), chosen.end());
+    } else {
+      for (int64_t i = 0; i < data.n(); ++i) {
+        double p = ell * data.Weight(i) * tracker.Distance2(i) / phi;
+        if (p <= 0.0) continue;
+        double u = rng::UniformAtIndex(round_seed, static_cast<uint64_t>(i));
+        if (u < p) chosen.push_back(i);
+      }
+    }
+
+    int64_t previous = candidates.rows();
+    for (int64_t i : chosen) candidates.AppendRow(data.Point(i));
+    tracker.AddCenters(candidates, previous);
+    result.telemetry.data_passes += 2;  // sampling pass + distance update
+    result.telemetry.round_potentials.push_back(tracker.Potential());
+  }
+  result.telemetry.rounds = rounds;
+  result.telemetry.intermediate_centers = candidates.rows();
+
+  // Step 7: w_x = total weight of points whose closest candidate is x.
+  // tracker.ClosestCenter already holds the argmin over all candidates.
+  std::vector<double> weights(static_cast<size_t>(candidates.rows()), 0.0);
+  for (int64_t i = 0; i < data.n(); ++i) {
+    int64_t c = tracker.ClosestCenter(i);
+    KMEANSLL_DCHECK(c >= 0);
+    weights[static_cast<size_t>(c)] += data.Weight(i);
+  }
+  result.telemetry.data_passes += 1;
+  result.telemetry.sampling_seconds = timer.ElapsedSeconds();
+
+  // Step 8: recluster to k (skipped when we undershot; see header).
+  if (candidates.rows() <= k) {
+    if (candidates.rows() < k) {
+      KMEANSLL_LOG(Warning)
+          << "k-means|| selected " << candidates.rows()
+          << " candidates < k=" << k
+          << " (r*ell too small); returning them without reclustering";
+    }
+    result.centers = std::move(candidates);
+    return result;
+  }
+
+  KMEANSLL_ASSIGN_OR_RETURN(
+      result.centers,
+      internal::ReclusterCandidates(candidates, weights, k, rng, options,
+                                    &result.telemetry));
+  return result;
+}
+
+}  // namespace kmeansll

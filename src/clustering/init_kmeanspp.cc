@@ -1,0 +1,109 @@
+#include "clustering/init_kmeanspp.h"
+
+#include <limits>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/timer.h"
+#include "distance/l2.h"
+#include "distance/nearest.h"
+#include "rng/discrete.h"
+
+namespace kmeansll {
+
+namespace {
+
+/// Draws one index with probability proportional to `weights`; when every
+/// weight is zero (all points coincide with chosen centers) falls back to
+/// a uniform draw, which adds a duplicate center — the only consistent
+/// choice left.
+int64_t SampleProportional(const std::vector<double>& weights,
+                           rng::Rng& rng) {
+  auto sampler = rng::PrefixSumSampler::Build(weights);
+  if (sampler.ok()) return sampler->Sample(rng);
+  return static_cast<int64_t>(rng.NextBounded(weights.size()));
+}
+
+/// Potential after hypothetically adding `candidate` to the center set
+/// whose per-point distances are in `tracker`.
+double PotentialWithCandidate(const Dataset& data,
+                              const MinDistanceTracker& tracker,
+                              const double* candidate) {
+  KahanSum sum;
+  for (int64_t i = 0; i < data.n(); ++i) {
+    double d2 = SquaredL2(data.Point(i), candidate, data.dim());
+    double cur = tracker.Distance2(i);
+    sum.Add(data.Weight(i) * (d2 < cur ? d2 : cur));
+  }
+  return sum.Total();
+}
+
+}  // namespace
+
+Result<InitResult> KMeansPPInit(const Dataset& data, int64_t k, rng::Rng rng,
+                                const KMeansPPOptions& options) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (k > data.n()) {
+    return Status::InvalidArgument("k=" + std::to_string(k) +
+                                   " exceeds n=" + std::to_string(data.n()));
+  }
+  if (options.candidates_per_step < 1) {
+    return Status::InvalidArgument("candidates_per_step must be >= 1");
+  }
+  if (!(data.TotalWeight() > 0.0)) {
+    return Status::InvalidArgument("total weight must be positive");
+  }
+
+  WallTimer timer;
+  rng::Rng pick_rng = rng.Fork(rng::StreamPurpose::kInitialCenter);
+  rng::Rng step_rng = rng.Fork(rng::StreamPurpose::kRoundSampling);
+
+  InitResult result;
+  result.centers = Matrix(data.dim());
+  result.centers.ReserveRows(k);
+
+  // Step 1: first center, weight-proportional (uniform when unweighted).
+  {
+    std::vector<double> w(static_cast<size_t>(data.n()));
+    for (int64_t i = 0; i < data.n(); ++i) w[static_cast<size_t>(i)] = data.Weight(i);
+    int64_t first = SampleProportional(w, pick_rng);
+    result.centers.AppendRow(data.Point(first));
+  }
+
+  MinDistanceTracker tracker(data);
+  tracker.AddCenters(result.centers, 0);
+  result.telemetry.data_passes = 1;
+
+  // Steps 2..k: D²-weighted draws.
+  for (int64_t t = 1; t < k; ++t) {
+    std::vector<double> weights = tracker.WeightedContributions();
+    int64_t chosen;
+    if (options.candidates_per_step == 1) {
+      chosen = SampleProportional(weights, step_rng);
+    } else {
+      chosen = -1;
+      double best_potential = std::numeric_limits<double>::infinity();
+      for (int64_t c = 0; c < options.candidates_per_step; ++c) {
+        int64_t candidate = SampleProportional(weights, step_rng);
+        double potential =
+            PotentialWithCandidate(data, tracker, data.Point(candidate));
+        if (potential < best_potential) {
+          best_potential = potential;
+          chosen = candidate;
+        }
+      }
+      result.telemetry.data_passes += options.candidates_per_step;
+    }
+    result.centers.AppendRow(data.Point(chosen));
+    tracker.AddCenters(result.centers, t);
+    result.telemetry.data_passes += 1;
+    result.telemetry.round_potentials.push_back(tracker.Potential());
+  }
+
+  result.telemetry.rounds = k;
+  result.telemetry.intermediate_centers = 0;
+  result.telemetry.sampling_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace kmeansll

@@ -1,0 +1,145 @@
+#include "clustering/init_partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "clustering/init_kmeansll.h"
+#include "common/timer.h"
+#include "distance/l2.h"
+#include "distance/nearest.h"
+#include "rng/discrete.h"
+
+namespace kmeansll {
+
+namespace internal {
+
+std::vector<int64_t> KMeansSharp(const Dataset& data, int64_t begin,
+                                 int64_t end, int64_t batch,
+                                 int64_t iterations, rng::Rng rng) {
+  KMEANSLL_CHECK(begin >= 0 && begin < end && end <= data.n());
+  const int64_t group_size = end - begin;
+  const int64_t dim = data.dim();
+  rng::Rng gen = rng.Fork(rng::StreamPurpose::kPartitionGroup,
+                          static_cast<uint64_t>(begin));
+
+  std::vector<int64_t> selected;
+  std::vector<bool> is_selected(static_cast<size_t>(group_size), false);
+  // d²(x, C) restricted to this group's points.
+  std::vector<double> min_d2(static_cast<size_t>(group_size),
+                             std::numeric_limits<double>::infinity());
+
+  auto add_center = [&](int64_t local) {
+    if (is_selected[static_cast<size_t>(local)]) return;
+    is_selected[static_cast<size_t>(local)] = true;
+    selected.push_back(begin + local);
+    const double* center = data.Point(begin + local);
+    for (int64_t i = 0; i < group_size; ++i) {
+      double d2 = SquaredL2(data.Point(begin + i), center, dim);
+      if (d2 < min_d2[static_cast<size_t>(i)]) {
+        min_d2[static_cast<size_t>(i)] = d2;
+      }
+    }
+  };
+
+  // Iteration 1: `batch` uniform draws (with replacement, dupes dropped).
+  for (int64_t b = 0; b < batch && b < group_size; ++b) {
+    add_center(static_cast<int64_t>(gen.NextBounded(group_size)));
+  }
+
+  // Iterations 2..iterations: `batch` independent D² draws each.
+  std::vector<double> weights(static_cast<size_t>(group_size));
+  for (int64_t it = 1; it < iterations; ++it) {
+    if (static_cast<int64_t>(selected.size()) >= group_size) break;
+    for (int64_t i = 0; i < group_size; ++i) {
+      weights[static_cast<size_t>(i)] =
+          data.Weight(begin + i) * min_d2[static_cast<size_t>(i)];
+    }
+    auto sampler = rng::PrefixSumSampler::Build(weights);
+    if (!sampler.ok()) break;  // all group points already selected
+    for (int64_t b = 0; b < batch; ++b) {
+      add_center(sampler->Sample(gen));
+    }
+  }
+  return selected;
+}
+
+}  // namespace internal
+
+Result<InitResult> PartitionInit(const Dataset& data, int64_t k,
+                                 rng::Rng rng,
+                                 const PartitionOptions& options) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (k > data.n()) {
+    return Status::InvalidArgument("k=" + std::to_string(k) +
+                                   " exceeds n=" + std::to_string(data.n()));
+  }
+
+  WallTimer timer;
+  const int64_t n = data.n();
+  int64_t m = options.num_groups;
+  if (m <= 0) {
+    m = static_cast<int64_t>(std::llround(
+        std::sqrt(static_cast<double>(n) / static_cast<double>(k))));
+    m = std::max<int64_t>(m, 1);
+  }
+  m = std::min<int64_t>(m, n);  // at least one point per group
+
+  int64_t batch = options.batch_size;
+  if (batch <= 0) {
+    batch = static_cast<int64_t>(
+        std::ceil(3.0 * std::log(std::max<double>(2.0, static_cast<double>(k)))));
+  }
+  int64_t iterations = options.iterations > 0 ? options.iterations : k;
+
+  // Phase 1 (parallelizable across groups): k-means# per group, followed
+  // by the group-local weighting pass — each group's points are assigned
+  // to the nearest center selected within that group, exactly as the
+  // streaming algorithm does (the group is the machine's whole world).
+  std::vector<int64_t> all_selected;
+  std::vector<double> weights;
+  auto ranges = data.SplitRanges(m);
+  for (const auto& [begin, end] : ranges) {
+    if (begin >= end) continue;
+    std::vector<int64_t> group_selected =
+        internal::KMeansSharp(data, begin, end, batch, iterations, rng);
+    KMEANSLL_CHECK(!group_selected.empty());
+    Matrix group_centers = data.points().GatherRows(group_selected);
+    NearestCenterSearch search(group_centers);
+    std::vector<double> group_weights(group_selected.size(), 0.0);
+    for (int64_t i = begin; i < end; ++i) {
+      NearestResult nearest = search.Find(data.Point(i));
+      group_weights[static_cast<size_t>(nearest.index)] += data.Weight(i);
+    }
+    all_selected.insert(all_selected.end(), group_selected.begin(),
+                        group_selected.end());
+    weights.insert(weights.end(), group_weights.begin(),
+                   group_weights.end());
+  }
+  KMEANSLL_CHECK(!all_selected.empty());
+
+  InitResult result;
+  result.telemetry.rounds = 2;  // two parallel rounds (paper §4.2.1)
+  result.telemetry.intermediate_centers =
+      static_cast<int64_t>(all_selected.size());
+  // Per-group scans ≈ k-means# iterations plus the weighting scan.
+  result.telemetry.data_passes = iterations + 1;
+
+  Matrix candidates = data.points().GatherRows(all_selected);
+  result.telemetry.sampling_seconds = timer.ElapsedSeconds();
+
+  // Phase 2 (sequential): vanilla weighted k-means++ on the union.
+  if (candidates.rows() <= k) {
+    result.centers = std::move(candidates);
+    return result;
+  }
+  KMeansLLOptions recluster_options;  // defaults: pure weighted k-means++
+  KMEANSLL_ASSIGN_OR_RETURN(
+      result.centers,
+      internal::ReclusterCandidates(candidates, weights, k, rng,
+                                    recluster_options, &result.telemetry));
+  return result;
+}
+
+}  // namespace kmeansll

@@ -1,0 +1,168 @@
+#include "clustering/lloyd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "clustering/cost.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "distance/l2.h"
+#include "distance/nearest.h"
+#include "parallel/parallel_for.h"
+
+namespace kmeansll {
+
+namespace {
+
+/// Per-chunk partial sums for the centroid update.
+struct CentroidPartial {
+  std::vector<double> sums;    // k × d weighted coordinate sums
+  std::vector<double> weight;  // k weighted counts
+
+  static CentroidPartial Zero(int64_t k, int64_t d) {
+    CentroidPartial p;
+    p.sums.assign(static_cast<size_t>(k * d), 0.0);
+    p.weight.assign(static_cast<size_t>(k), 0.0);
+    return p;
+  }
+
+  void Merge(const CentroidPartial& other) {
+    for (size_t i = 0; i < sums.size(); ++i) sums[i] += other.sums[i];
+    for (size_t i = 0; i < weight.size(); ++i) weight[i] += other.weight[i];
+  }
+};
+
+}  // namespace
+
+int64_t LloydStep(const Dataset& data, const Matrix& centers,
+                  Matrix* new_centers, Assignment* assignment,
+                  ThreadPool* pool) {
+  const int64_t k = centers.rows();
+  const int64_t d = centers.cols();
+  *assignment = ComputeAssignment(data, centers, pool);
+
+  auto map = [&](IndexRange r) {
+    CentroidPartial partial = CentroidPartial::Zero(k, d);
+    for (int64_t i = r.begin; i < r.end; ++i) {
+      auto c = static_cast<int64_t>(assignment->cluster[static_cast<size_t>(i)]);
+      double w = data.Weight(i);
+      const double* point = data.Point(i);
+      double* sum = partial.sums.data() + c * d;
+      for (int64_t j = 0; j < d; ++j) sum[j] += w * point[j];
+      partial.weight[static_cast<size_t>(c)] += w;
+    }
+    return partial;
+  };
+  auto combine = [](CentroidPartial a, CentroidPartial b) {
+    a.Merge(b);
+    return a;
+  };
+  CentroidPartial total = ParallelReduce<CentroidPartial>(
+      pool, data.n(), CentroidPartial::Zero(k, d), map, combine);
+
+  *new_centers = Matrix(k, d);
+  std::vector<int64_t> empty;
+  for (int64_t c = 0; c < k; ++c) {
+    double w = total.weight[static_cast<size_t>(c)];
+    double* row = new_centers->Row(c);
+    if (w > 0.0) {
+      const double* sum = total.sums.data() + c * d;
+      for (int64_t j = 0; j < d; ++j) row[j] = sum[j] / w;
+    } else {
+      empty.push_back(c);
+    }
+  }
+
+  if (!empty.empty()) {
+    // Deterministic repair: hand each empty cluster the point with the
+    // largest current cost contribution (ties and reuse avoided by
+    // claiming indices in order of decreasing contribution).
+    NearestCenterSearch search(centers);
+    std::vector<std::pair<double, int64_t>> contributions;
+    contributions.reserve(static_cast<size_t>(data.n()));
+    for (int64_t i = 0; i < data.n(); ++i) {
+      double contrib =
+          data.Weight(i) * search.Find(data.Point(i)).distance2;
+      contributions.emplace_back(contrib, i);
+    }
+    std::sort(contributions.begin(), contributions.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    size_t next = 0;
+    for (int64_t c : empty) {
+      const double* point = data.Point(contributions[next].second);
+      ++next;
+      double* row = new_centers->Row(c);
+      for (int64_t j = 0; j < d; ++j) row[j] = point[j];
+    }
+  }
+  return static_cast<int64_t>(empty.size());
+}
+
+Result<LloydResult> RunLloyd(const Dataset& data,
+                             const Matrix& initial_centers,
+                             const LloydOptions& options,
+                             ThreadPool* pool) {
+  if (initial_centers.rows() == 0) {
+    return Status::InvalidArgument("initial center set is empty");
+  }
+  if (initial_centers.cols() != data.dim()) {
+    return Status::InvalidArgument(
+        "center dimension " + std::to_string(initial_centers.cols()) +
+        " does not match data dimension " + std::to_string(data.dim()));
+  }
+  if (data.n() == 0) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (options.max_iterations < 0) {
+    return Status::InvalidArgument("max_iterations must be >= 0");
+  }
+
+  LloydResult result;
+  result.centers = initial_centers;
+  result.assignment = ComputeAssignment(data, result.centers, pool);
+
+  for (int64_t iter = 0; iter < options.max_iterations; ++iter) {
+    Matrix new_centers;
+    Assignment assignment;
+    result.empty_cluster_repairs +=
+        LloydStep(data, result.centers, &new_centers, &assignment, pool);
+    ++result.iterations;
+
+    bool assignments_unchanged =
+        assignment.cluster == result.assignment.cluster && iter > 0;
+    double previous_cost = result.assignment.cost;
+
+    result.centers = std::move(new_centers);
+    result.assignment = std::move(assignment);
+    if (options.track_history) {
+      result.cost_history.push_back(result.assignment.cost);
+    }
+
+    if (assignments_unchanged) {
+      result.converged = true;
+      break;
+    }
+    // Tolerance comparisons start at iteration 1: at iteration 0 the
+    // "previous" cost describes the same assignment under the same
+    // centers, so the improvement is trivially zero.
+    if (options.relative_tolerance > 0.0 && iter > 0 &&
+        previous_cost > 0.0) {
+      double improvement =
+          (previous_cost - result.assignment.cost) / previous_cost;
+      if (improvement >= 0.0 && improvement < options.relative_tolerance) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+
+  // Report the cost of the final centers (the assignment stored above is
+  // the one that *produced* them; recompute so cost matches centers).
+  result.assignment = ComputeAssignment(data, result.centers, pool);
+  return result;
+}
+
+}  // namespace kmeansll

@@ -1,0 +1,67 @@
+// Lloyd's iteration (the "k-means algorithm" proper): alternate
+// nearest-center assignment and centroid recomputation until a fixed
+// point. Supports weighted datasets, so the same routine refines the
+// weighted coresets produced by k-means|| reclustering and the Partition
+// baseline.
+
+#ifndef KMEANSLL_CLUSTERING_LLOYD_H_
+#define KMEANSLL_CLUSTERING_LLOYD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "clustering/types.h"
+#include "common/result.h"
+#include "matrix/dataset.h"
+#include "matrix/matrix.h"
+#include "parallel/thread_pool.h"
+
+namespace kmeansll {
+
+/// Options for RunLloyd.
+struct LloydOptions {
+  /// Hard iteration cap. The paper caps parallel Random at 20 (§4.2) and
+  /// lets sequential runs converge; Table 6 counts iterations to the
+  /// assignment fixed point.
+  int64_t max_iterations = 100;
+  /// Early stop when the relative cost improvement falls below this
+  /// (0 disables; convergence is then the assignment fixed point only).
+  double relative_tolerance = 0.0;
+  /// Record φ after every iteration in LloydResult::cost_history.
+  bool track_history = false;
+};
+
+/// Outcome of Lloyd's iteration.
+struct LloydResult {
+  Matrix centers;            ///< final k × d centers
+  Assignment assignment;     ///< final assignment and cost
+  int64_t iterations = 0;    ///< iterations actually executed
+  bool converged = false;    ///< reached a fixed point before the cap
+  std::vector<double> cost_history;  ///< φ after each iteration (optional)
+  int64_t empty_cluster_repairs = 0; ///< centers reseeded (see below)
+};
+
+/// Runs Lloyd's iteration from `initial_centers`.
+///
+/// Empty-cluster repair: when a cluster receives no (weighted) points, its
+/// center is reseeded to the point with the largest current cost
+/// contribution not already claimed by another repair — a deterministic
+/// policy; the paper does not specify one (DESIGN.md §5.5).
+///
+/// Fails if `initial_centers` is empty or dimensions mismatch.
+Result<LloydResult> RunLloyd(const Dataset& data,
+                             const Matrix& initial_centers,
+                             const LloydOptions& options,
+                             ThreadPool* pool = nullptr);
+
+/// One assignment + centroid-update step (exposed for tests and for the
+/// MapReduce driver): given centers, produces the new centroids and the
+/// assignment that generated them. Returns the number of empty clusters
+/// repaired.
+int64_t LloydStep(const Dataset& data, const Matrix& centers,
+                  Matrix* new_centers, Assignment* assignment,
+                  ThreadPool* pool);
+
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_CLUSTERING_LLOYD_H_

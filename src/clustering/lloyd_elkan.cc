@@ -1,0 +1,282 @@
+#include "clustering/lloyd_elkan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "clustering/cost.h"
+#include "common/math_util.h"
+#include "distance/l2.h"
+#include "distance/nearest.h"
+#include "parallel/parallel_for.h"
+
+namespace kmeansll {
+
+namespace {
+
+/// Chunk-replicated centroid accumulation (identical to LloydStep's and
+/// RunLloydHamerly's, so all three produce bitwise-equal centers).
+void AccumulateCentroids(const Dataset& data,
+                         const std::vector<int32_t>& assignment, int64_t k,
+                         std::vector<double>* sums,
+                         std::vector<double>* weights) {
+  const int64_t d = data.dim();
+  sums->assign(static_cast<size_t>(k * d), 0.0);
+  weights->assign(static_cast<size_t>(k), 0.0);
+  std::vector<IndexRange> chunks =
+      MakeChunks(data.n(), kDeterministicChunks);
+  std::vector<double> chunk_sums(static_cast<size_t>(k * d));
+  std::vector<double> chunk_weights(static_cast<size_t>(k));
+  for (const IndexRange& r : chunks) {
+    std::fill(chunk_sums.begin(), chunk_sums.end(), 0.0);
+    std::fill(chunk_weights.begin(), chunk_weights.end(), 0.0);
+    for (int64_t i = r.begin; i < r.end; ++i) {
+      auto c = static_cast<int64_t>(assignment[static_cast<size_t>(i)]);
+      double w = data.Weight(i);
+      const double* point = data.Point(i);
+      double* sum = chunk_sums.data() + c * d;
+      for (int64_t j = 0; j < d; ++j) sum[j] += w * point[j];
+      chunk_weights[static_cast<size_t>(c)] += w;
+    }
+    for (size_t v = 0; v < chunk_sums.size(); ++v) {
+      (*sums)[v] += chunk_sums[v];
+    }
+    for (size_t c = 0; c < chunk_weights.size(); ++c) {
+      (*weights)[c] += chunk_weights[c];
+    }
+  }
+}
+
+void RepairEmptyClusters(const Dataset& data, const Matrix& old_centers,
+                         const std::vector<int64_t>& empty,
+                         Matrix* new_centers) {
+  NearestCenterSearch search(old_centers);
+  std::vector<std::pair<double, int64_t>> contributions;
+  contributions.reserve(static_cast<size_t>(data.n()));
+  for (int64_t i = 0; i < data.n(); ++i) {
+    contributions.emplace_back(
+        data.Weight(i) * search.Find(data.Point(i)).distance2, i);
+  }
+  std::sort(contributions.begin(), contributions.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  size_t next = 0;
+  for (int64_t c : empty) {
+    const double* point = data.Point(contributions[next].second);
+    ++next;
+    double* row = new_centers->Row(c);
+    for (int64_t j = 0; j < data.dim(); ++j) row[j] = point[j];
+  }
+}
+
+}  // namespace
+
+Result<LloydResult> RunLloydElkan(const Dataset& data,
+                                  const Matrix& initial_centers,
+                                  const LloydOptions& options,
+                                  ElkanStats* stats) {
+  if (initial_centers.rows() == 0) {
+    return Status::InvalidArgument("initial center set is empty");
+  }
+  if (initial_centers.cols() != data.dim()) {
+    return Status::InvalidArgument(
+        "center dimension " + std::to_string(initial_centers.cols()) +
+        " does not match data dimension " + std::to_string(data.dim()));
+  }
+  if (data.n() == 0) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (options.max_iterations < 0) {
+    return Status::InvalidArgument("max_iterations must be >= 0");
+  }
+
+  const int64_t n = data.n();
+  const int64_t k = initial_centers.rows();
+  const int64_t d = data.dim();
+
+  LloydResult result;
+  result.centers = initial_centers;
+
+  std::vector<int32_t> assignment(static_cast<size_t>(n), -1);
+  std::vector<int32_t> previous_assignment;
+  // Unsquared distances throughout (triangle inequality is linear).
+  std::vector<double> upper(static_cast<size_t>(n), 0.0);
+  std::vector<double> lower(static_cast<size_t>(n * k), 0.0);
+  bool bounds_valid = false;
+
+  std::vector<double> center_dist(static_cast<size_t>(k * k), 0.0);
+  std::vector<double> half_nearest(static_cast<size_t>(k), 0.0);
+
+  double previous_cost = std::numeric_limits<double>::quiet_NaN();
+  bool have_previous_cost = false;
+
+  for (int64_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Inter-center geometry.
+    for (int64_t a = 0; a < k; ++a) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int64_t b = 0; b < k; ++b) {
+        if (a == b) {
+          center_dist[static_cast<size_t>(a * k + b)] = 0.0;
+          continue;
+        }
+        double dist = std::sqrt(
+            SquaredL2(result.centers.Row(a), result.centers.Row(b), d));
+        center_dist[static_cast<size_t>(a * k + b)] = dist;
+        best = std::min(best, dist);
+      }
+      half_nearest[static_cast<size_t>(a)] = k > 1 ? 0.5 * best : 0.0;
+    }
+
+    if (!bounds_valid) {
+      // Full initialization: exact distances to every center.
+      for (int64_t i = 0; i < n; ++i) {
+        double best = std::numeric_limits<double>::infinity();
+        int64_t best_c = -1;
+        for (int64_t c = 0; c < k; ++c) {
+          double dist =
+              std::sqrt(SquaredL2(data.Point(i), result.centers.Row(c), d));
+          lower[static_cast<size_t>(i * k + c)] = dist;
+          if (stats != nullptr) ++stats->distance_evals;
+          if (dist < best) {
+            best = dist;
+            best_c = c;
+          }
+        }
+        assignment[static_cast<size_t>(i)] = static_cast<int32_t>(best_c);
+        upper[static_cast<size_t>(i)] = best;
+      }
+      bounds_valid = true;
+    } else {
+      for (int64_t i = 0; i < n; ++i) {
+        auto idx = static_cast<size_t>(i);
+        auto a = static_cast<int64_t>(assignment[idx]);
+        if (upper[idx] <= half_nearest[static_cast<size_t>(a)]) {
+          if (stats != nullptr) ++stats->point_skips;
+          continue;
+        }
+        bool upper_tight = false;
+        for (int64_t c = 0; c < k; ++c) {
+          if (c == a) continue;
+          double l = lower[static_cast<size_t>(i * k + c)];
+          double half_gap =
+              0.5 * center_dist[static_cast<size_t>(a * k + c)];
+          if (upper[idx] <= l || upper[idx] <= half_gap) {
+            if (stats != nullptr) ++stats->center_prunes;
+            continue;
+          }
+          if (!upper_tight) {
+            upper[idx] = std::sqrt(SquaredL2(
+                data.Point(i), result.centers.Row(a), d));
+            lower[static_cast<size_t>(i * k + a)] = upper[idx];
+            if (stats != nullptr) ++stats->distance_evals;
+            upper_tight = true;
+            if (upper[idx] <= l || upper[idx] <= half_gap) {
+              if (stats != nullptr) ++stats->center_prunes;
+              continue;
+            }
+          }
+          double dist = std::sqrt(
+              SquaredL2(data.Point(i), result.centers.Row(c), d));
+          lower[static_cast<size_t>(i * k + c)] = dist;
+          if (stats != nullptr) ++stats->distance_evals;
+          if (dist < upper[idx]) {
+            a = c;
+            assignment[idx] = static_cast<int32_t>(c);
+            upper[idx] = dist;
+            upper_tight = true;
+          }
+        }
+      }
+    }
+
+    // Centroid update (bitwise identical to LloydStep).
+    std::vector<double> sums, weights;
+    AccumulateCentroids(data, assignment, k, &sums, &weights);
+    Matrix new_centers(k, d);
+    std::vector<int64_t> empty;
+    for (int64_t c = 0; c < k; ++c) {
+      double w = weights[static_cast<size_t>(c)];
+      double* row = new_centers.Row(c);
+      if (w > 0.0) {
+        const double* sum = sums.data() + c * d;
+        for (int64_t j = 0; j < d; ++j) row[j] = sum[j] / w;
+      } else {
+        empty.push_back(c);
+      }
+    }
+    bool repaired = !empty.empty();
+    if (repaired) {
+      result.empty_cluster_repairs += static_cast<int64_t>(empty.size());
+      RepairEmptyClusters(data, result.centers, empty, &new_centers);
+    }
+    ++result.iterations;
+
+    // Bound maintenance.
+    if (repaired) {
+      bounds_valid = false;  // teleported center: recompute next round
+    } else {
+      std::vector<double> movement(static_cast<size_t>(k));
+      for (int64_t c = 0; c < k; ++c) {
+        movement[static_cast<size_t>(c)] = std::sqrt(
+            SquaredL2(result.centers.Row(c), new_centers.Row(c), d));
+      }
+      for (int64_t i = 0; i < n; ++i) {
+        auto idx = static_cast<size_t>(i);
+        upper[idx] +=
+            movement[static_cast<size_t>(assignment[idx])];
+        double* row_lower = lower.data() + i * k;
+        for (int64_t c = 0; c < k; ++c) {
+          row_lower[c] =
+              std::max(0.0, row_lower[c] - movement[static_cast<size_t>(c)]);
+        }
+      }
+    }
+
+    bool assignments_unchanged =
+        iter > 0 && assignment == previous_assignment;
+
+    if (options.track_history || options.relative_tolerance > 0.0) {
+      KahanSum cost;
+      for (int64_t i = 0; i < n; ++i) {
+        cost.Add(data.Weight(i) *
+                 SquaredL2(data.Point(i),
+                           result.centers.Row(
+                               assignment[static_cast<size_t>(i)]),
+                           d));
+      }
+      double current_cost = cost.Total();
+      if (options.track_history) {
+        result.cost_history.push_back(current_cost);
+      }
+      if (options.relative_tolerance > 0.0 && have_previous_cost &&
+          previous_cost > 0.0) {
+        double improvement = (previous_cost - current_cost) / previous_cost;
+        if (improvement >= 0.0 &&
+            improvement < options.relative_tolerance) {
+          result.centers = std::move(new_centers);
+          previous_assignment = assignment;
+          result.converged = true;
+          break;
+        }
+      }
+      previous_cost = current_cost;
+      have_previous_cost = true;
+    }
+
+    result.centers = std::move(new_centers);
+    previous_assignment = assignment;
+
+    if (assignments_unchanged) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.assignment = ComputeAssignment(data, result.centers);
+  return result;
+}
+
+}  // namespace kmeansll

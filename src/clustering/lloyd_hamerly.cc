@@ -1,0 +1,280 @@
+#include "clustering/lloyd_hamerly.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "clustering/cost.h"
+#include "common/math_util.h"
+#include "distance/l2.h"
+#include "distance/nearest.h"
+#include "parallel/parallel_for.h"
+
+namespace kmeansll {
+
+namespace {
+
+/// Centroid accumulation replicating LloydStep's chunked reduction
+/// exactly (same chunk boundaries, same merge order), so the centers this
+/// path produces are bitwise identical to the standard iteration's.
+void AccumulateCentroids(const Dataset& data,
+                         const std::vector<int32_t>& assignment, int64_t k,
+                         std::vector<double>* sums,
+                         std::vector<double>* weights) {
+  const int64_t d = data.dim();
+  sums->assign(static_cast<size_t>(k * d), 0.0);
+  weights->assign(static_cast<size_t>(k), 0.0);
+  std::vector<IndexRange> chunks =
+      MakeChunks(data.n(), kDeterministicChunks);
+  std::vector<double> chunk_sums(static_cast<size_t>(k * d));
+  std::vector<double> chunk_weights(static_cast<size_t>(k));
+  for (const IndexRange& r : chunks) {
+    std::fill(chunk_sums.begin(), chunk_sums.end(), 0.0);
+    std::fill(chunk_weights.begin(), chunk_weights.end(), 0.0);
+    for (int64_t i = r.begin; i < r.end; ++i) {
+      auto c = static_cast<int64_t>(assignment[static_cast<size_t>(i)]);
+      double w = data.Weight(i);
+      const double* point = data.Point(i);
+      double* sum = chunk_sums.data() + c * d;
+      for (int64_t j = 0; j < d; ++j) sum[j] += w * point[j];
+      chunk_weights[static_cast<size_t>(c)] += w;
+    }
+    for (size_t v = 0; v < chunk_sums.size(); ++v) {
+      (*sums)[v] += chunk_sums[v];
+    }
+    for (size_t c = 0; c < chunk_weights.size(); ++c) {
+      (*weights)[c] += chunk_weights[c];
+    }
+  }
+}
+
+/// The deterministic empty-cluster repair shared with LloydStep: hand
+/// each empty cluster the point with the largest current contribution.
+void RepairEmptyClusters(const Dataset& data, const Matrix& old_centers,
+                         const std::vector<int64_t>& empty,
+                         Matrix* new_centers) {
+  NearestCenterSearch search(old_centers);
+  std::vector<std::pair<double, int64_t>> contributions;
+  contributions.reserve(static_cast<size_t>(data.n()));
+  for (int64_t i = 0; i < data.n(); ++i) {
+    contributions.emplace_back(
+        data.Weight(i) * search.Find(data.Point(i)).distance2, i);
+  }
+  std::sort(contributions.begin(), contributions.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  size_t next = 0;
+  for (int64_t c : empty) {
+    const double* point = data.Point(contributions[next].second);
+    ++next;
+    double* row = new_centers->Row(c);
+    for (int64_t j = 0; j < data.dim(); ++j) row[j] = point[j];
+  }
+}
+
+/// Nearest and second-nearest distances with standard tie-breaking
+/// (strict <, ascending center index).
+struct TwoNearest {
+  int64_t best = -1;
+  double d1 = std::numeric_limits<double>::infinity();
+  double d2 = std::numeric_limits<double>::infinity();
+};
+
+TwoNearest FindTwoNearest(const double* point, const Matrix& centers) {
+  TwoNearest out;
+  const int64_t k = centers.rows();
+  const int64_t d = centers.cols();
+  for (int64_t c = 0; c < k; ++c) {
+    double dist2 = SquaredL2(point, centers.Row(c), d);
+    if (dist2 < out.d1) {
+      out.d2 = out.d1;
+      out.d1 = dist2;
+      out.best = c;
+    } else if (dist2 < out.d2) {
+      out.d2 = dist2;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<LloydResult> RunLloydHamerly(const Dataset& data,
+                                    const Matrix& initial_centers,
+                                    const LloydOptions& options,
+                                    HamerlyStats* stats) {
+  if (initial_centers.rows() == 0) {
+    return Status::InvalidArgument("initial center set is empty");
+  }
+  if (initial_centers.cols() != data.dim()) {
+    return Status::InvalidArgument(
+        "center dimension " + std::to_string(initial_centers.cols()) +
+        " does not match data dimension " + std::to_string(data.dim()));
+  }
+  if (data.n() == 0) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (options.max_iterations < 0) {
+    return Status::InvalidArgument("max_iterations must be >= 0");
+  }
+
+  const int64_t n = data.n();
+  const int64_t k = initial_centers.rows();
+  const int64_t d = data.dim();
+
+  LloydResult result;
+  result.centers = initial_centers;
+
+  // Per-point bounds. Distances are kept *unsquared* here because the
+  // triangle-inequality updates are linear in distance, not in squared
+  // distance.
+  std::vector<int32_t> assignment(static_cast<size_t>(n), -1);
+  std::vector<int32_t> previous_assignment;
+  std::vector<double> upper(static_cast<size_t>(n),
+                            std::numeric_limits<double>::infinity());
+  std::vector<double> lower(static_cast<size_t>(n), 0.0);
+
+  // Half distance to the closest other center, per center.
+  std::vector<double> half_nearest(static_cast<size_t>(k));
+
+  double previous_cost = std::numeric_limits<double>::quiet_NaN();
+  bool have_previous_cost = false;  // first comparison at iteration 1
+
+  for (int64_t iter = 0; iter < options.max_iterations; ++iter) {
+    // --- Inter-center separations ------------------------------------
+    for (int64_t c = 0; c < k; ++c) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int64_t o = 0; o < k; ++o) {
+        if (o == c) continue;
+        best = std::min(
+            best, SquaredL2(result.centers.Row(c), result.centers.Row(o),
+                            d));
+      }
+      half_nearest[static_cast<size_t>(c)] =
+          k > 1 ? 0.5 * std::sqrt(best) : 0.0;
+    }
+
+    // --- Assignment with bound pruning -------------------------------
+    for (int64_t i = 0; i < n; ++i) {
+      auto idx = static_cast<size_t>(i);
+      double threshold =
+          std::max(half_nearest[static_cast<size_t>(
+                       assignment[idx] < 0 ? 0 : assignment[idx])],
+                   lower[idx]);
+      if (assignment[idx] >= 0 && upper[idx] <= threshold) {
+        if (stats != nullptr) ++stats->bound_skips;
+        continue;  // bound certifies the assignment
+      }
+      if (assignment[idx] >= 0) {
+        // Tighten the upper bound with one exact distance.
+        upper[idx] = std::sqrt(SquaredL2(
+            data.Point(i),
+            result.centers.Row(assignment[idx]), d));
+        if (upper[idx] <= threshold) {
+          if (stats != nullptr) ++stats->inner_updates;
+          continue;
+        }
+      }
+      TwoNearest nearest = FindTwoNearest(data.Point(i), result.centers);
+      if (stats != nullptr) ++stats->full_scans;
+      assignment[idx] = static_cast<int32_t>(nearest.best);
+      upper[idx] = std::sqrt(nearest.d1);
+      lower[idx] = std::sqrt(nearest.d2);
+    }
+
+    // --- Centroid update (bitwise identical to LloydStep) ------------
+    std::vector<double> sums, weights;
+    AccumulateCentroids(data, assignment, k, &sums, &weights);
+    Matrix new_centers(k, d);
+    std::vector<int64_t> empty;
+    for (int64_t c = 0; c < k; ++c) {
+      double w = weights[static_cast<size_t>(c)];
+      double* row = new_centers.Row(c);
+      if (w > 0.0) {
+        const double* sum = sums.data() + c * d;
+        for (int64_t j = 0; j < d; ++j) row[j] = sum[j] / w;
+      } else {
+        empty.push_back(c);
+      }
+    }
+    bool repaired = !empty.empty();
+    if (repaired) {
+      result.empty_cluster_repairs += static_cast<int64_t>(empty.size());
+      RepairEmptyClusters(data, result.centers, empty, &new_centers);
+    }
+    ++result.iterations;
+
+    // --- Bound maintenance from center movement ----------------------
+    std::vector<double> movement(static_cast<size_t>(k));
+    double max_movement = 0.0;
+    for (int64_t c = 0; c < k; ++c) {
+      movement[static_cast<size_t>(c)] = std::sqrt(
+          SquaredL2(result.centers.Row(c), new_centers.Row(c), d));
+      max_movement =
+          std::max(max_movement, movement[static_cast<size_t>(c)]);
+    }
+    if (repaired) {
+      // A repaired center teleported; the triangle-inequality updates no
+      // longer bound anything. Reset so every point rescans next round.
+      std::fill(upper.begin(), upper.end(),
+                std::numeric_limits<double>::infinity());
+      std::fill(lower.begin(), lower.end(), 0.0);
+    } else {
+      for (int64_t i = 0; i < n; ++i) {
+        auto idx = static_cast<size_t>(i);
+        upper[idx] += movement[static_cast<size_t>(assignment[idx])];
+        lower[idx] = std::max(0.0, lower[idx] - max_movement);
+      }
+    }
+
+    bool assignments_unchanged =
+        iter > 0 && assignment == previous_assignment;
+
+    if (options.track_history || options.relative_tolerance > 0.0) {
+      // The standard iteration records the cost of the assignment that
+      // produced the centroids (w.r.t. the replaced centers); computing
+      // it exactly costs one extra pass, paid only when asked for.
+      KahanSum cost;
+      for (int64_t i = 0; i < n; ++i) {
+        cost.Add(data.Weight(i) *
+                 SquaredL2(data.Point(i),
+                           result.centers.Row(
+                               assignment[static_cast<size_t>(i)]),
+                           d));
+      }
+      double current_cost = cost.Total();
+      if (options.track_history) {
+        result.cost_history.push_back(current_cost);
+      }
+      if (options.relative_tolerance > 0.0 && have_previous_cost &&
+          previous_cost > 0.0) {
+        double improvement = (previous_cost - current_cost) / previous_cost;
+        if (improvement >= 0.0 &&
+            improvement < options.relative_tolerance) {
+          result.centers = std::move(new_centers);
+          previous_assignment = assignment;
+          result.converged = true;
+          break;
+        }
+      }
+      previous_cost = current_cost;
+      have_previous_cost = true;
+    }
+
+    result.centers = std::move(new_centers);
+    previous_assignment = assignment;
+
+    if (assignments_unchanged) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.assignment = ComputeAssignment(data, result.centers);
+  return result;
+}
+
+}  // namespace kmeansll

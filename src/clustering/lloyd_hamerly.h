@@ -1,0 +1,45 @@
+// Hamerly's accelerated Lloyd iteration (Hamerly, SDM 2010).
+//
+// Standard Lloyd spends O(n·k·d) per iteration re-scanning all centers
+// for every point. Hamerly's algorithm maintains, per point, an upper
+// bound on the distance to its assigned center and a single lower bound
+// on the distance to the second-closest center; both are updated from
+// center movement via the triangle inequality, and the full k-scan runs
+// only when the bounds cannot certify the assignment. On stable
+// clusterings (the common case after the first few iterations —
+// especially from a k-means|| seed) most points skip the scan entirely.
+//
+// Produces exactly the same sequence of assignments and centers as
+// RunLloyd (standard Lloyd); the tests assert equivalence. This is the
+// "modification to the basic k-means algorithm" extension the paper's
+// conclusion anticipates, and bench/bm_lloyd ablates it against the
+// standard iteration.
+
+#ifndef KMEANSLL_CLUSTERING_LLOYD_HAMERLY_H_
+#define KMEANSLL_CLUSTERING_LLOYD_HAMERLY_H_
+
+#include "clustering/lloyd.h"
+#include "clustering/types.h"
+#include "common/result.h"
+#include "matrix/dataset.h"
+#include "matrix/matrix.h"
+
+namespace kmeansll {
+
+/// Statistics about how much work the bounds saved.
+struct HamerlyStats {
+  int64_t full_scans = 0;     ///< points that needed the k-center scan
+  int64_t bound_skips = 0;    ///< points certified by their bounds
+  int64_t inner_updates = 0;  ///< tightenings of the upper bound only
+};
+
+/// Runs Lloyd's iteration with Hamerly bounds. Same contract and same
+/// results as RunLloyd; `stats` (optional) receives pruning counters.
+Result<LloydResult> RunLloydHamerly(const Dataset& data,
+                                    const Matrix& initial_centers,
+                                    const LloydOptions& options,
+                                    HamerlyStats* stats = nullptr);
+
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_CLUSTERING_LLOYD_HAMERLY_H_

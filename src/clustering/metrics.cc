@@ -1,0 +1,166 @@
+#include "clustering/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "common/macros.h"
+#include "distance/l2.h"
+#include "distance/nearest.h"
+
+namespace kmeansll {
+
+namespace {
+
+/// Contingency counts over (cluster, label) for non-negative labels.
+struct Contingency {
+  std::map<std::pair<int32_t, int32_t>, int64_t> joint;
+  std::map<int32_t, int64_t> by_cluster;
+  std::map<int32_t, int64_t> by_label;
+  int64_t total = 0;
+};
+
+Contingency BuildContingency(const std::vector<int32_t>& assignment,
+                             const std::vector<int32_t>& labels) {
+  KMEANSLL_CHECK_EQ(assignment.size(), labels.size());
+  Contingency c;
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    if (labels[i] < 0) continue;  // synthetic outliers carry label -1
+    ++c.joint[{assignment[i], labels[i]}];
+    ++c.by_cluster[assignment[i]];
+    ++c.by_label[labels[i]];
+    ++c.total;
+  }
+  return c;
+}
+
+}  // namespace
+
+double Purity(const std::vector<int32_t>& assignment,
+              const std::vector<int32_t>& labels) {
+  Contingency c = BuildContingency(assignment, labels);
+  if (c.total == 0) return 0.0;
+  // Σ_cluster max_label joint(cluster, label) / total.
+  std::map<int32_t, int64_t> best_in_cluster;
+  for (const auto& [key, count] : c.joint) {
+    auto& best = best_in_cluster[key.first];
+    best = std::max(best, count);
+  }
+  int64_t matched = 0;
+  for (const auto& [cluster, count] : best_in_cluster) matched += count;
+  return static_cast<double>(matched) / static_cast<double>(c.total);
+}
+
+double NormalizedMutualInformation(const std::vector<int32_t>& assignment,
+                                   const std::vector<int32_t>& labels) {
+  Contingency c = BuildContingency(assignment, labels);
+  if (c.total == 0) return 0.0;
+  const double n = static_cast<double>(c.total);
+
+  double mi = 0.0;
+  for (const auto& [key, count] : c.joint) {
+    double pxy = static_cast<double>(count) / n;
+    double px = static_cast<double>(c.by_cluster.at(key.first)) / n;
+    double py = static_cast<double>(c.by_label.at(key.second)) / n;
+    mi += pxy * std::log(pxy / (px * py));
+  }
+  auto entropy = [n](const std::map<int32_t, int64_t>& marginal) {
+    double h = 0.0;
+    for (const auto& [value, count] : marginal) {
+      double p = static_cast<double>(count) / n;
+      h -= p * std::log(p);
+    }
+    return h;
+  };
+  double hx = entropy(c.by_cluster);
+  double hy = entropy(c.by_label);
+  double denom = 0.5 * (hx + hy);
+  if (denom <= 0.0) return hx == hy ? 1.0 : 0.0;
+  double nmi = mi / denom;
+  return std::clamp(nmi, 0.0, 1.0);
+}
+
+double SimplifiedSilhouette(const Dataset& data, const Matrix& centers,
+                            const std::vector<int32_t>& assignment) {
+  KMEANSLL_CHECK_GE(centers.rows(), 2);
+  KMEANSLL_CHECK_EQ(static_cast<int64_t>(assignment.size()), data.n());
+  const int64_t k = centers.rows();
+  const int64_t d = data.dim();
+  double total = 0.0;
+  double total_weight = 0.0;
+  for (int64_t i = 0; i < data.n(); ++i) {
+    auto own = static_cast<int64_t>(assignment[static_cast<size_t>(i)]);
+    double a = std::sqrt(
+        SquaredL2(data.Point(i), centers.Row(own), d));
+    double b2 = std::numeric_limits<double>::infinity();
+    for (int64_t c = 0; c < k; ++c) {
+      if (c == own) continue;
+      b2 = std::min(b2, SquaredL2(data.Point(i), centers.Row(c), d));
+    }
+    double b = std::sqrt(b2);
+    double denom = std::max(a, b);
+    double s = denom > 0.0 ? (b - a) / denom : 0.0;
+    double w = data.Weight(i);
+    total += w * s;
+    total_weight += w;
+  }
+  return total_weight > 0.0 ? total / total_weight : 0.0;
+}
+
+double DaviesBouldinIndex(const Dataset& data, const Matrix& centers,
+                          const std::vector<int32_t>& assignment) {
+  KMEANSLL_CHECK_GE(centers.rows(), 2);
+  KMEANSLL_CHECK_EQ(static_cast<int64_t>(assignment.size()), data.n());
+  const int64_t k = centers.rows();
+  const int64_t d = data.dim();
+  // Per-cluster mean distance to centroid (weighted).
+  std::vector<double> scatter(static_cast<size_t>(k), 0.0);
+  std::vector<double> mass(static_cast<size_t>(k), 0.0);
+  for (int64_t i = 0; i < data.n(); ++i) {
+    auto c = static_cast<size_t>(assignment[static_cast<size_t>(i)]);
+    double w = data.Weight(i);
+    scatter[c] += w * std::sqrt(SquaredL2(data.Point(i),
+                                          centers.Row(static_cast<int64_t>(c)),
+                                          d));
+    mass[c] += w;
+  }
+  for (int64_t c = 0; c < k; ++c) {
+    auto ci = static_cast<size_t>(c);
+    if (mass[ci] > 0.0) scatter[ci] /= mass[ci];
+  }
+  double total = 0.0;
+  int64_t populated = 0;
+  for (int64_t i = 0; i < k; ++i) {
+    if (!(mass[static_cast<size_t>(i)] > 0.0)) continue;
+    double worst = 0.0;
+    for (int64_t j = 0; j < k; ++j) {
+      if (i == j || !(mass[static_cast<size_t>(j)] > 0.0)) continue;
+      double separation = std::sqrt(
+          SquaredL2(centers.Row(i), centers.Row(j), d));
+      if (separation <= 0.0) continue;
+      worst = std::max(worst, (scatter[static_cast<size_t>(i)] +
+                               scatter[static_cast<size_t>(j)]) /
+                                  separation);
+    }
+    total += worst;
+    ++populated;
+  }
+  return populated > 0 ? total / static_cast<double>(populated) : 0.0;
+}
+
+double CenterRecoveryRmse(const Matrix& true_centers,
+                          const Matrix& recovered_centers) {
+  KMEANSLL_CHECK_EQ(true_centers.cols(), recovered_centers.cols());
+  KMEANSLL_CHECK_GT(true_centers.rows(), 0);
+  KMEANSLL_CHECK_GT(recovered_centers.rows(), 0);
+  NearestCenterSearch search(recovered_centers);
+  double sum = 0.0;
+  for (int64_t i = 0; i < true_centers.rows(); ++i) {
+    sum += search.Find(true_centers.Row(i)).distance2;
+  }
+  return std::sqrt(sum / static_cast<double>(true_centers.rows()));
+}
+
+}  // namespace kmeansll

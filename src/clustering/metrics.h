@@ -1,0 +1,50 @@
+// External clustering-quality metrics against ground-truth labels.
+// The paper evaluates by potential φ only; these metrics back the
+// GaussMixture example (known generating centers) and the tests'
+// "did we actually recover the mixture" assertions.
+
+#ifndef KMEANSLL_CLUSTERING_METRICS_H_
+#define KMEANSLL_CLUSTERING_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/dataset.h"
+#include "matrix/matrix.h"
+
+namespace kmeansll {
+
+/// Purity: fraction of points whose cluster's majority true label matches
+/// their own. In [0, 1]; 1 = perfect. Points with negative labels
+/// (outliers in the synthetic generators) are skipped.
+double Purity(const std::vector<int32_t>& assignment,
+              const std::vector<int32_t>& labels);
+
+/// Normalized mutual information between the assignment and the labels
+/// (arithmetic normalization); in [0, 1]. Negative labels are skipped.
+double NormalizedMutualInformation(const std::vector<int32_t>& assignment,
+                                   const std::vector<int32_t>& labels);
+
+/// Root-mean-square distance from each true center to its nearest
+/// recovered center — how well the mixture means were located.
+double CenterRecoveryRmse(const Matrix& true_centers,
+                          const Matrix& recovered_centers);
+
+/// Simplified silhouette coefficient (Hruschka et al.): per point,
+/// (b - a) / max(a, b) with a = distance to own centroid and b = distance
+/// to the nearest other centroid; averaged (weighted) over all points.
+/// In [-1, 1]; larger is better. O(n·k) instead of the exact
+/// silhouette's O(n²). Requires k >= 2.
+double SimplifiedSilhouette(const Dataset& data, const Matrix& centers,
+                            const std::vector<int32_t>& assignment);
+
+/// Davies–Bouldin index: mean over clusters of the worst
+/// (σ_i + σ_j) / d(c_i, c_j) ratio, where σ is the cluster's mean
+/// distance to its centroid. Lower is better; 0 is ideal. Empty clusters
+/// are skipped. Requires k >= 2.
+double DaviesBouldinIndex(const Dataset& data, const Matrix& centers,
+                          const std::vector<int32_t>& assignment);
+
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_CLUSTERING_METRICS_H_

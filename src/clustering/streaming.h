@@ -1,0 +1,85 @@
+// One-pass streaming k-means (the online realization of the Partition
+// baseline, after Ailon et al. 2009 / Guha et al. 2003).
+//
+// Points arrive one at a time and are buffered into blocks. When a block
+// fills, k-means# over-seeds it with ~3·ln k · k centers, every block
+// point transfers its weight to its nearest selection, and the raw block
+// is discarded — so memory stays O(block + coreset). Finalize() runs
+// weighted k-means++ (+ weighted Lloyd) over the retained coreset to
+// produce the k final centers.
+//
+// This complements the batch PartitionInit: same algorithm, but usable
+// when the data cannot be materialized (the regime the streaming papers
+// target).
+
+#ifndef KMEANSLL_CLUSTERING_STREAMING_H_
+#define KMEANSLL_CLUSTERING_STREAMING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "clustering/types.h"
+#include "common/result.h"
+#include "matrix/dataset.h"
+#include "matrix/matrix.h"
+#include "rng/rng.h"
+
+namespace kmeansll {
+
+/// Configuration of the streaming clusterer.
+struct StreamingOptions {
+  int64_t k = 8;             ///< final number of centers
+  int64_t dim = 0;           ///< point dimensionality (required)
+  int64_t block_size = 4096; ///< points buffered per k-means# block
+  /// Per-iteration batch of k-means# (<= 0: ceil(3·ln k)).
+  int64_t batch_size = 0;
+  /// k-means# iterations per block (<= 0: k).
+  int64_t iterations = 0;
+  uint64_t seed = 42;
+};
+
+/// Accepts a stream of points and produces k centers at the end.
+/// Not thread-safe; feed from one thread.
+class StreamingKMeans {
+ public:
+  /// Validates options (k >= 1, dim >= 1, block_size >= k).
+  static Result<StreamingKMeans> Create(const StreamingOptions& options);
+
+  /// Adds one point (must have options.dim coordinates) with a positive
+  /// weight.
+  Status Add(std::span<const double> point, double weight = 1.0);
+
+  /// Flushes any buffered points and reclusters the coreset into k
+  /// centers. May be called once; fails if fewer than k points were seen.
+  Result<Matrix> Finalize();
+
+  /// Points seen so far.
+  int64_t points_seen() const { return points_seen_; }
+  /// Weighted representatives currently retained.
+  int64_t coreset_size() const { return coreset_points_.rows(); }
+  /// Currently buffered (not yet compressed) points.
+  int64_t buffered() const { return block_points_.rows(); }
+
+ private:
+  explicit StreamingKMeans(const StreamingOptions& options);
+
+  /// Runs k-means# on the buffered block and folds it into the coreset.
+  void CompressBlock();
+
+  StreamingOptions options_;
+  int64_t resolved_batch_ = 0;
+  int64_t resolved_iterations_ = 0;
+  int64_t points_seen_ = 0;
+  int64_t blocks_compressed_ = 0;
+  Matrix block_points_;
+  std::vector<double> block_weights_;
+  Matrix coreset_points_;
+  std::vector<double> coreset_weights_;
+  rng::Rng rng_;
+  bool finalized_ = false;
+};
+
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_CLUSTERING_STREAMING_H_

@@ -1,0 +1,46 @@
+// Shared result/telemetry types for initializers and Lloyd's iteration.
+
+#ifndef KMEANSLL_CLUSTERING_TYPES_H_
+#define KMEANSLL_CLUSTERING_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "matrix/matrix.h"
+
+namespace kmeansll {
+
+/// Point-to-center assignment plus the clustering cost φ_X(C) under it.
+struct Assignment {
+  std::vector<int32_t> cluster;  ///< per-point closest-center index
+  double cost = std::numeric_limits<double>::quiet_NaN();  ///< φ_X(C)
+};
+
+/// What an initializer did — the quantities behind the paper's Tables 4–5
+/// (passes/rounds, intermediate-set size) and Figures 5.1–5.3 (potential
+/// per round).
+struct InitTelemetry {
+  /// Sampling rounds executed (k-means||: r; k-means++: k; Random: 0).
+  int64_t rounds = 0;
+  /// Centers selected before reclustering (paper Table 5). Zero when the
+  /// method needs no reclustering.
+  int64_t intermediate_centers = 0;
+  /// Full passes over the data during initialization.
+  int64_t data_passes = 0;
+  /// φ_X(C) of the candidate set at the end of each sampling round.
+  std::vector<double> round_potentials;
+  /// Wall-clock seconds in candidate selection / in reclustering.
+  double sampling_seconds = 0.0;
+  double recluster_seconds = 0.0;
+};
+
+/// Output of any initialization method.
+struct InitResult {
+  Matrix centers;  ///< k × d seed centers
+  InitTelemetry telemetry;
+};
+
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_CLUSTERING_TYPES_H_

@@ -1,0 +1,51 @@
+#include "common/env.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace kmeansll {
+
+std::optional<std::string> GetEnv(const std::string& name) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return std::nullopt;
+  return std::string(v);
+}
+
+int64_t GetEnvInt64(const std::string& name, int64_t default_value) {
+  auto v = GetEnv(name);
+  if (!v.has_value() || v->empty()) return default_value;
+  errno = 0;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v->c_str(), &end, 10);
+  if (errno != 0 || end == v->c_str() || *end != '\0') return default_value;
+  return static_cast<int64_t>(parsed);
+}
+
+double GetEnvDouble(const std::string& name, double default_value) {
+  auto v = GetEnv(name);
+  if (!v.has_value() || v->empty()) return default_value;
+  errno = 0;
+  char* end = nullptr;
+  double parsed = std::strtod(v->c_str(), &end);
+  if (errno != 0 || end == v->c_str() || *end != '\0') return default_value;
+  return parsed;
+}
+
+bool GetEnvBool(const std::string& name, bool default_value) {
+  auto v = GetEnv(name);
+  if (!v.has_value()) return default_value;
+  std::string lower = *v;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "1" || lower == "true" || lower == "on" || lower == "yes") {
+    return true;
+  }
+  if (lower == "0" || lower == "false" || lower == "off" || lower == "no") {
+    return false;
+  }
+  return default_value;
+}
+
+}  // namespace kmeansll

@@ -1,0 +1,27 @@
+// Typed access to environment variables, used for benchmark scaling knobs.
+
+#ifndef KMEANSLL_COMMON_ENV_H_
+#define KMEANSLL_COMMON_ENV_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace kmeansll {
+
+/// Returns the raw value of `name`, or nullopt if unset.
+std::optional<std::string> GetEnv(const std::string& name);
+
+/// Returns `name` parsed as int64, or `default_value` if unset/unparsable.
+int64_t GetEnvInt64(const std::string& name, int64_t default_value);
+
+/// Returns `name` parsed as double, or `default_value` if unset/unparsable.
+double GetEnvDouble(const std::string& name, double default_value);
+
+/// Returns true iff `name` is set to a truthy value ("1", "true", "on",
+/// "yes", case-insensitive); `default_value` if unset.
+bool GetEnvBool(const std::string& name, bool default_value);
+
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_COMMON_ENV_H_

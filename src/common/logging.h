@@ -1,0 +1,56 @@
+// Minimal leveled logger. Thread-safe, writes to stderr. Level is
+// controlled programmatically or via the KMEANSLL_LOG_LEVEL environment
+// variable (0=DEBUG 1=INFO 2=WARNING 3=ERROR 4=OFF; default INFO).
+
+#ifndef KMEANSLL_COMMON_LOGGING_H_
+#define KMEANSLL_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+#include "common/macros.h"
+
+namespace kmeansll {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  KMEANSLL_DISALLOW_COPY_AND_ASSIGN(LogMessage);
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace kmeansll
+
+#define KMEANSLL_LOG(level)                                       \
+  ::kmeansll::internal::LogMessage(::kmeansll::LogLevel::k##level, \
+                                   __FILE__, __LINE__)
+
+#endif  // KMEANSLL_COMMON_LOGGING_H_

@@ -1,0 +1,74 @@
+// Core macros shared across the kmeansll codebase.
+//
+// Error-handling philosophy (Arrow/RocksDB idiom):
+//  * Recoverable errors (bad input, IO failure) travel through
+//    kmeansll::Status / kmeansll::Result<T>; see common/status.h.
+//  * Programmer errors (broken invariants) abort via KMEANSLL_CHECK.
+
+#ifndef KMEANSLL_COMMON_MACROS_H_
+#define KMEANSLL_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define KMEANSLL_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;               \
+  TypeName& operator=(const TypeName&) = delete
+
+#define KMEANSLL_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+#define KMEANSLL_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+
+// Aborts the process with a location-tagged message when `condition` is
+// false. Used for invariants that indicate bugs, never for user input.
+#define KMEANSLL_CHECK(condition)                                         \
+  do {                                                                    \
+    if (KMEANSLL_PREDICT_FALSE(!(condition))) {                           \
+      ::std::fprintf(stderr, "KMEANSLL_CHECK failed at %s:%d: %s\n",      \
+                     __FILE__, __LINE__, #condition);                     \
+      ::std::abort();                                                     \
+    }                                                                     \
+  } while (0)
+
+#define KMEANSLL_CHECK_OP(op, a, b) KMEANSLL_CHECK((a)op(b))
+#define KMEANSLL_CHECK_EQ(a, b) KMEANSLL_CHECK_OP(==, a, b)
+#define KMEANSLL_CHECK_NE(a, b) KMEANSLL_CHECK_OP(!=, a, b)
+#define KMEANSLL_CHECK_LT(a, b) KMEANSLL_CHECK_OP(<, a, b)
+#define KMEANSLL_CHECK_LE(a, b) KMEANSLL_CHECK_OP(<=, a, b)
+#define KMEANSLL_CHECK_GT(a, b) KMEANSLL_CHECK_OP(>, a, b)
+#define KMEANSLL_CHECK_GE(a, b) KMEANSLL_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define KMEANSLL_DCHECK(condition) \
+  do {                             \
+  } while (0)
+#else
+#define KMEANSLL_DCHECK(condition) KMEANSLL_CHECK(condition)
+#endif
+
+// Propagates a non-OK Status from an expression that yields a Status.
+#define KMEANSLL_RETURN_NOT_OK(expr)              \
+  do {                                            \
+    ::kmeansll::Status _st = (expr);              \
+    if (KMEANSLL_PREDICT_FALSE(!_st.ok())) {      \
+      return _st;                                 \
+    }                                             \
+  } while (0)
+
+// Assigns the value of a Result<T> expression to `lhs`, or propagates its
+// error Status. `lhs` may include a declaration, e.g.
+//   KMEANSLL_ASSIGN_OR_RETURN(auto data, LoadCsv(path));
+#define KMEANSLL_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                   \
+  if (KMEANSLL_PREDICT_FALSE(!result_name.ok())) {              \
+    return result_name.status();                                \
+  }                                                             \
+  lhs = std::move(result_name).ValueUnsafe()
+
+#define KMEANSLL_CONCAT_IMPL(x, y) x##y
+#define KMEANSLL_CONCAT(x, y) KMEANSLL_CONCAT_IMPL(x, y)
+
+#define KMEANSLL_ASSIGN_OR_RETURN(lhs, rexpr) \
+  KMEANSLL_ASSIGN_OR_RETURN_IMPL(             \
+      KMEANSLL_CONCAT(_kmeansll_result_, __LINE__), lhs, rexpr)
+
+#endif  // KMEANSLL_COMMON_MACROS_H_

@@ -1,0 +1,43 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kmeansll {
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double upper = values[mid];
+  if (values.size() % 2 == 1) return upper;
+  double lower = *std::max_element(values.begin(), values.begin() + mid);
+  return 0.5 * (lower + upper);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  KahanSum sum;
+  for (double v : values) sum.Add(v);
+  return sum.Total() / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  KahanSum sq;
+  for (double v : values) sq.Add((v - mean) * (v - mean));
+  return std::sqrt(sq.Total() / static_cast<double>(values.size() - 1));
+}
+
+int Log2Ceil(uint64_t x) {
+  if (x <= 1) return 0;
+  return 64 - __builtin_clzll(x - 1);
+}
+
+uint64_t NextPowerOfTwo(uint64_t x) {
+  if (x <= 1) return 1;
+  return uint64_t{1} << Log2Ceil(x);
+}
+
+}  // namespace kmeansll

@@ -1,0 +1,60 @@
+// Numeric helpers: compensated summation, order statistics, bit tricks.
+
+#ifndef KMEANSLL_COMMON_MATH_UTIL_H_
+#define KMEANSLL_COMMON_MATH_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace kmeansll {
+
+/// Kahan–Neumaier compensated accumulator. Clustering costs sum n terms
+/// spanning many orders of magnitude (the paper's potentials reach 1e16);
+/// naive summation loses the small terms that drive convergence tests.
+class KahanSum {
+ public:
+  KahanSum() = default;
+
+  void Add(double value) {
+    double t = sum_ + value;
+    if (std::abs(sum_) >= std::abs(value)) {
+      compensation_ += (sum_ - t) + value;
+    } else {
+      compensation_ += (value - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  /// Merges another accumulator (used by parallel reductions).
+  void Merge(const KahanSum& other) {
+    Add(other.sum_);
+    Add(other.compensation_);
+  }
+
+  double Total() const { return sum_ + compensation_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Median of `values` (averaging the two middle elements for even sizes).
+/// The input is copied; empty input returns 0.
+double Median(std::vector<double> values);
+
+/// Arithmetic mean; empty input returns 0.
+double Mean(const std::vector<double>& values);
+
+/// Sample standard deviation (n-1 denominator); sizes < 2 return 0.
+double StdDev(const std::vector<double>& values);
+
+/// ceil(log2(x)) for x >= 1; Log2Ceil(1) == 0.
+int Log2Ceil(uint64_t x);
+
+/// Smallest power of two >= x (x == 0 -> 1).
+uint64_t NextPowerOfTwo(uint64_t x);
+
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_COMMON_MATH_UTIL_H_

@@ -1,0 +1,77 @@
+// Result<T>: a value or an error Status (Arrow's arrow::Result idiom).
+
+#ifndef KMEANSLL_COMMON_RESULT_H_
+#define KMEANSLL_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace kmeansll {
+
+/// Holds either a successfully computed T or the Status explaining why it
+/// could not be computed. Construct from a T (implicitly OK) or from a
+/// non-OK Status. Use KMEANSLL_ASSIGN_OR_RETURN to unwrap with propagation.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from an error status. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(status)) {
+    KMEANSLL_CHECK(!std::get<Status>(repr_).ok());
+  }
+
+  /// Constructs from a value.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(value)) {}
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status, or OK if this holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// The value. Requires ok().
+  const T& ValueOrDie() const& {
+    KMEANSLL_CHECK(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    KMEANSLL_CHECK(ok());
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    KMEANSLL_CHECK(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Unchecked accessors used by KMEANSLL_ASSIGN_OR_RETURN after an ok()
+  /// test. Calling these on an error Result is a bug.
+  const T& ValueUnsafe() const& { return std::get<T>(repr_); }
+  T ValueUnsafe() && { return std::move(std::get<T>(repr_)); }
+
+  /// Returns the value, or `alternative` on error.
+  T ValueOr(T alternative) const {
+    return ok() ? std::get<T>(repr_) : std::move(alternative);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_COMMON_RESULT_H_

@@ -1,0 +1,54 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kmeansll {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kUnknown:
+      return "Unknown";
+    case StatusCode::kFailedPrecondition:
+      return "Failed precondition";
+  }
+  return "Unrecognized status code";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+void Status::Abort() const { Abort(""); }
+
+void Status::Abort(const std::string& context) const {
+  if (ok()) return;
+  if (context.empty()) {
+    std::fprintf(stderr, "Aborting on non-OK status: %s\n",
+                 ToString().c_str());
+  } else {
+    std::fprintf(stderr, "Aborting (%s) on non-OK status: %s\n",
+                 context.c_str(), ToString().c_str());
+  }
+  std::abort();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace kmeansll

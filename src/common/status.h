@@ -1,0 +1,120 @@
+// Status: the recoverable-error currency of the library (Arrow/RocksDB
+// idiom). Library entry points that can fail on user input or IO return
+// Status or Result<T> instead of throwing.
+
+#ifndef KMEANSLL_COMMON_STATUS_H_
+#define KMEANSLL_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace kmeansll {
+
+/// Machine-readable classification of an error.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIOError = 2,
+  kOutOfRange = 3,
+  kNotImplemented = 4,
+  kUnknown = 5,
+  kFailedPrecondition = 6,
+};
+
+/// Returns a stable human-readable name ("Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// An OK-or-error value. OK carries no allocation; errors carry a code and
+/// a message. Cheap to move, cheap to test.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_unique<State>(State{code, std::move(msg)});
+    }
+  }
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Unknown(std::string msg) {
+    return Status(StatusCode::kUnknown, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+  /// Error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ == nullptr ? kEmpty : state_->msg;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process if not OK. For use in examples and tests where an
+  /// error is unrecoverable.
+  void Abort() const;
+  void Abort(const std::string& context) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+
+  void CopyFrom(const Status& other) {
+    state_ = other.state_ == nullptr ? nullptr
+                                     : std::make_unique<State>(*other.state_);
+  }
+
+  std::unique_ptr<State> state_;  // nullptr <=> OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_COMMON_STATUS_H_

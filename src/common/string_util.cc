@@ -1,0 +1,111 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace kmeansll {
+
+std::vector<std::string> Split(std::string_view input, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(input.substr(start));
+      break;
+    }
+    out.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view input) {
+  size_t begin = 0;
+  size_t end = input.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  std::string buf(Trim(text));
+  if (buf.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseInt64(std::string_view text, int64_t* out) {
+  std::string buf(Trim(text));
+  if (buf.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+std::string FormatScientific(double value, int precision) {
+  char buf[64];
+  double mag = std::fabs(value);
+  if (value != 0.0 && (mag >= 1e6 || mag < 1e-3)) {
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  }
+  return buf;
+}
+
+std::string FormatWithCommas(int64_t value) {
+  bool negative = value < 0;
+  // Build digits right-to-left, inserting a comma every three digits.
+  uint64_t mag = negative ? -static_cast<uint64_t>(value)
+                          : static_cast<uint64_t>(value);
+  std::string digits;
+  int count = 0;
+  do {
+    if (count > 0 && count % 3 == 0) digits.push_back(',');
+    digits.push_back(static_cast<char>('0' + mag % 10));
+    mag /= 10;
+    ++count;
+  } while (mag != 0);
+  if (negative) digits.push_back('-');
+  return std::string(digits.rbegin(), digits.rend());
+}
+
+}  // namespace kmeansll

@@ -1,0 +1,40 @@
+// Small string helpers shared by IO, CLI parsing and table printing.
+
+#ifndef KMEANSLL_COMMON_STRING_UTIL_H_
+#define KMEANSLL_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kmeansll {
+
+/// Splits `input` on `delim`. Adjacent delimiters yield empty fields; an
+/// empty input yields one empty field (CSV semantics).
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view input);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Case-sensitive string-to-double/int parsing that reports failure
+/// instead of silently returning 0.
+bool ParseDouble(std::string_view text, double* out);
+bool ParseInt64(std::string_view text, int64_t* out);
+
+/// Formats a double like "1.23e+10" when large, plain otherwise; used by
+/// table printers to mimic the paper's scaled notation.
+std::string FormatScientific(double value, int precision = 3);
+
+/// Formats with thousands separators: 1234567 -> "1,234,567".
+std::string FormatWithCommas(int64_t value);
+
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_COMMON_STRING_UTIL_H_

@@ -1,0 +1,56 @@
+// Wall-clock timing utilities used by the benchmark harnesses and the
+// algorithm telemetry.
+
+#ifndef KMEANSLL_COMMON_TIMER_H_
+#define KMEANSLL_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace kmeansll {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Nanoseconds elapsed since construction or the last Restart().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds the scope's elapsed seconds into `*sink` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink) : sink_(sink) {}
+  ~ScopedTimer() { *sink_ += timer_.ElapsedSeconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  WallTimer timer_;
+};
+
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_COMMON_TIMER_H_

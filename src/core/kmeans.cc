@@ -1,0 +1,238 @@
+#include "core/kmeans.h"
+
+#include <cstdint>
+#include <limits>
+#include <cstring>
+#include <fstream>
+
+#include "clustering/cost.h"
+#include "common/timer.h"
+
+namespace kmeansll {
+
+const char* InitMethodName(InitMethod method) {
+  switch (method) {
+    case InitMethod::kRandom:
+      return "Random";
+    case InitMethod::kKMeansPP:
+      return "k-means++";
+    case InitMethod::kKMeansParallel:
+      return "k-means||";
+    case InitMethod::kPartition:
+      return "Partition";
+  }
+  return "unknown";
+}
+
+KMeans::KMeans(KMeansConfig config) : config_(std::move(config)) {
+  if (config_.num_threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+}
+
+KMeans::~KMeans() = default;
+
+namespace {
+
+Status ValidateConfig(const KMeansConfig& config, const Dataset& data) {
+  if (config.k <= 0) return Status::InvalidArgument("k must be positive");
+  if (data.n() == 0) return Status::InvalidArgument("dataset is empty");
+  if (config.k > data.n()) {
+    return Status::InvalidArgument(
+        "k=" + std::to_string(config.k) +
+        " exceeds n=" + std::to_string(data.n()));
+  }
+  if (config.use_mapreduce && config.init == InitMethod::kKMeansPP) {
+    return Status::InvalidArgument(
+        "k-means++ is inherently sequential (the paper's motivation); "
+        "MapReduce execution supports k-means||, Random, and Partition");
+  }
+  if (config.use_mapreduce && config.num_partitions <= 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  if (config.num_runs < 1) {
+    return Status::InvalidArgument("num_runs must be >= 1");
+  }
+  if (config.validate_data) {
+    KMEANSLL_RETURN_NOT_OK(data.ValidateFinite());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<InitResult> KMeans::Initialize(const Dataset& data) const {
+  return InitializeWithContext(data, nullptr, config_.seed);
+}
+
+Result<InitResult> KMeans::InitializeWithContext(
+    const Dataset& data, mapreduce::Counters* counters,
+    uint64_t seed) const {
+  KMEANSLL_RETURN_NOT_OK(ValidateConfig(config_, data));
+  rng::Rng rng = rng::MakeRootRng(seed);
+  if (config_.use_mapreduce) {
+    MRContext ctx;
+    ctx.num_partitions = config_.num_partitions;
+    ctx.pool = pool_.get();
+    ctx.counters = counters;
+    switch (config_.init) {
+      case InitMethod::kKMeansParallel:
+        return MRKMeansLLInit(data, config_.k, rng, config_.kmeansll, ctx);
+      case InitMethod::kRandom:
+        return MRRandomInit(data, config_.k, rng, ctx);
+      case InitMethod::kPartition:
+        return MRPartitionInit(data, config_.k, rng, config_.partition,
+                               ctx);
+      case InitMethod::kKMeansPP:
+        return Status::InvalidArgument("k-means++ has no MapReduce path");
+    }
+  }
+  switch (config_.init) {
+    case InitMethod::kRandom:
+      return RandomInit(data, config_.k, rng);
+    case InitMethod::kKMeansPP:
+      return KMeansPPInit(data, config_.k, rng, config_.kmeanspp);
+    case InitMethod::kKMeansParallel:
+      return KMeansLLInit(data, config_.k, rng, config_.kmeansll);
+    case InitMethod::kPartition:
+      return PartitionInit(data, config_.k, rng, config_.partition);
+  }
+  return Status::InvalidArgument("unknown init method");
+}
+
+Result<KMeansReport> KMeans::Fit(const Dataset& data) const {
+  KMEANSLL_RETURN_NOT_OK(ValidateConfig(config_, data));
+  WallTimer total_timer;
+  KMeansReport report;
+
+  MRContext ctx;
+  ctx.num_partitions = config_.num_partitions;
+  ctx.pool = pool_.get();
+  ctx.counters = &report.counters;
+
+  // Best-of-num_runs seeding: every run derives its own root seed (run 0
+  // uses config.seed itself) and the lowest-cost seed set wins.
+  WallTimer init_timer;
+  InitResult init;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (int64_t run = 0; run < config_.num_runs; ++run) {
+    uint64_t run_seed =
+        run == 0 ? config_.seed
+                 : rng::HashCombine(config_.seed,
+                                    static_cast<uint64_t>(run));
+    KMEANSLL_ASSIGN_OR_RETURN(
+        InitResult candidate,
+        InitializeWithContext(data, &report.counters, run_seed));
+    double cost = config_.use_mapreduce
+                      ? MRComputeCost(data, candidate.centers, ctx)
+                      : ComputeCost(data, candidate.centers, pool_.get());
+    if (cost < best_cost) {
+      best_cost = cost;
+      init = std::move(candidate);
+    }
+  }
+  report.init_seconds = init_timer.ElapsedSeconds();
+  report.init = init.telemetry;
+  report.seed_cost = best_cost;
+
+  WallTimer lloyd_timer;
+  if (config_.lloyd.max_iterations > 0) {
+    if (config_.use_mapreduce) {
+      KMEANSLL_ASSIGN_OR_RETURN(
+          LloydResult lloyd,
+          MRRunLloyd(data, init.centers, config_.lloyd, ctx));
+      report.centers = std::move(lloyd.centers);
+      report.assignment = std::move(lloyd.assignment);
+      report.lloyd_iterations = lloyd.iterations;
+      report.lloyd_converged = lloyd.converged;
+    } else {
+      Result<LloydResult> run = [&]() -> Result<LloydResult> {
+        switch (config_.lloyd_variant) {
+          case KMeansConfig::LloydVariant::kHamerly:
+            return RunLloydHamerly(data, init.centers, config_.lloyd);
+          case KMeansConfig::LloydVariant::kElkan:
+            return RunLloydElkan(data, init.centers, config_.lloyd);
+          case KMeansConfig::LloydVariant::kStandard:
+            break;
+        }
+        return RunLloyd(data, init.centers, config_.lloyd, pool_.get());
+      }();
+      KMEANSLL_ASSIGN_OR_RETURN(LloydResult lloyd, std::move(run));
+      report.centers = std::move(lloyd.centers);
+      report.assignment = std::move(lloyd.assignment);
+      report.lloyd_iterations = lloyd.iterations;
+      report.lloyd_converged = lloyd.converged;
+    }
+  } else {
+    report.centers = std::move(init.centers);
+    report.assignment =
+        ComputeAssignment(data, report.centers, pool_.get());
+  }
+  report.lloyd_seconds = lloyd_timer.ElapsedSeconds();
+  report.final_cost = report.assignment.cost;
+  report.total_seconds = total_timer.ElapsedSeconds();
+  return report;
+}
+
+Assignment Predict(const Matrix& centers, const Dataset& data) {
+  return ComputeAssignment(data, centers);
+}
+
+namespace {
+constexpr char kModelMagic[8] = {'K', 'M', 'L', 'L', 'M', 'O', 'D', 'L'};
+constexpr int32_t kModelVersion = 1;
+}  // namespace
+
+Status SaveCenters(const Matrix& centers, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out.write(kModelMagic, sizeof(kModelMagic));
+  int32_t version = kModelVersion;
+  int64_t rows = centers.rows();
+  int64_t cols = centers.cols();
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out.write(reinterpret_cast<const char*>(centers.data()),
+            static_cast<std::streamsize>(centers.size() * sizeof(double)));
+  if (!out.good()) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Matrix> LoadCenters(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kModelMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a kmeansll model file");
+  }
+  int32_t version = 0;
+  int64_t rows = 0, cols = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!in.good() || version != kModelVersion) {
+    return Status::InvalidArgument("unsupported model version in '" + path +
+                                   "'");
+  }
+  if (rows <= 0 || cols <= 0 || rows > (int64_t{1} << 32) ||
+      cols > (int64_t{1} << 24)) {
+    return Status::InvalidArgument("implausible model shape in '" + path +
+                                   "'");
+  }
+  Matrix centers(rows, cols);
+  in.read(reinterpret_cast<char*>(centers.data()),
+          static_cast<std::streamsize>(centers.size() * sizeof(double)));
+  if (!in.good()) {
+    return Status::IOError("'" + path + "' is truncated");
+  }
+  return centers;
+}
+
+}  // namespace kmeansll

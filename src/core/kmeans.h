@@ -1,0 +1,149 @@
+// KMeans: the library's public estimator facade.
+//
+// One object configures the full pipeline the paper evaluates —
+// initialization method (Random / k-means++ / k-means|| / Partition),
+// execution mode (sequential, thread-pool, MapReduce engine), and Lloyd
+// refinement — and Fit() returns both the model and the telemetry the
+// paper's tables report (seed cost, final cost, Lloyd iterations,
+// intermediate-set size, timings).
+//
+// Quickstart (see examples/quickstart.cc):
+//   KMeansConfig config;
+//   config.k = 50;
+//   config.init = InitMethod::kKMeansParallel;
+//   config.kmeansll.oversampling = 2.0 * 50;   // ℓ = 2k
+//   config.kmeansll.rounds = 5;                // r = 5
+//   KMeans model(config);
+//   KMEANSLL_ASSIGN_OR_RETURN(KMeansReport report, model.Fit(data));
+
+#ifndef KMEANSLL_CORE_KMEANS_H_
+#define KMEANSLL_CORE_KMEANS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "clustering/init_kmeanspp.h"
+#include "clustering/init_kmeansll.h"
+#include "clustering/init_partition.h"
+#include "clustering/init_random.h"
+#include "clustering/lloyd.h"
+#include "clustering/lloyd_elkan.h"
+#include "clustering/lloyd_hamerly.h"
+#include "clustering/mapreduce_kmeans.h"
+#include "clustering/types.h"
+#include "common/result.h"
+#include "matrix/dataset.h"
+
+namespace kmeansll {
+
+/// Seeding strategy (the paper's §4.2 baselines plus the contribution).
+enum class InitMethod {
+  kRandom,          ///< uniform k points (baseline)
+  kKMeansPP,        ///< k-means++, Algorithm 1 (baseline)
+  kKMeansParallel,  ///< k-means||, Algorithm 2 (the contribution)
+  kPartition,       ///< streaming baseline of Ailon et al. (§4.2.1)
+};
+
+/// Human-readable method name ("k-means||" etc.).
+const char* InitMethodName(InitMethod method);
+
+/// Full pipeline configuration.
+struct KMeansConfig {
+  int64_t k = 8;
+  InitMethod init = InitMethod::kKMeansParallel;
+  uint64_t seed = 42;
+
+  KMeansLLOptions kmeansll;    ///< used when init == kKMeansParallel
+  KMeansPPOptions kmeanspp;    ///< used when init == kKMeansPP
+  PartitionOptions partition;  ///< used when init == kPartition
+
+  /// Lloyd refinement on the full dataset; max_iterations = 0 disables
+  /// (seed-only evaluation, the paper's "seed" columns).
+  LloydOptions lloyd;
+
+  /// Independent seeding attempts; the seed set with the lowest cost on
+  /// the full data wins and is the one Lloyd refines (the classic
+  /// best-of-R restarts, run 0 uses `seed` itself so num_runs = 1 is the
+  /// plain pipeline).
+  int64_t num_runs = 1;
+
+  /// Lloyd implementation for the sequential path (the MapReduce path
+  /// always runs the standard per-job iteration). All variants produce
+  /// identical centers; the accelerated ones skip distance work via
+  /// triangle-inequality bounds (Hamerly: O(n) extra memory; Elkan:
+  /// O(n·k), strongest pruning).
+  enum class LloydVariant { kStandard, kHamerly, kElkan };
+  LloydVariant lloyd_variant = LloydVariant::kStandard;
+
+  /// Reject datasets containing NaN/Inf coordinates up front (one O(n·d)
+  /// scan per Fit). Disable only for trusted pipelines where the scan
+  /// matters.
+  bool validate_data = true;
+
+  /// Worker threads for the data-parallel paths (0 = sequential).
+  int num_threads = 0;
+  /// Run initialization and Lloyd through the MapReduce engine
+  /// (requires kKMeansParallel or kRandom init).
+  bool use_mapreduce = false;
+  /// Input splits when use_mapreduce is set.
+  int64_t num_partitions = 8;
+};
+
+/// Everything Fit() learned and measured.
+struct KMeansReport {
+  Matrix centers;          ///< final k × d centers
+  Assignment assignment;   ///< final assignment + cost on the input data
+  double seed_cost = 0;    ///< φ after initialization, before Lloyd
+  double final_cost = 0;   ///< φ after Lloyd refinement
+  int64_t lloyd_iterations = 0;
+  bool lloyd_converged = false;
+  InitTelemetry init;      ///< rounds / intermediate centers / passes
+  double init_seconds = 0;
+  double lloyd_seconds = 0;
+  double total_seconds = 0;
+  mapreduce::Counters counters;  ///< populated when use_mapreduce
+};
+
+/// Configured, reusable estimator. Thread-compatible: one Fit() at a time
+/// per instance.
+class KMeans {
+ public:
+  explicit KMeans(KMeansConfig config);
+  ~KMeans();
+
+  KMEANSLL_DISALLOW_COPY_AND_ASSIGN(KMeans);
+
+  /// Runs initialization + Lloyd on `data`. Fails on invalid
+  /// configuration or data (empty, k > n, dimension mismatch...).
+  Result<KMeansReport> Fit(const Dataset& data) const;
+
+  /// Runs only the configured initializer (the paper's "seed" rows).
+  Result<InitResult> Initialize(const Dataset& data) const;
+
+  const KMeansConfig& config() const { return config_; }
+
+ private:
+  /// Initialize with MapReduce counters wired through and an explicit
+  /// root seed (Fit's best-of-num_runs path).
+  Result<InitResult> InitializeWithContext(const Dataset& data,
+                                           mapreduce::Counters* counters,
+                                           uint64_t seed) const;
+
+  KMeansConfig config_;
+  std::unique_ptr<ThreadPool> pool_;  // created when num_threads > 0
+};
+
+/// Assigns every row of `data` to its nearest center.
+Assignment Predict(const Matrix& centers, const Dataset& data);
+
+/// Persists centers in a small self-describing binary format
+/// ("KMLLMODL" magic, version, k, d, row-major doubles).
+Status SaveCenters(const Matrix& centers, const std::string& path);
+
+/// Loads centers saved by SaveCenters. Fails on bad magic/short file.
+Result<Matrix> LoadCenters(const std::string& path);
+
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_CORE_KMEANS_H_

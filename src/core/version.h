@@ -1,0 +1,15 @@
+// Library version constants.
+
+#ifndef KMEANSLL_CORE_VERSION_H_
+#define KMEANSLL_CORE_VERSION_H_
+
+namespace kmeansll {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_CORE_VERSION_H_

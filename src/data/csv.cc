@@ -1,0 +1,121 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace kmeansll::data {
+
+Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::string line;
+  int64_t line_number = 0;
+  if (options.has_header) {
+    std::getline(in, line);
+    ++line_number;
+  }
+
+  Matrix points;
+  std::vector<int32_t> labels;
+  int64_t expected_fields = -1;
+  std::vector<double> row;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> fields = Split(line, options.delimiter);
+    if (expected_fields < 0) {
+      expected_fields = static_cast<int64_t>(fields.size());
+      if (options.label_column >= expected_fields) {
+        return Status::InvalidArgument(
+            "label_column " + std::to_string(options.label_column) +
+            " out of range for " + std::to_string(expected_fields) +
+            " fields");
+      }
+      int64_t dim = expected_fields - (options.label_column >= 0 ? 1 : 0);
+      points = Matrix(dim);
+    } else if (static_cast<int64_t>(fields.size()) != expected_fields) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_number) + ": expected " +
+          std::to_string(expected_fields) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    row.clear();
+    int32_t label = 0;
+    for (int64_t f = 0; f < expected_fields; ++f) {
+      const std::string& field = fields[static_cast<size_t>(f)];
+      if (f == options.label_column) {
+        int64_t v = 0;
+        if (!ParseInt64(field, &v)) {
+          return Status::InvalidArgument(
+              path + ":" + std::to_string(line_number) +
+              ": label field '" + field + "' is not an integer");
+        }
+        label = static_cast<int32_t>(v);
+      } else {
+        double v = 0;
+        if (!ParseDouble(field, &v)) {
+          return Status::InvalidArgument(
+              path + ":" + std::to_string(line_number) + ": field '" +
+              field + "' is not numeric");
+        }
+        row.push_back(v);
+      }
+    }
+    points.AppendRow(row.data());
+    if (options.label_column >= 0) labels.push_back(label);
+  }
+  if (points.rows() == 0) {
+    return Status::InvalidArgument("'" + path + "' contains no data rows");
+  }
+  if (options.label_column >= 0) {
+    return Dataset::WithLabels(std::move(points), std::move(labels));
+  }
+  return Dataset(std::move(points));
+}
+
+namespace {
+
+Status WriteRows(const Matrix& m, const std::vector<int32_t>* labels,
+                 const std::string& path, char delimiter) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out.precision(17);
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.Row(i);
+    for (int64_t j = 0; j < m.cols(); ++j) {
+      if (j > 0) out << delimiter;
+      out << row[j];
+    }
+    if (labels != nullptr) {
+      out << delimiter << (*labels)[static_cast<size_t>(i)];
+    }
+    out << '\n';
+  }
+  if (!out.good()) {
+    return Status::IOError("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteCsv(const Matrix& m, const std::string& path, char delimiter) {
+  return WriteRows(m, nullptr, path, delimiter);
+}
+
+Status WriteCsv(const Dataset& data, const std::string& path,
+                char delimiter) {
+  return WriteRows(data.points(),
+                   data.has_labels() ? &data.labels() : nullptr, path,
+                   delimiter);
+}
+
+}  // namespace kmeansll::data

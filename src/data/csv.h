@@ -1,0 +1,37 @@
+// CSV import/export so real datasets (e.g. the actual UCI Spam or
+// KDDCup1999 extracts, when available) can be dropped in for the bundled
+// synthetic stand-ins.
+
+#ifndef KMEANSLL_DATA_CSV_H_
+#define KMEANSLL_DATA_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "matrix/dataset.h"
+#include "matrix/matrix.h"
+
+namespace kmeansll::data {
+
+/// CSV parsing options.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = false;   ///< skip the first line
+  int64_t label_column = -1; ///< column holding an integer label, -1 = none
+};
+
+/// Reads a numeric CSV file into a Dataset. Every row must have the same
+/// number of fields; all non-label fields must parse as doubles.
+Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options);
+
+/// Writes `m` as CSV (no header).
+Status WriteCsv(const Matrix& m, const std::string& path,
+                char delimiter = ',');
+
+/// Writes points (and the label column last, when present).
+Status WriteCsv(const Dataset& data, const std::string& path,
+                char delimiter = ',');
+
+}  // namespace kmeansll::data
+
+#endif  // KMEANSLL_DATA_CSV_H_

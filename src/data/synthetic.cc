@@ -1,0 +1,268 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/logging.h"
+#include "rng/discrete.h"
+
+namespace kmeansll::data {
+
+namespace {
+
+Status ValidateSizes(int64_t n, int64_t k, int64_t dim) {
+  if (n <= 0) return Status::InvalidArgument("n must be positive");
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (dim <= 0) return Status::InvalidArgument("dim must be positive");
+  if (n < k) {
+    return Status::InvalidArgument("n=" + std::to_string(n) +
+                                   " smaller than k=" + std::to_string(k));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<LabeledData> GenerateGaussMixture(const GaussMixtureParams& params,
+                                         rng::Rng rng) {
+  KMEANSLL_RETURN_NOT_OK(ValidateSizes(params.n, params.k, params.dim));
+  if (params.center_stddev <= 0 || params.cluster_stddev < 0) {
+    return Status::InvalidArgument("stddev parameters must be positive");
+  }
+  rng::Rng center_rng = rng.Fork(rng::StreamPurpose::kDataGeneration, 0);
+  rng::Rng point_rng = rng.Fork(rng::StreamPurpose::kDataGeneration, 1);
+
+  Matrix centers(params.k, params.dim);
+  for (int64_t c = 0; c < params.k; ++c) {
+    double* row = centers.Row(c);
+    for (int64_t j = 0; j < params.dim; ++j) {
+      row[j] = center_rng.NextGaussian(0.0, params.center_stddev);
+    }
+  }
+
+  // Equal-weight mixture: each point picks its component uniformly.
+  Matrix points(params.n, params.dim);
+  std::vector<int32_t> labels(static_cast<size_t>(params.n));
+  for (int64_t i = 0; i < params.n; ++i) {
+    auto c = static_cast<int64_t>(point_rng.NextBounded(params.k));
+    labels[static_cast<size_t>(i)] = static_cast<int32_t>(c);
+    const double* center = centers.Row(c);
+    double* row = points.Row(i);
+    for (int64_t j = 0; j < params.dim; ++j) {
+      row[j] = center[j] + point_rng.NextGaussian(0.0, params.cluster_stddev);
+    }
+  }
+
+  KMEANSLL_ASSIGN_OR_RETURN(
+      Dataset dataset, Dataset::WithLabels(std::move(points), std::move(labels)));
+  return LabeledData{std::move(dataset), std::move(centers)};
+}
+
+Result<LabeledData> GenerateSpamLike(const SpamLikeParams& params,
+                                     rng::Rng rng) {
+  KMEANSLL_RETURN_NOT_OK(
+      ValidateSizes(params.n, params.num_clusters, params.dim));
+  if (params.outlier_fraction < 0 || params.outlier_fraction >= 1) {
+    return Status::InvalidArgument("outlier_fraction must be in [0, 1)");
+  }
+  rng::Rng gen = rng.Fork(rng::StreamPurpose::kDataGeneration, 2);
+
+  const int64_t k = params.num_clusters;
+  const int64_t d = params.dim;
+
+  // Per-feature scales: word-frequency-style features vary over a few
+  // orders of magnitude (most features small, a few dominant).
+  std::vector<double> feature_scale(static_cast<size_t>(d));
+  for (int64_t j = 0; j < d; ++j) {
+    feature_scale[static_cast<size_t>(j)] =
+        std::pow(params.scale_base, gen.NextDouble(0.0, 3.0));
+  }
+
+  // Two heavy clusters (spam / ham) plus smaller satellites.
+  std::vector<double> mass(static_cast<size_t>(k));
+  for (int64_t c = 0; c < k; ++c) {
+    mass[static_cast<size_t>(c)] = (c < 2) ? 0.3 : 0.4 / (k - 2);
+  }
+  auto mass_sampler = rng::AliasTable::Build(mass);
+  KMEANSLL_RETURN_NOT_OK(mass_sampler.status());
+
+  Matrix centers(k, d);
+  for (int64_t c = 0; c < k; ++c) {
+    double* row = centers.Row(c);
+    for (int64_t j = 0; j < d; ++j) {
+      // Non-negative, scale-dependent means (frequencies can't be < 0).
+      row[j] = feature_scale[static_cast<size_t>(j)] *
+               std::fabs(gen.NextGaussian(0.5, 0.5));
+    }
+  }
+
+  Matrix points(params.n, d);
+  std::vector<int32_t> labels(static_cast<size_t>(params.n));
+  const int64_t num_outliers =
+      static_cast<int64_t>(std::llround(params.outlier_fraction * params.n));
+  for (int64_t i = 0; i < params.n; ++i) {
+    double* row = points.Row(i);
+    if (i < num_outliers) {
+      // An outlier: extreme value on a handful of features, tiny elsewhere
+      // (e.g. one message with a huge run-length feature).
+      labels[static_cast<size_t>(i)] = -1;
+      for (int64_t j = 0; j < d; ++j) {
+        row[j] = 0.01 * gen.NextExponential(1.0);
+      }
+      int64_t spikes = 1 + static_cast<int64_t>(gen.NextBounded(3));
+      for (int64_t s = 0; s < spikes; ++s) {
+        auto j = static_cast<int64_t>(gen.NextBounded(d));
+        row[j] = feature_scale[static_cast<size_t>(j)] *
+                 (50.0 + gen.NextExponential(0.05));
+      }
+      continue;
+    }
+    int64_t c = mass_sampler->Sample(gen);
+    labels[static_cast<size_t>(i)] = static_cast<int32_t>(c);
+    const double* center = centers.Row(c);
+    for (int64_t j = 0; j < d; ++j) {
+      double scale = feature_scale[static_cast<size_t>(j)];
+      // Heavy-tailed within-cluster spread: Gaussian core + occasional
+      // exponential excursions, truncated at zero.
+      double v = center[j] + 0.3 * scale * gen.NextGaussian();
+      if (gen.NextBernoulli(0.05)) v += scale * gen.NextExponential(0.5);
+      row[j] = v > 0.0 ? v : 0.0;
+    }
+  }
+
+  KMEANSLL_ASSIGN_OR_RETURN(
+      Dataset dataset, Dataset::WithLabels(std::move(points), std::move(labels)));
+  return LabeledData{std::move(dataset), std::move(centers)};
+}
+
+Result<LabeledData> GenerateKddLike(const KddLikeParams& params,
+                                    rng::Rng rng) {
+  KMEANSLL_RETURN_NOT_OK(
+      ValidateSizes(params.n, params.num_clusters, params.dim));
+  if (params.outlier_fraction < 0 || params.outlier_fraction >= 1) {
+    return Status::InvalidArgument("outlier_fraction must be in [0, 1)");
+  }
+  if (params.scale_spread < 1) {
+    return Status::InvalidArgument("scale_spread must be >= 1");
+  }
+  rng::Rng gen = rng.Fork(rng::StreamPurpose::kDataGeneration, 3);
+
+  const int64_t k = params.num_clusters;
+  const int64_t d = params.dim;
+
+  // Power-law cluster masses: KDD traffic is dominated by a couple of
+  // classes (normal, smurf/neptune) with a long tail of rare attacks.
+  std::vector<double> mass(static_cast<size_t>(k));
+  for (int64_t c = 0; c < k; ++c) {
+    mass[static_cast<size_t>(c)] =
+        1.0 / std::pow(static_cast<double>(c + 1), params.size_power);
+  }
+  auto mass_sampler = rng::AliasTable::Build(mass);
+  KMEANSLL_RETURN_NOT_OK(mass_sampler.status());
+
+  // Feature scales span `scale_spread` (bytes vs. rates vs. counts).
+  std::vector<double> feature_scale(static_cast<size_t>(d));
+  for (int64_t j = 0; j < d; ++j) {
+    double u = static_cast<double>(j) / static_cast<double>(d - 1 > 0 ? d - 1 : 1);
+    feature_scale[static_cast<size_t>(j)] =
+        std::pow(params.scale_spread, u) * (0.5 + gen.NextDouble());
+  }
+
+  Matrix centers(k, d);
+  for (int64_t c = 0; c < k; ++c) {
+    double* row = centers.Row(c);
+    for (int64_t j = 0; j < d; ++j) {
+      row[j] = feature_scale[static_cast<size_t>(j)] * gen.NextGaussian(0.0, 2.0);
+    }
+  }
+
+  Matrix points(params.n, d);
+  std::vector<int32_t> labels(static_cast<size_t>(params.n));
+  const int64_t num_outliers =
+      static_cast<int64_t>(std::llround(params.outlier_fraction * params.n));
+  for (int64_t i = 0; i < params.n; ++i) {
+    double* row = points.Row(i);
+    if (i < num_outliers) {
+      labels[static_cast<size_t>(i)] = -1;
+      // Extreme flows, hundreds of sigma out — KDD's DoS bursts put some
+      // byte counters 3+ orders of magnitude beyond normal traffic, which
+      // is what makes Random seeding catastrophically bad (Table 3).
+      for (int64_t j = 0; j < d; ++j) {
+        row[j] = feature_scale[static_cast<size_t>(j)] *
+                 gen.NextGaussian(0.0, 300.0);
+      }
+      continue;
+    }
+    int64_t c = mass_sampler->Sample(gen);
+    labels[static_cast<size_t>(i)] = static_cast<int32_t>(c);
+    const double* center = centers.Row(c);
+    for (int64_t j = 0; j < d; ++j) {
+      double scale = feature_scale[static_cast<size_t>(j)];
+      // Tight clusters relative to center spread, mimicking the highly
+      // repetitive flows within one traffic class.
+      row[j] = center[j] + 0.1 * scale * gen.NextGaussian();
+    }
+  }
+
+  KMEANSLL_ASSIGN_OR_RETURN(
+      Dataset dataset, Dataset::WithLabels(std::move(points), std::move(labels)));
+  return LabeledData{std::move(dataset), std::move(centers)};
+}
+
+Result<Dataset> GenerateUniform(int64_t n, int64_t dim, double lo, double hi,
+                                rng::Rng rng) {
+  KMEANSLL_RETURN_NOT_OK(ValidateSizes(n, 1, dim));
+  if (!(lo < hi)) return Status::InvalidArgument("need lo < hi");
+  rng::Rng gen = rng.Fork(rng::StreamPurpose::kDataGeneration, 4);
+  Matrix points(n, dim);
+  for (int64_t i = 0; i < n; ++i) {
+    double* row = points.Row(i);
+    for (int64_t j = 0; j < dim; ++j) row[j] = gen.NextDouble(lo, hi);
+  }
+  return Dataset(std::move(points));
+}
+
+Result<LabeledData> GenerateSeparatedClusters(int64_t k, int64_t per_cluster,
+                                              int64_t dim, double separation,
+                                              rng::Rng rng) {
+  KMEANSLL_RETURN_NOT_OK(ValidateSizes(k * per_cluster, k, dim));
+  if (separation <= 0) {
+    return Status::InvalidArgument("separation must be positive");
+  }
+  rng::Rng gen = rng.Fork(rng::StreamPurpose::kDataGeneration, 5);
+
+  // Centers on a coarse integer lattice scaled by `separation`: any two
+  // centers are at least `separation` apart.
+  Matrix centers(k, dim);
+  int64_t side = 1;
+  while (side * side < k && dim >= 2) ++side;
+  for (int64_t c = 0; c < k; ++c) {
+    double* row = centers.Row(c);
+    for (int64_t j = 0; j < dim; ++j) row[j] = 0.0;
+    if (dim >= 2) {
+      row[0] = separation * static_cast<double>(c % side);
+      row[1] = separation * static_cast<double>(c / side);
+    } else {
+      row[0] = separation * static_cast<double>(c);
+    }
+  }
+
+  const int64_t n = k * per_cluster;
+  Matrix points(n, dim);
+  std::vector<int32_t> labels(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t c = i / per_cluster;
+    labels[static_cast<size_t>(i)] = static_cast<int32_t>(c);
+    const double* center = centers.Row(c);
+    double* row = points.Row(i);
+    for (int64_t j = 0; j < dim; ++j) {
+      row[j] = center[j] + gen.NextGaussian();
+    }
+  }
+  KMEANSLL_ASSIGN_OR_RETURN(
+      Dataset dataset, Dataset::WithLabels(std::move(points), std::move(labels)));
+  return LabeledData{std::move(dataset), std::move(centers)};
+}
+
+}  // namespace kmeansll::data

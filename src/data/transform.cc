@@ -1,0 +1,114 @@
+#include "data/transform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/math_util.h"
+
+namespace kmeansll::data {
+
+ColumnStats ComputeColumnStats(const Matrix& m) {
+  const auto d = static_cast<size_t>(m.cols());
+  ColumnStats stats;
+  stats.mean.assign(d, 0.0);
+  stats.stddev.assign(d, 0.0);
+  stats.min.assign(d, std::numeric_limits<double>::infinity());
+  stats.max.assign(d, -std::numeric_limits<double>::infinity());
+  if (m.rows() == 0) return stats;
+
+  std::vector<KahanSum> sums(d), squares(d);
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      sums[j].Add(row[j]);
+      stats.min[j] = std::min(stats.min[j], row[j]);
+      stats.max[j] = std::max(stats.max[j], row[j]);
+    }
+  }
+  const double n = static_cast<double>(m.rows());
+  for (size_t j = 0; j < d; ++j) stats.mean[j] = sums[j].Total() / n;
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      double delta = row[j] - stats.mean[j];
+      squares[j].Add(delta * delta);
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    stats.stddev[j] = std::sqrt(squares[j].Total() / n);
+  }
+  return stats;
+}
+
+Matrix Standardize(const Matrix& m, const ColumnStats& stats) {
+  Matrix out(m.rows(), m.cols());
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    const double* src = m.Row(i);
+    double* dst = out.Row(i);
+    for (int64_t j = 0; j < m.cols(); ++j) {
+      auto ji = static_cast<size_t>(j);
+      double centered = src[j] - stats.mean[ji];
+      dst[j] = stats.stddev[ji] > 0.0 ? centered / stats.stddev[ji]
+                                      : centered;
+    }
+  }
+  return out;
+}
+
+Matrix MinMaxScale(const Matrix& m, const ColumnStats& stats) {
+  Matrix out(m.rows(), m.cols());
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    const double* src = m.Row(i);
+    double* dst = out.Row(i);
+    for (int64_t j = 0; j < m.cols(); ++j) {
+      auto ji = static_cast<size_t>(j);
+      double range = stats.max[ji] - stats.min[ji];
+      dst[j] = range > 0.0 ? (src[j] - stats.min[ji]) / range : 0.0;
+    }
+  }
+  return out;
+}
+
+Dataset ShuffleRows(const Dataset& data, rng::Rng rng) {
+  rng::Rng gen = rng.Fork(rng::StreamPurpose::kShuffle);
+  std::vector<int64_t> order(static_cast<size_t>(data.n()));
+  std::iota(order.begin(), order.end(), int64_t{0});
+  // Fisher–Yates with our deterministic stream.
+  for (int64_t i = data.n() - 1; i > 0; --i) {
+    auto j = static_cast<int64_t>(gen.NextBounded(i + 1));
+    std::swap(order[static_cast<size_t>(i)], order[static_cast<size_t>(j)]);
+  }
+  return data.Gather(order);
+}
+
+Result<Dataset> SampleFraction(const Dataset& data, double fraction,
+                               rng::Rng rng) {
+  if (!(fraction > 0.0) || fraction > 1.0) {
+    return Status::InvalidArgument("fraction must be in (0, 1]");
+  }
+  auto target = static_cast<int64_t>(
+      std::ceil(fraction * static_cast<double>(data.n())));
+  if (target >= data.n()) return data.Gather([&] {
+    std::vector<int64_t> all(static_cast<size_t>(data.n()));
+    std::iota(all.begin(), all.end(), int64_t{0});
+    return all;
+  }());
+
+  rng::Rng gen = rng.Fork(rng::StreamPurpose::kShuffle, 1);
+  // Floyd's algorithm: exactly `target` distinct indices.
+  std::vector<int64_t> chosen;
+  chosen.reserve(static_cast<size_t>(target));
+  std::vector<bool> used(static_cast<size_t>(data.n()), false);
+  for (int64_t j = data.n() - target; j < data.n(); ++j) {
+    auto t = static_cast<int64_t>(gen.NextBounded(j + 1));
+    if (used[static_cast<size_t>(t)]) t = j;
+    used[static_cast<size_t>(t)] = true;
+    chosen.push_back(t);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return data.Gather(chosen);
+}
+
+}  // namespace kmeansll::data

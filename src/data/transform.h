@@ -1,0 +1,46 @@
+// Dataset transforms: normalization, shuffling, subsampling. The paper's
+// §5.3 experiments run on "a 10% sample of KDDCup1999" — SampleFraction
+// provides that; ShuffleRows removes generator ordering before contiguous
+// partitioning.
+
+#ifndef KMEANSLL_DATA_TRANSFORM_H_
+#define KMEANSLL_DATA_TRANSFORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "matrix/dataset.h"
+#include "rng/rng.h"
+
+namespace kmeansll::data {
+
+/// Per-column summary statistics.
+struct ColumnStats {
+  std::vector<double> mean;
+  std::vector<double> stddev;  ///< population stddev
+  std::vector<double> min;
+  std::vector<double> max;
+};
+
+/// Computes per-column stats in one pass.
+ColumnStats ComputeColumnStats(const Matrix& m);
+
+/// (x - mean) / stddev per column; columns with stddev == 0 are centered
+/// only.
+Matrix Standardize(const Matrix& m, const ColumnStats& stats);
+
+/// Maps each column to [0, 1]; constant columns become 0.
+Matrix MinMaxScale(const Matrix& m, const ColumnStats& stats);
+
+/// Uniformly permutes the rows (weights/labels follow).
+Dataset ShuffleRows(const Dataset& data, rng::Rng rng);
+
+/// Uniform sample without replacement of ceil(fraction * n) rows,
+/// fraction in (0, 1].
+Result<Dataset> SampleFraction(const Dataset& data, double fraction,
+                               rng::Rng rng);
+
+}  // namespace kmeansll::data
+
+#endif  // KMEANSLL_DATA_TRANSFORM_H_

@@ -1,0 +1,112 @@
+#include "distance/nearest.h"
+
+#include <limits>
+
+#include "common/math_util.h"
+#include "distance/l2.h"
+
+namespace kmeansll {
+
+std::vector<double> RowSquaredNorms(const Matrix& m) {
+  std::vector<double> norms(static_cast<size_t>(m.rows()));
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    norms[static_cast<size_t>(i)] = SquaredNorm(m.Row(i), m.cols());
+  }
+  return norms;
+}
+
+NearestCenterSearch::NearestCenterSearch(const Matrix& centers, Kernel kernel)
+    : centers_(centers) {
+  switch (kernel) {
+    case Kernel::kPlain:
+      use_expanded_ = false;
+      break;
+    case Kernel::kExpanded:
+      use_expanded_ = true;
+      break;
+    case Kernel::kAuto:
+      use_expanded_ = centers.cols() >= 16;
+      break;
+  }
+  if (use_expanded_) center_norms_ = RowSquaredNorms(centers_);
+}
+
+NearestResult NearestCenterSearch::Find(const double* point) const {
+  if (use_expanded_) {
+    return FindWithNorm(point, SquaredNorm(point, centers_.cols()));
+  }
+  return FindWithNorm(point, 0.0);
+}
+
+NearestResult NearestCenterSearch::FindWithNorm(const double* point,
+                                                double point_norm2) const {
+  KMEANSLL_DCHECK(centers_.rows() > 0);
+  NearestResult best;
+  best.distance2 = std::numeric_limits<double>::infinity();
+  const int64_t k = centers_.rows();
+  const int64_t d = centers_.cols();
+  if (use_expanded_) {
+    for (int64_t c = 0; c < k; ++c) {
+      double d2 = SquaredL2Expanded(
+          point_norm2, center_norms_[static_cast<size_t>(c)],
+          DotProduct(point, centers_.Row(c), d));
+      if (d2 < best.distance2) {
+        best.distance2 = d2;
+        best.index = c;
+      }
+    }
+  } else {
+    for (int64_t c = 0; c < k; ++c) {
+      double d2 = SquaredL2(point, centers_.Row(c), d);
+      if (d2 < best.distance2) {
+        best.distance2 = d2;
+        best.index = c;
+      }
+    }
+  }
+  return best;
+}
+
+MinDistanceTracker::MinDistanceTracker(const Dataset& data)
+    : data_(data),
+      min_d2_(static_cast<size_t>(data.n()),
+              std::numeric_limits<double>::infinity()),
+      closest_(static_cast<size_t>(data.n()), -1),
+      potential_(std::numeric_limits<double>::infinity()) {}
+
+double MinDistanceTracker::AddCenters(const Matrix& centers, int64_t first) {
+  KMEANSLL_CHECK_EQ(centers.cols(), data_.dim());
+  KMEANSLL_CHECK(first >= 0 && first <= centers.rows());
+  const int64_t d = data_.dim();
+  for (int64_t c = first; c < centers.rows(); ++c) {
+    const double* center = centers.Row(c);
+    for (int64_t i = 0; i < data_.n(); ++i) {
+      double d2 = SquaredL2(data_.Point(i), center, d);
+      if (d2 < min_d2_[static_cast<size_t>(i)]) {
+        min_d2_[static_cast<size_t>(i)] = d2;
+        closest_[static_cast<size_t>(i)] = c;
+      }
+    }
+  }
+  RecomputePotential();
+  return potential_;
+}
+
+void MinDistanceTracker::RecomputePotential() {
+  KahanSum sum;
+  for (int64_t i = 0; i < data_.n(); ++i) {
+    sum.Add(data_.Weight(i) * min_d2_[static_cast<size_t>(i)]);
+  }
+  potential_ = sum.Total();
+}
+
+std::vector<double> MinDistanceTracker::WeightedContributions() const {
+  std::vector<double> out(min_d2_.size());
+  for (int64_t i = 0; i < data_.n(); ++i) {
+    out[static_cast<size_t>(i)] =
+        data_.Weight(i) * min_d2_[static_cast<size_t>(i)];
+  }
+  return out;
+}
+
+}  // namespace kmeansll

@@ -1,0 +1,107 @@
+// Nearest-center search and incremental min-distance maintenance.
+//
+// NearestCenterSearch answers "which center is closest to x, and at what
+// squared distance" for a frozen center set, optionally using the
+// norm-expanded kernel.
+//
+// MinDistanceTracker maintains d²(x, C) for every point x while C grows —
+// the data structure behind both k-means++ (Algorithm 1) and each round of
+// k-means|| (Algorithm 2): after centers are added, one pass updates
+// min(d_old², d²(x, c_new)) instead of rescanning all of C. This is what
+// keeps the total initializer cost at O(nkd) as the paper states.
+
+#ifndef KMEANSLL_DISTANCE_NEAREST_H_
+#define KMEANSLL_DISTANCE_NEAREST_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "matrix/dataset.h"
+#include "matrix/matrix.h"
+
+namespace kmeansll {
+
+/// Result of a nearest-center query.
+struct NearestResult {
+  int64_t index = -1;    ///< row of the closest center
+  double distance2 = 0;  ///< squared distance to it
+};
+
+/// Search over a frozen k × d center matrix.
+class NearestCenterSearch {
+ public:
+  /// Kernel selection; kAuto picks expanded for d >= 16 (where the dot
+  /// product formulation wins; see bench/bm_distance).
+  enum class Kernel { kAuto, kPlain, kExpanded };
+
+  explicit NearestCenterSearch(const Matrix& centers,
+                               Kernel kernel = Kernel::kAuto);
+
+  /// Closest center to `point` (dim must match). Centers must be
+  /// non-empty.
+  NearestResult Find(const double* point) const;
+
+  /// Closest center given the caller-precomputed ||point||² (only used by
+  /// the expanded kernel; ignored otherwise).
+  NearestResult FindWithNorm(const double* point, double point_norm2) const;
+
+  int64_t num_centers() const { return centers_.rows(); }
+  bool uses_expanded_kernel() const { return use_expanded_; }
+
+ private:
+  const Matrix& centers_;  // not owned; must outlive the search
+  std::vector<double> center_norms_;
+  bool use_expanded_;
+};
+
+/// Maintains per-point d²(x, C) and the index of the closest center while
+/// C grows. All costs are weighted by the dataset's point weights, so the
+/// same tracker drives the weighted reclustering step.
+class MinDistanceTracker {
+ public:
+  /// Starts with an empty center set: all distances are +infinity and the
+  /// potential is undefined until the first center is added.
+  explicit MinDistanceTracker(const Dataset& data);
+
+  /// Accounts rows [first, centers.rows()) of `centers` as newly added,
+  /// updating every point's min distance. Returns the new potential
+  /// φ_X(C) = Σ_x w_x · d²(x, C).
+  double AddCenters(const Matrix& centers, int64_t first);
+
+  /// Squared distance from point i to the current center set.
+  double Distance2(int64_t i) const {
+    return min_d2_[static_cast<size_t>(i)];
+  }
+  /// Index (into the accumulated center matrix) of point i's closest
+  /// center; -1 before any center is added.
+  int64_t ClosestCenter(int64_t i) const {
+    return closest_[static_cast<size_t>(i)];
+  }
+
+  /// Current potential φ_X(C) (weighted).
+  double Potential() const { return potential_; }
+
+  /// Vector of weighted contributions w_x · d²(x, C) — the D² sampling
+  /// weights of Algorithms 1 and 2.
+  std::vector<double> WeightedContributions() const;
+
+  const std::vector<double>& distances2() const { return min_d2_; }
+
+  int64_t n() const { return static_cast<int64_t>(min_d2_.size()); }
+
+ private:
+  const Dataset& data_;  // not owned; must outlive the tracker
+  std::vector<double> min_d2_;
+  std::vector<int64_t> closest_;
+  double potential_ = 0.0;
+
+  void RecomputePotential();
+};
+
+/// Per-row squared norms of a matrix (used by the expanded kernel).
+std::vector<double> RowSquaredNorms(const Matrix& m);
+
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_DISTANCE_NEAREST_H_

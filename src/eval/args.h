@@ -1,0 +1,32 @@
+// Minimal --flag=value command-line parsing for the bench harnesses and
+// examples (no external dependencies by design).
+
+#ifndef KMEANSLL_EVAL_ARGS_H_
+#define KMEANSLL_EVAL_ARGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace kmeansll::eval {
+
+/// Parses "--name=value" and bare "--flag" (value "1") arguments.
+/// Unrecognized positional arguments are ignored.
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace kmeansll::eval
+
+#endif  // KMEANSLL_EVAL_ARGS_H_

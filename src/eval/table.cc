@@ -1,0 +1,80 @@
+#include "eval/table.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace kmeansll::eval {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  KMEANSLL_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  KMEANSLL_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+Status TablePrinter::WriteTsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out << Join(headers_, "\t") << '\n';
+  for (const auto& row : rows_) out << Join(row, "\t") << '\n';
+  if (!out.good()) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+std::string Cell(double value, int precision) {
+  return FormatScientific(value, precision);
+}
+
+std::string CellScaled(double value, double scale, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value / scale);
+  return buf;
+}
+
+std::string CellInt(int64_t value) { return FormatWithCommas(value); }
+
+std::string TsvOutputPath(const std::string& name) {
+  ::mkdir("bench_out", 0755);  // best-effort; failure surfaces on write
+  return "bench_out/" + name + ".tsv";
+}
+
+}  // namespace kmeansll::eval

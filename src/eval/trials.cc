@@ -1,0 +1,48 @@
+#include "eval/trials.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/math_util.h"
+
+namespace kmeansll::eval {
+
+TrialSummary Summarize(const std::vector<double>& values) {
+  TrialSummary s;
+  s.count = static_cast<int64_t>(values.size());
+  if (values.empty()) return s;
+  s.median = Median(values);
+  s.mean = Mean(values);
+  s.stddev = StdDev(values);
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  return s;
+}
+
+TrialSummary RunTrials(int64_t count,
+                       const std::function<double(int64_t)>& trial) {
+  KMEANSLL_CHECK_GE(count, 1);
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(count));
+  for (int64_t t = 0; t < count; ++t) values.push_back(trial(t));
+  return Summarize(values);
+}
+
+std::vector<TrialSummary> RunMultiTrials(
+    int64_t count,
+    const std::function<std::vector<double>(int64_t)>& trial) {
+  KMEANSLL_CHECK_GE(count, 1);
+  std::vector<std::vector<double>> columns;
+  for (int64_t t = 0; t < count; ++t) {
+    std::vector<double> row = trial(t);
+    if (columns.empty()) columns.resize(row.size());
+    KMEANSLL_CHECK_EQ(columns.size(), row.size());
+    for (size_t q = 0; q < row.size(); ++q) columns[q].push_back(row[q]);
+  }
+  std::vector<TrialSummary> out;
+  out.reserve(columns.size());
+  for (const auto& column : columns) out.push_back(Summarize(column));
+  return out;
+}
+
+}  // namespace kmeansll::eval

@@ -1,0 +1,40 @@
+// Repeated-trial statistics, matching the paper's methodology ("the
+// median cost (over 11 runs)", "averaged over 10 runs").
+
+#ifndef KMEANSLL_EVAL_TRIALS_H_
+#define KMEANSLL_EVAL_TRIALS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace kmeansll::eval {
+
+/// Summary statistics of one measured quantity across trials.
+struct TrialSummary {
+  double median = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  int64_t count = 0;
+};
+
+/// Summarizes raw per-trial values.
+TrialSummary Summarize(const std::vector<double>& values);
+
+/// Runs `trial(t)` for t = 0..count-1 and summarizes the returned values.
+/// Each trial should derive its randomness from t so runs are independent.
+TrialSummary RunTrials(int64_t count,
+                       const std::function<double(int64_t)>& trial);
+
+/// Runs trials that each produce several named quantities at once (e.g.
+/// seed cost AND final cost AND iterations from one Fit); returns one
+/// summary per quantity, in the order produced.
+std::vector<TrialSummary> RunMultiTrials(
+    int64_t count,
+    const std::function<std::vector<double>(int64_t)>& trial);
+
+}  // namespace kmeansll::eval
+
+#endif  // KMEANSLL_EVAL_TRIALS_H_

@@ -1,0 +1,184 @@
+// A typed, in-memory MapReduce engine.
+//
+// Semantics mirror Hadoop's:
+//   map:      (partition_id, Input) -> list of (K, V)
+//   combine:  associative V ⊕ V, applied per map task (optional)
+//   shuffle:  group by key, deterministic key order (std::map)
+//   reduce:   (K, [V]) -> Out, one group per reduce call
+//
+// The engine executes map tasks and reduce groups on a ThreadPool, but its
+// output is bit-identical for any thread count: per-task emissions are
+// collected separately and folded in task order, and reduce outputs are
+// emitted in key order.
+//
+// This is the substrate on which the parallel k-means|| of paper §3.5
+// runs (cost job, sampling job, weight job, Lloyd job — see
+// clustering/mapreduce_kmeans.h).
+
+#ifndef KMEANSLL_MAPREDUCE_JOB_H_
+#define KMEANSLL_MAPREDUCE_JOB_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "mapreduce/counters.h"
+#include "parallel/thread_pool.h"
+
+namespace kmeansll::mapreduce {
+
+/// Collects (key, value) pairs emitted by one map task.
+template <typename K, typename V>
+class Emitter {
+ public:
+  void Emit(K key, V value) {
+    pairs_.emplace_back(std::move(key), std::move(value));
+  }
+  std::vector<std::pair<K, V>>& pairs() { return pairs_; }
+  const std::vector<std::pair<K, V>>& pairs() const { return pairs_; }
+
+ private:
+  std::vector<std::pair<K, V>> pairs_;
+};
+
+/// Configuration and execution of one job.
+///
+/// Input:  the element type of the partition list (one map task each).
+/// K, V:   intermediate key/value types. K needs operator<.
+/// Out:    reduce output type.
+template <typename Input, typename K, typename V, typename Out>
+class Job {
+ public:
+  using MapFn =
+      std::function<void(int64_t partition_id, const Input& input,
+                         Emitter<K, V>* emitter)>;
+  /// Associative combiner; applied eagerly per map task and again at
+  /// shuffle, exactly like a Hadoop combiner.
+  using CombineFn = std::function<V(const V&, const V&)>;
+  using ReduceFn = std::function<Out(const K& key, std::vector<V>& values)>;
+
+  Job& WithMap(MapFn map) {
+    map_ = std::move(map);
+    return *this;
+  }
+  Job& WithCombine(CombineFn combine) {
+    combine_ = std::move(combine);
+    return *this;
+  }
+  Job& WithReduce(ReduceFn reduce) {
+    reduce_ = std::move(reduce);
+    return *this;
+  }
+  Job& WithCounters(Counters* counters) {
+    counters_ = counters;
+    return *this;
+  }
+
+  /// Runs the job over `partitions` on `pool` (nullptr = inline execution).
+  /// Returns reduce outputs in ascending key order.
+  std::vector<Out> Run(ThreadPool* pool,
+                       const std::vector<Input>& partitions) const {
+    KMEANSLL_CHECK(map_ != nullptr);
+    KMEANSLL_CHECK(reduce_ != nullptr);
+    const int64_t num_tasks = static_cast<int64_t>(partitions.size());
+
+    // --- Map phase -------------------------------------------------------
+    std::vector<Emitter<K, V>> emitters(partitions.size());
+    auto run_map_task = [&](int64_t t) {
+      map_(t, partitions[static_cast<size_t>(t)],
+           &emitters[static_cast<size_t>(t)]);
+    };
+    if (pool == nullptr) {
+      for (int64_t t = 0; t < num_tasks; ++t) run_map_task(t);
+    } else {
+      for (int64_t t = 0; t < num_tasks; ++t) {
+        pool->Submit([&run_map_task, t] { run_map_task(t); });
+      }
+      pool->Wait();
+    }
+
+    int64_t map_output_pairs = 0;
+    for (const auto& e : emitters) {
+      map_output_pairs += static_cast<int64_t>(e.pairs().size());
+    }
+
+    // --- Combine (per task) + shuffle (task order => deterministic) ------
+    std::map<K, std::vector<V>> groups;
+    int64_t combined_pairs = 0;
+    for (auto& emitter : emitters) {
+      if (combine_ != nullptr) {
+        std::map<K, V> local;
+        for (auto& [key, value] : emitter.pairs()) {
+          auto [it, inserted] = local.emplace(key, value);
+          if (!inserted) it->second = combine_(it->second, value);
+        }
+        combined_pairs += static_cast<int64_t>(local.size());
+        for (auto& [key, value] : local) {
+          groups[key].push_back(std::move(value));
+        }
+      } else {
+        combined_pairs += static_cast<int64_t>(emitter.pairs().size());
+        for (auto& [key, value] : emitter.pairs()) {
+          groups[key].push_back(std::move(value));
+        }
+      }
+      emitter.pairs().clear();
+      emitter.pairs().shrink_to_fit();
+    }
+
+    // --- Reduce phase ----------------------------------------------------
+    // Collapse combined values again so each reducer sees one value when a
+    // combiner exists (matching Hadoop's "combiner may run 0..n times").
+    std::vector<const K*> keys;
+    keys.reserve(groups.size());
+    for (auto& [key, values] : groups) {
+      if (combine_ != nullptr && values.size() > 1) {
+        V acc = values[0];
+        for (size_t i = 1; i < values.size(); ++i) {
+          acc = combine_(acc, values[i]);
+        }
+        values.clear();
+        values.push_back(std::move(acc));
+      }
+      keys.push_back(&key);
+    }
+
+    std::vector<Out> outputs(groups.size());
+    auto run_reduce = [&](size_t g) {
+      const K& key = *keys[g];
+      outputs[g] = reduce_(key, groups[key]);
+    };
+    if (pool == nullptr || groups.size() <= 1) {
+      for (size_t g = 0; g < keys.size(); ++g) run_reduce(g);
+    } else {
+      for (size_t g = 0; g < keys.size(); ++g) {
+        pool->Submit([&run_reduce, g] { run_reduce(g); });
+      }
+      pool->Wait();
+    }
+
+    if (counters_ != nullptr) {
+      counters_->Add(kCounterJobs, 1);
+      counters_->Add(kCounterMapTasks, num_tasks);
+      counters_->Add(kCounterMapOutputPairs, map_output_pairs);
+      counters_->Add(kCounterCombineOutputPairs, combined_pairs);
+      counters_->Add(kCounterReduceGroups,
+                     static_cast<int64_t>(groups.size()));
+    }
+    return outputs;
+  }
+
+ private:
+  MapFn map_;
+  CombineFn combine_;
+  ReduceFn reduce_;
+  Counters* counters_ = nullptr;
+};
+
+}  // namespace kmeansll::mapreduce
+
+#endif  // KMEANSLL_MAPREDUCE_JOB_H_

@@ -1,0 +1,38 @@
+// Input splits for MapReduce jobs over a Dataset: each partition is a
+// contiguous row range of the (logically distributed) point set, the
+// in-memory analog of an HDFS block.
+
+#ifndef KMEANSLL_MAPREDUCE_PARTITION_H_
+#define KMEANSLL_MAPREDUCE_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/dataset.h"
+
+namespace kmeansll::mapreduce {
+
+/// One map task's slice of the dataset.
+struct DataPartition {
+  const Dataset* data = nullptr;  ///< not owned
+  int64_t begin = 0;              ///< first row (inclusive)
+  int64_t end = 0;                ///< last row (exclusive)
+
+  int64_t size() const { return end - begin; }
+};
+
+/// Splits `data` into `num_partitions` near-equal contiguous partitions.
+inline std::vector<DataPartition> MakePartitions(const Dataset& data,
+                                                 int64_t num_partitions) {
+  std::vector<DataPartition> parts;
+  auto ranges = data.SplitRanges(num_partitions);
+  parts.reserve(ranges.size());
+  for (const auto& [begin, end] : ranges) {
+    parts.push_back(DataPartition{&data, begin, end});
+  }
+  return parts;
+}
+
+}  // namespace kmeansll::mapreduce
+
+#endif  // KMEANSLL_MAPREDUCE_PARTITION_H_

@@ -1,0 +1,100 @@
+#include "matrix/aligned_buffer.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace kmeansll {
+
+double* AlignedBuffer::Allocate(size_t count) {
+  if (count == 0) return nullptr;
+  void* ptr = nullptr;
+  size_t bytes = count * sizeof(double);
+  // Round up to an alignment multiple as required by aligned_alloc.
+  bytes = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  ptr = std::aligned_alloc(kAlignment, bytes);
+  KMEANSLL_CHECK(ptr != nullptr);
+  return static_cast<double*>(ptr);
+}
+
+void AlignedBuffer::Deallocate(double* ptr) { std::free(ptr); }
+
+AlignedBuffer::AlignedBuffer(size_t size) {
+  Resize(size);
+}
+
+AlignedBuffer::~AlignedBuffer() { Deallocate(data_); }
+
+AlignedBuffer::AlignedBuffer(const AlignedBuffer& other) {
+  if (other.size_ > 0) {
+    data_ = Allocate(other.size_);
+    std::memcpy(data_, other.data_, other.size_ * sizeof(double));
+  }
+  size_ = other.size_;
+  capacity_ = other.size_;
+}
+
+AlignedBuffer& AlignedBuffer::operator=(const AlignedBuffer& other) {
+  if (this == &other) return *this;
+  if (other.size_ > capacity_) {
+    Deallocate(data_);
+    data_ = Allocate(other.size_);
+    capacity_ = other.size_;
+  }
+  if (other.size_ > 0) {
+    std::memcpy(data_, other.data_, other.size_ * sizeof(double));
+  }
+  size_ = other.size_;
+  return *this;
+}
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : data_(other.data_), size_(other.size_), capacity_(other.capacity_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.capacity_ = 0;
+}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this == &other) return *this;
+  Deallocate(data_);
+  data_ = other.data_;
+  size_ = other.size_;
+  capacity_ = other.capacity_;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.capacity_ = 0;
+  return *this;
+}
+
+void AlignedBuffer::Reallocate(size_t new_capacity) {
+  double* fresh = Allocate(new_capacity);
+  if (size_ > 0) std::memcpy(fresh, data_, size_ * sizeof(double));
+  Deallocate(data_);
+  data_ = fresh;
+  capacity_ = new_capacity;
+}
+
+void AlignedBuffer::Reserve(size_t capacity) {
+  if (capacity > capacity_) Reallocate(capacity);
+}
+
+void AlignedBuffer::Resize(size_t size) {
+  if (size > capacity_) Reallocate(size);
+  if (size > size_) {
+    std::memset(data_ + size_, 0, (size - size_) * sizeof(double));
+  }
+  size_ = size;
+}
+
+void AlignedBuffer::Append(const double* src, size_t count) {
+  if (count == 0) return;
+  if (size_ + count > capacity_) {
+    size_t grown = capacity_ == 0 ? 64 : capacity_ * 2;
+    if (grown < size_ + count) grown = size_ + count;
+    Reallocate(grown);
+  }
+  std::memcpy(data_ + size_, src, count * sizeof(double));
+  size_ += count;
+}
+
+}  // namespace kmeansll

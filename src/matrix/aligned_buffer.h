@@ -1,0 +1,69 @@
+// 64-byte-aligned growable buffer of doubles. Row data aligned to cache
+// lines keeps the O(nkd) distance kernels vectorizable and avoids split
+// loads; this is the storage layer under Matrix.
+
+#ifndef KMEANSLL_MATRIX_ALIGNED_BUFFER_H_
+#define KMEANSLL_MATRIX_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace kmeansll {
+
+/// Owning, movable, 64-byte aligned array of double with amortized-growth
+/// append semantics (like std::vector, minus initialization of spare
+/// capacity).
+class AlignedBuffer {
+ public:
+  static constexpr size_t kAlignment = 64;
+
+  AlignedBuffer() = default;
+  /// Allocates `size` zero-initialized doubles.
+  explicit AlignedBuffer(size_t size);
+  ~AlignedBuffer();
+
+  AlignedBuffer(const AlignedBuffer& other);
+  AlignedBuffer& operator=(const AlignedBuffer& other);
+  AlignedBuffer(AlignedBuffer&& other) noexcept;
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+
+  /// Grows or shrinks to `size` elements. New elements are
+  /// zero-initialized; surviving elements are preserved.
+  void Resize(size_t size);
+
+  /// Ensures capacity for at least `capacity` elements.
+  void Reserve(size_t capacity);
+
+  /// Appends `count` doubles from `src` (may not alias this buffer).
+  void Append(const double* src, size_t count);
+
+  double* data() { return data_; }
+  const double* data() const { return data_; }
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  double& operator[](size_t i) {
+    KMEANSLL_DCHECK(i < size_);
+    return data_[i];
+  }
+  double operator[](size_t i) const {
+    KMEANSLL_DCHECK(i < size_);
+    return data_[i];
+  }
+
+ private:
+  void Reallocate(size_t new_capacity);
+  static double* Allocate(size_t count);
+  static void Deallocate(double* ptr);
+
+  double* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_MATRIX_ALIGNED_BUFFER_H_

@@ -1,0 +1,110 @@
+#include "matrix/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace kmeansll {
+
+Result<Dataset> Dataset::WithWeights(Matrix points,
+                                     std::vector<double> weights) {
+  if (static_cast<int64_t>(weights.size()) != points.rows()) {
+    return Status::InvalidArgument(
+        "weight count " + std::to_string(weights.size()) +
+        " does not match point count " + std::to_string(points.rows()));
+  }
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (!std::isfinite(weights[i]) || weights[i] < 0.0) {
+      return Status::InvalidArgument("weight " + std::to_string(i) +
+                                     " is negative or non-finite");
+    }
+  }
+  Dataset d(std::move(points));
+  d.weights_ = std::move(weights);
+  return d;
+}
+
+Result<Dataset> Dataset::WithLabels(Matrix points,
+                                    std::vector<int32_t> labels) {
+  if (static_cast<int64_t>(labels.size()) != points.rows()) {
+    return Status::InvalidArgument(
+        "label count " + std::to_string(labels.size()) +
+        " does not match point count " + std::to_string(points.rows()));
+  }
+  Dataset d(std::move(points));
+  d.labels_ = std::move(labels);
+  return d;
+}
+
+Result<Dataset> Dataset::WithWeightsAndLabels(Matrix points,
+                                              std::vector<double> weights,
+                                              std::vector<int32_t> labels) {
+  if (static_cast<int64_t>(labels.size()) != points.rows()) {
+    return Status::InvalidArgument(
+        "label count " + std::to_string(labels.size()) +
+        " does not match point count " + std::to_string(points.rows()));
+  }
+  KMEANSLL_ASSIGN_OR_RETURN(
+      Dataset d, WithWeights(std::move(points), std::move(weights)));
+  d.labels_ = std::move(labels);
+  return d;
+}
+
+double Dataset::TotalWeight() const {
+  if (weights_.empty()) return static_cast<double>(n());
+  KahanSum sum;
+  for (double w : weights_) sum.Add(w);
+  return sum.Total();
+}
+
+Dataset Dataset::Gather(const std::vector<int64_t>& indices) const {
+  Dataset out(points_.GatherRows(indices));
+  if (!weights_.empty()) {
+    out.weights_.reserve(indices.size());
+    for (int64_t i : indices) {
+      out.weights_.push_back(weights_[static_cast<size_t>(i)]);
+    }
+  }
+  if (!labels_.empty()) {
+    out.labels_.reserve(indices.size());
+    for (int64_t i : indices) {
+      out.labels_.push_back(labels_[static_cast<size_t>(i)]);
+    }
+  }
+  return out;
+}
+
+Status Dataset::ValidateFinite() const {
+  const double* values = points_.data();
+  const int64_t total = points_.size();
+  for (int64_t v = 0; v < total; ++v) {
+    if (!std::isfinite(values[v])) {
+      int64_t row = v / std::max<int64_t>(dim(), 1);
+      int64_t col = v % std::max<int64_t>(dim(), 1);
+      return Status::InvalidArgument(
+          "non-finite coordinate at point " + std::to_string(row) +
+          ", dimension " + std::to_string(col));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::pair<int64_t, int64_t>> Dataset::SplitRanges(
+    int64_t parts) const {
+  KMEANSLL_CHECK_GE(parts, 1);
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  ranges.reserve(static_cast<size_t>(parts));
+  int64_t total = n();
+  int64_t base = total / parts;
+  int64_t extra = total % parts;
+  int64_t begin = 0;
+  for (int64_t p = 0; p < parts; ++p) {
+    int64_t len = base + (p < extra ? 1 : 0);
+    ranges.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  return ranges;
+}
+
+}  // namespace kmeansll

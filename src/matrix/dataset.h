@@ -1,0 +1,79 @@
+// Dataset: points plus optional per-point weights and ground-truth labels.
+// Weighted datasets arise in the reclustering step of k-means|| (Algorithm
+// 2, Steps 7–8) and in the Partition baseline's intermediate coresets.
+
+#ifndef KMEANSLL_MATRIX_DATASET_H_
+#define KMEANSLL_MATRIX_DATASET_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "matrix/matrix.h"
+
+namespace kmeansll {
+
+/// Immutable-by-convention collection of n points in R^d with optional
+/// weights (default 1.0) and optional integer labels (for synthetic data
+/// with known ground truth).
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(Matrix points) : points_(std::move(points)) {}
+
+  /// Builds a weighted dataset; weight count must match the row count and
+  /// weights must be finite and non-negative.
+  static Result<Dataset> WithWeights(Matrix points,
+                                     std::vector<double> weights);
+
+  /// Attaches ground-truth labels (size must match row count).
+  static Result<Dataset> WithLabels(Matrix points,
+                                    std::vector<int32_t> labels);
+
+  /// Attaches both weights and labels (each validated as above).
+  static Result<Dataset> WithWeightsAndLabels(Matrix points,
+                                              std::vector<double> weights,
+                                              std::vector<int32_t> labels);
+
+  int64_t n() const { return points_.rows(); }
+  int64_t dim() const { return points_.cols(); }
+
+  const Matrix& points() const { return points_; }
+  const double* Point(int64_t i) const { return points_.Row(i); }
+
+  bool has_weights() const { return !weights_.empty(); }
+  /// Weight of point i (1.0 when unweighted).
+  double Weight(int64_t i) const {
+    return weights_.empty() ? 1.0 : weights_[static_cast<size_t>(i)];
+  }
+  const std::vector<double>& weights() const { return weights_; }
+  /// Sum of all weights (n for unweighted datasets).
+  double TotalWeight() const;
+
+  bool has_labels() const { return !labels_.empty(); }
+  const std::vector<int32_t>& labels() const { return labels_; }
+
+  /// Copies the selected rows (weights/labels follow) into a new Dataset.
+  Dataset Gather(const std::vector<int64_t>& indices) const;
+
+  /// Splits into `parts` contiguous chunks of near-equal size (the last
+  /// chunks are one smaller when n % parts != 0); returns [begin,end) pairs.
+  std::vector<std::pair<int64_t, int64_t>> SplitRanges(int64_t parts) const;
+
+  /// Verifies every coordinate is finite (weights are validated at
+  /// construction). Distance arithmetic on NaN/Inf corrupts every
+  /// downstream result silently, so entry points check this up front.
+  Status ValidateFinite() const;
+
+ private:
+  Matrix points_;
+  std::vector<double> weights_;  // empty => all 1.0
+  std::vector<int32_t> labels_;  // empty => unknown
+};
+
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_MATRIX_DATASET_H_

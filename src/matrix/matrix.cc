@@ -1,0 +1,53 @@
+#include "matrix/matrix.h"
+
+#include <cstring>
+
+namespace kmeansll {
+
+Matrix Matrix::FromValues(int64_t rows, int64_t cols,
+                          const std::vector<double>& values) {
+  KMEANSLL_CHECK_EQ(static_cast<int64_t>(values.size()), rows * cols);
+  Matrix m(rows, cols);
+  if (!values.empty()) {
+    std::memcpy(m.data(), values.data(), values.size() * sizeof(double));
+  }
+  return m;
+}
+
+void Matrix::AppendRow(const double* row) {
+  buffer_.Append(row, static_cast<size_t>(cols_));
+  ++rows_;
+}
+
+void Matrix::AppendRows(const Matrix& other) {
+  KMEANSLL_CHECK_EQ(cols_, other.cols_);
+  if (other.rows_ == 0) return;
+  buffer_.Append(other.data(), static_cast<size_t>(other.size()));
+  rows_ += other.rows_;
+}
+
+Matrix Matrix::GatherRows(const std::vector<int64_t>& indices) const {
+  Matrix out(cols_);
+  out.ReserveRows(static_cast<int64_t>(indices.size()));
+  for (int64_t idx : indices) {
+    KMEANSLL_CHECK(idx >= 0 && idx < rows_);
+    out.AppendRow(Row(idx));
+  }
+  return out;
+}
+
+void Matrix::Zero() {
+  if (size() > 0) {
+    std::memset(data(), 0, static_cast<size_t>(size()) * sizeof(double));
+  }
+}
+
+bool Matrix::operator==(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (int64_t i = 0; i < size(); ++i) {
+    if (data()[i] != other.data()[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace kmeansll

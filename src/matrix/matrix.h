@@ -1,0 +1,107 @@
+// Dense row-major matrix of doubles: the representation of both datasets
+// (n × d points) and center sets (k × d) throughout the library.
+
+#ifndef KMEANSLL_MATRIX_MATRIX_H_
+#define KMEANSLL_MATRIX_MATRIX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+#include "matrix/aligned_buffer.h"
+
+namespace kmeansll {
+
+/// Row-major (rows × cols) matrix with 64-byte-aligned storage and
+/// amortized AppendRow, used both for immutable datasets and for growing
+/// center sets during initialization.
+class Matrix {
+ public:
+  /// Empty 0 × cols matrix (rows can be appended).
+  Matrix() = default;
+  explicit Matrix(int64_t cols) : cols_(cols) { KMEANSLL_CHECK_GE(cols, 0); }
+
+  /// rows × cols matrix, zero-initialized.
+  Matrix(int64_t rows, int64_t cols) : rows_(rows), cols_(cols) {
+    KMEANSLL_CHECK_GE(rows, 0);
+    KMEANSLL_CHECK_GE(cols, 0);
+    buffer_.Resize(static_cast<size_t>(rows * cols));
+  }
+
+  /// Builds from row-major `values` (size must equal rows*cols).
+  static Matrix FromValues(int64_t rows, int64_t cols,
+                           const std::vector<double>& values);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  double* data() { return buffer_.data(); }
+  const double* data() const { return buffer_.data(); }
+
+  /// Pointer to the start of row i.
+  double* Row(int64_t i) {
+    KMEANSLL_DCHECK(i >= 0 && i < rows_);
+    return buffer_.data() + i * cols_;
+  }
+  const double* Row(int64_t i) const {
+    KMEANSLL_DCHECK(i >= 0 && i < rows_);
+    return buffer_.data() + i * cols_;
+  }
+
+  std::span<double> RowSpan(int64_t i) {
+    return std::span<double>(Row(i), static_cast<size_t>(cols_));
+  }
+  std::span<const double> RowSpan(int64_t i) const {
+    return std::span<const double>(Row(i), static_cast<size_t>(cols_));
+  }
+
+  double At(int64_t i, int64_t j) const {
+    KMEANSLL_DCHECK(j >= 0 && j < cols_);
+    return Row(i)[j];
+  }
+  double& At(int64_t i, int64_t j) {
+    KMEANSLL_DCHECK(j >= 0 && j < cols_);
+    return Row(i)[j];
+  }
+
+  /// Appends one row copied from `row` (must have cols() elements).
+  void AppendRow(const double* row);
+  void AppendRow(std::span<const double> row) {
+    KMEANSLL_CHECK_EQ(static_cast<int64_t>(row.size()), cols_);
+    AppendRow(row.data());
+  }
+
+  /// Appends all rows of `other` (same cols()).
+  void AppendRows(const Matrix& other);
+
+  /// Pre-allocates capacity for `rows` rows.
+  void ReserveRows(int64_t rows) {
+    buffer_.Reserve(static_cast<size_t>(rows * cols_));
+  }
+
+  /// Copies the given rows (by index) into a new matrix.
+  Matrix GatherRows(const std::vector<int64_t>& indices) const;
+
+  /// Sets every element to zero without changing shape.
+  void Zero();
+
+  /// Elementwise equality.
+  bool operator==(const Matrix& other) const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  AlignedBuffer buffer_;
+};
+
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_MATRIX_MATRIX_H_

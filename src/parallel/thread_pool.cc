@@ -1,0 +1,65 @@
+#include "parallel/thread_pool.h"
+
+namespace kmeansll {
+
+ThreadPool::ThreadPool(int num_threads) {
+  KMEANSLL_CHECK_GE(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    KMEANSLL_CHECK(!shutting_down_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // shutting_down_ with an empty queue: exit.
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+int ThreadPool::DefaultThreadCount() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace kmeansll

@@ -1,0 +1,56 @@
+// Fixed-size worker pool. This is the execution substrate for both the
+// parallel_for helpers and the in-memory MapReduce engine; the paper's
+// "embarrassingly parallel" steps (cost computation, per-point sampling,
+// weight counting, Lloyd assignment) all run on it.
+
+#ifndef KMEANSLL_PARALLEL_THREAD_POOL_H_
+#define KMEANSLL_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace kmeansll {
+
+/// A fixed set of worker threads draining a FIFO task queue.
+/// Submission is thread-safe. Destruction drains outstanding tasks.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  KMEANSLL_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  /// Enqueues a task; runs as soon as a worker is free.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Number of hardware threads (>= 1).
+  static int DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  int64_t in_flight_ = 0;  // queued + running
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_PARALLEL_THREAD_POOL_H_

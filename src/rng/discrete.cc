@@ -1,0 +1,103 @@
+#include "rng/discrete.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace kmeansll::rng {
+
+Status ValidateWeights(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("weight vector is empty");
+  }
+  KahanSum sum;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    double w = weights[i];
+    if (!std::isfinite(w)) {
+      return Status::InvalidArgument("weight " + std::to_string(i) +
+                                     " is not finite");
+    }
+    if (w < 0.0) {
+      return Status::InvalidArgument("weight " + std::to_string(i) +
+                                     " is negative");
+    }
+    sum.Add(w);
+  }
+  if (!(sum.Total() > 0.0)) {
+    return Status::InvalidArgument("weights sum to zero");
+  }
+  return Status::OK();
+}
+
+Result<PrefixSumSampler> PrefixSumSampler::Build(
+    const std::vector<double>& weights) {
+  KMEANSLL_RETURN_NOT_OK(ValidateWeights(weights));
+  std::vector<double> cumulative(weights.size());
+  KahanSum sum;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    sum.Add(weights[i]);
+    cumulative[i] = sum.Total();
+  }
+  return PrefixSumSampler(std::move(cumulative));
+}
+
+int64_t PrefixSumSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble() * cumulative_.back();
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  if (it == cumulative_.end()) --it;  // guard against u == total
+  // Skip zero-weight entries that share a prefix value with a predecessor:
+  // upper_bound already lands on the first index whose cumulative exceeds
+  // u, which necessarily has positive weight, so no adjustment is needed.
+  return static_cast<int64_t>(it - cumulative_.begin());
+}
+
+Result<AliasTable> AliasTable::Build(const std::vector<double>& weights) {
+  KMEANSLL_RETURN_NOT_OK(ValidateWeights(weights));
+  const int64_t n = static_cast<int64_t>(weights.size());
+  KahanSum total;
+  for (double w : weights) total.Add(w);
+  const double scale = static_cast<double>(n) / total.Total();
+
+  std::vector<double> prob(n);
+  std::vector<int64_t> alias(n);
+  // Scaled weights; < 1 go to `small`, >= 1 to `large`.
+  std::vector<double> scaled(n);
+  std::vector<int64_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * scale;
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    int64_t s = small.back();
+    small.pop_back();
+    int64_t l = large.back();
+    prob[s] = scaled[s];
+    alias[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are numerically 1.0.
+  for (int64_t l : large) {
+    prob[l] = 1.0;
+    alias[l] = l;
+  }
+  for (int64_t s : small) {
+    prob[s] = 1.0;
+    alias[s] = s;
+  }
+  return AliasTable(std::move(prob), std::move(alias));
+}
+
+int64_t AliasTable::Sample(Rng& rng) const {
+  const int64_t n = static_cast<int64_t>(prob_.size());
+  int64_t bucket = static_cast<int64_t>(rng.NextBounded(n));
+  return rng.NextDouble() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+}  // namespace kmeansll::rng

@@ -1,0 +1,69 @@
+// Sampling from a discrete distribution given unnormalized non-negative
+// weights. Two implementations with different build/draw trade-offs:
+//
+//  * PrefixSumSampler: O(n) build, O(log n) per draw. Used by k-means++
+//    (Algorithm 1), where the weights change after every single draw, and
+//    by the exact-ℓ mode of k-means||.
+//  * AliasTable (Vose 1991): O(n) build, O(1) per draw. Used when many
+//    draws are taken from a frozen distribution (Partition baseline,
+//    workload generators). Ablated against PrefixSumSampler in bench/bm_rng.
+
+#ifndef KMEANSLL_RNG_DISCRETE_H_
+#define KMEANSLL_RNG_DISCRETE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rng/rng.h"
+
+namespace kmeansll::rng {
+
+/// Cumulative-sum sampler over unnormalized weights.
+class PrefixSumSampler {
+ public:
+  /// Builds from `weights`; entries must be >= 0 and finite, and their sum
+  /// must be > 0.
+  static Result<PrefixSumSampler> Build(const std::vector<double>& weights);
+
+  /// Index drawn with probability weights[i] / sum(weights).
+  int64_t Sample(Rng& rng) const;
+
+  /// Total weight mass.
+  double total() const { return cumulative_.empty() ? 0.0 : cumulative_.back(); }
+  int64_t size() const { return static_cast<int64_t>(cumulative_.size()); }
+
+ private:
+  explicit PrefixSumSampler(std::vector<double> cumulative)
+      : cumulative_(std::move(cumulative)) {}
+
+  std::vector<double> cumulative_;  // inclusive prefix sums
+};
+
+/// Vose alias-method sampler over unnormalized weights.
+class AliasTable {
+ public:
+  /// Builds from `weights`; entries must be >= 0 and finite, and their sum
+  /// must be > 0.
+  static Result<AliasTable> Build(const std::vector<double>& weights);
+
+  /// Index drawn with probability weights[i] / sum(weights).
+  int64_t Sample(Rng& rng) const;
+
+  int64_t size() const { return static_cast<int64_t>(prob_.size()); }
+
+ private:
+  AliasTable(std::vector<double> prob, std::vector<int64_t> alias)
+      : prob_(std::move(prob)), alias_(std::move(alias)) {}
+
+  std::vector<double> prob_;     // acceptance probability per bucket
+  std::vector<int64_t> alias_;   // fallback index per bucket
+};
+
+/// Validates a weight vector: non-empty, all finite and >= 0, positive sum.
+Status ValidateWeights(const std::vector<double>& weights);
+
+}  // namespace kmeansll::rng
+
+#endif  // KMEANSLL_RNG_DISCRETE_H_

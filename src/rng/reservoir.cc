@@ -1,0 +1,74 @@
+#include "rng/reservoir.h"
+
+#include <cmath>
+
+namespace kmeansll::rng {
+
+UniformReservoir::UniformReservoir(int64_t capacity, Rng rng)
+    : capacity_(capacity), rng_(rng) {
+  KMEANSLL_CHECK_GE(capacity, 1);
+  items_.reserve(static_cast<size_t>(capacity));
+}
+
+void UniformReservoir::Offer(int64_t item) {
+  ++seen_;
+  if (static_cast<int64_t>(items_.size()) < capacity_) {
+    items_.push_back(item);
+    return;
+  }
+  int64_t j = static_cast<int64_t>(rng_.NextBounded(seen_));
+  if (j < capacity_) items_[static_cast<size_t>(j)] = item;
+}
+
+WeightedReservoir::WeightedReservoir(int64_t capacity, Rng rng)
+    : capacity_(capacity), rng_(rng) {
+  KMEANSLL_CHECK_GE(capacity, 1);
+}
+
+void WeightedReservoir::Offer(int64_t item, double weight) {
+  if (!(weight > 0.0)) return;
+  // Key log(u)/w is a monotone transform of u^(1/w); working in log space
+  // avoids underflow for the tiny per-point D² fractions of huge datasets.
+  double u = rng_.NextDouble();
+  while (u == 0.0) u = rng_.NextDouble();
+  Push(Entry{std::log(u) / weight, item});
+}
+
+void WeightedReservoir::OfferWithUniform(int64_t item, double weight,
+                                         double u) {
+  if (!(weight > 0.0)) return;
+  KMEANSLL_CHECK(u > 0.0 && u < 1.0);
+  Push(Entry{std::log(u) / weight, item});
+}
+
+void WeightedReservoir::Push(Entry e) {
+  if (static_cast<int64_t>(heap_.size()) < capacity_) {
+    heap_.push(e);
+    return;
+  }
+  if (e.key > heap_.top().key) {
+    heap_.pop();
+    heap_.push(e);
+  }
+}
+
+void WeightedReservoir::Merge(const WeightedReservoir& other) {
+  auto copy = other.heap_;
+  while (!copy.empty()) {
+    Push(copy.top());
+    copy.pop();
+  }
+}
+
+std::vector<int64_t> WeightedReservoir::Items() const {
+  std::vector<int64_t> out;
+  out.reserve(heap_.size());
+  auto copy = heap_;
+  while (!copy.empty()) {
+    out.push_back(copy.top().item);
+    copy.pop();
+  }
+  return out;
+}
+
+}  // namespace kmeansll::rng

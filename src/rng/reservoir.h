@@ -1,0 +1,86 @@
+// Reservoir sampling: select a fixed-size sample from a stream in one pass.
+//
+//  * UniformReservoir: Vitter's Algorithm R — k uniform samples without
+//    replacement.
+//  * WeightedReservoir: Efraimidis–Spirakis A-ExpJ — k samples without
+//    replacement with inclusion probability proportional to weight.
+//
+// The weighted variant implements the exact-ℓ selection mode of k-means||
+// (paper §5.3): in each round, exactly ℓ points are drawn D²-proportionally.
+// Being one-pass and mergeable per partition, it preserves the algorithm's
+// MapReduce-friendliness.
+
+#ifndef KMEANSLL_RNG_RESERVOIR_H_
+#define KMEANSLL_RNG_RESERVOIR_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/macros.h"
+#include "rng/rng.h"
+
+namespace kmeansll::rng {
+
+/// k uniform samples without replacement from a stream of unknown length.
+class UniformReservoir {
+ public:
+  /// `capacity` is the sample size k; must be >= 1.
+  UniformReservoir(int64_t capacity, Rng rng);
+
+  /// Offers the next stream element (identified by caller-side index).
+  void Offer(int64_t item);
+
+  /// Items currently held (k, or fewer if the stream was shorter).
+  const std::vector<int64_t>& items() const { return items_; }
+  int64_t seen() const { return seen_; }
+
+ private:
+  int64_t capacity_;
+  int64_t seen_ = 0;
+  std::vector<int64_t> items_;
+  Rng rng_;
+};
+
+/// k samples without replacement, probability proportional to weight
+/// (Efraimidis–Spirakis A-ExpJ: keep the k largest keys u^(1/w)).
+class WeightedReservoir {
+ public:
+  /// `capacity` is the sample size k; must be >= 1.
+  WeightedReservoir(int64_t capacity, Rng rng);
+
+  /// Offers an element with the given weight; weight <= 0 is never chosen.
+  void Offer(int64_t item, double weight);
+
+  /// Offer with a caller-supplied uniform draw u in (0, 1); use when the
+  /// randomness must be a pure function of the item (e.g. hashed per-point
+  /// uniforms for partition-independent selection). Requires u > 0.
+  void OfferWithUniform(int64_t item, double weight, double u);
+
+  /// Merges another reservoir built from a disjoint part of the stream.
+  /// Keys are comparable across reservoirs, so the union's top-k is exact.
+  void Merge(const WeightedReservoir& other);
+
+  /// Selected items, unordered. Size is min(k, #positive-weight offers).
+  std::vector<int64_t> Items() const;
+
+ private:
+  struct Entry {
+    double key;     // log(u)/w; larger is better
+    int64_t item;
+    bool operator>(const Entry& rhs) const { return key > rhs.key; }
+  };
+
+  void Push(Entry e);
+
+  int64_t capacity_;
+  // Min-heap on key: the root is the weakest survivor.
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  Rng rng_;
+
+  friend class WeightedReservoirTestPeer;
+};
+
+}  // namespace kmeansll::rng
+
+#endif  // KMEANSLL_RNG_RESERVOIR_H_

@@ -1,0 +1,10 @@
+#include "rng/rng.h"
+
+#include <cmath>
+
+namespace kmeansll::rng {
+
+double Rng::Sqrt(double x) { return std::sqrt(x); }
+double Rng::Log(double x) { return std::log(x); }
+
+}  // namespace kmeansll::rng

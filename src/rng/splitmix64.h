@@ -1,0 +1,41 @@
+// SplitMix64: a tiny, high-quality 64-bit mixer (Steele, Lea, Flood 2014).
+// Used to expand user seeds into xoshiro state and to derive independent
+// substreams by hashing (seed, purpose, index) tuples.
+
+#ifndef KMEANSLL_RNG_SPLITMIX64_H_
+#define KMEANSLL_RNG_SPLITMIX64_H_
+
+#include <cstdint>
+
+namespace kmeansll::rng {
+
+/// One step of the SplitMix64 sequence starting at `state`; advances state.
+inline uint64_t SplitMix64Next(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless avalanche mix of a single value.
+inline uint64_t Mix64(uint64_t x) {
+  uint64_t s = x;
+  return SplitMix64Next(&s);
+}
+
+/// Order-sensitive combination of two 64-bit values into one well-mixed
+/// value; used to derive substream seeds from (seed, purpose, index).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (Mix64(b) + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2)));
+}
+
+/// Uniform double in [0, 1) that is a pure function of (seed, index).
+/// This is how the samplers obtain per-point randomness that does not
+/// depend on iteration order, threads, or partitioning.
+inline double UniformAtIndex(uint64_t seed, uint64_t index) {
+  return static_cast<double>(HashCombine(seed, index) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace kmeansll::rng
+
+#endif  // KMEANSLL_RNG_SPLITMIX64_H_

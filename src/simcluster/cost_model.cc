@@ -1,0 +1,167 @@
+#include "simcluster/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "clustering/cost.h"
+#include "common/macros.h"
+#include "common/timer.h"
+#include "data/synthetic.h"
+#include "matrix/matrix.h"
+
+namespace kmeansll::simcluster {
+
+CostModel::CostModel(const ClusterConfig& config) : config_(config) {
+  KMEANSLL_CHECK_GE(config.num_machines, 1);
+  KMEANSLL_CHECK(config.seconds_per_flop > 0);
+  KMEANSLL_CHECK(config.job_setup_seconds >= 0);
+  KMEANSLL_CHECK(config.seconds_per_shuffled_value >= 0);
+}
+
+double CostModel::JobSeconds(const JobWork& work) const {
+  int64_t machines = config_.num_machines;
+  if (work.max_parallelism > 0) {
+    machines = std::min(machines, work.max_parallelism);
+  }
+  double map_seconds = work.parallel_flops * config_.seconds_per_flop /
+                       static_cast<double>(machines);
+  double shuffle_seconds =
+      work.shuffled_values * config_.seconds_per_shuffled_value;
+  double sequential_seconds =
+      work.sequential_flops * config_.seconds_per_flop;
+  return config_.job_setup_seconds + map_seconds + shuffle_seconds +
+         sequential_seconds;
+}
+
+double CostModel::TotalSeconds(const std::vector<JobWork>& jobs) const {
+  double total = 0.0;
+  for (const JobWork& job : jobs) total += JobSeconds(job);
+  return total;
+}
+
+namespace {
+
+/// Flops of one distance evaluation in d dimensions (sub, mul, add).
+double DistanceFlops(int64_t d) { return 3.0 * static_cast<double>(d); }
+
+/// Flops of weighted k-means++ reducing m points to k centers:
+/// k sequential steps, each scanning m points once (O(m·k·d) total).
+double KMeansPPFlops(int64_t m, int64_t k, int64_t d) {
+  return static_cast<double>(m) * static_cast<double>(k) * DistanceFlops(d);
+}
+
+}  // namespace
+
+std::vector<JobWork> KMeansLLProfile(int64_t n, int64_t d, int64_t k,
+                                     double ell, int64_t rounds,
+                                     int64_t intermediate_centers) {
+  std::vector<JobWork> jobs;
+  const double nd = static_cast<double>(n);
+  // Job 0: initial potential — one distance per point (|C| = 1).
+  jobs.push_back(JobWork{nd * DistanceFlops(d), 0.0, 1.0});
+
+  // Per round: the sampling job touches every point once (probability
+  // evaluation only, ~5 flops) and the update job computes one distance
+  // per point per newly added candidate (≈ ℓ of them).
+  double new_per_round =
+      intermediate_centers > 0 && rounds > 0
+          ? static_cast<double>(intermediate_centers - 1) /
+                static_cast<double>(rounds)
+          : ell;
+  for (int64_t r = 0; r < rounds; ++r) {
+    jobs.push_back(JobWork{nd * 5.0, 0.0, new_per_round});  // sampling
+    jobs.push_back(JobWork{nd * new_per_round * DistanceFlops(d), 0.0,
+                           1.0});  // update + cost
+  }
+  // Step 7: weighting — one pass, emits |C| aggregated weights/mapper.
+  jobs.push_back(JobWork{nd * 2.0, 0.0,
+                         static_cast<double>(intermediate_centers)});
+  // Step 8: sequential reclustering on the driver.
+  jobs.push_back(JobWork{
+      0.0, KMeansPPFlops(intermediate_centers, k, d),
+      static_cast<double>(intermediate_centers) * static_cast<double>(d)});
+  return jobs;
+}
+
+std::vector<JobWork> PartitionProfile(int64_t n, int64_t d, int64_t k,
+                                      int64_t num_groups,
+                                      int64_t intermediate_centers) {
+  KMEANSLL_CHECK_GE(num_groups, 1);
+  std::vector<JobWork> jobs;
+  // Round 1: each group runs k-means#: k iterations, each scanning the
+  // group (n/m points) against the 3·ln k new batch (distance updates) —
+  // total per group ≈ (n/m) · |selected| distances; |selected| ≈
+  // intermediate/m. Parallelism is capped at m groups, so express the
+  // whole round as per-machine work times m machines — the model divides
+  // by min(machines, groups) via scaling here.
+  double per_group_points =
+      static_cast<double>(n) / static_cast<double>(num_groups);
+  double per_group_selected = static_cast<double>(intermediate_centers) /
+                              static_cast<double>(num_groups);
+  // k-means# distance updates plus the group-local weighting pass: both
+  // scan the group's n/m points against its ~intermediate/m selections.
+  double per_group_flops =
+      2.0 * per_group_points * per_group_selected * DistanceFlops(d);
+  // Round 1 runs on at most `num_groups` machines regardless of cluster
+  // size (one group = one sequential stream).
+  jobs.push_back(JobWork{per_group_flops * static_cast<double>(num_groups),
+                         0.0,
+                         static_cast<double>(intermediate_centers) *
+                             static_cast<double>(d),
+                         num_groups});
+  // Round 2: sequential k-means++ over the intermediate set.
+  jobs.push_back(JobWork{0.0, KMeansPPFlops(intermediate_centers, k, d),
+                         static_cast<double>(k) * static_cast<double>(d),
+                         0});
+  return jobs;
+}
+
+std::vector<JobWork> RandomInitProfile(int64_t n, int64_t d) {
+  // One selection pass; negligible math, one record per point scanned.
+  return {JobWork{static_cast<double>(n), 0.0, static_cast<double>(d)}};
+}
+
+std::vector<JobWork> LloydProfile(int64_t n, int64_t d, int64_t k,
+                                  int64_t iterations,
+                                  int64_t num_machines) {
+  std::vector<JobWork> jobs;
+  jobs.reserve(static_cast<size_t>(iterations));
+  for (int64_t i = 0; i < iterations; ++i) {
+    // n·k distances per pass; every mapper shuffles k centroids of d
+    // coordinates.
+    jobs.push_back(JobWork{
+        static_cast<double>(n) * static_cast<double>(k) * DistanceFlops(d),
+        static_cast<double>(k) * static_cast<double>(d),
+        static_cast<double>(num_machines) * static_cast<double>(k) *
+            static_cast<double>(d)});
+  }
+  return jobs;
+}
+
+double CalibrateSecondsPerFlop() {
+  // Time the real nearest-center kernel on a small instance and divide by
+  // its nominal flop count.
+  const int64_t n = 4096, d = 32, k = 64;
+  auto generated = data::GenerateUniform(n, d, 0.0, 1.0, rng::Rng(1234));
+  KMEANSLL_CHECK(generated.ok());
+  Matrix centers(k, d);
+  for (int64_t c = 0; c < k; ++c) {
+    double* row = centers.Row(c);
+    for (int64_t j = 0; j < d; ++j) {
+      row[j] = static_cast<double>((c * 37 + j) % 101) / 101.0;
+    }
+  }
+  // Warm-up + timed runs.
+  ComputeCost(*generated, centers);
+  WallTimer timer;
+  const int reps = 5;
+  double sink = 0;
+  for (int r = 0; r < reps; ++r) sink += ComputeCost(*generated, centers);
+  double seconds = timer.ElapsedSeconds() / reps;
+  KMEANSLL_CHECK(sink > 0);  // defeat dead-code elimination
+  double flops = static_cast<double>(n) * static_cast<double>(k) * 3.0 *
+                 static_cast<double>(d);
+  return seconds / flops;
+}
+
+}  // namespace kmeansll::simcluster

@@ -1,0 +1,106 @@
+// Analytic cost model of an m-machine MapReduce cluster.
+//
+// The paper's Table 4 measures wall-clock minutes on a 1968-node Hadoop
+// cluster, which we cannot run offline. What *determines* those minutes is
+// algorithmic and measurable here: the number of MapReduce rounds (each
+// paying a fixed job-setup latency), the per-machine share of the per-pass
+// distance work, the shuffle volume, and the sequential reclustering work
+// on the driver. This module converts those quantities — taken from real
+// runs' telemetry — into modeled seconds.
+//
+// The model deliberately reproduces the paper's qualitative analysis
+// (§4.2.1): with m = sqrt(n/k) the Partition baseline's per-round,
+// per-machine instance is Θ(sqrt(nk)), so its running time stops improving
+// beyond a machine threshold, whereas k-means||'s time keeps dropping
+// linearly in the number of machines.
+
+#ifndef KMEANSLL_SIMCLUSTER_COST_MODEL_H_
+#define KMEANSLL_SIMCLUSTER_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace kmeansll::simcluster {
+
+/// Cluster hardware / framework parameters.
+struct ClusterConfig {
+  /// Worker machines available to map tasks.
+  int64_t num_machines = 100;
+  /// Seconds per floating-point multiply-add on one machine. Calibrate
+  /// with CalibrateSecondsPerFlop() for this-host realism; the default is
+  /// a 2.5 GHz core sustaining ~1 flop/cycle.
+  double seconds_per_flop = 4e-10;
+  /// Fixed latency per MapReduce job (Hadoop job scheduling, JVM spin-up;
+  /// tens of seconds on 2012 clusters — the paper's §4.2.1 "setup costs").
+  double job_setup_seconds = 20.0;
+  /// Seconds per shuffled value (serialization + network + sort).
+  double seconds_per_shuffled_value = 5e-8;
+};
+
+/// Work performed by one MapReduce job.
+struct JobWork {
+  /// Flops spread evenly over the machines (map side).
+  double parallel_flops = 0.0;
+  /// Flops that run on a single node (driver / single reducer).
+  double sequential_flops = 0.0;
+  /// Values moving through the shuffle.
+  double shuffled_values = 0.0;
+  /// Maximum machines this job can use (0 = unbounded). Partition's
+  /// round 1 is capped at its m groups — the reason its running time
+  /// "does not improve when the number of available machines surpasses a
+  /// certain threshold" (§4.2.1).
+  int64_t max_parallelism = 0;
+};
+
+/// Converts work profiles to modeled seconds.
+class CostModel {
+ public:
+  explicit CostModel(const ClusterConfig& config);
+
+  /// Modeled seconds for one job: setup + parallel work / machines +
+  /// shuffle + sequential work.
+  double JobSeconds(const JobWork& work) const;
+
+  /// Sum over a job sequence (MapReduce rounds are serial).
+  double TotalSeconds(const std::vector<JobWork>& jobs) const;
+
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  ClusterConfig config_;
+};
+
+/// Work profile of k-means|| initialization (Algorithm 2 + §3.5 mapping):
+/// one job for ψ, then per round one sampling job and one update+cost
+/// job, one weighting job, and the sequential reclustering of
+/// `intermediate_centers` weighted points into k.
+std::vector<JobWork> KMeansLLProfile(int64_t n, int64_t d, int64_t k,
+                                     double ell, int64_t rounds,
+                                     int64_t intermediate_centers);
+
+/// Work profile of the Partition baseline: one parallel round running
+/// k-means# per group (per-machine instance n/m points × k iterations of
+/// 3·ln k D² batches) and one sequential round reclustering the
+/// ~3·m·k·ln k intermediate centers. The group count m is also the
+/// maximum parallelism of round 1 — the "threshold" effect.
+std::vector<JobWork> PartitionProfile(int64_t n, int64_t d, int64_t k,
+                                      int64_t num_groups,
+                                      int64_t intermediate_centers);
+
+/// Work profile of Random initialization (a single selection pass).
+std::vector<JobWork> RandomInitProfile(int64_t n, int64_t d);
+
+/// Work profile of `iterations` Lloyd iterations (one job each, n·k·d
+/// flops per job plus the centroid shuffle of k·d values per mapper).
+std::vector<JobWork> LloydProfile(int64_t n, int64_t d, int64_t k,
+                                  int64_t iterations, int64_t num_machines);
+
+/// Measures this host's effective seconds-per-flop on the nearest-center
+/// kernel (for calibrating ClusterConfig::seconds_per_flop).
+double CalibrateSecondsPerFlop();
+
+}  // namespace kmeansll::simcluster
+
+#endif  // KMEANSLL_SIMCLUSTER_COST_MODEL_H_

@@ -1,0 +1,113 @@
+// Tests for the binary dataset format (data/binary_io.h).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "data/binary_io.h"
+#include "data/synthetic.h"
+#include "rng/rng.h"
+
+namespace kmeansll::data {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(BinaryIoTest, RoundTripPlainPoints) {
+  auto uniform = GenerateUniform(123, 7, -5.0, 5.0, rng::Rng(1));
+  ASSERT_TRUE(uniform.ok());
+  std::string path = TempPath("kmeansll_plain.bin");
+  ASSERT_TRUE(WriteBinary(*uniform, path).ok());
+  auto loaded = ReadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->points() == uniform->points());
+  EXPECT_FALSE(loaded->has_weights());
+  EXPECT_FALSE(loaded->has_labels());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RoundTripWeights) {
+  Matrix points = Matrix::FromValues(3, 2, {1, 2, 3, 4, 5, 6});
+  auto weighted = Dataset::WithWeights(points, {0.5, 2.0, 7.25});
+  ASSERT_TRUE(weighted.ok());
+  std::string path = TempPath("kmeansll_weighted.bin");
+  ASSERT_TRUE(WriteBinary(*weighted, path).ok());
+  auto loaded = ReadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded->has_weights());
+  EXPECT_EQ(loaded->weights(), weighted->weights());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RoundTripLabels) {
+  auto gauss = GenerateGaussMixture({.n = 50, .k = 3, .dim = 4},
+                                    rng::Rng(2));
+  ASSERT_TRUE(gauss.ok());
+  std::string path = TempPath("kmeansll_labeled.bin");
+  ASSERT_TRUE(WriteBinary(gauss->data, path).ok());
+  auto loaded = ReadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded->has_labels());
+  EXPECT_EQ(loaded->labels(), gauss->data.labels());
+  EXPECT_TRUE(loaded->points() == gauss->data.points());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RoundTripWeightsAndLabels) {
+  Matrix points = Matrix::FromValues(2, 1, {10, 20});
+  auto both = Dataset::WithWeightsAndLabels(points, {1.5, 2.5}, {7, -1});
+  ASSERT_TRUE(both.ok());
+  std::string path = TempPath("kmeansll_both.bin");
+  ASSERT_TRUE(WriteBinary(*both, path).ok());
+  auto loaded = ReadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->weights(), both->weights());
+  EXPECT_EQ(loaded->labels(), both->labels());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RejectsMissingAndCorrupt) {
+  EXPECT_TRUE(ReadBinary("/nonexistent/data.bin").status().IsIOError());
+  std::string path = TempPath("kmeansll_garbage.bin");
+  {
+    FILE* f = fopen(path.c_str(), "wb");
+    fputs("definitely not a dataset", f);
+    fclose(f);
+  }
+  EXPECT_TRUE(ReadBinary(path).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RejectsTruncated) {
+  auto uniform = GenerateUniform(100, 5, 0.0, 1.0, rng::Rng(3));
+  ASSERT_TRUE(uniform.ok());
+  std::string path = TempPath("kmeansll_trunc.bin");
+  ASSERT_TRUE(WriteBinary(*uniform, path).ok());
+  {
+    FILE* f = fopen(path.c_str(), "rb+");
+    ASSERT_EQ(ftruncate(fileno(f), 64), 0);
+    fclose(f);
+  }
+  EXPECT_TRUE(ReadBinary(path).status().IsIOError());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetBuilderTest, WithWeightsAndLabelsValidates) {
+  Matrix points = Matrix::FromValues(2, 1, {1, 2});
+  EXPECT_FALSE(
+      Dataset::WithWeightsAndLabels(points, {1.0}, {0, 1}).ok());
+  EXPECT_FALSE(
+      Dataset::WithWeightsAndLabels(points, {1.0, 2.0}, {0}).ok());
+  EXPECT_FALSE(
+      Dataset::WithWeightsAndLabels(points, {1.0, -2.0}, {0, 1}).ok());
+  auto ok = Dataset::WithWeightsAndLabels(points, {1.0, 2.0}, {0, 1});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->has_weights());
+  EXPECT_TRUE(ok->has_labels());
+}
+
+}  // namespace
+}  // namespace kmeansll::data

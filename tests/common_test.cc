@@ -1,0 +1,327 @@
+// Tests for src/common: Status/Result, math_util, string_util, env,
+// logging, timer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/macros.h"
+#include "common/math_util.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace kmeansll {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad k");
+}
+
+TEST(StatusTest, AllConstructorsSetMatchingCode) {
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_EQ(Status::Unknown("x").code(), StatusCode::kUnknown);
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::IOError("disk gone");
+  Status copy = s;                      // NOLINT(performance-*)
+  EXPECT_TRUE(copy.IsIOError());
+  EXPECT_EQ(copy.message(), "disk gone");
+  EXPECT_TRUE(s.IsIOError());           // source untouched
+  Status assigned;
+  assigned = copy;
+  EXPECT_EQ(assigned.message(), "disk gone");
+}
+
+TEST(StatusTest, MoveTransfersState) {
+  Status s = Status::IOError("m");
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsIOError());
+}
+
+TEST(StatusTest, SelfAssignmentIsSafe) {
+  Status s = Status::OutOfRange("oops");
+  Status& alias = s;
+  s = alias;
+  EXPECT_TRUE(s.IsOutOfRange());
+  EXPECT_EQ(s.message(), "oops");
+}
+
+TEST(StatusTest, StreamOperatorPrintsToString) {
+  std::ostringstream os;
+  os << Status::InvalidArgument("nope");
+  EXPECT_EQ(os.str(), "Invalid argument: nope");
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IO error");
+}
+
+// ---------------------------------------------------------------- Result
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+  EXPECT_EQ(r.ValueOrDie(), 5);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.ValueOr(42), 42);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  EXPECT_EQ(ParsePositive(7).ValueOr(0), 7);
+}
+
+TEST(ResultTest, MoveOutOfResult) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+Result<int> Doubled(int v) {
+  KMEANSLL_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(4), 8);
+  EXPECT_TRUE(Doubled(-4).status().IsInvalidArgument());
+}
+
+Status CheckEven(int v) {
+  KMEANSLL_RETURN_NOT_OK(ParsePositive(v).status());
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(CheckEven(2).ok());
+  EXPECT_FALSE(CheckEven(3).ok());
+  EXPECT_FALSE(CheckEven(-2).ok());
+}
+
+// -------------------------------------------------------------- MathUtil
+
+TEST(KahanSumTest, RecoversSmallTermsNextToHugeOnes) {
+  KahanSum sum;
+  sum.Add(1e16);
+  for (int i = 0; i < 10000; ++i) sum.Add(1.0);
+  sum.Add(-1e16);
+  EXPECT_DOUBLE_EQ(sum.Total(), 10000.0);
+}
+
+TEST(KahanSumTest, MergeMatchesSequentialAdd) {
+  KahanSum a, b, all;
+  for (int i = 0; i < 1000; ++i) {
+    double v = std::sin(i) * 1e10 / (i + 1);
+    (i % 2 == 0 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_NEAR(a.Total(), all.Total(), std::abs(all.Total()) * 1e-12);
+}
+
+TEST(MedianTest, OddAndEvenSizes) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(MeanStdDevTest, KnownValues) {
+  std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_NEAR(StdDev(v), 2.13809, 1e-4);  // sample stddev
+  EXPECT_DOUBLE_EQ(StdDev({1.0}), 0.0);
+}
+
+TEST(Log2CeilTest, PowersAndBetween) {
+  EXPECT_EQ(Log2Ceil(1), 0);
+  EXPECT_EQ(Log2Ceil(2), 1);
+  EXPECT_EQ(Log2Ceil(3), 2);
+  EXPECT_EQ(Log2Ceil(4), 2);
+  EXPECT_EQ(Log2Ceil(5), 3);
+  EXPECT_EQ(Log2Ceil(1024), 10);
+  EXPECT_EQ(Log2Ceil(1025), 11);
+}
+
+TEST(NextPowerOfTwoTest, Basics) {
+  EXPECT_EQ(NextPowerOfTwo(0), 1u);
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+}
+
+// ------------------------------------------------------------ StringUtil
+
+TEST(SplitTest, BasicAndEdgeCases) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(TrimTest, StripsWhitespace) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\nhi"), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(ParseDoubleTest, AcceptsNumbersRejectsJunk) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(ParseDouble(" -1e3 ", &v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+TEST(ParseInt64Test, AcceptsIntegersRejectsJunk) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(ParseInt64("4.2", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+}
+
+TEST(FormatTest, ScientificSwitchesOnMagnitude) {
+  EXPECT_EQ(FormatScientific(1234.5, 1), "1234.5");
+  EXPECT_EQ(FormatScientific(0.0, 2), "0.00");
+  // Large magnitudes switch to exponent form.
+  EXPECT_NE(FormatScientific(1.23e10, 2).find('e'), std::string::npos);
+  EXPECT_NE(FormatScientific(1.23e-5, 2).find('e'), std::string::npos);
+}
+
+TEST(FormatWithCommasTest, GroupsDigits) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(FormatWithCommas(-1234567), "-1,234,567");
+}
+
+// ------------------------------------------------------------------- Env
+
+TEST(EnvTest, ReadsSetVariables) {
+  ::setenv("KMEANSLL_TEST_VAR", "123", 1);
+  EXPECT_EQ(GetEnv("KMEANSLL_TEST_VAR").value(), "123");
+  EXPECT_EQ(GetEnvInt64("KMEANSLL_TEST_VAR", -1), 123);
+  ::setenv("KMEANSLL_TEST_VAR", "2.5", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("KMEANSLL_TEST_VAR", 0.0), 2.5);
+  ::unsetenv("KMEANSLL_TEST_VAR");
+  EXPECT_FALSE(GetEnv("KMEANSLL_TEST_VAR").has_value());
+  EXPECT_EQ(GetEnvInt64("KMEANSLL_TEST_VAR", -1), -1);
+}
+
+TEST(EnvTest, BoolParsing) {
+  ::setenv("KMEANSLL_TEST_BOOL", "true", 1);
+  EXPECT_TRUE(GetEnvBool("KMEANSLL_TEST_BOOL", false));
+  ::setenv("KMEANSLL_TEST_BOOL", "OFF", 1);
+  EXPECT_FALSE(GetEnvBool("KMEANSLL_TEST_BOOL", true));
+  ::setenv("KMEANSLL_TEST_BOOL", "garbage", 1);
+  EXPECT_TRUE(GetEnvBool("KMEANSLL_TEST_BOOL", true));
+  ::unsetenv("KMEANSLL_TEST_BOOL");
+}
+
+TEST(EnvTest, MalformedNumbersFallBack) {
+  ::setenv("KMEANSLL_TEST_VAR", "12abc", 1);
+  EXPECT_EQ(GetEnvInt64("KMEANSLL_TEST_VAR", 7), 7);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("KMEANSLL_TEST_VAR", 7.5), 7.5);
+  ::unsetenv("KMEANSLL_TEST_VAR");
+}
+
+// --------------------------------------------------------------- Logging
+
+TEST(LoggingTest, LevelRoundTrips) {
+  LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  KMEANSLL_LOG(Info) << "suppressed at error level";  // must not crash
+  SetLogLevel(old_level);
+}
+
+// ----------------------------------------------------------------- Timer
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  double first = timer.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  // Monotone non-decreasing.
+  EXPECT_GE(timer.ElapsedSeconds(), first);
+  EXPECT_GE(timer.ElapsedNanos(), 0);
+}
+
+TEST(TimerTest, ScopedTimerAccumulates) {
+  double sink = 0.0;
+  {
+    ScopedTimer scoped(&sink);
+  }
+  EXPECT_GE(sink, 0.0);
+  double before = sink;
+  {
+    ScopedTimer scoped(&sink);
+  }
+  EXPECT_GE(sink, before);
+}
+
+}  // namespace
+}  // namespace kmeansll

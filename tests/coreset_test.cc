@@ -1,0 +1,125 @@
+// Tests for the k-means||-based coreset builder (clustering/coreset.h).
+
+#include <gtest/gtest.h>
+
+#include "clustering/coreset.h"
+#include "clustering/cost.h"
+#include "clustering/init_kmeanspp.h"
+#include "clustering/lloyd.h"
+#include "data/synthetic.h"
+#include "rng/rng.h"
+
+namespace kmeansll {
+namespace {
+
+data::LabeledData MakeGauss(int64_t n, int64_t k, uint64_t seed) {
+  auto generated = data::GenerateGaussMixture(
+      {.n = n, .k = k, .dim = 6, .center_stddev = 6.0,
+       .cluster_stddev = 1.0},
+      rng::Rng(seed));
+  KMEANSLL_CHECK(generated.ok());
+  return std::move(generated).ValueOrDie();
+}
+
+TEST(CoresetTest, ValidatesArguments) {
+  auto gauss = MakeGauss(200, 4, 400);
+  EXPECT_FALSE(BuildCoreset(gauss.data, 0, rng::Rng(1)).ok());
+  EXPECT_FALSE(BuildCoreset(gauss.data, 300, rng::Rng(1)).ok());
+  CoresetOptions bad;
+  bad.rounds = 0;
+  EXPECT_FALSE(BuildCoreset(gauss.data, 50, rng::Rng(1), bad).ok());
+}
+
+TEST(CoresetTest, ExactSizeHitsTarget) {
+  auto gauss = MakeGauss(3000, 10, 401);
+  auto coreset = BuildCoreset(gauss.data, 200, rng::Rng(402));
+  ASSERT_TRUE(coreset.ok());
+  EXPECT_EQ(coreset->n(), 200);
+  EXPECT_EQ(coreset->dim(), 6);
+  EXPECT_TRUE(coreset->has_weights());
+}
+
+TEST(CoresetTest, WeightsSumToTotalWeight) {
+  auto gauss = MakeGauss(2500, 8, 403);
+  auto coreset = BuildCoreset(gauss.data, 150, rng::Rng(404));
+  ASSERT_TRUE(coreset.ok());
+  EXPECT_NEAR(coreset->TotalWeight(), 2500.0, 1e-6);
+}
+
+TEST(CoresetTest, CoresetPointsAreDataPoints) {
+  auto gauss = MakeGauss(500, 5, 405);
+  auto coreset = BuildCoreset(gauss.data, 60, rng::Rng(406));
+  ASSERT_TRUE(coreset.ok());
+  // Spot-check a handful of coreset rows.
+  for (int64_t c = 0; c < coreset->n(); c += 10) {
+    bool found = false;
+    for (int64_t i = 0; i < gauss.data.n() && !found; ++i) {
+      found = true;
+      for (int64_t j = 0; j < 6; ++j) {
+        if (coreset->Point(c)[j] != gauss.data.Point(i)[j]) {
+          found = false;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(found) << "coreset row " << c;
+  }
+}
+
+TEST(CoresetTest, ClusteringCoresetApproximatesClusteringData) {
+  // Seed on the coreset, refine on the coreset, evaluate on the full
+  // data: the result must be within a small factor of clustering the
+  // full data directly.
+  const int64_t k = 10;
+  auto gauss = MakeGauss(6000, k, 407);
+  auto coreset = BuildCoreset(gauss.data, 300, rng::Rng(408));
+  ASSERT_TRUE(coreset.ok());
+
+  auto coreset_seed = KMeansPPInit(*coreset, k, rng::Rng(409));
+  ASSERT_TRUE(coreset_seed.ok());
+  LloydOptions options;
+  options.max_iterations = 50;
+  auto coreset_model = RunLloyd(*coreset, coreset_seed->centers, options);
+  ASSERT_TRUE(coreset_model.ok());
+  double via_coreset = ComputeCost(gauss.data, coreset_model->centers);
+
+  auto direct_seed = KMeansPPInit(gauss.data, k, rng::Rng(410));
+  ASSERT_TRUE(direct_seed.ok());
+  auto direct_model = RunLloyd(gauss.data, direct_seed->centers, options);
+  ASSERT_TRUE(direct_model.ok());
+
+  EXPECT_LT(via_coreset, 3.0 * direct_model->assignment.cost);
+}
+
+TEST(CoresetTest, DeterministicForSeed) {
+  auto gauss = MakeGauss(1000, 6, 411);
+  auto a = BuildCoreset(gauss.data, 100, rng::Rng(412));
+  auto b = BuildCoreset(gauss.data, 100, rng::Rng(412));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->points() == b->points());
+  EXPECT_EQ(a->weights(), b->weights());
+}
+
+TEST(CoresetTest, BernoulliModeApproximatesTarget) {
+  auto gauss = MakeGauss(4000, 8, 413);
+  CoresetOptions options;
+  options.exact_size = false;
+  auto coreset = BuildCoreset(gauss.data, 200, rng::Rng(414), options);
+  ASSERT_TRUE(coreset.ok());
+  // E[size] ≈ target; allow generous slack for Bernoulli variance and
+  // probability clamping.
+  EXPECT_GT(coreset->n(), 100);
+  EXPECT_LT(coreset->n(), 400);
+}
+
+TEST(CoresetTest, TargetOneDegenerates) {
+  auto gauss = MakeGauss(100, 2, 415);
+  auto coreset = BuildCoreset(gauss.data, 1, rng::Rng(416));
+  ASSERT_TRUE(coreset.ok());
+  EXPECT_EQ(coreset->n(), 1);
+  EXPECT_NEAR(coreset->TotalWeight(), 100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace kmeansll

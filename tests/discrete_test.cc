@@ -1,0 +1,160 @@
+// Tests for src/rng/discrete: PrefixSumSampler and AliasTable correctness
+// — the machinery behind every D² draw in the library.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "rng/discrete.h"
+
+namespace kmeansll::rng {
+namespace {
+
+TEST(ValidateWeightsTest, RejectsBadInputs) {
+  EXPECT_TRUE(ValidateWeights({}).IsInvalidArgument());
+  EXPECT_TRUE(ValidateWeights({0.0, 0.0}).IsInvalidArgument());
+  EXPECT_TRUE(ValidateWeights({1.0, -0.5}).IsInvalidArgument());
+  EXPECT_TRUE(
+      ValidateWeights({1.0, std::nan("")}).IsInvalidArgument());
+  EXPECT_TRUE(ValidateWeights({1.0, std::numeric_limits<double>::infinity()})
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ValidateWeights({0.0, 1.0}).ok());
+}
+
+TEST(PrefixSumSamplerTest, BuildRejectsBadWeights) {
+  EXPECT_FALSE(PrefixSumSampler::Build({}).ok());
+  EXPECT_FALSE(PrefixSumSampler::Build({0.0}).ok());
+  EXPECT_FALSE(PrefixSumSampler::Build({-1.0, 2.0}).ok());
+}
+
+TEST(PrefixSumSamplerTest, SingleElementAlwaysChosen) {
+  auto sampler = PrefixSumSampler::Build({5.0});
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler->Sample(rng), 0);
+}
+
+TEST(PrefixSumSamplerTest, ZeroWeightNeverChosen) {
+  auto sampler = PrefixSumSampler::Build({1.0, 0.0, 1.0, 0.0});
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    int64_t s = sampler->Sample(rng);
+    EXPECT_TRUE(s == 0 || s == 2) << s;
+  }
+}
+
+TEST(PrefixSumSamplerTest, TotalIsWeightSum) {
+  auto sampler = PrefixSumSampler::Build({1.5, 2.5, 6.0});
+  ASSERT_TRUE(sampler.ok());
+  EXPECT_DOUBLE_EQ(sampler->total(), 10.0);
+  EXPECT_EQ(sampler->size(), 3);
+}
+
+// Shared frequency check used for both samplers.
+template <typename Sampler>
+void ExpectFrequenciesMatch(const Sampler& sampler,
+                            const std::vector<double>& weights,
+                            uint64_t seed) {
+  Rng rng(seed);
+  const int draws = 200000;
+  std::vector<int64_t> counts(weights.size(), 0);
+  for (int i = 0; i < draws; ++i) ++counts[sampler.Sample(rng)];
+  double total = 0;
+  for (double w : weights) total += w;
+  for (size_t j = 0; j < weights.size(); ++j) {
+    double expected = weights[j] / total;
+    double observed = static_cast<double>(counts[j]) / draws;
+    // 5 sigma binomial tolerance.
+    double sigma = std::sqrt(expected * (1 - expected) / draws);
+    EXPECT_NEAR(observed, expected, 5 * sigma + 1e-9)
+        << "index " << j;
+  }
+}
+
+class SamplerDistributionTest
+    : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(SamplerDistributionTest, PrefixSumMatchesWeights) {
+  auto sampler = PrefixSumSampler::Build(GetParam());
+  ASSERT_TRUE(sampler.ok());
+  ExpectFrequenciesMatch(*sampler, GetParam(), 31);
+}
+
+TEST_P(SamplerDistributionTest, AliasTableMatchesWeights) {
+  auto sampler = AliasTable::Build(GetParam());
+  ASSERT_TRUE(sampler.ok());
+  ExpectFrequenciesMatch(*sampler, GetParam(), 32);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, SamplerDistributionTest,
+    ::testing::Values(
+        std::vector<double>{1.0, 1.0, 1.0, 1.0},          // uniform
+        std::vector<double>{1.0, 2.0, 3.0, 4.0},          // linear
+        std::vector<double>{1e-6, 1.0, 1e6},              // extreme spread
+        std::vector<double>{0.0, 1.0, 0.0, 3.0},          // zeros inside
+        std::vector<double>{5.0},                         // singleton
+        std::vector<double>{0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1,
+                            10.0}                         // heavy tail
+        ));
+
+TEST(AliasTableTest, BuildRejectsBadWeights) {
+  EXPECT_FALSE(AliasTable::Build({}).ok());
+  EXPECT_FALSE(AliasTable::Build({0.0, 0.0}).ok());
+  EXPECT_FALSE(AliasTable::Build({1.0, -2.0}).ok());
+}
+
+TEST(AliasTableTest, ZeroWeightNeverChosen) {
+  auto sampler = AliasTable::Build({0.0, 3.0, 0.0, 1.0});
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    int64_t s = sampler->Sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3) << s;
+  }
+}
+
+TEST(AliasTableTest, LargeUniformInput) {
+  std::vector<double> weights(1000, 2.5);
+  auto sampler = AliasTable::Build(weights);
+  ASSERT_TRUE(sampler.ok());
+  EXPECT_EQ(sampler->size(), 1000);
+  Rng rng(4);
+  // Every draw in range; coarse uniformity over deciles.
+  std::vector<int> decile(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    int64_t s = sampler->Sample(rng);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 1000);
+    ++decile[s / 100];
+  }
+  for (int dec = 0; dec < 10; ++dec) {
+    EXPECT_NEAR(decile[dec], 10000, 600);
+  }
+}
+
+TEST(SamplerAgreementTest, PrefixAndAliasAgreeOnDistribution) {
+  // Both samplers fed the same weights should produce statistically
+  // indistinguishable marginals (compare against each other directly).
+  std::vector<double> weights = {4.0, 1.0, 2.0, 8.0, 1.0};
+  auto prefix = PrefixSumSampler::Build(weights);
+  auto alias = AliasTable::Build(weights);
+  ASSERT_TRUE(prefix.ok());
+  ASSERT_TRUE(alias.ok());
+  Rng r1(5), r2(6);
+  const int draws = 100000;
+  std::vector<double> f1(weights.size(), 0), f2(weights.size(), 0);
+  for (int i = 0; i < draws; ++i) {
+    f1[prefix->Sample(r1)] += 1.0 / draws;
+    f2[alias->Sample(r2)] += 1.0 / draws;
+  }
+  for (size_t j = 0; j < weights.size(); ++j) {
+    EXPECT_NEAR(f1[j], f2[j], 0.01) << "index " << j;
+  }
+}
+
+}  // namespace
+}  // namespace kmeansll::rng

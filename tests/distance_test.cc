@@ -1,0 +1,205 @@
+// Tests for src/distance: kernels agree with naive references, the
+// norm-expanded path matches the plain path, and MinDistanceTracker's
+// incremental updates equal batch recomputation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "distance/l2.h"
+#include "distance/nearest.h"
+#include "matrix/dataset.h"
+#include "rng/rng.h"
+
+namespace kmeansll {
+namespace {
+
+double NaiveSquaredL2(const double* a, const double* b, int64_t dim) {
+  double s = 0;
+  for (int64_t i = 0; i < dim; ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+  return s;
+}
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, uint64_t seed,
+                    double scale = 1.0) {
+  rng::Rng rng(seed);
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      m.At(i, j) = scale * rng.NextGaussian();
+    }
+  }
+  return m;
+}
+
+class KernelDimTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(KernelDimTest, SquaredL2MatchesNaive) {
+  const int64_t dim = GetParam();
+  Matrix pts = RandomMatrix(8, dim, 17);
+  for (int64_t a = 0; a < 8; ++a) {
+    for (int64_t b = 0; b < 8; ++b) {
+      double expected = NaiveSquaredL2(pts.Row(a), pts.Row(b), dim);
+      EXPECT_NEAR(SquaredL2(pts.Row(a), pts.Row(b), dim), expected,
+                  1e-12 * (1 + expected))
+          << "dim=" << dim;
+    }
+  }
+}
+
+TEST_P(KernelDimTest, NormAndDotMatchNaive) {
+  const int64_t dim = GetParam();
+  Matrix pts = RandomMatrix(4, dim, 18);
+  for (int64_t a = 0; a < 4; ++a) {
+    double norm = 0, dot = 0;
+    for (int64_t j = 0; j < dim; ++j) {
+      norm += pts.At(a, j) * pts.At(a, j);
+      dot += pts.At(a, j) * pts.At((a + 1) % 4, j);
+    }
+    EXPECT_NEAR(SquaredNorm(pts.Row(a), dim), norm, 1e-12 * (1 + norm));
+    EXPECT_NEAR(DotProduct(pts.Row(a), pts.Row((a + 1) % 4), dim), dot,
+                1e-12 * (1 + std::fabs(dot)));
+  }
+}
+
+// Dimensions around the unroll boundary (multiples of 4 and stragglers).
+INSTANTIATE_TEST_SUITE_P(Dims, KernelDimTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 15, 16, 17,
+                                           42, 58, 64));
+
+TEST(KernelTest, ZeroDistanceForIdenticalPoints) {
+  Matrix pts = RandomMatrix(1, 20, 19);
+  EXPECT_EQ(SquaredL2(pts.Row(0), pts.Row(0), 20), 0.0);
+}
+
+TEST(KernelTest, ExpandedFormClampsCancellation) {
+  // Nearly identical vectors: expansion may go slightly negative; the
+  // helper must clamp at zero.
+  double d2 = SquaredL2Expanded(1.0, 1.0, 1.0 + 1e-17);
+  EXPECT_GE(d2, 0.0);
+}
+
+TEST(NearestCenterSearchTest, PlainAndExpandedAgree) {
+  Matrix centers = RandomMatrix(20, 24, 21, 10.0);
+  Matrix queries = RandomMatrix(100, 24, 22, 10.0);
+  NearestCenterSearch plain(centers, NearestCenterSearch::Kernel::kPlain);
+  NearestCenterSearch expanded(centers,
+                               NearestCenterSearch::Kernel::kExpanded);
+  EXPECT_FALSE(plain.uses_expanded_kernel());
+  EXPECT_TRUE(expanded.uses_expanded_kernel());
+  for (int64_t q = 0; q < queries.rows(); ++q) {
+    NearestResult a = plain.Find(queries.Row(q));
+    NearestResult b = expanded.Find(queries.Row(q));
+    EXPECT_EQ(a.index, b.index) << "query " << q;
+    EXPECT_NEAR(a.distance2, b.distance2, 1e-8 * (1 + a.distance2));
+  }
+}
+
+TEST(NearestCenterSearchTest, AutoKernelSelectsByDimension) {
+  Matrix small = RandomMatrix(3, 4, 23);
+  Matrix large = RandomMatrix(3, 32, 24);
+  EXPECT_FALSE(NearestCenterSearch(small).uses_expanded_kernel());
+  EXPECT_TRUE(NearestCenterSearch(large).uses_expanded_kernel());
+}
+
+TEST(NearestCenterSearchTest, FindsExactNearest) {
+  Matrix centers = Matrix::FromValues(3, 2, {0, 0, 10, 0, 0, 10});
+  NearestCenterSearch search(centers);
+  std::vector<double> q1 = {1.0, 1.0};
+  EXPECT_EQ(search.Find(q1.data()).index, 0);
+  std::vector<double> q2 = {9.0, 1.0};
+  EXPECT_EQ(search.Find(q2.data()).index, 1);
+  std::vector<double> q3 = {1.0, 9.0};
+  EXPECT_EQ(search.Find(q3.data()).index, 2);
+  EXPECT_DOUBLE_EQ(search.Find(q1.data()).distance2, 2.0);
+}
+
+TEST(NearestCenterSearchTest, TieBreaksToFirstCenter) {
+  Matrix centers = Matrix::FromValues(2, 1, {-1, 1});
+  NearestCenterSearch search(centers,
+                             NearestCenterSearch::Kernel::kPlain);
+  std::vector<double> origin = {0.0};
+  EXPECT_EQ(search.Find(origin.data()).index, 0);
+}
+
+TEST(RowSquaredNormsTest, MatchesPerRowNorm) {
+  Matrix m = RandomMatrix(5, 9, 25);
+  auto norms = RowSquaredNorms(m);
+  ASSERT_EQ(norms.size(), 5u);
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(norms[static_cast<size_t>(i)],
+                     SquaredNorm(m.Row(i), 9));
+  }
+}
+
+TEST(MinDistanceTrackerTest, StartsAtInfinity) {
+  Dataset data(RandomMatrix(10, 3, 26));
+  MinDistanceTracker tracker(data);
+  EXPECT_EQ(tracker.n(), 10);
+  EXPECT_TRUE(std::isinf(tracker.Distance2(0)));
+  EXPECT_EQ(tracker.ClosestCenter(0), -1);
+}
+
+TEST(MinDistanceTrackerTest, IncrementalEqualsBatch) {
+  Dataset data(RandomMatrix(200, 8, 27, 5.0));
+  Matrix centers = RandomMatrix(12, 8, 28, 5.0);
+
+  // Incremental: add centers one at a time.
+  MinDistanceTracker incremental(data);
+  Matrix grown(8);
+  for (int64_t c = 0; c < centers.rows(); ++c) {
+    grown.AppendRow(centers.Row(c));
+    incremental.AddCenters(grown, c);
+  }
+
+  // Batch: add all at once.
+  MinDistanceTracker batch(data);
+  batch.AddCenters(centers, 0);
+
+  EXPECT_NEAR(incremental.Potential(), batch.Potential(),
+              1e-9 * (1 + batch.Potential()));
+  NearestCenterSearch search(centers,
+                             NearestCenterSearch::Kernel::kPlain);
+  for (int64_t i = 0; i < data.n(); ++i) {
+    NearestResult expected = search.Find(data.Point(i));
+    EXPECT_NEAR(incremental.Distance2(i), expected.distance2,
+                1e-9 * (1 + expected.distance2));
+    EXPECT_EQ(incremental.ClosestCenter(i), expected.index);
+    EXPECT_EQ(batch.ClosestCenter(i), expected.index);
+  }
+}
+
+TEST(MinDistanceTrackerTest, PotentialIsWeighted) {
+  Matrix points = Matrix::FromValues(2, 1, {0, 3});
+  auto data = Dataset::WithWeights(points, {1.0, 10.0});
+  ASSERT_TRUE(data.ok());
+  MinDistanceTracker tracker(*data);
+  Matrix center = Matrix::FromValues(1, 1, {0});
+  double phi = tracker.AddCenters(center, 0);
+  // point 1 contributes 10 * 9 = 90; point 0 contributes 0.
+  EXPECT_DOUBLE_EQ(phi, 90.0);
+  EXPECT_DOUBLE_EQ(tracker.Potential(), 90.0);
+  auto contributions = tracker.WeightedContributions();
+  EXPECT_DOUBLE_EQ(contributions[0], 0.0);
+  EXPECT_DOUBLE_EQ(contributions[1], 90.0);
+}
+
+TEST(MinDistanceTrackerTest, AddingCenterNeverIncreasesPotential) {
+  Dataset data(RandomMatrix(300, 6, 29, 3.0));
+  MinDistanceTracker tracker(data);
+  Matrix centers(6);
+  rng::Rng rng(30);
+  double previous = std::numeric_limits<double>::infinity();
+  for (int c = 0; c < 10; ++c) {
+    auto pick = static_cast<int64_t>(rng.NextBounded(data.n()));
+    centers.AppendRow(data.Point(pick));
+    double phi = tracker.AddCenters(centers, c);
+    EXPECT_LE(phi, previous);
+    previous = phi;
+  }
+}
+
+}  // namespace
+}  // namespace kmeansll

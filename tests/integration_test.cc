@@ -1,0 +1,190 @@
+// End-to-end integration tests: the paper's qualitative findings must
+// hold on this implementation (small-scale versions of Tables 1, 5, 6 and
+// Figures 5.2/5.3).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "clustering/cost.h"
+#include "clustering/metrics.h"
+#include "core/kmeans.h"
+#include "data/synthetic.h"
+#include "data/transform.h"
+#include "eval/trials.h"
+#include "rng/rng.h"
+
+namespace kmeansll {
+namespace {
+
+constexpr int64_t kK = 20;
+
+const data::LabeledData& SharedGauss() {
+  static const data::LabeledData* gauss = [] {
+    auto generated = data::GenerateGaussMixture(
+        {.n = 4000, .k = kK, .dim = 15, .center_stddev = 10.0,
+         .cluster_stddev = 1.0},
+        rng::Rng(1234));
+    KMEANSLL_CHECK(generated.ok());
+    return new data::LabeledData(std::move(generated).ValueOrDie());
+  }();
+  return *gauss;
+}
+
+KMeansReport FitWith(InitMethod method, uint64_t seed,
+                     double oversampling = -1.0, int64_t rounds = 5) {
+  KMeansConfig config;
+  config.k = kK;
+  config.init = method;
+  config.seed = seed;
+  config.kmeansll.oversampling = oversampling;
+  config.kmeansll.rounds = rounds;
+  config.lloyd.max_iterations = 300;
+  auto report = KMeans(config).Fit(SharedGauss().data);
+  KMEANSLL_CHECK(report.ok());
+  return std::move(report).ValueOrDie();
+}
+
+// Table 1's qualitative content: seeded methods have far lower seed cost
+// than Random, and k-means|| matches or beats k-means++.
+TEST(PaperFindingsTest, SeedCostOrdering) {
+  auto medians = [&](InitMethod method) {
+    return eval::RunTrials(5, [&](int64_t t) {
+             return FitWith(method, 10 + t).seed_cost;
+           })
+        .median;
+  };
+  double random = medians(InitMethod::kRandom);
+  double pp = medians(InitMethod::kKMeansPP);
+  double ll = medians(InitMethod::kKMeansParallel);
+  EXPECT_LT(pp, random * 0.2);
+  EXPECT_LT(ll, random * 0.2);
+  EXPECT_LT(ll, pp * 1.3);  // on par or better
+}
+
+// Table 1 "final" columns: after Lloyd all seeded methods reach similar
+// quality; Random on well-separated data gets stuck far above.
+TEST(PaperFindingsTest, FinalCostSeededMethodsAgree) {
+  double pp = eval::RunTrials(5, [&](int64_t t) {
+                return FitWith(InitMethod::kKMeansPP, 40 + t).final_cost;
+              }).min;
+  double ll = eval::RunTrials(5, [&](int64_t t) {
+                return FitWith(InitMethod::kKMeansParallel, 50 + t)
+                    .final_cost;
+              }).min;
+  // Final quality is on par (both methods' finals are bimodal — the
+  // perfect optimum vs. a one-cluster-missed local optimum — so compare
+  // the best-of-5, which is the stable statistic).
+  EXPECT_LE(ll, pp * 1.2);
+}
+
+// Table 6: Lloyd converges in fewer iterations from k-means|| seeds than
+// from Random seeds.
+TEST(PaperFindingsTest, LloydIterationOrdering) {
+  auto iterations = [&](InitMethod method, uint64_t base) {
+    return eval::RunTrials(5, [&](int64_t t) {
+             return static_cast<double>(
+                 FitWith(method, base + t).lloyd_iterations);
+           })
+        .median;
+  };
+  double random_iters = iterations(InitMethod::kRandom, 60);
+  double ll_iters = iterations(InitMethod::kKMeansParallel, 70);
+  EXPECT_LT(ll_iters, random_iters);
+}
+
+// Table 5: the k-means|| intermediate set (r·ℓ) is orders of magnitude
+// smaller than Partition's 3·m·k·ln k.
+TEST(PaperFindingsTest, IntermediateSetSizes) {
+  KMeansConfig ll_config;
+  ll_config.k = kK;
+  ll_config.init = InitMethod::kKMeansParallel;
+  ll_config.kmeansll.rounds = 5;
+  ll_config.seed = 80;
+  auto ll = KMeans(ll_config).Initialize(SharedGauss().data);
+  ASSERT_TRUE(ll.ok());
+
+  KMeansConfig part_config;
+  part_config.k = kK;
+  part_config.init = InitMethod::kPartition;
+  part_config.seed = 81;
+  auto part = KMeans(part_config).Initialize(SharedGauss().data);
+  ASSERT_TRUE(part.ok());
+
+  EXPECT_LT(ll->telemetry.intermediate_centers * 4,
+            part->telemetry.intermediate_centers);
+}
+
+// Figures 5.2/5.3: r·ℓ < k is substantially worse than k-means++;
+// r·ℓ >= k is on par.
+TEST(PaperFindingsTest, UndershootRegimeIsWorse) {
+  // Best-of-5 comparisons: finals are bimodal (see above), but the
+  // starved regime can never reach the good mode while the ample regime
+  // reliably can.
+  double pp = eval::RunTrials(5, [&](int64_t t) {
+                return FitWith(InitMethod::kKMeansPP, 90 + t).final_cost;
+              }).min;
+  // ℓ = 0.1k, r = 5: r·ℓ = 10 < k = 20 — too few candidates.
+  double starved =
+      eval::RunTrials(5, [&](int64_t t) {
+        return FitWith(InitMethod::kKMeansParallel, 100 + t,
+                       0.1 * static_cast<double>(kK), 5)
+            .final_cost;
+      }).min;
+  // ℓ = 2k, r = 5: r·ℓ = 10k >> k.
+  double ample =
+      eval::RunTrials(5, [&](int64_t t) {
+        return FitWith(InitMethod::kKMeansParallel, 110 + t,
+                       2.0 * static_cast<double>(kK), 5)
+            .final_cost;
+      }).min;
+  EXPECT_GT(starved, pp * 2.0);
+  EXPECT_LT(ample, pp * 1.5);
+}
+
+// Ground-truth recovery: on the separated mixture, the full pipeline
+// recovers the generating structure (high NMI, low center RMSE).
+TEST(PaperFindingsTest, RecoversPlantedMixture) {
+  // Take the best of 5 fits (any single fit can settle in the
+  // one-cluster-missed optimum); the best fit recovers the mixture.
+  KMeansReport best = FitWith(InitMethod::kKMeansParallel, 120);
+  for (uint64_t s = 121; s < 125; ++s) {
+    KMeansReport candidate = FitWith(InitMethod::kKMeansParallel, s);
+    if (candidate.final_cost < best.final_cost) best = std::move(candidate);
+  }
+  double nmi = NormalizedMutualInformation(best.assignment.cluster,
+                                           SharedGauss().data.labels());
+  EXPECT_GT(nmi, 0.9);
+  double rmse =
+      CenterRecoveryRmse(SharedGauss().true_centers, best.centers);
+  EXPECT_LT(rmse, 2.0);  // unit-variance clusters: within ~2σ
+}
+
+// The pipeline is robust to feature scaling: standardizing the KDD-like
+// data changes costs but every method still runs and the seeded methods
+// still beat Random.
+TEST(PaperFindingsTest, WorksOnSkewedKddLikeData) {
+  auto generated = data::GenerateKddLike(
+      {.n = 4000, .dim = 42, .num_clusters = 23}, rng::Rng(500));
+  ASSERT_TRUE(generated.ok());
+  KMeansConfig config;
+  config.k = 25;
+  config.lloyd.max_iterations = 30;
+
+  config.init = InitMethod::kRandom;
+  config.seed = 1;
+  auto random = KMeans(config).Fit(generated->data);
+  ASSERT_TRUE(random.ok());
+
+  config.init = InitMethod::kKMeansParallel;
+  config.seed = 2;
+  auto ll = KMeans(config).Fit(generated->data);
+  ASSERT_TRUE(ll.ok());
+
+  // Orders-of-magnitude seed gap on heavy-outlier data (Table 3 shape).
+  EXPECT_LT(ll->seed_cost, random->seed_cost * 0.05);
+}
+
+}  // namespace
+}  // namespace kmeansll

@@ -1,0 +1,220 @@
+// Tests for clustering/init_kmeanspp (Algorithm 1 of the paper, weighted).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "clustering/cost.h"
+#include "clustering/init_kmeanspp.h"
+#include "clustering/init_random.h"
+#include "data/synthetic.h"
+#include "distance/l2.h"
+#include "eval/trials.h"
+#include "rng/rng.h"
+
+namespace kmeansll {
+namespace {
+
+TEST(KMeansPPTest, ValidatesArguments) {
+  Dataset data(Matrix::FromValues(3, 1, {1, 2, 3}));
+  EXPECT_FALSE(KMeansPPInit(data, 0, rng::Rng(1)).ok());
+  EXPECT_FALSE(KMeansPPInit(data, -2, rng::Rng(1)).ok());
+  EXPECT_FALSE(KMeansPPInit(data, 4, rng::Rng(1)).ok());
+  KMeansPPOptions bad;
+  bad.candidates_per_step = 0;
+  EXPECT_FALSE(KMeansPPInit(data, 2, rng::Rng(1), bad).ok());
+}
+
+TEST(KMeansPPTest, RejectsZeroTotalWeight) {
+  Matrix points = Matrix::FromValues(2, 1, {1, 2});
+  auto data = Dataset::WithWeights(points, {0.0, 0.0});
+  ASSERT_TRUE(data.ok());
+  EXPECT_FALSE(KMeansPPInit(*data, 1, rng::Rng(1)).ok());
+}
+
+TEST(KMeansPPTest, ReturnsKCentersFromData) {
+  auto generated = data::GenerateGaussMixture(
+      {.n = 300, .k = 10, .dim = 5, .center_stddev = 3.0,
+       .cluster_stddev = 1.0},
+      rng::Rng(41));
+  ASSERT_TRUE(generated.ok());
+  auto result = KMeansPPInit(generated->data, 10, rng::Rng(42));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->centers.rows(), 10);
+  EXPECT_EQ(result->centers.cols(), 5);
+  // Every returned center must be an actual data point.
+  for (int64_t c = 0; c < 10; ++c) {
+    bool found = false;
+    for (int64_t i = 0; i < generated->data.n() && !found; ++i) {
+      found = SquaredL2(result->centers.Row(c), generated->data.Point(i),
+                        5) == 0.0;
+    }
+    EXPECT_TRUE(found) << "center " << c << " is not a data point";
+  }
+}
+
+TEST(KMeansPPTest, KEqualsNSelectsDistinctPoints) {
+  Dataset data(Matrix::FromValues(4, 1, {0, 10, 20, 30}));
+  auto result = KMeansPPInit(data, 4, rng::Rng(43));
+  ASSERT_TRUE(result.ok());
+  std::set<double> values;
+  for (int64_t c = 0; c < 4; ++c) values.insert(result->centers.At(c, 0));
+  EXPECT_EQ(values.size(), 4u);  // distinct points have nonzero D²
+}
+
+TEST(KMeansPPTest, DeterministicForSeed) {
+  auto generated = data::GenerateGaussMixture(
+      {.n = 200, .k = 6, .dim = 4, .center_stddev = 3.0,
+       .cluster_stddev = 1.0},
+      rng::Rng(44));
+  ASSERT_TRUE(generated.ok());
+  auto a = KMeansPPInit(generated->data, 6, rng::Rng(45));
+  auto b = KMeansPPInit(generated->data, 6, rng::Rng(45));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->centers == b->centers);
+  auto c = KMeansPPInit(generated->data, 6, rng::Rng(46));
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(a->centers == c->centers);
+}
+
+TEST(KMeansPPTest, RoundPotentialsAreNonIncreasing) {
+  auto generated = data::GenerateGaussMixture(
+      {.n = 500, .k = 12, .dim = 6, .center_stddev = 4.0,
+       .cluster_stddev = 1.0},
+      rng::Rng(47));
+  ASSERT_TRUE(generated.ok());
+  auto result = KMeansPPInit(generated->data, 12, rng::Rng(48));
+  ASSERT_TRUE(result.ok());
+  const auto& potentials = result->telemetry.round_potentials;
+  ASSERT_EQ(potentials.size(), 11u);  // recorded after centers 2..k
+  for (size_t i = 1; i < potentials.size(); ++i) {
+    EXPECT_LE(potentials[i], potentials[i - 1] * (1 + 1e-12));
+  }
+}
+
+TEST(KMeansPPTest, TelemetryCountsRounds) {
+  Dataset data(Matrix::FromValues(10, 1, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  auto result = KMeansPPInit(data, 5, rng::Rng(49));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->telemetry.rounds, 5);
+  EXPECT_EQ(result->telemetry.intermediate_centers, 0);
+  EXPECT_GE(result->telemetry.data_passes, 5);
+}
+
+TEST(KMeansPPTest, SeparatedClustersGetOneCenterEach) {
+  // With separation >> cluster radius, D² sampling lands one center in
+  // each true cluster essentially always.
+  auto generated =
+      data::GenerateSeparatedClusters(9, 40, 4, 200.0, rng::Rng(50));
+  ASSERT_TRUE(generated.ok());
+  auto result = KMeansPPInit(generated->data, 9, rng::Rng(51));
+  ASSERT_TRUE(result.ok());
+  // Each chosen center's nearest true center must be distinct.
+  std::set<int64_t> owners;
+  for (int64_t c = 0; c < 9; ++c) {
+    double best = 1e300;
+    int64_t owner = -1;
+    for (int64_t t = 0; t < 9; ++t) {
+      double d2 = SquaredL2(result->centers.Row(c),
+                            generated->true_centers.Row(t), 4);
+      if (d2 < best) {
+        best = d2;
+        owner = t;
+      }
+    }
+    owners.insert(owner);
+  }
+  EXPECT_EQ(owners.size(), 9u);
+}
+
+TEST(KMeansPPTest, BeatsRandomOnSeparatedData) {
+  // The paper's Table 1 effect in miniature: on well-separated data the
+  // D²-seeded cost is far below uniformly random seeding (median of 7).
+  auto generated =
+      data::GenerateSeparatedClusters(16, 30, 6, 100.0, rng::Rng(52));
+  ASSERT_TRUE(generated.ok());
+  auto seed_cost = [&](bool pp, int64_t trial) {
+    rng::Rng rng(1000 + trial);
+    auto result = pp ? KMeansPPInit(generated->data, 16, rng)
+                     : RandomInit(generated->data, 16, rng);
+    KMEANSLL_CHECK(result.ok());
+    return ComputeCost(generated->data, result->centers);
+  };
+  auto pp = eval::RunTrials(7, [&](int64_t t) { return seed_cost(true, t); });
+  auto random =
+      eval::RunTrials(7, [&](int64_t t) { return seed_cost(false, t); });
+  EXPECT_LT(pp.median, random.median * 0.5);
+}
+
+TEST(KMeansPPTest, WeightedFavorsHeavyPoints) {
+  // First center is drawn weight-proportionally: a point with 1000x
+  // weight is picked first almost surely.
+  Matrix points = Matrix::FromValues(3, 1, {0, 50, 100});
+  auto data = Dataset::WithWeights(points, {1.0, 1000.0, 1.0});
+  ASSERT_TRUE(data.ok());
+  int64_t heavy_first = 0;
+  for (int64_t t = 0; t < 50; ++t) {
+    auto result = KMeansPPInit(*data, 1, rng::Rng(600 + t));
+    ASSERT_TRUE(result.ok());
+    if (result->centers.At(0, 0) == 50.0) ++heavy_first;
+  }
+  EXPECT_GE(heavy_first, 45);
+}
+
+TEST(KMeansPPTest, GreedyCandidatesNeverWorseOnAverage) {
+  auto generated = data::GenerateGaussMixture(
+      {.n = 800, .k = 15, .dim = 8, .center_stddev = 3.0,
+       .cluster_stddev = 1.0},
+      rng::Rng(53));
+  ASSERT_TRUE(generated.ok());
+  auto seed_cost = [&](int64_t candidates, int64_t trial) {
+    KMeansPPOptions options;
+    options.candidates_per_step = candidates;
+    auto result =
+        KMeansPPInit(generated->data, 15, rng::Rng(700 + trial), options);
+    KMEANSLL_CHECK(result.ok());
+    return ComputeCost(generated->data, result->centers);
+  };
+  auto plain =
+      eval::RunTrials(9, [&](int64_t t) { return seed_cost(1, t); });
+  auto greedy =
+      eval::RunTrials(9, [&](int64_t t) { return seed_cost(4, t); });
+  EXPECT_LE(greedy.median, plain.median * 1.05);
+}
+
+// Approximation property across a (k, separation) grid: on separated
+// data, the k-means++ seed cost is within a moderate factor of the
+// near-optimal cost achieved by the true generating centers.
+class KMeansPPApproxTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, double>> {};
+
+TEST_P(KMeansPPApproxTest, SeedWithinConstantFactorOfTrueCenters) {
+  auto [k, separation] = GetParam();
+  auto generated = data::GenerateSeparatedClusters(
+      k, 50, 4, separation,
+      rng::Rng(54 + static_cast<uint64_t>(k)));
+  ASSERT_TRUE(generated.ok());
+  double reference =
+      ComputeCost(generated->data, generated->true_centers);
+  auto trials = eval::RunTrials(5, [&](int64_t t) {
+    auto result = KMeansPPInit(generated->data, k, rng::Rng(800 + t));
+    KMEANSLL_CHECK(result.ok());
+    return ComputeCost(generated->data, result->centers);
+  });
+  // Theory gives E[cost] <= 8(ln k + 2) φ*; with strong separation the
+  // practical factor is far smaller. Use the theoretical bound loosely.
+  EXPECT_LE(trials.median,
+            8.0 * (std::log(static_cast<double>(k)) + 2.0) * reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KMeansPPApproxTest,
+    ::testing::Combine(::testing::Values<int64_t>(4, 9, 16),
+                       ::testing::Values(50.0, 200.0)));
+
+}  // namespace
+}  // namespace kmeansll

@@ -1,0 +1,160 @@
+// Tests for Elkan's accelerated Lloyd: equivalence with the standard
+// iteration (and hence with Hamerly's), pruning effectiveness, and the
+// relative pruning strength of the two accelerated variants.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "clustering/init_kmeansll.h"
+#include "clustering/init_random.h"
+#include "clustering/lloyd.h"
+#include "clustering/lloyd_elkan.h"
+#include "clustering/lloyd_hamerly.h"
+#include "data/synthetic.h"
+#include "rng/rng.h"
+
+namespace kmeansll {
+namespace {
+
+data::LabeledData MakeGauss(int64_t n, int64_t k, uint64_t seed,
+                            double spread = 5.0) {
+  auto generated = data::GenerateGaussMixture(
+      {.n = n, .k = k, .dim = 8, .center_stddev = spread,
+       .cluster_stddev = 1.0},
+      rng::Rng(seed));
+  KMEANSLL_CHECK(generated.ok());
+  return std::move(generated).ValueOrDie();
+}
+
+TEST(LloydElkanTest, ValidatesInputs) {
+  auto gauss = MakeGauss(100, 3, 600);
+  EXPECT_FALSE(RunLloydElkan(gauss.data, Matrix(8), {}).ok());
+  Matrix wrong = Matrix::FromValues(1, 2, {0, 0});
+  EXPECT_FALSE(RunLloydElkan(gauss.data, wrong, {}).ok());
+  LloydOptions bad;
+  bad.max_iterations = -1;
+  EXPECT_FALSE(RunLloydElkan(gauss.data, gauss.true_centers, bad).ok());
+}
+
+class ElkanEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(ElkanEquivalenceTest, MatchesStandardLloydExactly) {
+  auto [k, n] = GetParam();
+  auto gauss = MakeGauss(n, k, 601 + static_cast<uint64_t>(k));
+  auto seed = RandomInit(gauss.data, k, rng::Rng(602));
+  ASSERT_TRUE(seed.ok());
+
+  LloydOptions options;
+  options.max_iterations = 60;
+  auto standard = RunLloyd(gauss.data, seed->centers, options);
+  ASSERT_TRUE(standard.ok());
+  auto elkan = RunLloydElkan(gauss.data, seed->centers, options);
+  ASSERT_TRUE(elkan.ok());
+
+  EXPECT_EQ(elkan->iterations, standard->iterations);
+  EXPECT_EQ(elkan->converged, standard->converged);
+  EXPECT_TRUE(elkan->centers == standard->centers);
+  EXPECT_EQ(elkan->assignment.cluster, standard->assignment.cluster);
+  EXPECT_EQ(elkan->assignment.cost, standard->assignment.cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ElkanEquivalenceTest,
+    ::testing::Combine(::testing::Values<int64_t>(3, 10, 25),
+                       ::testing::Values<int64_t>(500, 2000)));
+
+TEST(LloydElkanTest, MatchesStandardWithWeights) {
+  auto gauss = MakeGauss(600, 8, 603);
+  std::vector<double> weights(static_cast<size_t>(gauss.data.n()));
+  rng::Rng rng(604);
+  for (auto& w : weights) w = rng.NextExponential(1.0);
+  auto weighted = Dataset::WithWeights(gauss.data.points(), weights);
+  ASSERT_TRUE(weighted.ok());
+  auto seed = RandomInit(*weighted, 8, rng::Rng(605));
+  ASSERT_TRUE(seed.ok());
+
+  LloydOptions options;
+  options.max_iterations = 40;
+  auto standard = RunLloyd(*weighted, seed->centers, options);
+  auto elkan = RunLloydElkan(*weighted, seed->centers, options);
+  ASSERT_TRUE(standard.ok());
+  ASSERT_TRUE(elkan.ok());
+  EXPECT_TRUE(elkan->centers == standard->centers);
+  EXPECT_EQ(elkan->iterations, standard->iterations);
+}
+
+TEST(LloydElkanTest, MatchesStandardUnderEmptyClusterRepair) {
+  auto gauss = MakeGauss(400, 4, 606);
+  Matrix start(8);
+  for (int64_t c = 0; c < 3; ++c) start.AppendRow(gauss.data.Point(c));
+  std::vector<double> outlier(8, 1e6);
+  start.AppendRow(outlier.data());
+
+  LloydOptions options;
+  options.max_iterations = 30;
+  auto standard = RunLloyd(gauss.data, start, options);
+  auto elkan = RunLloydElkan(gauss.data, start, options);
+  ASSERT_TRUE(standard.ok());
+  ASSERT_TRUE(elkan.ok());
+  EXPECT_GT(elkan->empty_cluster_repairs, 0);
+  EXPECT_EQ(elkan->empty_cluster_repairs, standard->empty_cluster_repairs);
+  EXPECT_TRUE(elkan->centers == standard->centers);
+}
+
+TEST(LloydElkanTest, MatchesStandardWithToleranceAndHistory) {
+  auto gauss = MakeGauss(1200, 10, 607);
+  auto seed = RandomInit(gauss.data, 10, rng::Rng(608));
+  ASSERT_TRUE(seed.ok());
+  LloydOptions options;
+  options.max_iterations = 80;
+  options.relative_tolerance = 0.01;
+  options.track_history = true;
+  auto standard = RunLloyd(gauss.data, seed->centers, options);
+  auto elkan = RunLloydElkan(gauss.data, seed->centers, options);
+  ASSERT_TRUE(standard.ok());
+  ASSERT_TRUE(elkan.ok());
+  EXPECT_EQ(elkan->iterations, standard->iterations);
+  EXPECT_TRUE(elkan->centers == standard->centers);
+  ASSERT_EQ(elkan->cost_history.size(), standard->cost_history.size());
+}
+
+TEST(LloydElkanTest, PrunesMoreThanHamerly) {
+  // Elkan's per-center bounds are strictly stronger than Hamerly's
+  // single bound: on the same run it computes fewer exact distances than
+  // standard Lloyd's n·k per iteration, and skips more aggressively on
+  // well-separated data.
+  auto gauss = MakeGauss(3000, 20, 609, /*spread=*/10.0);
+  auto seed = KMeansLLInit(gauss.data, 20, rng::Rng(610));
+  ASSERT_TRUE(seed.ok());
+  LloydOptions options;
+  options.max_iterations = 50;
+
+  ElkanStats stats;
+  auto result = RunLloydElkan(gauss.data, seed->centers, options, &stats);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result->iterations, 1);
+  // Standard Lloyd would compute n·k distances per iteration.
+  int64_t standard_evals = result->iterations * gauss.data.n() * 20;
+  EXPECT_LT(stats.distance_evals, standard_evals / 4);
+  EXPECT_GT(stats.point_skips + stats.center_prunes, 0);
+}
+
+TEST(LloydElkanTest, AgreesWithHamerlyBitwise) {
+  auto gauss = MakeGauss(1500, 15, 611);
+  auto seed = RandomInit(gauss.data, 15, rng::Rng(612));
+  ASSERT_TRUE(seed.ok());
+  LloydOptions options;
+  options.max_iterations = 50;
+  auto hamerly = RunLloydHamerly(gauss.data, seed->centers, options);
+  auto elkan = RunLloydElkan(gauss.data, seed->centers, options);
+  ASSERT_TRUE(hamerly.ok());
+  ASSERT_TRUE(elkan.ok());
+  EXPECT_TRUE(elkan->centers == hamerly->centers);
+  EXPECT_EQ(elkan->iterations, hamerly->iterations);
+  EXPECT_EQ(elkan->assignment.cost, hamerly->assignment.cost);
+}
+
+}  // namespace
+}  // namespace kmeansll

@@ -1,0 +1,176 @@
+// Tests for the Hamerly-accelerated Lloyd iteration: exact equivalence
+// with the standard iteration, plus evidence that the bounds actually
+// prune work.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "clustering/init_kmeansll.h"
+#include "clustering/init_random.h"
+#include "clustering/lloyd.h"
+#include "clustering/lloyd_hamerly.h"
+#include "data/synthetic.h"
+#include "rng/rng.h"
+
+namespace kmeansll {
+namespace {
+
+data::LabeledData MakeGauss(int64_t n, int64_t k, uint64_t seed,
+                            double spread = 5.0) {
+  auto generated = data::GenerateGaussMixture(
+      {.n = n, .k = k, .dim = 8, .center_stddev = spread,
+       .cluster_stddev = 1.0},
+      rng::Rng(seed));
+  KMEANSLL_CHECK(generated.ok());
+  return std::move(generated).ValueOrDie();
+}
+
+TEST(LloydHamerlyTest, ValidatesInputs) {
+  auto gauss = MakeGauss(100, 3, 200);
+  EXPECT_FALSE(RunLloydHamerly(gauss.data, Matrix(8), {}).ok());
+  Matrix wrong = Matrix::FromValues(1, 2, {0, 0});
+  EXPECT_FALSE(RunLloydHamerly(gauss.data, wrong, {}).ok());
+  LloydOptions bad;
+  bad.max_iterations = -1;
+  EXPECT_FALSE(RunLloydHamerly(gauss.data, gauss.true_centers, bad).ok());
+}
+
+// The central property: bitwise-identical trajectory to RunLloyd.
+class HamerlyEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(HamerlyEquivalenceTest, MatchesStandardLloydExactly) {
+  auto [k, n] = GetParam();
+  auto gauss = MakeGauss(n, k, 201 + static_cast<uint64_t>(k));
+  auto seed = RandomInit(gauss.data, k, rng::Rng(77));
+  ASSERT_TRUE(seed.ok());
+
+  LloydOptions options;
+  options.max_iterations = 60;
+  auto standard = RunLloyd(gauss.data, seed->centers, options);
+  ASSERT_TRUE(standard.ok());
+  auto hamerly = RunLloydHamerly(gauss.data, seed->centers, options);
+  ASSERT_TRUE(hamerly.ok());
+
+  EXPECT_EQ(hamerly->iterations, standard->iterations);
+  EXPECT_EQ(hamerly->converged, standard->converged);
+  EXPECT_TRUE(hamerly->centers == standard->centers);
+  EXPECT_EQ(hamerly->assignment.cluster, standard->assignment.cluster);
+  EXPECT_EQ(hamerly->assignment.cost, standard->assignment.cost);
+  EXPECT_EQ(hamerly->empty_cluster_repairs,
+            standard->empty_cluster_repairs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HamerlyEquivalenceTest,
+    ::testing::Combine(::testing::Values<int64_t>(3, 10, 25),
+                       ::testing::Values<int64_t>(500, 2000)));
+
+TEST(LloydHamerlyTest, MatchesStandardWithWeights) {
+  auto gauss = MakeGauss(600, 8, 203);
+  std::vector<double> weights(static_cast<size_t>(gauss.data.n()));
+  rng::Rng rng(204);
+  for (auto& w : weights) w = rng.NextExponential(1.0);
+  auto weighted = Dataset::WithWeights(gauss.data.points(), weights);
+  ASSERT_TRUE(weighted.ok());
+  auto seed = RandomInit(*weighted, 8, rng::Rng(205));
+  ASSERT_TRUE(seed.ok());
+
+  LloydOptions options;
+  options.max_iterations = 40;
+  auto standard = RunLloyd(*weighted, seed->centers, options);
+  auto hamerly = RunLloydHamerly(*weighted, seed->centers, options);
+  ASSERT_TRUE(standard.ok());
+  ASSERT_TRUE(hamerly.ok());
+  EXPECT_TRUE(hamerly->centers == standard->centers);
+  EXPECT_EQ(hamerly->iterations, standard->iterations);
+}
+
+TEST(LloydHamerlyTest, MatchesStandardUnderEmptyClusterRepair) {
+  // Force an empty cluster: one center placed far outside the data.
+  auto gauss = MakeGauss(400, 4, 206);
+  Matrix start(8);
+  for (int64_t c = 0; c < 3; ++c) start.AppendRow(gauss.data.Point(c));
+  std::vector<double> outlier(8, 1e6);
+  start.AppendRow(outlier.data());
+
+  LloydOptions options;
+  options.max_iterations = 30;
+  auto standard = RunLloyd(gauss.data, start, options);
+  auto hamerly = RunLloydHamerly(gauss.data, start, options);
+  ASSERT_TRUE(standard.ok());
+  ASSERT_TRUE(hamerly.ok());
+  EXPECT_GT(hamerly->empty_cluster_repairs, 0);
+  EXPECT_EQ(hamerly->empty_cluster_repairs,
+            standard->empty_cluster_repairs);
+  EXPECT_TRUE(hamerly->centers == standard->centers);
+}
+
+TEST(LloydHamerlyTest, MatchesStandardWithTolerance) {
+  auto gauss = MakeGauss(1500, 12, 207);
+  auto seed = RandomInit(gauss.data, 12, rng::Rng(208));
+  ASSERT_TRUE(seed.ok());
+  LloydOptions options;
+  options.max_iterations = 100;
+  options.relative_tolerance = 0.01;
+  auto standard = RunLloyd(gauss.data, seed->centers, options);
+  auto hamerly = RunLloydHamerly(gauss.data, seed->centers, options);
+  ASSERT_TRUE(standard.ok());
+  ASSERT_TRUE(hamerly.ok());
+  EXPECT_EQ(hamerly->iterations, standard->iterations);
+  EXPECT_TRUE(hamerly->centers == standard->centers);
+}
+
+TEST(LloydHamerlyTest, TrackHistoryMatchesStandard) {
+  auto gauss = MakeGauss(800, 6, 209);
+  auto seed = RandomInit(gauss.data, 6, rng::Rng(210));
+  ASSERT_TRUE(seed.ok());
+  LloydOptions options;
+  options.max_iterations = 25;
+  options.track_history = true;
+  auto standard = RunLloyd(gauss.data, seed->centers, options);
+  auto hamerly = RunLloydHamerly(gauss.data, seed->centers, options);
+  ASSERT_TRUE(standard.ok());
+  ASSERT_TRUE(hamerly.ok());
+  ASSERT_EQ(hamerly->cost_history.size(), standard->cost_history.size());
+  for (size_t i = 0; i < standard->cost_history.size(); ++i) {
+    EXPECT_NEAR(hamerly->cost_history[i], standard->cost_history[i],
+                1e-9 * (1 + standard->cost_history[i]))
+        << "iteration " << i;
+  }
+}
+
+TEST(LloydHamerlyTest, BoundsActuallyPrune) {
+  // On well-separated data seeded with k-means||, most points should be
+  // certified by their bounds after the first iteration.
+  auto gauss = MakeGauss(4000, 20, 211, /*spread=*/10.0);
+  auto seed = KMeansLLInit(gauss.data, 20, rng::Rng(212));
+  ASSERT_TRUE(seed.ok());
+  LloydOptions options;
+  options.max_iterations = 50;
+  HamerlyStats stats;
+  auto result = RunLloydHamerly(gauss.data, seed->centers, options, &stats);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result->iterations, 1);
+  int64_t decisions = stats.full_scans + stats.bound_skips +
+                      stats.inner_updates;
+  EXPECT_EQ(decisions, result->iterations * gauss.data.n());
+  // At least half of all point-decisions avoided the full k-scan.
+  EXPECT_GT(stats.bound_skips + stats.inner_updates, decisions / 2);
+}
+
+TEST(LloydHamerlyTest, SingleCenterDegenerates) {
+  auto gauss = MakeGauss(200, 2, 213);
+  Matrix one = Matrix(1, 8);
+  LloydOptions options;
+  options.max_iterations = 5;
+  auto result = RunLloydHamerly(gauss.data, one, options);
+  ASSERT_TRUE(result.ok());
+  auto standard = RunLloyd(gauss.data, one, options);
+  ASSERT_TRUE(standard.ok());
+  EXPECT_TRUE(result->centers == standard->centers);
+}
+
+}  // namespace
+}  // namespace kmeansll

@@ -1,0 +1,145 @@
+// Tests for clustering/metrics: purity, NMI, center recovery.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "clustering/metrics.h"
+#include "matrix/dataset.h"
+#include "matrix/matrix.h"
+
+namespace kmeansll {
+namespace {
+
+TEST(PurityTest, PerfectAssignmentScoresOne) {
+  std::vector<int32_t> assignment = {0, 0, 1, 1, 2, 2};
+  std::vector<int32_t> labels = {5, 5, 7, 7, 9, 9};
+  EXPECT_DOUBLE_EQ(Purity(assignment, labels), 1.0);
+}
+
+TEST(PurityTest, PermutedClusterIdsStillPerfect) {
+  std::vector<int32_t> assignment = {2, 2, 0, 0, 1, 1};
+  std::vector<int32_t> labels = {5, 5, 7, 7, 9, 9};
+  EXPECT_DOUBLE_EQ(Purity(assignment, labels), 1.0);
+}
+
+TEST(PurityTest, MixedClusterScoresFractionally) {
+  // One cluster with 3 of label A and 1 of label B: purity 0.75.
+  std::vector<int32_t> assignment = {0, 0, 0, 0};
+  std::vector<int32_t> labels = {1, 1, 1, 2};
+  EXPECT_DOUBLE_EQ(Purity(assignment, labels), 0.75);
+}
+
+TEST(PurityTest, NegativeLabelsAreSkipped) {
+  std::vector<int32_t> assignment = {0, 0, 1};
+  std::vector<int32_t> labels = {1, -1, 2};
+  EXPECT_DOUBLE_EQ(Purity(assignment, labels), 1.0);
+}
+
+TEST(PurityTest, AllOutliersScoresZero) {
+  std::vector<int32_t> assignment = {0, 1};
+  std::vector<int32_t> labels = {-1, -1};
+  EXPECT_DOUBLE_EQ(Purity(assignment, labels), 0.0);
+}
+
+TEST(NmiTest, PerfectAssignmentScoresOne) {
+  std::vector<int32_t> assignment = {0, 0, 1, 1, 2, 2};
+  std::vector<int32_t> labels = {5, 5, 7, 7, 9, 9};
+  EXPECT_NEAR(NormalizedMutualInformation(assignment, labels), 1.0, 1e-12);
+}
+
+TEST(NmiTest, IndependentAssignmentScoresNearZero) {
+  // Assignment alternates regardless of label blocks.
+  std::vector<int32_t> assignment, labels;
+  for (int i = 0; i < 400; ++i) {
+    assignment.push_back(i % 2);
+    labels.push_back(i < 200 ? 0 : 1);
+  }
+  EXPECT_LT(NormalizedMutualInformation(assignment, labels), 0.05);
+}
+
+TEST(NmiTest, SingleClusterSingleLabelIsDegenerate) {
+  std::vector<int32_t> assignment = {0, 0, 0};
+  std::vector<int32_t> labels = {4, 4, 4};
+  // Both entropies zero and partitions identical -> defined as 1.
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(assignment, labels), 1.0);
+}
+
+TEST(NmiTest, BetweenZeroAndOne) {
+  std::vector<int32_t> assignment = {0, 0, 1, 1, 1, 2};
+  std::vector<int32_t> labels = {1, 2, 2, 2, 3, 3};
+  double nmi = NormalizedMutualInformation(assignment, labels);
+  EXPECT_GE(nmi, 0.0);
+  EXPECT_LE(nmi, 1.0);
+}
+
+TEST(CenterRecoveryTest, ExactRecoveryIsZero) {
+  Matrix truth = Matrix::FromValues(2, 2, {0, 0, 10, 10});
+  EXPECT_DOUBLE_EQ(CenterRecoveryRmse(truth, truth), 0.0);
+}
+
+TEST(CenterRecoveryTest, KnownOffset) {
+  Matrix truth = Matrix::FromValues(2, 1, {0, 10});
+  Matrix recovered = Matrix::FromValues(2, 1, {1, 9});
+  // Each true center is distance 1 from its nearest recovered center.
+  EXPECT_DOUBLE_EQ(CenterRecoveryRmse(truth, recovered), 1.0);
+}
+
+TEST(CenterRecoveryTest, ExtraRecoveredCentersDoNotHurt) {
+  Matrix truth = Matrix::FromValues(1, 1, {5});
+  Matrix recovered = Matrix::FromValues(3, 1, {5, 100, -100});
+  EXPECT_DOUBLE_EQ(CenterRecoveryRmse(truth, recovered), 0.0);
+}
+
+TEST(SilhouetteTest, TightSeparatedClustersScoreNearOne) {
+  // Points exactly on their centroids, centroids far apart.
+  Dataset data(Matrix::FromValues(4, 1, {0, 0, 100, 100}));
+  Matrix centers = Matrix::FromValues(2, 1, {0, 100});
+  std::vector<int32_t> assignment = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(SimplifiedSilhouette(data, centers, assignment), 1.0);
+}
+
+TEST(SilhouetteTest, PointOnBoundaryScoresZero) {
+  Dataset data(Matrix::FromValues(1, 1, {50}));
+  Matrix centers = Matrix::FromValues(2, 1, {0, 100});
+  std::vector<int32_t> assignment = {0};
+  EXPECT_NEAR(SimplifiedSilhouette(data, centers, assignment), 0.0, 1e-12);
+}
+
+TEST(SilhouetteTest, WrongSideScoresNegative) {
+  // A point assigned to the far centroid.
+  Dataset data(Matrix::FromValues(1, 1, {10}));
+  Matrix centers = Matrix::FromValues(2, 1, {0, 100});
+  std::vector<int32_t> assignment = {1};
+  EXPECT_LT(SimplifiedSilhouette(data, centers, assignment), 0.0);
+}
+
+TEST(DaviesBouldinTest, ZeroForPointClusters) {
+  Dataset data(Matrix::FromValues(4, 1, {0, 0, 100, 100}));
+  Matrix centers = Matrix::FromValues(2, 1, {0, 100});
+  std::vector<int32_t> assignment = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(DaviesBouldinIndex(data, centers, assignment), 0.0);
+}
+
+TEST(DaviesBouldinTest, KnownTwoClusterValue) {
+  // Cluster 0: points at ±1 around 0 (mean scatter 1); cluster 1: ±2
+  // around 100 (mean scatter 2); separation 100 → DB = (1+2)/100 = 0.03.
+  Dataset data(Matrix::FromValues(4, 1, {-1, 1, 98, 102}));
+  Matrix centers = Matrix::FromValues(2, 1, {0, 100});
+  std::vector<int32_t> assignment = {0, 0, 1, 1};
+  EXPECT_NEAR(DaviesBouldinIndex(data, centers, assignment), 0.03, 1e-12);
+}
+
+TEST(DaviesBouldinTest, WorseForOverlappingClusters) {
+  Dataset data(Matrix::FromValues(4, 1, {-1, 1, 2, 4}));
+  Matrix tight = Matrix::FromValues(2, 1, {0, 3});
+  std::vector<int32_t> assignment = {0, 0, 1, 1};
+  double overlapping = DaviesBouldinIndex(data, tight, assignment);
+  Dataset far_data(Matrix::FromValues(4, 1, {-1, 1, 99, 101}));
+  Matrix far_centers = Matrix::FromValues(2, 1, {0, 100});
+  double separated = DaviesBouldinIndex(far_data, far_centers, assignment);
+  EXPECT_GT(overlapping, separated);
+}
+
+}  // namespace
+}  // namespace kmeansll

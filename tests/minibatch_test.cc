@@ -1,0 +1,108 @@
+// Tests for clustering/minibatch (the Sculley mini-batch extension).
+
+#include <gtest/gtest.h>
+
+#include "clustering/cost.h"
+#include "clustering/init_random.h"
+#include "clustering/minibatch.h"
+#include "data/synthetic.h"
+#include "rng/rng.h"
+
+namespace kmeansll {
+namespace {
+
+data::LabeledData MakeGauss(int64_t n, int64_t k, uint64_t seed) {
+  auto generated = data::GenerateGaussMixture(
+      {.n = n, .k = k, .dim = 6, .center_stddev = 6.0,
+       .cluster_stddev = 1.0},
+      rng::Rng(seed));
+  KMEANSLL_CHECK(generated.ok());
+  return std::move(generated).ValueOrDie();
+}
+
+TEST(MiniBatchTest, ValidatesArguments) {
+  auto gauss = MakeGauss(200, 4, 140);
+  Matrix empty(6);
+  EXPECT_FALSE(RunMiniBatch(gauss.data, empty, {}, rng::Rng(1)).ok());
+  Matrix wrong = Matrix::FromValues(1, 2, {0, 0});
+  EXPECT_FALSE(RunMiniBatch(gauss.data, wrong, {}, rng::Rng(1)).ok());
+  MiniBatchOptions bad;
+  bad.batch_size = 0;
+  EXPECT_FALSE(
+      RunMiniBatch(gauss.data, gauss.true_centers, bad, rng::Rng(1)).ok());
+  bad = MiniBatchOptions();
+  bad.iterations = -1;
+  EXPECT_FALSE(
+      RunMiniBatch(gauss.data, gauss.true_centers, bad, rng::Rng(1)).ok());
+}
+
+TEST(MiniBatchTest, ImprovesRandomSeeding) {
+  auto gauss = MakeGauss(3000, 10, 141);
+  auto seed = RandomInit(gauss.data, 10, rng::Rng(142));
+  ASSERT_TRUE(seed.ok());
+  double seed_cost = ComputeCost(gauss.data, seed->centers);
+
+  MiniBatchOptions options;
+  options.batch_size = 256;
+  options.iterations = 150;
+  auto refined =
+      RunMiniBatch(gauss.data, seed->centers, options, rng::Rng(143));
+  ASSERT_TRUE(refined.ok());
+  EXPECT_LT(refined->final_cost, seed_cost);
+  EXPECT_EQ(refined->iterations, 150);
+}
+
+TEST(MiniBatchTest, NearOptimalStartStaysNearOptimal) {
+  auto gauss = MakeGauss(2000, 8, 144);
+  double reference = ComputeCost(gauss.data, gauss.true_centers);
+  MiniBatchOptions options;
+  options.batch_size = 200;
+  options.iterations = 50;
+  auto refined =
+      RunMiniBatch(gauss.data, gauss.true_centers, options, rng::Rng(145));
+  ASSERT_TRUE(refined.ok());
+  // Stochastic updates wobble but must not blow the solution up.
+  EXPECT_LT(refined->final_cost, reference * 1.5);
+}
+
+TEST(MiniBatchTest, MovementToleranceStopsEarly) {
+  auto gauss = MakeGauss(1000, 5, 146);
+  MiniBatchOptions options;
+  options.batch_size = 128;
+  options.iterations = 500;
+  options.movement_tolerance = 10.0;  // generous: stops almost at once
+  auto refined = RunMiniBatch(gauss.data, gauss.true_centers, options,
+                              rng::Rng(147));
+  ASSERT_TRUE(refined.ok());
+  EXPECT_TRUE(refined->converged);
+  EXPECT_LT(refined->iterations, 500);
+}
+
+TEST(MiniBatchTest, ZeroIterationsReturnsInitialCenters) {
+  auto gauss = MakeGauss(500, 4, 148);
+  MiniBatchOptions options;
+  options.iterations = 0;
+  auto refined = RunMiniBatch(gauss.data, gauss.true_centers, options,
+                              rng::Rng(149));
+  ASSERT_TRUE(refined.ok());
+  EXPECT_TRUE(refined->centers == gauss.true_centers);
+  EXPECT_DOUBLE_EQ(refined->final_cost,
+                   ComputeCost(gauss.data, gauss.true_centers));
+}
+
+TEST(MiniBatchTest, DeterministicForSeed) {
+  auto gauss = MakeGauss(800, 6, 150);
+  MiniBatchOptions options;
+  options.batch_size = 64;
+  options.iterations = 30;
+  auto a = RunMiniBatch(gauss.data, gauss.true_centers, options,
+                        rng::Rng(151));
+  auto b = RunMiniBatch(gauss.data, gauss.true_centers, options,
+                        rng::Rng(151));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->centers == b->centers);
+}
+
+}  // namespace
+}  // namespace kmeansll

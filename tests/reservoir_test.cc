@@ -1,0 +1,155 @@
+// Tests for src/rng/reservoir: uniform (Algorithm R) and weighted
+// (Efraimidis–Spirakis) reservoir sampling — the exact-ℓ selection engine
+// of k-means||.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/reservoir.h"
+#include "rng/splitmix64.h"
+
+namespace kmeansll::rng {
+namespace {
+
+TEST(UniformReservoirTest, ShortStreamKeepsEverything) {
+  UniformReservoir r(10, Rng(1));
+  for (int64_t i = 0; i < 5; ++i) r.Offer(i);
+  EXPECT_EQ(r.items().size(), 5u);
+  EXPECT_EQ(r.seen(), 5);
+}
+
+TEST(UniformReservoirTest, CapacityRespected) {
+  UniformReservoir r(10, Rng(2));
+  for (int64_t i = 0; i < 1000; ++i) r.Offer(i);
+  EXPECT_EQ(r.items().size(), 10u);
+  std::set<int64_t> distinct(r.items().begin(), r.items().end());
+  EXPECT_EQ(distinct.size(), 10u);  // without replacement
+  for (int64_t item : r.items()) {
+    EXPECT_GE(item, 0);
+    EXPECT_LT(item, 1000);
+  }
+}
+
+TEST(UniformReservoirTest, InclusionIsUniform) {
+  const int64_t n = 100, k = 10, trials = 20000;
+  std::vector<int64_t> hits(n, 0);
+  for (int64_t t = 0; t < trials; ++t) {
+    UniformReservoir r(k, Rng(1000 + t));
+    for (int64_t i = 0; i < n; ++i) r.Offer(i);
+    for (int64_t item : r.items()) ++hits[item];
+  }
+  double expected = static_cast<double>(trials) * k / n;  // 2000
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(hits[i], expected, expected * 0.15) << "item " << i;
+  }
+}
+
+TEST(WeightedReservoirTest, ZeroAndNegativeWeightsIgnored) {
+  WeightedReservoir r(5, Rng(3));
+  r.Offer(0, 0.0);
+  r.Offer(1, -2.0);
+  r.Offer(2, 1.0);
+  EXPECT_EQ(r.Items(), std::vector<int64_t>{2});
+}
+
+TEST(WeightedReservoirTest, FewerOffersThanCapacity) {
+  WeightedReservoir r(10, Rng(4));
+  r.Offer(7, 1.0);
+  r.Offer(9, 2.0);
+  auto items = r.Items();
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, (std::vector<int64_t>{7, 9}));
+}
+
+TEST(WeightedReservoirTest, SamplesWithoutReplacement) {
+  WeightedReservoir r(50, Rng(5));
+  for (int64_t i = 0; i < 500; ++i) r.Offer(i, 1.0 + (i % 7));
+  auto items = r.Items();
+  EXPECT_EQ(items.size(), 50u);
+  std::set<int64_t> distinct(items.begin(), items.end());
+  EXPECT_EQ(distinct.size(), 50u);
+}
+
+TEST(WeightedReservoirTest, HeavyItemAlmostAlwaysIncluded) {
+  // Item 0 has 100x the weight of everything else combined; with k=5 its
+  // inclusion probability is essentially 1.
+  int64_t included = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    WeightedReservoir r(5, Rng(6000 + t));
+    r.Offer(0, 10000.0);
+    for (int64_t i = 1; i < 100; ++i) r.Offer(i, 1.0);
+    auto items = r.Items();
+    included += std::count(items.begin(), items.end(), 0);
+  }
+  EXPECT_GT(included, trials * 99 / 100);
+}
+
+TEST(WeightedReservoirTest, SingleSlotFollowsWeightDistribution) {
+  // With capacity 1, inclusion probability is exactly w_i / Σw.
+  std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  std::vector<int64_t> wins(weights.size(), 0);
+  const int trials = 40000;
+  for (int t = 0; t < trials; ++t) {
+    WeightedReservoir r(1, Rng(9000 + t));
+    for (size_t i = 0; i < weights.size(); ++i) {
+      r.Offer(static_cast<int64_t>(i), weights[i]);
+    }
+    ++wins[r.Items()[0]];
+  }
+  for (size_t i = 0; i < weights.size(); ++i) {
+    double expected = weights[i] / 10.0;
+    double observed = static_cast<double>(wins[i]) / trials;
+    double sigma = std::sqrt(expected * (1 - expected) / trials);
+    EXPECT_NEAR(observed, expected, 5 * sigma) << "item " << i;
+  }
+}
+
+TEST(WeightedReservoirTest, MergeEqualsSingleStreamWithSharedKeys) {
+  // When keys come from OfferWithUniform (pure function of the item), a
+  // merged pair of half-stream reservoirs must equal the single-stream
+  // reservoir exactly.
+  const uint64_t seed = 0xFEED;
+  auto offer_all = [&](WeightedReservoir& r, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      double u = UniformAtIndex(seed, static_cast<uint64_t>(i));
+      if (u <= 0.0) u = 0.5;
+      r.OfferWithUniform(i, 1.0 + (i % 5), u);
+    }
+  };
+  WeightedReservoir whole(20, Rng(7));
+  offer_all(whole, 0, 1000);
+
+  WeightedReservoir left(20, Rng(8)), right(20, Rng(9));
+  offer_all(left, 0, 500);
+  offer_all(right, 500, 1000);
+  left.Merge(right);
+
+  auto a = whole.Items();
+  auto b = left.Items();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(WeightedReservoirTest, OfferWithUniformIsDeterministic) {
+  auto run = [] {
+    WeightedReservoir r(10, Rng(11));
+    for (int64_t i = 0; i < 200; ++i) {
+      double u = UniformAtIndex(42, static_cast<uint64_t>(i));
+      if (u <= 0.0) u = 0.5;
+      r.OfferWithUniform(i, static_cast<double>(i + 1), u);
+    }
+    auto items = r.Items();
+    std::sort(items.begin(), items.end());
+    return items;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace kmeansll::rng

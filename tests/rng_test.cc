@@ -1,0 +1,211 @@
+// Tests for src/rng: determinism, substream independence, distribution
+// sanity for the xoshiro256** generator and hashed per-index uniforms.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/rng.h"
+#include "rng/splitmix64.h"
+
+namespace kmeansll::rng {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SplitMix64Next(&s1), SplitMix64Next(&s2));
+  }
+}
+
+TEST(SplitMix64Test, MixAvalanches) {
+  // Flipping one input bit should flip roughly half the output bits.
+  uint64_t a = Mix64(0x1234);
+  uint64_t b = Mix64(0x1235);
+  int flipped = __builtin_popcountll(a ^ b);
+  EXPECT_GT(flipped, 16);
+  EXPECT_LT(flipped, 48);
+}
+
+TEST(HashCombineTest, OrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+  EXPECT_EQ(HashCombine(1, 2), HashCombine(1, 2));
+}
+
+TEST(UniformAtIndexTest, DeterministicAndInRange) {
+  for (uint64_t i = 0; i < 1000; ++i) {
+    double u = UniformAtIndex(99, i);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    EXPECT_DOUBLE_EQ(u, UniformAtIndex(99, i));
+  }
+  EXPECT_NE(UniformAtIndex(1, 7), UniformAtIndex(2, 7));
+}
+
+TEST(UniformAtIndexTest, MeanIsOneHalf) {
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += UniformAtIndex(7, i);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUInt64(), b.NextUInt64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(123), b(124);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUInt64() == b.NextUInt64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(5);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 8; ++i) first.push_back(a.NextUInt64());
+  a.Reseed(5);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(a.NextUInt64(), first[i]);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    double v = r.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleRangeRespected) {
+  Rng r(10);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.NextDouble(-3.0, 7.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 7.0);
+  }
+}
+
+TEST(RngTest, NextBoundedIsInRangeAndRoughlyUniform) {
+  Rng r(11);
+  const uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    uint64_t v = r.NextBounded(bound);
+    ASSERT_LT(v, bound);
+    ++counts[v];
+  }
+  for (uint64_t b = 0; b < bound; ++b) {
+    EXPECT_NEAR(counts[b], draws / 10, draws / 10 * 0.15);
+  }
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng r(12);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.NextBounded(1), 0u);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng r(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.NextBernoulli(0.0));
+    EXPECT_FALSE(r.NextBernoulli(-1.0));
+    EXPECT_TRUE(r.NextBernoulli(1.0));
+    EXPECT_TRUE(r.NextBernoulli(2.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng r(14);
+  const int draws = 50000;
+  int hits = 0;
+  for (int i = 0; i < draws; ++i) hits += r.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / draws, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng r(15);
+  const int n = 100000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    double v = r.NextGaussian();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParamsShiftsAndScales) {
+  Rng r(16);
+  const int n = 50000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    double v = r.NextGaussian(10.0, 2.0);
+    sum += v;
+    sum2 += (v - 10.0) * (v - 10.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 4.0, 0.15);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng r(17);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    double v = r.NextExponential(2.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng root(77);
+  Rng a = root.Fork(StreamPurpose::kRoundSampling, 3);
+  Rng b = root.Fork(StreamPurpose::kRoundSampling, 3);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.NextUInt64(), b.NextUInt64());
+}
+
+TEST(RngTest, ForkIndependentAcrossPurposeAndIndex) {
+  Rng root(77);
+  Rng a = root.Fork(StreamPurpose::kRoundSampling, 3);
+  Rng b = root.Fork(StreamPurpose::kRoundSampling, 4);
+  Rng c = root.Fork(StreamPurpose::kRecluster, 3);
+  EXPECT_NE(a.NextUInt64(), b.NextUInt64());
+  Rng a2 = root.Fork(StreamPurpose::kRoundSampling, 3);
+  EXPECT_NE(a2.NextUInt64(), c.NextUInt64());
+}
+
+TEST(RngTest, ForkUnaffectedByConsumption) {
+  Rng root(88);
+  Rng before = root.Fork(StreamPurpose::kGeneral, 1);
+  for (int i = 0; i < 1000; ++i) root.NextUInt64();
+  Rng after = root.Fork(StreamPurpose::kGeneral, 1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(before.NextUInt64(), after.NextUInt64());
+  }
+}
+
+TEST(RngTest, DifferentRootSeedsGiveDifferentForks) {
+  Rng a = MakeRootRng(1).Fork(StreamPurpose::kGeneral, 0);
+  Rng b = MakeRootRng(2).Fork(StreamPurpose::kGeneral, 0);
+  EXPECT_NE(a.NextUInt64(), b.NextUInt64());
+}
+
+TEST(RngTest, BoundedCoversFullRangeEventually) {
+  Rng r(19);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+}  // namespace
+}  // namespace kmeansll::rng

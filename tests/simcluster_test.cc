@@ -1,0 +1,163 @@
+// Tests for the simcluster cost model: the analytic properties that make
+// it a faithful stand-in for the paper's Hadoop-cluster timing experiments
+// (Table 4 and the §4.2.1 machine-threshold discussion).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simcluster/cost_model.h"
+
+namespace kmeansll::simcluster {
+namespace {
+
+ClusterConfig BaseConfig(int64_t machines) {
+  ClusterConfig config;
+  config.num_machines = machines;
+  config.seconds_per_flop = 1e-9;
+  config.job_setup_seconds = 15.0;
+  config.seconds_per_shuffled_value = 1e-7;
+  return config;
+}
+
+TEST(CostModelTest, JobSecondsDecomposes) {
+  CostModel model(BaseConfig(10));
+  JobWork work;
+  work.parallel_flops = 1e9;      // 1s at 1e-9 s/flop over 10 machines = 0.1
+  work.sequential_flops = 2e8;    // 0.2s
+  work.shuffled_values = 1e6;     // 0.1s
+  EXPECT_NEAR(model.JobSeconds(work), 15.0 + 0.1 + 0.2 + 0.1, 1e-9);
+}
+
+TEST(CostModelTest, MoreMachinesNeverSlower) {
+  JobWork work;
+  work.parallel_flops = 1e12;
+  double previous = 1e300;
+  for (int64_t machines : {1, 10, 100, 1000}) {
+    CostModel model(BaseConfig(machines));
+    double seconds = model.JobSeconds(work);
+    EXPECT_LT(seconds, previous);
+    previous = seconds;
+  }
+}
+
+TEST(CostModelTest, MaxParallelismCapsScaling) {
+  JobWork capped;
+  capped.parallel_flops = 1e12;
+  capped.max_parallelism = 20;
+  CostModel small(BaseConfig(20));
+  CostModel large(BaseConfig(2000));
+  // Beyond 20 machines the job cannot speed up: identical times.
+  EXPECT_DOUBLE_EQ(small.JobSeconds(capped), large.JobSeconds(capped));
+}
+
+TEST(CostModelTest, TotalIsSumOfJobs) {
+  CostModel model(BaseConfig(10));
+  JobWork a;
+  a.parallel_flops = 1e9;
+  std::vector<JobWork> jobs = {a, a, a};
+  EXPECT_NEAR(model.TotalSeconds(jobs), 3 * model.JobSeconds(a), 1e-9);
+}
+
+TEST(ProfileTest, KMeansLLJobCountMatchesRounds) {
+  auto jobs = KMeansLLProfile(/*n=*/1000000, /*d=*/42, /*k=*/500,
+                              /*ell=*/1000, /*rounds=*/5,
+                              /*intermediate=*/5001);
+  // 1 (ψ) + 2 per round + 1 (weights) + 1 (recluster).
+  EXPECT_EQ(jobs.size(), 1u + 2 * 5 + 1 + 1);
+  for (const auto& job : jobs) {
+    EXPECT_GE(job.parallel_flops + job.sequential_flops, 0.0);
+  }
+}
+
+TEST(ProfileTest, PartitionRound1CappedAtGroups) {
+  auto jobs = PartitionProfile(1000000, 42, 500, /*num_groups=*/45,
+                               /*intermediate=*/950000);
+  ASSERT_EQ(jobs.size(), 2u);  // capped parallel round + sequential round
+  EXPECT_EQ(jobs[0].max_parallelism, 45);
+  EXPECT_GT(jobs.back().sequential_flops, 0.0);  // sequential recluster
+}
+
+TEST(ProfileTest, LloydProfileScalesWithIterations) {
+  auto five = LloydProfile(100000, 42, 100, 5, 50);
+  auto ten = LloydProfile(100000, 42, 100, 10, 50);
+  EXPECT_EQ(five.size(), 5u);
+  EXPECT_EQ(ten.size(), 10u);
+  EXPECT_DOUBLE_EQ(five[0].parallel_flops, ten[0].parallel_flops);
+}
+
+TEST(ShapeTest, KMeansLLBeatsPartitionOnLargeClusters) {
+  // The Table 4 headline: on a big cluster k-means|| initialization is
+  // several times faster than Partition because Partition's round 1 is
+  // parallelism-capped and its sequential recluster is enormous.
+  const int64_t n = 4800000, d = 42, k = 1000;
+  const auto m = static_cast<int64_t>(std::llround(
+      std::sqrt(static_cast<double>(n) / static_cast<double>(k))));
+  const int64_t partition_intermediate =
+      3 * m * k * static_cast<int64_t>(std::log(k));
+  const int64_t ll_intermediate = 1 + 5 * 2 * k;  // r=5, ℓ=2k
+
+  CostModel model(BaseConfig(200));
+  double ll_seconds = model.TotalSeconds(
+      KMeansLLProfile(n, d, k, 2.0 * k, 5, ll_intermediate));
+  double partition_seconds = model.TotalSeconds(
+      PartitionProfile(n, d, k, m, partition_intermediate));
+  EXPECT_LT(ll_seconds, partition_seconds);
+}
+
+TEST(ShapeTest, RandomPlusLloydSlowerThanKMeansLLEndToEnd) {
+  // Random init is free but needs its full 20 Lloyd iterations (paper
+  // §4.2); k-means|| pays a few init rounds and converges in fewer
+  // iterations. End-to-end the seeded pipeline wins.
+  const int64_t n = 4800000, d = 42, k = 1000, machines = 200;
+  CostModel model(BaseConfig(machines));
+
+  auto random_jobs = RandomInitProfile(n, d);
+  auto random_lloyd = LloydProfile(n, d, k, 20, machines);
+  double random_total =
+      model.TotalSeconds(random_jobs) + model.TotalSeconds(random_lloyd);
+
+  // Table 6's effect: seeded Lloyd converges in a fraction of Random's
+  // capped 20 iterations.
+  auto ll_jobs = KMeansLLProfile(n, d, k, 2.0 * k, 5, 1 + 10 * k);
+  auto ll_lloyd = LloydProfile(n, d, k, 6, machines);
+  double ll_total =
+      model.TotalSeconds(ll_jobs) + model.TotalSeconds(ll_lloyd);
+
+  EXPECT_LT(ll_total, random_total);
+}
+
+TEST(ShapeTest, PartitionPlateausWithMachinesKMeansLLKeepsScaling) {
+  // §4.2.1: "the running time of Partition does not improve when the
+  // number of available machines surpasses a certain threshold. On the
+  // other hand, k-means||'s running time improves linearly."
+  const int64_t n = 4800000, d = 42, k = 1000;
+  const auto m = static_cast<int64_t>(std::llround(std::sqrt(4800.0)));
+  const int64_t partition_intermediate =
+      3 * m * k * static_cast<int64_t>(std::log(k));
+
+  auto partition_jobs = PartitionProfile(n, d, k, m, partition_intermediate);
+  auto ll_jobs = KMeansLLProfile(n, d, k, 2.0 * k, 5, 1 + 10 * k);
+
+  CostModel at_m(BaseConfig(m));
+  CostModel at_10m(BaseConfig(10 * m));
+
+  // Partition is already saturated at m machines: 10x more machines
+  // leave its modeled time essentially unchanged.
+  double partition_shrink = at_10m.TotalSeconds(partition_jobs) /
+                            at_m.TotalSeconds(partition_jobs);
+  EXPECT_GT(partition_shrink, 0.95);
+  // k-means|| keeps speeding up.
+  double ll_shrink =
+      at_10m.TotalSeconds(ll_jobs) / at_m.TotalSeconds(ll_jobs);
+  EXPECT_LT(ll_shrink, partition_shrink - 0.05);
+}
+
+TEST(CalibrationTest, ReturnsPlausibleSecondsPerFlop) {
+  double spf = CalibrateSecondsPerFlop();
+  EXPECT_GT(spf, 1e-12);
+  EXPECT_LT(spf, 1e-6);
+}
+
+}  // namespace
+}  // namespace kmeansll::simcluster

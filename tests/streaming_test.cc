@@ -1,0 +1,176 @@
+// Tests for the one-pass streaming clusterer (clustering/streaming.h).
+
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "clustering/cost.h"
+#include "clustering/init_random.h"
+#include "clustering/streaming.h"
+#include "data/synthetic.h"
+#include "data/transform.h"
+#include "eval/trials.h"
+#include "rng/rng.h"
+
+namespace kmeansll {
+namespace {
+
+data::LabeledData MakeGauss(int64_t n, int64_t k, uint64_t seed) {
+  auto generated = data::GenerateGaussMixture(
+      {.n = n, .k = k, .dim = 6, .center_stddev = 8.0,
+       .cluster_stddev = 1.0},
+      rng::Rng(seed));
+  KMEANSLL_CHECK(generated.ok());
+  return std::move(generated).ValueOrDie();
+}
+
+StreamingOptions BaseOptions(int64_t k, int64_t dim) {
+  StreamingOptions options;
+  options.k = k;
+  options.dim = dim;
+  options.block_size = 512;
+  options.seed = 99;
+  return options;
+}
+
+TEST(StreamingTest, CreateValidatesOptions) {
+  StreamingOptions bad = BaseOptions(0, 4);
+  EXPECT_FALSE(StreamingKMeans::Create(bad).ok());
+  bad = BaseOptions(4, 0);
+  EXPECT_FALSE(StreamingKMeans::Create(bad).ok());
+  bad = BaseOptions(100, 4);
+  bad.block_size = 50;  // < k
+  EXPECT_FALSE(StreamingKMeans::Create(bad).ok());
+}
+
+TEST(StreamingTest, AddValidatesPoints) {
+  auto stream = StreamingKMeans::Create(BaseOptions(3, 4));
+  ASSERT_TRUE(stream.ok());
+  double p3[3] = {1, 2, 3};
+  EXPECT_TRUE(stream->Add(std::span<const double>(p3, 3))
+                  .IsInvalidArgument());
+  double p4[4] = {1, 2, 3, 4};
+  EXPECT_TRUE(stream->Add(std::span<const double>(p4, 4)).ok());
+  EXPECT_FALSE(stream->Add(std::span<const double>(p4, 4), 0.0).ok());
+  EXPECT_FALSE(stream->Add(std::span<const double>(p4, 4), -1.0).ok());
+  EXPECT_EQ(stream->points_seen(), 1);
+}
+
+TEST(StreamingTest, FinalizeRequiresEnoughPoints) {
+  auto stream = StreamingKMeans::Create(BaseOptions(5, 2));
+  ASSERT_TRUE(stream.ok());
+  double p[2] = {0, 0};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(stream->Add(std::span<const double>(p, 2)).ok());
+  }
+  EXPECT_FALSE(stream->Finalize().ok());
+}
+
+TEST(StreamingTest, MemoryStaysBounded) {
+  auto gauss = MakeGauss(5000, 8, 300);
+  StreamingOptions options = BaseOptions(8, 6);
+  options.block_size = 256;
+  auto stream = StreamingKMeans::Create(options);
+  ASSERT_TRUE(stream.ok());
+  for (int64_t i = 0; i < gauss.data.n(); ++i) {
+    ASSERT_TRUE(
+        stream->Add(std::span<const double>(gauss.data.Point(i), 6)).ok());
+    EXPECT_LT(stream->buffered(), 256);
+  }
+  // Coreset is a small fraction of the stream.
+  EXPECT_LT(stream->coreset_size(), gauss.data.n() / 2);
+  EXPECT_GT(stream->coreset_size(), 8);
+}
+
+TEST(StreamingTest, ProducesKCentersWithCompetitiveCost) {
+  auto gauss = MakeGauss(8000, 10, 301);
+  Dataset shuffled = data::ShuffleRows(gauss.data, rng::Rng(302));
+
+  StreamingOptions options = BaseOptions(10, 6);
+  options.block_size = 1024;
+  auto stream = StreamingKMeans::Create(options);
+  ASSERT_TRUE(stream.ok());
+  for (int64_t i = 0; i < shuffled.n(); ++i) {
+    ASSERT_TRUE(
+        stream->Add(std::span<const double>(shuffled.Point(i), 6)).ok());
+  }
+  auto centers = stream->Finalize();
+  ASSERT_TRUE(centers.ok());
+  EXPECT_EQ(centers->rows(), 10);
+
+  // Competitive with the near-optimal generating centers (within the
+  // streaming algorithm's constant factor) and far better than Random.
+  double streaming_cost = ComputeCost(gauss.data, *centers);
+  double reference = ComputeCost(gauss.data, gauss.true_centers);
+  EXPECT_LT(streaming_cost, 8.0 * reference);
+
+  auto random = RandomInit(gauss.data, 10, rng::Rng(303));
+  ASSERT_TRUE(random.ok());
+  double random_cost = ComputeCost(gauss.data, random->centers);
+  EXPECT_LT(streaming_cost, random_cost);
+}
+
+TEST(StreamingTest, FinalizeTwiceFails) {
+  auto gauss = MakeGauss(600, 4, 304);
+  auto stream = StreamingKMeans::Create(BaseOptions(4, 6));
+  ASSERT_TRUE(stream.ok());
+  for (int64_t i = 0; i < gauss.data.n(); ++i) {
+    ASSERT_TRUE(
+        stream->Add(std::span<const double>(gauss.data.Point(i), 6)).ok());
+  }
+  ASSERT_TRUE(stream->Finalize().ok());
+  EXPECT_TRUE(stream->Finalize().status().IsFailedPrecondition());
+  double p[6] = {0};
+  EXPECT_TRUE(stream->Add(std::span<const double>(p, 6))
+                  .IsFailedPrecondition());
+}
+
+TEST(StreamingTest, DeterministicForSeed) {
+  auto gauss = MakeGauss(2000, 6, 305);
+  auto run = [&] {
+    auto stream = StreamingKMeans::Create(BaseOptions(6, 6));
+    KMEANSLL_CHECK(stream.ok());
+    for (int64_t i = 0; i < gauss.data.n(); ++i) {
+      KMEANSLL_CHECK(
+          stream->Add(std::span<const double>(gauss.data.Point(i), 6))
+              .ok());
+    }
+    auto centers = stream->Finalize();
+    KMEANSLL_CHECK(centers.ok());
+    return std::move(centers).ValueOrDie();
+  };
+  EXPECT_TRUE(run() == run());
+}
+
+TEST(StreamingTest, WeightedPointsRespected) {
+  // Two far-apart locations; the heavy one must host a center when k=1.
+  StreamingOptions options = BaseOptions(1, 1);
+  options.block_size = 16;
+  auto stream = StreamingKMeans::Create(options);
+  ASSERT_TRUE(stream.ok());
+  double left = 0.0, right = 100.0;
+  ASSERT_TRUE(
+      stream->Add(std::span<const double>(&left, 1), 1000.0).ok());
+  ASSERT_TRUE(stream->Add(std::span<const double>(&right, 1), 1.0).ok());
+  auto centers = stream->Finalize();
+  ASSERT_TRUE(centers.ok());
+  EXPECT_LT(centers->At(0, 0), 10.0);  // near the heavy point
+}
+
+TEST(StreamingTest, TailSmallerThanBlockIsKept) {
+  auto gauss = MakeGauss(600, 4, 306);
+  StreamingOptions options = BaseOptions(4, 6);
+  options.block_size = 512;  // one full block + 88-point tail
+  auto stream = StreamingKMeans::Create(options);
+  ASSERT_TRUE(stream.ok());
+  for (int64_t i = 0; i < gauss.data.n(); ++i) {
+    ASSERT_TRUE(
+        stream->Add(std::span<const double>(gauss.data.Point(i), 6)).ok());
+  }
+  auto centers = stream->Finalize();
+  ASSERT_TRUE(centers.ok());
+  EXPECT_EQ(centers->rows(), 4);
+}
+
+}  // namespace
+}  // namespace kmeansll
