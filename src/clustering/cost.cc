@@ -1,7 +1,10 @@
 #include "clustering/cost.h"
 
+#include <limits>
+#include <vector>
+
 #include "common/math_util.h"
-#include "distance/l2.h"
+#include "distance/batch.h"
 #include "distance/nearest.h"
 #include "parallel/parallel_for.h"
 
@@ -13,9 +16,12 @@ double ComputeCost(const Dataset& data, const Matrix& centers,
   KMEANSLL_CHECK_EQ(centers.cols(), data.dim());
   NearestCenterSearch search(centers);
   auto map = [&](IndexRange r) {
+    std::vector<double> d2(static_cast<size_t>(r.size()));
+    search.FindRange(data.points(), r, nullptr, /*out_index=*/nullptr,
+                     d2.data());
     KahanSum partial;
     for (int64_t i = r.begin; i < r.end; ++i) {
-      partial.Add(data.Weight(i) * search.Find(data.Point(i)).distance2);
+      partial.Add(data.Weight(i) * d2[static_cast<size_t>(i - r.begin)]);
     }
     return partial;
   };
@@ -37,12 +43,12 @@ Assignment ComputeAssignment(const Dataset& data, const Matrix& centers,
   out.cluster.assign(static_cast<size_t>(data.n()), -1);
 
   auto map = [&](IndexRange r) {
+    std::vector<double> d2(static_cast<size_t>(r.size()));
+    search.FindRange(data.points(), r, nullptr,
+                     out.cluster.data() + r.begin, d2.data());
     KahanSum partial;
     for (int64_t i = r.begin; i < r.end; ++i) {
-      NearestResult nearest = search.Find(data.Point(i));
-      out.cluster[static_cast<size_t>(i)] =
-          static_cast<int32_t>(nearest.index);
-      partial.Add(data.Weight(i) * nearest.distance2);
+      partial.Add(data.Weight(i) * d2[static_cast<size_t>(i - r.begin)]);
     }
     return partial;
   };

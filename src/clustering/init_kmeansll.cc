@@ -66,7 +66,8 @@ Result<Matrix> ReclusterCandidates(const Matrix& candidates,
 
 Result<InitResult> KMeansLLInit(const Dataset& data, int64_t k,
                                 rng::Rng rng,
-                                const KMeansLLOptions& options) {
+                                const KMeansLLOptions& options,
+                                ThreadPool* pool) {
   if (k <= 0) return Status::InvalidArgument("k must be positive");
   if (k > data.n()) {
     return Status::InvalidArgument("k=" + std::to_string(k) +
@@ -88,8 +89,9 @@ Result<InitResult> KMeansLLInit(const Dataset& data, int64_t k,
   Matrix candidates(data.dim());
   candidates.AppendRow(data.Point(first));
 
-  // Step 2: ψ = φ_X(C).
-  MinDistanceTracker tracker(data);
+  // Step 2: ψ = φ_X(C). The tracker runs every round's distance update as
+  // one blocked parallel pass (cached point norms, fused potential).
+  MinDistanceTracker tracker(data, pool);
   double psi = tracker.AddCenters(candidates, 0);
   result.telemetry.data_passes = 1;
   result.telemetry.round_potentials.push_back(psi);

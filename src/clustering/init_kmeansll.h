@@ -27,6 +27,7 @@
 #include "clustering/types.h"
 #include "common/result.h"
 #include "matrix/dataset.h"
+#include "parallel/thread_pool.h"
 #include "rng/rng.h"
 
 namespace kmeansll {
@@ -66,8 +67,10 @@ struct KMeansLLOptions {
   KMeansPPOptions recluster_kmeanspp;
 };
 
-/// Runs k-means|| (Algorithm 2) sequentially. Fails if k <= 0, k > n, or
-/// the options are inconsistent.
+/// Runs k-means|| (Algorithm 2). Fails if k <= 0, k > n, or the options
+/// are inconsistent. `pool` (may be null) parallelizes the per-round
+/// distance scans through the batch engine; the deterministic chunking
+/// keeps results bitwise identical at any thread count.
 ///
 /// If after r rounds fewer than k candidates were selected (possible when
 /// r·ℓ < k; see Figures 5.2/5.3), the candidate set is returned as-is
@@ -75,7 +78,8 @@ struct KMeansLLOptions {
 /// reproducing the degraded-quality regime the paper reports.
 Result<InitResult> KMeansLLInit(const Dataset& data, int64_t k,
                                 rng::Rng rng,
-                                const KMeansLLOptions& options = {});
+                                const KMeansLLOptions& options = {},
+                                ThreadPool* pool = nullptr);
 
 namespace internal {
 

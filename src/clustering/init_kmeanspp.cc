@@ -1,12 +1,15 @@
 #include "clustering/init_kmeanspp.h"
 
+#include <cstring>
 #include <limits>
 #include <vector>
 
 #include "common/math_util.h"
 #include "common/timer.h"
+#include "distance/batch.h"
 #include "distance/l2.h"
 #include "distance/nearest.h"
+#include "parallel/parallel_for.h"
 #include "rng/discrete.h"
 
 namespace kmeansll {
@@ -24,24 +27,44 @@ int64_t SampleProportional(const std::vector<double>& weights,
   return static_cast<int64_t>(rng.NextBounded(weights.size()));
 }
 
-/// Potential after hypothetically adding `candidate` to the center set
-/// whose per-point distances are in `tracker`.
+/// Potential after hypothetically adding `candidate` (a 1 × d matrix) to
+/// the center set whose per-point distances are in `tracker`. One blocked
+/// scan; per-chunk Kahan partials combined in chunk order keep the result
+/// bitwise identical at any thread count.
 double PotentialWithCandidate(const Dataset& data,
                               const MinDistanceTracker& tracker,
-                              const double* candidate) {
-  KahanSum sum;
-  for (int64_t i = 0; i < data.n(); ++i) {
-    double d2 = SquaredL2(data.Point(i), candidate, data.dim());
-    double cur = tracker.Distance2(i);
-    sum.Add(data.Weight(i) * (d2 < cur ? d2 : cur));
-  }
-  return sum.Total();
+                              const Matrix& candidate, ThreadPool* pool) {
+  auto map = [&](IndexRange r) {
+    const auto len = static_cast<size_t>(r.size());
+    std::vector<double> d2(len);
+    std::memcpy(d2.data(), tracker.distances2().data() + r.begin,
+                len * sizeof(double));
+    // Plain kernel: against a single center the expanded form saves
+    // nothing and would recompute every point norm per candidate. The
+    // argmin index is irrelevant here (null).
+    BatchNearestMerge(data.points(), r, /*point_norms=*/nullptr, candidate,
+                      /*first_center=*/0, /*center_norms=*/nullptr,
+                      BatchKernel::kPlain, d2.data(),
+                      /*best_index=*/nullptr);
+    KahanSum partial;
+    for (int64_t i = r.begin; i < r.end; ++i) {
+      partial.Add(data.Weight(i) * d2[static_cast<size_t>(i - r.begin)]);
+    }
+    return partial;
+  };
+  auto combine = [](KahanSum a, KahanSum b) {
+    a.Merge(b);
+    return a;
+  };
+  return ParallelReduce<KahanSum>(pool, data.n(), KahanSum(), map, combine)
+      .Total();
 }
 
 }  // namespace
 
 Result<InitResult> KMeansPPInit(const Dataset& data, int64_t k, rng::Rng rng,
-                                const KMeansPPOptions& options) {
+                                const KMeansPPOptions& options,
+                                ThreadPool* pool) {
   if (k <= 0) return Status::InvalidArgument("k must be positive");
   if (k > data.n()) {
     return Status::InvalidArgument("k=" + std::to_string(k) +
@@ -70,11 +93,12 @@ Result<InitResult> KMeansPPInit(const Dataset& data, int64_t k, rng::Rng rng,
     result.centers.AppendRow(data.Point(first));
   }
 
-  MinDistanceTracker tracker(data);
+  MinDistanceTracker tracker(data, pool);
   tracker.AddCenters(result.centers, 0);
   result.telemetry.data_passes = 1;
 
   // Steps 2..k: D²-weighted draws.
+  Matrix candidate(1, data.dim());
   for (int64_t t = 1; t < k; ++t) {
     std::vector<double> weights = tracker.WeightedContributions();
     int64_t chosen;
@@ -84,12 +108,14 @@ Result<InitResult> KMeansPPInit(const Dataset& data, int64_t k, rng::Rng rng,
       chosen = -1;
       double best_potential = std::numeric_limits<double>::infinity();
       for (int64_t c = 0; c < options.candidates_per_step; ++c) {
-        int64_t candidate = SampleProportional(weights, step_rng);
+        int64_t drawn = SampleProportional(weights, step_rng);
+        std::memcpy(candidate.Row(0), data.Point(drawn),
+                    static_cast<size_t>(data.dim()) * sizeof(double));
         double potential =
-            PotentialWithCandidate(data, tracker, data.Point(candidate));
+            PotentialWithCandidate(data, tracker, candidate, pool);
         if (potential < best_potential) {
           best_potential = potential;
-          chosen = candidate;
+          chosen = drawn;
         }
       }
       result.telemetry.data_passes += options.candidates_per_step;

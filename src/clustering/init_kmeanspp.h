@@ -14,6 +14,7 @@
 #include "clustering/types.h"
 #include "common/result.h"
 #include "matrix/dataset.h"
+#include "parallel/thread_pool.h"
 #include "rng/rng.h"
 
 namespace kmeansll {
@@ -29,9 +30,12 @@ struct KMeansPPOptions {
 
 /// Runs k-means++ on `data` (weights respected: the first center is drawn
 /// w-proportionally and subsequent draws use w·d² probabilities). Fails if
-/// k <= 0, k > n, or the total weight is zero.
+/// k <= 0, k > n, or the total weight is zero. `pool` (may be null)
+/// parallelizes the per-step distance scans; results are bitwise
+/// identical at any thread count.
 Result<InitResult> KMeansPPInit(const Dataset& data, int64_t k, rng::Rng rng,
-                                const KMeansPPOptions& options = {});
+                                const KMeansPPOptions& options = {},
+                                ThreadPool* pool = nullptr);
 
 }  // namespace kmeansll
 

@@ -5,8 +5,11 @@
 #include <limits>
 #include <vector>
 
+#include <cstring>
+
 #include "clustering/init_kmeansll.h"
 #include "common/timer.h"
+#include "distance/batch.h"
 #include "distance/l2.h"
 #include "distance/nearest.h"
 #include "rng/discrete.h"
@@ -30,17 +33,34 @@ std::vector<int64_t> KMeansSharp(const Dataset& data, int64_t begin,
   std::vector<double> min_d2(static_cast<size_t>(group_size),
                              std::numeric_limits<double>::infinity());
 
+  // Batch-engine state: group-point norms are computed once and reused for
+  // every center update (each center IS a group point, so its norm is the
+  // cached one); the argmin indices are not needed here.
+  const bool expanded = dim >= kExpandedKernelMinDim;
+  std::vector<double> group_norms;
+  if (expanded) {
+    group_norms.resize(static_cast<size_t>(group_size));
+    for (int64_t i = 0; i < group_size; ++i) {
+      group_norms[static_cast<size_t>(i)] =
+          SquaredNorm(data.Point(begin + i), dim);
+    }
+  }
+  Matrix center_m(1, dim);
+
   auto add_center = [&](int64_t local) {
     if (is_selected[static_cast<size_t>(local)]) return;
     is_selected[static_cast<size_t>(local)] = true;
     selected.push_back(begin + local);
-    const double* center = data.Point(begin + local);
-    for (int64_t i = 0; i < group_size; ++i) {
-      double d2 = SquaredL2(data.Point(begin + i), center, dim);
-      if (d2 < min_d2[static_cast<size_t>(i)]) {
-        min_d2[static_cast<size_t>(i)] = d2;
-      }
-    }
+    std::memcpy(center_m.Row(0), data.Point(begin + local),
+                static_cast<size_t>(dim) * sizeof(double));
+    const double cnorm =
+        expanded ? group_norms[static_cast<size_t>(local)] : 0.0;
+    BatchNearestMerge(data.points(), IndexRange{begin, end},
+                      expanded ? group_norms.data() : nullptr, center_m,
+                      /*first_center=*/0, expanded ? &cnorm : nullptr,
+                      expanded ? BatchKernel::kExpanded
+                               : BatchKernel::kPlain,
+                      min_d2.data(), /*best_index=*/nullptr);
   };
 
   // Iteration 1: `batch` uniform draws (with replacement, dupes dropped).
@@ -107,10 +127,14 @@ Result<InitResult> PartitionInit(const Dataset& data, int64_t k,
     KMEANSLL_CHECK(!group_selected.empty());
     Matrix group_centers = data.points().GatherRows(group_selected);
     NearestCenterSearch search(group_centers);
+    std::vector<int32_t> nearest(static_cast<size_t>(end - begin));
+    std::vector<double> nearest_d2(static_cast<size_t>(end - begin));
+    search.FindRange(data.points(), IndexRange{begin, end}, nullptr,
+                     nearest.data(), nearest_d2.data());
     std::vector<double> group_weights(group_selected.size(), 0.0);
     for (int64_t i = begin; i < end; ++i) {
-      NearestResult nearest = search.Find(data.Point(i));
-      group_weights[static_cast<size_t>(nearest.index)] += data.Weight(i);
+      group_weights[static_cast<size_t>(
+          nearest[static_cast<size_t>(i - begin)])] += data.Weight(i);
     }
     all_selected.insert(all_selected.end(), group_selected.begin(),
                         group_selected.end());

@@ -78,11 +78,12 @@ int64_t LloydStep(const Dataset& data, const Matrix& centers,
     // largest current cost contribution (ties and reuse avoided by
     // claiming indices in order of decreasing contribution).
     NearestCenterSearch search(centers);
+    std::vector<double> d2;
+    search.FindAll(data.points(), /*out_index=*/nullptr, &d2, pool);
     std::vector<std::pair<double, int64_t>> contributions;
     contributions.reserve(static_cast<size_t>(data.n()));
     for (int64_t i = 0; i < data.n(); ++i) {
-      double contrib =
-          data.Weight(i) * search.Find(data.Point(i)).distance2;
+      double contrib = data.Weight(i) * d2[static_cast<size_t>(i)];
       contributions.emplace_back(contrib, i);
     }
     std::sort(contributions.begin(), contributions.end(),

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "common/timer.h"
+#include "distance/batch.h"
 #include "distance/l2.h"
 #include "distance/nearest.h"
 #include "mapreduce/job.h"
@@ -37,10 +38,14 @@ double MRComputeCost(const Dataset& data, const Matrix& centers,
   Job<DataPartition, int, double, double> job;
   job.WithMap([&](int64_t, const DataPartition& part,
                   Emitter<int, double>* out) {
+        const auto len = static_cast<size_t>(part.size());
+        std::vector<double> d2(len);
+        search.FindRange(data.points(), IndexRange{part.begin, part.end},
+                         nullptr, /*out_index=*/nullptr, d2.data());
         KahanSum partial;
         for (int64_t i = part.begin; i < part.end; ++i) {
           partial.Add(data.Weight(i) *
-                      search.Find(data.Point(i)).distance2);
+                      d2[static_cast<size_t>(i - part.begin)]);
         }
         out->Emit(0, partial.Total());
       })
@@ -60,37 +65,45 @@ double MRComputeCost(const Dataset& data, const Matrix& centers,
 namespace {
 
 /// Shared distributed state for the k-means|| driver: per-point min
-/// squared distance and closest-candidate index. Map tasks touch disjoint
-/// row ranges, so lock-free writes are safe.
+/// squared distance, closest-candidate index, and the cached point norms
+/// the expanded kernel reuses across rounds. Map tasks touch disjoint row
+/// ranges, so lock-free writes are safe.
 struct DistanceState {
   std::vector<double> min_d2;
-  std::vector<int64_t> closest;
+  std::vector<int32_t> closest;
+  std::vector<double> point_norms;  // empty when the plain kernel is used
 };
 
 /// Job 1: fold rows [first, |C|) of the candidate set into the distance
-/// state and return the updated potential φ.
+/// state via the blocked batch engine and return the updated potential φ.
 double RunUpdateCostJob(const Dataset& data, const Matrix& candidates,
                         int64_t first, DistanceState* state,
                         const MRContext& ctx) {
+  const bool expanded = data.dim() >= kExpandedKernelMinDim;
+  // Norms for the newly added candidate rows only (indexed relative to
+  // `first`, as the engine expects).
+  std::vector<double> new_center_norms;
+  if (expanded) {
+    for (int64_t c = first; c < candidates.rows(); ++c) {
+      new_center_norms.push_back(SquaredNorm(candidates.Row(c),
+                                             data.dim()));
+    }
+  }
   Job<DataPartition, int, double, double> job;
   job.WithMap([&](int64_t, const DataPartition& part,
                   Emitter<int, double>* out) {
+        BatchNearestMerge(
+            data.points(), IndexRange{part.begin, part.end},
+            expanded ? state->point_norms.data() + part.begin : nullptr,
+            candidates, first,
+            expanded ? new_center_norms.data() : nullptr,
+            expanded ? BatchKernel::kExpanded : BatchKernel::kPlain,
+            state->min_d2.data() + part.begin,
+            state->closest.data() + part.begin);
         KahanSum partial;
         for (int64_t i = part.begin; i < part.end; ++i) {
-          auto idx = static_cast<size_t>(i);
-          double best = state->min_d2[idx];
-          int64_t best_c = state->closest[idx];
-          for (int64_t c = first; c < candidates.rows(); ++c) {
-            double d2 = SquaredL2(data.Point(i), candidates.Row(c),
-                                  data.dim());
-            if (d2 < best) {
-              best = d2;
-              best_c = c;
-            }
-          }
-          state->min_d2[idx] = best;
-          state->closest[idx] = best_c;
-          partial.Add(data.Weight(i) * best);
+          partial.Add(data.Weight(i) *
+                      state->min_d2[static_cast<size_t>(i)]);
         }
         out->Emit(0, partial.Total());
       })
@@ -282,6 +295,10 @@ Result<InitResult> MRKMeansLLInit(const Dataset& data, int64_t k,
   state.min_d2.assign(static_cast<size_t>(data.n()),
                       std::numeric_limits<double>::infinity());
   state.closest.assign(static_cast<size_t>(data.n()), -1);
+  if (data.dim() >= kExpandedKernelMinDim) {
+    // Computed once, reused by every round's update job.
+    state.point_norms = RowSquaredNorms(data.points(), ctx.pool);
+  }
 
   // Step 2: ψ via the update+cost job.
   double psi = RunUpdateCostJob(data, candidates, 0, &state, ctx);
@@ -435,10 +452,16 @@ Result<InitResult> MRPartitionInit(const Dataset& data, int64_t k,
             data, part.begin, part.end, batch, iterations, rng);
         Matrix group_centers = data.points().GatherRows(selected);
         NearestCenterSearch search(group_centers);
+        std::vector<int32_t> nearest(static_cast<size_t>(part.size()));
+        std::vector<double> nearest_d2(static_cast<size_t>(part.size()));
+        search.FindRange(data.points(),
+                         IndexRange{part.begin, part.end}, nullptr,
+                         nearest.data(), nearest_d2.data());
         std::vector<double> weights(selected.size(), 0.0);
         for (int64_t i = part.begin; i < part.end; ++i) {
           weights[static_cast<size_t>(
-              search.Find(data.Point(i)).index)] += data.Weight(i);
+              nearest[static_cast<size_t>(i - part.begin)])] +=
+              data.Weight(i);
         }
         std::vector<WeightedPick> picks;
         picks.reserve(selected.size());
@@ -529,11 +552,14 @@ Result<LloydResult> MRRunLloyd(const Dataset& data,
     job.WithMap([&](int64_t, const DataPartition& part,
                     Emitter<int64_t, CentroidAccum>* out) {
           std::vector<CentroidAccum> local(static_cast<size_t>(k));
+          std::vector<double> d2(static_cast<size_t>(part.size()));
+          search.FindRange(data.points(),
+                           IndexRange{part.begin, part.end}, nullptr,
+                           assignment.data() + part.begin, d2.data());
           for (int64_t i = part.begin; i < part.end; ++i) {
-            NearestResult nearest = search.Find(data.Point(i));
-            assignment[static_cast<size_t>(i)] =
-                static_cast<int32_t>(nearest.index);
-            auto& acc = local[static_cast<size_t>(nearest.index)];
+            auto owner = static_cast<size_t>(
+                assignment[static_cast<size_t>(i)]);
+            auto& acc = local[owner];
             if (acc.sum.empty()) acc.sum.assign(static_cast<size_t>(d), 0.0);
             double w = data.Weight(i);
             const double* point = data.Point(i);
@@ -541,7 +567,7 @@ Result<LloydResult> MRRunLloyd(const Dataset& data,
               acc.sum[static_cast<size_t>(j)] += w * point[j];
             }
             acc.weight += w;
-            acc.cost += w * nearest.distance2;
+            acc.cost += w * d2[static_cast<size_t>(i - part.begin)];
           }
           for (int64_t c = 0; c < k; ++c) {
             auto& acc = local[static_cast<size_t>(c)];
@@ -615,11 +641,14 @@ Result<LloydResult> MRRunLloyd(const Dataset& data,
     }
     if (!empty.empty()) {
       result.empty_cluster_repairs += static_cast<int64_t>(empty.size());
+      std::vector<double> repair_d2;
+      search.FindAll(data.points(), /*out_index=*/nullptr, &repair_d2,
+                     ctx.pool);
       std::vector<std::pair<double, int64_t>> contributions;
       contributions.reserve(static_cast<size_t>(data.n()));
       for (int64_t i = 0; i < data.n(); ++i) {
         contributions.emplace_back(
-            data.Weight(i) * search.Find(data.Point(i)).distance2, i);
+            data.Weight(i) * repair_d2[static_cast<size_t>(i)], i);
       }
       std::sort(contributions.begin(), contributions.end(),
                 [](const auto& a, const auto& b) {

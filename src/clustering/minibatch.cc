@@ -36,16 +36,19 @@ Result<MiniBatchResult> RunMiniBatch(const Dataset& data,
   std::vector<double> counts(static_cast<size_t>(initial_centers.rows()),
                              0.0);
 
+  std::vector<int64_t> members(static_cast<size_t>(batch));
+  std::vector<int32_t> owner;
+  std::vector<double> owner_d2;
   for (int64_t iter = 0; iter < options.iterations; ++iter) {
-    // Sample the batch and cache assignments against frozen centers.
+    // Sample the batch, then assign all members against the frozen
+    // centers in one blocked batch-engine pass.
     NearestCenterSearch search(result.centers);
-    std::vector<int64_t> members(static_cast<size_t>(batch));
-    std::vector<int64_t> owner(static_cast<size_t>(batch));
     for (int64_t b = 0; b < batch; ++b) {
-      auto i = static_cast<int64_t>(gen.NextBounded(data.n()));
-      members[static_cast<size_t>(b)] = i;
-      owner[static_cast<size_t>(b)] = search.Find(data.Point(i)).index;
+      members[static_cast<size_t>(b)] =
+          static_cast<int64_t>(gen.NextBounded(data.n()));
     }
+    Matrix sampled = data.points().GatherRows(members);
+    search.FindAll(sampled, &owner, &owner_d2);
     // Gradient step per member with per-center rate 1/count.
     double max_movement2 = 0.0;
     for (int64_t b = 0; b < batch; ++b) {

@@ -85,9 +85,12 @@ void StreamingKMeans::CompressBlock() {
 
   Matrix picks = block->points().GatherRows(selected);
   NearestCenterSearch search(picks);
+  std::vector<int32_t> nearest;
+  std::vector<double> nearest_d2;
+  search.FindAll(block->points(), &nearest, &nearest_d2);
   std::vector<double> weights(selected.size(), 0.0);
   for (int64_t i = 0; i < block->n(); ++i) {
-    weights[static_cast<size_t>(search.Find(block->Point(i)).index)] +=
+    weights[static_cast<size_t>(nearest[static_cast<size_t>(i)])] +=
         block->Weight(i);
   }
   for (size_t s = 0; s < selected.size(); ++s) {

@@ -91,9 +91,11 @@ Result<InitResult> KMeans::InitializeWithContext(
     case InitMethod::kRandom:
       return RandomInit(data, config_.k, rng);
     case InitMethod::kKMeansPP:
-      return KMeansPPInit(data, config_.k, rng, config_.kmeanspp);
+      return KMeansPPInit(data, config_.k, rng, config_.kmeanspp,
+                          pool_.get());
     case InitMethod::kKMeansParallel:
-      return KMeansLLInit(data, config_.k, rng, config_.kmeansll);
+      return KMeansLLInit(data, config_.k, rng, config_.kmeansll,
+                          pool_.get());
     case InitMethod::kPartition:
       return PartitionInit(data, config_.k, rng, config_.partition);
   }

@@ -1,0 +1,474 @@
+#include "distance/batch.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+#include "common/macros.h"
+#include "distance/l2.h"
+
+namespace kmeansll {
+
+namespace {
+
+// The engine packs each block of kCenterTile center rows into a t-major
+// "panel": panel[t * kCenterTile + j] = centers(c_begin + j, t). In the
+// packed layout the innermost step touches kCenterTile contiguous
+// accumulators — per-center chains that are mutually independent — so the
+// SIMD kernels below get full-width FMA without reordering any one
+// chain's additions. Each (point, center) value is still accumulated in a
+// single chain in coordinate order, so results do not depend on tile
+// placement, panel residue, or thread count.
+//
+// Two implementations are provided per kernel: a portable scalar version
+// and an AVX2+FMA version selected once at startup via
+// __builtin_cpu_supports — the default build stays baseline-ISA while
+// capable machines get 4-wide FMA. The dispatch is constant per machine,
+// preserving run-to-run and thread-count determinism.
+
+// Dot products of two point rows against one full packed panel:
+// acc{0,1}[j] += x{0,1}[t] * panel[t][j]. 2 points × 4 vector
+// accumulators gives the FMA units 8 independent chains — enough to run
+// at throughput instead of latency — while staying within 16 registers.
+void DotPanel2Generic(const double* x0, const double* x1,
+                      const double* panel, int64_t d, double* acc0,
+                      double* acc1) {
+  for (int64_t t = 0; t < d; ++t) {
+    const double* row = panel + t * kCenterTile;
+    const double x0t = x0[t];
+    const double x1t = x1[t];
+    for (int64_t j = 0; j < kCenterTile; ++j) {
+      acc0[j] += x0t * row[j];
+      acc1[j] += x1t * row[j];
+    }
+  }
+}
+
+void DotPanel1Generic(const double* x, const double* panel, int64_t d,
+                      double* acc) {
+  for (int64_t t = 0; t < d; ++t) {
+    const double* row = panel + t * kCenterTile;
+    const double xt = x[t];
+    for (int64_t j = 0; j < kCenterTile; ++j) acc[j] += xt * row[j];
+  }
+}
+
+// Plain subtract-square panels: acc[j] += (x[t] - panel[t][j])².
+void SqPanel2Generic(const double* x0, const double* x1,
+                     const double* panel, int64_t d, double* acc0,
+                     double* acc1) {
+  for (int64_t t = 0; t < d; ++t) {
+    const double* row = panel + t * kCenterTile;
+    const double x0t = x0[t];
+    const double x1t = x1[t];
+    for (int64_t j = 0; j < kCenterTile; ++j) {
+      double e0 = x0t - row[j];
+      acc0[j] += e0 * e0;
+      double e1 = x1t - row[j];
+      acc1[j] += e1 * e1;
+    }
+  }
+}
+
+void SqPanel1Generic(const double* x, const double* panel, int64_t d,
+                     double* acc) {
+  for (int64_t t = 0; t < d; ++t) {
+    const double* row = panel + t * kCenterTile;
+    const double xt = x[t];
+    for (int64_t j = 0; j < kCenterTile; ++j) {
+      double e = xt - row[j];
+      acc[j] += e * e;
+    }
+  }
+}
+
+// Narrow-panel variants for the trailing k % kCenterTile centers (panel
+// stride = width). Runtime trip count; padding the residue to a full
+// panel would make small-k callers (k-means++ adds one center at a time)
+// pay kCenterTile× the flops, so the residue is computed exactly.
+void DotPanelTail(const double* x, const double* panel, int64_t d,
+                  int64_t width, double* acc) {
+  for (int64_t t = 0; t < d; ++t) {
+    const double* row = panel + t * width;
+    const double xt = x[t];
+    for (int64_t j = 0; j < width; ++j) acc[j] += xt * row[j];
+  }
+}
+
+void SqPanelTail(const double* x, const double* panel, int64_t d,
+                 int64_t width, double* acc) {
+  for (int64_t t = 0; t < d; ++t) {
+    const double* row = panel + t * width;
+    const double xt = x[t];
+    for (int64_t j = 0; j < width; ++j) {
+      double e = xt - row[j];
+      acc[j] += e * e;
+    }
+  }
+}
+
+#if defined(__x86_64__)
+
+static_assert(kCenterTile == 16,
+              "AVX2 panel kernels assume 4 × 4-double accumulators");
+
+__attribute__((target("avx2,fma"))) void DotPanel2Avx2(
+    const double* x0, const double* x1, const double* panel, int64_t d,
+    double* acc0, double* acc1) {
+  __m256d a00 = _mm256_setzero_pd(), a01 = _mm256_setzero_pd();
+  __m256d a02 = _mm256_setzero_pd(), a03 = _mm256_setzero_pd();
+  __m256d a10 = _mm256_setzero_pd(), a11 = _mm256_setzero_pd();
+  __m256d a12 = _mm256_setzero_pd(), a13 = _mm256_setzero_pd();
+  for (int64_t t = 0; t < d; ++t) {
+    const double* row = panel + t * kCenterTile;
+    const __m256d r0 = _mm256_loadu_pd(row);
+    const __m256d r1 = _mm256_loadu_pd(row + 4);
+    const __m256d r2 = _mm256_loadu_pd(row + 8);
+    const __m256d r3 = _mm256_loadu_pd(row + 12);
+    const __m256d xv0 = _mm256_broadcast_sd(x0 + t);
+    const __m256d xv1 = _mm256_broadcast_sd(x1 + t);
+    a00 = _mm256_fmadd_pd(xv0, r0, a00);
+    a01 = _mm256_fmadd_pd(xv0, r1, a01);
+    a02 = _mm256_fmadd_pd(xv0, r2, a02);
+    a03 = _mm256_fmadd_pd(xv0, r3, a03);
+    a10 = _mm256_fmadd_pd(xv1, r0, a10);
+    a11 = _mm256_fmadd_pd(xv1, r1, a11);
+    a12 = _mm256_fmadd_pd(xv1, r2, a12);
+    a13 = _mm256_fmadd_pd(xv1, r3, a13);
+  }
+  _mm256_storeu_pd(acc0, a00);
+  _mm256_storeu_pd(acc0 + 4, a01);
+  _mm256_storeu_pd(acc0 + 8, a02);
+  _mm256_storeu_pd(acc0 + 12, a03);
+  _mm256_storeu_pd(acc1, a10);
+  _mm256_storeu_pd(acc1 + 4, a11);
+  _mm256_storeu_pd(acc1 + 8, a12);
+  _mm256_storeu_pd(acc1 + 12, a13);
+}
+
+__attribute__((target("avx2,fma"))) void DotPanel1Avx2(const double* x,
+                                                       const double* panel,
+                                                       int64_t d,
+                                                       double* acc) {
+  __m256d a0 = _mm256_setzero_pd(), a1 = _mm256_setzero_pd();
+  __m256d a2 = _mm256_setzero_pd(), a3 = _mm256_setzero_pd();
+  for (int64_t t = 0; t < d; ++t) {
+    const double* row = panel + t * kCenterTile;
+    const __m256d xv = _mm256_broadcast_sd(x + t);
+    a0 = _mm256_fmadd_pd(xv, _mm256_loadu_pd(row), a0);
+    a1 = _mm256_fmadd_pd(xv, _mm256_loadu_pd(row + 4), a1);
+    a2 = _mm256_fmadd_pd(xv, _mm256_loadu_pd(row + 8), a2);
+    a3 = _mm256_fmadd_pd(xv, _mm256_loadu_pd(row + 12), a3);
+  }
+  _mm256_storeu_pd(acc, a0);
+  _mm256_storeu_pd(acc + 4, a1);
+  _mm256_storeu_pd(acc + 8, a2);
+  _mm256_storeu_pd(acc + 12, a3);
+}
+
+__attribute__((target("avx2,fma"))) void SqPanel2Avx2(
+    const double* x0, const double* x1, const double* panel, int64_t d,
+    double* acc0, double* acc1) {
+  __m256d a00 = _mm256_setzero_pd(), a01 = _mm256_setzero_pd();
+  __m256d a02 = _mm256_setzero_pd(), a03 = _mm256_setzero_pd();
+  __m256d a10 = _mm256_setzero_pd(), a11 = _mm256_setzero_pd();
+  __m256d a12 = _mm256_setzero_pd(), a13 = _mm256_setzero_pd();
+  for (int64_t t = 0; t < d; ++t) {
+    const double* row = panel + t * kCenterTile;
+    const __m256d r0 = _mm256_loadu_pd(row);
+    const __m256d r1 = _mm256_loadu_pd(row + 4);
+    const __m256d r2 = _mm256_loadu_pd(row + 8);
+    const __m256d r3 = _mm256_loadu_pd(row + 12);
+    const __m256d xv0 = _mm256_broadcast_sd(x0 + t);
+    const __m256d xv1 = _mm256_broadcast_sd(x1 + t);
+    __m256d e;
+    e = _mm256_sub_pd(xv0, r0);
+    a00 = _mm256_fmadd_pd(e, e, a00);
+    e = _mm256_sub_pd(xv0, r1);
+    a01 = _mm256_fmadd_pd(e, e, a01);
+    e = _mm256_sub_pd(xv0, r2);
+    a02 = _mm256_fmadd_pd(e, e, a02);
+    e = _mm256_sub_pd(xv0, r3);
+    a03 = _mm256_fmadd_pd(e, e, a03);
+    e = _mm256_sub_pd(xv1, r0);
+    a10 = _mm256_fmadd_pd(e, e, a10);
+    e = _mm256_sub_pd(xv1, r1);
+    a11 = _mm256_fmadd_pd(e, e, a11);
+    e = _mm256_sub_pd(xv1, r2);
+    a12 = _mm256_fmadd_pd(e, e, a12);
+    e = _mm256_sub_pd(xv1, r3);
+    a13 = _mm256_fmadd_pd(e, e, a13);
+  }
+  _mm256_storeu_pd(acc0, a00);
+  _mm256_storeu_pd(acc0 + 4, a01);
+  _mm256_storeu_pd(acc0 + 8, a02);
+  _mm256_storeu_pd(acc0 + 12, a03);
+  _mm256_storeu_pd(acc1, a10);
+  _mm256_storeu_pd(acc1 + 4, a11);
+  _mm256_storeu_pd(acc1 + 8, a12);
+  _mm256_storeu_pd(acc1 + 12, a13);
+}
+
+__attribute__((target("avx2,fma"))) void SqPanel1Avx2(const double* x,
+                                                      const double* panel,
+                                                      int64_t d,
+                                                      double* acc) {
+  __m256d a0 = _mm256_setzero_pd(), a1 = _mm256_setzero_pd();
+  __m256d a2 = _mm256_setzero_pd(), a3 = _mm256_setzero_pd();
+  for (int64_t t = 0; t < d; ++t) {
+    const double* row = panel + t * kCenterTile;
+    const __m256d xv = _mm256_broadcast_sd(x + t);
+    __m256d e;
+    e = _mm256_sub_pd(xv, _mm256_loadu_pd(row));
+    a0 = _mm256_fmadd_pd(e, e, a0);
+    e = _mm256_sub_pd(xv, _mm256_loadu_pd(row + 4));
+    a1 = _mm256_fmadd_pd(e, e, a1);
+    e = _mm256_sub_pd(xv, _mm256_loadu_pd(row + 8));
+    a2 = _mm256_fmadd_pd(e, e, a2);
+    e = _mm256_sub_pd(xv, _mm256_loadu_pd(row + 12));
+    a3 = _mm256_fmadd_pd(e, e, a3);
+  }
+  _mm256_storeu_pd(acc, a0);
+  _mm256_storeu_pd(acc + 4, a1);
+  _mm256_storeu_pd(acc + 8, a2);
+  _mm256_storeu_pd(acc + 12, a3);
+}
+
+bool DetectAvx2Fma() {
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+const bool kUseAvx2 = DetectAvx2Fma();
+
+#else
+constexpr bool kUseAvx2 = false;
+inline void DotPanel2Avx2(const double*, const double*, const double*,
+                          int64_t, double*, double*) {}
+inline void DotPanel1Avx2(const double*, const double*, int64_t, double*) {}
+inline void SqPanel2Avx2(const double*, const double*, const double*,
+                         int64_t, double*, double*) {}
+inline void SqPanel1Avx2(const double*, const double*, int64_t, double*) {}
+#endif  // defined(__x86_64__)
+
+// Dispatch wrappers. The AVX2 kernels store their register accumulators
+// over `acc`; the generic kernels accumulate in place, so the wrappers
+// zero-fill for them.
+inline void DotPanel2(const double* x0, const double* x1,
+                      const double* panel, int64_t d, double* acc0,
+                      double* acc1) {
+  if (kUseAvx2) {
+    DotPanel2Avx2(x0, x1, panel, d, acc0, acc1);
+  } else {
+    std::memset(acc0, 0, kCenterTile * sizeof(double));
+    std::memset(acc1, 0, kCenterTile * sizeof(double));
+    DotPanel2Generic(x0, x1, panel, d, acc0, acc1);
+  }
+}
+
+inline void DotPanel1(const double* x, const double* panel, int64_t d,
+                      double* acc) {
+  if (kUseAvx2) {
+    DotPanel1Avx2(x, panel, d, acc);
+  } else {
+    std::memset(acc, 0, kCenterTile * sizeof(double));
+    DotPanel1Generic(x, panel, d, acc);
+  }
+}
+
+inline void SqPanel2(const double* x0, const double* x1,
+                     const double* panel, int64_t d, double* acc0,
+                     double* acc1) {
+  if (kUseAvx2) {
+    SqPanel2Avx2(x0, x1, panel, d, acc0, acc1);
+  } else {
+    std::memset(acc0, 0, kCenterTile * sizeof(double));
+    std::memset(acc1, 0, kCenterTile * sizeof(double));
+    SqPanel2Generic(x0, x1, panel, d, acc0, acc1);
+  }
+}
+
+inline void SqPanel1(const double* x, const double* panel, int64_t d,
+                     double* acc) {
+  if (kUseAvx2) {
+    SqPanel1Avx2(x, panel, d, acc);
+  } else {
+    std::memset(acc, 0, kCenterTile * sizeof(double));
+    SqPanel1Generic(x, panel, d, acc);
+  }
+}
+
+// Folds one point's panel accumulators into its (best_d2, best_index).
+// Centers are visited in ascending index order with strict-< updates, so
+// ties keep the lowest index / the existing value — identical to a
+// sequential scan.
+inline void MergeExpanded(const double* acc, int64_t count, double pn,
+                          const double* cn, int64_t c_base, double* best_d2,
+                          int32_t* best_index) {
+  // Branchless distance pass (vectorizable) ahead of the scalar argmin.
+  double d2v[kCenterTile];
+  for (int64_t j = 0; j < count; ++j) {
+    double v = pn + cn[j] - 2.0 * acc[j];
+    d2v[j] = v > 0.0 ? v : 0.0;
+  }
+  if (best_index == nullptr) {  // distance-only caller
+    for (int64_t j = 0; j < count; ++j) {
+      if (d2v[j] < *best_d2) *best_d2 = d2v[j];
+    }
+    return;
+  }
+  for (int64_t j = 0; j < count; ++j) {
+    if (d2v[j] < *best_d2) {
+      *best_d2 = d2v[j];
+      *best_index = static_cast<int32_t>(c_base + j);
+    }
+  }
+}
+
+inline void MergePlain(const double* acc, int64_t count, int64_t c_base,
+                       double* best_d2, int32_t* best_index) {
+  if (best_index == nullptr) {  // distance-only caller
+    for (int64_t j = 0; j < count; ++j) {
+      if (acc[j] < *best_d2) *best_d2 = acc[j];
+    }
+    return;
+  }
+  for (int64_t j = 0; j < count; ++j) {
+    if (acc[j] < *best_d2) {
+      *best_d2 = acc[j];
+      *best_index = static_cast<int32_t>(c_base + j);
+    }
+  }
+}
+
+}  // namespace
+
+void BatchNearestMerge(const Matrix& points, IndexRange rows,
+                       const double* point_norms, const Matrix& centers,
+                       int64_t first_center, const double* center_norms,
+                       BatchKernel kernel, double* best_d2,
+                       int32_t* best_index) {
+  const int64_t d = points.cols();
+  KMEANSLL_CHECK_EQ(centers.cols(), d);
+  KMEANSLL_CHECK(rows.begin >= 0 && rows.end <= points.rows());
+  KMEANSLL_CHECK(first_center >= 0 && first_center <= centers.rows());
+  const int64_t n = rows.size();
+  const int64_t k = centers.rows() - first_center;
+  if (n <= 0 || k <= 0) return;
+
+  const bool expanded =
+      kernel == BatchKernel::kExpanded ||
+      (kernel == BatchKernel::kAuto && d >= kExpandedKernelMinDim);
+
+  // Materialize any norms the caller did not provide (amortized over the
+  // whole n × k scan, so per-call vectors are fine).
+  std::vector<double> pn_storage;
+  std::vector<double> cn_storage;
+  if (expanded) {
+    if (point_norms == nullptr) {
+      pn_storage.resize(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        pn_storage[static_cast<size_t>(i)] =
+            SquaredNorm(points.Row(rows.begin + i), d);
+      }
+      point_norms = pn_storage.data();
+    }
+    if (center_norms == nullptr) {
+      cn_storage.resize(static_cast<size_t>(k));
+      for (int64_t c = 0; c < k; ++c) {
+        cn_storage[static_cast<size_t>(c)] =
+            SquaredNorm(centers.Row(first_center + c), d);
+      }
+      center_norms = cn_storage.data();
+    }
+  }
+
+  // Pack every center panel once per call: panel p holds centers
+  // [first_center + p·kCenterTile, ...) in t-major order. Full panels use
+  // stride kCenterTile; the final residue panel uses its own width.
+  const int64_t full_panels = k / kCenterTile;
+  const int64_t tail_width = k % kCenterTile;
+  std::vector<double> packed(static_cast<size_t>(k * d));
+  for (int64_t c = 0; c < k; ++c) {
+    const int64_t panel = c / kCenterTile;
+    const bool in_tail = panel == full_panels;
+    const int64_t stride = in_tail ? tail_width : kCenterTile;
+    double* base = packed.data() + panel * kCenterTile * d;
+    const double* row = centers.Row(first_center + c);
+    const int64_t j = c % kCenterTile;
+    for (int64_t t = 0; t < d; ++t) base[t * stride + j] = row[t];
+  }
+
+  double acc0[kCenterTile];
+  double acc1[kCenterTile];
+
+  // best_index may be null (distance-only callers); keep pointer
+  // arithmetic off the null base.
+  const auto idx_at = [best_index](int64_t p) {
+    return best_index == nullptr ? nullptr : best_index + p;
+  };
+
+  // Loop nest: point tiles stream while each ~kCenterTile·d-double panel
+  // stays L1-resident across the whole tile.
+  for (int64_t pb = 0; pb < n; pb += kPointTile) {
+    const int64_t pe = std::min(pb + kPointTile, n);
+    for (int64_t panel = 0; panel * kCenterTile < k; ++panel) {
+      const int64_t c_off = panel * kCenterTile;
+      const int64_t count = std::min<int64_t>(kCenterTile, k - c_off);
+      const double* panel_data = packed.data() + c_off * d;
+      const int64_t c_base = first_center + c_off;
+      const double* cn = expanded ? center_norms + c_off : nullptr;
+      int64_t p = pb;
+      if (count == kCenterTile) {
+        for (; p + 2 <= pe; p += 2) {
+          if (expanded) {
+            DotPanel2(points.Row(rows.begin + p),
+                      points.Row(rows.begin + p + 1), panel_data, d, acc0,
+                      acc1);
+            MergeExpanded(acc0, count, point_norms[p], cn, c_base,
+                          best_d2 + p, idx_at(p));
+            MergeExpanded(acc1, count, point_norms[p + 1], cn, c_base,
+                          best_d2 + p + 1, idx_at(p + 1));
+          } else {
+            SqPanel2(points.Row(rows.begin + p),
+                     points.Row(rows.begin + p + 1), panel_data, d, acc0,
+                     acc1);
+            MergePlain(acc0, count, c_base, best_d2 + p, idx_at(p));
+            MergePlain(acc1, count, c_base, best_d2 + p + 1,
+                       idx_at(p + 1));
+          }
+        }
+        for (; p < pe; ++p) {
+          if (expanded) {
+            DotPanel1(points.Row(rows.begin + p), panel_data, d, acc0);
+            MergeExpanded(acc0, count, point_norms[p], cn, c_base,
+                          best_d2 + p, idx_at(p));
+          } else {
+            SqPanel1(points.Row(rows.begin + p), panel_data, d, acc0);
+            MergePlain(acc0, count, c_base, best_d2 + p, idx_at(p));
+          }
+        }
+      } else {
+        for (; p < pe; ++p) {
+          std::memset(acc0, 0, sizeof(acc0));
+          if (expanded) {
+            DotPanelTail(points.Row(rows.begin + p), panel_data, d, count,
+                         acc0);
+            MergeExpanded(acc0, count, point_norms[p], cn, c_base,
+                          best_d2 + p, idx_at(p));
+          } else {
+            SqPanelTail(points.Row(rows.begin + p), panel_data, d, count,
+                        acc0);
+            MergePlain(acc0, count, c_base, best_d2 + p, idx_at(p));
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace kmeansll

@@ -1,0 +1,106 @@
+// Blocked batch-distance engine: the shared O(n·k·d) kernel layer.
+//
+// Every hot path in the library — k-means|| round updates, k-means++
+// seeding, Lloyd assignment, cost evaluation, minibatch, streaming
+// compression, and the MapReduce map phases — reduces to the same scan:
+// "for a block of points and a block of centers, find each point's
+// nearest center and its squared distance". This header provides that
+// scan once, tiled for cache reuse and register-blocked for ILP, instead
+// of the one-point × one-center loops each call site used to carry.
+//
+// Design (see README.md "Distance engine" for the full rationale):
+//  * Norm-expanded arithmetic: ||x - c||² = ||x||² + ||c||² - 2·x·c with
+//    precomputed row norms turns the inner loop into dot products — one
+//    load per operand instead of load+subtract — at the price of
+//    catastrophic cancellation for near-identical points, so results are
+//    clamped at zero (SquaredL2Expanded). A plain tiled kernel remains
+//    for small dimensions where the expansion does not pay.
+//  * Two-level blocking: every kCenterTile center rows are packed into a
+//    t-major panel that is revisited for each point in a kPointTile row
+//    block, so panels stay L1-resident while points stream through
+//    exactly once per panel.
+//  * Register micro-kernel: kMicroPoints points × one panel of
+//    kCenterTile centers are accumulated simultaneously in independent
+//    chains (explicit AVX2+FMA on capable x86-64, selected once at
+//    startup; portable scalar otherwise), giving the FMA units enough
+//    ILP to run at throughput instead of latency.
+//
+// Determinism contract: each (point, center) distance is accumulated in a
+// single chain in coordinate order, identical in the micro-kernel and in
+// the edge/tail paths, and center blocks are visited in ascending index
+// order with strict-< argmin updates. A point's result therefore depends
+// only on its own row and the center set — never on tile placement or
+// thread count — so parallel callers chunking by kDeterministicChunks get
+// bitwise-identical outputs at any parallelism.
+
+#ifndef KMEANSLL_DISTANCE_BATCH_H_
+#define KMEANSLL_DISTANCE_BATCH_H_
+
+#include <cstdint>
+
+#include "matrix/matrix.h"
+#include "parallel/parallel_for.h"
+
+namespace kmeansll {
+
+// --- Tiling constants (fixed: results must not depend on tuning) -----------
+//
+// kCenterTile is the packed-panel width: each block of 16 center rows is
+// transposed into a t-major panel so the innermost step updates 16
+// contiguous per-center accumulators. At 4 doubles per AVX2 register
+// that is 4 accumulator vectors per point; the micro-kernel processes
+// kMicroPoints = 2 point rows at once, giving 8 independent FMA chains —
+// enough to hide the ~4-cycle FMA latency at 2 ops/cycle — while the
+// live set (8 accumulators + 4 panel loads + 2 broadcasts) stays within
+// the 16 SIMD registers of x86-64 without spilling.
+//
+// kPointTile bounds the rows streamed per panel visit: one panel
+// (kCenterTile · d doubles, 16 KiB at d = 128) stays L1-resident across
+// the whole point tile, and each point tile re-reads panels from L2 at
+// worst. Larger point tiles stopped helping in bench/bm_batch_distance;
+// larger panels double the merge state without speeding up the dot loop.
+inline constexpr int64_t kPointTile = 64;
+inline constexpr int64_t kCenterTile = 16;
+inline constexpr int64_t kMicroPoints = 2;
+
+// Dimension at which the norm-expanded kernels overtake the plain
+// subtract-square kernels (shared by the batch engine and
+// NearestCenterSearch::Kernel::kAuto). Measured with
+// bench/bm_batch_distance (4096 points, k ∈ {64, 256}) on the build
+// machine: blocked-plain wins up to d = 24 (the per-center norm
+// bookkeeping in the merge step outweighs the saved subtractions when the
+// dot loop is short), the two are within noise for d ∈ [32, 48], and
+// expanded pulls ahead from d = 64 (91 vs 79 Mpairs/s at d = 128).
+// Expanded is preferred at the tie because its callers additionally reuse
+// cached point norms across k-means|| rounds, which this microbenchmark
+// does not credit.
+inline constexpr int64_t kExpandedKernelMinDim = 32;
+
+/// Kernel selection for the batch engine. kAuto picks expanded when
+/// cols >= kExpandedKernelMinDim.
+enum class BatchKernel { kAuto, kPlain, kExpanded };
+
+/// Merges "nearest of centers rows [first_center, centers.rows())" into
+/// (best_d2, best_index) for every point row in [rows.begin, rows.end).
+///
+/// Output/input arrays are indexed relative to the range: entry
+/// i - rows.begin describes point row i. Callers start a fresh query by
+/// pre-filling best_d2 with +infinity (and best_index with -1); passing
+/// arrays that already hold a previous scan's results performs the
+/// incremental min-merge that MinDistanceTracker relies on. best_index
+/// receives absolute center row indices; distance-only callers may pass
+/// null to skip the argmin bookkeeping. Ties keep the existing value
+/// (strict-< update), matching a sequential ascending scan.
+///
+/// `point_norms` (entry i - rows.begin = ||row i||²) and `center_norms`
+/// (entry c - first_center = ||center c||²) are only read by the expanded
+/// kernel and may be null, in which case they are computed internally.
+void BatchNearestMerge(const Matrix& points, IndexRange rows,
+                       const double* point_norms, const Matrix& centers,
+                       int64_t first_center, const double* center_norms,
+                       BatchKernel kernel, double* best_d2,
+                       int32_t* best_index);
+
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_DISTANCE_BATCH_H_

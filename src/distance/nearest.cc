@@ -7,11 +7,13 @@
 
 namespace kmeansll {
 
-std::vector<double> RowSquaredNorms(const Matrix& m) {
+std::vector<double> RowSquaredNorms(const Matrix& m, ThreadPool* pool) {
   std::vector<double> norms(static_cast<size_t>(m.rows()));
-  for (int64_t i = 0; i < m.rows(); ++i) {
-    norms[static_cast<size_t>(i)] = SquaredNorm(m.Row(i), m.cols());
-  }
+  ParallelFor(pool, m.rows(), [&](IndexRange r) {
+    for (int64_t i = r.begin; i < r.end; ++i) {
+      norms[static_cast<size_t>(i)] = SquaredNorm(m.Row(i), m.cols());
+    }
+  });
   return norms;
 }
 
@@ -25,7 +27,7 @@ NearestCenterSearch::NearestCenterSearch(const Matrix& centers, Kernel kernel)
       use_expanded_ = true;
       break;
     case Kernel::kAuto:
-      use_expanded_ = centers.cols() >= 16;
+      use_expanded_ = centers.cols() >= kExpandedKernelMinDim;
       break;
   }
   if (use_expanded_) center_norms_ = RowSquaredNorms(centers_);
@@ -67,8 +69,55 @@ NearestResult NearestCenterSearch::FindWithNorm(const double* point,
   return best;
 }
 
-MinDistanceTracker::MinDistanceTracker(const Dataset& data)
+void NearestCenterSearch::FindRange(const Matrix& points, IndexRange rows,
+                                    const double* point_norms,
+                                    int32_t* out_index,
+                                    double* out_d2) const {
+  KMEANSLL_DCHECK(centers_.rows() > 0);
+  const int64_t n = rows.size();
+  for (int64_t i = 0; i < n; ++i) {
+    out_d2[i] = std::numeric_limits<double>::infinity();
+  }
+  if (out_index != nullptr) {
+    for (int64_t i = 0; i < n; ++i) out_index[i] = -1;
+  }
+  BatchNearestMerge(
+      points, rows, point_norms, centers_, /*first_center=*/0,
+      use_expanded_ ? center_norms_.data() : nullptr,
+      use_expanded_ ? BatchKernel::kExpanded : BatchKernel::kPlain, out_d2,
+      out_index);
+}
+
+void NearestCenterSearch::FindAll(const Matrix& points,
+                                  std::vector<int32_t>* out_index,
+                                  std::vector<double>* out_d2,
+                                  ThreadPool* pool) const {
+  const int64_t n = points.rows();
+  if (out_index != nullptr) out_index->resize(static_cast<size_t>(n));
+  out_d2->resize(static_cast<size_t>(n));
+  // Chunk on the fixed deterministic grid in the sequential path too, so
+  // tile origins — and therefore results — are identical with and without
+  // a pool even when codegen contracts the kernels differently.
+  std::vector<IndexRange> chunks = MakeChunks(n, kDeterministicChunks);
+  auto body = [&](IndexRange r) {
+    FindRange(points, r, nullptr,
+              out_index == nullptr ? nullptr
+                                   : out_index->data() + r.begin,
+              out_d2->data() + r.begin);
+  };
+  if (pool == nullptr) {
+    for (const IndexRange& r : chunks) body(r);
+  } else {
+    for (const IndexRange& r : chunks) {
+      pool->Submit([&body, r] { body(r); });
+    }
+    pool->Wait();
+  }
+}
+
+MinDistanceTracker::MinDistanceTracker(const Dataset& data, ThreadPool* pool)
     : data_(data),
+      pool_(pool),
       min_d2_(static_cast<size_t>(data.n()),
               std::numeric_limits<double>::infinity()),
       closest_(static_cast<size_t>(data.n()), -1),
@@ -78,26 +127,49 @@ double MinDistanceTracker::AddCenters(const Matrix& centers, int64_t first) {
   KMEANSLL_CHECK_EQ(centers.cols(), data_.dim());
   KMEANSLL_CHECK(first >= 0 && first <= centers.rows());
   const int64_t d = data_.dim();
-  for (int64_t c = first; c < centers.rows(); ++c) {
-    const double* center = centers.Row(c);
-    for (int64_t i = 0; i < data_.n(); ++i) {
-      double d2 = SquaredL2(data_.Point(i), center, d);
-      if (d2 < min_d2_[static_cast<size_t>(i)]) {
-        min_d2_[static_cast<size_t>(i)] = d2;
-        closest_[static_cast<size_t>(i)] = c;
-      }
+  const bool expanded = d >= kExpandedKernelMinDim;
+
+  // Point norms are a pure function of the (immutable) dataset: computed
+  // once on first use and reused by every subsequent round.
+  if (expanded && point_norms_.empty() && data_.n() > 0) {
+    point_norms_ = RowSquaredNorms(data_.points(), pool_);
+  }
+  // Norms for just the newly added center rows (tiny next to the n·k·d
+  // scan; indexed relative to `first` as BatchNearestMerge expects).
+  std::vector<double> new_center_norms;
+  if (expanded) {
+    const int64_t added = centers.rows() - first;
+    new_center_norms.resize(static_cast<size_t>(added > 0 ? added : 0));
+    for (int64_t c = first; c < centers.rows(); ++c) {
+      new_center_norms[static_cast<size_t>(c - first)] =
+          SquaredNorm(centers.Row(c), d);
     }
   }
-  RecomputePotential();
-  return potential_;
-}
 
-void MinDistanceTracker::RecomputePotential() {
-  KahanSum sum;
-  for (int64_t i = 0; i < data_.n(); ++i) {
-    sum.Add(data_.Weight(i) * min_d2_[static_cast<size_t>(i)]);
-  }
-  potential_ = sum.Total();
+  // One blocked pass: merge the new centers into (min_d2, closest) and
+  // fold the updated potential into per-chunk Kahan partials, combined in
+  // chunk order — bitwise identical for any thread count.
+  auto map = [&](IndexRange r) {
+    BatchNearestMerge(
+        data_.points(), r,
+        expanded ? point_norms_.data() + r.begin : nullptr, centers, first,
+        expanded ? new_center_norms.data() : nullptr,
+        expanded ? BatchKernel::kExpanded : BatchKernel::kPlain,
+        min_d2_.data() + r.begin, closest_.data() + r.begin);
+    KahanSum partial;
+    for (int64_t i = r.begin; i < r.end; ++i) {
+      partial.Add(data_.Weight(i) * min_d2_[static_cast<size_t>(i)]);
+    }
+    return partial;
+  };
+  auto combine = [](KahanSum a, KahanSum b) {
+    a.Merge(b);
+    return a;
+  };
+  potential_ = ParallelReduce<KahanSum>(pool_, data_.n(), KahanSum(), map,
+                                        combine)
+                   .Total();
+  return potential_;
 }
 
 std::vector<double> MinDistanceTracker::WeightedContributions() const {

@@ -1,14 +1,19 @@
 // Nearest-center search and incremental min-distance maintenance.
 //
 // NearestCenterSearch answers "which center is closest to x, and at what
-// squared distance" for a frozen center set, optionally using the
-// norm-expanded kernel.
+// squared distance" for a frozen center set. The single-point Find is the
+// scalar reference path; FindRange/FindAll route whole blocks of points
+// through the blocked batch engine (distance/batch.h), which is what every
+// O(n·k·d) consumer in the library uses.
 //
 // MinDistanceTracker maintains d²(x, C) for every point x while C grows —
 // the data structure behind both k-means++ (Algorithm 1) and each round of
-// k-means|| (Algorithm 2): after centers are added, one pass updates
-// min(d_old², d²(x, c_new)) instead of rescanning all of C. This is what
-// keeps the total initializer cost at O(nkd) as the paper states.
+// k-means|| (Algorithm 2): after centers are added, one blocked pass
+// updates min(d_old², d²(x, c_new)) instead of rescanning all of C. This
+// is what keeps the total initializer cost at O(nkd) as the paper states.
+// The pass runs on an optional thread pool with fixed deterministic
+// chunking, folds the potential φ into the scan's per-chunk partials, and
+// caches per-point norms across rounds for the expanded kernel.
 
 #ifndef KMEANSLL_DISTANCE_NEAREST_H_
 #define KMEANSLL_DISTANCE_NEAREST_H_
@@ -17,8 +22,11 @@
 #include <utility>
 #include <vector>
 
+#include "distance/batch.h"
 #include "matrix/dataset.h"
 #include "matrix/matrix.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
 
 namespace kmeansll {
 
@@ -31,20 +39,37 @@ struct NearestResult {
 /// Search over a frozen k × d center matrix.
 class NearestCenterSearch {
  public:
-  /// Kernel selection; kAuto picks expanded for d >= 16 (where the dot
-  /// product formulation wins; see bench/bm_distance).
+  /// Kernel selection; kAuto picks expanded for
+  /// d >= kExpandedKernelMinDim (where the dot-product formulation wins;
+  /// threshold measured in bench/bm_batch_distance).
   enum class Kernel { kAuto, kPlain, kExpanded };
 
   explicit NearestCenterSearch(const Matrix& centers,
                                Kernel kernel = Kernel::kAuto);
 
   /// Closest center to `point` (dim must match). Centers must be
-  /// non-empty.
+  /// non-empty. Scalar reference path — one point, one center at a time.
   NearestResult Find(const double* point) const;
 
   /// Closest center given the caller-precomputed ||point||² (only used by
   /// the expanded kernel; ignored otherwise).
   NearestResult FindWithNorm(const double* point, double point_norm2) const;
+
+  /// Batched: nearest center for rows [rows.begin, rows.end) of `points`
+  /// via the blocked engine. Writes out_index[i - rows.begin] (center row)
+  /// and out_d2[i - rows.begin]; the output arrays need no
+  /// initialization. `point_norms` (indexed i - rows.begin) may be null,
+  /// as may `out_index` for distance-only callers.
+  void FindRange(const Matrix& points, IndexRange rows,
+                 const double* point_norms, int32_t* out_index,
+                 double* out_d2) const;
+
+  /// Batched: nearest center for every row of `points`, chunked over
+  /// `pool` (null runs inline). Results are bitwise identical at any
+  /// thread count (fixed kDeterministicChunks chunking). `out_index` may
+  /// be null for distance-only callers.
+  void FindAll(const Matrix& points, std::vector<int32_t>* out_index,
+               std::vector<double>* out_d2, ThreadPool* pool = nullptr) const;
 
   int64_t num_centers() const { return centers_.rows(); }
   bool uses_expanded_kernel() const { return use_expanded_; }
@@ -61,11 +86,16 @@ class NearestCenterSearch {
 class MinDistanceTracker {
  public:
   /// Starts with an empty center set: all distances are +infinity and the
-  /// potential is undefined until the first center is added.
-  explicit MinDistanceTracker(const Dataset& data);
+  /// potential is undefined until the first center is added. `pool` (may
+  /// be null) parallelizes AddCenters; the fixed chunking keeps results
+  /// bitwise identical across thread counts.
+  explicit MinDistanceTracker(const Dataset& data,
+                              ThreadPool* pool = nullptr);
 
   /// Accounts rows [first, centers.rows()) of `centers` as newly added,
-  /// updating every point's min distance. Returns the new potential
+  /// updating every point's min distance in one blocked parallel pass that
+  /// also folds the new potential into per-chunk partials (no separate
+  /// O(n) re-summation). Returns the new potential
   /// φ_X(C) = Σ_x w_x · d²(x, C).
   double AddCenters(const Matrix& centers, int64_t first);
 
@@ -92,15 +122,17 @@ class MinDistanceTracker {
 
  private:
   const Dataset& data_;  // not owned; must outlive the tracker
+  ThreadPool* pool_;     // not owned; may be null
   std::vector<double> min_d2_;
-  std::vector<int64_t> closest_;
+  std::vector<int32_t> closest_;
+  std::vector<double> point_norms_;  // lazily cached across rounds
   double potential_ = 0.0;
-
-  void RecomputePotential();
 };
 
-/// Per-row squared norms of a matrix (used by the expanded kernel).
-std::vector<double> RowSquaredNorms(const Matrix& m);
+/// Per-row squared norms of a matrix (used by the expanded kernel),
+/// computed in parallel over `pool` (null runs inline; results identical).
+std::vector<double> RowSquaredNorms(const Matrix& m,
+                                    ThreadPool* pool = nullptr);
 
 }  // namespace kmeansll
 

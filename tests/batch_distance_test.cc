@@ -1,0 +1,264 @@
+// Tests for the blocked batch-distance engine (distance/batch.h): the
+// blocked kernels agree with the scalar NearestCenterSearch reference on
+// random and adversarial (duplicate / collinear) inputs, tie-breaking is
+// identical to a sequential ascending scan, and every consumer is
+// bitwise-deterministic across thread counts (pool = null, 1, 4).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "clustering/cost.h"
+#include "clustering/init_kmeansll.h"
+#include "distance/batch.h"
+#include "distance/l2.h"
+#include "distance/nearest.h"
+#include "matrix/dataset.h"
+#include "parallel/thread_pool.h"
+#include "rng/rng.h"
+
+namespace kmeansll {
+namespace {
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, uint64_t seed,
+                    double scale = 1.0) {
+  rng::Rng rng(seed);
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      m.At(i, j) = scale * rng.NextGaussian();
+    }
+  }
+  return m;
+}
+
+// Shapes straddling every blocking boundary: point tile (64), panel
+// width (16, with and without residue), micro-pair (2), and the
+// plain/expanded kAuto crossover (kExpandedKernelMinDim).
+struct Shape {
+  int64_t n, k, d;
+};
+const Shape kShapes[] = {
+    {1, 1, 1},    {3, 2, 3},    {65, 5, 7},    {130, 16, 9},
+    {64, 17, 16}, {100, 33, 32}, {129, 64, 40}, {67, 31, 64},
+};
+
+TEST(BatchEngineTest, MatchesScalarReferenceOnRandomInputs) {
+  for (const Shape& s : kShapes) {
+    Matrix points = RandomMatrix(s.n, s.d, 101 + s.n, 5.0);
+    Matrix centers = RandomMatrix(s.k, s.d, 202 + s.k, 5.0);
+    NearestCenterSearch reference(centers,
+                                  NearestCenterSearch::Kernel::kPlain);
+    NearestCenterSearch blocked(centers);
+    std::vector<int32_t> idx(static_cast<size_t>(s.n));
+    std::vector<double> d2(static_cast<size_t>(s.n));
+    blocked.FindRange(points, IndexRange{0, s.n}, nullptr, idx.data(),
+                      d2.data());
+    for (int64_t i = 0; i < s.n; ++i) {
+      NearestResult expected = reference.Find(points.Row(i));
+      EXPECT_EQ(idx[static_cast<size_t>(i)], expected.index)
+          << "n=" << s.n << " k=" << s.k << " d=" << s.d << " point " << i;
+      EXPECT_NEAR(d2[static_cast<size_t>(i)], expected.distance2,
+                  1e-9 * (1.0 + expected.distance2));
+    }
+  }
+}
+
+TEST(BatchEngineTest, FindAllMatchesFind) {
+  Matrix points = RandomMatrix(150, 24, 303, 3.0);
+  Matrix centers = RandomMatrix(40, 24, 404, 3.0);
+  NearestCenterSearch search(centers);
+  std::vector<int32_t> idx;
+  std::vector<double> d2;
+  search.FindAll(points, &idx, &d2);
+  ASSERT_EQ(idx.size(), 150u);
+  for (int64_t i = 0; i < points.rows(); ++i) {
+    NearestResult expected = search.Find(points.Row(i));
+    EXPECT_EQ(idx[static_cast<size_t>(i)], expected.index) << "point " << i;
+    EXPECT_NEAR(d2[static_cast<size_t>(i)], expected.distance2,
+                1e-9 * (1.0 + expected.distance2));
+  }
+}
+
+// Adversarial: integer-coordinate points (all kernel arithmetic exact, so
+// plain, expanded, FMA, and non-FMA paths produce identical values) with
+// duplicated rows. A point equal to a center must report distance
+// exactly 0 with the lowest matching center index.
+TEST(BatchEngineTest, DuplicatePointsExactOnIntegerGrid) {
+  const int64_t d = 40;  // forces the expanded kernel under kAuto
+  Matrix centers(0, d);
+  centers = Matrix(6, d);
+  for (int64_t c = 0; c < 6; ++c) {
+    for (int64_t j = 0; j < d; ++j) {
+      centers.At(c, j) = static_cast<double>((c / 2) * 3 + (j % 5));
+    }
+  }
+  // Centers 0/1, 2/3, 4/5 are pairwise bitwise-identical duplicates.
+  Matrix points(12, d);
+  for (int64_t i = 0; i < 12; ++i) {
+    std::memcpy(points.Row(i), centers.Row(i % 6),
+                static_cast<size_t>(d) * sizeof(double));
+  }
+  NearestCenterSearch blocked(centers);
+  ASSERT_TRUE(blocked.uses_expanded_kernel());
+  std::vector<int32_t> idx(12);
+  std::vector<double> d2(12);
+  blocked.FindRange(points, IndexRange{0, 12}, nullptr, idx.data(),
+                    d2.data());
+  for (int64_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(d2[static_cast<size_t>(i)], 0.0) << "point " << i;
+    // The duplicate pair {2c, 2c+1} ties; the lowest index must win.
+    EXPECT_EQ(idx[static_cast<size_t>(i)], ((i % 6) / 2) * 2)
+        << "point " << i;
+  }
+}
+
+// Adversarial: collinear points with centers equidistant from a query —
+// exact arithmetic, so the tie must break to the lowest center index in
+// every kernel, exactly like the scalar ascending scan.
+TEST(BatchEngineTest, CollinearTieBreaksToLowestIndex) {
+  for (int64_t d : {4, 40}) {  // plain and expanded kAuto regimes
+    Matrix centers(3, d);
+    for (int64_t j = 0; j < d; ++j) {
+      centers.At(0, j) = -1.0;
+      centers.At(1, j) = 1.0;
+      centers.At(2, j) = 1.0;  // duplicate of center 1
+    }
+    Matrix query(1, d);  // origin: equidistant from all three centers
+    NearestCenterSearch blocked(centers);
+    std::vector<int32_t> idx(1);
+    std::vector<double> d2(1);
+    blocked.FindRange(query, IndexRange{0, 1}, nullptr, idx.data(),
+                      d2.data());
+    EXPECT_EQ(idx[0], 0) << "d=" << d;
+    EXPECT_EQ(d2[0], static_cast<double>(d)) << "d=" << d;
+  }
+}
+
+// Merge semantics: an equal-distance center added later must NOT replace
+// the incumbent (strict-< update), mirroring the sequential scan.
+TEST(BatchEngineTest, MergeKeepsExistingOnTie) {
+  const int64_t d = 8;
+  Matrix center(1, d);  // all zeros
+  Matrix point(1, d);
+  for (int64_t j = 0; j < d; ++j) point.At(0, j) = 2.0;
+  double best_d2 = 4.0 * d;  // exactly the distance the scan will find
+  int32_t best_idx = 7;      // sentinel incumbent
+  BatchNearestMerge(point, IndexRange{0, 1}, nullptr, center, 0, nullptr,
+                    BatchKernel::kPlain, &best_d2, &best_idx);
+  EXPECT_EQ(best_idx, 7);
+  EXPECT_EQ(best_d2, 4.0 * d);
+}
+
+// --- Bitwise determinism across thread counts ---------------------------
+
+std::vector<std::unique_ptr<ThreadPool>> MakePools() {
+  std::vector<std::unique_ptr<ThreadPool>> pools;
+  pools.push_back(nullptr);  // sequential
+  pools.push_back(std::make_unique<ThreadPool>(1));
+  pools.push_back(std::make_unique<ThreadPool>(4));
+  return pools;
+}
+
+TEST(BatchDeterminismTest, TrackerBitwiseIdenticalAcrossThreadCounts) {
+  Matrix pts = RandomMatrix(500, 33, 505, 4.0);
+  std::vector<double> w(500);
+  rng::Rng wrng(606);
+  for (auto& x : w) x = 0.25 + wrng.NextDouble();
+  auto data = Dataset::WithWeights(pts, w);
+  ASSERT_TRUE(data.ok());
+  Matrix centers = RandomMatrix(37, 33, 707, 4.0);
+
+  auto pools = MakePools();
+  std::vector<std::vector<double>> potentials(pools.size());
+  std::vector<std::vector<int64_t>> closest(pools.size());
+  std::vector<std::vector<double>> distances(pools.size());
+  for (size_t p = 0; p < pools.size(); ++p) {
+    MinDistanceTracker tracker(*data, pools[p].get());
+    // Grow the center set in uneven increments (1, then 16, then the
+    // rest) to cross panel boundaries mid-stream.
+    Matrix grown(33);
+    int64_t added = 0;
+    for (int64_t step : {int64_t{1}, int64_t{16},
+                         centers.rows() - 17}) {
+      for (int64_t c = 0; c < step; ++c) {
+        grown.AppendRow(centers.Row(added + c));
+      }
+      potentials[p].push_back(tracker.AddCenters(grown, added));
+      added += step;
+    }
+    for (int64_t i = 0; i < data->n(); ++i) {
+      closest[p].push_back(tracker.ClosestCenter(i));
+      distances[p].push_back(tracker.Distance2(i));
+    }
+  }
+  for (size_t p = 1; p < pools.size(); ++p) {
+    EXPECT_EQ(potentials[p], potentials[0]) << "pool " << p;  // bitwise
+    EXPECT_EQ(closest[p], closest[0]) << "pool " << p;
+    EXPECT_EQ(distances[p], distances[0]) << "pool " << p;  // bitwise
+  }
+}
+
+TEST(BatchDeterminismTest, AssignmentBitwiseIdenticalAcrossThreadCounts) {
+  Dataset data(RandomMatrix(400, 19, 808, 2.0));
+  Matrix centers = RandomMatrix(21, 19, 909, 2.0);
+  auto pools = MakePools();
+  Assignment reference = ComputeAssignment(data, centers, nullptr);
+  double reference_cost = ComputeCost(data, centers, nullptr);
+  EXPECT_EQ(reference.cost, reference_cost);  // same chunked reduction
+  for (auto& pool : pools) {
+    Assignment a = ComputeAssignment(data, centers, pool.get());
+    EXPECT_EQ(a.cluster, reference.cluster);
+    EXPECT_EQ(a.cost, reference.cost);  // bitwise
+    EXPECT_EQ(ComputeCost(data, centers, pool.get()), reference_cost);
+  }
+}
+
+TEST(BatchDeterminismTest, KMeansLLInitBitwiseIdenticalAcrossThreadCounts) {
+  Dataset data(RandomMatrix(300, 12, 111, 3.0));
+  KMeansLLOptions options;
+  options.rounds = 3;
+  options.oversampling = 8.0;
+  auto pools = MakePools();
+  auto reference = KMeansLLInit(data, 6, rng::MakeRootRng(42), options,
+                                nullptr);
+  ASSERT_TRUE(reference.ok());
+  for (auto& pool : pools) {
+    auto result = KMeansLLInit(data, 6, rng::MakeRootRng(42), options,
+                               pool.get());
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->centers == reference->centers);  // bitwise
+    EXPECT_EQ(result->telemetry.round_potentials,
+              reference->telemetry.round_potentials);  // bitwise
+  }
+}
+
+TEST(BatchDeterminismTest, FindAllIdenticalAcrossThreadCounts) {
+  Matrix points = RandomMatrix(333, 48, 222, 2.0);
+  Matrix centers = RandomMatrix(50, 48, 333, 2.0);
+  NearestCenterSearch search(centers);
+  std::vector<int32_t> ref_idx;
+  std::vector<double> ref_d2;
+  search.FindAll(points, &ref_idx, &ref_d2, nullptr);
+  auto pools = MakePools();
+  for (auto& pool : pools) {
+    std::vector<int32_t> idx;
+    std::vector<double> d2;
+    search.FindAll(points, &idx, &d2, pool.get());
+    EXPECT_EQ(idx, ref_idx);
+    EXPECT_EQ(d2, ref_d2);  // bitwise
+  }
+}
+
+TEST(BatchDeterminismTest, RowSquaredNormsIdenticalAcrossThreadCounts) {
+  Matrix m = RandomMatrix(257, 31, 444, 7.0);
+  std::vector<double> reference = RowSquaredNorms(m, nullptr);
+  ThreadPool pool(3);
+  EXPECT_EQ(RowSquaredNorms(m, &pool), reference);  // bitwise
+}
+
+}  // namespace
+}  // namespace kmeansll
