@@ -13,6 +13,7 @@
 #include <limits>
 #include <vector>
 
+#include "clustering/cost.h"
 #include "distance/batch.h"
 #include "distance/l2.h"
 #include "distance/nearest.h"
@@ -128,6 +129,66 @@ BENCHMARK(BM_TrackerAddCenters)
     ->Args({32768, 64, 16})
     ->Args({32768, 64, 64})
     ->Args({8192, 256, 64});
+
+// --- Panel cache: frozen panels vs per-call re-packing ------------------
+
+// Small-row-count regime (minibatch batches, streaming blocks, the
+// per-chunk ranges of a chunked parallel pass): each call scans only
+// `n` rows against all k centers, so the O(k·d) packing is a large
+// fraction of the call. Freeze() packs once; the unfrozen path re-packs
+// on every FindRange. The README "panel cache" numbers come from here.
+void PanelGrid(benchmark::internal::Benchmark* b) {
+  for (int64_t n : {32, 64, 128, 256}) {
+    b->Args({n, 256, 64});
+  }
+  b->Args({256, 256, 16});   // plain-kernel regime
+  b->Args({256, 1024, 64});  // many panels, streaming-block shape
+}
+
+void RunPanelCache(benchmark::State& state, bool frozen) {
+  const int64_t n = state.range(0), k = state.range(1), d = state.range(2);
+  Matrix points = RandomMatrix(n, d, 8);
+  Matrix centers = RandomMatrix(k, d, 9);
+  std::vector<double> point_norms = RowSquaredNorms(points);
+  std::vector<int32_t> idx(static_cast<size_t>(n));
+  std::vector<double> d2(static_cast<size_t>(n));
+  NearestCenterSearch search(centers);
+  if (frozen) search.Freeze();
+  for (auto _ : state) {
+    search.FindRange(points, IndexRange{0, n}, point_norms.data(),
+                     idx.data(), d2.data());
+    benchmark::DoNotOptimize(idx.data());
+    benchmark::DoNotOptimize(d2.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * k);
+}
+
+void BM_FindRangeRepack(benchmark::State& state) {
+  RunPanelCache(state, /*frozen=*/false);
+}
+BENCHMARK(BM_FindRangeRepack)->Apply(PanelGrid);
+
+void BM_FindRangeFrozen(benchmark::State& state) {
+  RunPanelCache(state, /*frozen=*/true);
+}
+BENCHMARK(BM_FindRangeFrozen)->Apply(PanelGrid);
+
+// Lloyd's hottest call: one full assignment pass (ComputeAssignment
+// freezes once per call; before the panel cache each of the ~64 chunks
+// re-packed the center set).
+void BM_AssignmentPass(benchmark::State& state) {
+  const int64_t n = state.range(0), k = state.range(1), d = state.range(2);
+  Dataset data(RandomMatrix(n, d, 10));
+  Matrix centers = RandomMatrix(k, d, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeAssignment(data, centers));
+  }
+  state.SetItemsProcessed(state.iterations() * n * k);
+}
+BENCHMARK(BM_AssignmentPass)
+    ->Args({4096, 64, 64})
+    ->Args({4096, 256, 64})
+    ->Args({16384, 256, 16});
 
 // --- Smoke (tiny sizes; run under ctest so the binary cannot bit-rot) ---
 

@@ -11,14 +11,19 @@
 namespace kmeansll {
 
 double ComputeCost(const Dataset& data, const Matrix& centers,
-                   ThreadPool* pool) {
+                   ThreadPool* pool, const double* point_norms) {
   KMEANSLL_CHECK_GT(centers.rows(), 0);
   KMEANSLL_CHECK_EQ(centers.cols(), data.dim());
   NearestCenterSearch search(centers);
+  // Pack the center panels once up front: the chunks below (and the pool
+  // workers running them) all scan the same frozen snapshot.
+  search.Freeze();
   auto map = [&](IndexRange r) {
     std::vector<double> d2(static_cast<size_t>(r.size()));
-    search.FindRange(data.points(), r, nullptr, /*out_index=*/nullptr,
-                     d2.data());
+    search.FindRange(data.points(), r,
+                     point_norms == nullptr ? nullptr
+                                            : point_norms + r.begin,
+                     /*out_index=*/nullptr, d2.data());
     KahanSum partial;
     for (int64_t i = r.begin; i < r.end; ++i) {
       partial.Add(data.Weight(i) * d2[static_cast<size_t>(i - r.begin)]);
@@ -35,16 +40,19 @@ double ComputeCost(const Dataset& data, const Matrix& centers,
 }
 
 Assignment ComputeAssignment(const Dataset& data, const Matrix& centers,
-                             ThreadPool* pool) {
+                             ThreadPool* pool, const double* point_norms) {
   KMEANSLL_CHECK_GT(centers.rows(), 0);
   KMEANSLL_CHECK_EQ(centers.cols(), data.dim());
   NearestCenterSearch search(centers);
+  search.Freeze();
   Assignment out;
   out.cluster.assign(static_cast<size_t>(data.n()), -1);
 
   auto map = [&](IndexRange r) {
     std::vector<double> d2(static_cast<size_t>(r.size()));
-    search.FindRange(data.points(), r, nullptr,
+    search.FindRange(data.points(), r,
+                     point_norms == nullptr ? nullptr
+                                            : point_norms + r.begin,
                      out.cluster.data() + r.begin, d2.data());
     KahanSum partial;
     for (int64_t i = r.begin; i < r.end; ++i) {

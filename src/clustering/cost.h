@@ -2,6 +2,15 @@
 // point-to-center assignment. These are the primitives shared by every
 // initializer, Lloyd's iteration, and the evaluation harness; both have a
 // sequential path and a deterministic thread-pool path.
+//
+// Both accept optional precomputed point norms (RowSquaredNorms of
+// data.points(), length n). The norms only feed the expanded kernel and
+// are a pure function of the immutable dataset, so callers that evaluate
+// several center sets against the same data — Lloyd iterations, the
+// best-of-num_runs seeding loop — compute them once and pass them to
+// every call instead of paying the O(n·d) norm pass each time. Passing
+// null keeps the self-contained behavior (norms derived internally);
+// results are bitwise identical either way.
 
 #ifndef KMEANSLL_CLUSTERING_COST_H_
 #define KMEANSLL_CLUSTERING_COST_H_
@@ -14,13 +23,17 @@
 namespace kmeansll {
 
 /// φ_X(C); `pool` may be null for sequential execution. Centers must be
-/// non-empty and match the data dimension.
+/// non-empty and match the data dimension. `point_norms` (length n) may
+/// be null.
 double ComputeCost(const Dataset& data, const Matrix& centers,
-                   ThreadPool* pool = nullptr);
+                   ThreadPool* pool = nullptr,
+                   const double* point_norms = nullptr);
 
 /// Nearest-center assignment for every point plus the implied cost.
+/// `point_norms` (length n) may be null.
 Assignment ComputeAssignment(const Dataset& data, const Matrix& centers,
-                             ThreadPool* pool = nullptr);
+                             ThreadPool* pool = nullptr,
+                             const double* point_norms = nullptr);
 
 }  // namespace kmeansll
 

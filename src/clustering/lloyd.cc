@@ -2,102 +2,32 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "clustering/cost.h"
+#include "clustering/lloyd_internal.h"
 #include "common/logging.h"
 #include "common/math_util.h"
-#include "distance/l2.h"
+#include "distance/batch.h"
 #include "distance/nearest.h"
 #include "parallel/parallel_for.h"
 
 namespace kmeansll {
 
-namespace {
-
-/// Per-chunk partial sums for the centroid update.
-struct CentroidPartial {
-  std::vector<double> sums;    // k × d weighted coordinate sums
-  std::vector<double> weight;  // k weighted counts
-
-  static CentroidPartial Zero(int64_t k, int64_t d) {
-    CentroidPartial p;
-    p.sums.assign(static_cast<size_t>(k * d), 0.0);
-    p.weight.assign(static_cast<size_t>(k), 0.0);
-    return p;
-  }
-
-  void Merge(const CentroidPartial& other) {
-    for (size_t i = 0; i < sums.size(); ++i) sums[i] += other.sums[i];
-    for (size_t i = 0; i < weight.size(); ++i) weight[i] += other.weight[i];
-  }
-};
-
-}  // namespace
-
 int64_t LloydStep(const Dataset& data, const Matrix& centers,
                   Matrix* new_centers, Assignment* assignment,
-                  ThreadPool* pool) {
+                  ThreadPool* pool, const double* point_norms) {
   const int64_t k = centers.rows();
   const int64_t d = centers.cols();
-  *assignment = ComputeAssignment(data, centers, pool);
+  *assignment = ComputeAssignment(data, centers, pool, point_norms);
 
-  auto map = [&](IndexRange r) {
-    CentroidPartial partial = CentroidPartial::Zero(k, d);
-    for (int64_t i = r.begin; i < r.end; ++i) {
-      auto c = static_cast<int64_t>(assignment->cluster[static_cast<size_t>(i)]);
-      double w = data.Weight(i);
-      const double* point = data.Point(i);
-      double* sum = partial.sums.data() + c * d;
-      for (int64_t j = 0; j < d; ++j) sum[j] += w * point[j];
-      partial.weight[static_cast<size_t>(c)] += w;
-    }
-    return partial;
-  };
-  auto combine = [](CentroidPartial a, CentroidPartial b) {
-    a.Merge(b);
-    return a;
-  };
-  CentroidPartial total = ParallelReduce<CentroidPartial>(
-      pool, data.n(), CentroidPartial::Zero(k, d), map, combine);
-
-  *new_centers = Matrix(k, d);
-  std::vector<int64_t> empty;
-  for (int64_t c = 0; c < k; ++c) {
-    double w = total.weight[static_cast<size_t>(c)];
-    double* row = new_centers->Row(c);
-    if (w > 0.0) {
-      const double* sum = total.sums.data() + c * d;
-      for (int64_t j = 0; j < d; ++j) row[j] = sum[j] / w;
-    } else {
-      empty.push_back(c);
-    }
-  }
-
+  internal::CentroidSums totals =
+      internal::AccumulateCentroids(data, assignment->cluster, k, pool);
+  std::vector<int64_t> empty =
+      internal::CentroidsFromSums(totals, k, d, new_centers);
   if (!empty.empty()) {
-    // Deterministic repair: hand each empty cluster the point with the
-    // largest current cost contribution (ties and reuse avoided by
-    // claiming indices in order of decreasing contribution).
-    NearestCenterSearch search(centers);
-    std::vector<double> d2;
-    search.FindAll(data.points(), /*out_index=*/nullptr, &d2, pool);
-    std::vector<std::pair<double, int64_t>> contributions;
-    contributions.reserve(static_cast<size_t>(data.n()));
-    for (int64_t i = 0; i < data.n(); ++i) {
-      double contrib = data.Weight(i) * d2[static_cast<size_t>(i)];
-      contributions.emplace_back(contrib, i);
-    }
-    std::sort(contributions.begin(), contributions.end(),
-              [](const auto& a, const auto& b) {
-                if (a.first != b.first) return a.first > b.first;
-                return a.second < b.second;
-              });
-    size_t next = 0;
-    for (int64_t c : empty) {
-      const double* point = data.Point(contributions[next].second);
-      ++next;
-      double* row = new_centers->Row(c);
-      for (int64_t j = 0; j < d; ++j) row[j] = point[j];
-    }
+    internal::RepairEmptyClusters(data, centers, empty, new_centers, pool,
+                                  point_norms);
   }
   return static_cast<int64_t>(empty.size());
 }
@@ -105,7 +35,7 @@ int64_t LloydStep(const Dataset& data, const Matrix& centers,
 Result<LloydResult> RunLloyd(const Dataset& data,
                              const Matrix& initial_centers,
                              const LloydOptions& options,
-                             ThreadPool* pool) {
+                             ThreadPool* pool, const double* point_norms) {
   if (initial_centers.rows() == 0) {
     return Status::InvalidArgument("initial center set is empty");
   }
@@ -121,15 +51,25 @@ Result<LloydResult> RunLloyd(const Dataset& data,
     return Status::InvalidArgument("max_iterations must be >= 0");
   }
 
+  // Point norms are a pure function of the immutable dataset: one O(n·d)
+  // pass per run feeds the expanded kernel of every assignment, repair,
+  // and cost evaluation below instead of being recomputed per iteration —
+  // done here unless the caller (KMeans::Fit) already holds the vector.
+  std::vector<double> norm_storage;
+  bool expanded = false;
+  point_norms = internal::EnsurePointNorms(data, point_norms,
+                                           &norm_storage, pool, &expanded);
+
   LloydResult result;
   result.centers = initial_centers;
-  result.assignment = ComputeAssignment(data, result.centers, pool);
+  result.assignment = ComputeAssignment(data, result.centers, pool,
+                                        point_norms);
 
   for (int64_t iter = 0; iter < options.max_iterations; ++iter) {
     Matrix new_centers;
     Assignment assignment;
-    result.empty_cluster_repairs +=
-        LloydStep(data, result.centers, &new_centers, &assignment, pool);
+    result.empty_cluster_repairs += LloydStep(
+        data, result.centers, &new_centers, &assignment, pool, point_norms);
     ++result.iterations;
 
     bool assignments_unchanged =
@@ -162,7 +102,8 @@ Result<LloydResult> RunLloyd(const Dataset& data,
 
   // Report the cost of the final centers (the assignment stored above is
   // the one that *produced* them; recompute so cost matches centers).
-  result.assignment = ComputeAssignment(data, result.centers, pool);
+  result.assignment = ComputeAssignment(data, result.centers, pool,
+                                        point_norms);
   return result;
 }
 

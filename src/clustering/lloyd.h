@@ -48,19 +48,27 @@ struct LloydResult {
 /// contribution not already claimed by another repair — a deterministic
 /// policy; the paper does not specify one (DESIGN.md §5.5).
 ///
+/// `point_norms` (RowSquaredNorms of data.points(), length n) may be
+/// null, in which case the norms are computed here once per run; callers
+/// that already hold them (KMeans::Fit) pass them through so the O(n·d)
+/// pass is not repeated. Results are bitwise identical either way.
+///
 /// Fails if `initial_centers` is empty or dimensions mismatch.
 Result<LloydResult> RunLloyd(const Dataset& data,
                              const Matrix& initial_centers,
                              const LloydOptions& options,
-                             ThreadPool* pool = nullptr);
+                             ThreadPool* pool = nullptr,
+                             const double* point_norms = nullptr);
 
 /// One assignment + centroid-update step (exposed for tests and for the
 /// MapReduce driver): given centers, produces the new centroids and the
 /// assignment that generated them. Returns the number of empty clusters
-/// repaired.
+/// repaired. `point_norms` (RowSquaredNorms of data.points(), length n)
+/// may be null; RunLloyd computes it once per run and threads it through
+/// every iteration so the O(n·d) norm pass is not redone per step.
 int64_t LloydStep(const Dataset& data, const Matrix& centers,
                   Matrix* new_centers, Assignment* assignment,
-                  ThreadPool* pool);
+                  ThreadPool* pool, const double* point_norms = nullptr);
 
 }  // namespace kmeansll
 

@@ -6,78 +6,19 @@
 #include <vector>
 
 #include "clustering/cost.h"
+#include "clustering/lloyd_internal.h"
 #include "common/math_util.h"
-#include "distance/l2.h"
+#include "distance/batch.h"
 #include "distance/nearest.h"
 #include "parallel/parallel_for.h"
 
 namespace kmeansll {
 
-namespace {
-
-/// Chunk-replicated centroid accumulation (identical to LloydStep's and
-/// RunLloydHamerly's, so all three produce bitwise-equal centers).
-void AccumulateCentroids(const Dataset& data,
-                         const std::vector<int32_t>& assignment, int64_t k,
-                         std::vector<double>* sums,
-                         std::vector<double>* weights) {
-  const int64_t d = data.dim();
-  sums->assign(static_cast<size_t>(k * d), 0.0);
-  weights->assign(static_cast<size_t>(k), 0.0);
-  std::vector<IndexRange> chunks =
-      MakeChunks(data.n(), kDeterministicChunks);
-  std::vector<double> chunk_sums(static_cast<size_t>(k * d));
-  std::vector<double> chunk_weights(static_cast<size_t>(k));
-  for (const IndexRange& r : chunks) {
-    std::fill(chunk_sums.begin(), chunk_sums.end(), 0.0);
-    std::fill(chunk_weights.begin(), chunk_weights.end(), 0.0);
-    for (int64_t i = r.begin; i < r.end; ++i) {
-      auto c = static_cast<int64_t>(assignment[static_cast<size_t>(i)]);
-      double w = data.Weight(i);
-      const double* point = data.Point(i);
-      double* sum = chunk_sums.data() + c * d;
-      for (int64_t j = 0; j < d; ++j) sum[j] += w * point[j];
-      chunk_weights[static_cast<size_t>(c)] += w;
-    }
-    for (size_t v = 0; v < chunk_sums.size(); ++v) {
-      (*sums)[v] += chunk_sums[v];
-    }
-    for (size_t c = 0; c < chunk_weights.size(); ++c) {
-      (*weights)[c] += chunk_weights[c];
-    }
-  }
-}
-
-void RepairEmptyClusters(const Dataset& data, const Matrix& old_centers,
-                         const std::vector<int64_t>& empty,
-                         Matrix* new_centers) {
-  NearestCenterSearch search(old_centers);
-  std::vector<std::pair<double, int64_t>> contributions;
-  contributions.reserve(static_cast<size_t>(data.n()));
-  for (int64_t i = 0; i < data.n(); ++i) {
-    contributions.emplace_back(
-        data.Weight(i) * search.Find(data.Point(i)).distance2, i);
-  }
-  std::sort(contributions.begin(), contributions.end(),
-            [](const auto& a, const auto& b) {
-              if (a.first != b.first) return a.first > b.first;
-              return a.second < b.second;
-            });
-  size_t next = 0;
-  for (int64_t c : empty) {
-    const double* point = data.Point(contributions[next].second);
-    ++next;
-    double* row = new_centers->Row(c);
-    for (int64_t j = 0; j < data.dim(); ++j) row[j] = point[j];
-  }
-}
-
-}  // namespace
-
 Result<LloydResult> RunLloydElkan(const Dataset& data,
                                   const Matrix& initial_centers,
                                   const LloydOptions& options,
-                                  ElkanStats* stats) {
+                                  ElkanStats* stats,
+                                  const double* point_norms) {
   if (initial_centers.rows() == 0) {
     return Status::InvalidArgument("initial center set is empty");
   }
@@ -97,6 +38,13 @@ Result<LloydResult> RunLloydElkan(const Dataset& data,
   const int64_t k = initial_centers.rows();
   const int64_t d = data.dim();
 
+  // Shared-chain arithmetic (see RunLloydHamerly): every exact distance
+  // here is an engine value, bitwise the one RunLloyd's scan computes.
+  std::vector<double> norm_storage;
+  bool expanded = false;
+  const double* pn = internal::EnsurePointNorms(
+      data, point_norms, &norm_storage, /*pool=*/nullptr, &expanded);
+
   LloydResult result;
   result.centers = initial_centers;
 
@@ -108,13 +56,26 @@ Result<LloydResult> RunLloydElkan(const Dataset& data,
   bool bounds_valid = false;
 
   std::vector<double> center_dist(static_cast<size_t>(k * k), 0.0);
+  std::vector<double> center_d2(static_cast<size_t>(k * k));
   std::vector<double> half_nearest(static_cast<size_t>(k), 0.0);
+  std::vector<double> chunk_d2;  // scratch for the bound-init pass
 
   double previous_cost = std::numeric_limits<double>::quiet_NaN();
   bool have_previous_cost = false;
 
   for (int64_t iter = 0; iter < options.max_iterations; ++iter) {
-    // Inter-center geometry.
+    NearestCenterSearch search(result.centers);
+    search.Freeze();
+    // Scalar probes share the search's cached norms (same
+    // RowSquaredNorms chain) rather than recomputing them.
+    const double* cn =
+        expanded ? search.center_norms().data() : nullptr;
+
+    // Inter-center geometry: one blocked k × k scan; the diagonal is
+    // pinned to zero (the engine's expanded self-distance can be a few
+    // ulps of cancellation noise, and d(a, a) is zero by definition).
+    search.DistancesRange(result.centers, IndexRange{0, k}, cn,
+                          center_d2.data());
     for (int64_t a = 0; a < k; ++a) {
       double best = std::numeric_limits<double>::infinity();
       for (int64_t b = 0; b < k; ++b) {
@@ -122,8 +83,8 @@ Result<LloydResult> RunLloydElkan(const Dataset& data,
           center_dist[static_cast<size_t>(a * k + b)] = 0.0;
           continue;
         }
-        double dist = std::sqrt(
-            SquaredL2(result.centers.Row(a), result.centers.Row(b), d));
+        double dist =
+            std::sqrt(center_d2[static_cast<size_t>(a * k + b)]);
         center_dist[static_cast<size_t>(a * k + b)] = dist;
         best = std::min(best, dist);
       }
@@ -131,23 +92,36 @@ Result<LloydResult> RunLloydElkan(const Dataset& data,
     }
 
     if (!bounds_valid) {
-      // Full initialization: exact distances to every center.
-      for (int64_t i = 0; i < n; ++i) {
-        double best = std::numeric_limits<double>::infinity();
-        int64_t best_c = -1;
-        for (int64_t c = 0; c < k; ++c) {
-          double dist =
-              std::sqrt(SquaredL2(data.Point(i), result.centers.Row(c), d));
-          lower[static_cast<size_t>(i * k + c)] = dist;
-          if (stats != nullptr) ++stats->distance_evals;
-          if (dist < best) {
-            best = dist;
-            best_c = c;
+      // Full initialization: exact distances to every center, one
+      // blocked pass chunked on the deterministic grid, written straight
+      // into the n × k lower-bound table.
+      std::vector<IndexRange> chunks = MakeChunks(n, kDeterministicChunks);
+      for (const IndexRange& r : chunks) {
+        chunk_d2.resize(static_cast<size_t>(r.size() * k));
+        search.DistancesRange(data.points(), r,
+                              pn == nullptr ? nullptr : pn + r.begin,
+                              chunk_d2.data());
+        for (int64_t i = r.begin; i < r.end; ++i) {
+          const double* row = chunk_d2.data() + (i - r.begin) * k;
+          double* row_lower = lower.data() + i * k;
+          // Argmin on the squared values: two distinct d² can round to
+          // the same sqrt, and the tie must break exactly like the
+          // standard scan's strict-< over d².
+          double best_d2 = std::numeric_limits<double>::infinity();
+          int64_t best_c = -1;
+          for (int64_t c = 0; c < k; ++c) {
+            row_lower[c] = std::sqrt(row[c]);
+            if (row[c] < best_d2) {
+              best_d2 = row[c];
+              best_c = c;
+            }
           }
+          assignment[static_cast<size_t>(i)] =
+              static_cast<int32_t>(best_c);
+          upper[static_cast<size_t>(i)] = row_lower[best_c];
         }
-        assignment[static_cast<size_t>(i)] = static_cast<int32_t>(best_c);
-        upper[static_cast<size_t>(i)] = best;
       }
+      if (stats != nullptr) stats->distance_evals += n * k;
       bounds_valid = true;
     } else {
       for (int64_t i = 0; i < n; ++i) {
@@ -168,8 +142,10 @@ Result<LloydResult> RunLloydElkan(const Dataset& data,
             continue;
           }
           if (!upper_tight) {
-            upper[idx] = std::sqrt(SquaredL2(
-                data.Point(i), result.centers.Row(a), d));
+            upper[idx] = std::sqrt(internal::PairDistance2(
+                data.Point(i), expanded ? pn[i] : 0.0,
+                result.centers.Row(a), expanded ? cn[a] : 0.0, d,
+                expanded));
             lower[static_cast<size_t>(i * k + a)] = upper[idx];
             if (stats != nullptr) ++stats->distance_evals;
             upper_tight = true;
@@ -178,8 +154,9 @@ Result<LloydResult> RunLloydElkan(const Dataset& data,
               continue;
             }
           }
-          double dist = std::sqrt(
-              SquaredL2(data.Point(i), result.centers.Row(c), d));
+          double dist = std::sqrt(internal::PairDistance2(
+              data.Point(i), expanded ? pn[i] : 0.0,
+              result.centers.Row(c), expanded ? cn[c] : 0.0, d, expanded));
           lower[static_cast<size_t>(i * k + c)] = dist;
           if (stats != nullptr) ++stats->distance_evals;
           if (dist < upper[idx]) {
@@ -193,24 +170,16 @@ Result<LloydResult> RunLloydElkan(const Dataset& data,
     }
 
     // Centroid update (bitwise identical to LloydStep).
-    std::vector<double> sums, weights;
-    AccumulateCentroids(data, assignment, k, &sums, &weights);
-    Matrix new_centers(k, d);
-    std::vector<int64_t> empty;
-    for (int64_t c = 0; c < k; ++c) {
-      double w = weights[static_cast<size_t>(c)];
-      double* row = new_centers.Row(c);
-      if (w > 0.0) {
-        const double* sum = sums.data() + c * d;
-        for (int64_t j = 0; j < d; ++j) row[j] = sum[j] / w;
-      } else {
-        empty.push_back(c);
-      }
-    }
+    internal::CentroidSums totals =
+        internal::AccumulateCentroids(data, assignment, k, nullptr);
+    Matrix new_centers;
+    std::vector<int64_t> empty =
+        internal::CentroidsFromSums(totals, k, d, &new_centers);
     bool repaired = !empty.empty();
     if (repaired) {
       result.empty_cluster_repairs += static_cast<int64_t>(empty.size());
-      RepairEmptyClusters(data, result.centers, empty, &new_centers);
+      internal::RepairEmptyClusters(data, result.centers, empty,
+                                    &new_centers, /*pool=*/nullptr, pn);
     }
     ++result.iterations;
 
@@ -220,13 +189,15 @@ Result<LloydResult> RunLloydElkan(const Dataset& data,
     } else {
       std::vector<double> movement(static_cast<size_t>(k));
       for (int64_t c = 0; c < k; ++c) {
+        // Plain chain: the expanded form can cancel to zero for a
+        // barely-moved center and understate movement (unsound for the
+        // bound updates below).
         movement[static_cast<size_t>(c)] = std::sqrt(
-            SquaredL2(result.centers.Row(c), new_centers.Row(c), d));
+            PairSquaredL2(result.centers.Row(c), new_centers.Row(c), d));
       }
       for (int64_t i = 0; i < n; ++i) {
         auto idx = static_cast<size_t>(i);
-        upper[idx] +=
-            movement[static_cast<size_t>(assignment[idx])];
+        upper[idx] += movement[static_cast<size_t>(assignment[idx])];
         double* row_lower = lower.data() + i * k;
         for (int64_t c = 0; c < k; ++c) {
           row_lower[c] =
@@ -239,15 +210,10 @@ Result<LloydResult> RunLloydElkan(const Dataset& data,
         iter > 0 && assignment == previous_assignment;
 
     if (options.track_history || options.relative_tolerance > 0.0) {
-      KahanSum cost;
-      for (int64_t i = 0; i < n; ++i) {
-        cost.Add(data.Weight(i) *
-                 SquaredL2(data.Point(i),
-                           result.centers.Row(
-                               assignment[static_cast<size_t>(i)]),
-                           d));
-      }
-      double current_cost = cost.Total();
+      // Bitwise the cost RunLloyd's history records (shared chunked
+      // Kahan reduction over the same per-pair values).
+      double current_cost = internal::AssignmentCost(
+          data, result.centers, assignment, pn, cn, expanded);
       if (options.track_history) {
         result.cost_history.push_back(current_cost);
       }
@@ -275,7 +241,7 @@ Result<LloydResult> RunLloydElkan(const Dataset& data,
     }
   }
 
-  result.assignment = ComputeAssignment(data, result.centers);
+  result.assignment = ComputeAssignment(data, result.centers, nullptr, pn);
   return result;
 }
 

@@ -8,9 +8,13 @@
 // k×k table and the n×k bounds fit comfortably (k up to a few thousand
 // at our scales).
 //
-// Produces the same centers as RunLloyd / RunLloydHamerly (bitwise — the
-// centroid accumulation replicates the standard chunking); assignments
-// can differ only on exact distance ties. Ablated in bench/bm_lloyd.
+// Produces the same centers and assignments as RunLloyd /
+// RunLloydHamerly (bitwise — shared engine distance chains and centroid
+// accumulation), with the same conditioning caveat as RunLloydHamerly:
+// bound pruning trusts the triangle inequality over computed distances,
+// so data with a huge common coordinate offset should be centered first
+// (see lloyd_hamerly.h and README "Choosing a Lloyd variant"). Ablated
+// in bench/bm_lloyd.
 
 #ifndef KMEANSLL_CLUSTERING_LLOYD_ELKAN_H_
 #define KMEANSLL_CLUSTERING_LLOYD_ELKAN_H_
@@ -31,11 +35,14 @@ struct ElkanStats {
 };
 
 /// Runs Lloyd's iteration with Elkan bounds. Same contract and results
-/// as RunLloyd; `stats` (optional) receives pruning counters.
+/// as RunLloyd; `stats` (optional) receives pruning counters and
+/// `point_norms` (optional, RowSquaredNorms of data.points()) skips the
+/// internal norm pass exactly as in RunLloyd.
 Result<LloydResult> RunLloydElkan(const Dataset& data,
                                   const Matrix& initial_centers,
                                   const LloydOptions& options,
-                                  ElkanStats* stats = nullptr);
+                                  ElkanStats* stats = nullptr,
+                                  const double* point_norms = nullptr);
 
 }  // namespace kmeansll
 

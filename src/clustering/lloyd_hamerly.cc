@@ -6,106 +6,19 @@
 #include <vector>
 
 #include "clustering/cost.h"
+#include "clustering/lloyd_internal.h"
 #include "common/math_util.h"
-#include "distance/l2.h"
+#include "distance/batch.h"
 #include "distance/nearest.h"
 #include "parallel/parallel_for.h"
 
 namespace kmeansll {
 
-namespace {
-
-/// Centroid accumulation replicating LloydStep's chunked reduction
-/// exactly (same chunk boundaries, same merge order), so the centers this
-/// path produces are bitwise identical to the standard iteration's.
-void AccumulateCentroids(const Dataset& data,
-                         const std::vector<int32_t>& assignment, int64_t k,
-                         std::vector<double>* sums,
-                         std::vector<double>* weights) {
-  const int64_t d = data.dim();
-  sums->assign(static_cast<size_t>(k * d), 0.0);
-  weights->assign(static_cast<size_t>(k), 0.0);
-  std::vector<IndexRange> chunks =
-      MakeChunks(data.n(), kDeterministicChunks);
-  std::vector<double> chunk_sums(static_cast<size_t>(k * d));
-  std::vector<double> chunk_weights(static_cast<size_t>(k));
-  for (const IndexRange& r : chunks) {
-    std::fill(chunk_sums.begin(), chunk_sums.end(), 0.0);
-    std::fill(chunk_weights.begin(), chunk_weights.end(), 0.0);
-    for (int64_t i = r.begin; i < r.end; ++i) {
-      auto c = static_cast<int64_t>(assignment[static_cast<size_t>(i)]);
-      double w = data.Weight(i);
-      const double* point = data.Point(i);
-      double* sum = chunk_sums.data() + c * d;
-      for (int64_t j = 0; j < d; ++j) sum[j] += w * point[j];
-      chunk_weights[static_cast<size_t>(c)] += w;
-    }
-    for (size_t v = 0; v < chunk_sums.size(); ++v) {
-      (*sums)[v] += chunk_sums[v];
-    }
-    for (size_t c = 0; c < chunk_weights.size(); ++c) {
-      (*weights)[c] += chunk_weights[c];
-    }
-  }
-}
-
-/// The deterministic empty-cluster repair shared with LloydStep: hand
-/// each empty cluster the point with the largest current contribution.
-void RepairEmptyClusters(const Dataset& data, const Matrix& old_centers,
-                         const std::vector<int64_t>& empty,
-                         Matrix* new_centers) {
-  NearestCenterSearch search(old_centers);
-  std::vector<std::pair<double, int64_t>> contributions;
-  contributions.reserve(static_cast<size_t>(data.n()));
-  for (int64_t i = 0; i < data.n(); ++i) {
-    contributions.emplace_back(
-        data.Weight(i) * search.Find(data.Point(i)).distance2, i);
-  }
-  std::sort(contributions.begin(), contributions.end(),
-            [](const auto& a, const auto& b) {
-              if (a.first != b.first) return a.first > b.first;
-              return a.second < b.second;
-            });
-  size_t next = 0;
-  for (int64_t c : empty) {
-    const double* point = data.Point(contributions[next].second);
-    ++next;
-    double* row = new_centers->Row(c);
-    for (int64_t j = 0; j < data.dim(); ++j) row[j] = point[j];
-  }
-}
-
-/// Nearest and second-nearest distances with standard tie-breaking
-/// (strict <, ascending center index).
-struct TwoNearest {
-  int64_t best = -1;
-  double d1 = std::numeric_limits<double>::infinity();
-  double d2 = std::numeric_limits<double>::infinity();
-};
-
-TwoNearest FindTwoNearest(const double* point, const Matrix& centers) {
-  TwoNearest out;
-  const int64_t k = centers.rows();
-  const int64_t d = centers.cols();
-  for (int64_t c = 0; c < k; ++c) {
-    double dist2 = SquaredL2(point, centers.Row(c), d);
-    if (dist2 < out.d1) {
-      out.d2 = out.d1;
-      out.d1 = dist2;
-      out.best = c;
-    } else if (dist2 < out.d2) {
-      out.d2 = dist2;
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
 Result<LloydResult> RunLloydHamerly(const Dataset& data,
                                     const Matrix& initial_centers,
                                     const LloydOptions& options,
-                                    HamerlyStats* stats) {
+                                    HamerlyStats* stats,
+                                    const double* point_norms) {
   if (initial_centers.rows() == 0) {
     return Status::InvalidArgument("initial center set is empty");
   }
@@ -125,6 +38,16 @@ Result<LloydResult> RunLloydHamerly(const Dataset& data,
   const int64_t k = initial_centers.rows();
   const int64_t d = data.dim();
 
+  // Every distance below — bound probes, full scans, center separations,
+  // cost tracking — runs on the batch engine's accumulation chains with
+  // the standard kAuto kernel choice, so the values are bitwise the ones
+  // RunLloyd's assignment scan produces and the two variants stay
+  // structurally (not just statistically) equivalent.
+  std::vector<double> norm_storage;
+  bool expanded = false;
+  const double* pn = internal::EnsurePointNorms(
+      data, point_norms, &norm_storage, /*pool=*/nullptr, &expanded);
+
   LloydResult result;
   result.centers = initial_centers;
 
@@ -139,71 +62,117 @@ Result<LloydResult> RunLloydHamerly(const Dataset& data,
 
   // Half distance to the closest other center, per center.
   std::vector<double> half_nearest(static_cast<size_t>(k));
+  std::vector<double> center_d2(static_cast<size_t>(k * k));
+
+  // Scratch for the batched full scans of each iteration.
+  std::vector<int64_t> scan_list;
+  std::vector<double> scan_norms;
+  std::vector<int32_t> scan_idx;
+  std::vector<double> scan_d1;
+  std::vector<double> scan_d2;
 
   double previous_cost = std::numeric_limits<double>::quiet_NaN();
   bool have_previous_cost = false;  // first comparison at iteration 1
 
   for (int64_t iter = 0; iter < options.max_iterations; ++iter) {
-    // --- Inter-center separations ------------------------------------
+    // Frozen panel snapshot of this iteration's centers: the
+    // center-center scan, the batched full scans, and (via the norms
+    // below) the scalar bound probes all read one packing.
+    NearestCenterSearch search(result.centers);
+    search.Freeze();
+    // Scalar probes share the search's cached norms (same
+    // RowSquaredNorms chain) rather than recomputing them.
+    const double* cn =
+        expanded ? search.center_norms().data() : nullptr;
+
+    // --- Inter-center separations (one blocked k × k scan) -----------
+    search.DistancesRange(result.centers, IndexRange{0, k}, cn,
+                          center_d2.data());
     for (int64_t c = 0; c < k; ++c) {
       double best = std::numeric_limits<double>::infinity();
+      const double* row = center_d2.data() + c * k;
       for (int64_t o = 0; o < k; ++o) {
         if (o == c) continue;
-        best = std::min(
-            best, SquaredL2(result.centers.Row(c), result.centers.Row(o),
-                            d));
+        best = std::min(best, row[o]);
       }
       half_nearest[static_cast<size_t>(c)] =
           k > 1 ? 0.5 * std::sqrt(best) : 0.0;
     }
 
-    // --- Assignment with bound pruning -------------------------------
+    // --- Bound certification pass ------------------------------------
+    // Per point, independent of every other point: certify from the
+    // bounds, else tighten the upper bound with one exact probe, else
+    // queue the point for the batched full scan below.
+    scan_list.clear();
     for (int64_t i = 0; i < n; ++i) {
       auto idx = static_cast<size_t>(i);
-      double threshold =
-          std::max(half_nearest[static_cast<size_t>(
-                       assignment[idx] < 0 ? 0 : assignment[idx])],
-                   lower[idx]);
-      if (assignment[idx] >= 0 && upper[idx] <= threshold) {
-        if (stats != nullptr) ++stats->bound_skips;
-        continue;  // bound certifies the assignment
-      }
-      if (assignment[idx] >= 0) {
+      const int64_t a = assignment[idx];
+      if (a >= 0) {
+        double threshold =
+            std::max(half_nearest[static_cast<size_t>(a)], lower[idx]);
+        if (upper[idx] <= threshold) {
+          if (stats != nullptr) ++stats->bound_skips;
+          continue;  // bound certifies the assignment
+        }
         // Tighten the upper bound with one exact distance.
-        upper[idx] = std::sqrt(SquaredL2(
-            data.Point(i),
-            result.centers.Row(assignment[idx]), d));
+        upper[idx] = std::sqrt(internal::PairDistance2(
+            data.Point(i), expanded ? pn[i] : 0.0, result.centers.Row(a),
+            expanded ? cn[a] : 0.0, d, expanded));
         if (upper[idx] <= threshold) {
           if (stats != nullptr) ++stats->inner_updates;
           continue;
         }
       }
-      TwoNearest nearest = FindTwoNearest(data.Point(i), result.centers);
-      if (stats != nullptr) ++stats->full_scans;
-      assignment[idx] = static_cast<int32_t>(nearest.best);
-      upper[idx] = std::sqrt(nearest.d1);
-      lower[idx] = std::sqrt(nearest.d2);
+      scan_list.push_back(i);
+    }
+
+    // --- Batched full scans ------------------------------------------
+    if (!scan_list.empty()) {
+      const auto m = static_cast<int64_t>(scan_list.size());
+      scan_idx.resize(static_cast<size_t>(m));
+      scan_d1.resize(static_cast<size_t>(m));
+      scan_d2.resize(static_cast<size_t>(m));
+      if (m == n) {
+        // Everyone rescans (iteration 0, or the round after a repair
+        // reset): scan the dataset in place — no gather copy.
+        search.FindTwoNearestRange(data.points(), IndexRange{0, n}, pn,
+                                   scan_idx.data(), scan_d1.data(),
+                                   scan_d2.data());
+      } else {
+        Matrix gathered = data.points().GatherRows(scan_list);
+        const double* gathered_norms = nullptr;
+        if (expanded) {
+          scan_norms.resize(static_cast<size_t>(m));
+          for (int64_t b = 0; b < m; ++b) {
+            scan_norms[static_cast<size_t>(b)] =
+                pn[scan_list[static_cast<size_t>(b)]];
+          }
+          gathered_norms = scan_norms.data();
+        }
+        search.FindTwoNearestRange(gathered, IndexRange{0, m},
+                                   gathered_norms, scan_idx.data(),
+                                   scan_d1.data(), scan_d2.data());
+      }
+      if (stats != nullptr) stats->full_scans += m;
+      for (int64_t b = 0; b < m; ++b) {
+        auto idx = static_cast<size_t>(scan_list[static_cast<size_t>(b)]);
+        assignment[idx] = scan_idx[static_cast<size_t>(b)];
+        upper[idx] = std::sqrt(scan_d1[static_cast<size_t>(b)]);
+        lower[idx] = std::sqrt(scan_d2[static_cast<size_t>(b)]);
+      }
     }
 
     // --- Centroid update (bitwise identical to LloydStep) ------------
-    std::vector<double> sums, weights;
-    AccumulateCentroids(data, assignment, k, &sums, &weights);
-    Matrix new_centers(k, d);
-    std::vector<int64_t> empty;
-    for (int64_t c = 0; c < k; ++c) {
-      double w = weights[static_cast<size_t>(c)];
-      double* row = new_centers.Row(c);
-      if (w > 0.0) {
-        const double* sum = sums.data() + c * d;
-        for (int64_t j = 0; j < d; ++j) row[j] = sum[j] / w;
-      } else {
-        empty.push_back(c);
-      }
-    }
+    internal::CentroidSums totals =
+        internal::AccumulateCentroids(data, assignment, k, nullptr);
+    Matrix new_centers;
+    std::vector<int64_t> empty =
+        internal::CentroidsFromSums(totals, k, d, &new_centers);
     bool repaired = !empty.empty();
     if (repaired) {
       result.empty_cluster_repairs += static_cast<int64_t>(empty.size());
-      RepairEmptyClusters(data, result.centers, empty, &new_centers);
+      internal::RepairEmptyClusters(data, result.centers, empty,
+                                    &new_centers, /*pool=*/nullptr, pn);
     }
     ++result.iterations;
 
@@ -211,8 +180,11 @@ Result<LloydResult> RunLloydHamerly(const Dataset& data,
     std::vector<double> movement(static_cast<size_t>(k));
     double max_movement = 0.0;
     for (int64_t c = 0; c < k; ++c) {
+      // Plain chain on purpose: the expanded form can cancel to zero for
+      // a barely-moved center and understate movement, which is the
+      // unsound direction for the bound updates below.
       movement[static_cast<size_t>(c)] = std::sqrt(
-          SquaredL2(result.centers.Row(c), new_centers.Row(c), d));
+          PairSquaredL2(result.centers.Row(c), new_centers.Row(c), d));
       max_movement =
           std::max(max_movement, movement[static_cast<size_t>(c)]);
     }
@@ -235,17 +207,11 @@ Result<LloydResult> RunLloydHamerly(const Dataset& data,
 
     if (options.track_history || options.relative_tolerance > 0.0) {
       // The standard iteration records the cost of the assignment that
-      // produced the centroids (w.r.t. the replaced centers); computing
-      // it exactly costs one extra pass, paid only when asked for.
-      KahanSum cost;
-      for (int64_t i = 0; i < n; ++i) {
-        cost.Add(data.Weight(i) *
-                 SquaredL2(data.Point(i),
-                           result.centers.Row(
-                               assignment[static_cast<size_t>(i)]),
-                           d));
-      }
-      double current_cost = cost.Total();
+      // produced the centroids (w.r.t. the replaced centers). The shared
+      // helper replicates ComputeAssignment's chunked Kahan reduction, so
+      // this history is bitwise the one RunLloyd records.
+      double current_cost = internal::AssignmentCost(
+          data, result.centers, assignment, pn, cn, expanded);
       if (options.track_history) {
         result.cost_history.push_back(current_cost);
       }
@@ -273,7 +239,7 @@ Result<LloydResult> RunLloydHamerly(const Dataset& data,
     }
   }
 
-  result.assignment = ComputeAssignment(data, result.centers);
+  result.assignment = ComputeAssignment(data, result.centers, nullptr, pn);
   return result;
 }
 

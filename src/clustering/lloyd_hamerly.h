@@ -9,11 +9,21 @@
 // clusterings (the common case after the first few iterations —
 // especially from a k-means|| seed) most points skip the scan entirely.
 //
-// Produces exactly the same sequence of assignments and centers as
-// RunLloyd (standard Lloyd); the tests assert equivalence. This is the
-// "modification to the basic k-means algorithm" extension the paper's
-// conclusion anticipates, and bench/bm_lloyd ablates it against the
-// standard iteration.
+// Produces the same sequence of assignments and centers as RunLloyd
+// (standard Lloyd): every exact distance is evaluated with the batch
+// engine's accumulation chains (distance/batch.h), so the two
+// iterations compare identical values and the tests assert bitwise
+// equivalence. The caveat is conditioning: the bound certifications
+// assume the computed distances respect the triangle inequality, which
+// the expanded kernel (d >= kExpandedKernelMinDim) only guarantees up
+// to an absolute error ~eps·(‖x‖² + ‖c‖²). On well-scaled data that
+// error is far below any certification margin; on data with a large
+// common coordinate offset (‖x‖² enormous relative to cluster
+// separations) a bound may certify a stale assignment that a full scan
+// would flip — center such data first (see README "Choosing a Lloyd
+// variant"). This is the "modification to the basic k-means algorithm"
+// extension the paper's conclusion anticipates, and bench/bm_lloyd
+// ablates it against the standard iteration.
 
 #ifndef KMEANSLL_CLUSTERING_LLOYD_HAMERLY_H_
 #define KMEANSLL_CLUSTERING_LLOYD_HAMERLY_H_
@@ -34,11 +44,14 @@ struct HamerlyStats {
 };
 
 /// Runs Lloyd's iteration with Hamerly bounds. Same contract and same
-/// results as RunLloyd; `stats` (optional) receives pruning counters.
+/// results as RunLloyd; `stats` (optional) receives pruning counters and
+/// `point_norms` (optional, RowSquaredNorms of data.points()) skips the
+/// internal norm pass exactly as in RunLloyd.
 Result<LloydResult> RunLloydHamerly(const Dataset& data,
                                     const Matrix& initial_centers,
                                     const LloydOptions& options,
-                                    HamerlyStats* stats = nullptr);
+                                    HamerlyStats* stats = nullptr,
+                                    const double* point_norms = nullptr);
 
 }  // namespace kmeansll
 

@@ -1,0 +1,124 @@
+#include "clustering/lloyd_internal.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/math_util.h"
+#include "distance/nearest.h"
+#include "parallel/parallel_for.h"
+
+namespace kmeansll {
+namespace internal {
+
+const double* EnsurePointNorms(const Dataset& data, const double* provided,
+                               std::vector<double>* storage,
+                               ThreadPool* pool, bool* expanded) {
+  *expanded = ResolveExpandedKernel(BatchKernel::kAuto, data.dim());
+  if (!*expanded) return nullptr;
+  if (provided != nullptr) return provided;
+  *storage = RowSquaredNorms(data.points(), pool);
+  return storage->data();
+}
+
+CentroidSums AccumulateCentroids(const Dataset& data,
+                                 const std::vector<int32_t>& assignment,
+                                 int64_t k, ThreadPool* pool) {
+  const int64_t d = data.dim();
+  auto zero = [k, d]() {
+    CentroidSums s;
+    s.sums.assign(static_cast<size_t>(k * d), 0.0);
+    s.weights.assign(static_cast<size_t>(k), 0.0);
+    return s;
+  };
+  auto map = [&](IndexRange r) {
+    CentroidSums partial = zero();
+    for (int64_t i = r.begin; i < r.end; ++i) {
+      auto c = static_cast<int64_t>(assignment[static_cast<size_t>(i)]);
+      double w = data.Weight(i);
+      const double* point = data.Point(i);
+      double* sum = partial.sums.data() + c * d;
+      for (int64_t j = 0; j < d; ++j) sum[j] += w * point[j];
+      partial.weights[static_cast<size_t>(c)] += w;
+    }
+    return partial;
+  };
+  auto combine = [](CentroidSums a, CentroidSums b) {
+    for (size_t i = 0; i < a.sums.size(); ++i) a.sums[i] += b.sums[i];
+    for (size_t i = 0; i < a.weights.size(); ++i) {
+      a.weights[i] += b.weights[i];
+    }
+    return a;
+  };
+  return ParallelReduce<CentroidSums>(pool, data.n(), zero(), map, combine);
+}
+
+std::vector<int64_t> CentroidsFromSums(const CentroidSums& totals,
+                                       int64_t k, int64_t d,
+                                       Matrix* new_centers) {
+  *new_centers = Matrix(k, d);
+  std::vector<int64_t> empty;
+  for (int64_t c = 0; c < k; ++c) {
+    double w = totals.weights[static_cast<size_t>(c)];
+    double* row = new_centers->Row(c);
+    if (w > 0.0) {
+      const double* sum = totals.sums.data() + c * d;
+      for (int64_t j = 0; j < d; ++j) row[j] = sum[j] / w;
+    } else {
+      empty.push_back(c);
+    }
+  }
+  return empty;
+}
+
+void RepairEmptyClusters(const Dataset& data, const Matrix& old_centers,
+                         const std::vector<int64_t>& empty,
+                         Matrix* new_centers, ThreadPool* pool,
+                         const double* point_norms) {
+  NearestCenterSearch search(old_centers);
+  std::vector<double> d2;
+  search.FindAll(data.points(), /*out_index=*/nullptr, &d2, pool,
+                 point_norms);
+  std::vector<std::pair<double, int64_t>> contributions;
+  contributions.reserve(static_cast<size_t>(data.n()));
+  for (int64_t i = 0; i < data.n(); ++i) {
+    contributions.emplace_back(data.Weight(i) * d2[static_cast<size_t>(i)],
+                               i);
+  }
+  std::sort(contributions.begin(), contributions.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  size_t next = 0;
+  for (int64_t c : empty) {
+    const double* point = data.Point(contributions[next].second);
+    ++next;
+    double* row = new_centers->Row(c);
+    for (int64_t j = 0; j < data.dim(); ++j) row[j] = point[j];
+  }
+}
+
+double AssignmentCost(const Dataset& data, const Matrix& centers,
+                      const std::vector<int32_t>& assignment,
+                      const double* point_norms,
+                      const double* center_norms, bool expanded) {
+  const int64_t d = centers.cols();
+  std::vector<IndexRange> chunks =
+      MakeChunks(data.n(), kDeterministicChunks);
+  KahanSum total;
+  for (const IndexRange& r : chunks) {
+    KahanSum partial;
+    for (int64_t i = r.begin; i < r.end; ++i) {
+      auto c = static_cast<int64_t>(assignment[static_cast<size_t>(i)]);
+      double d2 = PairDistance2(
+          data.Point(i), expanded ? point_norms[i] : 0.0, centers.Row(c),
+          expanded ? center_norms[c] : 0.0, d, expanded);
+      partial.Add(data.Weight(i) * d2);
+    }
+    total.Merge(partial);
+  }
+  return total.Total();
+}
+
+}  // namespace internal
+}  // namespace kmeansll

@@ -1,0 +1,100 @@
+// Shared machinery of the Lloyd variants (standard / Hamerly / Elkan).
+//
+// The three iterations must stay bitwise-interchangeable: same centroid
+// accumulation chain (fixed kDeterministicChunks replication, partials
+// combined in chunk order), same empty-cluster repair policy, same
+// distance arithmetic (the batch engine's — see distance/batch.h). This
+// header holds the pieces they share so the equivalence is enforced by
+// construction instead of by three hand-synchronized copies.
+
+#ifndef KMEANSLL_CLUSTERING_LLOYD_INTERNAL_H_
+#define KMEANSLL_CLUSTERING_LLOYD_INTERNAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "distance/batch.h"
+#include "distance/l2.h"
+#include "matrix/dataset.h"
+#include "matrix/matrix.h"
+#include "parallel/thread_pool.h"
+
+namespace kmeansll {
+namespace internal {
+
+/// One exact squared distance with the engine's accumulation chain:
+/// the expanded (clamped) formulation when `expanded`, else the plain
+/// chain. This is what the accelerated variants' bound-tightening probes
+/// use so a probed distance is bitwise the value a batched scan would
+/// have produced for the same pair. Norms must come from
+/// SquaredNorm/RowSquaredNorms (ignored for the plain chain).
+inline double PairDistance2(const double* x, double x_norm2,
+                            const double* c, double c_norm2, int64_t d,
+                            bool expanded) {
+  if (expanded) {
+    return SquaredL2Expanded(x_norm2, c_norm2, PairDotProduct(x, c, d));
+  }
+  return PairSquaredL2(x, c, d);
+}
+
+/// Resolves the engine's kAuto kernel for `data` into *expanded and
+/// ensures point norms exist when the expanded kernel will run: returns
+/// `provided` when non-null, else fills `storage` with
+/// RowSquaredNorms(data.points(), pool) and returns its data. Returns
+/// null under the plain kernel (the kernels never read norms there).
+/// One definition of the bootstrap every Lloyd runner shares, so the
+/// crossover rule cannot drift from the engine's dispatch.
+const double* EnsurePointNorms(const Dataset& data, const double* provided,
+                               std::vector<double>* storage,
+                               ThreadPool* pool, bool* expanded);
+
+/// Weighted per-cluster coordinate sums and weights for the centroid
+/// update.
+struct CentroidSums {
+  std::vector<double> sums;     ///< k × d weighted coordinate sums
+  std::vector<double> weights;  ///< k weighted counts
+};
+
+/// Accumulates the centroid sums for `assignment` over the fixed
+/// deterministic chunk grid; per-chunk partials are merged in chunk
+/// order, so the result is bitwise identical sequentially (pool = null)
+/// and at any pool size.
+CentroidSums AccumulateCentroids(const Dataset& data,
+                                 const std::vector<int32_t>& assignment,
+                                 int64_t k, ThreadPool* pool);
+
+/// Divides the sums into `new_centers` (resized to k × d) and returns the
+/// indices of clusters with zero total weight (their rows are left
+/// zeroed; see RepairEmptyClusters).
+std::vector<int64_t> CentroidsFromSums(const CentroidSums& totals,
+                                       int64_t k, int64_t d,
+                                       Matrix* new_centers);
+
+/// The deterministic empty-cluster repair shared by every variant: each
+/// empty cluster receives the point with the largest current (weighted)
+/// cost contribution under `old_centers`, claiming indices in order of
+/// decreasing contribution (ties by ascending point index) so no point
+/// is reused. Contributions come from one blocked batch scan; `pool` and
+/// `point_norms` (length n, may be null) are threaded through to it.
+void RepairEmptyClusters(const Dataset& data, const Matrix& old_centers,
+                         const std::vector<int64_t>& empty,
+                         Matrix* new_centers, ThreadPool* pool = nullptr,
+                         const double* point_norms = nullptr);
+
+/// Weighted cost Σ_x w_x · d²(x, c_{assignment(x)}) replicating
+/// ComputeAssignment's reduction bitwise: per-pair engine chains, Kahan
+/// partials over the fixed chunk grid, merged in chunk order. When
+/// `assignment` maps every point to its engine-argmin center this equals
+/// ComputeAssignment(...).cost exactly; the accelerated variants use it
+/// to keep their cost history bitwise-aligned with standard Lloyd's.
+/// `expanded` selects the chain (pass the search's kernel choice);
+/// point/center norms are only read when expanded.
+double AssignmentCost(const Dataset& data, const Matrix& centers,
+                      const std::vector<int32_t>& assignment,
+                      const double* point_norms,
+                      const double* center_norms, bool expanded);
+
+}  // namespace internal
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_CLUSTERING_LLOYD_INTERNAL_H_

@@ -40,8 +40,11 @@ Result<MiniBatchResult> RunMiniBatch(const Dataset& data,
   std::vector<int32_t> owner;
   std::vector<double> owner_d2;
   for (int64_t iter = 0; iter < options.iterations; ++iter) {
-    // Sample the batch, then assign all members against the frozen
-    // centers in one blocked batch-engine pass.
+    // Sample the batch, then assign all members against this iteration's
+    // centers in one blocked batch-engine pass (FindAll packs the center
+    // panels once per call — at minibatch row counts the packing would
+    // otherwise rival the scan). The gradient step below mutates the
+    // centers, so each iteration builds a fresh search over them.
     NearestCenterSearch search(result.centers);
     for (int64_t b = 0; b < batch; ++b) {
       members[static_cast<size_t>(b)] =

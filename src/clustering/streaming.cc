@@ -84,6 +84,8 @@ void StreamingKMeans::CompressBlock() {
   KMEANSLL_CHECK(!selected.empty());
 
   Matrix picks = block->points().GatherRows(selected);
+  // FindAll packs the center panels once for the whole block scan (no
+  // Freeze needed for a single batched call).
   NearestCenterSearch search(picks);
   std::vector<int32_t> nearest;
   std::vector<double> nearest_d2;

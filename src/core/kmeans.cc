@@ -7,6 +7,8 @@
 
 #include "clustering/cost.h"
 #include "common/timer.h"
+#include "distance/batch.h"
+#include "distance/nearest.h"
 
 namespace kmeansll {
 
@@ -112,6 +114,19 @@ Result<KMeansReport> KMeans::Fit(const Dataset& data) const {
   ctx.pool = pool_.get();
   ctx.counters = &report.counters;
 
+  // Point norms are a pure function of the data: computed once per Fit
+  // and threaded through every in-process cost/assignment evaluation
+  // below (each used to redo the O(n·d) norm pass). Only the expanded
+  // kernel reads them, so small dimensions skip the pass entirely; the
+  // MapReduce paths keep norms in their own per-partition distance state.
+  std::vector<double> norm_storage;
+  if (!config_.use_mapreduce &&
+      ResolveExpandedKernel(BatchKernel::kAuto, data.dim())) {
+    norm_storage = RowSquaredNorms(data.points(), pool_.get());
+  }
+  const double* point_norms =
+      norm_storage.empty() ? nullptr : norm_storage.data();
+
   // Best-of-num_runs seeding: every run derives its own root seed (run 0
   // uses config.seed itself) and the lowest-cost seed set wins.
   WallTimer init_timer;
@@ -127,7 +142,8 @@ Result<KMeansReport> KMeans::Fit(const Dataset& data) const {
         InitializeWithContext(data, &report.counters, run_seed));
     double cost = config_.use_mapreduce
                       ? MRComputeCost(data, candidate.centers, ctx)
-                      : ComputeCost(data, candidate.centers, pool_.get());
+                      : ComputeCost(data, candidate.centers, pool_.get(),
+                                    point_norms);
     if (cost < best_cost) {
       best_cost = cost;
       init = std::move(candidate);
@@ -151,13 +167,16 @@ Result<KMeansReport> KMeans::Fit(const Dataset& data) const {
       Result<LloydResult> run = [&]() -> Result<LloydResult> {
         switch (config_.lloyd_variant) {
           case KMeansConfig::LloydVariant::kHamerly:
-            return RunLloydHamerly(data, init.centers, config_.lloyd);
+            return RunLloydHamerly(data, init.centers, config_.lloyd,
+                                   /*stats=*/nullptr, point_norms);
           case KMeansConfig::LloydVariant::kElkan:
-            return RunLloydElkan(data, init.centers, config_.lloyd);
+            return RunLloydElkan(data, init.centers, config_.lloyd,
+                                 /*stats=*/nullptr, point_norms);
           case KMeansConfig::LloydVariant::kStandard:
             break;
         }
-        return RunLloyd(data, init.centers, config_.lloyd, pool_.get());
+        return RunLloyd(data, init.centers, config_.lloyd, pool_.get(),
+                        point_norms);
       }();
       KMEANSLL_ASSIGN_OR_RETURN(LloydResult lloyd, std::move(run));
       report.centers = std::move(lloyd.centers);
@@ -167,8 +186,8 @@ Result<KMeansReport> KMeans::Fit(const Dataset& data) const {
     }
   } else {
     report.centers = std::move(init.centers);
-    report.assignment =
-        ComputeAssignment(data, report.centers, pool_.get());
+    report.assignment = ComputeAssignment(data, report.centers,
+                                          pool_.get(), point_norms);
   }
   report.lloyd_seconds = lloyd_timer.ElapsedSeconds();
   report.final_cost = report.assignment.cost;

@@ -90,9 +90,12 @@ void SqPanel1Generic(const double* x, const double* panel, int64_t d,
 // Narrow-panel variants for the trailing k % kCenterTile centers (panel
 // stride = width). Runtime trip count; padding the residue to a full
 // panel would make small-k callers (k-means++ adds one center at a time)
-// pay kCenterTile× the flops, so the residue is computed exactly.
-void DotPanelTail(const double* x, const double* panel, int64_t d,
-                  int64_t width, double* acc) {
+// pay kCenterTile× the flops, so the residue is computed exactly. Like
+// the full panels they come in a portable version and an FMA version
+// (below) so the per-pair chain is the same in the residue as in the
+// micro-kernel on every machine.
+void DotPanelTailGeneric(const double* x, const double* panel, int64_t d,
+                         int64_t width, double* acc) {
   for (int64_t t = 0; t < d; ++t) {
     const double* row = panel + t * width;
     const double xt = x[t];
@@ -100,8 +103,8 @@ void DotPanelTail(const double* x, const double* panel, int64_t d,
   }
 }
 
-void SqPanelTail(const double* x, const double* panel, int64_t d,
-                 int64_t width, double* acc) {
+void SqPanelTailGeneric(const double* x, const double* panel, int64_t d,
+                        int64_t width, double* acc) {
   for (int64_t t = 0; t < d; ++t) {
     const double* row = panel + t * width;
     const double xt = x[t];
@@ -239,6 +242,63 @@ __attribute__((target("avx2,fma"))) void SqPanel1Avx2(const double* x,
   _mm256_storeu_pd(acc + 12, a3);
 }
 
+// Single-pair chains matching the panel kernels lane-for-lane: one
+// accumulator, coordinate order, hardware FMA. A lane of the AVX2 panel
+// kernels performs acc = fma(x[t], c[t], acc) (dot) or
+// acc = fma(e, e, acc) with e = x[t] − c[t] (plain) per coordinate;
+// __builtin_fma inside a target("fma") function lowers to the same
+// vfmadd, so these reproduce the batched values bitwise.
+__attribute__((target("fma"))) double PairDotFma(const double* a,
+                                                 const double* b,
+                                                 int64_t dim) {
+  double acc = 0.0;
+  for (int64_t t = 0; t < dim; ++t) acc = __builtin_fma(a[t], b[t], acc);
+  return acc;
+}
+
+__attribute__((target("fma"))) double PairSqFma(const double* a,
+                                                const double* b,
+                                                int64_t dim) {
+  double acc = 0.0;
+  for (int64_t t = 0; t < dim; ++t) {
+    double e = a[t] - b[t];
+    acc = __builtin_fma(e, e, acc);
+  }
+  return acc;
+}
+
+// FMA tail variants: on machines where the full panels run the AVX2+FMA
+// micro-kernels, the residue must accumulate with the same fused chain,
+// or a pair's value would depend on which panel its center landed in.
+__attribute__((target("fma"))) void DotPanelTailFma(const double* x,
+                                                    const double* panel,
+                                                    int64_t d,
+                                                    int64_t width,
+                                                    double* acc) {
+  for (int64_t t = 0; t < d; ++t) {
+    const double* row = panel + t * width;
+    const double xt = x[t];
+    for (int64_t j = 0; j < width; ++j) {
+      acc[j] = __builtin_fma(xt, row[j], acc[j]);
+    }
+  }
+}
+
+__attribute__((target("fma"))) void SqPanelTailFma(const double* x,
+                                                   const double* panel,
+                                                   int64_t d,
+                                                   int64_t width,
+                                                   double* acc) {
+  for (int64_t t = 0; t < d; ++t) {
+    const double* row = panel + t * width;
+    const double xt = x[t];
+    for (int64_t j = 0; j < width; ++j) {
+      double e = xt - row[j];
+      acc[j] = __builtin_fma(e, e, acc[j]);
+    }
+  }
+}
+
 bool DetectAvx2Fma() {
   __builtin_cpu_init();
   return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
@@ -253,6 +313,16 @@ inline void DotPanel1Avx2(const double*, const double*, int64_t, double*) {}
 inline void SqPanel2Avx2(const double*, const double*, const double*,
                          int64_t, double*, double*) {}
 inline void SqPanel1Avx2(const double*, const double*, int64_t, double*) {}
+inline double PairDotFma(const double*, const double*, int64_t) {
+  return 0.0;
+}
+inline double PairSqFma(const double*, const double*, int64_t) {
+  return 0.0;
+}
+inline void DotPanelTailFma(const double*, const double*, int64_t, int64_t,
+                            double*) {}
+inline void SqPanelTailFma(const double*, const double*, int64_t, int64_t,
+                           double*) {}
 #endif  // defined(__x86_64__)
 
 // Dispatch wrappers. The AVX2 kernels store their register accumulators
@@ -302,50 +372,221 @@ inline void SqPanel1(const double* x, const double* panel, int64_t d,
   }
 }
 
-// Folds one point's panel accumulators into its (best_d2, best_index).
-// Centers are visited in ascending index order with strict-< updates, so
-// ties keep the lowest index / the existing value — identical to a
-// sequential scan.
-inline void MergeExpanded(const double* acc, int64_t count, double pn,
-                          const double* cn, int64_t c_base, double* best_d2,
-                          int32_t* best_index) {
-  // Branchless distance pass (vectorizable) ahead of the scalar argmin.
-  double d2v[kCenterTile];
-  for (int64_t j = 0; j < count; ++j) {
-    double v = pn + cn[j] - 2.0 * acc[j];
-    d2v[j] = v > 0.0 ? v : 0.0;
+// Tail dispatch (accumulates in place; the caller zero-fills).
+inline void DotPanelTail(const double* x, const double* panel, int64_t d,
+                         int64_t width, double* acc) {
+  if (kUseAvx2) {
+    DotPanelTailFma(x, panel, d, width, acc);
+  } else {
+    DotPanelTailGeneric(x, panel, d, width, acc);
   }
-  if (best_index == nullptr) {  // distance-only caller
+}
+
+inline void SqPanelTail(const double* x, const double* panel, int64_t d,
+                        int64_t width, double* acc) {
+  if (kUseAvx2) {
+    SqPanelTailFma(x, panel, d, width, acc);
+  } else {
+    SqPanelTailGeneric(x, panel, d, width, acc);
+  }
+}
+
+// --- Shared loop nest --------------------------------------------------
+//
+// PanelScan drives the tiling and micro-kernel dispatch once for every
+// reduction. For each (point, panel) visit it produces the panel's final
+// squared distances (expanded values converted and clamped exactly like
+// the legacy merge step) in a stack buffer and hands them to `merge` as
+//   merge(p, c_off, count, d2v)
+// where p is the range-relative point row, c_off the panel's first
+// center relative to the packed set, count the panel width, and d2v the
+// per-center squared distances. Panels are visited in ascending center
+// order within each point tile, so a merge that scans d2v left-to-right
+// observes centers exactly like a sequential ascending scan.
+template <typename Merge>
+void PanelScan(const Matrix& points, IndexRange rows,
+               const double* point_norms, const CenterPanels& panels,
+               const double* center_norms, bool expanded, Merge&& merge) {
+  const int64_t d = panels.dim();
+  const int64_t n = rows.size();
+  const int64_t k = panels.num_centers();
+  const double* packed = panels.data();
+
+  double acc0[kCenterTile];
+  double acc1[kCenterTile];
+  double d2v0[kCenterTile];
+  double d2v1[kCenterTile];
+
+  // Branchless distance conversion (vectorizable) ahead of the merge.
+  auto convert = [&](const double* acc, int64_t count, double pn,
+                     const double* cn, double* d2v) {
     for (int64_t j = 0; j < count; ++j) {
-      if (d2v[j] < *best_d2) *best_d2 = d2v[j];
+      double v = pn + cn[j] - 2.0 * acc[j];
+      d2v[j] = v > 0.0 ? v : 0.0;
     }
-    return;
-  }
-  for (int64_t j = 0; j < count; ++j) {
-    if (d2v[j] < *best_d2) {
-      *best_d2 = d2v[j];
-      *best_index = static_cast<int32_t>(c_base + j);
+  };
+
+  // Loop nest: point tiles stream while each ~kCenterTile·d-double panel
+  // stays L1-resident across the whole tile.
+  for (int64_t pb = 0; pb < n; pb += kPointTile) {
+    const int64_t pe = std::min(pb + kPointTile, n);
+    for (int64_t panel = 0; panel * kCenterTile < k; ++panel) {
+      const int64_t c_off = panel * kCenterTile;
+      const int64_t count = std::min<int64_t>(kCenterTile, k - c_off);
+      const double* panel_data = packed + c_off * d;
+      const double* cn = expanded ? center_norms + c_off : nullptr;
+      int64_t p = pb;
+      if (count == kCenterTile) {
+        for (; p + 2 <= pe; p += 2) {
+          if (expanded) {
+            DotPanel2(points.Row(rows.begin + p),
+                      points.Row(rows.begin + p + 1), panel_data, d, acc0,
+                      acc1);
+            convert(acc0, count, point_norms[p], cn, d2v0);
+            convert(acc1, count, point_norms[p + 1], cn, d2v1);
+            merge(p, c_off, count, d2v0);
+            merge(p + 1, c_off, count, d2v1);
+          } else {
+            SqPanel2(points.Row(rows.begin + p),
+                     points.Row(rows.begin + p + 1), panel_data, d, acc0,
+                     acc1);
+            merge(p, c_off, count, acc0);
+            merge(p + 1, c_off, count, acc1);
+          }
+        }
+        for (; p < pe; ++p) {
+          if (expanded) {
+            DotPanel1(points.Row(rows.begin + p), panel_data, d, acc0);
+            convert(acc0, count, point_norms[p], cn, d2v0);
+            merge(p, c_off, count, d2v0);
+          } else {
+            SqPanel1(points.Row(rows.begin + p), panel_data, d, acc0);
+            merge(p, c_off, count, acc0);
+          }
+        }
+      } else {
+        for (; p < pe; ++p) {
+          std::memset(acc0, 0, sizeof(acc0));
+          if (expanded) {
+            DotPanelTail(points.Row(rows.begin + p), panel_data, d, count,
+                         acc0);
+            convert(acc0, count, point_norms[p], cn, d2v0);
+            merge(p, c_off, count, d2v0);
+          } else {
+            SqPanelTail(points.Row(rows.begin + p), panel_data, d, count,
+                        acc0);
+            merge(p, c_off, count, acc0);
+          }
+        }
+      }
     }
   }
 }
 
-inline void MergePlain(const double* acc, int64_t count, int64_t c_base,
-                       double* best_d2, int32_t* best_index) {
-  if (best_index == nullptr) {  // distance-only caller
-    for (int64_t j = 0; j < count; ++j) {
-      if (acc[j] < *best_d2) *best_d2 = acc[j];
-    }
-    return;
+// Validates shared preconditions and reports whether there is anything to
+// scan; resolves the kernel choice into *expanded.
+bool PrepareScan(const Matrix& points, IndexRange rows,
+                 const CenterPanels& panels, const double* center_norms,
+                 BatchKernel kernel, bool* expanded) {
+  KMEANSLL_CHECK_EQ(panels.dim(), points.cols());
+  KMEANSLL_CHECK(rows.begin >= 0 && rows.end <= points.rows());
+  if (rows.size() <= 0 || panels.num_centers() <= 0) return false;
+  *expanded = ResolveExpandedKernel(kernel, points.cols());
+  if (*expanded) {
+    // Panels are t-major: norms cannot be recomputed here with the
+    // caller-visible SquaredNorm chain, so expanded scans require them.
+    KMEANSLL_CHECK(center_norms != nullptr);
   }
-  for (int64_t j = 0; j < count; ++j) {
-    if (acc[j] < *best_d2) {
-      *best_d2 = acc[j];
-      *best_index = static_cast<int32_t>(c_base + j);
-    }
+  return true;
+}
+
+// Point norms the caller did not provide, materialized with the shared
+// SquaredNorm chain (amortized over the whole n × k scan, so a per-call
+// vector is fine). One definition: this chain is the bitwise-consistency
+// linchpin between provided and internal norms.
+const double* EnsurePointNorms(const Matrix& points, IndexRange rows,
+                               bool expanded, const double* point_norms,
+                               std::vector<double>* storage) {
+  if (!expanded || point_norms != nullptr) return point_norms;
+  const int64_t n = rows.size();
+  storage->resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    (*storage)[static_cast<size_t>(i)] =
+        SquaredNorm(points.Row(rows.begin + i), points.cols());
   }
+  return storage->data();
 }
 
 }  // namespace
+
+void CenterPanels::Pack(const Matrix& centers, int64_t first_center) {
+  KMEANSLL_CHECK(first_center >= 0 && first_center <= centers.rows());
+  dim_ = centers.cols();
+  first_center_ = first_center;
+  num_centers_ = centers.rows() - first_center;
+  const int64_t k = num_centers_;
+  const int64_t d = dim_;
+  const int64_t full_panels = k / kCenterTile;
+  const int64_t tail_width = k % kCenterTile;
+  packed_.resize(static_cast<size_t>(k * d));
+  for (int64_t c = 0; c < k; ++c) {
+    const int64_t panel = c / kCenterTile;
+    const bool in_tail = panel == full_panels;
+    const int64_t stride = in_tail ? tail_width : kCenterTile;
+    double* base = packed_.data() + panel * kCenterTile * d;
+    const double* row = centers.Row(first_center + c);
+    const int64_t j = c % kCenterTile;
+    for (int64_t t = 0; t < d; ++t) base[t * stride + j] = row[t];
+  }
+}
+
+void CenterPanels::Clear() {
+  packed_.clear();
+  num_centers_ = 0;
+  dim_ = 0;
+  first_center_ = 0;
+}
+
+void BatchNearestMerge(const Matrix& points, IndexRange rows,
+                       const double* point_norms,
+                       const CenterPanels& panels,
+                       const double* center_norms, BatchKernel kernel,
+                       double* best_d2, int32_t* best_index) {
+  bool expanded = false;
+  if (!PrepareScan(points, rows, panels, center_norms, kernel, &expanded)) {
+    return;
+  }
+  std::vector<double> pn_storage;
+  point_norms =
+      EnsurePointNorms(points, rows, expanded, point_norms, &pn_storage);
+  const int64_t base = panels.first_center();
+  if (best_index == nullptr) {
+    // Distance-only caller: skip the argmin bookkeeping.
+    PanelScan(points, rows, point_norms, panels, center_norms, expanded,
+              [&](int64_t p, int64_t, int64_t count, const double* d2v) {
+                double* bd = best_d2 + p;
+                for (int64_t j = 0; j < count; ++j) {
+                  if (d2v[j] < *bd) *bd = d2v[j];
+                }
+              });
+    return;
+  }
+  // Centers are visited in ascending index order with strict-< updates,
+  // so ties keep the lowest index / the existing value — identical to a
+  // sequential scan.
+  PanelScan(points, rows, point_norms, panels, center_norms, expanded,
+            [&](int64_t p, int64_t c_off, int64_t count,
+                const double* d2v) {
+              double* bd = best_d2 + p;
+              int32_t* bi = best_index + p;
+              for (int64_t j = 0; j < count; ++j) {
+                if (d2v[j] < *bd) {
+                  *bd = d2v[j];
+                  *bi = static_cast<int32_t>(base + c_off + j);
+                }
+              }
+            });
+}
 
 void BatchNearestMerge(const Matrix& points, IndexRange rows,
                        const double* point_norms, const Matrix& centers,
@@ -356,119 +597,100 @@ void BatchNearestMerge(const Matrix& points, IndexRange rows,
   KMEANSLL_CHECK_EQ(centers.cols(), d);
   KMEANSLL_CHECK(rows.begin >= 0 && rows.end <= points.rows());
   KMEANSLL_CHECK(first_center >= 0 && first_center <= centers.rows());
-  const int64_t n = rows.size();
   const int64_t k = centers.rows() - first_center;
-  if (n <= 0 || k <= 0) return;
+  if (rows.size() <= 0 || k <= 0) return;
 
-  const bool expanded =
-      kernel == BatchKernel::kExpanded ||
-      (kernel == BatchKernel::kAuto && d >= kExpandedKernelMinDim);
-
-  // Materialize any norms the caller did not provide (amortized over the
-  // whole n × k scan, so per-call vectors are fine).
-  std::vector<double> pn_storage;
+  const bool expanded = ResolveExpandedKernel(kernel, d);
+  // Center norms the caller did not provide — computed from the matrix
+  // rows with the same SquaredNorm chain callers use, so provided and
+  // internal norms are bitwise interchangeable.
   std::vector<double> cn_storage;
-  if (expanded) {
-    if (point_norms == nullptr) {
-      pn_storage.resize(static_cast<size_t>(n));
-      for (int64_t i = 0; i < n; ++i) {
-        pn_storage[static_cast<size_t>(i)] =
-            SquaredNorm(points.Row(rows.begin + i), d);
-      }
-      point_norms = pn_storage.data();
+  if (expanded && center_norms == nullptr) {
+    cn_storage.resize(static_cast<size_t>(k));
+    for (int64_t c = 0; c < k; ++c) {
+      cn_storage[static_cast<size_t>(c)] =
+          SquaredNorm(centers.Row(first_center + c), d);
     }
-    if (center_norms == nullptr) {
-      cn_storage.resize(static_cast<size_t>(k));
-      for (int64_t c = 0; c < k; ++c) {
-        cn_storage[static_cast<size_t>(c)] =
-            SquaredNorm(centers.Row(first_center + c), d);
-      }
-      center_norms = cn_storage.data();
-    }
+    center_norms = cn_storage.data();
   }
+  CenterPanels panels;
+  panels.Pack(centers, first_center);
+  BatchNearestMerge(points, rows, point_norms, panels, center_norms,
+                    kernel, best_d2, best_index);
+}
 
-  // Pack every center panel once per call: panel p holds centers
-  // [first_center + p·kCenterTile, ...) in t-major order. Full panels use
-  // stride kCenterTile; the final residue panel uses its own width.
-  const int64_t full_panels = k / kCenterTile;
-  const int64_t tail_width = k % kCenterTile;
-  std::vector<double> packed(static_cast<size_t>(k * d));
-  for (int64_t c = 0; c < k; ++c) {
-    const int64_t panel = c / kCenterTile;
-    const bool in_tail = panel == full_panels;
-    const int64_t stride = in_tail ? tail_width : kCenterTile;
-    double* base = packed.data() + panel * kCenterTile * d;
-    const double* row = centers.Row(first_center + c);
-    const int64_t j = c % kCenterTile;
-    for (int64_t t = 0; t < d; ++t) base[t * stride + j] = row[t];
+void BatchTwoNearest(const Matrix& points, IndexRange rows,
+                     const double* point_norms, const CenterPanels& panels,
+                     const double* center_norms, BatchKernel kernel,
+                     int32_t* out_index, double* out_d1, double* out_d2) {
+  const int64_t n = rows.size();
+  for (int64_t i = 0; i < n; ++i) {
+    out_index[i] = -1;
+    out_d1[i] = std::numeric_limits<double>::infinity();
+    out_d2[i] = std::numeric_limits<double>::infinity();
   }
-
-  double acc0[kCenterTile];
-  double acc1[kCenterTile];
-
-  // best_index may be null (distance-only callers); keep pointer
-  // arithmetic off the null base.
-  const auto idx_at = [best_index](int64_t p) {
-    return best_index == nullptr ? nullptr : best_index + p;
-  };
-
-  // Loop nest: point tiles stream while each ~kCenterTile·d-double panel
-  // stays L1-resident across the whole tile.
-  for (int64_t pb = 0; pb < n; pb += kPointTile) {
-    const int64_t pe = std::min(pb + kPointTile, n);
-    for (int64_t panel = 0; panel * kCenterTile < k; ++panel) {
-      const int64_t c_off = panel * kCenterTile;
-      const int64_t count = std::min<int64_t>(kCenterTile, k - c_off);
-      const double* panel_data = packed.data() + c_off * d;
-      const int64_t c_base = first_center + c_off;
-      const double* cn = expanded ? center_norms + c_off : nullptr;
-      int64_t p = pb;
-      if (count == kCenterTile) {
-        for (; p + 2 <= pe; p += 2) {
-          if (expanded) {
-            DotPanel2(points.Row(rows.begin + p),
-                      points.Row(rows.begin + p + 1), panel_data, d, acc0,
-                      acc1);
-            MergeExpanded(acc0, count, point_norms[p], cn, c_base,
-                          best_d2 + p, idx_at(p));
-            MergeExpanded(acc1, count, point_norms[p + 1], cn, c_base,
-                          best_d2 + p + 1, idx_at(p + 1));
-          } else {
-            SqPanel2(points.Row(rows.begin + p),
-                     points.Row(rows.begin + p + 1), panel_data, d, acc0,
-                     acc1);
-            MergePlain(acc0, count, c_base, best_d2 + p, idx_at(p));
-            MergePlain(acc1, count, c_base, best_d2 + p + 1,
-                       idx_at(p + 1));
-          }
-        }
-        for (; p < pe; ++p) {
-          if (expanded) {
-            DotPanel1(points.Row(rows.begin + p), panel_data, d, acc0);
-            MergeExpanded(acc0, count, point_norms[p], cn, c_base,
-                          best_d2 + p, idx_at(p));
-          } else {
-            SqPanel1(points.Row(rows.begin + p), panel_data, d, acc0);
-            MergePlain(acc0, count, c_base, best_d2 + p, idx_at(p));
-          }
-        }
-      } else {
-        for (; p < pe; ++p) {
-          std::memset(acc0, 0, sizeof(acc0));
-          if (expanded) {
-            DotPanelTail(points.Row(rows.begin + p), panel_data, d, count,
-                         acc0);
-            MergeExpanded(acc0, count, point_norms[p], cn, c_base,
-                          best_d2 + p, idx_at(p));
-          } else {
-            SqPanelTail(points.Row(rows.begin + p), panel_data, d, count,
-                        acc0);
-            MergePlain(acc0, count, c_base, best_d2 + p, idx_at(p));
-          }
-        }
-      }
-    }
+  bool expanded = false;
+  if (!PrepareScan(points, rows, panels, center_norms, kernel, &expanded)) {
+    return;
   }
+  std::vector<double> pn_storage;
+  point_norms =
+      EnsurePointNorms(points, rows, expanded, point_norms, &pn_storage);
+  const int64_t base = panels.first_center();
+  // Two-best update with the sequential scan's tie semantics: a later
+  // equal distance never displaces the best (strict <) but does take the
+  // second slot only if strictly smaller than the incumbent second.
+  PanelScan(points, rows, point_norms, panels, center_norms, expanded,
+            [&](int64_t p, int64_t c_off, int64_t count,
+                const double* d2v) {
+              for (int64_t j = 0; j < count; ++j) {
+                const double v = d2v[j];
+                if (v < out_d1[p]) {
+                  out_d2[p] = out_d1[p];
+                  out_d1[p] = v;
+                  out_index[p] = static_cast<int32_t>(base + c_off + j);
+                } else if (v < out_d2[p]) {
+                  out_d2[p] = v;
+                }
+              }
+            });
+}
+
+void BatchDistances(const Matrix& points, IndexRange rows,
+                    const double* point_norms, const CenterPanels& panels,
+                    const double* center_norms, BatchKernel kernel,
+                    double* out_d2) {
+  bool expanded = false;
+  if (!PrepareScan(points, rows, panels, center_norms, kernel, &expanded)) {
+    return;
+  }
+  std::vector<double> pn_storage;
+  point_norms =
+      EnsurePointNorms(points, rows, expanded, point_norms, &pn_storage);
+  const int64_t k = panels.num_centers();
+  PanelScan(points, rows, point_norms, panels, center_norms, expanded,
+            [&](int64_t p, int64_t c_off, int64_t count,
+                const double* d2v) {
+              std::memcpy(out_d2 + p * k + c_off, d2v,
+                          static_cast<size_t>(count) * sizeof(double));
+            });
+}
+
+double PairSquaredL2(const double* a, const double* b, int64_t dim) {
+  if (kUseAvx2) return PairSqFma(a, b, dim);
+  double acc = 0.0;
+  for (int64_t t = 0; t < dim; ++t) {
+    double e = a[t] - b[t];
+    acc += e * e;
+  }
+  return acc;
+}
+
+double PairDotProduct(const double* a, const double* b, int64_t dim) {
+  if (kUseAvx2) return PairDotFma(a, b, dim);
+  double acc = 0.0;
+  for (int64_t t = 0; t < dim; ++t) acc += a[t] * b[t];
+  return acc;
 }
 
 }  // namespace kmeansll

@@ -1,14 +1,18 @@
 // Blocked batch-distance engine: the shared O(n·k·d) kernel layer.
 //
 // Every hot path in the library — k-means|| round updates, k-means++
-// seeding, Lloyd assignment, cost evaluation, minibatch, streaming
-// compression, and the MapReduce map phases — reduces to the same scan:
-// "for a block of points and a block of centers, find each point's
-// nearest center and its squared distance". This header provides that
-// scan once, tiled for cache reuse and register-blocked for ILP, instead
-// of the one-point × one-center loops each call site used to carry.
+// seeding, Lloyd assignment (standard, Hamerly, and Elkan), cost
+// evaluation, minibatch, streaming compression, and the MapReduce map
+// phases — reduces to the same scan: "for a block of points and a block
+// of centers, compute each point's distances and reduce them". This
+// header provides that scan once, tiled for cache reuse and
+// register-blocked for ILP, instead of the one-point × one-center loops
+// each call site used to carry. Three reductions share one loop nest and
+// one set of micro-kernels: nearest (argmin merge), two-nearest (for the
+// Hamerly bound), and store-all (for the Elkan bound matrix).
 //
-// Design (see README.md "Distance engine" for the full rationale):
+// Design (see docs/ARCHITECTURE.md and README.md "Distance engine" for
+// the full rationale):
 //  * Norm-expanded arithmetic: ||x - c||² = ||x||² + ||c||² - 2·x·c with
 //    precomputed row norms turns the inner loop into dot products — one
 //    load per operand instead of load+subtract — at the price of
@@ -18,7 +22,10 @@
 //  * Two-level blocking: every kCenterTile center rows are packed into a
 //    t-major panel that is revisited for each point in a kPointTile row
 //    block, so panels stay L1-resident while points stream through
-//    exactly once per panel.
+//    exactly once per panel. Panels can be packed once and reused across
+//    calls (CenterPanels) — the packing cost matters when callers scan
+//    few rows per call (minibatch batches, streaming blocks, the
+//    per-chunk ranges of a parallel pass).
 //  * Register micro-kernel: kMicroPoints points × one panel of
 //    kCenterTile centers are accumulated simultaneously in independent
 //    chains (explicit AVX2+FMA on capable x86-64, selected once at
@@ -31,12 +38,17 @@
 // order with strict-< argmin updates. A point's result therefore depends
 // only on its own row and the center set — never on tile placement or
 // thread count — so parallel callers chunking by kDeterministicChunks get
-// bitwise-identical outputs at any parallelism.
+// bitwise-identical outputs at any parallelism. PairSquaredL2 and
+// PairDotProduct reproduce that per-pair chain (including the FMA
+// contraction of the AVX2 kernels) one pair at a time, so code that must
+// interleave single distances with batched scans — the accelerated Lloyd
+// variants — stays bitwise-consistent with the engine.
 
 #ifndef KMEANSLL_DISTANCE_BATCH_H_
 #define KMEANSLL_DISTANCE_BATCH_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "matrix/matrix.h"
 #include "parallel/parallel_for.h"
@@ -80,6 +92,55 @@ inline constexpr int64_t kExpandedKernelMinDim = 32;
 /// cols >= kExpandedKernelMinDim.
 enum class BatchKernel { kAuto, kPlain, kExpanded };
 
+/// Center rows packed into the engine's t-major panel layout, reusable
+/// across scans while the packed centers are unchanged.
+///
+/// Packing is O(k·d) — trivial next to one n·k·d scan, but a scan that
+/// covers only a small row range pays it in full, and a chunked parallel
+/// pass used to pay it once per chunk (~kDeterministicChunks times per
+/// pass). Callers with a frozen center set (Lloyd assignment, minibatch,
+/// streaming compression) pack once and hand the panels to every
+/// FindRange-style call; NearestCenterSearch::Freeze wraps exactly that.
+///
+/// Panels hold bitwise copies of the center coordinates, so scanning via
+/// packed panels is bitwise identical to scanning the source matrix.
+/// The panels do NOT track the source matrix: mutating or destroying the
+/// packed rows leaves the panels stale, and it is the caller's job to
+/// Pack() again (see NearestCenterSearch::Freeze on invalidation).
+class CenterPanels {
+ public:
+  CenterPanels() = default;
+
+  /// Packs rows [first_center, centers.rows()) of `centers`. Full panels
+  /// use stride kCenterTile; the final residue panel (k mod kCenterTile
+  /// rows) is packed at its own width so small-k callers pay exact flops.
+  /// Repacking an already-packed object replaces its contents.
+  void Pack(const Matrix& centers, int64_t first_center = 0);
+
+  /// Returns to the empty (unpacked) state.
+  void Clear();
+
+  /// True when nothing is packed (also the state after Clear()).
+  bool empty() const { return num_centers_ == 0; }
+
+  /// Number of packed center rows.
+  int64_t num_centers() const { return num_centers_; }
+  /// Coordinate count of each packed row.
+  int64_t dim() const { return dim_; }
+  /// Row index (in the source matrix) of the first packed center; merged
+  /// argmin indices are absolute, i.e. offset by this.
+  int64_t first_center() const { return first_center_; }
+
+  /// Raw panel storage (layout documented in Pack); kernel use only.
+  const double* data() const { return packed_.data(); }
+
+ private:
+  std::vector<double> packed_;
+  int64_t num_centers_ = 0;
+  int64_t dim_ = 0;
+  int64_t first_center_ = 0;
+};
+
 /// Merges "nearest of centers rows [first_center, centers.rows())" into
 /// (best_d2, best_index) for every point row in [rows.begin, rows.end).
 ///
@@ -94,12 +155,87 @@ enum class BatchKernel { kAuto, kPlain, kExpanded };
 ///
 /// `point_norms` (entry i - rows.begin = ||row i||²) and `center_norms`
 /// (entry c - first_center = ||center c||²) are only read by the expanded
-/// kernel and may be null, in which case they are computed internally.
+/// kernel and may be null, in which case they are computed internally
+/// with SquaredNorm (so provided and internally-computed norms are
+/// bitwise interchangeable).
+///
+/// Packs the centers on every call; callers that reuse a frozen center
+/// set should pack once into CenterPanels and use the overload below.
 void BatchNearestMerge(const Matrix& points, IndexRange rows,
                        const double* point_norms, const Matrix& centers,
                        int64_t first_center, const double* center_norms,
                        BatchKernel kernel, double* best_d2,
                        int32_t* best_index);
+
+/// As above, but scanning pre-packed panels. Bitwise identical to the
+/// matrix overload for the same centers and kernel.
+///
+/// Preconditions: panels.dim() == points.cols(); when the resolved
+/// kernel is expanded, `center_norms` must be non-null (entry c =
+/// ||panel center c||², i.e. indexed relative to panels.first_center()) —
+/// panels store coordinates t-major, so norms cannot be recomputed here
+/// with the caller-visible SquaredNorm chain.
+void BatchNearestMerge(const Matrix& points, IndexRange rows,
+                       const double* point_norms,
+                       const CenterPanels& panels,
+                       const double* center_norms, BatchKernel kernel,
+                       double* best_d2, int32_t* best_index);
+
+/// Fresh two-nearest scan over pre-packed panels: for every point row in
+/// [rows.begin, rows.end) writes the absolute index of the nearest packed
+/// center (out_index), its squared distance (out_d1), and the
+/// second-smallest squared distance over the packed centers (out_d2).
+/// Output arrays are range-relative and need no initialization. Centers
+/// are visited in ascending index order with strict-< updates, so exact
+/// ties resolve exactly like the sequential reference scan
+/// (lowest-index center wins; an equal later distance only ever lands in
+/// out_d2). With a single packed center, out_d2 is +infinity.
+///
+/// This is the Hamerly-bound primitive: d1 seeds the upper bound and d2
+/// the lower bound of the full-scan points. Same kernel/norm
+/// preconditions as the panels overload of BatchNearestMerge.
+void BatchTwoNearest(const Matrix& points, IndexRange rows,
+                     const double* point_norms, const CenterPanels& panels,
+                     const double* center_norms, BatchKernel kernel,
+                     int32_t* out_index, double* out_d1, double* out_d2);
+
+/// Dense distance rows over pre-packed panels: out_d2[(i - rows.begin) ·
+/// panels.num_centers() + c] = ||points row i − packed center c||² for
+/// every point row in the range and every packed center. The values are
+/// the engine's (expanded results clamped at zero), bitwise identical to
+/// what the merge entry points reduce over. This is the Elkan-bound
+/// primitive (per-(point, center) lower bounds, k×k center separations).
+/// Same kernel/norm preconditions as the panels overload of
+/// BatchNearestMerge.
+void BatchDistances(const Matrix& points, IndexRange rows,
+                    const double* point_norms, const CenterPanels& panels,
+                    const double* center_norms, BatchKernel kernel,
+                    double* out_d2);
+
+/// Single-pair ||a − b||² evaluated with the engine's plain-kernel
+/// accumulation chain: one accumulator, coordinate order, fused
+/// multiply-add on machines where the AVX2+FMA micro-kernels are
+/// dispatched. Bitwise identical to the plain batch kernels' per-pair
+/// values — unlike SquaredL2 (distance/l2.h), whose 4-way unrolled chains
+/// differ in final ulps. Use this (not SquaredL2) wherever a single
+/// distance must agree exactly with a batched scan, e.g. the
+/// bound-tightening probes of the accelerated Lloyd variants.
+double PairSquaredL2(const double* a, const double* b, int64_t dim);
+
+/// Single-pair dot product with the engine's expanded-kernel chain (see
+/// PairSquaredL2). SquaredL2Expanded(||a||², ||b||², PairDotProduct(a, b,
+/// d)) reproduces the expanded batch kernels' per-pair value bitwise,
+/// provided the norms come from SquaredNorm/RowSquaredNorms like the
+/// engine's.
+double PairDotProduct(const double* a, const double* b, int64_t dim);
+
+/// Resolves kAuto against the dimension: expanded iff
+/// dim >= kExpandedKernelMinDim. All engine entry points and
+/// NearestCenterSearch share this rule.
+inline bool ResolveExpandedKernel(BatchKernel kernel, int64_t dim) {
+  return kernel == BatchKernel::kExpanded ||
+         (kernel == BatchKernel::kAuto && dim >= kExpandedKernelMinDim);
+}
 
 }  // namespace kmeansll
 

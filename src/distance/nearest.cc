@@ -33,6 +33,24 @@ NearestCenterSearch::NearestCenterSearch(const Matrix& centers, Kernel kernel)
   if (use_expanded_) center_norms_ = RowSquaredNorms(centers_);
 }
 
+void NearestCenterSearch::Freeze() {
+  // Re-validation point: Freeze() must refresh the norms alongside the
+  // panels so both snapshots describe the same center values — even on
+  // the first Freeze, where the centers may have been mutated since
+  // construction. The redundant O(k·d) norm pass in the common
+  // construct-then-immediately-Freeze pattern is noise next to any scan
+  // that follows; a silent stale-norm snapshot would corrupt every
+  // expanded-kernel distance with no check firing.
+  if (use_expanded_) center_norms_ = RowSquaredNorms(centers_);
+  panels_.Pack(centers_);
+  frozen_ = true;
+}
+
+void NearestCenterSearch::Unfreeze() {
+  panels_.Clear();
+  frozen_ = false;
+}
+
 NearestResult NearestCenterSearch::Find(const double* point) const {
   if (use_expanded_) {
     return FindWithNorm(point, SquaredNorm(point, centers_.cols()));
@@ -47,11 +65,13 @@ NearestResult NearestCenterSearch::FindWithNorm(const double* point,
   best.distance2 = std::numeric_limits<double>::infinity();
   const int64_t k = centers_.rows();
   const int64_t d = centers_.cols();
+  // Pair* evaluators, not SquaredL2/DotProduct: the scalar reference path
+  // must produce the engine's per-pair values bitwise (see batch.h).
   if (use_expanded_) {
     for (int64_t c = 0; c < k; ++c) {
       double d2 = SquaredL2Expanded(
           point_norm2, center_norms_[static_cast<size_t>(c)],
-          DotProduct(point, centers_.Row(c), d));
+          PairDotProduct(point, centers_.Row(c), d));
       if (d2 < best.distance2) {
         best.distance2 = d2;
         best.index = c;
@@ -59,7 +79,7 @@ NearestResult NearestCenterSearch::FindWithNorm(const double* point,
     }
   } else {
     for (int64_t c = 0; c < k; ++c) {
-      double d2 = SquaredL2(point, centers_.Row(c), d);
+      double d2 = PairSquaredL2(point, centers_.Row(c), d);
       if (d2 < best.distance2) {
         best.distance2 = d2;
         best.index = c;
@@ -81,29 +101,53 @@ void NearestCenterSearch::FindRange(const Matrix& points, IndexRange rows,
   if (out_index != nullptr) {
     for (int64_t i = 0; i < n; ++i) out_index[i] = -1;
   }
-  BatchNearestMerge(
-      points, rows, point_norms, centers_, /*first_center=*/0,
-      use_expanded_ ? center_norms_.data() : nullptr,
-      use_expanded_ ? BatchKernel::kExpanded : BatchKernel::kPlain, out_d2,
-      out_index);
+  if (frozen_) {
+    BatchNearestMerge(points, rows, point_norms, panels_,
+                      center_norms_or_null(), batch_kernel(), out_d2,
+                      out_index);
+    return;
+  }
+  BatchNearestMerge(points, rows, point_norms, centers_,
+                    /*first_center=*/0, center_norms_or_null(),
+                    batch_kernel(), out_d2, out_index);
 }
 
 void NearestCenterSearch::FindAll(const Matrix& points,
                                   std::vector<int32_t>* out_index,
                                   std::vector<double>* out_d2,
-                                  ThreadPool* pool) const {
+                                  ThreadPool* pool,
+                                  const double* point_norms) const {
   const int64_t n = points.rows();
   if (out_index != nullptr) out_index->resize(static_cast<size_t>(n));
   out_d2->resize(static_cast<size_t>(n));
+  // Pack at most once per call: without a frozen snapshot the chunks
+  // below would otherwise each re-pack the full center set.
+  CenterPanels local;
+  const CenterPanels* panels = &panels_;
+  if (!frozen_) {
+    local.Pack(centers_);
+    panels = &local;
+  }
   // Chunk on the fixed deterministic grid in the sequential path too, so
   // tile origins — and therefore results — are identical with and without
   // a pool even when codegen contracts the kernels differently.
   std::vector<IndexRange> chunks = MakeChunks(n, kDeterministicChunks);
   auto body = [&](IndexRange r) {
-    FindRange(points, r, nullptr,
-              out_index == nullptr ? nullptr
-                                   : out_index->data() + r.begin,
-              out_d2->data() + r.begin);
+    const int64_t len = r.size();
+    double* d2 = out_d2->data() + r.begin;
+    for (int64_t i = 0; i < len; ++i) {
+      d2[i] = std::numeric_limits<double>::infinity();
+    }
+    int32_t* idx = nullptr;
+    if (out_index != nullptr) {
+      idx = out_index->data() + r.begin;
+      for (int64_t i = 0; i < len; ++i) idx[i] = -1;
+    }
+    BatchNearestMerge(points, r,
+                      point_norms == nullptr ? nullptr
+                                             : point_norms + r.begin,
+                      *panels, center_norms_or_null(), batch_kernel(), d2,
+                      idx);
   };
   if (pool == nullptr) {
     for (const IndexRange& r : chunks) body(r);
@@ -113,6 +157,41 @@ void NearestCenterSearch::FindAll(const Matrix& points,
     }
     pool->Wait();
   }
+}
+
+void NearestCenterSearch::FindTwoNearestRange(const Matrix& points,
+                                              IndexRange rows,
+                                              const double* point_norms,
+                                              int32_t* out_index,
+                                              double* out_d1,
+                                              double* out_d2) const {
+  KMEANSLL_DCHECK(centers_.rows() > 0);
+  if (frozen_) {
+    BatchTwoNearest(points, rows, point_norms, panels_,
+                    center_norms_or_null(), batch_kernel(), out_index,
+                    out_d1, out_d2);
+    return;
+  }
+  CenterPanels local;
+  local.Pack(centers_);
+  BatchTwoNearest(points, rows, point_norms, local, center_norms_or_null(),
+                  batch_kernel(), out_index, out_d1, out_d2);
+}
+
+void NearestCenterSearch::DistancesRange(const Matrix& points,
+                                         IndexRange rows,
+                                         const double* point_norms,
+                                         double* out_d2) const {
+  KMEANSLL_DCHECK(centers_.rows() > 0);
+  if (frozen_) {
+    BatchDistances(points, rows, point_norms, panels_,
+                   center_norms_or_null(), batch_kernel(), out_d2);
+    return;
+  }
+  CenterPanels local;
+  local.Pack(centers_);
+  BatchDistances(points, rows, point_norms, local, center_norms_or_null(),
+                 batch_kernel(), out_d2);
 }
 
 MinDistanceTracker::MinDistanceTracker(const Dataset& data, ThreadPool* pool)
@@ -134,8 +213,14 @@ double MinDistanceTracker::AddCenters(const Matrix& centers, int64_t first) {
   if (expanded && point_norms_.empty() && data_.n() > 0) {
     point_norms_ = RowSquaredNorms(data_.points(), pool_);
   }
+  // Normalized base pointer: never form `data() + offset` on an empty
+  // vector (the plain kernel keeps no norms; an empty dataset keeps
+  // none either).
+  const double* norms_base =
+      point_norms_.empty() ? nullptr : point_norms_.data();
+
   // Norms for just the newly added center rows (tiny next to the n·k·d
-  // scan; indexed relative to `first` as BatchNearestMerge expects).
+  // scan; indexed relative to `first` as the engine expects).
   std::vector<double> new_center_norms;
   if (expanded) {
     const int64_t added = centers.rows() - first;
@@ -145,6 +230,10 @@ double MinDistanceTracker::AddCenters(const Matrix& centers, int64_t first) {
           SquaredNorm(centers.Row(c), d);
     }
   }
+  // Pack the new rows once per call; every chunk of the parallel pass
+  // below scans the same panels instead of re-packing them.
+  CenterPanels panels;
+  panels.Pack(centers, first);
 
   // One blocked pass: merge the new centers into (min_d2, closest) and
   // fold the updated potential into per-chunk Kahan partials, combined in
@@ -152,7 +241,7 @@ double MinDistanceTracker::AddCenters(const Matrix& centers, int64_t first) {
   auto map = [&](IndexRange r) {
     BatchNearestMerge(
         data_.points(), r,
-        expanded ? point_norms_.data() + r.begin : nullptr, centers, first,
+        norms_base == nullptr ? nullptr : norms_base + r.begin, panels,
         expanded ? new_center_norms.data() : nullptr,
         expanded ? BatchKernel::kExpanded : BatchKernel::kPlain,
         min_d2_.data() + r.begin, closest_.data() + r.begin);

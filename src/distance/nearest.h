@@ -2,9 +2,14 @@
 //
 // NearestCenterSearch answers "which center is closest to x, and at what
 // squared distance" for a frozen center set. The single-point Find is the
-// scalar reference path; FindRange/FindAll route whole blocks of points
-// through the blocked batch engine (distance/batch.h), which is what every
-// O(n·k·d) consumer in the library uses.
+// scalar reference path; FindRange/FindAll (and the two-nearest /
+// all-distances variants feeding the accelerated Lloyd bounds) route
+// whole blocks of points through the blocked batch engine
+// (distance/batch.h), which is what every O(n·k·d) consumer in the
+// library uses. Freeze() additionally caches the engine's packed center
+// panels inside the search, so repeated batch queries against the same
+// centers — chunked parallel passes, minibatch iterations, streaming
+// blocks — stop re-packing the panels per call.
 //
 // MinDistanceTracker maintains d²(x, C) for every point x while C grows —
 // the data structure behind both k-means++ (Algorithm 1) and each round of
@@ -37,6 +42,12 @@ struct NearestResult {
 };
 
 /// Search over a frozen k × d center matrix.
+///
+/// Determinism: the scalar Find path and every batched path evaluate
+/// distances with the engine's per-pair accumulation chains
+/// (PairSquaredL2 / PairDotProduct match the panel kernels bitwise), so
+/// Find, FindRange, FindAll, and the two-nearest/all-distances variants
+/// agree bitwise on values and argmin ties for the same kernel choice.
 class NearestCenterSearch {
  public:
   /// Kernel selection; kAuto picks expanded for
@@ -44,22 +55,48 @@ class NearestCenterSearch {
   /// threshold measured in bench/bm_batch_distance).
   enum class Kernel { kAuto, kPlain, kExpanded };
 
+  /// Binds the search to `centers` (not owned; must outlive the search
+  /// and stay unchanged between queries unless Freeze() is re-run — see
+  /// below). Computes the k center norms when the expanded kernel is
+  /// selected; does not pack panels (see Freeze).
   explicit NearestCenterSearch(const Matrix& centers,
                                Kernel kernel = Kernel::kAuto);
 
+  /// Packs the center panels (and refreshes the center norms) once, so
+  /// every subsequent batch query reuses them instead of re-packing per
+  /// call. Call before handing the search to concurrent FindRange
+  /// callers (Freeze itself is not thread-safe; the frozen queries are).
+  ///
+  /// Invalidation contract: the panels are a bitwise snapshot. After
+  /// mutating the bound center matrix in place, call Freeze() again to
+  /// re-validate (or Unfreeze() to fall back to per-call packing);
+  /// queries between the mutation and the re-Freeze see the stale
+  /// snapshot.
+  void Freeze();
+
+  /// Drops the cached panels; batch queries pack per call again.
+  void Unfreeze();
+
+  /// True while a packed-panel snapshot is cached.
+  bool frozen() const { return frozen_; }
+
   /// Closest center to `point` (dim must match). Centers must be
-  /// non-empty. Scalar reference path — one point, one center at a time.
+  /// non-empty. Scalar reference path — one point, one center at a time,
+  /// bitwise-consistent with the batched paths (see class comment).
   NearestResult Find(const double* point) const;
 
   /// Closest center given the caller-precomputed ||point||² (only used by
-  /// the expanded kernel; ignored otherwise).
+  /// the expanded kernel; ignored otherwise). The norm must come from
+  /// SquaredNorm/RowSquaredNorms to stay bitwise-consistent with the
+  /// batched paths.
   NearestResult FindWithNorm(const double* point, double point_norm2) const;
 
   /// Batched: nearest center for rows [rows.begin, rows.end) of `points`
   /// via the blocked engine. Writes out_index[i - rows.begin] (center row)
   /// and out_d2[i - rows.begin]; the output arrays need no
   /// initialization. `point_norms` (indexed i - rows.begin) may be null,
-  /// as may `out_index` for distance-only callers.
+  /// as may `out_index` for distance-only callers. Uses the frozen panel
+  /// snapshot when present, else packs per call.
   void FindRange(const Matrix& points, IndexRange rows,
                  const double* point_norms, int32_t* out_index,
                  double* out_d2) const;
@@ -67,16 +104,52 @@ class NearestCenterSearch {
   /// Batched: nearest center for every row of `points`, chunked over
   /// `pool` (null runs inline). Results are bitwise identical at any
   /// thread count (fixed kDeterministicChunks chunking). `out_index` may
-  /// be null for distance-only callers.
+  /// be null for distance-only callers; `point_norms` (indexed by row of
+  /// `points`, length points.rows()) may be null. Packs panels at most
+  /// once per call even when not frozen.
   void FindAll(const Matrix& points, std::vector<int32_t>* out_index,
-               std::vector<double>* out_d2, ThreadPool* pool = nullptr) const;
+               std::vector<double>* out_d2, ThreadPool* pool = nullptr,
+               const double* point_norms = nullptr) const;
+
+  /// Batched two-nearest (fresh scan): for rows [rows.begin, rows.end)
+  /// writes the nearest center's row (out_index), its squared distance
+  /// (out_d1), and the second-smallest squared distance (out_d2), all
+  /// range-relative and uninitialized on entry. Exact ties resolve like
+  /// the sequential ascending scan (lowest index wins; k = 1 leaves
+  /// out_d2 at +infinity). This feeds the Hamerly bounds.
+  void FindTwoNearestRange(const Matrix& points, IndexRange rows,
+                           const double* point_norms, int32_t* out_index,
+                           double* out_d1, double* out_d2) const;
+
+  /// Batched dense distances: out_d2[(i - rows.begin) · k + c] =
+  /// d²(points row i, center c) for every center, with the engine's
+  /// values (expanded results clamped at zero). This feeds the Elkan
+  /// bounds and the k × k center-separation table.
+  void DistancesRange(const Matrix& points, IndexRange rows,
+                      const double* point_norms, double* out_d2) const;
 
   int64_t num_centers() const { return centers_.rows(); }
   bool uses_expanded_kernel() const { return use_expanded_; }
 
+  /// The cached ||center||² row norms (empty under the plain kernel).
+  /// Computed with RowSquaredNorms, so callers that need the same values
+  /// for scalar probes (the accelerated Lloyd variants) can share this
+  /// vector instead of recomputing it. Refreshed by Freeze().
+  const std::vector<double>& center_norms() const { return center_norms_; }
+
  private:
+  /// Engine kernel matching use_expanded_.
+  BatchKernel batch_kernel() const {
+    return use_expanded_ ? BatchKernel::kExpanded : BatchKernel::kPlain;
+  }
+  const double* center_norms_or_null() const {
+    return use_expanded_ ? center_norms_.data() : nullptr;
+  }
+
   const Matrix& centers_;  // not owned; must outlive the search
   std::vector<double> center_norms_;
+  CenterPanels panels_;  // packed snapshot; valid iff frozen_
+  bool frozen_ = false;
   bool use_expanded_;
 };
 
@@ -87,16 +160,19 @@ class MinDistanceTracker {
  public:
   /// Starts with an empty center set: all distances are +infinity and the
   /// potential is undefined until the first center is added. `pool` (may
-  /// be null) parallelizes AddCenters; the fixed chunking keeps results
-  /// bitwise identical across thread counts.
+  /// be null — the sequential initializers pass none and every internal
+  /// pass handles that uniformly; no ThreadPool is ever dereferenced on
+  /// the null path) parallelizes AddCenters; the fixed chunking keeps
+  /// results bitwise identical across thread counts.
   explicit MinDistanceTracker(const Dataset& data,
                               ThreadPool* pool = nullptr);
 
   /// Accounts rows [first, centers.rows()) of `centers` as newly added,
   /// updating every point's min distance in one blocked parallel pass that
   /// also folds the new potential into per-chunk partials (no separate
-  /// O(n) re-summation). Returns the new potential
-  /// φ_X(C) = Σ_x w_x · d²(x, C).
+  /// O(n) re-summation). The new rows are packed into panels once per
+  /// call (not once per chunk) and shared by all chunks. Returns the new
+  /// potential φ_X(C) = Σ_x w_x · d²(x, C).
   double AddCenters(const Matrix& centers, int64_t first);
 
   /// Squared distance from point i to the current center set.
@@ -122,7 +198,7 @@ class MinDistanceTracker {
 
  private:
   const Dataset& data_;  // not owned; must outlive the tracker
-  ThreadPool* pool_;     // not owned; may be null
+  ThreadPool* pool_;     // not owned; may be null (sequential pass)
   std::vector<double> min_d2_;
   std::vector<int32_t> closest_;
   std::vector<double> point_norms_;  // lazily cached across rounds
@@ -131,6 +207,8 @@ class MinDistanceTracker {
 
 /// Per-row squared norms of a matrix (used by the expanded kernel),
 /// computed in parallel over `pool` (null runs inline; results identical).
+/// Uses the SquaredNorm chain, so these norms are the ones every engine
+/// entry point expects (and computes itself when passed null).
 std::vector<double> RowSquaredNorms(const Matrix& m,
                                     ThreadPool* pool = nullptr);
 

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <memory>
@@ -151,6 +152,195 @@ TEST(BatchEngineTest, MergeKeepsExistingOnTie) {
                     BatchKernel::kPlain, &best_d2, &best_idx);
   EXPECT_EQ(best_idx, 7);
   EXPECT_EQ(best_d2, 4.0 * d);
+}
+
+// --- Scalar / batched chain consistency ---------------------------------
+
+// The scalar Find path and the blocked batch path must agree BITWISE
+// (values, not just argmin): both run the engine's per-pair accumulation
+// chains (PairSquaredL2 / PairDotProduct mirror the panel kernels,
+// including FMA contraction on AVX2 machines).
+TEST(BatchEngineTest, ScalarAndBatchedValuesBitwiseEqual) {
+  for (auto kernel : {NearestCenterSearch::Kernel::kPlain,
+                      NearestCenterSearch::Kernel::kExpanded}) {
+    const int64_t n = 97, k = 23, d = 33;
+    Matrix points = RandomMatrix(n, d, 555, 3.0);
+    Matrix centers = RandomMatrix(k, d, 666, 3.0);
+    NearestCenterSearch search(centers, kernel);
+    std::vector<int32_t> idx(static_cast<size_t>(n));
+    std::vector<double> d2(static_cast<size_t>(n));
+    search.FindRange(points, IndexRange{0, n}, nullptr, idx.data(),
+                     d2.data());
+    for (int64_t i = 0; i < n; ++i) {
+      NearestResult expected = search.Find(points.Row(i));
+      EXPECT_EQ(idx[static_cast<size_t>(i)], expected.index);
+      EXPECT_EQ(d2[static_cast<size_t>(i)], expected.distance2)  // bitwise
+          << "point " << i << " expanded="
+          << (kernel == NearestCenterSearch::Kernel::kExpanded);
+    }
+  }
+}
+
+// --- Panel cache (Freeze) ------------------------------------------------
+
+TEST(PanelCacheTest, FrozenQueriesBitwiseEqualUnfrozen) {
+  const int64_t n = 130, k = 37, d = 40;
+  Matrix points = RandomMatrix(n, d, 777, 2.0);
+  Matrix centers = RandomMatrix(k, d, 888, 2.0);
+
+  NearestCenterSearch unfrozen(centers);
+  NearestCenterSearch frozen(centers);
+  frozen.Freeze();
+  EXPECT_TRUE(frozen.frozen());
+  EXPECT_FALSE(unfrozen.frozen());
+
+  std::vector<int32_t> idx_a(static_cast<size_t>(n)), idx_b(idx_a);
+  std::vector<double> d2_a(static_cast<size_t>(n)), d2_b(d2_a);
+  unfrozen.FindRange(points, IndexRange{0, n}, nullptr, idx_a.data(),
+                     d2_a.data());
+  frozen.FindRange(points, IndexRange{0, n}, nullptr, idx_b.data(),
+                   d2_b.data());
+  EXPECT_EQ(idx_a, idx_b);
+  EXPECT_EQ(d2_a, d2_b);  // bitwise
+
+  std::vector<int32_t> all_a, all_b;
+  std::vector<double> alld_a, alld_b;
+  unfrozen.FindAll(points, &all_a, &alld_a);
+  frozen.FindAll(points, &all_b, &alld_b);
+  EXPECT_EQ(all_a, all_b);
+  EXPECT_EQ(alld_a, alld_b);  // bitwise
+
+  frozen.Unfreeze();
+  EXPECT_FALSE(frozen.frozen());
+  frozen.FindRange(points, IndexRange{0, n}, nullptr, idx_b.data(),
+                   d2_b.data());
+  EXPECT_EQ(d2_a, d2_b);
+}
+
+// The invalidation contract: a frozen search is a snapshot; mutating the
+// bound centers leaves it stale until the caller re-freezes, after which
+// queries see the new centers exactly.
+TEST(PanelCacheTest, RefreezeRevalidatesAfterCenterUpdate) {
+  const int64_t n = 64, k = 19, d = 40;
+  Matrix points = RandomMatrix(n, d, 1111, 2.0);
+  Matrix centers = RandomMatrix(k, d, 2222, 2.0);
+
+  NearestCenterSearch search(centers);
+  search.Freeze();
+  std::vector<double> before(static_cast<size_t>(n));
+  search.FindRange(points, IndexRange{0, n}, nullptr, nullptr,
+                   before.data());
+
+  // Mutate every center in place (a minibatch-style gradient step).
+  rng::Rng rng(3333);
+  for (int64_t c = 0; c < k; ++c) {
+    for (int64_t j = 0; j < d; ++j) {
+      centers.At(c, j) += 0.5 * rng.NextGaussian();
+    }
+  }
+
+  // Stale snapshot: still bitwise the pre-mutation results.
+  std::vector<double> stale(static_cast<size_t>(n));
+  search.FindRange(points, IndexRange{0, n}, nullptr, nullptr,
+                   stale.data());
+  EXPECT_EQ(stale, before);
+
+  // Re-freeze: matches a fresh search over the mutated centers bitwise,
+  // in both the batched and the scalar path.
+  search.Freeze();
+  NearestCenterSearch fresh(centers);
+  std::vector<int32_t> idx_a(static_cast<size_t>(n)), idx_b(idx_a);
+  std::vector<double> after(static_cast<size_t>(n)),
+      expected(static_cast<size_t>(n));
+  search.FindRange(points, IndexRange{0, n}, nullptr, idx_a.data(),
+                   after.data());
+  fresh.FindRange(points, IndexRange{0, n}, nullptr, idx_b.data(),
+                  expected.data());
+  EXPECT_EQ(after, expected);  // bitwise
+  EXPECT_EQ(idx_a, idx_b);
+  EXPECT_NE(after, before);  // the update actually changed the answers
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(search.Find(points.Row(i)).distance2,
+              fresh.Find(points.Row(i)).distance2);
+  }
+}
+
+// --- Two-nearest and dense-distance scans --------------------------------
+
+TEST(BatchEngineTest, TwoNearestMatchesSequentialReference) {
+  for (const Shape& s : kShapes) {
+    Matrix points = RandomMatrix(s.n, s.d, 1200 + s.n, 4.0);
+    Matrix centers = RandomMatrix(s.k, s.d, 1300 + s.k, 4.0);
+    NearestCenterSearch search(centers);
+    search.Freeze();
+    std::vector<int32_t> idx(static_cast<size_t>(s.n));
+    std::vector<double> d1(static_cast<size_t>(s.n));
+    std::vector<double> d2(static_cast<size_t>(s.n));
+    search.FindTwoNearestRange(points, IndexRange{0, s.n}, nullptr,
+                               idx.data(), d1.data(), d2.data());
+    // Reference: dense distances reduced sequentially with the same tie
+    // semantics.
+    std::vector<double> dense(static_cast<size_t>(s.n * s.k));
+    search.DistancesRange(points, IndexRange{0, s.n}, nullptr,
+                          dense.data());
+    for (int64_t i = 0; i < s.n; ++i) {
+      int64_t best = -1;
+      double b1 = std::numeric_limits<double>::infinity();
+      double b2 = std::numeric_limits<double>::infinity();
+      for (int64_t c = 0; c < s.k; ++c) {
+        double v = dense[static_cast<size_t>(i * s.k + c)];
+        if (v < b1) {
+          b2 = b1;
+          b1 = v;
+          best = c;
+        } else if (v < b2) {
+          b2 = v;
+        }
+      }
+      EXPECT_EQ(idx[static_cast<size_t>(i)], best) << "point " << i;
+      EXPECT_EQ(d1[static_cast<size_t>(i)], b1) << "point " << i;
+      EXPECT_EQ(d2[static_cast<size_t>(i)], b2) << "point " << i;
+    }
+  }
+}
+
+TEST(BatchEngineTest, DistancesMatchScalarPairChains) {
+  const int64_t n = 70, k = 21;
+  for (int64_t d : {8, 40}) {  // plain and expanded kAuto regimes
+    Matrix points = RandomMatrix(n, d, 1400 + d, 3.0);
+    Matrix centers = RandomMatrix(k, d, 1500 + d, 3.0);
+    NearestCenterSearch search(centers);
+    std::vector<double> dense(static_cast<size_t>(n * k));
+    search.DistancesRange(points, IndexRange{0, n}, nullptr, dense.data());
+    std::vector<double> center_norms = RowSquaredNorms(centers);
+    for (int64_t i = 0; i < n; ++i) {
+      double pn = SquaredNorm(points.Row(i), d);
+      for (int64_t c = 0; c < k; ++c) {
+        double expected =
+            search.uses_expanded_kernel()
+                ? SquaredL2Expanded(
+                      pn, center_norms[static_cast<size_t>(c)],
+                      PairDotProduct(points.Row(i), centers.Row(c), d))
+                : PairSquaredL2(points.Row(i), centers.Row(c), d);
+        EXPECT_EQ(dense[static_cast<size_t>(i * k + c)], expected)
+            << "i=" << i << " c=" << c << " d=" << d;  // bitwise
+      }
+    }
+  }
+}
+
+TEST(BatchEngineTest, TwoNearestSingleCenterLeavesSecondInfinite) {
+  Matrix centers = RandomMatrix(1, 12, 1600);
+  Matrix points = RandomMatrix(5, 12, 1700);
+  NearestCenterSearch search(centers);
+  std::vector<int32_t> idx(5);
+  std::vector<double> d1(5), d2(5);
+  search.FindTwoNearestRange(points, IndexRange{0, 5}, nullptr, idx.data(),
+                             d1.data(), d2.data());
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(idx[static_cast<size_t>(i)], 0);
+    EXPECT_TRUE(std::isinf(d2[static_cast<size_t>(i)]));
+  }
 }
 
 // --- Bitwise determinism across thread counts ---------------------------
