@@ -1,0 +1,163 @@
+// Benchmark for the out-of-core storage layer (data/shard_store.h):
+// rows/sec streamed through the cost reduction over a ShardedDataset —
+// with an unbounded window (every shard stays mapped after first touch)
+// and with a window of two shards (the eviction/re-map regime) — against
+// the in-memory Dataset path. Raw view-iteration throughput is measured
+// separately so the mmap overhead is visible without kernel time.
+//
+// Items processed = rows streamed, so all variants compare directly.
+// "Smoke" names run under ctest at tiny sizes so the binary cannot rot.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "clustering/cost.h"
+#include "data/shard_store.h"
+#include "matrix/dataset.h"
+#include "matrix/dataset_view.h"
+#include "matrix/matrix.h"
+#include "rng/rng.h"
+
+namespace kmeansll {
+namespace {
+
+constexpr int64_t kNumShards = 8;
+
+Dataset RandomData(int64_t n, int64_t d, uint64_t seed) {
+  rng::Rng rng(seed);
+  Matrix m(n, d);
+  for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = rng.NextGaussian();
+  return Dataset(std::move(m));
+}
+
+Matrix RandomCenters(int64_t k, int64_t d, uint64_t seed) {
+  rng::Rng rng(seed);
+  Matrix m(k, d);
+  for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = rng.NextGaussian();
+  return m;
+}
+
+/// Writes `data` as kNumShards shards under a unique temp prefix and
+/// opens it with the given window (0 = unbounded).
+std::unique_ptr<data::ShardedDataset> OpenSharded(
+    const Dataset& data, const std::string& tag,
+    int64_t max_resident_bytes) {
+  std::string manifest = "/tmp/bm_shard_stream_" + tag + ".kml";
+  auto written = data::WriteShards(
+      data, manifest, data::ShardWriteOptions{.num_shards = kNumShards});
+  if (!written.ok()) return nullptr;
+  data::ShardedDatasetOptions options;
+  options.max_resident_bytes = max_resident_bytes;
+  auto sharded = data::ShardedDataset::Open(manifest, options);
+  if (!sharded.ok()) return nullptr;
+  return std::make_unique<data::ShardedDataset>(
+      std::move(sharded).ValueOrDie());
+}
+
+/// Window covering roughly two of the kNumShards shards.
+int64_t TwoShardWindow(int64_t n, int64_t d) {
+  return 2 * (32 + (n / kNumShards + 1) * d * 8);
+}
+
+void StreamGrid(benchmark::internal::Benchmark* b) {
+  b->Args({65536, 64, 32});
+  b->Args({65536, 64, 128});
+}
+
+// --- Cost scan: in-memory vs sharded (unbounded / windowed) --------------
+
+void BM_CostInMemory(benchmark::State& state) {
+  const int64_t n = state.range(0), k = state.range(1), d = state.range(2);
+  Dataset data = RandomData(n, d, 1);
+  Matrix centers = RandomCenters(k, d, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeCost(data, centers));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CostInMemory)->Apply(StreamGrid);
+
+void BM_CostShardedResident(benchmark::State& state) {
+  const int64_t n = state.range(0), k = state.range(1), d = state.range(2);
+  Dataset data = RandomData(n, d, 1);
+  Matrix centers = RandomCenters(k, d, 2);
+  auto sharded = OpenSharded(data, "resident", /*max_resident_bytes=*/0);
+  if (sharded == nullptr) {
+    state.SkipWithError("shard setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeCost(*sharded, centers));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CostShardedResident)->Apply(StreamGrid);
+
+void BM_CostShardedWindowed(benchmark::State& state) {
+  const int64_t n = state.range(0), k = state.range(1), d = state.range(2);
+  Dataset data = RandomData(n, d, 1);
+  Matrix centers = RandomCenters(k, d, 2);
+  auto sharded = OpenSharded(data, "windowed", TwoShardWindow(n, d));
+  if (sharded == nullptr) {
+    state.SkipWithError("shard setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeCost(*sharded, centers));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["evictions"] = static_cast<double>(
+      sharded->io_stats().evictions);
+}
+BENCHMARK(BM_CostShardedWindowed)->Apply(StreamGrid);
+
+// --- Raw streaming throughput (no distance kernel) -----------------------
+
+void BM_StreamRowsWindowed(benchmark::State& state) {
+  const int64_t n = state.range(0), d = state.range(2);
+  Dataset data = RandomData(n, d, 1);
+  auto sharded = OpenSharded(data, "raw", TwoShardWindow(n, d));
+  if (sharded == nullptr) {
+    state.SkipWithError("shard setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    double sum = 0;
+    ForEachBlock(*sharded, 0, sharded->n(), [&](const DatasetView& v) {
+      for (int64_t i = 0; i < v.rows(); ++i) sum += v.Point(i)[0];
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StreamRowsWindowed)->Apply(StreamGrid);
+
+// --- ctest smoke (tiny shapes; see CMakeLists) ---------------------------
+
+void BM_SmokeShardStream(benchmark::State& state) {
+  const int64_t n = 512, k = 8, d = 16;
+  Dataset data = RandomData(n, d, 1);
+  Matrix centers = RandomCenters(k, d, 2);
+  auto sharded = OpenSharded(data, "smoke", TwoShardWindow(n, d));
+  if (sharded == nullptr) {
+    state.SkipWithError("shard setup failed");
+    return;
+  }
+  const double expected = ComputeCost(data, centers);
+  for (auto _ : state) {
+    double cost = ComputeCost(*sharded, centers);
+    if (cost != expected) {
+      state.SkipWithError("sharded cost diverged from in-memory cost");
+      return;
+    }
+    benchmark::DoNotOptimize(cost);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SmokeShardStream);
+
+}  // namespace
+}  // namespace kmeansll

@@ -10,8 +10,17 @@
 
 namespace kmeansll {
 
-double ComputeCost(const Dataset& data, const Matrix& centers,
-                   ThreadPool* pool, const double* point_norms) {
+namespace {
+
+/// Shared reduction behind ComputeCost / ComputeAssignment: one frozen-
+/// panel scan over the source, folding w_x * d2(x, C) into per-chunk
+/// Kahan partials (combined in chunk order) and optionally writing the
+/// argmin indices. Rows within a chunk are visited block by block in
+/// ascending order, so the accumulation chain — and hence the result —
+/// is bitwise independent of how the source splits rows into blocks.
+double NearestReduce(const DatasetSource& data, const Matrix& centers,
+                     ThreadPool* pool, const double* point_norms,
+                     int32_t* out_cluster) {
   KMEANSLL_CHECK_GT(centers.rows(), 0);
   KMEANSLL_CHECK_EQ(centers.cols(), data.dim());
   NearestCenterSearch search(centers);
@@ -19,15 +28,19 @@ double ComputeCost(const Dataset& data, const Matrix& centers,
   // workers running them) all scan the same frozen snapshot.
   search.Freeze();
   auto map = [&](IndexRange r) {
-    std::vector<double> d2(static_cast<size_t>(r.size()));
-    search.FindRange(data.points(), r,
-                     point_norms == nullptr ? nullptr
-                                            : point_norms + r.begin,
-                     /*out_index=*/nullptr, d2.data());
     KahanSum partial;
-    for (int64_t i = r.begin; i < r.end; ++i) {
-      partial.Add(data.Weight(i) * d2[static_cast<size_t>(i - r.begin)]);
-    }
+    ForEachBlock(data, r.begin, r.end, [&](const DatasetView& v) {
+      const int64_t first = v.first_row();
+      std::vector<double> d2(static_cast<size_t>(v.rows()));
+      search.FindRange(
+          v.points(), IndexRange{0, v.rows()},
+          point_norms == nullptr ? nullptr : point_norms + first,
+          out_cluster == nullptr ? nullptr : out_cluster + first,
+          d2.data());
+      for (int64_t i = 0; i < v.rows(); ++i) {
+        partial.Add(v.Weight(i) * d2[static_cast<size_t>(i)]);
+      }
+    });
     return partial;
   };
   auto combine = [](KahanSum a, KahanSum b) {
@@ -39,35 +52,34 @@ double ComputeCost(const Dataset& data, const Matrix& centers,
   return total.Total();
 }
 
-Assignment ComputeAssignment(const Dataset& data, const Matrix& centers,
-                             ThreadPool* pool, const double* point_norms) {
-  KMEANSLL_CHECK_GT(centers.rows(), 0);
-  KMEANSLL_CHECK_EQ(centers.cols(), data.dim());
-  NearestCenterSearch search(centers);
-  search.Freeze();
+}  // namespace
+
+double ComputeCost(const DatasetSource& data, const Matrix& centers,
+                   ThreadPool* pool, const double* point_norms) {
+  return NearestReduce(data, centers, pool, point_norms,
+                       /*out_cluster=*/nullptr);
+}
+
+double ComputeCost(const Dataset& data, const Matrix& centers,
+                   ThreadPool* pool, const double* point_norms) {
+  InMemorySource source = data.AsSource();
+  return ComputeCost(source, centers, pool, point_norms);
+}
+
+Assignment ComputeAssignment(const DatasetSource& data,
+                             const Matrix& centers, ThreadPool* pool,
+                             const double* point_norms) {
   Assignment out;
   out.cluster.assign(static_cast<size_t>(data.n()), -1);
-
-  auto map = [&](IndexRange r) {
-    std::vector<double> d2(static_cast<size_t>(r.size()));
-    search.FindRange(data.points(), r,
-                     point_norms == nullptr ? nullptr
-                                            : point_norms + r.begin,
-                     out.cluster.data() + r.begin, d2.data());
-    KahanSum partial;
-    for (int64_t i = r.begin; i < r.end; ++i) {
-      partial.Add(data.Weight(i) * d2[static_cast<size_t>(i - r.begin)]);
-    }
-    return partial;
-  };
-  auto combine = [](KahanSum a, KahanSum b) {
-    a.Merge(b);
-    return a;
-  };
-  KahanSum total = ParallelReduce<KahanSum>(pool, data.n(), KahanSum(), map,
-                                            combine);
-  out.cost = total.Total();
+  out.cost = NearestReduce(data, centers, pool, point_norms,
+                           out.cluster.data());
   return out;
+}
+
+Assignment ComputeAssignment(const Dataset& data, const Matrix& centers,
+                             ThreadPool* pool, const double* point_norms) {
+  InMemorySource source = data.AsSource();
+  return ComputeAssignment(source, centers, pool, point_norms);
 }
 
 }  // namespace kmeansll

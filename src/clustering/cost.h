@@ -17,6 +17,7 @@
 
 #include "clustering/types.h"
 #include "matrix/dataset.h"
+#include "matrix/dataset_view.h"
 #include "matrix/matrix.h"
 #include "parallel/thread_pool.h"
 
@@ -25,12 +26,26 @@ namespace kmeansll {
 /// φ_X(C); `pool` may be null for sequential execution. Centers must be
 /// non-empty and match the data dimension. `point_norms` (length n) may
 /// be null.
+///
+/// The DatasetSource overloads are the primary implementation: they
+/// stream pinned row blocks through the frozen-panel engine, so the same
+/// reduction serves in-memory datasets and disk-resident shard stores.
+/// Results are bitwise identical between the two for the same rows (the
+/// per-chunk Kahan chains fold rows in ascending order regardless of how
+/// the chunk splits across blocks).
+double ComputeCost(const DatasetSource& data, const Matrix& centers,
+                   ThreadPool* pool = nullptr,
+                   const double* point_norms = nullptr);
 double ComputeCost(const Dataset& data, const Matrix& centers,
                    ThreadPool* pool = nullptr,
                    const double* point_norms = nullptr);
 
 /// Nearest-center assignment for every point plus the implied cost.
 /// `point_norms` (length n) may be null.
+Assignment ComputeAssignment(const DatasetSource& data,
+                             const Matrix& centers,
+                             ThreadPool* pool = nullptr,
+                             const double* point_norms = nullptr);
 Assignment ComputeAssignment(const Dataset& data, const Matrix& centers,
                              ThreadPool* pool = nullptr,
                              const double* point_norms = nullptr);

@@ -64,7 +64,7 @@ Result<Matrix> ReclusterCandidates(const Matrix& candidates,
 
 }  // namespace internal
 
-Result<InitResult> KMeansLLInit(const Dataset& data, int64_t k,
+Result<InitResult> KMeansLLInit(const DatasetSource& data, int64_t k,
                                 rng::Rng rng,
                                 const KMeansLLOptions& options,
                                 ThreadPool* pool) {
@@ -87,7 +87,10 @@ Result<InitResult> KMeansLLInit(const Dataset& data, int64_t k,
   rng::Rng init_rng = rng.Fork(rng::StreamPurpose::kInitialCenter);
   auto first = static_cast<int64_t>(init_rng.NextBounded(data.n()));
   Matrix candidates(data.dim());
-  candidates.AppendRow(data.Point(first));
+  {
+    PinnedBlock pin = data.Pin(first, first + 1);
+    candidates.AppendRow(pin.view().Point(0));
+  }
 
   // Step 2: ψ = φ_X(C). The tracker runs every round's distance update as
   // one blocked parallel pass (cached point norms, fused potential).
@@ -115,27 +118,42 @@ Result<InitResult> KMeansLLInit(const Dataset& data, int64_t k,
     if (options.exact_ell) {
       rng::WeightedReservoir reservoir(
           ell_int, rng.Fork(rng::StreamPurpose::kRoundSampling, round));
-      for (int64_t i = 0; i < data.n(); ++i) {
-        double w = data.Weight(i) * tracker.Distance2(i);
-        if (!(w > 0.0)) continue;
-        // Key derived from per-point hashed uniform => deterministic.
-        double u = rng::UniformAtIndex(round_seed, static_cast<uint64_t>(i));
-        while (u <= 0.0) u = rng::UniformAtIndex(round_seed ^ 0x5bf0, static_cast<uint64_t>(i));
-        reservoir.OfferWithUniform(i, w, u);
-      }
+      // The sampling pass touches only weights and tracker state;
+      // streamed block by block in ascending row order.
+      ForEachBlock(data, 0, data.n(), [&](const DatasetView& v) {
+        for (int64_t b = 0; b < v.rows(); ++b) {
+          const int64_t i = v.first_row() + b;
+          double w = v.Weight(b) * tracker.Distance2(i);
+          if (!(w > 0.0)) continue;
+          // Key derived from per-point hashed uniform => deterministic.
+          double u =
+              rng::UniformAtIndex(round_seed, static_cast<uint64_t>(i));
+          while (u <= 0.0) {
+            u = rng::UniformAtIndex(round_seed ^ 0x5bf0,
+                                    static_cast<uint64_t>(i));
+          }
+          reservoir.OfferWithUniform(i, w, u);
+        }
+      });
       chosen = reservoir.Items();
       std::sort(chosen.begin(), chosen.end());
     } else {
-      for (int64_t i = 0; i < data.n(); ++i) {
-        double p = ell * data.Weight(i) * tracker.Distance2(i) / phi;
-        if (p <= 0.0) continue;
-        double u = rng::UniformAtIndex(round_seed, static_cast<uint64_t>(i));
-        if (u < p) chosen.push_back(i);
-      }
+      ForEachBlock(data, 0, data.n(), [&](const DatasetView& v) {
+        for (int64_t b = 0; b < v.rows(); ++b) {
+          const int64_t i = v.first_row() + b;
+          double p = ell * v.Weight(b) * tracker.Distance2(i) / phi;
+          if (p <= 0.0) continue;
+          double u =
+              rng::UniformAtIndex(round_seed, static_cast<uint64_t>(i));
+          if (u < p) chosen.push_back(i);
+        }
+      });
     }
 
     int64_t previous = candidates.rows();
-    for (int64_t i : chosen) candidates.AppendRow(data.Point(i));
+    // `chosen` is sorted, so the gather pins each shard at most once and
+    // block-copies contiguous runs.
+    candidates.AppendRows(GatherPoints(data, chosen));
     tracker.AddCenters(candidates, previous);
     result.telemetry.data_passes += 2;  // sampling pass + distance update
     result.telemetry.round_potentials.push_back(tracker.Potential());
@@ -146,11 +164,13 @@ Result<InitResult> KMeansLLInit(const Dataset& data, int64_t k,
   // Step 7: w_x = total weight of points whose closest candidate is x.
   // tracker.ClosestCenter already holds the argmin over all candidates.
   std::vector<double> weights(static_cast<size_t>(candidates.rows()), 0.0);
-  for (int64_t i = 0; i < data.n(); ++i) {
-    int64_t c = tracker.ClosestCenter(i);
-    KMEANSLL_DCHECK(c >= 0);
-    weights[static_cast<size_t>(c)] += data.Weight(i);
-  }
+  ForEachBlock(data, 0, data.n(), [&](const DatasetView& v) {
+    for (int64_t b = 0; b < v.rows(); ++b) {
+      int64_t c = tracker.ClosestCenter(v.first_row() + b);
+      KMEANSLL_DCHECK(c >= 0);
+      weights[static_cast<size_t>(c)] += v.Weight(b);
+    }
+  });
   result.telemetry.data_passes += 1;
   result.telemetry.sampling_seconds = timer.ElapsedSeconds();
 
@@ -171,6 +191,14 @@ Result<InitResult> KMeansLLInit(const Dataset& data, int64_t k,
       internal::ReclusterCandidates(candidates, weights, k, rng, options,
                                     &result.telemetry));
   return result;
+}
+
+Result<InitResult> KMeansLLInit(const Dataset& data, int64_t k,
+                                rng::Rng rng,
+                                const KMeansLLOptions& options,
+                                ThreadPool* pool) {
+  InMemorySource source = data.AsSource();
+  return KMeansLLInit(source, k, rng, options, pool);
 }
 
 }  // namespace kmeansll

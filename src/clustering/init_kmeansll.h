@@ -81,6 +81,16 @@ Result<InitResult> KMeansLLInit(const Dataset& data, int64_t k,
                                 const KMeansLLOptions& options = {},
                                 ThreadPool* pool = nullptr);
 
+/// As above over a DatasetSource: every data-wide pass (round updates,
+/// sampling scans, the Step 7 weighting) streams pinned row blocks. This
+/// is the paper's intended regime — k-means|| over partitioned,
+/// disk-resident data — and produces bitwise-identical centers to the
+/// in-memory overload for the same rows (tests/shard_store_test.cc).
+Result<InitResult> KMeansLLInit(const DatasetSource& data, int64_t k,
+                                rng::Rng rng,
+                                const KMeansLLOptions& options = {},
+                                ThreadPool* pool = nullptr);
+
 namespace internal {
 
 /// Resolves ℓ (<=0 -> 2k) and validates; exposed for the MapReduce driver.

@@ -31,7 +31,7 @@ int64_t SampleProportional(const std::vector<double>& weights,
 /// the center set whose per-point distances are in `tracker`. One blocked
 /// scan; per-chunk Kahan partials combined in chunk order keep the result
 /// bitwise identical at any thread count.
-double PotentialWithCandidate(const Dataset& data,
+double PotentialWithCandidate(const DatasetSource& data,
                               const MinDistanceTracker& tracker,
                               const Matrix& candidate, ThreadPool* pool) {
   auto map = [&](IndexRange r) {
@@ -39,17 +39,21 @@ double PotentialWithCandidate(const Dataset& data,
     std::vector<double> d2(len);
     std::memcpy(d2.data(), tracker.distances2().data() + r.begin,
                 len * sizeof(double));
-    // Plain kernel: against a single center the expanded form saves
-    // nothing and would recompute every point norm per candidate. The
-    // argmin index is irrelevant here (null).
-    BatchNearestMerge(data.points(), r, /*point_norms=*/nullptr, candidate,
-                      /*first_center=*/0, /*center_norms=*/nullptr,
-                      BatchKernel::kPlain, d2.data(),
-                      /*best_index=*/nullptr);
     KahanSum partial;
-    for (int64_t i = r.begin; i < r.end; ++i) {
-      partial.Add(data.Weight(i) * d2[static_cast<size_t>(i - r.begin)]);
-    }
+    ForEachBlock(data, r.begin, r.end, [&](const DatasetView& v) {
+      const int64_t off = v.first_row() - r.begin;
+      // Plain kernel: against a single center the expanded form saves
+      // nothing and would recompute every point norm per candidate. The
+      // argmin index is irrelevant here (null).
+      BatchNearestMerge(v.points(), IndexRange{0, v.rows()},
+                        /*point_norms=*/nullptr, candidate,
+                        /*first_center=*/0, /*center_norms=*/nullptr,
+                        BatchKernel::kPlain, d2.data() + off,
+                        /*best_index=*/nullptr);
+      for (int64_t i = 0; i < v.rows(); ++i) {
+        partial.Add(v.Weight(i) * d2[static_cast<size_t>(off + i)]);
+      }
+    });
     return partial;
   };
   auto combine = [](KahanSum a, KahanSum b) {
@@ -62,7 +66,8 @@ double PotentialWithCandidate(const Dataset& data,
 
 }  // namespace
 
-Result<InitResult> KMeansPPInit(const Dataset& data, int64_t k, rng::Rng rng,
+Result<InitResult> KMeansPPInit(const DatasetSource& data, int64_t k,
+                                rng::Rng rng,
                                 const KMeansPPOptions& options,
                                 ThreadPool* pool) {
   if (k <= 0) return Status::InvalidArgument("k must be positive");
@@ -85,12 +90,22 @@ Result<InitResult> KMeansPPInit(const Dataset& data, int64_t k, rng::Rng rng,
   result.centers = Matrix(data.dim());
   result.centers.ReserveRows(k);
 
+  // Appends global row `row` of the source to the growing center set.
+  auto append_point = [&](int64_t row) {
+    PinnedBlock pin = data.Pin(row, row + 1);
+    result.centers.AppendRow(pin.view().Point(0));
+  };
+
   // Step 1: first center, weight-proportional (uniform when unweighted).
   {
     std::vector<double> w(static_cast<size_t>(data.n()));
-    for (int64_t i = 0; i < data.n(); ++i) w[static_cast<size_t>(i)] = data.Weight(i);
+    ForEachBlock(data, 0, data.n(), [&](const DatasetView& v) {
+      for (int64_t i = 0; i < v.rows(); ++i) {
+        w[static_cast<size_t>(v.first_row() + i)] = v.Weight(i);
+      }
+    });
     int64_t first = SampleProportional(w, pick_rng);
-    result.centers.AppendRow(data.Point(first));
+    append_point(first);
   }
 
   MinDistanceTracker tracker(data, pool);
@@ -109,8 +124,11 @@ Result<InitResult> KMeansPPInit(const Dataset& data, int64_t k, rng::Rng rng,
       double best_potential = std::numeric_limits<double>::infinity();
       for (int64_t c = 0; c < options.candidates_per_step; ++c) {
         int64_t drawn = SampleProportional(weights, step_rng);
-        std::memcpy(candidate.Row(0), data.Point(drawn),
-                    static_cast<size_t>(data.dim()) * sizeof(double));
+        {
+          PinnedBlock pin = data.Pin(drawn, drawn + 1);
+          std::memcpy(candidate.Row(0), pin.view().Point(0),
+                      static_cast<size_t>(data.dim()) * sizeof(double));
+        }
         double potential =
             PotentialWithCandidate(data, tracker, candidate, pool);
         if (potential < best_potential) {
@@ -120,7 +138,7 @@ Result<InitResult> KMeansPPInit(const Dataset& data, int64_t k, rng::Rng rng,
       }
       result.telemetry.data_passes += options.candidates_per_step;
     }
-    result.centers.AppendRow(data.Point(chosen));
+    append_point(chosen);
     tracker.AddCenters(result.centers, t);
     result.telemetry.data_passes += 1;
     result.telemetry.round_potentials.push_back(tracker.Potential());
@@ -130,6 +148,13 @@ Result<InitResult> KMeansPPInit(const Dataset& data, int64_t k, rng::Rng rng,
   result.telemetry.intermediate_centers = 0;
   result.telemetry.sampling_seconds = timer.ElapsedSeconds();
   return result;
+}
+
+Result<InitResult> KMeansPPInit(const Dataset& data, int64_t k, rng::Rng rng,
+                                const KMeansPPOptions& options,
+                                ThreadPool* pool) {
+  InMemorySource source = data.AsSource();
+  return KMeansPPInit(source, k, rng, options, pool);
 }
 
 }  // namespace kmeansll

@@ -37,6 +37,14 @@ Result<InitResult> KMeansPPInit(const Dataset& data, int64_t k, rng::Rng rng,
                                 const KMeansPPOptions& options = {},
                                 ThreadPool* pool = nullptr);
 
+/// As above over a DatasetSource: the D² sampling passes stream pinned
+/// row blocks, so the seeder runs unchanged — and bitwise identically —
+/// over disk-resident shard stores.
+Result<InitResult> KMeansPPInit(const DatasetSource& data, int64_t k,
+                                rng::Rng rng,
+                                const KMeansPPOptions& options = {},
+                                ThreadPool* pool = nullptr);
+
 }  // namespace kmeansll
 
 #endif  // KMEANSLL_CLUSTERING_INIT_KMEANSPP_H_

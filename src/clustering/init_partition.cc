@@ -18,7 +18,7 @@ namespace kmeansll {
 
 namespace internal {
 
-std::vector<int64_t> KMeansSharp(const Dataset& data, int64_t begin,
+std::vector<int64_t> KMeansSharp(const DatasetSource& data, int64_t begin,
                                  int64_t end, int64_t batch,
                                  int64_t iterations, rng::Rng rng) {
   KMEANSLL_CHECK(begin >= 0 && begin < end && end <= data.n());
@@ -40,10 +40,12 @@ std::vector<int64_t> KMeansSharp(const Dataset& data, int64_t begin,
   std::vector<double> group_norms;
   if (expanded) {
     group_norms.resize(static_cast<size_t>(group_size));
-    for (int64_t i = 0; i < group_size; ++i) {
-      group_norms[static_cast<size_t>(i)] =
-          SquaredNorm(data.Point(begin + i), dim);
-    }
+    ForEachBlock(data, begin, end, [&](const DatasetView& v) {
+      for (int64_t b = 0; b < v.rows(); ++b) {
+        group_norms[static_cast<size_t>(v.first_row() + b - begin)] =
+            SquaredNorm(v.Point(b), dim);
+      }
+    });
   }
   Matrix center_m(1, dim);
 
@@ -51,16 +53,23 @@ std::vector<int64_t> KMeansSharp(const Dataset& data, int64_t begin,
     if (is_selected[static_cast<size_t>(local)]) return;
     is_selected[static_cast<size_t>(local)] = true;
     selected.push_back(begin + local);
-    std::memcpy(center_m.Row(0), data.Point(begin + local),
-                static_cast<size_t>(dim) * sizeof(double));
+    {
+      PinnedBlock pin = data.Pin(begin + local, begin + local + 1);
+      std::memcpy(center_m.Row(0), pin.view().Point(0),
+                  static_cast<size_t>(dim) * sizeof(double));
+    }
     const double cnorm =
         expanded ? group_norms[static_cast<size_t>(local)] : 0.0;
-    BatchNearestMerge(data.points(), IndexRange{begin, end},
-                      expanded ? group_norms.data() : nullptr, center_m,
-                      /*first_center=*/0, expanded ? &cnorm : nullptr,
-                      expanded ? BatchKernel::kExpanded
-                               : BatchKernel::kPlain,
-                      min_d2.data(), /*best_index=*/nullptr);
+    ForEachBlock(data, begin, end, [&](const DatasetView& v) {
+      const int64_t off = v.first_row() - begin;
+      BatchNearestMerge(v.points(), IndexRange{0, v.rows()},
+                        expanded ? group_norms.data() + off : nullptr,
+                        center_m,
+                        /*first_center=*/0, expanded ? &cnorm : nullptr,
+                        expanded ? BatchKernel::kExpanded
+                                 : BatchKernel::kPlain,
+                        min_d2.data() + off, /*best_index=*/nullptr);
+    });
   };
 
   // Iteration 1: `batch` uniform draws (with replacement, dupes dropped).
@@ -72,10 +81,13 @@ std::vector<int64_t> KMeansSharp(const Dataset& data, int64_t begin,
   std::vector<double> weights(static_cast<size_t>(group_size));
   for (int64_t it = 1; it < iterations; ++it) {
     if (static_cast<int64_t>(selected.size()) >= group_size) break;
-    for (int64_t i = 0; i < group_size; ++i) {
-      weights[static_cast<size_t>(i)] =
-          data.Weight(begin + i) * min_d2[static_cast<size_t>(i)];
-    }
+    ForEachBlock(data, begin, end, [&](const DatasetView& v) {
+      for (int64_t b = 0; b < v.rows(); ++b) {
+        const int64_t local = v.first_row() + b - begin;
+        weights[static_cast<size_t>(local)] =
+            v.Weight(b) * min_d2[static_cast<size_t>(local)];
+      }
+    });
     auto sampler = rng::PrefixSumSampler::Build(weights);
     if (!sampler.ok()) break;  // all group points already selected
     for (int64_t b = 0; b < batch; ++b) {
@@ -85,9 +97,16 @@ std::vector<int64_t> KMeansSharp(const Dataset& data, int64_t begin,
   return selected;
 }
 
+std::vector<int64_t> KMeansSharp(const Dataset& data, int64_t begin,
+                                 int64_t end, int64_t batch,
+                                 int64_t iterations, rng::Rng rng) {
+  InMemorySource source = data.AsSource();
+  return KMeansSharp(source, begin, end, batch, iterations, rng);
+}
+
 }  // namespace internal
 
-Result<InitResult> PartitionInit(const Dataset& data, int64_t k,
+Result<InitResult> PartitionInit(const DatasetSource& data, int64_t k,
                                  rng::Rng rng,
                                  const PartitionOptions& options) {
   if (k <= 0) return Status::InvalidArgument("k must be positive");
@@ -119,27 +138,38 @@ Result<InitResult> PartitionInit(const Dataset& data, int64_t k,
   // streaming algorithm does (the group is the machine's whole world).
   std::vector<int64_t> all_selected;
   std::vector<double> weights;
-  auto ranges = data.SplitRanges(m);
-  for (const auto& [begin, end] : ranges) {
-    if (begin >= end) continue;
+  // Near-equal contiguous groups (the same split Dataset::SplitRanges
+  // produces), each processed as a streamed row range of the source.
+  const int64_t base_size = n / m;
+  const int64_t extra = n % m;
+  int64_t begin = 0;
+  for (int64_t g = 0; g < m; ++g) {
+    const int64_t end = begin + base_size + (g < extra ? 1 : 0);
+    if (begin >= end) {
+      begin = end;
+      continue;
+    }
     std::vector<int64_t> group_selected =
         internal::KMeansSharp(data, begin, end, batch, iterations, rng);
     KMEANSLL_CHECK(!group_selected.empty());
-    Matrix group_centers = data.points().GatherRows(group_selected);
+    Matrix group_centers = GatherPoints(data, group_selected);
     NearestCenterSearch search(group_centers);
     std::vector<int32_t> nearest(static_cast<size_t>(end - begin));
     std::vector<double> nearest_d2(static_cast<size_t>(end - begin));
-    search.FindRange(data.points(), IndexRange{begin, end}, nullptr,
+    search.FindRange(data, IndexRange{begin, end}, nullptr,
                      nearest.data(), nearest_d2.data());
     std::vector<double> group_weights(group_selected.size(), 0.0);
-    for (int64_t i = begin; i < end; ++i) {
-      group_weights[static_cast<size_t>(
-          nearest[static_cast<size_t>(i - begin)])] += data.Weight(i);
-    }
+    ForEachBlock(data, begin, end, [&](const DatasetView& v) {
+      for (int64_t b = 0; b < v.rows(); ++b) {
+        group_weights[static_cast<size_t>(nearest[static_cast<size_t>(
+            v.first_row() + b - begin)])] += v.Weight(b);
+      }
+    });
     all_selected.insert(all_selected.end(), group_selected.begin(),
                         group_selected.end());
     weights.insert(weights.end(), group_weights.begin(),
                    group_weights.end());
+    begin = end;
   }
   KMEANSLL_CHECK(!all_selected.empty());
 
@@ -150,7 +180,7 @@ Result<InitResult> PartitionInit(const Dataset& data, int64_t k,
   // Per-group scans ≈ k-means# iterations plus the weighting scan.
   result.telemetry.data_passes = iterations + 1;
 
-  Matrix candidates = data.points().GatherRows(all_selected);
+  Matrix candidates = GatherPoints(data, all_selected);
   result.telemetry.sampling_seconds = timer.ElapsedSeconds();
 
   // Phase 2 (sequential): vanilla weighted k-means++ on the union.
@@ -164,6 +194,13 @@ Result<InitResult> PartitionInit(const Dataset& data, int64_t k,
       internal::ReclusterCandidates(candidates, weights, k, rng,
                                     recluster_options, &result.telemetry));
   return result;
+}
+
+Result<InitResult> PartitionInit(const Dataset& data, int64_t k,
+                                 rng::Rng rng,
+                                 const PartitionOptions& options) {
+  InMemorySource source = data.AsSource();
+  return PartitionInit(source, k, rng, options);
 }
 
 }  // namespace kmeansll

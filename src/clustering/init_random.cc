@@ -8,7 +8,8 @@
 
 namespace kmeansll {
 
-Result<InitResult> RandomInit(const Dataset& data, int64_t k, rng::Rng rng) {
+Result<InitResult> RandomInit(const DatasetSource& data, int64_t k,
+                              rng::Rng rng) {
   if (k <= 0) return Status::InvalidArgument("k must be positive");
   if (k > data.n()) {
     return Status::InvalidArgument("k=" + std::to_string(k) +
@@ -24,12 +25,17 @@ Result<InitResult> RandomInit(const Dataset& data, int64_t k, rng::Rng rng) {
   std::sort(chosen.begin(), chosen.end());
 
   InitResult result;
-  result.centers = data.points().GatherRows(chosen);
+  result.centers = GatherPoints(data, chosen);
   result.telemetry.rounds = 0;
   result.telemetry.intermediate_centers = 0;
   result.telemetry.data_passes = 1;
   result.telemetry.sampling_seconds = timer.ElapsedSeconds();
   return result;
+}
+
+Result<InitResult> RandomInit(const Dataset& data, int64_t k, rng::Rng rng) {
+  InMemorySource source = data.AsSource();
+  return RandomInit(source, k, rng);
 }
 
 }  // namespace kmeansll

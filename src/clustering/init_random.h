@@ -18,6 +18,11 @@ namespace kmeansll {
 /// k <= 0 or k > n.
 Result<InitResult> RandomInit(const Dataset& data, int64_t k, rng::Rng rng);
 
+/// As above over a DatasetSource (the selection touches no point data
+/// until the final gather, which pins each shard at most once).
+Result<InitResult> RandomInit(const DatasetSource& data, int64_t k,
+                              rng::Rng rng);
+
 }  // namespace kmeansll
 
 #endif  // KMEANSLL_CLUSTERING_INIT_RANDOM_H_

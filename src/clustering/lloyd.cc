@@ -14,7 +14,7 @@
 
 namespace kmeansll {
 
-int64_t LloydStep(const Dataset& data, const Matrix& centers,
+int64_t LloydStep(const DatasetSource& data, const Matrix& centers,
                   Matrix* new_centers, Assignment* assignment,
                   ThreadPool* pool, const double* point_norms) {
   const int64_t k = centers.rows();
@@ -32,7 +32,7 @@ int64_t LloydStep(const Dataset& data, const Matrix& centers,
   return static_cast<int64_t>(empty.size());
 }
 
-Result<LloydResult> RunLloyd(const Dataset& data,
+Result<LloydResult> RunLloyd(const DatasetSource& data,
                              const Matrix& initial_centers,
                              const LloydOptions& options,
                              ThreadPool* pool, const double* point_norms) {
@@ -105,6 +105,22 @@ Result<LloydResult> RunLloyd(const Dataset& data,
   result.assignment = ComputeAssignment(data, result.centers, pool,
                                         point_norms);
   return result;
+}
+
+int64_t LloydStep(const Dataset& data, const Matrix& centers,
+                  Matrix* new_centers, Assignment* assignment,
+                  ThreadPool* pool, const double* point_norms) {
+  InMemorySource source = data.AsSource();
+  return LloydStep(source, centers, new_centers, assignment, pool,
+                   point_norms);
+}
+
+Result<LloydResult> RunLloyd(const Dataset& data,
+                             const Matrix& initial_centers,
+                             const LloydOptions& options, ThreadPool* pool,
+                             const double* point_norms) {
+  InMemorySource source = data.AsSource();
+  return RunLloyd(source, initial_centers, options, pool, point_norms);
 }
 
 }  // namespace kmeansll

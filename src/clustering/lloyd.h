@@ -13,6 +13,7 @@
 #include "clustering/types.h"
 #include "common/result.h"
 #include "matrix/dataset.h"
+#include "matrix/dataset_view.h"
 #include "matrix/matrix.h"
 #include "parallel/thread_pool.h"
 
@@ -54,6 +55,17 @@ struct LloydResult {
 /// pass is not repeated. Results are bitwise identical either way.
 ///
 /// Fails if `initial_centers` is empty or dimensions mismatch.
+///
+/// The DatasetSource overload is the primary implementation: every
+/// assignment, centroid accumulation, repair, and cost pass streams
+/// pinned row blocks, so the same iteration runs over in-memory data and
+/// disk-resident shard stores with bitwise-identical results for the
+/// same rows.
+Result<LloydResult> RunLloyd(const DatasetSource& data,
+                             const Matrix& initial_centers,
+                             const LloydOptions& options,
+                             ThreadPool* pool = nullptr,
+                             const double* point_norms = nullptr);
 Result<LloydResult> RunLloyd(const Dataset& data,
                              const Matrix& initial_centers,
                              const LloydOptions& options,
@@ -66,6 +78,9 @@ Result<LloydResult> RunLloyd(const Dataset& data,
 /// repaired. `point_norms` (RowSquaredNorms of data.points(), length n)
 /// may be null; RunLloyd computes it once per run and threads it through
 /// every iteration so the O(n·d) norm pass is not redone per step.
+int64_t LloydStep(const DatasetSource& data, const Matrix& centers,
+                  Matrix* new_centers, Assignment* assignment,
+                  ThreadPool* pool, const double* point_norms = nullptr);
 int64_t LloydStep(const Dataset& data, const Matrix& centers,
                   Matrix* new_centers, Assignment* assignment,
                   ThreadPool* pool, const double* point_norms = nullptr);

@@ -14,7 +14,7 @@
 
 namespace kmeansll {
 
-Result<LloydResult> RunLloydElkan(const Dataset& data,
+Result<LloydResult> RunLloydElkan(const DatasetSource& data,
                                   const Matrix& initial_centers,
                                   const LloydOptions& options,
                                   ElkanStats* stats,
@@ -98,7 +98,7 @@ Result<LloydResult> RunLloydElkan(const Dataset& data,
       std::vector<IndexRange> chunks = MakeChunks(n, kDeterministicChunks);
       for (const IndexRange& r : chunks) {
         chunk_d2.resize(static_cast<size_t>(r.size() * k));
-        search.DistancesRange(data.points(), r,
+        search.DistancesRange(data, r,
                               pn == nullptr ? nullptr : pn + r.begin,
                               chunk_d2.data());
         for (int64_t i = r.begin; i < r.end; ++i) {
@@ -124,49 +124,53 @@ Result<LloydResult> RunLloydElkan(const Dataset& data,
       if (stats != nullptr) stats->distance_evals += n * k;
       bounds_valid = true;
     } else {
-      for (int64_t i = 0; i < n; ++i) {
-        auto idx = static_cast<size_t>(i);
-        auto a = static_cast<int64_t>(assignment[idx]);
-        if (upper[idx] <= half_nearest[static_cast<size_t>(a)]) {
-          if (stats != nullptr) ++stats->point_skips;
-          continue;
-        }
-        bool upper_tight = false;
-        for (int64_t c = 0; c < k; ++c) {
-          if (c == a) continue;
-          double l = lower[static_cast<size_t>(i * k + c)];
-          double half_gap =
-              0.5 * center_dist[static_cast<size_t>(a * k + c)];
-          if (upper[idx] <= l || upper[idx] <= half_gap) {
-            if (stats != nullptr) ++stats->center_prunes;
+      ForEachBlock(data, 0, n, [&](const DatasetView& v) {
+        for (int64_t b = 0; b < v.rows(); ++b) {
+          const int64_t i = v.first_row() + b;
+          auto idx = static_cast<size_t>(i);
+          auto a = static_cast<int64_t>(assignment[idx]);
+          if (upper[idx] <= half_nearest[static_cast<size_t>(a)]) {
+            if (stats != nullptr) ++stats->point_skips;
             continue;
           }
-          if (!upper_tight) {
-            upper[idx] = std::sqrt(internal::PairDistance2(
-                data.Point(i), expanded ? pn[i] : 0.0,
-                result.centers.Row(a), expanded ? cn[a] : 0.0, d,
-                expanded));
-            lower[static_cast<size_t>(i * k + a)] = upper[idx];
-            if (stats != nullptr) ++stats->distance_evals;
-            upper_tight = true;
+          bool upper_tight = false;
+          for (int64_t c = 0; c < k; ++c) {
+            if (c == a) continue;
+            double l = lower[static_cast<size_t>(i * k + c)];
+            double half_gap =
+                0.5 * center_dist[static_cast<size_t>(a * k + c)];
             if (upper[idx] <= l || upper[idx] <= half_gap) {
               if (stats != nullptr) ++stats->center_prunes;
               continue;
             }
-          }
-          double dist = std::sqrt(internal::PairDistance2(
-              data.Point(i), expanded ? pn[i] : 0.0,
-              result.centers.Row(c), expanded ? cn[c] : 0.0, d, expanded));
-          lower[static_cast<size_t>(i * k + c)] = dist;
-          if (stats != nullptr) ++stats->distance_evals;
-          if (dist < upper[idx]) {
-            a = c;
-            assignment[idx] = static_cast<int32_t>(c);
-            upper[idx] = dist;
-            upper_tight = true;
+            if (!upper_tight) {
+              upper[idx] = std::sqrt(internal::PairDistance2(
+                  v.Point(b), expanded ? pn[i] : 0.0,
+                  result.centers.Row(a), expanded ? cn[a] : 0.0, d,
+                  expanded));
+              lower[static_cast<size_t>(i * k + a)] = upper[idx];
+              if (stats != nullptr) ++stats->distance_evals;
+              upper_tight = true;
+              if (upper[idx] <= l || upper[idx] <= half_gap) {
+                if (stats != nullptr) ++stats->center_prunes;
+                continue;
+              }
+            }
+            double dist = std::sqrt(internal::PairDistance2(
+                v.Point(b), expanded ? pn[i] : 0.0,
+                result.centers.Row(c), expanded ? cn[c] : 0.0, d,
+                expanded));
+            lower[static_cast<size_t>(i * k + c)] = dist;
+            if (stats != nullptr) ++stats->distance_evals;
+            if (dist < upper[idx]) {
+              a = c;
+              assignment[idx] = static_cast<int32_t>(c);
+              upper[idx] = dist;
+              upper_tight = true;
+            }
           }
         }
-      }
+      });
     }
 
     // Centroid update (bitwise identical to LloydStep).
@@ -243,6 +247,16 @@ Result<LloydResult> RunLloydElkan(const Dataset& data,
 
   result.assignment = ComputeAssignment(data, result.centers, nullptr, pn);
   return result;
+}
+
+Result<LloydResult> RunLloydElkan(const Dataset& data,
+                                  const Matrix& initial_centers,
+                                  const LloydOptions& options,
+                                  ElkanStats* stats,
+                                  const double* point_norms) {
+  InMemorySource source = data.AsSource();
+  return RunLloydElkan(source, initial_centers, options, stats,
+                       point_norms);
 }
 
 }  // namespace kmeansll

@@ -38,6 +38,15 @@ struct ElkanStats {
 /// as RunLloyd; `stats` (optional) receives pruning counters and
 /// `point_norms` (optional, RowSquaredNorms of data.points()) skips the
 /// internal norm pass exactly as in RunLloyd.
+/// The DatasetSource overload streams pinned row blocks (bound state —
+/// O(n·k) here — stays in memory while the points may live in
+/// memory-mapped shards); bitwise identical to the Dataset overload for
+/// the same rows.
+Result<LloydResult> RunLloydElkan(const DatasetSource& data,
+                                  const Matrix& initial_centers,
+                                  const LloydOptions& options,
+                                  ElkanStats* stats = nullptr,
+                                  const double* point_norms = nullptr);
 Result<LloydResult> RunLloydElkan(const Dataset& data,
                                   const Matrix& initial_centers,
                                   const LloydOptions& options,

@@ -14,7 +14,7 @@
 
 namespace kmeansll {
 
-Result<LloydResult> RunLloydHamerly(const Dataset& data,
+Result<LloydResult> RunLloydHamerly(const DatasetSource& data,
                                     const Matrix& initial_centers,
                                     const LloydOptions& options,
                                     HamerlyStats* stats,
@@ -104,27 +104,30 @@ Result<LloydResult> RunLloydHamerly(const Dataset& data,
     // bounds, else tighten the upper bound with one exact probe, else
     // queue the point for the batched full scan below.
     scan_list.clear();
-    for (int64_t i = 0; i < n; ++i) {
-      auto idx = static_cast<size_t>(i);
-      const int64_t a = assignment[idx];
-      if (a >= 0) {
-        double threshold =
-            std::max(half_nearest[static_cast<size_t>(a)], lower[idx]);
-        if (upper[idx] <= threshold) {
-          if (stats != nullptr) ++stats->bound_skips;
-          continue;  // bound certifies the assignment
+    ForEachBlock(data, 0, n, [&](const DatasetView& v) {
+      for (int64_t b = 0; b < v.rows(); ++b) {
+        const int64_t i = v.first_row() + b;
+        auto idx = static_cast<size_t>(i);
+        const int64_t a = assignment[idx];
+        if (a >= 0) {
+          double threshold =
+              std::max(half_nearest[static_cast<size_t>(a)], lower[idx]);
+          if (upper[idx] <= threshold) {
+            if (stats != nullptr) ++stats->bound_skips;
+            continue;  // bound certifies the assignment
+          }
+          // Tighten the upper bound with one exact distance.
+          upper[idx] = std::sqrt(internal::PairDistance2(
+              v.Point(b), expanded ? pn[i] : 0.0, result.centers.Row(a),
+              expanded ? cn[a] : 0.0, d, expanded));
+          if (upper[idx] <= threshold) {
+            if (stats != nullptr) ++stats->inner_updates;
+            continue;
+          }
         }
-        // Tighten the upper bound with one exact distance.
-        upper[idx] = std::sqrt(internal::PairDistance2(
-            data.Point(i), expanded ? pn[i] : 0.0, result.centers.Row(a),
-            expanded ? cn[a] : 0.0, d, expanded));
-        if (upper[idx] <= threshold) {
-          if (stats != nullptr) ++stats->inner_updates;
-          continue;
-        }
+        scan_list.push_back(i);
       }
-      scan_list.push_back(i);
-    }
+    });
 
     // --- Batched full scans ------------------------------------------
     if (!scan_list.empty()) {
@@ -134,12 +137,12 @@ Result<LloydResult> RunLloydHamerly(const Dataset& data,
       scan_d2.resize(static_cast<size_t>(m));
       if (m == n) {
         // Everyone rescans (iteration 0, or the round after a repair
-        // reset): scan the dataset in place — no gather copy.
-        search.FindTwoNearestRange(data.points(), IndexRange{0, n}, pn,
+        // reset): scan the blocks in place — no gather copy.
+        search.FindTwoNearestRange(data, IndexRange{0, n}, pn,
                                    scan_idx.data(), scan_d1.data(),
                                    scan_d2.data());
       } else {
-        Matrix gathered = data.points().GatherRows(scan_list);
+        Matrix gathered = GatherPoints(data, scan_list);
         const double* gathered_norms = nullptr;
         if (expanded) {
           scan_norms.resize(static_cast<size_t>(m));
@@ -241,6 +244,16 @@ Result<LloydResult> RunLloydHamerly(const Dataset& data,
 
   result.assignment = ComputeAssignment(data, result.centers, nullptr, pn);
   return result;
+}
+
+Result<LloydResult> RunLloydHamerly(const Dataset& data,
+                                    const Matrix& initial_centers,
+                                    const LloydOptions& options,
+                                    HamerlyStats* stats,
+                                    const double* point_norms) {
+  InMemorySource source = data.AsSource();
+  return RunLloydHamerly(source, initial_centers, options, stats,
+                         point_norms);
 }
 
 }  // namespace kmeansll

@@ -47,6 +47,15 @@ struct HamerlyStats {
 /// results as RunLloyd; `stats` (optional) receives pruning counters and
 /// `point_norms` (optional, RowSquaredNorms of data.points()) skips the
 /// internal norm pass exactly as in RunLloyd.
+/// The DatasetSource overload streams pinned row blocks (the per-point
+/// bound state stays in memory — O(n) — while the points themselves may
+/// live in memory-mapped shards) and is bitwise identical to the Dataset
+/// overload for the same rows.
+Result<LloydResult> RunLloydHamerly(const DatasetSource& data,
+                                    const Matrix& initial_centers,
+                                    const LloydOptions& options,
+                                    HamerlyStats* stats = nullptr,
+                                    const double* point_norms = nullptr);
 Result<LloydResult> RunLloydHamerly(const Dataset& data,
                                     const Matrix& initial_centers,
                                     const LloydOptions& options,

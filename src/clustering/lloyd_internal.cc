@@ -10,17 +10,18 @@
 namespace kmeansll {
 namespace internal {
 
-const double* EnsurePointNorms(const Dataset& data, const double* provided,
+const double* EnsurePointNorms(const DatasetSource& data,
+                               const double* provided,
                                std::vector<double>* storage,
                                ThreadPool* pool, bool* expanded) {
   *expanded = ResolveExpandedKernel(BatchKernel::kAuto, data.dim());
   if (!*expanded) return nullptr;
   if (provided != nullptr) return provided;
-  *storage = RowSquaredNorms(data.points(), pool);
+  *storage = RowSquaredNorms(data, pool);
   return storage->data();
 }
 
-CentroidSums AccumulateCentroids(const Dataset& data,
+CentroidSums AccumulateCentroids(const DatasetSource& data,
                                  const std::vector<int32_t>& assignment,
                                  int64_t k, ThreadPool* pool) {
   const int64_t d = data.dim();
@@ -30,16 +31,22 @@ CentroidSums AccumulateCentroids(const Dataset& data,
     s.weights.assign(static_cast<size_t>(k), 0.0);
     return s;
   };
+  // Rows fold into the per-chunk partials in ascending global order
+  // whether the chunk is one in-memory block or several pinned shards, so
+  // the sums are bitwise identical either way.
   auto map = [&](IndexRange r) {
     CentroidSums partial = zero();
-    for (int64_t i = r.begin; i < r.end; ++i) {
-      auto c = static_cast<int64_t>(assignment[static_cast<size_t>(i)]);
-      double w = data.Weight(i);
-      const double* point = data.Point(i);
-      double* sum = partial.sums.data() + c * d;
-      for (int64_t j = 0; j < d; ++j) sum[j] += w * point[j];
-      partial.weights[static_cast<size_t>(c)] += w;
-    }
+    ForEachBlock(data, r.begin, r.end, [&](const DatasetView& v) {
+      for (int64_t i = 0; i < v.rows(); ++i) {
+        const int64_t g = v.first_row() + i;
+        auto c = static_cast<int64_t>(assignment[static_cast<size_t>(g)]);
+        double w = v.Weight(i);
+        const double* point = v.Point(i);
+        double* sum = partial.sums.data() + c * d;
+        for (int64_t j = 0; j < d; ++j) sum[j] += w * point[j];
+        partial.weights[static_cast<size_t>(c)] += w;
+      }
+    });
     return partial;
   };
   auto combine = [](CentroidSums a, CentroidSums b) {
@@ -70,20 +77,23 @@ std::vector<int64_t> CentroidsFromSums(const CentroidSums& totals,
   return empty;
 }
 
-void RepairEmptyClusters(const Dataset& data, const Matrix& old_centers,
+void RepairEmptyClusters(const DatasetSource& data,
+                         const Matrix& old_centers,
                          const std::vector<int64_t>& empty,
                          Matrix* new_centers, ThreadPool* pool,
                          const double* point_norms) {
   NearestCenterSearch search(old_centers);
   std::vector<double> d2;
-  search.FindAll(data.points(), /*out_index=*/nullptr, &d2, pool,
-                 point_norms);
+  search.FindAll(data, /*out_index=*/nullptr, &d2, pool, point_norms);
   std::vector<std::pair<double, int64_t>> contributions;
   contributions.reserve(static_cast<size_t>(data.n()));
-  for (int64_t i = 0; i < data.n(); ++i) {
-    contributions.emplace_back(data.Weight(i) * d2[static_cast<size_t>(i)],
-                               i);
-  }
+  ForEachBlock(data, 0, data.n(), [&](const DatasetView& v) {
+    for (int64_t i = 0; i < v.rows(); ++i) {
+      const int64_t g = v.first_row() + i;
+      contributions.emplace_back(v.Weight(i) * d2[static_cast<size_t>(g)],
+                                 g);
+    }
+  });
   std::sort(contributions.begin(), contributions.end(),
             [](const auto& a, const auto& b) {
               if (a.first != b.first) return a.first > b.first;
@@ -91,14 +101,16 @@ void RepairEmptyClusters(const Dataset& data, const Matrix& old_centers,
             });
   size_t next = 0;
   for (int64_t c : empty) {
-    const double* point = data.Point(contributions[next].second);
+    const int64_t source_row = contributions[next].second;
     ++next;
+    PinnedBlock pin = data.Pin(source_row, source_row + 1);
+    const double* point = pin.view().Point(0);
     double* row = new_centers->Row(c);
     for (int64_t j = 0; j < data.dim(); ++j) row[j] = point[j];
   }
 }
 
-double AssignmentCost(const Dataset& data, const Matrix& centers,
+double AssignmentCost(const DatasetSource& data, const Matrix& centers,
                       const std::vector<int32_t>& assignment,
                       const double* point_norms,
                       const double* center_norms, bool expanded) {
@@ -108,13 +120,16 @@ double AssignmentCost(const Dataset& data, const Matrix& centers,
   KahanSum total;
   for (const IndexRange& r : chunks) {
     KahanSum partial;
-    for (int64_t i = r.begin; i < r.end; ++i) {
-      auto c = static_cast<int64_t>(assignment[static_cast<size_t>(i)]);
-      double d2 = PairDistance2(
-          data.Point(i), expanded ? point_norms[i] : 0.0, centers.Row(c),
-          expanded ? center_norms[c] : 0.0, d, expanded);
-      partial.Add(data.Weight(i) * d2);
-    }
+    ForEachBlock(data, r.begin, r.end, [&](const DatasetView& v) {
+      for (int64_t i = 0; i < v.rows(); ++i) {
+        const int64_t g = v.first_row() + i;
+        auto c = static_cast<int64_t>(assignment[static_cast<size_t>(g)]);
+        double d2 = PairDistance2(
+            v.Point(i), expanded ? point_norms[g] : 0.0, centers.Row(c),
+            expanded ? center_norms[c] : 0.0, d, expanded);
+        partial.Add(v.Weight(i) * d2);
+      }
+    });
     total.Merge(partial);
   }
   return total.Total();

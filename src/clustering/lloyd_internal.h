@@ -16,6 +16,7 @@
 #include "distance/batch.h"
 #include "distance/l2.h"
 #include "matrix/dataset.h"
+#include "matrix/dataset_view.h"
 #include "matrix/matrix.h"
 #include "parallel/thread_pool.h"
 
@@ -44,7 +45,8 @@ inline double PairDistance2(const double* x, double x_norm2,
 /// null under the plain kernel (the kernels never read norms there).
 /// One definition of the bootstrap every Lloyd runner shares, so the
 /// crossover rule cannot drift from the engine's dispatch.
-const double* EnsurePointNorms(const Dataset& data, const double* provided,
+const double* EnsurePointNorms(const DatasetSource& data,
+                               const double* provided,
                                std::vector<double>* storage,
                                ThreadPool* pool, bool* expanded);
 
@@ -59,7 +61,7 @@ struct CentroidSums {
 /// deterministic chunk grid; per-chunk partials are merged in chunk
 /// order, so the result is bitwise identical sequentially (pool = null)
 /// and at any pool size.
-CentroidSums AccumulateCentroids(const Dataset& data,
+CentroidSums AccumulateCentroids(const DatasetSource& data,
                                  const std::vector<int32_t>& assignment,
                                  int64_t k, ThreadPool* pool);
 
@@ -76,7 +78,8 @@ std::vector<int64_t> CentroidsFromSums(const CentroidSums& totals,
 /// decreasing contribution (ties by ascending point index) so no point
 /// is reused. Contributions come from one blocked batch scan; `pool` and
 /// `point_norms` (length n, may be null) are threaded through to it.
-void RepairEmptyClusters(const Dataset& data, const Matrix& old_centers,
+void RepairEmptyClusters(const DatasetSource& data,
+                         const Matrix& old_centers,
                          const std::vector<int64_t>& empty,
                          Matrix* new_centers, ThreadPool* pool = nullptr,
                          const double* point_norms = nullptr);
@@ -89,7 +92,7 @@ void RepairEmptyClusters(const Dataset& data, const Matrix& old_centers,
 /// to keep their cost history bitwise-aligned with standard Lloyd's.
 /// `expanded` selects the chain (pass the search's kernel choice);
 /// point/center norms are only read when expanded.
-double AssignmentCost(const Dataset& data, const Matrix& centers,
+double AssignmentCost(const DatasetSource& data, const Matrix& centers,
                       const std::vector<int32_t>& assignment,
                       const double* point_norms,
                       const double* center_norms, bool expanded);

@@ -31,22 +31,32 @@ void CountPass(const MRContext& ctx) {
 
 }  // namespace
 
-double MRComputeCost(const Dataset& data, const Matrix& centers,
+double MRComputeCost(const DatasetSource& data, const Matrix& centers,
                      const MRContext& ctx) {
   KMEANSLL_CHECK_GT(centers.rows(), 0);
   NearestCenterSearch search(centers);
+  search.Freeze();  // one packing shared by every map task
   Job<DataPartition, int, double, double> job;
   job.WithMap([&](int64_t, const DataPartition& part,
                   Emitter<int, double>* out) {
-        const auto len = static_cast<size_t>(part.size());
-        std::vector<double> d2(len);
-        search.FindRange(data.points(), IndexRange{part.begin, part.end},
-                         nullptr, /*out_index=*/nullptr, d2.data());
+        // One streaming pass: scan each pinned block and fold its
+        // weighted distances immediately (rows still fold in ascending
+        // order, so the Kahan chain is unchanged). A scan pass plus a
+        // separate weight pass would pin — and under a tight window,
+        // map — every shard twice per task.
         KahanSum partial;
-        for (int64_t i = part.begin; i < part.end; ++i) {
-          partial.Add(data.Weight(i) *
-                      d2[static_cast<size_t>(i - part.begin)]);
-        }
+        std::vector<double> d2;
+        ForEachBlock(*part.source, part.begin, part.end,
+                     [&](const DatasetView& v) {
+                       d2.resize(static_cast<size_t>(v.rows()));
+                       search.FindRange(v.points(),
+                                        IndexRange{0, v.rows()}, nullptr,
+                                        /*out_index=*/nullptr, d2.data());
+                       for (int64_t i = 0; i < v.rows(); ++i) {
+                         partial.Add(v.Weight(i) *
+                                     d2[static_cast<size_t>(i)]);
+                       }
+                     });
         out->Emit(0, partial.Total());
       })
       .WithCombine([](const double& a, const double& b) { return a + b; })
@@ -76,7 +86,7 @@ struct DistanceState {
 
 /// Job 1: fold rows [first, |C|) of the candidate set into the distance
 /// state via the blocked batch engine and return the updated potential φ.
-double RunUpdateCostJob(const Dataset& data, const Matrix& candidates,
+double RunUpdateCostJob(const DatasetSource& data, const Matrix& candidates,
                         int64_t first, DistanceState* state,
                         const MRContext& ctx) {
   const bool expanded = data.dim() >= kExpandedKernelMinDim;
@@ -89,22 +99,33 @@ double RunUpdateCostJob(const Dataset& data, const Matrix& candidates,
                                              data.dim()));
     }
   }
+  // Pack the new candidate rows once; every map task (and every pinned
+  // block within one) scans the same panels.
+  CenterPanels panels;
+  panels.Pack(candidates, first);
   Job<DataPartition, int, double, double> job;
   job.WithMap([&](int64_t, const DataPartition& part,
                   Emitter<int, double>* out) {
-        BatchNearestMerge(
-            data.points(), IndexRange{part.begin, part.end},
-            expanded ? state->point_norms.data() + part.begin : nullptr,
-            candidates, first,
-            expanded ? new_center_norms.data() : nullptr,
-            expanded ? BatchKernel::kExpanded : BatchKernel::kPlain,
-            state->min_d2.data() + part.begin,
-            state->closest.data() + part.begin);
         KahanSum partial;
-        for (int64_t i = part.begin; i < part.end; ++i) {
-          partial.Add(data.Weight(i) *
-                      state->min_d2[static_cast<size_t>(i)]);
-        }
+        ForEachBlock(*part.source, part.begin, part.end,
+                     [&](const DatasetView& v) {
+                       const int64_t fr = v.first_row();
+                       BatchNearestMerge(
+                           v.points(), IndexRange{0, v.rows()},
+                           expanded ? state->point_norms.data() + fr
+                                    : nullptr,
+                           panels,
+                           expanded ? new_center_norms.data() : nullptr,
+                           expanded ? BatchKernel::kExpanded
+                                    : BatchKernel::kPlain,
+                           state->min_d2.data() + fr,
+                           state->closest.data() + fr);
+                       for (int64_t i = 0; i < v.rows(); ++i) {
+                         partial.Add(
+                             v.Weight(i) *
+                             state->min_d2[static_cast<size_t>(fr + i)]);
+                       }
+                     });
         out->Emit(0, partial.Total());
       })
       .WithCombine([](const double& a, const double& b) { return a + b; })
@@ -127,7 +148,7 @@ struct ExactCandidate {
 
 /// Job 2: D² sampling. Bernoulli mode emits every selected index;
 /// exact-ℓ mode emits per-point keys and the reducer keeps the top ℓ.
-std::vector<int64_t> RunSamplingJob(const Dataset& data,
+std::vector<int64_t> RunSamplingJob(const DatasetSource& data,
                                     const DistanceState& state, double phi,
                                     double ell, int64_t ell_int,
                                     bool exact_ell, uint64_t round_seed,
@@ -138,15 +159,21 @@ std::vector<int64_t> RunSamplingJob(const Dataset& data,
     job.WithMap([&](int64_t, const DataPartition& part,
                     Emitter<int, std::vector<int64_t>>* out) {
           std::vector<int64_t> local;
-          for (int64_t i = part.begin; i < part.end; ++i) {
-            double p = ell * data.Weight(i) *
-                       state.min_d2[static_cast<size_t>(i)] / phi;
-            if (p <= 0.0) continue;
-            if (rng::UniformAtIndex(round_seed,
-                                    static_cast<uint64_t>(i)) < p) {
-              local.push_back(i);
-            }
-          }
+          ForEachBlock(*part.source, part.begin, part.end,
+                       [&](const DatasetView& v) {
+                         for (int64_t b = 0; b < v.rows(); ++b) {
+                           const int64_t i = v.first_row() + b;
+                           double p =
+                               ell * v.Weight(b) *
+                               state.min_d2[static_cast<size_t>(i)] / phi;
+                           if (p <= 0.0) continue;
+                           if (rng::UniformAtIndex(
+                                   round_seed, static_cast<uint64_t>(i)) <
+                               p) {
+                             local.push_back(i);
+                           }
+                         }
+                       });
           out->Emit(0, std::move(local));
         })
         .WithReduce([](const int&, std::vector<std::vector<int64_t>>& vs) {
@@ -170,18 +197,23 @@ std::vector<int64_t> RunSamplingJob(const Dataset& data,
           // Keep only the partition-local top ℓ (a combiner in spirit):
           // the global top ℓ is a subset of the per-partition top ℓ.
           std::vector<ExactCandidate> local;
-          for (int64_t i = part.begin; i < part.end; ++i) {
-            double w =
-                data.Weight(i) * state.min_d2[static_cast<size_t>(i)];
-            if (!(w > 0.0)) continue;
-            double u = rng::UniformAtIndex(round_seed,
-                                           static_cast<uint64_t>(i));
-            while (u <= 0.0) {
-              u = rng::UniformAtIndex(round_seed ^ 0x5bf0,
-                                      static_cast<uint64_t>(i));
-            }
-            local.push_back(ExactCandidate{std::log(u) / w, i});
-          }
+          ForEachBlock(
+              *part.source, part.begin, part.end,
+              [&](const DatasetView& v) {
+                for (int64_t b = 0; b < v.rows(); ++b) {
+                  const int64_t i = v.first_row() + b;
+                  double w =
+                      v.Weight(b) * state.min_d2[static_cast<size_t>(i)];
+                  if (!(w > 0.0)) continue;
+                  double u = rng::UniformAtIndex(round_seed,
+                                                 static_cast<uint64_t>(i));
+                  while (u <= 0.0) {
+                    u = rng::UniformAtIndex(round_seed ^ 0x5bf0,
+                                            static_cast<uint64_t>(i));
+                  }
+                  local.push_back(ExactCandidate{std::log(u) / w, i});
+                }
+              });
           auto keep = static_cast<size_t>(
               std::min<int64_t>(ell_int,
                                 static_cast<int64_t>(local.size())));
@@ -226,7 +258,7 @@ std::vector<int64_t> RunSamplingJob(const Dataset& data,
 
 /// Job 3 (Step 7): weight of every candidate = total weight of the points
 /// it attracts; (candidate, weight) pairs with a summing combiner.
-std::vector<double> RunWeightJob(const Dataset& data,
+std::vector<double> RunWeightJob(const DatasetSource& data,
                                  const DistanceState& state,
                                  int64_t num_candidates,
                                  const MRContext& ctx) {
@@ -239,10 +271,14 @@ std::vector<double> RunWeightJob(const Dataset& data,
                   Emitter<int64_t, double>* out) {
         // Local pre-aggregation keeps emissions at O(candidates), not O(n).
         std::vector<double> local(static_cast<size_t>(num_candidates), 0.0);
-        for (int64_t i = part.begin; i < part.end; ++i) {
-          local[static_cast<size_t>(
-              state.closest[static_cast<size_t>(i)])] += data.Weight(i);
-        }
+        ForEachBlock(*part.source, part.begin, part.end,
+                     [&](const DatasetView& v) {
+                       for (int64_t b = 0; b < v.rows(); ++b) {
+                         const int64_t i = v.first_row() + b;
+                         local[static_cast<size_t>(state.closest[
+                             static_cast<size_t>(i)])] += v.Weight(b);
+                       }
+                     });
         for (int64_t c = 0; c < num_candidates; ++c) {
           double w = local[static_cast<size_t>(c)];
           if (w > 0.0) out->Emit(c, w);
@@ -266,7 +302,7 @@ std::vector<double> RunWeightJob(const Dataset& data,
 
 }  // namespace
 
-Result<InitResult> MRKMeansLLInit(const Dataset& data, int64_t k,
+Result<InitResult> MRKMeansLLInit(const DatasetSource& data, int64_t k,
                                   rng::Rng rng,
                                   const KMeansLLOptions& options,
                                   const MRContext& ctx) {
@@ -289,7 +325,10 @@ Result<InitResult> MRKMeansLLInit(const Dataset& data, int64_t k,
   rng::Rng init_rng = rng.Fork(rng::StreamPurpose::kInitialCenter);
   auto first = static_cast<int64_t>(init_rng.NextBounded(data.n()));
   Matrix candidates(data.dim());
-  candidates.AppendRow(data.Point(first));
+  {
+    PinnedBlock pin = data.Pin(first, first + 1);
+    candidates.AppendRow(pin.view().Point(0));
+  }
 
   DistanceState state;
   state.min_d2.assign(static_cast<size_t>(data.n()),
@@ -297,7 +336,7 @@ Result<InitResult> MRKMeansLLInit(const Dataset& data, int64_t k,
   state.closest.assign(static_cast<size_t>(data.n()), -1);
   if (data.dim() >= kExpandedKernelMinDim) {
     // Computed once, reused by every round's update job.
-    state.point_norms = RowSquaredNorms(data.points(), ctx.pool);
+    state.point_norms = RowSquaredNorms(data, ctx.pool);
   }
 
   // Step 2: ψ via the update+cost job.
@@ -320,7 +359,8 @@ Result<InitResult> MRKMeansLLInit(const Dataset& data, int64_t k,
     result.telemetry.data_passes += 1;
 
     int64_t previous = candidates.rows();
-    for (int64_t i : chosen) candidates.AppendRow(data.Point(i));
+    // `chosen` is sorted: the gather pins each shard at most once.
+    candidates.AppendRows(GatherPoints(data, chosen));
     phi = RunUpdateCostJob(data, candidates, previous, &state, ctx);
     result.telemetry.data_passes += 1;
     result.telemetry.round_potentials.push_back(phi);
@@ -351,7 +391,7 @@ Result<InitResult> MRKMeansLLInit(const Dataset& data, int64_t k,
   return result;
 }
 
-Result<InitResult> MRRandomInit(const Dataset& data, int64_t k,
+Result<InitResult> MRRandomInit(const DatasetSource& data, int64_t k,
                                 rng::Rng rng, const MRContext& ctx) {
   if (k <= 0) return Status::InvalidArgument("k must be positive");
   if (k > data.n()) {
@@ -404,14 +444,14 @@ Result<InitResult> MRRandomInit(const Dataset& data, int64_t k,
   CountPass(ctx);
 
   InitResult result;
-  result.centers = data.points().GatherRows(outputs[0]);
+  result.centers = GatherPoints(data, outputs[0]);
   result.telemetry.rounds = 0;
   result.telemetry.data_passes = 1;
   result.telemetry.sampling_seconds = timer.ElapsedSeconds();
   return result;
 }
 
-Result<InitResult> MRPartitionInit(const Dataset& data, int64_t k,
+Result<InitResult> MRPartitionInit(const DatasetSource& data, int64_t k,
                                    rng::Rng rng,
                                    const PartitionOptions& options,
                                    const MRContext& ctx) {
@@ -450,19 +490,28 @@ Result<InitResult> MRPartitionInit(const Dataset& data, int64_t k,
         if (part.size() == 0) return;
         std::vector<int64_t> selected = internal::KMeansSharp(
             data, part.begin, part.end, batch, iterations, rng);
-        Matrix group_centers = data.points().GatherRows(selected);
+        Matrix group_centers = GatherPoints(data, selected);
         NearestCenterSearch search(group_centers);
-        std::vector<int32_t> nearest(static_cast<size_t>(part.size()));
-        std::vector<double> nearest_d2(static_cast<size_t>(part.size()));
-        search.FindRange(data.points(),
-                         IndexRange{part.begin, part.end}, nullptr,
-                         nearest.data(), nearest_d2.data());
+        search.Freeze();  // one packing for the whole partition scan
+        // Single streaming pass: per-block nearest scan feeding the
+        // weight fold directly (see MRComputeCost on why).
+        std::vector<int32_t> nearest;
+        std::vector<double> nearest_d2;
         std::vector<double> weights(selected.size(), 0.0);
-        for (int64_t i = part.begin; i < part.end; ++i) {
-          weights[static_cast<size_t>(
-              nearest[static_cast<size_t>(i - part.begin)])] +=
-              data.Weight(i);
-        }
+        ForEachBlock(*part.source, part.begin, part.end,
+                     [&](const DatasetView& v) {
+                       nearest.resize(static_cast<size_t>(v.rows()));
+                       nearest_d2.resize(static_cast<size_t>(v.rows()));
+                       search.FindRange(v.points(),
+                                        IndexRange{0, v.rows()}, nullptr,
+                                        nearest.data(),
+                                        nearest_d2.data());
+                       for (int64_t b = 0; b < v.rows(); ++b) {
+                         weights[static_cast<size_t>(
+                             nearest[static_cast<size_t>(b)])] +=
+                             v.Weight(b);
+                       }
+                     });
         std::vector<WeightedPick> picks;
         picks.reserve(selected.size());
         for (size_t s = 0; s < selected.size(); ++s) {
@@ -495,7 +544,7 @@ Result<InitResult> MRPartitionInit(const Dataset& data, int64_t k,
   result.telemetry.intermediate_centers =
       static_cast<int64_t>(all_selected.size());
   result.telemetry.data_passes = iterations + 1;
-  Matrix candidates = data.points().GatherRows(all_selected);
+  Matrix candidates = GatherPoints(data, all_selected);
   result.telemetry.sampling_seconds = timer.ElapsedSeconds();
 
   // Round 2 on a single machine, as in the paper.
@@ -512,7 +561,7 @@ Result<InitResult> MRPartitionInit(const Dataset& data, int64_t k,
   return result;
 }
 
-Result<LloydResult> MRRunLloyd(const Dataset& data,
+Result<LloydResult> MRRunLloyd(const DatasetSource& data,
                                const Matrix& initial_centers,
                                const LloydOptions& options,
                                const MRContext& ctx) {
@@ -546,29 +595,42 @@ Result<LloydResult> MRRunLloyd(const Dataset& data,
 
   for (int64_t iter = 0; iter < options.max_iterations; ++iter) {
     NearestCenterSearch search(result.centers);
+    search.Freeze();  // one packing shared by every map task and block
     std::vector<int32_t> assignment(static_cast<size_t>(data.n()), -1);
 
     Job<DataPartition, int64_t, CentroidAccum, CentroidOut> job;
     job.WithMap([&](int64_t, const DataPartition& part,
                     Emitter<int64_t, CentroidAccum>* out) {
           std::vector<CentroidAccum> local(static_cast<size_t>(k));
-          std::vector<double> d2(static_cast<size_t>(part.size()));
-          search.FindRange(data.points(),
-                           IndexRange{part.begin, part.end}, nullptr,
-                           assignment.data() + part.begin, d2.data());
-          for (int64_t i = part.begin; i < part.end; ++i) {
-            auto owner = static_cast<size_t>(
-                assignment[static_cast<size_t>(i)]);
-            auto& acc = local[owner];
-            if (acc.sum.empty()) acc.sum.assign(static_cast<size_t>(d), 0.0);
-            double w = data.Weight(i);
-            const double* point = data.Point(i);
-            for (int64_t j = 0; j < d; ++j) {
-              acc.sum[static_cast<size_t>(j)] += w * point[j];
-            }
-            acc.weight += w;
-            acc.cost += w * d2[static_cast<size_t>(i - part.begin)];
-          }
+          // Single streaming pass: assign each pinned block and fold it
+          // into the centroid accumulators before the pin drops (see
+          // MRComputeCost on why).
+          std::vector<double> d2;
+          ForEachBlock(
+              *part.source, part.begin, part.end,
+              [&](const DatasetView& v) {
+                d2.resize(static_cast<size_t>(v.rows()));
+                search.FindRange(v.points(), IndexRange{0, v.rows()},
+                                 nullptr,
+                                 assignment.data() + v.first_row(),
+                                 d2.data());
+                for (int64_t b = 0; b < v.rows(); ++b) {
+                  const int64_t i = v.first_row() + b;
+                  auto owner = static_cast<size_t>(
+                      assignment[static_cast<size_t>(i)]);
+                  auto& acc = local[owner];
+                  if (acc.sum.empty()) {
+                    acc.sum.assign(static_cast<size_t>(d), 0.0);
+                  }
+                  double w = v.Weight(b);
+                  const double* point = v.Point(b);
+                  for (int64_t j = 0; j < d; ++j) {
+                    acc.sum[static_cast<size_t>(j)] += w * point[j];
+                  }
+                  acc.weight += w;
+                  acc.cost += w * d2[static_cast<size_t>(b)];
+                }
+              });
           for (int64_t c = 0; c < k; ++c) {
             auto& acc = local[static_cast<size_t>(c)];
             if (acc.weight > 0.0) out->Emit(c, std::move(acc));
@@ -642,14 +704,16 @@ Result<LloydResult> MRRunLloyd(const Dataset& data,
     if (!empty.empty()) {
       result.empty_cluster_repairs += static_cast<int64_t>(empty.size());
       std::vector<double> repair_d2;
-      search.FindAll(data.points(), /*out_index=*/nullptr, &repair_d2,
-                     ctx.pool);
+      search.FindAll(data, /*out_index=*/nullptr, &repair_d2, ctx.pool);
       std::vector<std::pair<double, int64_t>> contributions;
       contributions.reserve(static_cast<size_t>(data.n()));
-      for (int64_t i = 0; i < data.n(); ++i) {
-        contributions.emplace_back(
-            data.Weight(i) * repair_d2[static_cast<size_t>(i)], i);
-      }
+      ForEachBlock(data, 0, data.n(), [&](const DatasetView& v) {
+        for (int64_t b = 0; b < v.rows(); ++b) {
+          const int64_t i = v.first_row() + b;
+          contributions.emplace_back(
+              v.Weight(b) * repair_d2[static_cast<size_t>(i)], i);
+        }
+      });
       std::sort(contributions.begin(), contributions.end(),
                 [](const auto& a, const auto& b) {
                   if (a.first != b.first) return a.first > b.first;
@@ -657,8 +721,10 @@ Result<LloydResult> MRRunLloyd(const Dataset& data,
                 });
       size_t next = 0;
       for (int64_t c : empty) {
-        const double* point = data.Point(contributions[next].second);
+        const int64_t source_row = contributions[next].second;
         ++next;
+        PinnedBlock pin = data.Pin(source_row, source_row + 1);
+        const double* point = pin.view().Point(0);
         double* row = new_centers.Row(c);
         for (int64_t j = 0; j < d; ++j) row[j] = point[j];
       }
@@ -693,6 +759,44 @@ Result<LloydResult> MRRunLloyd(const Dataset& data,
   // Final cost must describe the final centers.
   result.assignment.cost = MRComputeCost(data, result.centers, ctx);
   return result;
+}
+
+// --- Dataset conveniences (wrap in an InMemorySource and delegate) ------
+
+double MRComputeCost(const Dataset& data, const Matrix& centers,
+                     const MRContext& ctx) {
+  InMemorySource source = data.AsSource();
+  return MRComputeCost(source, centers, ctx);
+}
+
+Result<InitResult> MRKMeansLLInit(const Dataset& data, int64_t k,
+                                  rng::Rng rng,
+                                  const KMeansLLOptions& options,
+                                  const MRContext& ctx) {
+  InMemorySource source = data.AsSource();
+  return MRKMeansLLInit(source, k, rng, options, ctx);
+}
+
+Result<InitResult> MRRandomInit(const Dataset& data, int64_t k,
+                                rng::Rng rng, const MRContext& ctx) {
+  InMemorySource source = data.AsSource();
+  return MRRandomInit(source, k, rng, ctx);
+}
+
+Result<InitResult> MRPartitionInit(const Dataset& data, int64_t k,
+                                   rng::Rng rng,
+                                   const PartitionOptions& options,
+                                   const MRContext& ctx) {
+  InMemorySource source = data.AsSource();
+  return MRPartitionInit(source, k, rng, options, ctx);
+}
+
+Result<LloydResult> MRRunLloyd(const Dataset& data,
+                               const Matrix& initial_centers,
+                               const LloydOptions& options,
+                               const MRContext& ctx) {
+  InMemorySource source = data.AsSource();
+  return MRRunLloyd(source, initial_centers, options, ctx);
 }
 
 }  // namespace kmeansll

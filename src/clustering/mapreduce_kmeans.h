@@ -45,18 +45,35 @@ struct MRContext {
 };
 
 /// φ_X(C) computed as one MapReduce job.
+///
+/// Every driver below has a DatasetSource overload — the primary
+/// implementation: map tasks scan partitions as pinned row-block views,
+/// so a partition of a data::ShardedDataset is a shard reference (the
+/// task pins the mmap while it scans) instead of a copied sub-dataset.
+/// The Dataset overloads wrap the data in an InMemorySource and
+/// delegate.
+double MRComputeCost(const DatasetSource& data, const Matrix& centers,
+                     const MRContext& ctx);
 double MRComputeCost(const Dataset& data, const Matrix& centers,
                      const MRContext& ctx);
 
 /// k-means|| (Algorithm 2) with every data-wide step expressed as a
 /// MapReduce job; the reclustering of the small candidate set runs on
 /// "a single machine" exactly as §3.5 prescribes.
+Result<InitResult> MRKMeansLLInit(const DatasetSource& data, int64_t k,
+                                  rng::Rng rng,
+                                  const KMeansLLOptions& options,
+                                  const MRContext& ctx);
 Result<InitResult> MRKMeansLLInit(const Dataset& data, int64_t k,
                                   rng::Rng rng,
                                   const KMeansLLOptions& options,
                                   const MRContext& ctx);
 
 /// Lloyd's iteration, one job per iteration.
+Result<LloydResult> MRRunLloyd(const DatasetSource& data,
+                               const Matrix& initial_centers,
+                               const LloydOptions& options,
+                               const MRContext& ctx);
 Result<LloydResult> MRRunLloyd(const Dataset& data,
                                const Matrix& initial_centers,
                                const LloydOptions& options,
@@ -66,6 +83,8 @@ Result<LloydResult> MRRunLloyd(const Dataset& data,
 /// key Mix64(seed, index) and the k smallest keys win — an exactly
 /// uniform without-replacement sample whose outcome is independent of the
 /// partitioning (each mapper only forwards its local top-k).
+Result<InitResult> MRRandomInit(const DatasetSource& data, int64_t k,
+                                rng::Rng rng, const MRContext& ctx);
 Result<InitResult> MRRandomInit(const Dataset& data, int64_t k,
                                 rng::Rng rng, const MRContext& ctx);
 
@@ -75,6 +94,10 @@ Result<InitResult> MRRandomInit(const Dataset& data, int64_t k,
 /// sequential reclustering — the two-round structure of §4.2.1. Note
 /// that ctx.num_partitions doubles as the algorithm parameter m here;
 /// pass options.num_groups <= 0 to accept that.
+Result<InitResult> MRPartitionInit(const DatasetSource& data, int64_t k,
+                                   rng::Rng rng,
+                                   const PartitionOptions& options,
+                                   const MRContext& ctx);
 Result<InitResult> MRPartitionInit(const Dataset& data, int64_t k,
                                    rng::Rng rng,
                                    const PartitionOptions& options,

@@ -9,7 +9,7 @@
 
 namespace kmeansll {
 
-Result<MiniBatchResult> RunMiniBatch(const Dataset& data,
+Result<MiniBatchResult> RunMiniBatch(const DatasetSource& data,
                                      const Matrix& initial_centers,
                                      const MiniBatchOptions& options,
                                      rng::Rng rng) {
@@ -37,6 +37,7 @@ Result<MiniBatchResult> RunMiniBatch(const Dataset& data,
                              0.0);
 
   std::vector<int64_t> members(static_cast<size_t>(batch));
+  std::vector<double> member_weights;
   std::vector<int32_t> owner;
   std::vector<double> owner_d2;
   for (int64_t iter = 0; iter < options.iterations; ++iter) {
@@ -50,18 +51,19 @@ Result<MiniBatchResult> RunMiniBatch(const Dataset& data,
       members[static_cast<size_t>(b)] =
           static_cast<int64_t>(gen.NextBounded(data.n()));
     }
-    Matrix sampled = data.points().GatherRows(members);
+    Matrix sampled =
+        GatherPointsAndWeights(data, members, &member_weights);
     search.FindAll(sampled, &owner, &owner_d2);
     // Gradient step per member with per-center rate 1/count.
     double max_movement2 = 0.0;
     for (int64_t b = 0; b < batch; ++b) {
       int64_t c = owner[static_cast<size_t>(b)];
-      double w = data.Weight(members[static_cast<size_t>(b)]);
+      double w = member_weights[static_cast<size_t>(b)];
       if (!(w > 0.0)) continue;
       counts[static_cast<size_t>(c)] += w;
       double eta = w / counts[static_cast<size_t>(c)];
       double* center = result.centers.Row(c);
-      const double* point = data.Point(members[static_cast<size_t>(b)]);
+      const double* point = sampled.Row(b);
       double movement2 = 0.0;
       for (int64_t j = 0; j < d; ++j) {
         double delta = eta * (point[j] - center[j]);
@@ -80,6 +82,14 @@ Result<MiniBatchResult> RunMiniBatch(const Dataset& data,
   }
   result.final_cost = ComputeCost(data, result.centers);
   return result;
+}
+
+Result<MiniBatchResult> RunMiniBatch(const Dataset& data,
+                                     const Matrix& initial_centers,
+                                     const MiniBatchOptions& options,
+                                     rng::Rng rng) {
+  InMemorySource source = data.AsSource();
+  return RunMiniBatch(source, initial_centers, options, rng);
 }
 
 }  // namespace kmeansll

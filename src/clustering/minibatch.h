@@ -41,6 +41,14 @@ Result<MiniBatchResult> RunMiniBatch(const Dataset& data,
                                      const MiniBatchOptions& options,
                                      rng::Rng rng);
 
+/// As above over a DatasetSource: each iteration gathers its sampled
+/// batch (points + weights) from pinned blocks, so minibatch SGD runs
+/// over disk-resident shard stores with the in-memory behavior.
+Result<MiniBatchResult> RunMiniBatch(const DatasetSource& data,
+                                     const Matrix& initial_centers,
+                                     const MiniBatchOptions& options,
+                                     rng::Rng rng);
+
 }  // namespace kmeansll
 
 #endif  // KMEANSLL_CLUSTERING_MINIBATCH_H_

@@ -57,6 +57,40 @@ Status StreamingKMeans::Add(std::span<const double> point, double weight) {
   return Status::OK();
 }
 
+Status StreamingKMeans::AddBlock(const DatasetView& block) {
+  if (block.dim() != options_.dim) {
+    return Status::InvalidArgument(
+        "block has dimension " + std::to_string(block.dim()) +
+        ", expected " + std::to_string(options_.dim));
+  }
+  for (int64_t i = 0; i < block.rows(); ++i) {
+    KMEANSLL_RETURN_NOT_OK(
+        Add(std::span<const double>(block.Point(i),
+                                    static_cast<size_t>(block.dim())),
+            block.Weight(i)));
+  }
+  return Status::OK();
+}
+
+Status StreamingKMeans::AddSource(const DatasetSource& source) {
+  if (finalized_) {
+    return Status::FailedPrecondition("stream already finalized");
+  }
+  // Fail a dimension mismatch before touching any shard: ForEachBlock
+  // cannot break early, and pinning every remaining shard only to skip
+  // it would be wasted I/O.
+  if (source.dim() != options_.dim) {
+    return Status::InvalidArgument(
+        "source has dimension " + std::to_string(source.dim()) +
+        ", expected " + std::to_string(options_.dim));
+  }
+  Status status = Status::OK();
+  ForEachBlock(source, 0, source.n(), [&](const DatasetView& v) {
+    if (status.ok()) status = AddBlock(v);
+  });
+  return status;
+}
+
 void StreamingKMeans::CompressBlock() {
   if (block_points_.rows() == 0) return;
   auto block = Dataset::WithWeights(std::move(block_points_),

@@ -50,6 +50,16 @@ class StreamingKMeans {
   /// weight.
   Status Add(std::span<const double> point, double weight = 1.0);
 
+  /// Feeds every row of a view (the chunk-feed path: a pinned shard or
+  /// any other contiguous block streams in without a per-point call from
+  /// the caller). Unweighted views add weight 1.0 per row.
+  Status AddBlock(const DatasetView& block);
+
+  /// Streams an entire DatasetSource through the clusterer block by
+  /// block in row order — the out-of-core ingest path: only one pinned
+  /// shard plus the coreset is resident at a time.
+  Status AddSource(const DatasetSource& source);
+
   /// Flushes any buffered points and reclusters the coreset into k
   /// centers. May be called once; fails if fewer than k points were seen.
   Result<Matrix> Finalize();

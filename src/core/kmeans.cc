@@ -1,5 +1,6 @@
 #include "core/kmeans.h"
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <cstring>
@@ -36,7 +37,30 @@ KMeans::~KMeans() = default;
 
 namespace {
 
-Status ValidateConfig(const KMeansConfig& config, const Dataset& data) {
+/// ValidateFinite for a streamed source: one pass over pinned blocks,
+/// same error reporting as Dataset::ValidateFinite.
+Status ValidateFiniteSource(const DatasetSource& data) {
+  Status status = Status::OK();
+  ForEachBlock(data, 0, data.n(), [&](const DatasetView& v) {
+    if (!status.ok()) return;
+    for (int64_t i = 0; i < v.rows() && status.ok(); ++i) {
+      const double* point = v.Point(i);
+      for (int64_t j = 0; j < v.dim(); ++j) {
+        if (!std::isfinite(point[j])) {
+          status = Status::InvalidArgument(
+              "non-finite coordinate at point " +
+              std::to_string(v.first_row() + i) + ", dimension " +
+              std::to_string(j));
+          break;
+        }
+      }
+    }
+  });
+  return status;
+}
+
+Status ValidateConfig(const KMeansConfig& config,
+                      const DatasetSource& data) {
   if (config.k <= 0) return Status::InvalidArgument("k must be positive");
   if (data.n() == 0) return Status::InvalidArgument("dataset is empty");
   if (config.k > data.n()) {
@@ -56,7 +80,7 @@ Status ValidateConfig(const KMeansConfig& config, const Dataset& data) {
     return Status::InvalidArgument("num_runs must be >= 1");
   }
   if (config.validate_data) {
-    KMEANSLL_RETURN_NOT_OK(data.ValidateFinite());
+    KMEANSLL_RETURN_NOT_OK(ValidateFiniteSource(data));
   }
   return Status::OK();
 }
@@ -64,11 +88,16 @@ Status ValidateConfig(const KMeansConfig& config, const Dataset& data) {
 }  // namespace
 
 Result<InitResult> KMeans::Initialize(const Dataset& data) const {
+  InMemorySource source = data.AsSource();
+  return Initialize(source);
+}
+
+Result<InitResult> KMeans::Initialize(const DatasetSource& data) const {
   return InitializeWithContext(data, nullptr, config_.seed);
 }
 
 Result<InitResult> KMeans::InitializeWithContext(
-    const Dataset& data, mapreduce::Counters* counters,
+    const DatasetSource& data, mapreduce::Counters* counters,
     uint64_t seed) const {
   KMEANSLL_RETURN_NOT_OK(ValidateConfig(config_, data));
   rng::Rng rng = rng::MakeRootRng(seed);
@@ -105,6 +134,11 @@ Result<InitResult> KMeans::InitializeWithContext(
 }
 
 Result<KMeansReport> KMeans::Fit(const Dataset& data) const {
+  InMemorySource source = data.AsSource();
+  return Fit(source);
+}
+
+Result<KMeansReport> KMeans::Fit(const DatasetSource& data) const {
   KMEANSLL_RETURN_NOT_OK(ValidateConfig(config_, data));
   WallTimer total_timer;
   KMeansReport report;
@@ -122,7 +156,7 @@ Result<KMeansReport> KMeans::Fit(const Dataset& data) const {
   std::vector<double> norm_storage;
   if (!config_.use_mapreduce &&
       ResolveExpandedKernel(BatchKernel::kAuto, data.dim())) {
-    norm_storage = RowSquaredNorms(data.points(), pool_.get());
+    norm_storage = RowSquaredNorms(data, pool_.get());
   }
   const double* point_norms =
       norm_storage.empty() ? nullptr : norm_storage.data();
@@ -196,6 +230,10 @@ Result<KMeansReport> KMeans::Fit(const Dataset& data) const {
 }
 
 Assignment Predict(const Matrix& centers, const Dataset& data) {
+  return ComputeAssignment(data, centers);
+}
+
+Assignment Predict(const Matrix& centers, const DatasetSource& data) {
   return ComputeAssignment(data, centers);
 }
 

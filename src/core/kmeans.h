@@ -118,15 +118,22 @@ class KMeans {
   /// configuration or data (empty, k > n, dimension mismatch...).
   Result<KMeansReport> Fit(const Dataset& data) const;
 
+  /// Out-of-core Fit: the same pipeline over a DatasetSource (e.g. a
+  /// data::ShardedDataset whose pinned window is smaller than the data).
+  /// Produces bitwise-identical reports to the in-memory overload for
+  /// the same rows and configuration.
+  Result<KMeansReport> Fit(const DatasetSource& data) const;
+
   /// Runs only the configured initializer (the paper's "seed" rows).
   Result<InitResult> Initialize(const Dataset& data) const;
+  Result<InitResult> Initialize(const DatasetSource& data) const;
 
   const KMeansConfig& config() const { return config_; }
 
  private:
   /// Initialize with MapReduce counters wired through and an explicit
   /// root seed (Fit's best-of-num_runs path).
-  Result<InitResult> InitializeWithContext(const Dataset& data,
+  Result<InitResult> InitializeWithContext(const DatasetSource& data,
                                            mapreduce::Counters* counters,
                                            uint64_t seed) const;
 
@@ -136,6 +143,7 @@ class KMeans {
 
 /// Assigns every row of `data` to its nearest center.
 Assignment Predict(const Matrix& centers, const Dataset& data);
+Assignment Predict(const Matrix& centers, const DatasetSource& data);
 
 /// Persists centers in a small self-describing binary format
 /// ("KMLLMODL" magic, version, k, d, row-major doubles).

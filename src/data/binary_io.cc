@@ -16,12 +16,18 @@ constexpr uint32_t kFlagLabels = 1u << 1;
 
 }  // namespace
 
-Status WriteBinary(const Dataset& dataset, const std::string& path) {
+Status WriteBinaryRange(const Dataset& dataset, int64_t begin, int64_t end,
+                        const std::string& path) {
+  if (begin < 0 || begin > end || end > dataset.n()) {
+    return Status::InvalidArgument(
+        "row range [" + std::to_string(begin) + ", " + std::to_string(end) +
+        ") out of bounds for n=" + std::to_string(dataset.n()));
+  }
   std::ofstream out(path, std::ios::binary);
   if (!out.is_open()) {
     return Status::IOError("cannot open '" + path + "' for writing");
   }
-  int64_t n = dataset.n();
+  int64_t n = end - begin;
   int64_t d = dataset.dim();
   uint32_t flags = 0;
   if (dataset.has_weights()) flags |= kFlagWeights;
@@ -33,18 +39,25 @@ Status WriteBinary(const Dataset& dataset, const std::string& path) {
   out.write(reinterpret_cast<const char*>(&n), sizeof(n));
   out.write(reinterpret_cast<const char*>(&d), sizeof(d));
   out.write(reinterpret_cast<const char*>(&flags), sizeof(flags));
-  out.write(reinterpret_cast<const char*>(dataset.points().data()),
+  out.write(reinterpret_cast<const char*>(dataset.points().data() +
+                                          begin * d),
             static_cast<std::streamsize>(n * d * sizeof(double)));
   if (dataset.has_weights()) {
-    out.write(reinterpret_cast<const char*>(dataset.weights().data()),
+    out.write(reinterpret_cast<const char*>(dataset.weights().data() +
+                                            begin),
               static_cast<std::streamsize>(n * sizeof(double)));
   }
   if (dataset.has_labels()) {
-    out.write(reinterpret_cast<const char*>(dataset.labels().data()),
+    out.write(reinterpret_cast<const char*>(dataset.labels().data() +
+                                            begin),
               static_cast<std::streamsize>(n * sizeof(int32_t)));
   }
   if (!out.good()) return Status::IOError("write to '" + path + "' failed");
   return Status::OK();
+}
+
+Status WriteBinary(const Dataset& dataset, const std::string& path) {
+  return WriteBinaryRange(dataset, 0, dataset.n(), path);
 }
 
 Result<Dataset> ReadBinary(const std::string& path) {

@@ -16,6 +16,14 @@ namespace kmeansll::data {
 /// Writes `dataset` (points, weights if any, labels if any).
 Status WriteBinary(const Dataset& dataset, const std::string& path);
 
+/// Writes rows [begin, end) of `dataset` as a self-contained KMLLDATA
+/// file (the slice reads back with ReadBinary like any dataset). This is
+/// the primitive the shard writer (data/shard_store.h) uses: each shard
+/// is one range write, so shards are individually loadable and the
+/// full-file format is the one-shard special case.
+Status WriteBinaryRange(const Dataset& dataset, int64_t begin, int64_t end,
+                        const std::string& path);
+
 /// Reads a dataset written by WriteBinary. Fails on bad magic, version
 /// mismatch, implausible shape, or truncation.
 Result<Dataset> ReadBinary(const std::string& path);

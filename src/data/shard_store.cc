@@ -1,0 +1,511 @@
+#include "data/shard_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+
+#if defined(_WIN32)
+#include <cstdlib>
+#else
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include "common/macros.h"
+#include "common/math_util.h"
+#include "data/binary_io.h"
+
+namespace kmeansll::data {
+
+namespace {
+
+constexpr char kManifestMagic[8] = {'K', 'M', 'L', 'L', 'S', 'H', 'R', 'D'};
+constexpr int32_t kManifestVersion = 1;
+
+// KMLLDATA shard header (see data/binary_io.cc): magic(8) + version(4) +
+// n(8) + d(8) + flags(4).
+constexpr int64_t kShardHeaderBytes = 32;
+constexpr char kShardMagic[8] = {'K', 'M', 'L', 'L', 'D', 'A', 'T', 'A'};
+constexpr int32_t kShardVersion = 1;
+constexpr uint32_t kFlagWeights = 1u << 0;
+constexpr uint32_t kFlagLabels = 1u << 1;
+
+/// Bytes a shard file must hold for `rows` rows of the manifest's shape.
+int64_t ShardFileBytes(int64_t rows, int64_t dim, bool weights,
+                       bool labels) {
+  int64_t bytes = kShardHeaderBytes +
+                  rows * dim * static_cast<int64_t>(sizeof(double));
+  if (weights) bytes += rows * static_cast<int64_t>(sizeof(double));
+  if (labels) bytes += rows * static_cast<int64_t>(sizeof(int32_t));
+  return bytes;
+}
+
+/// Directory prefix of `path` including the trailing separator ("" when
+/// the path has no directory component).
+std::string DirOf(const std::string& path) {
+  size_t slash = path.find_last_of("/\\");
+  return slash == std::string::npos ? std::string()
+                                    : path.substr(0, slash + 1);
+}
+
+std::string BaseNameOf(const std::string& path) {
+  size_t slash = path.find_last_of("/\\");
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+int64_t FileSizeOf(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.is_open()) return -1;
+  return static_cast<int64_t>(in.tellg());
+}
+
+}  // namespace
+
+Result<ShardManifest> WriteShards(const Dataset& dataset,
+                                  const std::string& manifest_path,
+                                  const ShardWriteOptions& options) {
+  if ((options.num_shards > 0) == (options.rows_per_shard > 0)) {
+    return Status::InvalidArgument(
+        "exactly one of num_shards and rows_per_shard must be positive");
+  }
+  if (dataset.n() <= 0 || dataset.dim() <= 0) {
+    return Status::InvalidArgument("cannot shard an empty dataset");
+  }
+
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  if (options.num_shards > 0) {
+    if (options.num_shards > dataset.n()) {
+      return Status::InvalidArgument(
+          "num_shards " + std::to_string(options.num_shards) +
+          " exceeds row count " + std::to_string(dataset.n()));
+    }
+    ranges = dataset.SplitRanges(options.num_shards);
+  } else {
+    for (int64_t begin = 0; begin < dataset.n();
+         begin += options.rows_per_shard) {
+      ranges.emplace_back(begin, std::min(begin + options.rows_per_shard,
+                                          dataset.n()));
+    }
+  }
+
+  ShardManifest manifest;
+  manifest.n = dataset.n();
+  manifest.dim = dataset.dim();
+  manifest.has_weights = dataset.has_weights();
+  manifest.has_labels = dataset.has_labels();
+
+  const std::string base = BaseNameOf(manifest_path);
+  const std::string dir = DirOf(manifest_path);
+  for (size_t s = 0; s < ranges.size(); ++s) {
+    const auto& [begin, end] = ranges[s];
+    ShardInfo info;
+    info.file = base + ".shard" + std::to_string(s);
+    info.rows = end - begin;
+    info.first_row = begin;
+    KMEANSLL_RETURN_NOT_OK(
+        WriteBinaryRange(dataset, begin, end, dir + info.file));
+    manifest.shards.push_back(std::move(info));
+  }
+
+  std::ofstream out(manifest_path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + manifest_path +
+                           "' for writing");
+  }
+  out.write(kManifestMagic, sizeof(kManifestMagic));
+  int32_t version = kManifestVersion;
+  uint32_t flags = 0;
+  if (manifest.has_weights) flags |= kFlagWeights;
+  if (manifest.has_labels) flags |= kFlagLabels;
+  auto num_shards = static_cast<int32_t>(manifest.shards.size());
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&manifest.n),
+            sizeof(manifest.n));
+  out.write(reinterpret_cast<const char*>(&manifest.dim),
+            sizeof(manifest.dim));
+  out.write(reinterpret_cast<const char*>(&flags), sizeof(flags));
+  out.write(reinterpret_cast<const char*>(&num_shards),
+            sizeof(num_shards));
+  for (const ShardInfo& info : manifest.shards) {
+    out.write(reinterpret_cast<const char*>(&info.rows),
+              sizeof(info.rows));
+    auto len = static_cast<int32_t>(info.file.size());
+    out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    out.write(info.file.data(), len);
+  }
+  if (!out.good()) {
+    return Status::IOError("write to '" + manifest_path + "' failed");
+  }
+  return manifest;
+}
+
+Result<ShardManifest> ReadShardManifest(const std::string& manifest_path) {
+  std::ifstream in(manifest_path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open '" + manifest_path +
+                           "' for reading");
+  }
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() ||
+      std::memcmp(magic, kManifestMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("'" + manifest_path +
+                                   "' is not a kmeansll shard manifest");
+  }
+  int32_t version = 0;
+  int32_t num_shards = 0;
+  uint32_t flags = 0;
+  ShardManifest manifest;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&manifest.n), sizeof(manifest.n));
+  in.read(reinterpret_cast<char*>(&manifest.dim), sizeof(manifest.dim));
+  in.read(reinterpret_cast<char*>(&flags), sizeof(flags));
+  in.read(reinterpret_cast<char*>(&num_shards), sizeof(num_shards));
+  if (!in.good() || version != kManifestVersion) {
+    return Status::InvalidArgument("unsupported shard manifest version in '" +
+                                   manifest_path + "'");
+  }
+  if (manifest.n <= 0 || manifest.dim <= 0 ||
+      manifest.n > (int64_t{1} << 40) ||
+      manifest.dim > (int64_t{1} << 24) || num_shards <= 0 ||
+      num_shards > (1 << 24)) {
+    return Status::InvalidArgument("implausible shard manifest shape in '" +
+                                   manifest_path + "'");
+  }
+  manifest.has_weights = (flags & kFlagWeights) != 0;
+  manifest.has_labels = (flags & kFlagLabels) != 0;
+
+  int64_t next_row = 0;
+  for (int32_t s = 0; s < num_shards; ++s) {
+    ShardInfo info;
+    int32_t len = 0;
+    in.read(reinterpret_cast<char*>(&info.rows), sizeof(info.rows));
+    in.read(reinterpret_cast<char*>(&len), sizeof(len));
+    if (!in.good() || info.rows <= 0 || len <= 0 || len > (1 << 16)) {
+      return Status::InvalidArgument("corrupt shard table in '" +
+                                     manifest_path + "'");
+    }
+    info.file.resize(static_cast<size_t>(len));
+    in.read(info.file.data(), len);
+    if (!in.good()) {
+      return Status::IOError("'" + manifest_path + "' is truncated");
+    }
+    info.first_row = next_row;
+    next_row += info.rows;
+    manifest.shards.push_back(std::move(info));
+  }
+  if (next_row != manifest.n) {
+    return Status::InvalidArgument(
+        "shard rows sum to " + std::to_string(next_row) + " but '" +
+        manifest_path + "' declares n=" + std::to_string(manifest.n));
+  }
+  return manifest;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedDataset
+// ---------------------------------------------------------------------------
+
+struct ShardedDataset::Impl {
+  struct Shard {
+    std::string path;     // resolved (manifest dir + relative name)
+    int64_t rows = 0;
+    int64_t first_row = 0;
+    int64_t file_bytes = 0;  // exact bytes the mapping covers
+
+    // Mutable residency state, guarded by `mutex`.
+    const char* base = nullptr;  // mapping base (null = not resident)
+    int64_t pin_count = 0;
+    uint64_t last_use = 0;
+  };
+
+  ShardManifest manifest;
+  ShardedDatasetOptions options;
+  std::vector<Shard> shards;
+
+  mutable std::mutex mutex;
+  mutable uint64_t use_tick = 0;
+  mutable IoStats stats;
+  mutable bool total_weight_cached = false;
+  mutable double total_weight = 0.0;
+
+  ~Impl() {
+    for (Shard& shard : shards) {
+      if (shard.base != nullptr) Unmap(shard);
+    }
+  }
+
+  static void Unmap(Shard& shard) {
+#if defined(_WIN32)
+    std::free(const_cast<char*>(shard.base));
+#else
+    ::munmap(const_cast<char*>(shard.base),
+             static_cast<size_t>(shard.file_bytes));
+#endif
+    shard.base = nullptr;
+  }
+
+  /// Maps `shard` read-only. Caller holds `mutex`.
+  Status Map(Shard& shard) {
+#if defined(_WIN32)
+    // Portability fallback: read the file into a heap buffer. Same view
+    // semantics, no mmap.
+    std::ifstream in(shard.path, std::ios::binary);
+    if (!in.is_open()) {
+      return Status::IOError("cannot open shard '" + shard.path + "'");
+    }
+    char* buffer = static_cast<char*>(
+        std::malloc(static_cast<size_t>(shard.file_bytes)));
+    if (buffer == nullptr) return Status::IOError("out of memory");
+    in.read(buffer, static_cast<std::streamsize>(shard.file_bytes));
+    if (!in.good()) {
+      std::free(buffer);
+      return Status::IOError("shard '" + shard.path + "' is truncated");
+    }
+    shard.base = buffer;
+#else
+    int fd = ::open(shard.path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return Status::IOError("cannot open shard '" + shard.path + "'");
+    }
+    void* mapping = ::mmap(nullptr, static_cast<size_t>(shard.file_bytes),
+                           PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (mapping == MAP_FAILED) {
+      return Status::IOError("mmap of shard '" + shard.path + "' failed");
+    }
+    shard.base = static_cast<const char*>(mapping);
+#endif
+    ++stats.maps;
+    stats.resident_bytes += shard.file_bytes;
+    stats.peak_resident_bytes =
+        std::max(stats.peak_resident_bytes, stats.resident_bytes);
+    return Status::OK();
+  }
+
+  /// Evicts least-recently-used unpinned shards while over budget.
+  /// Caller holds `mutex`.
+  void EvictOverBudget() {
+    if (options.max_resident_bytes <= 0) return;
+    while (stats.resident_bytes > options.max_resident_bytes) {
+      Shard* victim = nullptr;
+      for (Shard& shard : shards) {
+        if (shard.base == nullptr || shard.pin_count > 0) continue;
+        if (victim == nullptr || shard.last_use < victim->last_use) {
+          victim = &shard;
+        }
+      }
+      if (victim == nullptr) return;  // everything resident is pinned
+      Unmap(*victim);
+      stats.resident_bytes -= victim->file_bytes;
+      ++stats.evictions;
+    }
+  }
+
+  /// Shard index owning global row `row` (shards are sorted by
+  /// first_row and contiguous).
+  size_t ShardIndexOf(int64_t row) const {
+    size_t lo = 0, hi = shards.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi + 1) / 2;
+      if (shards[mid].first_row <= row) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return lo;
+  }
+
+  void Unpin(size_t shard_index) {
+    std::lock_guard<std::mutex> lock(mutex);
+    Shard& shard = shards[shard_index];
+    KMEANSLL_CHECK_GT(shard.pin_count, 0);
+    --shard.pin_count;
+    // Enforce the window as soon as a pin drops, so a streaming pass
+    // never holds more than the budget plus its own pinned shards.
+    EvictOverBudget();
+  }
+};
+
+ShardedDataset::ShardedDataset(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+ShardedDataset::ShardedDataset(ShardedDataset&&) noexcept = default;
+ShardedDataset& ShardedDataset::operator=(ShardedDataset&&) noexcept =
+    default;
+ShardedDataset::~ShardedDataset() = default;
+
+Result<ShardedDataset> ShardedDataset::Open(
+    const std::string& manifest_path, const ShardedDatasetOptions& options) {
+  KMEANSLL_ASSIGN_OR_RETURN(ShardManifest manifest,
+                            ReadShardManifest(manifest_path));
+  auto impl = std::make_unique<Impl>();
+  impl->options = options;
+
+  const std::string dir = DirOf(manifest_path);
+  for (const ShardInfo& info : manifest.shards) {
+    Impl::Shard shard;
+    shard.path = dir + info.file;
+    shard.rows = info.rows;
+    shard.first_row = info.first_row;
+    shard.file_bytes = ShardFileBytes(info.rows, manifest.dim,
+                                      manifest.has_weights,
+                                      manifest.has_labels);
+
+    // Validate the shard header and size now: a corrupt or truncated
+    // shard fails Open instead of a mid-scan pin.
+    std::ifstream in(shard.path, std::ios::binary);
+    if (!in.is_open()) {
+      return Status::IOError("cannot open shard '" + shard.path + "'");
+    }
+    char magic[8];
+    int32_t version = 0;
+    int64_t rows = 0, dim = 0;
+    uint32_t flags = 0;
+    in.read(magic, sizeof(magic));
+    if (!in.good() || std::memcmp(magic, kShardMagic, sizeof(magic)) != 0) {
+      return Status::InvalidArgument("shard '" + shard.path +
+                                     "' is not a kmeansll dataset file");
+    }
+    in.read(reinterpret_cast<char*>(&version), sizeof(version));
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+    in.read(reinterpret_cast<char*>(&flags), sizeof(flags));
+    if (!in.good() || version != kShardVersion) {
+      return Status::InvalidArgument("unsupported shard version in '" +
+                                     shard.path + "'");
+    }
+    uint32_t expected_flags = 0;
+    if (manifest.has_weights) expected_flags |= kFlagWeights;
+    if (manifest.has_labels) expected_flags |= kFlagLabels;
+    if (rows != info.rows || dim != manifest.dim ||
+        flags != expected_flags) {
+      return Status::InvalidArgument(
+          "shard '" + shard.path + "' header (rows=" + std::to_string(rows) +
+          ", dim=" + std::to_string(dim) +
+          ", flags=" + std::to_string(flags) +
+          ") disagrees with the manifest");
+    }
+    int64_t actual_bytes = FileSizeOf(shard.path);
+    if (actual_bytes < shard.file_bytes) {
+      return Status::IOError("shard '" + shard.path + "' is truncated (" +
+                             std::to_string(actual_bytes) + " bytes, need " +
+                             std::to_string(shard.file_bytes) + ")");
+    }
+    impl->shards.push_back(std::move(shard));
+  }
+  impl->manifest = std::move(manifest);
+  return ShardedDataset(std::move(impl));
+}
+
+int64_t ShardedDataset::n() const { return impl_->manifest.n; }
+int64_t ShardedDataset::dim() const { return impl_->manifest.dim; }
+bool ShardedDataset::has_weights() const {
+  return impl_->manifest.has_weights;
+}
+bool ShardedDataset::has_labels() const {
+  return impl_->manifest.has_labels;
+}
+
+int64_t ShardedDataset::num_shards() const {
+  return static_cast<int64_t>(impl_->shards.size());
+}
+
+std::pair<int64_t, int64_t> ShardedDataset::ShardRows(int64_t s) const {
+  const Impl::Shard& shard = impl_->shards[static_cast<size_t>(s)];
+  return {shard.first_row, shard.first_row + shard.rows};
+}
+
+std::vector<std::pair<int64_t, int64_t>> ShardedDataset::ShardRanges()
+    const {
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  ranges.reserve(impl_->shards.size());
+  for (const Impl::Shard& shard : impl_->shards) {
+    ranges.emplace_back(shard.first_row, shard.first_row + shard.rows);
+  }
+  return ranges;
+}
+
+const ShardManifest& ShardedDataset::manifest() const {
+  return impl_->manifest;
+}
+
+ShardedDataset::IoStats ShardedDataset::io_stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->stats;
+}
+
+PinnedBlock ShardedDataset::Pin(int64_t begin, int64_t end) const {
+  Impl* impl = impl_.get();
+  KMEANSLL_CHECK(begin >= 0 && begin < end && end <= impl->manifest.n);
+
+  size_t shard_index;
+  const char* base;
+  {
+    std::lock_guard<std::mutex> lock(impl->mutex);
+    shard_index = impl->ShardIndexOf(begin);
+    Impl::Shard& shard = impl->shards[shard_index];
+    if (shard.base == nullptr) {
+      Status status = impl->Map(shard);
+      // Pin has no error channel (the storage layer treats a vanished or
+      // unmappable shard after a successful Open as unrecoverable).
+      KMEANSLL_CHECK(status.ok());
+    }
+    ++shard.pin_count;
+    shard.last_use = ++impl->use_tick;
+    // A fresh map may have pushed residency over the window; evict
+    // other, unpinned shards now.
+    impl->EvictOverBudget();
+    base = shard.base;
+  }
+
+  const Impl::Shard& shard = impl->shards[shard_index];
+  const int64_t local_first = begin - shard.first_row;
+  const int64_t local_end =
+      std::min(end - shard.first_row, shard.rows);
+  const int64_t d = impl->manifest.dim;
+
+  const char* cursor = base + kShardHeaderBytes;
+  const auto* points = reinterpret_cast<const double*>(cursor);
+  cursor += shard.rows * d * static_cast<int64_t>(sizeof(double));
+  const double* weights = nullptr;
+  if (impl->manifest.has_weights) {
+    weights = reinterpret_cast<const double*>(cursor);
+    cursor += shard.rows * static_cast<int64_t>(sizeof(double));
+  }
+  const int32_t* labels = nullptr;
+  if (impl->manifest.has_labels) {
+    labels = reinterpret_cast<const int32_t*>(cursor);
+  }
+
+  DatasetView shard_view(ConstMatrixView(points, shard.rows, d),
+                         shard.first_row, weights, labels);
+  return PinnedBlock(shard_view.Slice(local_first, local_end),
+                     [impl, shard_index] { impl->Unpin(shard_index); });
+}
+
+double ShardedDataset::TotalWeight() const {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (impl_->total_weight_cached) return impl_->total_weight;
+  }
+  double total;
+  if (!impl_->manifest.has_weights) {
+    total = static_cast<double>(impl_->manifest.n);
+  } else {
+    KahanSum sum;
+    ForEachBlock(*this, 0, n(), [&](const DatasetView& v) {
+      for (int64_t i = 0; i < v.rows(); ++i) sum.Add(v.Weight(i));
+    });
+    total = sum.Total();
+  }
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->total_weight_cached = true;
+  impl_->total_weight = total;
+  return total;
+}
+
+}  // namespace kmeansll::data

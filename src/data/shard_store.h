@@ -1,0 +1,138 @@
+// Sharded, disk-resident dataset storage — the out-of-core leg of the
+// storage layer (see docs/ARCHITECTURE.md "Storage layer").
+//
+// A sharded dataset is a manifest file ("KMLLSHRD") plus N shard files,
+// each an ordinary KMLLDATA binary (data/binary_io.h) holding a
+// contiguous row range, so every shard also loads standalone with
+// ReadBinary. ShardedDataset implements DatasetSource by memory-mapping
+// shards on demand: Pin(begin, end) maps the shard containing `begin`
+// (if not already resident), bumps its pin count, and returns a
+// DatasetView straight into the mapping — no copy, no parse. An LRU
+// window (max_resident_bytes) bounds how much of the data stays mapped:
+// unpinned shards are evicted least-recently-used first, while pinned
+// shards never evict, so concurrent chunked passes from a thread pool
+// are always safe (the window may be exceeded transiently while pins
+// demand it).
+//
+// Determinism: a pinned view exposes the bytes WriteShards wrote, which
+// are the bytes the in-memory dataset held, so every consumer of the
+// storage layer produces bitwise-identical results over a ShardedDataset
+// and over the original Dataset (tests/shard_store_test.cc asserts this
+// for k-means||, k-means++, and all three Lloyd variants at pool sizes
+// null/1/4 with a window smaller than the data).
+
+#ifndef KMEANSLL_DATA_SHARD_STORE_H_
+#define KMEANSLL_DATA_SHARD_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "matrix/dataset.h"
+#include "matrix/dataset_view.h"
+
+namespace kmeansll::data {
+
+/// One shard entry of a manifest.
+struct ShardInfo {
+  std::string file;      ///< shard filename, relative to the manifest
+  int64_t rows = 0;      ///< row count of this shard
+  int64_t first_row = 0; ///< global index of the shard's first row
+};
+
+/// Parsed manifest: dataset shape plus the shard table.
+struct ShardManifest {
+  int64_t n = 0;
+  int64_t dim = 0;
+  bool has_weights = false;
+  bool has_labels = false;
+  std::vector<ShardInfo> shards;
+};
+
+/// How WriteShards splits the rows. Exactly one of the two must be
+/// positive: `num_shards` splits near-equally (the Dataset::SplitRanges
+/// split), `rows_per_shard` caps each shard's row count (last shard may
+/// be smaller).
+struct ShardWriteOptions {
+  int64_t num_shards = 0;
+  int64_t rows_per_shard = 0;
+};
+
+/// Writes `dataset` as a manifest at `manifest_path` plus shard files
+/// "<manifest_path>.shard<i>" next to it (each a standalone KMLLDATA
+/// file). Returns the manifest that was written.
+Result<ShardManifest> WriteShards(const Dataset& dataset,
+                                  const std::string& manifest_path,
+                                  const ShardWriteOptions& options);
+
+/// Reads and validates a manifest (shape plausibility, shard table
+/// consistency). Does not open the shard files; ShardedDataset::Open
+/// validates those.
+Result<ShardManifest> ReadShardManifest(const std::string& manifest_path);
+
+/// Residency policy for an open ShardedDataset.
+struct ShardedDatasetOptions {
+  /// Maximum bytes of shard files kept memory-mapped at once; 0 means
+  /// unbounded. Pinned shards never evict, so a window smaller than one
+  /// shard degenerates to exactly-one-resident-at-a-time streaming.
+  int64_t max_resident_bytes = 0;
+};
+
+/// DatasetSource over a sharded on-disk dataset. Thread-safe: Pin and
+/// pin release may be called concurrently from pool workers. Movable,
+/// not copyable.
+class ShardedDataset final : public DatasetSource {
+ public:
+  /// Residency/IO telemetry (monotonic counters; resident is current).
+  struct IoStats {
+    int64_t maps = 0;             ///< shard mmap calls (includes re-maps)
+    int64_t evictions = 0;        ///< shards unmapped by the LRU window
+    int64_t resident_bytes = 0;   ///< bytes currently mapped
+    int64_t peak_resident_bytes = 0;
+  };
+
+  /// Opens a sharded dataset: parses the manifest and validates every
+  /// shard file's header (magic, version, shape, flags) and size against
+  /// it up front, so corruption fails here rather than mid-scan. Mapping
+  /// is lazy — no shard is mmap'd until first pinned.
+  static Result<ShardedDataset> Open(const std::string& manifest_path,
+                                     const ShardedDatasetOptions& options =
+                                         ShardedDatasetOptions{});
+
+  ShardedDataset(ShardedDataset&&) noexcept;
+  ShardedDataset& operator=(ShardedDataset&&) noexcept;
+  ShardedDataset(const ShardedDataset&) = delete;
+  ShardedDataset& operator=(const ShardedDataset&) = delete;
+  ~ShardedDataset() override;
+
+  // DatasetSource:
+  int64_t n() const override;
+  int64_t dim() const override;
+  bool has_weights() const override;
+  bool has_labels() const override;
+  /// Computed on first call (one streamed pass) and cached.
+  double TotalWeight() const override;
+  PinnedBlock Pin(int64_t begin, int64_t end) const override;
+
+  int64_t num_shards() const;
+  /// Global [begin, end) row range of shard s — e.g. to build
+  /// shard-aligned MapReduce partitions (mapreduce/partition.h).
+  std::pair<int64_t, int64_t> ShardRows(int64_t s) const;
+  /// All shard ranges in order (convenience for MakeAlignedPartitions).
+  std::vector<std::pair<int64_t, int64_t>> ShardRanges() const;
+
+  const ShardManifest& manifest() const;
+  IoStats io_stats() const;
+
+ private:
+  struct Impl;
+  explicit ShardedDataset(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace kmeansll::data
+
+#endif  // KMEANSLL_DATA_SHARD_STORE_H_

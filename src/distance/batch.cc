@@ -404,7 +404,7 @@ inline void SqPanelTail(const double* x, const double* panel, int64_t d,
 // order within each point tile, so a merge that scans d2v left-to-right
 // observes centers exactly like a sequential ascending scan.
 template <typename Merge>
-void PanelScan(const Matrix& points, IndexRange rows,
+void PanelScan(ConstMatrixView points, IndexRange rows,
                const double* point_norms, const CenterPanels& panels,
                const double* center_norms, bool expanded, Merge&& merge) {
   const int64_t d = panels.dim();
@@ -485,7 +485,7 @@ void PanelScan(const Matrix& points, IndexRange rows,
 
 // Validates shared preconditions and reports whether there is anything to
 // scan; resolves the kernel choice into *expanded.
-bool PrepareScan(const Matrix& points, IndexRange rows,
+bool PrepareScan(ConstMatrixView points, IndexRange rows,
                  const CenterPanels& panels, const double* center_norms,
                  BatchKernel kernel, bool* expanded) {
   KMEANSLL_CHECK_EQ(panels.dim(), points.cols());
@@ -504,7 +504,7 @@ bool PrepareScan(const Matrix& points, IndexRange rows,
 // SquaredNorm chain (amortized over the whole n × k scan, so a per-call
 // vector is fine). One definition: this chain is the bitwise-consistency
 // linchpin between provided and internal norms.
-const double* EnsurePointNorms(const Matrix& points, IndexRange rows,
+const double* EnsurePointNorms(ConstMatrixView points, IndexRange rows,
                                bool expanded, const double* point_norms,
                                std::vector<double>* storage) {
   if (!expanded || point_norms != nullptr) return point_norms;
@@ -547,7 +547,7 @@ void CenterPanels::Clear() {
   first_center_ = 0;
 }
 
-void BatchNearestMerge(const Matrix& points, IndexRange rows,
+void BatchNearestMerge(ConstMatrixView points, IndexRange rows,
                        const double* point_norms,
                        const CenterPanels& panels,
                        const double* center_norms, BatchKernel kernel,
@@ -588,7 +588,7 @@ void BatchNearestMerge(const Matrix& points, IndexRange rows,
             });
 }
 
-void BatchNearestMerge(const Matrix& points, IndexRange rows,
+void BatchNearestMerge(ConstMatrixView points, IndexRange rows,
                        const double* point_norms, const Matrix& centers,
                        int64_t first_center, const double* center_norms,
                        BatchKernel kernel, double* best_d2,
@@ -619,7 +619,7 @@ void BatchNearestMerge(const Matrix& points, IndexRange rows,
                     kernel, best_d2, best_index);
 }
 
-void BatchTwoNearest(const Matrix& points, IndexRange rows,
+void BatchTwoNearest(ConstMatrixView points, IndexRange rows,
                      const double* point_norms, const CenterPanels& panels,
                      const double* center_norms, BatchKernel kernel,
                      int32_t* out_index, double* out_d1, double* out_d2) {
@@ -656,7 +656,7 @@ void BatchTwoNearest(const Matrix& points, IndexRange rows,
             });
 }
 
-void BatchDistances(const Matrix& points, IndexRange rows,
+void BatchDistances(ConstMatrixView points, IndexRange rows,
                     const double* point_norms, const CenterPanels& panels,
                     const double* center_norms, BatchKernel kernel,
                     double* out_d2) {

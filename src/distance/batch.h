@@ -161,7 +161,7 @@ class CenterPanels {
 ///
 /// Packs the centers on every call; callers that reuse a frozen center
 /// set should pack once into CenterPanels and use the overload below.
-void BatchNearestMerge(const Matrix& points, IndexRange rows,
+void BatchNearestMerge(ConstMatrixView points, IndexRange rows,
                        const double* point_norms, const Matrix& centers,
                        int64_t first_center, const double* center_norms,
                        BatchKernel kernel, double* best_d2,
@@ -175,7 +175,7 @@ void BatchNearestMerge(const Matrix& points, IndexRange rows,
 /// ||panel center c||², i.e. indexed relative to panels.first_center()) —
 /// panels store coordinates t-major, so norms cannot be recomputed here
 /// with the caller-visible SquaredNorm chain.
-void BatchNearestMerge(const Matrix& points, IndexRange rows,
+void BatchNearestMerge(ConstMatrixView points, IndexRange rows,
                        const double* point_norms,
                        const CenterPanels& panels,
                        const double* center_norms, BatchKernel kernel,
@@ -194,7 +194,7 @@ void BatchNearestMerge(const Matrix& points, IndexRange rows,
 /// This is the Hamerly-bound primitive: d1 seeds the upper bound and d2
 /// the lower bound of the full-scan points. Same kernel/norm
 /// preconditions as the panels overload of BatchNearestMerge.
-void BatchTwoNearest(const Matrix& points, IndexRange rows,
+void BatchTwoNearest(ConstMatrixView points, IndexRange rows,
                      const double* point_norms, const CenterPanels& panels,
                      const double* center_norms, BatchKernel kernel,
                      int32_t* out_index, double* out_d1, double* out_d2);
@@ -207,7 +207,7 @@ void BatchTwoNearest(const Matrix& points, IndexRange rows,
 /// primitive (per-(point, center) lower bounds, k×k center separations).
 /// Same kernel/norm preconditions as the panels overload of
 /// BatchNearestMerge.
-void BatchDistances(const Matrix& points, IndexRange rows,
+void BatchDistances(ConstMatrixView points, IndexRange rows,
                     const double* point_norms, const CenterPanels& panels,
                     const double* center_norms, BatchKernel kernel,
                     double* out_d2);
@@ -228,6 +228,43 @@ double PairSquaredL2(const double* a, const double* b, int64_t dim);
 /// provided the norms come from SquaredNorm/RowSquaredNorms like the
 /// engine's.
 double PairDotProduct(const double* a, const double* b, int64_t dim);
+
+/// Matrix conveniences: the engine scans any contiguous row-major block
+/// (ConstMatrixView) so memory-mapped shard views and owned matrices take
+/// the same path; these shims keep Matrix call sites terse.
+inline void BatchNearestMerge(const Matrix& points, IndexRange rows,
+                              const double* point_norms,
+                              const Matrix& centers, int64_t first_center,
+                              const double* center_norms, BatchKernel kernel,
+                              double* best_d2, int32_t* best_index) {
+  BatchNearestMerge(points.view(), rows, point_norms, centers, first_center,
+                    center_norms, kernel, best_d2, best_index);
+}
+inline void BatchNearestMerge(const Matrix& points, IndexRange rows,
+                              const double* point_norms,
+                              const CenterPanels& panels,
+                              const double* center_norms, BatchKernel kernel,
+                              double* best_d2, int32_t* best_index) {
+  BatchNearestMerge(points.view(), rows, point_norms, panels, center_norms,
+                    kernel, best_d2, best_index);
+}
+inline void BatchTwoNearest(const Matrix& points, IndexRange rows,
+                            const double* point_norms,
+                            const CenterPanels& panels,
+                            const double* center_norms, BatchKernel kernel,
+                            int32_t* out_index, double* out_d1,
+                            double* out_d2) {
+  BatchTwoNearest(points.view(), rows, point_norms, panels, center_norms,
+                  kernel, out_index, out_d1, out_d2);
+}
+inline void BatchDistances(const Matrix& points, IndexRange rows,
+                           const double* point_norms,
+                           const CenterPanels& panels,
+                           const double* center_norms, BatchKernel kernel,
+                           double* out_d2) {
+  BatchDistances(points.view(), rows, point_norms, panels, center_norms,
+                 kernel, out_d2);
+}
 
 /// Resolves kAuto against the dimension: expanded iff
 /// dim >= kExpandedKernelMinDim. All engine entry points and

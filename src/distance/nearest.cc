@@ -17,6 +17,21 @@ std::vector<double> RowSquaredNorms(const Matrix& m, ThreadPool* pool) {
   return norms;
 }
 
+std::vector<double> RowSquaredNorms(const DatasetSource& data,
+                                    ThreadPool* pool) {
+  std::vector<double> norms(static_cast<size_t>(data.n()));
+  const int64_t d = data.dim();
+  ParallelFor(pool, data.n(), [&](IndexRange r) {
+    ForEachBlock(data, r.begin, r.end, [&](const DatasetView& v) {
+      for (int64_t i = 0; i < v.rows(); ++i) {
+        norms[static_cast<size_t>(v.first_row() + i)] =
+            SquaredNorm(v.Point(i), d);
+      }
+    });
+  });
+  return norms;
+}
+
 NearestCenterSearch::NearestCenterSearch(const Matrix& centers, Kernel kernel)
     : centers_(centers) {
   switch (kernel) {
@@ -89,7 +104,7 @@ NearestResult NearestCenterSearch::FindWithNorm(const double* point,
   return best;
 }
 
-void NearestCenterSearch::FindRange(const Matrix& points, IndexRange rows,
+void NearestCenterSearch::FindRange(ConstMatrixView points, IndexRange rows,
                                     const double* point_norms,
                                     int32_t* out_index,
                                     double* out_d2) const {
@@ -110,6 +125,20 @@ void NearestCenterSearch::FindRange(const Matrix& points, IndexRange rows,
   BatchNearestMerge(points, rows, point_norms, centers_,
                     /*first_center=*/0, center_norms_or_null(),
                     batch_kernel(), out_d2, out_index);
+}
+
+void NearestCenterSearch::FindRange(const DatasetSource& data,
+                                    IndexRange rows,
+                                    const double* point_norms,
+                                    int32_t* out_index,
+                                    double* out_d2) const {
+  ForEachBlock(data, rows.begin, rows.end, [&](const DatasetView& v) {
+    const int64_t off = v.first_row() - rows.begin;
+    FindRange(v.points(), IndexRange{0, v.rows()},
+              point_norms == nullptr ? nullptr : point_norms + off,
+              out_index == nullptr ? nullptr : out_index + off,
+              out_d2 + off);
+  });
 }
 
 void NearestCenterSearch::FindAll(const Matrix& points,
@@ -159,7 +188,54 @@ void NearestCenterSearch::FindAll(const Matrix& points,
   }
 }
 
-void NearestCenterSearch::FindTwoNearestRange(const Matrix& points,
+void NearestCenterSearch::FindAll(const DatasetSource& data,
+                                  std::vector<int32_t>* out_index,
+                                  std::vector<double>* out_d2,
+                                  ThreadPool* pool,
+                                  const double* point_norms) const {
+  const int64_t n = data.n();
+  if (out_index != nullptr) out_index->resize(static_cast<size_t>(n));
+  out_d2->resize(static_cast<size_t>(n));
+  // Pack at most once per call (as in the Matrix FindAll): the chunk fan-
+  // out below reuses one snapshot whether or not the search is frozen.
+  CenterPanels local;
+  const CenterPanels* panels = &panels_;
+  if (!frozen_) {
+    local.Pack(centers_);
+    panels = &local;
+  }
+  std::vector<IndexRange> chunks = MakeChunks(n, kDeterministicChunks);
+  auto body = [&](IndexRange r) {
+    ForEachBlock(data, r.begin, r.end, [&](const DatasetView& v) {
+      const int64_t first = v.first_row();
+      const int64_t len = v.rows();
+      double* d2 = out_d2->data() + first;
+      for (int64_t i = 0; i < len; ++i) {
+        d2[i] = std::numeric_limits<double>::infinity();
+      }
+      int32_t* idx = nullptr;
+      if (out_index != nullptr) {
+        idx = out_index->data() + first;
+        for (int64_t i = 0; i < len; ++i) idx[i] = -1;
+      }
+      BatchNearestMerge(v.points(), IndexRange{0, len},
+                        point_norms == nullptr ? nullptr
+                                               : point_norms + first,
+                        *panels, center_norms_or_null(), batch_kernel(), d2,
+                        idx);
+    });
+  };
+  if (pool == nullptr) {
+    for (const IndexRange& r : chunks) body(r);
+  } else {
+    for (const IndexRange& r : chunks) {
+      pool->Submit([&body, r] { body(r); });
+    }
+    pool->Wait();
+  }
+}
+
+void NearestCenterSearch::FindTwoNearestRange(ConstMatrixView points,
                                               IndexRange rows,
                                               const double* point_norms,
                                               int32_t* out_index,
@@ -178,7 +254,21 @@ void NearestCenterSearch::FindTwoNearestRange(const Matrix& points,
                   batch_kernel(), out_index, out_d1, out_d2);
 }
 
-void NearestCenterSearch::DistancesRange(const Matrix& points,
+void NearestCenterSearch::FindTwoNearestRange(const DatasetSource& data,
+                                              IndexRange rows,
+                                              const double* point_norms,
+                                              int32_t* out_index,
+                                              double* out_d1,
+                                              double* out_d2) const {
+  ForEachBlock(data, rows.begin, rows.end, [&](const DatasetView& v) {
+    const int64_t off = v.first_row() - rows.begin;
+    FindTwoNearestRange(v.points(), IndexRange{0, v.rows()},
+                        point_norms == nullptr ? nullptr : point_norms + off,
+                        out_index + off, out_d1 + off, out_d2 + off);
+  });
+}
+
+void NearestCenterSearch::DistancesRange(ConstMatrixView points,
                                          IndexRange rows,
                                          const double* point_norms,
                                          double* out_d2) const {
@@ -194,8 +284,31 @@ void NearestCenterSearch::DistancesRange(const Matrix& points,
                  batch_kernel(), out_d2);
 }
 
+void NearestCenterSearch::DistancesRange(const DatasetSource& data,
+                                         IndexRange rows,
+                                         const double* point_norms,
+                                         double* out_d2) const {
+  const int64_t k = centers_.rows();
+  ForEachBlock(data, rows.begin, rows.end, [&](const DatasetView& v) {
+    const int64_t off = v.first_row() - rows.begin;
+    DistancesRange(v.points(), IndexRange{0, v.rows()},
+                   point_norms == nullptr ? nullptr : point_norms + off,
+                   out_d2 + off * k);
+  });
+}
+
 MinDistanceTracker::MinDistanceTracker(const Dataset& data, ThreadPool* pool)
-    : data_(data),
+    : owned_source_(data.AsSource()),
+      data_(&*owned_source_),
+      pool_(pool),
+      min_d2_(static_cast<size_t>(data.n()),
+              std::numeric_limits<double>::infinity()),
+      closest_(static_cast<size_t>(data.n()), -1),
+      potential_(std::numeric_limits<double>::infinity()) {}
+
+MinDistanceTracker::MinDistanceTracker(const DatasetSource& data,
+                                       ThreadPool* pool)
+    : data_(&data),
       pool_(pool),
       min_d2_(static_cast<size_t>(data.n()),
               std::numeric_limits<double>::infinity()),
@@ -203,15 +316,15 @@ MinDistanceTracker::MinDistanceTracker(const Dataset& data, ThreadPool* pool)
       potential_(std::numeric_limits<double>::infinity()) {}
 
 double MinDistanceTracker::AddCenters(const Matrix& centers, int64_t first) {
-  KMEANSLL_CHECK_EQ(centers.cols(), data_.dim());
+  KMEANSLL_CHECK_EQ(centers.cols(), data_->dim());
   KMEANSLL_CHECK(first >= 0 && first <= centers.rows());
-  const int64_t d = data_.dim();
+  const int64_t d = data_->dim();
   const bool expanded = d >= kExpandedKernelMinDim;
 
   // Point norms are a pure function of the (immutable) dataset: computed
   // once on first use and reused by every subsequent round.
-  if (expanded && point_norms_.empty() && data_.n() > 0) {
-    point_norms_ = RowSquaredNorms(data_.points(), pool_);
+  if (expanded && point_norms_.empty() && data_->n() > 0) {
+    point_norms_ = RowSquaredNorms(*data_, pool_);
   }
   // Normalized base pointer: never form `data() + offset` on an empty
   // vector (the plain kernel keeps no norms; an empty dataset keeps
@@ -238,24 +351,32 @@ double MinDistanceTracker::AddCenters(const Matrix& centers, int64_t first) {
   // One blocked pass: merge the new centers into (min_d2, closest) and
   // fold the updated potential into per-chunk Kahan partials, combined in
   // chunk order — bitwise identical for any thread count.
+  // Per-chunk body: merge the new centers block by block (per-row values
+  // are placement-invariant), then fold the weighted potential over the
+  // chunk's rows in ascending order — the identical Kahan chain whether
+  // the rows arrive as one in-memory block or several pinned shards.
   auto map = [&](IndexRange r) {
-    BatchNearestMerge(
-        data_.points(), r,
-        norms_base == nullptr ? nullptr : norms_base + r.begin, panels,
-        expanded ? new_center_norms.data() : nullptr,
-        expanded ? BatchKernel::kExpanded : BatchKernel::kPlain,
-        min_d2_.data() + r.begin, closest_.data() + r.begin);
     KahanSum partial;
-    for (int64_t i = r.begin; i < r.end; ++i) {
-      partial.Add(data_.Weight(i) * min_d2_[static_cast<size_t>(i)]);
-    }
+    ForEachBlock(*data_, r.begin, r.end, [&](const DatasetView& v) {
+      const int64_t first_row = v.first_row();
+      BatchNearestMerge(
+          v.points(), IndexRange{0, v.rows()},
+          norms_base == nullptr ? nullptr : norms_base + first_row, panels,
+          expanded ? new_center_norms.data() : nullptr,
+          expanded ? BatchKernel::kExpanded : BatchKernel::kPlain,
+          min_d2_.data() + first_row, closest_.data() + first_row);
+      for (int64_t i = 0; i < v.rows(); ++i) {
+        partial.Add(v.Weight(i) *
+                    min_d2_[static_cast<size_t>(first_row + i)]);
+      }
+    });
     return partial;
   };
   auto combine = [](KahanSum a, KahanSum b) {
     a.Merge(b);
     return a;
   };
-  potential_ = ParallelReduce<KahanSum>(pool_, data_.n(), KahanSum(), map,
+  potential_ = ParallelReduce<KahanSum>(pool_, data_->n(), KahanSum(), map,
                                         combine)
                    .Total();
   return potential_;
@@ -263,10 +384,13 @@ double MinDistanceTracker::AddCenters(const Matrix& centers, int64_t first) {
 
 std::vector<double> MinDistanceTracker::WeightedContributions() const {
   std::vector<double> out(min_d2_.size());
-  for (int64_t i = 0; i < data_.n(); ++i) {
-    out[static_cast<size_t>(i)] =
-        data_.Weight(i) * min_d2_[static_cast<size_t>(i)];
-  }
+  ForEachBlock(*data_, 0, data_->n(), [&](const DatasetView& v) {
+    for (int64_t i = 0; i < v.rows(); ++i) {
+      const int64_t g = v.first_row() + i;
+      out[static_cast<size_t>(g)] =
+          v.Weight(i) * min_d2_[static_cast<size_t>(g)];
+    }
+  });
   return out;
 }
 

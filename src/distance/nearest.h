@@ -27,8 +27,11 @@
 #include <utility>
 #include <vector>
 
+#include <optional>
+
 #include "distance/batch.h"
 #include "matrix/dataset.h"
+#include "matrix/dataset_view.h"
 #include "matrix/matrix.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
@@ -97,7 +100,22 @@ class NearestCenterSearch {
   /// initialization. `point_norms` (indexed i - rows.begin) may be null,
   /// as may `out_index` for distance-only callers. Uses the frozen panel
   /// snapshot when present, else packs per call.
+  void FindRange(ConstMatrixView points, IndexRange rows,
+                 const double* point_norms, int32_t* out_index,
+                 double* out_d2) const;
   void FindRange(const Matrix& points, IndexRange rows,
+                 const double* point_norms, int32_t* out_index,
+                 double* out_d2) const {
+    FindRange(points.view(), rows, point_norms, out_index, out_d2);
+  }
+
+  /// Batched over a (possibly disk-resident) source: nearest center for
+  /// global rows [rows.begin, rows.end), pinning and scanning each
+  /// resident block in ascending row order. Output arrays and
+  /// `point_norms` are indexed i - rows.begin exactly as above; per-row
+  /// results are bitwise identical to scanning the same rows in memory
+  /// (engine values do not depend on block placement).
+  void FindRange(const DatasetSource& data, IndexRange rows,
                  const double* point_norms, int32_t* out_index,
                  double* out_d2) const;
 
@@ -111,13 +129,30 @@ class NearestCenterSearch {
                std::vector<double>* out_d2, ThreadPool* pool = nullptr,
                const double* point_norms = nullptr) const;
 
+  /// FindAll over a source: every row of `data`, chunked on the same
+  /// deterministic grid (results bitwise identical to the in-memory
+  /// FindAll over the same rows at any thread count).
+  void FindAll(const DatasetSource& data, std::vector<int32_t>* out_index,
+               std::vector<double>* out_d2, ThreadPool* pool = nullptr,
+               const double* point_norms = nullptr) const;
+
   /// Batched two-nearest (fresh scan): for rows [rows.begin, rows.end)
   /// writes the nearest center's row (out_index), its squared distance
   /// (out_d1), and the second-smallest squared distance (out_d2), all
   /// range-relative and uninitialized on entry. Exact ties resolve like
   /// the sequential ascending scan (lowest index wins; k = 1 leaves
   /// out_d2 at +infinity). This feeds the Hamerly bounds.
+  void FindTwoNearestRange(ConstMatrixView points, IndexRange rows,
+                           const double* point_norms, int32_t* out_index,
+                           double* out_d1, double* out_d2) const;
   void FindTwoNearestRange(const Matrix& points, IndexRange rows,
+                           const double* point_norms, int32_t* out_index,
+                           double* out_d1, double* out_d2) const {
+    FindTwoNearestRange(points.view(), rows, point_norms, out_index, out_d1,
+                        out_d2);
+  }
+  /// Source variant (global rows; outputs indexed i - rows.begin).
+  void FindTwoNearestRange(const DatasetSource& data, IndexRange rows,
                            const double* point_norms, int32_t* out_index,
                            double* out_d1, double* out_d2) const;
 
@@ -125,7 +160,14 @@ class NearestCenterSearch {
   /// d²(points row i, center c) for every center, with the engine's
   /// values (expanded results clamped at zero). This feeds the Elkan
   /// bounds and the k × k center-separation table.
+  void DistancesRange(ConstMatrixView points, IndexRange rows,
+                      const double* point_norms, double* out_d2) const;
   void DistancesRange(const Matrix& points, IndexRange rows,
+                      const double* point_norms, double* out_d2) const {
+    DistancesRange(points.view(), rows, point_norms, out_d2);
+  }
+  /// Source variant (global rows; outputs indexed i - rows.begin).
+  void DistancesRange(const DatasetSource& data, IndexRange rows,
                       const double* point_norms, double* out_d2) const;
 
   int64_t num_centers() const { return centers_.rows(); }
@@ -167,6 +209,17 @@ class MinDistanceTracker {
   explicit MinDistanceTracker(const Dataset& data,
                               ThreadPool* pool = nullptr);
 
+  /// As above over a DatasetSource — the same tracker streams
+  /// disk-resident shards (the source must outlive the tracker).
+  explicit MinDistanceTracker(const DatasetSource& data,
+                              ThreadPool* pool = nullptr);
+
+  /// Non-copyable/non-movable: the Dataset constructor points data_ at
+  /// the tracker's own owned_source_ member, so a byte-wise copy or
+  /// move would leave the new object referencing the old one's storage.
+  MinDistanceTracker(const MinDistanceTracker&) = delete;
+  MinDistanceTracker& operator=(const MinDistanceTracker&) = delete;
+
   /// Accounts rows [first, centers.rows()) of `centers` as newly added,
   /// updating every point's min distance in one blocked parallel pass that
   /// also folds the new potential into per-chunk partials (no separate
@@ -197,8 +250,9 @@ class MinDistanceTracker {
   int64_t n() const { return static_cast<int64_t>(min_d2_.size()); }
 
  private:
-  const Dataset& data_;  // not owned; must outlive the tracker
-  ThreadPool* pool_;     // not owned; may be null (sequential pass)
+  std::optional<InMemorySource> owned_source_;  // backs the Dataset ctor
+  const DatasetSource* data_;  // not owned; must outlive the tracker
+  ThreadPool* pool_;           // not owned; may be null (sequential pass)
   std::vector<double> min_d2_;
   std::vector<int32_t> closest_;
   std::vector<double> point_norms_;  // lazily cached across rounds
@@ -210,6 +264,12 @@ class MinDistanceTracker {
 /// Uses the SquaredNorm chain, so these norms are the ones every engine
 /// entry point expects (and computes itself when passed null).
 std::vector<double> RowSquaredNorms(const Matrix& m,
+                                    ThreadPool* pool = nullptr);
+
+/// Per-row squared norms of every point in a source (same SquaredNorm
+/// chain and deterministic chunking as the Matrix overload, so the values
+/// are bitwise those of the in-memory pass over the same rows).
+std::vector<double> RowSquaredNorms(const DatasetSource& data,
                                     ThreadPool* pool = nullptr);
 
 }  // namespace kmeansll

@@ -86,11 +86,32 @@ class Job {
     KMEANSLL_CHECK(reduce_ != nullptr);
     const int64_t num_tasks = static_cast<int64_t>(partitions.size());
 
-    // --- Map phase -------------------------------------------------------
+    // --- Map phase (+ eager per-task combine, run inside the task) -------
+    // The per-emitter combiner fold is embarrassingly parallel across
+    // tasks, so it executes on the pool right after each task's map
+    // function instead of serially inside the shuffle loop below. Each
+    // task's fold only touches its own emitter and `locals` slot; the
+    // shuffle then walks the folded maps in task order, so the grouped
+    // value order — and therefore every reduce — is bitwise the same as
+    // the serial fold's at any thread count.
     std::vector<Emitter<K, V>> emitters(partitions.size());
+    std::vector<std::map<K, V>> locals(
+        combine_ != nullptr ? partitions.size() : 0);
+    std::vector<int64_t> task_pairs(partitions.size(), 0);
     auto run_map_task = [&](int64_t t) {
-      map_(t, partitions[static_cast<size_t>(t)],
-           &emitters[static_cast<size_t>(t)]);
+      auto& emitter = emitters[static_cast<size_t>(t)];
+      map_(t, partitions[static_cast<size_t>(t)], &emitter);
+      task_pairs[static_cast<size_t>(t)] =
+          static_cast<int64_t>(emitter.pairs().size());
+      if (combine_ != nullptr) {
+        auto& local = locals[static_cast<size_t>(t)];
+        for (auto& [key, value] : emitter.pairs()) {
+          auto [it, inserted] = local.emplace(key, value);
+          if (!inserted) it->second = combine_(it->second, value);
+        }
+        emitter.pairs().clear();
+        emitter.pairs().shrink_to_fit();
+      }
     };
     if (pool == nullptr) {
       for (int64_t t = 0; t < num_tasks; ++t) run_map_task(t);
@@ -102,32 +123,28 @@ class Job {
     }
 
     int64_t map_output_pairs = 0;
-    for (const auto& e : emitters) {
-      map_output_pairs += static_cast<int64_t>(e.pairs().size());
-    }
+    for (int64_t pairs : task_pairs) map_output_pairs += pairs;
 
-    // --- Combine (per task) + shuffle (task order => deterministic) ------
+    // --- Shuffle (task order => deterministic) ---------------------------
     std::map<K, std::vector<V>> groups;
     int64_t combined_pairs = 0;
-    for (auto& emitter : emitters) {
-      if (combine_ != nullptr) {
-        std::map<K, V> local;
-        for (auto& [key, value] : emitter.pairs()) {
-          auto [it, inserted] = local.emplace(key, value);
-          if (!inserted) it->second = combine_(it->second, value);
-        }
+    if (combine_ != nullptr) {
+      for (auto& local : locals) {
         combined_pairs += static_cast<int64_t>(local.size());
         for (auto& [key, value] : local) {
           groups[key].push_back(std::move(value));
         }
-      } else {
+        local.clear();
+      }
+    } else {
+      for (auto& emitter : emitters) {
         combined_pairs += static_cast<int64_t>(emitter.pairs().size());
         for (auto& [key, value] : emitter.pairs()) {
           groups[key].push_back(std::move(value));
         }
+        emitter.pairs().clear();
+        emitter.pairs().shrink_to_fit();
       }
-      emitter.pairs().clear();
-      emitter.pairs().shrink_to_fit();
     }
 
     // --- Reduce phase ----------------------------------------------------

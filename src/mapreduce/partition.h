@@ -1,6 +1,12 @@
-// Input splits for MapReduce jobs over a Dataset: each partition is a
+// Input splits for MapReduce jobs over a dataset: each partition is a
 // contiguous row range of the (logically distributed) point set, the
 // in-memory analog of an HDFS block.
+//
+// A partition references a DatasetSource rather than holding rows: over
+// an in-memory dataset it is a row-range view, and over a
+// data::ShardedDataset it is effectively a shard reference — the map
+// task pins the shard's mmap while it scans and releases it after, so
+// partitioning never copies points.
 
 #ifndef KMEANSLL_MAPREDUCE_PARTITION_H_
 #define KMEANSLL_MAPREDUCE_PARTITION_H_
@@ -8,27 +14,48 @@
 #include <cstdint>
 #include <vector>
 
-#include "matrix/dataset.h"
+#include "matrix/dataset_view.h"
 
 namespace kmeansll::mapreduce {
 
 /// One map task's slice of the dataset.
 struct DataPartition {
-  const Dataset* data = nullptr;  ///< not owned
-  int64_t begin = 0;              ///< first row (inclusive)
-  int64_t end = 0;                ///< last row (exclusive)
+  const DatasetSource* source = nullptr;  ///< not owned
+  int64_t begin = 0;                      ///< first row (inclusive)
+  int64_t end = 0;                        ///< last row (exclusive)
 
   int64_t size() const { return end - begin; }
 };
 
-/// Splits `data` into `num_partitions` near-equal contiguous partitions.
-inline std::vector<DataPartition> MakePartitions(const Dataset& data,
+/// Splits `source` into `num_partitions` near-equal contiguous
+/// partitions (the same split Dataset::SplitRanges produces).
+inline std::vector<DataPartition> MakePartitions(const DatasetSource& source,
                                                  int64_t num_partitions) {
+  KMEANSLL_CHECK_GE(num_partitions, 1);
   std::vector<DataPartition> parts;
-  auto ranges = data.SplitRanges(num_partitions);
+  parts.reserve(static_cast<size_t>(num_partitions));
+  const int64_t total = source.n();
+  const int64_t base = total / num_partitions;
+  const int64_t extra = total % num_partitions;
+  int64_t begin = 0;
+  for (int64_t p = 0; p < num_partitions; ++p) {
+    int64_t len = base + (p < extra ? 1 : 0);
+    parts.push_back(DataPartition{&source, begin, begin + len});
+    begin += len;
+  }
+  return parts;
+}
+
+/// Partitions aligned to a list of natural block boundaries (one
+/// partition per [begin, end) range — e.g. the shard table of a
+/// ShardedDataset), so each map task scans exactly one resident block.
+inline std::vector<DataPartition> MakeAlignedPartitions(
+    const DatasetSource& source,
+    const std::vector<std::pair<int64_t, int64_t>>& ranges) {
+  std::vector<DataPartition> parts;
   parts.reserve(ranges.size());
   for (const auto& [begin, end] : ranges) {
-    parts.push_back(DataPartition{&data, begin, end});
+    parts.push_back(DataPartition{&source, begin, end});
   }
   return parts;
 }

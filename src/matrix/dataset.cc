@@ -59,18 +59,28 @@ double Dataset::TotalWeight() const {
 }
 
 Dataset Dataset::Gather(const std::vector<int64_t>& indices) const {
+  // GatherRows block-copies ascending-contiguous index runs; mirror that
+  // here for the weight/label slices instead of element-by-element pushes.
   Dataset out(points_.GatherRows(indices));
-  if (!weights_.empty()) {
-    out.weights_.reserve(indices.size());
-    for (int64_t i : indices) {
-      out.weights_.push_back(weights_[static_cast<size_t>(i)]);
+  const auto count = static_cast<int64_t>(indices.size());
+  if (!weights_.empty()) out.weights_.resize(indices.size());
+  if (!labels_.empty()) out.labels_.resize(indices.size());
+  int64_t j = 0;
+  while (j < count) {
+    const int64_t first = indices[static_cast<size_t>(j)];
+    int64_t run = 1;
+    while (j + run < count &&
+           indices[static_cast<size_t>(j + run)] ==
+               indices[static_cast<size_t>(j + run - 1)] + 1) {
+      ++run;
     }
-  }
-  if (!labels_.empty()) {
-    out.labels_.reserve(indices.size());
-    for (int64_t i : indices) {
-      out.labels_.push_back(labels_[static_cast<size_t>(i)]);
+    if (!weights_.empty()) {
+      std::copy_n(weights_.begin() + first, run, out.weights_.begin() + j);
     }
+    if (!labels_.empty()) {
+      std::copy_n(labels_.begin() + first, run, out.labels_.begin() + j);
+    }
+    j += run;
   }
   return out;
 }

@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "matrix/dataset_view.h"
 #include "matrix/matrix.h"
 
 namespace kmeansll {
@@ -55,6 +56,23 @@ class Dataset {
 
   bool has_labels() const { return !labels_.empty(); }
   const std::vector<int32_t>& labels() const { return labels_; }
+
+  /// Non-owning view of all rows (valid until the dataset is mutated or
+  /// destroyed). The storage-layer entry point: wrap it in an
+  /// InMemorySource to run any streaming driver over in-memory data.
+  DatasetView View() const {
+    return DatasetView(points_.view(), /*first_row=*/0,
+                       weights_.empty() ? nullptr : weights_.data(),
+                       labels_.empty() ? nullptr : labels_.data());
+  }
+
+  /// InMemorySource over this dataset (borrowing; the dataset must
+  /// outlive the source and every pin taken from it).
+  InMemorySource AsSource() const {
+    return InMemorySource(points_.view(),
+                          weights_.empty() ? nullptr : weights_.data(),
+                          labels_.empty() ? nullptr : labels_.data());
+  }
 
   /// Copies the selected rows (weights/labels follow) into a new Dataset.
   Dataset Gather(const std::vector<int64_t>& indices) const;

@@ -27,11 +27,27 @@ void Matrix::AppendRows(const Matrix& other) {
 }
 
 Matrix Matrix::GatherRows(const std::vector<int64_t>& indices) const {
-  Matrix out(cols_);
-  out.ReserveRows(static_cast<int64_t>(indices.size()));
-  for (int64_t idx : indices) {
-    KMEANSLL_CHECK(idx >= 0 && idx < rows_);
-    out.AppendRow(Row(idx));
+  const auto count = static_cast<int64_t>(indices.size());
+  Matrix out(count, cols_);
+  // Maximal ascending-contiguous runs copy as one memcpy instead of one
+  // row at a time; a fully contiguous request (a partition, a range
+  // gather) degenerates to a single block copy.
+  int64_t j = 0;
+  while (j < count) {
+    const int64_t first = indices[static_cast<size_t>(j)];
+    KMEANSLL_CHECK(first >= 0 && first < rows_);
+    int64_t run = 1;
+    while (j + run < count &&
+           indices[static_cast<size_t>(j + run)] ==
+               indices[static_cast<size_t>(j + run - 1)] + 1) {
+      ++run;
+    }
+    KMEANSLL_CHECK(first + run <= rows_);
+    if (cols_ > 0) {
+      std::memcpy(out.Row(j), Row(first),
+                  static_cast<size_t>(run * cols_) * sizeof(double));
+    }
+    j += run;
   }
   return out;
 }

@@ -13,6 +13,40 @@
 
 namespace kmeansll {
 
+/// Non-owning view of a contiguous row-major block of doubles
+/// (rows × cols, row stride == cols). This is the currency the batch
+/// distance engine scans: an owning Matrix, a Dataset, and a
+/// memory-mapped shard all present their rows through it, so every
+/// consumer written against the view works unchanged over in-memory and
+/// disk-resident data. The viewed storage must outlive the view.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const double* data, int64_t rows, int64_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  const double* data() const { return data_; }
+  const double* Row(int64_t i) const {
+    KMEANSLL_DCHECK(i >= 0 && i < rows_);
+    return data_ + i * cols_;
+  }
+
+  /// Sub-view of rows [begin, end).
+  ConstMatrixView Slice(int64_t begin, int64_t end) const {
+    KMEANSLL_DCHECK(begin >= 0 && begin <= end && end <= rows_);
+    return ConstMatrixView(data_ + begin * cols_, end - begin, cols_);
+  }
+
+ private:
+  const double* data_ = nullptr;
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+};
+
 /// Row-major (rows × cols) matrix with 64-byte-aligned storage and
 /// amortized AppendRow, used both for immutable datasets and for growing
 /// center sets during initialization.
@@ -45,6 +79,12 @@ class Matrix {
 
   double* data() { return buffer_.data(); }
   const double* data() const { return buffer_.data(); }
+
+  /// Non-owning view of the whole matrix (valid until the matrix is
+  /// mutated or destroyed).
+  ConstMatrixView view() const {
+    return ConstMatrixView(buffer_.data(), rows_, cols_);
+  }
 
   /// Pointer to the start of row i.
   double* Row(int64_t i) {

@@ -11,6 +11,7 @@
 #include "mapreduce/counters.h"
 #include "mapreduce/job.h"
 #include "mapreduce/partition.h"
+#include "matrix/dataset.h"
 #include "matrix/matrix.h"
 #include "parallel/thread_pool.h"
 
@@ -195,15 +196,30 @@ TEST(CountersTest, CopySemantics) {
 
 TEST(PartitionTest, MakePartitionsCoversDataset) {
   Dataset data(Matrix(103, 2));
-  auto parts = MakePartitions(data, 8);
+  InMemorySource source = data.AsSource();
+  auto parts = MakePartitions(source, 8);
   ASSERT_EQ(parts.size(), 8u);
   int64_t covered = 0;
   for (size_t p = 0; p < parts.size(); ++p) {
-    EXPECT_EQ(parts[p].data, &data);
+    EXPECT_EQ(parts[p].source, &source);
     covered += parts[p].size();
     if (p > 0) EXPECT_EQ(parts[p].begin, parts[p - 1].end);
   }
   EXPECT_EQ(covered, 103);
+}
+
+TEST(PartitionTest, AlignedPartitionsFollowGivenRanges) {
+  Dataset data(Matrix(100, 2));
+  InMemorySource source = data.AsSource();
+  std::vector<std::pair<int64_t, int64_t>> ranges = {
+      {0, 40}, {40, 70}, {70, 100}};
+  auto parts = MakeAlignedPartitions(source, ranges);
+  ASSERT_EQ(parts.size(), 3u);
+  for (size_t p = 0; p < parts.size(); ++p) {
+    EXPECT_EQ(parts[p].source, &source);
+    EXPECT_EQ(parts[p].begin, ranges[p].first);
+    EXPECT_EQ(parts[p].end, ranges[p].second);
+  }
 }
 
 }  // namespace
