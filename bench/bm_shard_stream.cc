@@ -1,9 +1,16 @@
 // Benchmark for the out-of-core storage layer (data/shard_store.h):
 // rows/sec streamed through the cost reduction over a ShardedDataset —
 // with an unbounded window (every shard stays mapped after first touch)
-// and with a window of two shards (the eviction/re-map regime) — against
-// the in-memory Dataset path. Raw view-iteration throughput is measured
-// separately so the mmap overhead is visible without kernel time.
+// and with a window of three shards (the eviction/re-map regime, where
+// every pass must re-map almost every shard) — against the in-memory
+// Dataset path. The windowed variants run with the prefetch pipeline on
+// and off so the I/O/compute overlap is directly visible: the
+// "stall_ms" counter is the time scan threads spent blocked on shard
+// I/O inside Pin, and "hit_pct" is the fraction of shard activations
+// served by the background prefetcher instead of a demand map. A
+// pool-parallel variant exercises the shard-parallel scan schedule. Raw
+// view-iteration throughput is measured separately so the mmap/fault
+// overhead is visible without the distance kernel.
 //
 // Items processed = rows streamed, so all variants compare directly.
 // "Smoke" names run under ctest at tiny sizes so the binary cannot rot.
@@ -19,6 +26,7 @@
 #include "matrix/dataset.h"
 #include "matrix/dataset_view.h"
 #include "matrix/matrix.h"
+#include "parallel/thread_pool.h"
 #include "rng/rng.h"
 
 namespace kmeansll {
@@ -40,26 +48,65 @@ Matrix RandomCenters(int64_t k, int64_t d, uint64_t seed) {
   return m;
 }
 
-/// Writes `data` as kNumShards shards under a unique temp prefix and
-/// opens it with the given window (0 = unbounded).
+/// Streams `data` into kNumShards shard files through the ShardWriter
+/// sink (the ingest path: block-sized appends, no WriteShards/full-
+/// dataset dependency) and opens the result with the given window
+/// (0 = unbounded) and prefetch setting.
 std::unique_ptr<data::ShardedDataset> OpenSharded(
-    const Dataset& data, const std::string& tag,
-    int64_t max_resident_bytes) {
+    const Dataset& data, const std::string& tag, int64_t max_resident_bytes,
+    bool enable_prefetch = true) {
   std::string manifest = "/tmp/bm_shard_stream_" + tag + ".kml";
-  auto written = data::WriteShards(
-      data, manifest, data::ShardWriteOptions{.num_shards = kNumShards});
-  if (!written.ok()) return nullptr;
+  data::ShardWriter::Options write_options;
+  write_options.rows_per_shard =
+      (data.n() + kNumShards - 1) / kNumShards;
+  write_options.has_weights = data.has_weights();
+  write_options.has_labels = data.has_labels();
+  auto writer =
+      data::ShardWriter::Open(manifest, data.dim(), write_options);
+  if (!writer.ok()) return nullptr;
+  InMemorySource source = data.AsSource();
+  // Simulated ingest: append in blocks much smaller than a shard.
+  const int64_t block = 1000;
+  for (int64_t row = 0; row < data.n(); row += block) {
+    if (!writer->AppendRange(source, row,
+                             std::min(row + block, data.n()))
+             .ok()) {
+      return nullptr;
+    }
+  }
+  if (!writer->Finalize().ok()) return nullptr;
+
   data::ShardedDatasetOptions options;
   options.max_resident_bytes = max_resident_bytes;
+  options.enable_prefetch = enable_prefetch;
   auto sharded = data::ShardedDataset::Open(manifest, options);
   if (!sharded.ok()) return nullptr;
   return std::make_unique<data::ShardedDataset>(
       std::move(sharded).ValueOrDie());
 }
 
-/// Window covering roughly two of the kNumShards shards.
-int64_t TwoShardWindow(int64_t n, int64_t d) {
-  return 2 * (32 + (n / kNumShards + 1) * d * 8);
+/// Window covering roughly three of the kNumShards shards: small enough
+/// that every streamed pass evicts and re-maps (the cold-window regime
+/// the prefetcher exists for), large enough to double-buffer the next
+/// shard while one is pinned.
+int64_t ThreeShardWindow(int64_t n, int64_t d) {
+  return 3 * (32 + (n / kNumShards + 1) * d * 8);
+}
+
+/// Attaches the prefetch-pipeline counters to the benchmark state.
+void ReportIoCounters(benchmark::State& state,
+                      const data::ShardedDataset& sharded) {
+  auto stats = sharded.io_stats();
+  state.counters["evictions"] = static_cast<double>(stats.evictions);
+  state.counters["stall_ms"] =
+      static_cast<double>(stats.stall_nanos) * 1e-6;
+  const double activations = static_cast<double>(stats.prefetch_hits) +
+                             static_cast<double>(stats.maps) -
+                             static_cast<double>(stats.prefetch_completed);
+  state.counters["hit_pct"] =
+      activations > 0
+          ? 100.0 * static_cast<double>(stats.prefetch_hits) / activations
+          : 0.0;
 }
 
 void StreamGrid(benchmark::internal::Benchmark* b) {
@@ -98,9 +145,12 @@ BENCHMARK(BM_CostShardedResident)->Apply(StreamGrid);
 
 void BM_CostShardedWindowed(benchmark::State& state) {
   const int64_t n = state.range(0), k = state.range(1), d = state.range(2);
+  const bool prefetch = state.range(3) != 0;
   Dataset data = RandomData(n, d, 1);
   Matrix centers = RandomCenters(k, d, 2);
-  auto sharded = OpenSharded(data, "windowed", TwoShardWindow(n, d));
+  auto sharded =
+      OpenSharded(data, prefetch ? "windowed_pf" : "windowed_nopf",
+                  ThreeShardWindow(n, d), prefetch);
   if (sharded == nullptr) {
     state.SkipWithError("shard setup failed");
     return;
@@ -109,17 +159,53 @@ void BM_CostShardedWindowed(benchmark::State& state) {
     benchmark::DoNotOptimize(ComputeCost(*sharded, centers));
   }
   state.SetItemsProcessed(state.iterations() * n);
-  state.counters["evictions"] = static_cast<double>(
-      sharded->io_stats().evictions);
+  ReportIoCounters(state, *sharded);
 }
-BENCHMARK(BM_CostShardedWindowed)->Apply(StreamGrid);
+BENCHMARK(BM_CostShardedWindowed)
+    ->Args({65536, 64, 32, 0})
+    ->Args({65536, 64, 32, 1})
+    ->Args({65536, 64, 128, 0})
+    ->Args({65536, 64, 128, 1});
+
+// Pool-parallel windowed cost scan: the shard-aware ScanSchedule fans
+// the chunk grid out so concurrent workers pin distinct shards and each
+// worker's next shard is hinted ahead of its cursor.
+void BM_CostShardedWindowedPool(benchmark::State& state) {
+  const int64_t n = state.range(0), k = state.range(1), d = state.range(2);
+  const bool prefetch = state.range(3) != 0;
+  Dataset data = RandomData(n, d, 1);
+  Matrix centers = RandomCenters(k, d, 2);
+  auto sharded =
+      OpenSharded(data, prefetch ? "pool_pf" : "pool_nopf",
+                  ThreeShardWindow(n, d), prefetch);
+  if (sharded == nullptr) {
+    state.SkipWithError("shard setup failed");
+    return;
+  }
+  ThreadPool pool(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeCost(*sharded, centers, &pool));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  ReportIoCounters(state, *sharded);
+}
+BENCHMARK(BM_CostShardedWindowedPool)
+    ->Args({65536, 64, 32, 0})
+    ->Args({65536, 64, 32, 1})
+    ->Args({65536, 64, 128, 0})
+    ->Args({65536, 64, 128, 1});
 
 // --- Raw streaming throughput (no distance kernel) -----------------------
+// The I/O-bound extreme: each row is touched once, so demand page faults
+// are a large fraction of the scan and the overlap shows up directly in
+// rows/sec, not just in the stall counter.
 
 void BM_StreamRowsWindowed(benchmark::State& state) {
   const int64_t n = state.range(0), d = state.range(2);
+  const bool prefetch = state.range(3) != 0;
   Dataset data = RandomData(n, d, 1);
-  auto sharded = OpenSharded(data, "raw", TwoShardWindow(n, d));
+  auto sharded = OpenSharded(data, prefetch ? "raw_pf" : "raw_nopf",
+                             ThreeShardWindow(n, d), prefetch);
   if (sharded == nullptr) {
     state.SkipWithError("shard setup failed");
     return;
@@ -132,8 +218,15 @@ void BM_StreamRowsWindowed(benchmark::State& state) {
     benchmark::DoNotOptimize(sum);
   }
   state.SetItemsProcessed(state.iterations() * n);
+  ReportIoCounters(state, *sharded);
 }
-BENCHMARK(BM_StreamRowsWindowed)->Apply(StreamGrid);
+BENCHMARK(BM_StreamRowsWindowed)
+    ->Args({65536, 64, 32, 0})
+    ->Args({65536, 64, 32, 1})
+    ->Args({65536, 64, 128, 0})
+    ->Args({65536, 64, 128, 1})
+    ->Args({262144, 64, 128, 0})
+    ->Args({262144, 64, 128, 1});
 
 // --- ctest smoke (tiny shapes; see CMakeLists) ---------------------------
 
@@ -141,15 +234,23 @@ void BM_SmokeShardStream(benchmark::State& state) {
   const int64_t n = 512, k = 8, d = 16;
   Dataset data = RandomData(n, d, 1);
   Matrix centers = RandomCenters(k, d, 2);
-  auto sharded = OpenSharded(data, "smoke", TwoShardWindow(n, d));
-  if (sharded == nullptr) {
+  // ShardWriter-produced shards, tight window, prefetch on and off, on
+  // a 4-thread pool (shard-parallel schedule) — every regime must be
+  // bitwise the in-memory cost.
+  auto with_prefetch = OpenSharded(data, "smoke_pf",
+                                   ThreeShardWindow(n, d), true);
+  auto without_prefetch = OpenSharded(data, "smoke_nopf",
+                                      ThreeShardWindow(n, d), false);
+  if (with_prefetch == nullptr || without_prefetch == nullptr) {
     state.SkipWithError("shard setup failed");
     return;
   }
   const double expected = ComputeCost(data, centers);
+  ThreadPool pool(4);
   for (auto _ : state) {
-    double cost = ComputeCost(*sharded, centers);
-    if (cost != expected) {
+    double cost = ComputeCost(*with_prefetch, centers, &pool);
+    if (cost != expected ||
+        ComputeCost(*without_prefetch, centers, &pool) != expected) {
       state.SkipWithError("sharded cost diverged from in-memory cost");
       return;
     }

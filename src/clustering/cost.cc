@@ -27,6 +27,11 @@ double NearestReduce(const DatasetSource& data, const Matrix& centers,
   // Pack the center panels once up front: the chunks below (and the pool
   // workers running them) all scan the same frozen snapshot.
   search.Freeze();
+  // Shard-aware execution over an out-of-core source: workers take
+  // chunks from disjoint shard spans and hint each span's next shard
+  // ahead of its cursor. Timing only — the fold below stays in chunk
+  // order, so the result is bitwise the unscheduled one.
+  const ScanSchedule schedule = MakeScanSchedule(data, data.n(), pool);
   auto map = [&](IndexRange r) {
     KahanSum partial;
     ForEachBlock(data, r.begin, r.end, [&](const DatasetView& v) {
@@ -48,7 +53,7 @@ double NearestReduce(const DatasetSource& data, const Matrix& centers,
     return a;
   };
   KahanSum total = ParallelReduce<KahanSum>(pool, data.n(), KahanSum(), map,
-                                            combine);
+                                            combine, &schedule);
   return total.Total();
 }
 

@@ -60,7 +60,9 @@ double PotentialWithCandidate(const DatasetSource& data,
     a.Merge(b);
     return a;
   };
-  return ParallelReduce<KahanSum>(pool, data.n(), KahanSum(), map, combine)
+  const ScanSchedule schedule = MakeScanSchedule(data, data.n(), pool);
+  return ParallelReduce<KahanSum>(pool, data.n(), KahanSum(), map, combine,
+                                  &schedule)
       .Total();
 }
 

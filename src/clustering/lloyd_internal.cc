@@ -56,7 +56,9 @@ CentroidSums AccumulateCentroids(const DatasetSource& data,
     }
     return a;
   };
-  return ParallelReduce<CentroidSums>(pool, data.n(), zero(), map, combine);
+  const ScanSchedule schedule = MakeScanSchedule(data, data.n(), pool);
+  return ParallelReduce<CentroidSums>(pool, data.n(), zero(), map, combine,
+                                      &schedule);
 }
 
 std::vector<int64_t> CentroidsFromSums(const CentroidSums& totals,

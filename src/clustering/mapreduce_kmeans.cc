@@ -29,6 +29,30 @@ void CountPass(const MRContext& ctx) {
   }
 }
 
+/// Builds the job's input partitions and installs a task prologue that
+/// hints the partition one pool-width ahead of each starting map task,
+/// so an out-of-core source maps and touches upcoming shards while the
+/// current wave of tasks scans (see DatasetSource::PrefetchHint; a no-op
+/// for in-memory sources). Concurrent tasks already scan distinct
+/// contiguous partitions, so the wave itself pins distinct shards.
+template <typename JobT>
+std::vector<DataPartition> PartitionsWithPrefetch(const DatasetSource& data,
+                                                  const MRContext& ctx,
+                                                  JobT* job) {
+  std::vector<DataPartition> parts =
+      MakePartitions(data, ctx.num_partitions);
+  const int64_t ahead =
+      ctx.pool == nullptr ? 1 : ctx.pool->num_threads();
+  job->WithPrologue([parts, ahead](int64_t t) {
+    const auto next = static_cast<size_t>(t + ahead);
+    if (next < parts.size()) {
+      parts[next].source->PrefetchHint(parts[next].begin,
+                                       parts[next].end);
+    }
+  });
+  return parts;
+}
+
 }  // namespace
 
 double MRComputeCost(const DatasetSource& data, const Matrix& centers,
@@ -66,7 +90,7 @@ double MRComputeCost(const DatasetSource& data, const Matrix& centers,
         return sum.Total();
       })
       .WithCounters(ctx.counters);
-  auto outputs = job.Run(ctx.pool, MakePartitions(data, ctx.num_partitions));
+  auto outputs = job.Run(ctx.pool, PartitionsWithPrefetch(data, ctx, &job));
   CountPass(ctx);
   KMEANSLL_CHECK_EQ(outputs.size(), 1u);
   return outputs[0];
@@ -135,7 +159,7 @@ double RunUpdateCostJob(const DatasetSource& data, const Matrix& candidates,
         return sum.Total();
       })
       .WithCounters(ctx.counters);
-  auto outputs = job.Run(ctx.pool, MakePartitions(data, ctx.num_partitions));
+  auto outputs = job.Run(ctx.pool, PartitionsWithPrefetch(data, ctx, &job));
   CountPass(ctx);
   return outputs[0];
 }
@@ -186,7 +210,7 @@ std::vector<int64_t> RunSamplingJob(const DatasetSource& data,
         })
         .WithCounters(ctx.counters);
     auto outputs =
-        job.Run(ctx.pool, MakePartitions(data, ctx.num_partitions));
+        job.Run(ctx.pool, PartitionsWithPrefetch(data, ctx, &job));
     chosen = std::move(outputs[0]);
   } else {
     Job<DataPartition, int, std::vector<ExactCandidate>,
@@ -249,7 +273,7 @@ std::vector<int64_t> RunSamplingJob(const DatasetSource& data,
         })
         .WithCounters(ctx.counters);
     auto outputs =
-        job.Run(ctx.pool, MakePartitions(data, ctx.num_partitions));
+        job.Run(ctx.pool, PartitionsWithPrefetch(data, ctx, &job));
     chosen = std::move(outputs[0]);
   }
   CountPass(ctx);
@@ -291,7 +315,7 @@ std::vector<double> RunWeightJob(const DatasetSource& data,
         return CenterWeight{center, sum.Total()};
       })
       .WithCounters(ctx.counters);
-  auto outputs = job.Run(ctx.pool, MakePartitions(data, ctx.num_partitions));
+  auto outputs = job.Run(ctx.pool, PartitionsWithPrefetch(data, ctx, &job));
   CountPass(ctx);
   std::vector<double> weights(static_cast<size_t>(num_candidates), 0.0);
   for (const auto& cw : outputs) {
@@ -440,7 +464,7 @@ Result<InitResult> MRRandomInit(const DatasetSource& data, int64_t k,
         return indices;
       })
       .WithCounters(ctx.counters);
-  auto outputs = job.Run(ctx.pool, MakePartitions(data, ctx.num_partitions));
+  auto outputs = job.Run(ctx.pool, PartitionsWithPrefetch(data, ctx, &job));
   CountPass(ctx);
 
   InitResult result;
@@ -526,7 +550,7 @@ Result<InitResult> MRPartitionInit(const DatasetSource& data, int64_t k,
         return merged;
       })
       .WithCounters(ctx.counters);
-  auto outputs = job.Run(ctx.pool, MakePartitions(data, ctx.num_partitions));
+  auto outputs = job.Run(ctx.pool, PartitionsWithPrefetch(data, ctx, &job));
   CountPass(ctx);
   KMEANSLL_CHECK(!outputs.empty() && !outputs[0].empty());
 
@@ -681,7 +705,7 @@ Result<LloydResult> MRRunLloyd(const DatasetSource& data,
         .WithCounters(ctx.counters);
 
     auto outputs =
-        job.Run(ctx.pool, MakePartitions(data, ctx.num_partitions));
+        job.Run(ctx.pool, PartitionsWithPrefetch(data, ctx, &job));
     CountPass(ctx);
     ++result.iterations;
 

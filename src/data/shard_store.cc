@@ -1,9 +1,14 @@
 #include "data/shard_store.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <mutex>
+#include <thread>
 
 #if defined(_WIN32)
 #include <cstdlib>
@@ -62,6 +67,43 @@ int64_t FileSizeOf(const std::string& path) {
   return static_cast<int64_t>(in.tellg());
 }
 
+/// Writes the KMLLSHRD manifest file for `manifest`. Shared by
+/// WriteShards and ShardWriter::Finalize so the two producers cannot
+/// drift apart on the format.
+Status WriteManifestFile(const std::string& manifest_path,
+                         const ShardManifest& manifest) {
+  std::ofstream out(manifest_path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + manifest_path +
+                           "' for writing");
+  }
+  out.write(kManifestMagic, sizeof(kManifestMagic));
+  int32_t version = kManifestVersion;
+  uint32_t flags = 0;
+  if (manifest.has_weights) flags |= kFlagWeights;
+  if (manifest.has_labels) flags |= kFlagLabels;
+  auto num_shards = static_cast<int32_t>(manifest.shards.size());
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&manifest.n),
+            sizeof(manifest.n));
+  out.write(reinterpret_cast<const char*>(&manifest.dim),
+            sizeof(manifest.dim));
+  out.write(reinterpret_cast<const char*>(&flags), sizeof(flags));
+  out.write(reinterpret_cast<const char*>(&num_shards),
+            sizeof(num_shards));
+  for (const ShardInfo& info : manifest.shards) {
+    out.write(reinterpret_cast<const char*>(&info.rows),
+              sizeof(info.rows));
+    auto len = static_cast<int32_t>(info.file.size());
+    out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    out.write(info.file.data(), len);
+  }
+  if (!out.good()) {
+    return Status::IOError("write to '" + manifest_path + "' failed");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<ShardManifest> WriteShards(const Dataset& dataset,
@@ -110,35 +152,7 @@ Result<ShardManifest> WriteShards(const Dataset& dataset,
     manifest.shards.push_back(std::move(info));
   }
 
-  std::ofstream out(manifest_path, std::ios::binary);
-  if (!out.is_open()) {
-    return Status::IOError("cannot open '" + manifest_path +
-                           "' for writing");
-  }
-  out.write(kManifestMagic, sizeof(kManifestMagic));
-  int32_t version = kManifestVersion;
-  uint32_t flags = 0;
-  if (manifest.has_weights) flags |= kFlagWeights;
-  if (manifest.has_labels) flags |= kFlagLabels;
-  auto num_shards = static_cast<int32_t>(manifest.shards.size());
-  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
-  out.write(reinterpret_cast<const char*>(&manifest.n),
-            sizeof(manifest.n));
-  out.write(reinterpret_cast<const char*>(&manifest.dim),
-            sizeof(manifest.dim));
-  out.write(reinterpret_cast<const char*>(&flags), sizeof(flags));
-  out.write(reinterpret_cast<const char*>(&num_shards),
-            sizeof(num_shards));
-  for (const ShardInfo& info : manifest.shards) {
-    out.write(reinterpret_cast<const char*>(&info.rows),
-              sizeof(info.rows));
-    auto len = static_cast<int32_t>(info.file.size());
-    out.write(reinterpret_cast<const char*>(&len), sizeof(len));
-    out.write(info.file.data(), len);
-  }
-  if (!out.good()) {
-    return Status::IOError("write to '" + manifest_path + "' failed");
-  }
+  KMEANSLL_RETURN_NOT_OK(WriteManifestFile(manifest_path, manifest));
   return manifest;
 }
 
@@ -206,6 +220,187 @@ Result<ShardManifest> ReadShardManifest(const std::string& manifest_path) {
 }
 
 // ---------------------------------------------------------------------------
+// ShardWriter
+// ---------------------------------------------------------------------------
+
+struct ShardWriter::Impl {
+  std::string manifest_path;
+  std::string dir;        // directory prefix of the manifest
+  std::string base_name;  // manifest basename (shard files derive from it)
+  Options options;
+  ShardManifest manifest;  // grows one ShardInfo per flushed shard
+
+  // Tail buffer: rows appended but not yet cut into a shard file.
+  std::vector<double> points;
+  std::vector<double> weights;
+  std::vector<int32_t> labels;
+  int64_t buffered_rows = 0;
+  bool finalized = false;
+
+  /// Writes the buffered rows as the next standalone KMLLDATA shard.
+  Status FlushShard() {
+    ShardInfo info;
+    info.file =
+        base_name + ".shard" + std::to_string(manifest.shards.size());
+    info.rows = buffered_rows;
+    info.first_row = manifest.n;
+
+    const std::string path = dir + info.file;
+    std::ofstream out(path, std::ios::binary);
+    if (!out.is_open()) {
+      return Status::IOError("cannot open shard '" + path +
+                             "' for writing");
+    }
+    out.write(kShardMagic, sizeof(kShardMagic));
+    int32_t version = kShardVersion;
+    uint32_t flags = 0;
+    if (options.has_weights) flags |= kFlagWeights;
+    if (options.has_labels) flags |= kFlagLabels;
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    out.write(reinterpret_cast<const char*>(&info.rows),
+              sizeof(info.rows));
+    out.write(reinterpret_cast<const char*>(&manifest.dim),
+              sizeof(manifest.dim));
+    out.write(reinterpret_cast<const char*>(&flags), sizeof(flags));
+    out.write(reinterpret_cast<const char*>(points.data()),
+              static_cast<std::streamsize>(points.size() *
+                                           sizeof(double)));
+    if (options.has_weights) {
+      out.write(reinterpret_cast<const char*>(weights.data()),
+                static_cast<std::streamsize>(weights.size() *
+                                             sizeof(double)));
+    }
+    if (options.has_labels) {
+      out.write(reinterpret_cast<const char*>(labels.data()),
+                static_cast<std::streamsize>(labels.size() *
+                                             sizeof(int32_t)));
+    }
+    if (!out.good()) {
+      return Status::IOError("write to shard '" + path + "' failed");
+    }
+    manifest.n += buffered_rows;
+    manifest.shards.push_back(std::move(info));
+    points.clear();
+    weights.clear();
+    labels.clear();
+    buffered_rows = 0;
+    return Status::OK();
+  }
+};
+
+ShardWriter::ShardWriter(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+ShardWriter::ShardWriter(ShardWriter&&) noexcept = default;
+ShardWriter& ShardWriter::operator=(ShardWriter&&) noexcept = default;
+ShardWriter::~ShardWriter() = default;
+
+Result<ShardWriter> ShardWriter::Open(const std::string& manifest_path,
+                                      int64_t dim,
+                                      const Options& options) {
+  if (dim <= 0) return Status::InvalidArgument("dim must be positive");
+  if (options.rows_per_shard <= 0) {
+    return Status::InvalidArgument("rows_per_shard must be positive");
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->manifest_path = manifest_path;
+  impl->dir = DirOf(manifest_path);
+  impl->base_name = BaseNameOf(manifest_path);
+  impl->options = options;
+  impl->manifest.dim = dim;
+  impl->manifest.has_weights = options.has_weights;
+  impl->manifest.has_labels = options.has_labels;
+  return ShardWriter(std::move(impl));
+}
+
+Status ShardWriter::Append(const DatasetView& view) {
+  Impl* impl = impl_.get();
+  if (impl->finalized) {
+    return Status::InvalidArgument("shard writer already finalized");
+  }
+  if (view.dim() != impl->manifest.dim) {
+    return Status::InvalidArgument(
+        "view dimension " + std::to_string(view.dim()) +
+        " does not match writer dimension " +
+        std::to_string(impl->manifest.dim));
+  }
+  if (view.has_weights() && !impl->options.has_weights) {
+    return Status::InvalidArgument(
+        "weighted view appended to a weight-less shard writer (weights "
+        "would be dropped)");
+  }
+  if (view.has_labels() != impl->options.has_labels) {
+    return Status::InvalidArgument(
+        view.has_labels()
+            ? "labeled view appended to a label-less shard writer"
+            : "label-less view appended to a labeled shard writer");
+  }
+
+  const int64_t d = impl->manifest.dim;
+  int64_t row = 0;
+  while (row < view.rows()) {
+    const int64_t take = std::min(
+        view.rows() - row, impl->options.rows_per_shard -
+                               impl->buffered_rows);
+    impl->points.insert(impl->points.end(), view.Point(row),
+                        view.Point(row) + take * d);
+    if (impl->options.has_weights) {
+      if (view.has_weights()) {
+        impl->weights.insert(impl->weights.end(), view.weights() + row,
+                             view.weights() + row + take);
+      } else {
+        impl->weights.insert(impl->weights.end(),
+                             static_cast<size_t>(take), 1.0);
+      }
+    }
+    if (impl->options.has_labels) {
+      impl->labels.insert(impl->labels.end(), view.labels() + row,
+                          view.labels() + row + take);
+    }
+    impl->buffered_rows += take;
+    row += take;
+    if (impl->buffered_rows == impl->options.rows_per_shard) {
+      KMEANSLL_RETURN_NOT_OK(impl->FlushShard());
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardWriter::AppendRange(const DatasetSource& source, int64_t begin,
+                                int64_t end) {
+  // Manual pin loop rather than ForEachBlock: stop streaming (and
+  // pinning) the moment an append fails.
+  int64_t row = begin;
+  while (row < end) {
+    PinnedBlock block = source.Pin(row, end);
+    KMEANSLL_RETURN_NOT_OK(Append(block.view()));
+    row = block.view().end_row();
+  }
+  return Status::OK();
+}
+
+int64_t ShardWriter::rows_appended() const {
+  return impl_->manifest.n + impl_->buffered_rows;
+}
+
+Result<ShardManifest> ShardWriter::Finalize() {
+  Impl* impl = impl_.get();
+  if (impl->finalized) {
+    return Status::InvalidArgument("shard writer already finalized");
+  }
+  if (impl->buffered_rows > 0) {
+    KMEANSLL_RETURN_NOT_OK(impl->FlushShard());
+  }
+  if (impl->manifest.n == 0) {
+    return Status::InvalidArgument(
+        "cannot finalize a shard writer with no rows");
+  }
+  KMEANSLL_RETURN_NOT_OK(
+      WriteManifestFile(impl->manifest_path, impl->manifest));
+  impl->finalized = true;
+  return impl->manifest;
+}
+
+// ---------------------------------------------------------------------------
 // ShardedDataset
 // ---------------------------------------------------------------------------
 
@@ -220,6 +415,26 @@ struct ShardedDataset::Impl {
     const char* base = nullptr;  // mapping base (null = not resident)
     int64_t pin_count = 0;
     uint64_t last_use = 0;
+    bool mapping = false;    // a thread is mapping this shard right now
+    bool touching = false;   // prefetcher is warming pages (no unmap!)
+    bool queued = false;     // sitting in the prefetch queue
+    bool protected_ = false; // prefetched, not yet pinned: evict last
+  };
+
+  /// IoStats as independent atomic cells: counters bumped under `mutex`
+  /// stay coherent with eviction decisions, while io_stats() snapshots
+  /// each field tear-free without taking the lock (stall time in
+  /// particular is recorded while the lock is NOT held).
+  struct StatsCells {
+    std::atomic<int64_t> maps{0};
+    std::atomic<int64_t> evictions{0};
+    std::atomic<int64_t> resident_bytes{0};
+    std::atomic<int64_t> peak_resident_bytes{0};
+    std::atomic<int64_t> prefetch_issued{0};
+    std::atomic<int64_t> prefetch_completed{0};
+    std::atomic<int64_t> prefetch_hits{0};
+    std::atomic<int64_t> prefetch_wasted{0};
+    std::atomic<int64_t> stall_nanos{0};
   };
 
   ShardManifest manifest;
@@ -227,12 +442,28 @@ struct ShardedDataset::Impl {
   std::vector<Shard> shards;
 
   mutable std::mutex mutex;
+  mutable std::condition_variable map_done;     // a map finished
+  mutable std::condition_variable prefetch_cv;  // queue/shutdown changed
+  mutable std::deque<size_t> prefetch_queue;
+  mutable std::thread prefetch_worker;  // lazily started by PrefetchHint
+  mutable int64_t protected_count = 0;
+  // Bytes held by outstanding prefetch work (queued shards plus mapped-
+  // but-never-pinned ones); bounds how much the pipeline can inflate
+  // residency ahead of the scan.
+  mutable int64_t prefetch_hold_bytes = 0;
+  mutable bool shutting_down = false;
   mutable uint64_t use_tick = 0;
-  mutable IoStats stats;
+  mutable StatsCells stats;
   mutable bool total_weight_cached = false;
   mutable double total_weight = 0.0;
 
   ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      shutting_down = true;
+      prefetch_cv.notify_all();
+    }
+    if (prefetch_worker.joinable()) prefetch_worker.join();
     for (Shard& shard : shards) {
       if (shard.base != nullptr) Unmap(shard);
     }
@@ -248,60 +479,206 @@ struct ShardedDataset::Impl {
     shard.base = nullptr;
   }
 
-  /// Maps `shard` read-only. Caller holds `mutex`.
-  Status Map(Shard& shard) {
+  /// Maps the file behind `shard` read-only into *out_base. Pure I/O on
+  /// local data — deliberately run with `mutex` RELEASED so concurrent
+  /// pins of other shards never serialize behind one shard's I/O.
+  static Status MapFile(const std::string& path, int64_t file_bytes,
+                        const char** out_base) {
 #if defined(_WIN32)
     // Portability fallback: read the file into a heap buffer. Same view
-    // semantics, no mmap.
-    std::ifstream in(shard.path, std::ios::binary);
+    // semantics, no mmap (and inherently populated).
+    std::ifstream in(path, std::ios::binary);
     if (!in.is_open()) {
-      return Status::IOError("cannot open shard '" + shard.path + "'");
+      return Status::IOError("cannot open shard '" + path + "'");
     }
-    char* buffer = static_cast<char*>(
-        std::malloc(static_cast<size_t>(shard.file_bytes)));
+    char* buffer =
+        static_cast<char*>(std::malloc(static_cast<size_t>(file_bytes)));
     if (buffer == nullptr) return Status::IOError("out of memory");
-    in.read(buffer, static_cast<std::streamsize>(shard.file_bytes));
+    in.read(buffer, static_cast<std::streamsize>(file_bytes));
     if (!in.good()) {
       std::free(buffer);
-      return Status::IOError("shard '" + shard.path + "' is truncated");
+      return Status::IOError("shard '" + path + "' is truncated");
     }
-    shard.base = buffer;
+    *out_base = buffer;
 #else
-    int fd = ::open(shard.path.c_str(), O_RDONLY);
+    int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0) {
-      return Status::IOError("cannot open shard '" + shard.path + "'");
+      return Status::IOError("cannot open shard '" + path + "'");
     }
-    void* mapping = ::mmap(nullptr, static_cast<size_t>(shard.file_bytes),
+    void* mapping = ::mmap(nullptr, static_cast<size_t>(file_bytes),
                            PROT_READ, MAP_PRIVATE, fd, 0);
     ::close(fd);
     if (mapping == MAP_FAILED) {
-      return Status::IOError("mmap of shard '" + shard.path + "' failed");
+      return Status::IOError("mmap of shard '" + path + "' failed");
     }
-    shard.base = static_cast<const char*>(mapping);
+    *out_base = static_cast<const char*>(mapping);
 #endif
-    ++stats.maps;
-    stats.resident_bytes += shard.file_bytes;
-    stats.peak_resident_bytes =
-        std::max(stats.peak_resident_bytes, stats.resident_bytes);
     return Status::OK();
   }
 
+  /// Warms a published mapping: requests readahead and faults one byte
+  /// per page, off the scan threads' critical path. Reads only — a scan
+  /// may already be consuming the same (read-only) mapping concurrently.
+  static void TouchPages(const char* base, int64_t file_bytes) {
+#if !defined(_WIN32)
+    ::madvise(const_cast<char*>(base), static_cast<size_t>(file_bytes),
+              MADV_WILLNEED);
+    // Volatile reads: the loads have no observable use, and a plain
+    // loop could be dead-code-eliminated — silently reducing prefetch
+    // to the madvise hint and handing the faults back to the scan.
+    const volatile char* pages = base;
+    for (int64_t off = 0; off < file_bytes; off += 4096) {
+      (void)pages[off];
+    }
+#else
+    (void)base;
+    (void)file_bytes;
+#endif
+  }
+
+  /// Publishes a finished mapping for `shard`. Caller holds `mutex`.
+  void PublishMapping(Shard& shard, const char* base) {
+    shard.base = base;
+    stats.maps.fetch_add(1, std::memory_order_relaxed);
+    const int64_t resident =
+        stats.resident_bytes.fetch_add(shard.file_bytes,
+                                       std::memory_order_relaxed) +
+        shard.file_bytes;
+    if (resident > stats.peak_resident_bytes.load(
+                       std::memory_order_relaxed)) {
+      stats.peak_resident_bytes.store(resident,
+                                      std::memory_order_relaxed);
+    }
+  }
+
+  /// Ensures `shard` is resident, mapping it on demand (or waiting out a
+  /// map already in flight on another thread — the prefetcher's,
+  /// typically). Returns with `mutex` held and shard.base set. All
+  /// blocking is accounted to stall_nanos: this is exactly the time a
+  /// scan thread lost to shard I/O.
+  void EnsureResident(std::unique_lock<std::mutex>& lock, Shard& shard) {
+    using Clock = std::chrono::steady_clock;
+    while (shard.base == nullptr) {
+      if (shard.mapping) {
+        const auto start = Clock::now();
+        map_done.wait(lock, [&] {
+          return shard.base != nullptr || !shard.mapping;
+        });
+        stats.stall_nanos.fetch_add(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - start)
+                .count(),
+            std::memory_order_relaxed);
+        continue;
+      }
+      shard.mapping = true;
+      lock.unlock();
+      const auto start = Clock::now();
+      const char* base = nullptr;
+      Status status = MapFile(shard.path, shard.file_bytes, &base);
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              Clock::now() - start)
+              .count();
+      lock.lock();
+      shard.mapping = false;
+      stats.stall_nanos.fetch_add(elapsed, std::memory_order_relaxed);
+      // Pin has no error channel (the storage layer treats a vanished or
+      // unmappable shard after a successful Open as unrecoverable).
+      KMEANSLL_CHECK(status.ok());
+      PublishMapping(shard, base);
+      map_done.notify_all();
+    }
+  }
+
   /// Evicts least-recently-used unpinned shards while over budget.
-  /// Caller holds `mutex`.
+  /// Prefetched-but-never-pinned shards are spared until no other
+  /// candidate remains (the double-buffer guarantee); reclaiming one
+  /// anyway counts as a wasted prefetch. Caller holds `mutex`.
   void EvictOverBudget() {
     if (options.max_resident_bytes <= 0) return;
-    while (stats.resident_bytes > options.max_resident_bytes) {
+    while (stats.resident_bytes.load(std::memory_order_relaxed) >
+           options.max_resident_bytes) {
       Shard* victim = nullptr;
-      for (Shard& shard : shards) {
-        if (shard.base == nullptr || shard.pin_count > 0) continue;
-        if (victim == nullptr || shard.last_use < victim->last_use) {
-          victim = &shard;
+      bool victim_protected = false;
+      for (bool consider_protected : {false, true}) {
+        for (Shard& shard : shards) {
+          if (shard.base == nullptr || shard.pin_count > 0 ||
+              shard.mapping || shard.touching ||
+              shard.protected_ != consider_protected) {
+            continue;
+          }
+          if (victim == nullptr || shard.last_use < victim->last_use) {
+            victim = &shard;
+          }
+        }
+        if (victim != nullptr) {
+          victim_protected = consider_protected;
+          break;
         }
       }
-      if (victim == nullptr) return;  // everything resident is pinned
+      if (victim == nullptr) return;  // everything resident is in use
+      if (victim_protected) {
+        victim->protected_ = false;
+        --protected_count;
+        prefetch_hold_bytes -= victim->file_bytes;
+        stats.prefetch_wasted.fetch_add(1, std::memory_order_relaxed);
+      }
       Unmap(*victim);
-      stats.resident_bytes -= victim->file_bytes;
-      ++stats.evictions;
+      stats.resident_bytes.fetch_sub(victim->file_bytes,
+                                     std::memory_order_relaxed);
+      stats.evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Background prefetcher: drains the hint queue. Each shard is mapped
+  /// and PUBLISHED immediately (the map syscall is cheap), then its
+  /// pages are touched with the mutex released — so a scan whose cursor
+  /// outruns the warming never waits on the prefetcher: it pins the
+  /// published mapping and at worst faults pages itself, exactly as it
+  /// would have without prefetch. Holds `mutex` only around state
+  /// transitions, never during I/O.
+  void PrefetchLoop() {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      prefetch_cv.wait(
+          lock, [&] { return shutting_down || !prefetch_queue.empty(); });
+      if (shutting_down) return;
+      const size_t index = prefetch_queue.front();
+      prefetch_queue.pop_front();
+      Shard& shard = shards[index];
+      shard.queued = false;
+      // Demand beat us to it (or another map is in flight): nothing to
+      // warm, and the hold transfers to nobody.
+      if (shard.base != nullptr || shard.mapping) {
+        prefetch_hold_bytes -= shard.file_bytes;
+        continue;
+      }
+      shard.mapping = true;
+      lock.unlock();
+      const char* base = nullptr;
+      Status status = MapFile(shard.path, shard.file_bytes, &base);
+      lock.lock();
+      shard.mapping = false;
+      if (!status.ok()) {
+        // Leave the shard unmapped: the demand path will retry and
+        // surface the error (CHECK) on the scanning thread.
+        prefetch_hold_bytes -= shard.file_bytes;
+        map_done.notify_all();
+        continue;
+      }
+      PublishMapping(shard, base);
+      shard.protected_ = true;
+      ++protected_count;
+      shard.touching = true;  // pins may proceed; eviction may not
+      map_done.notify_all();
+      lock.unlock();
+      TouchPages(base, shard.file_bytes);
+      lock.lock();
+      shard.touching = false;
+      stats.prefetch_completed.fetch_add(1, std::memory_order_relaxed);
+      EvictOverBudget();
+      if (shutting_down) return;
     }
   }
 
@@ -434,8 +811,91 @@ const ShardManifest& ShardedDataset::manifest() const {
 }
 
 ShardedDataset::IoStats ShardedDataset::io_stats() const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
-  return impl_->stats;
+  const Impl::StatsCells& cells = impl_->stats;
+  IoStats out;
+  out.maps = cells.maps.load(std::memory_order_relaxed);
+  out.evictions = cells.evictions.load(std::memory_order_relaxed);
+  out.resident_bytes =
+      cells.resident_bytes.load(std::memory_order_relaxed);
+  out.peak_resident_bytes =
+      cells.peak_resident_bytes.load(std::memory_order_relaxed);
+  out.prefetch_issued =
+      cells.prefetch_issued.load(std::memory_order_relaxed);
+  out.prefetch_completed =
+      cells.prefetch_completed.load(std::memory_order_relaxed);
+  out.prefetch_hits = cells.prefetch_hits.load(std::memory_order_relaxed);
+  out.prefetch_wasted =
+      cells.prefetch_wasted.load(std::memory_order_relaxed);
+  out.stall_nanos = cells.stall_nanos.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ShardedDataset::PrefetchHint(int64_t begin, int64_t end) const {
+  Impl* impl = impl_.get();
+  if (!impl->options.enable_prefetch) return;
+  begin = std::max<int64_t>(begin, 0);
+  end = std::min(end, impl->manifest.n);
+  if (begin >= end) return;
+
+  std::lock_guard<std::mutex> lock(impl->mutex);
+  if (impl->shutting_down) return;
+  const size_t first = impl->ShardIndexOf(begin);
+  size_t last = impl->ShardIndexOf(end - 1);
+  const int64_t cap = std::max<int64_t>(impl->options.max_prefetch_shards,
+                                        1);
+  // Examine only the first few shards of the range: the cap means
+  // nothing beyond them could be enqueued anyway, and steady-state
+  // hints over a warm tail (ForEachBlock hints the whole remainder
+  // after every pin) must not degenerate into an O(shards) walk under
+  // the mutex every Pin serializes on.
+  last = std::min(last, first + static_cast<size_t>(cap));
+  bool enqueued = false;
+  for (size_t s = first; s <= last; ++s) {
+    Impl::Shard& shard = impl->shards[s];
+    if (shard.base != nullptr || shard.mapping || shard.queued) continue;
+    // Bound outstanding work: shards waiting in the queue plus shards
+    // the prefetcher mapped that no pin has consumed yet.
+    if (static_cast<int64_t>(impl->prefetch_queue.size()) +
+            impl->protected_count >=
+        cap) {
+      break;
+    }
+    // Never prefetch more than the LRU window can hold alongside a
+    // concurrently pinned shard: a hint the window cannot keep would
+    // only evict itself (or the shard the scan is on) before the cursor
+    // arrives. A window under two shards therefore disables prefetch —
+    // that degenerate configuration has no room to double-buffer.
+    if (impl->options.max_resident_bytes > 0 &&
+        impl->prefetch_hold_bytes + 2 * shard.file_bytes >
+            impl->options.max_resident_bytes) {
+      break;
+    }
+    shard.queued = true;
+    impl->prefetch_hold_bytes += shard.file_bytes;
+    impl->prefetch_queue.push_back(s);
+    impl->stats.prefetch_issued.fetch_add(1, std::memory_order_relaxed);
+    enqueued = true;
+  }
+  if (!enqueued) return;
+  if (!impl->prefetch_worker.joinable()) {
+    impl->prefetch_worker = std::thread([impl] { impl->PrefetchLoop(); });
+  }
+  impl->prefetch_cv.notify_one();
+}
+
+std::vector<std::pair<int64_t, int64_t>> ShardedDataset::ResidencyRanges()
+    const {
+  return ShardRanges();
+}
+
+int64_t ShardedDataset::ResidentUnitCapacity() const {
+  const int64_t budget = impl_->options.max_resident_bytes;
+  if (budget <= 0) return 0;
+  int64_t largest = 0;
+  for (const Impl::Shard& shard : impl_->shards) {
+    largest = std::max(largest, shard.file_bytes);
+  }
+  return std::max<int64_t>(budget / std::max<int64_t>(largest, 1), 1);
 }
 
 PinnedBlock ShardedDataset::Pin(int64_t begin, int64_t end) const {
@@ -445,14 +905,21 @@ PinnedBlock ShardedDataset::Pin(int64_t begin, int64_t end) const {
   size_t shard_index;
   const char* base;
   {
-    std::lock_guard<std::mutex> lock(impl->mutex);
+    std::unique_lock<std::mutex> lock(impl->mutex);
     shard_index = impl->ShardIndexOf(begin);
     Impl::Shard& shard = impl->shards[shard_index];
-    if (shard.base == nullptr) {
-      Status status = impl->Map(shard);
-      // Pin has no error channel (the storage layer treats a vanished or
-      // unmappable shard after a successful Open as unrecoverable).
-      KMEANSLL_CHECK(status.ok());
+    const bool was_resident = shard.base != nullptr;
+    impl->EnsureResident(lock, shard);
+    if (shard.protected_) {
+      // First pin of a prefetched shard: the demand map (and its page
+      // faults) never happened on this thread. Protection ends here;
+      // from now on the shard ages out by plain LRU.
+      shard.protected_ = false;
+      --impl->protected_count;
+      impl->prefetch_hold_bytes -= shard.file_bytes;
+      if (was_resident) {
+        impl->stats.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     ++shard.pin_count;
     shard.last_use = ++impl->use_tick;

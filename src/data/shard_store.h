@@ -33,6 +33,7 @@
 #include "common/result.h"
 #include "matrix/dataset.h"
 #include "matrix/dataset_view.h"
+#include "matrix/matrix.h"
 
 namespace kmeansll::data {
 
@@ -73,25 +74,120 @@ Result<ShardManifest> WriteShards(const Dataset& dataset,
 /// validates those.
 Result<ShardManifest> ReadShardManifest(const std::string& manifest_path);
 
+/// Streaming shard sink: produces a sharded dataset (manifest + shard
+/// files, the format ShardedDataset::Open reads) without ever
+/// materializing a full Dataset — the ingest/transform counterpart of
+/// WriteShards. Open fixes the shape, Append streams any number of row
+/// blocks (buffered and cut into rows_per_shard shard files as they
+/// fill), Finalize flushes the tail shard and writes the manifest.
+/// Movable, not copyable; abandoning a writer without Finalize leaves
+/// partial shard files but no manifest, so nothing will open them.
+class ShardWriter {
+ public:
+  struct Options {
+    int64_t rows_per_shard = 0;  ///< required, > 0 (last shard may be
+                                 ///< smaller)
+    bool has_weights = false;
+    bool has_labels = false;
+  };
+
+  /// Starts a sharded dataset at `manifest_path` with `dim` columns.
+  /// Shard files are written next to the manifest as WriteShards names
+  /// them ("<manifest>.shard<i>").
+  static Result<ShardWriter> Open(const std::string& manifest_path,
+                                  int64_t dim, const Options& options);
+
+  ShardWriter(ShardWriter&&) noexcept;
+  ShardWriter& operator=(ShardWriter&&) noexcept;
+  ShardWriter(const ShardWriter&) = delete;
+  ShardWriter& operator=(const ShardWriter&) = delete;
+  ~ShardWriter();
+
+  /// Appends every row of `view` (its first_row is irrelevant; rows land
+  /// after whatever was appended before). The view's dim must match.
+  /// A weight-less view into a weighted writer appends weight 1.0 per
+  /// row; a weighted view into a weight-less writer is an error (the
+  /// weights would be silently dropped), as is any label mismatch.
+  Status Append(const DatasetView& view);
+
+  /// Convenience: appends rows [begin, end) of a source by streaming its
+  /// pinned blocks through Append.
+  Status AppendRange(const DatasetSource& source, int64_t begin,
+                     int64_t end);
+
+  /// Rows appended so far.
+  int64_t rows_appended() const;
+
+  /// Flushes the tail shard and writes the manifest; the writer is spent
+  /// afterwards (further Append/Finalize calls fail). Fails if nothing
+  /// was appended.
+  Result<ShardManifest> Finalize();
+
+ private:
+  struct Impl;
+  explicit ShardWriter(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Residency policy for an open ShardedDataset.
 struct ShardedDatasetOptions {
   /// Maximum bytes of shard files kept memory-mapped at once; 0 means
   /// unbounded. Pinned shards never evict, so a window smaller than one
   /// shard degenerates to exactly-one-resident-at-a-time streaming.
   int64_t max_resident_bytes = 0;
+  /// Honor PrefetchHint with a background prefetch thread that maps and
+  /// touches hinted shards ahead of the scan cursor. Purely a timing
+  /// knob: results are bitwise identical either way (hints never change
+  /// the bytes a Pin returns), which tests/shard_store_test.cc asserts.
+  bool enable_prefetch = true;
+  /// Cap on outstanding prefetch work (shards queued plus shards mapped
+  /// by the prefetcher and not yet pinned), bounding how far hints can
+  /// run ahead of the scan — and therefore how much the prefetcher can
+  /// inflate residency beyond the LRU window. >= 1.
+  int64_t max_prefetch_shards = 2;
 };
 
-/// DatasetSource over a sharded on-disk dataset. Thread-safe: Pin and
-/// pin release may be called concurrently from pool workers. Movable,
-/// not copyable.
+/// DatasetSource over a sharded on-disk dataset. Thread-safe: Pin, pin
+/// release, and PrefetchHint may be called concurrently from pool
+/// workers while the background prefetcher runs. Movable, not copyable.
+///
+/// Prefetch pipeline: PrefetchHint(begin, end) enqueues the not-yet-
+/// resident shards covering the range (up to max_prefetch_shards
+/// outstanding) to a background thread that maps each one — publishing
+/// the mapping immediately, so a scan that catches up never waits on
+/// the warming — and then faults its pages in (madvise(WILLNEED) plus
+/// a page-touch pass), so by the time the scan cursor arrives the
+/// shard is mapped and its pages are warm — the demand Pin neither
+/// issues the map syscall nor minor-faults its way through the scan.
+/// A prefetched shard is eviction-protected until its first pin
+/// (double-buffered against the LRU window: the window prefers every
+/// unprotected candidate first and only reclaims a never-pinned
+/// prefetched shard as a last resort, counting it as wasted), so a hint
+/// can never evict rows ahead of their own scan. Hints are advisory and
+/// asynchronous; they change timing only, never bytes, so sharded runs
+/// stay bitwise identical to in-memory runs with prefetch on or off.
 class ShardedDataset final : public DatasetSource {
  public:
-  /// Residency/IO telemetry (monotonic counters; resident is current).
+  /// Residency/IO telemetry. Monotonic counters except resident_bytes
+  /// (current). Internally every field is a separate atomic cell, so a
+  /// concurrent io_stats() snapshot never tears a field (the test suite
+  /// hammers this under TSan); fields are sampled individually, so
+  /// cross-field invariants may be momentarily off by one in-flight
+  /// update.
   struct IoStats {
-    int64_t maps = 0;             ///< shard mmap calls (includes re-maps)
+    int64_t maps = 0;             ///< shard map calls (demand + prefetch)
     int64_t evictions = 0;        ///< shards unmapped by the LRU window
     int64_t resident_bytes = 0;   ///< bytes currently mapped
     int64_t peak_resident_bytes = 0;
+    int64_t prefetch_issued = 0;     ///< shards accepted into the queue
+    int64_t prefetch_completed = 0;  ///< shards mapped by the prefetcher
+    int64_t prefetch_hits = 0;    ///< pins that found their shard already
+                                  ///< prefetched (no demand map, no wait)
+    int64_t prefetch_wasted = 0;  ///< prefetched shards evicted before
+                                  ///< any pin used them
+    int64_t stall_nanos = 0;      ///< time scan threads spent blocked in
+                                  ///< Pin on shard I/O (demand maps and
+                                  ///< waits on in-flight maps)
   };
 
   /// Opens a sharded dataset: parses the manifest and validates every
@@ -116,6 +212,13 @@ class ShardedDataset final : public DatasetSource {
   /// Computed on first call (one streamed pass) and cached.
   double TotalWeight() const override;
   PinnedBlock Pin(int64_t begin, int64_t end) const override;
+  /// See the class comment; no-op when options.enable_prefetch is false.
+  void PrefetchHint(int64_t begin, int64_t end) const override;
+  /// The shard table as residency ranges (drives MakeScanSchedule).
+  std::vector<std::pair<int64_t, int64_t>> ResidencyRanges() const override;
+  /// floor(max_resident_bytes / largest shard bytes), at least 1; 0 when
+  /// the window is unbounded.
+  int64_t ResidentUnitCapacity() const override;
 
   int64_t num_shards() const;
   /// Global [begin, end) row range of shard s — e.g. to build

@@ -21,14 +21,18 @@ std::vector<double> RowSquaredNorms(const DatasetSource& data,
                                     ThreadPool* pool) {
   std::vector<double> norms(static_cast<size_t>(data.n()));
   const int64_t d = data.dim();
-  ParallelFor(pool, data.n(), [&](IndexRange r) {
-    ForEachBlock(data, r.begin, r.end, [&](const DatasetView& v) {
-      for (int64_t i = 0; i < v.rows(); ++i) {
-        norms[static_cast<size_t>(v.first_row() + i)] =
-            SquaredNorm(v.Point(i), d);
-      }
-    });
-  });
+  const ScanSchedule schedule = MakeScanSchedule(data, data.n(), pool);
+  ParallelFor(
+      pool, data.n(),
+      [&](IndexRange r) {
+        ForEachBlock(data, r.begin, r.end, [&](const DatasetView& v) {
+          for (int64_t i = 0; i < v.rows(); ++i) {
+            norms[static_cast<size_t>(v.first_row() + i)] =
+                SquaredNorm(v.Point(i), d);
+          }
+        });
+      },
+      &schedule);
   return norms;
 }
 
@@ -204,7 +208,6 @@ void NearestCenterSearch::FindAll(const DatasetSource& data,
     local.Pack(centers_);
     panels = &local;
   }
-  std::vector<IndexRange> chunks = MakeChunks(n, kDeterministicChunks);
   auto body = [&](IndexRange r) {
     ForEachBlock(data, r.begin, r.end, [&](const DatasetView& v) {
       const int64_t first = v.first_row();
@@ -225,14 +228,13 @@ void NearestCenterSearch::FindAll(const DatasetSource& data,
                         idx);
     });
   };
-  if (pool == nullptr) {
-    for (const IndexRange& r : chunks) body(r);
-  } else {
-    for (const IndexRange& r : chunks) {
-      pool->Submit([&body, r] { body(r); });
-    }
-    pool->Wait();
-  }
+  // Shard-aware submission + next-shard hints over out-of-core sources;
+  // per-row writes are independent, so the schedule only changes timing
+  // (see ScanSchedule). Passing the schedule also keeps the sequential
+  // path on the fixed deterministic chunk grid (as in the Matrix
+  // FindAll), so tile origins match the pooled path at any pool size.
+  const ScanSchedule schedule = MakeScanSchedule(data, n, pool);
+  ParallelFor(pool, n, body, &schedule);
 }
 
 void NearestCenterSearch::FindTwoNearestRange(ConstMatrixView points,
@@ -310,6 +312,7 @@ MinDistanceTracker::MinDistanceTracker(const DatasetSource& data,
                                        ThreadPool* pool)
     : data_(&data),
       pool_(pool),
+      schedule_(MakeScanSchedule(data, data.n(), pool)),
       min_d2_(static_cast<size_t>(data.n()),
               std::numeric_limits<double>::infinity()),
       closest_(static_cast<size_t>(data.n()), -1),
@@ -377,7 +380,7 @@ double MinDistanceTracker::AddCenters(const Matrix& centers, int64_t first) {
     return a;
   };
   potential_ = ParallelReduce<KahanSum>(pool_, data_->n(), KahanSum(), map,
-                                        combine)
+                                        combine, &schedule_)
                    .Total();
   return potential_;
 }

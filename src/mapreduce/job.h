@@ -60,9 +60,18 @@ class Job {
   /// shuffle, exactly like a Hadoop combiner.
   using CombineFn = std::function<V(const V&, const V&)>;
   using ReduceFn = std::function<Out(const K& key, std::vector<V>& values)>;
+  /// Advisory hook run at the start of each map task (before the map
+  /// function), e.g. to prefetch the input of an upcoming task. Must not
+  /// touch emitters or shared mutable state: it runs concurrently across
+  /// tasks and must not be able to affect any task's output.
+  using PrologueFn = std::function<void(int64_t partition_id)>;
 
   Job& WithMap(MapFn map) {
     map_ = std::move(map);
+    return *this;
+  }
+  Job& WithPrologue(PrologueFn prologue) {
+    prologue_ = std::move(prologue);
     return *this;
   }
   Job& WithCombine(CombineFn combine) {
@@ -99,6 +108,7 @@ class Job {
         combine_ != nullptr ? partitions.size() : 0);
     std::vector<int64_t> task_pairs(partitions.size(), 0);
     auto run_map_task = [&](int64_t t) {
+      if (prologue_ != nullptr) prologue_(t);
       auto& emitter = emitters[static_cast<size_t>(t)];
       map_(t, partitions[static_cast<size_t>(t)], &emitter);
       task_pairs[static_cast<size_t>(t)] =
@@ -191,6 +201,7 @@ class Job {
 
  private:
   MapFn map_;
+  PrologueFn prologue_;
   CombineFn combine_;
   ReduceFn reduce_;
   Counters* counters_ = nullptr;

@@ -1,5 +1,6 @@
 #include "matrix/dataset_view.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/math_util.h"
@@ -39,6 +40,93 @@ void VisitRuns(const DatasetSource& source,
 }
 
 }  // namespace
+
+ScanSchedule MakeScanSchedule(const DatasetSource& source, int64_t total,
+                              ThreadPool* pool) {
+  ScanSchedule schedule;
+  if (total <= 0) return schedule;
+  const std::vector<std::pair<int64_t, int64_t>> shards =
+      source.ResidencyRanges();
+  if (shards.size() < 2) return schedule;
+  const std::vector<IndexRange> chunks =
+      MakeChunks(total, kDeterministicChunks);
+  if (chunks.size() < 2) return schedule;
+
+  // Shard owning a row (shards are ascending and contiguous from row 0).
+  auto shard_of = [&](int64_t row) {
+    size_t lo = 0, hi = shards.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi + 1) / 2;
+      if (shards[mid].first <= row) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return lo;
+  };
+
+  // Split the shard list into `groups` contiguous spans — one per worker
+  // that can usefully run concurrently — and give each group its chunks
+  // in ascending order. Workers then stream disjoint shard sequences.
+  // The residency window caps the fan-out: streaming more concurrent
+  // sequences than (capacity - 1) shards — one slot is left for the
+  // prefetcher's double buffer — would evict mappings out from under
+  // the other workers.
+  size_t workers =
+      pool == nullptr ? 1 : static_cast<size_t>(pool->num_threads());
+  const int64_t capacity = source.ResidentUnitCapacity();
+  if (capacity > 0) {
+    workers = std::min(
+        workers, static_cast<size_t>(std::max<int64_t>(capacity - 1, 1)));
+  }
+  const size_t groups = std::min(workers, shards.size());
+  auto group_of_shard = [&](size_t s) {
+    return s * groups / shards.size();
+  };
+  // Last shard of the group that shard `s` belongs to.
+  auto group_end_shard = [&](size_t s) {
+    const size_t g = group_of_shard(s);
+    size_t e = s;
+    while (e + 1 < shards.size() && group_of_shard(e + 1) == g) ++e;
+    return e;
+  };
+
+  std::vector<std::vector<size_t>> sequences(groups);
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    sequences[group_of_shard(shard_of(chunks[c].begin))].push_back(c);
+  }
+
+  // Round-robin submission across groups; per-position hint = the full
+  // row range of the group's next shard (issued while the current shard
+  // of that group computes; the source deduplicates repeats).
+  schedule.order.reserve(chunks.size());
+  schedule.hints.reserve(chunks.size());
+  std::vector<size_t> cursor(groups, 0);
+  bool any_hint = false;
+  for (size_t taken = 0; taken < chunks.size();) {
+    for (size_t g = 0; g < groups; ++g) {
+      if (cursor[g] >= sequences[g].size()) continue;
+      const size_t c = sequences[g][cursor[g]++];
+      ++taken;
+      schedule.order.push_back(c);
+      const size_t s = shard_of(chunks[c].end - 1);
+      IndexRange hint{0, 0};
+      if (s < group_end_shard(s)) {
+        hint.begin = shards[s + 1].first;
+        hint.end = std::min(shards[s + 1].second, total);
+      }
+      if (hint.size() > 0) any_hint = true;
+      schedule.hints.push_back(hint);
+    }
+  }
+  if (groups == 1) schedule.order.clear();  // ascending; keep hints only
+  if (!any_hint && schedule.order.empty()) return ScanSchedule{};
+  schedule.prefetch = [&source](IndexRange r) {
+    source.PrefetchHint(r.begin, r.end);
+  };
+  return schedule;
+}
 
 Matrix GatherPoints(const DatasetSource& source,
                     const std::vector<int64_t>& indices) {

@@ -37,6 +37,7 @@
 
 #include "common/macros.h"
 #include "matrix/matrix.h"
+#include "parallel/parallel_for.h"
 
 namespace kmeansll {
 
@@ -155,6 +156,36 @@ class DatasetSource {
   /// returned view covers at least one row and starts exactly at
   /// `begin`. Thread-safe.
   virtual PinnedBlock Pin(int64_t begin, int64_t end) const = 0;
+
+  /// Advises the source that global rows [begin, end) will be scanned
+  /// soon, so it may start making them resident (mapping + touching the
+  /// covering shards) in the background. Purely advisory: it never
+  /// blocks on I/O, never pins anything, and never changes the bytes any
+  /// Pin returns — so issuing (or dropping) hints cannot change results.
+  /// Out-of-range or empty ranges are ignored. Thread-safe. Default:
+  /// no-op (uniformly resident sources have nothing to warm).
+  virtual void PrefetchHint(int64_t begin, int64_t end) const {
+    (void)begin;
+    (void)end;
+  }
+
+  /// Row ranges of the source's residency units — the granularity at
+  /// which rows become resident together (the shard table of a
+  /// ShardedDataset). Ascending and contiguous when non-empty. Empty
+  /// means the source is uniformly resident (in-memory) and scan
+  /// scheduling has nothing to exploit.
+  virtual std::vector<std::pair<int64_t, int64_t>> ResidencyRanges()
+      const {
+    return {};
+  }
+
+  /// How many residency units the source can keep resident at once
+  /// under its memory budget (0 = unbounded). MakeScanSchedule caps the
+  /// number of concurrently streamed shard sequences with this so a
+  /// pool never scans more distinct shards at a time than the eviction
+  /// window can hold — beyond it, workers just thrash each other's
+  /// mappings.
+  virtual int64_t ResidentUnitCapacity() const { return 0; }
 };
 
 /// DatasetSource over rows the caller already holds in memory. The
@@ -186,6 +217,10 @@ class InMemorySource final : public DatasetSource {
 
 /// Visits [begin, end) as a sequence of pinned contiguous views in
 /// ascending row order (each pin is released before the next is taken).
+/// After each pin and before the visitor runs, the remaining tail of the
+/// range is hinted to the source, so an out-of-core source can map and
+/// touch the next shard while `fn` computes over the current one (a
+/// no-op for in-memory sources and for ranges inside one shard).
 template <typename Fn>
 void ForEachBlock(const DatasetSource& source, int64_t begin, int64_t end,
                   Fn&& fn) {
@@ -194,10 +229,25 @@ void ForEachBlock(const DatasetSource& source, int64_t begin, int64_t end,
     PinnedBlock block = source.Pin(row, end);
     const DatasetView& view = block.view();
     KMEANSLL_CHECK(view.first_row() == row && view.rows() > 0);
-    fn(view);
     row = view.end_row();
+    if (row < end) source.PrefetchHint(row, end);
+    fn(view);
   }
 }
+
+/// Builds the shard-aware execution schedule for one chunked pass over
+/// [0, total) rows of `source` (see ScanSchedule in
+/// parallel/parallel_for.h). The deterministic chunk grid is split into
+/// min(workers, shards) groups of contiguous shard spans and submission
+/// round-robins across the groups, so the pool's workers advance through
+/// disjoint shard sequences instead of pinning the same shard in lock
+/// step; each position also carries a hint for its group's next shard so
+/// the source warms it while the current shard computes. Returns an
+/// empty schedule (callers may pass it; it is ignored) when the source
+/// has fewer than two residency units or the pass is trivially small.
+/// The schedule borrows `source` and must not outlive it.
+ScanSchedule MakeScanSchedule(const DatasetSource& source, int64_t total,
+                              ThreadPool* pool);
 
 /// Copies the selected global rows' points into a dense matrix (the
 /// source-agnostic analog of Matrix::GatherRows). Indices need not be

@@ -21,15 +21,31 @@ std::vector<IndexRange> MakeChunks(int64_t total, int64_t max_chunks) {
 }
 
 void ParallelFor(ThreadPool* pool, int64_t total,
-                 const std::function<void(IndexRange)>& body) {
+                 const std::function<void(IndexRange)>& body,
+                 const ScanSchedule* schedule) {
   if (total <= 0) return;
-  if (pool == nullptr) {
+  const bool scheduled = schedule != nullptr && !schedule->empty();
+  if (pool == nullptr && schedule == nullptr) {
     body(IndexRange{0, total});
     return;
   }
   std::vector<IndexRange> chunks = MakeChunks(total, kDeterministicChunks);
-  for (const IndexRange& r : chunks) {
-    pool->Submit([&body, r] { body(r); });
+  const bool hinted = scheduled && schedule->prefetch != nullptr &&
+                      schedule->hints.size() == chunks.size();
+  auto run_position = [&](size_t p) {
+    if (hinted && schedule->hints[p].size() > 0) {
+      schedule->prefetch(schedule->hints[p]);
+    }
+    const size_t c =
+        scheduled && !schedule->order.empty() ? schedule->order[p] : p;
+    body(chunks[c]);
+  };
+  if (pool == nullptr) {
+    for (size_t p = 0; p < chunks.size(); ++p) run_position(p);
+    return;
+  }
+  for (size_t p = 0; p < chunks.size(); ++p) {
+    pool->Submit([&run_position, p] { run_position(p); });
   }
   pool->Wait();
 }

@@ -8,11 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "clustering/cost.h"
@@ -39,6 +42,7 @@ using data::ShardedDataset;
 using data::ShardedDatasetOptions;
 using data::ShardManifest;
 using data::ShardWriteOptions;
+using data::ShardWriter;
 using data::WriteShards;
 
 std::string TempPath(const std::string& name) {
@@ -497,6 +501,376 @@ TEST(ShardEquivalenceTest, MapReduceDriversBitwiseIdentical) {
   EXPECT_TRUE(shard_lloyd->centers == mem_lloyd->centers);
   EXPECT_EQ(shard_lloyd->assignment.cluster,
             mem_lloyd->assignment.cluster);
+}
+
+// --- ShardWriter: streaming sink ---------------------------------------
+
+TEST(ShardWriterTest, StreamedAppendRoundTripsBitwise) {
+  Dataset data = MakeData(157, 6, /*weighted=*/true, /*labeled=*/true);
+  std::string manifest = TempPath("writer.kml");
+  ShardWriter::Options options;
+  options.rows_per_shard = 40;
+  options.has_weights = true;
+  options.has_labels = true;
+  auto writer = ShardWriter::Open(manifest, data.dim(), options);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+
+  // Append in odd-sized view blocks that straddle every shard cut.
+  InMemorySource source = data.AsSource();
+  int64_t row = 0;
+  const int64_t steps[] = {1, 13, 39, 40, 41, 7};
+  size_t step = 0;
+  while (row < data.n()) {
+    int64_t take = std::min(steps[step % 6], data.n() - row);
+    ++step;
+    PinnedBlock pin = source.Pin(row, row + take);
+    ASSERT_TRUE(writer->Append(pin.view()).ok());
+    row += take;
+  }
+  EXPECT_EQ(writer->rows_appended(), data.n());
+  auto finalized = writer->Finalize();
+  ASSERT_TRUE(finalized.ok()) << finalized.status().ToString();
+  EXPECT_EQ(finalized->n, data.n());
+  EXPECT_EQ(finalized->shards.size(), 4u);  // 40+40+40+37
+
+  // The written dataset reads back bitwise, and each shard stands alone.
+  auto sharded = ShardedDataset::Open(manifest);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  ASSERT_EQ(sharded->n(), data.n());
+  ForEachBlock(*sharded, 0, sharded->n(), [&](const DatasetView& v) {
+    for (int64_t i = 0; i < v.rows(); ++i) {
+      const int64_t g = v.first_row() + i;
+      for (int64_t j = 0; j < data.dim(); ++j) {
+        EXPECT_EQ(v.Point(i)[j], data.Point(g)[j]);
+      }
+      EXPECT_EQ(v.Weight(i), data.Weight(g));
+      EXPECT_EQ(v.Label(i), data.labels()[static_cast<size_t>(g)]);
+    }
+  });
+  auto standalone =
+      data::ReadBinary(::testing::TempDir() + finalized->shards[1].file);
+  ASSERT_TRUE(standalone.ok());
+  EXPECT_EQ(standalone->n(), 40);
+  EXPECT_EQ(standalone->Point(0)[0], data.Point(40)[0]);
+}
+
+TEST(ShardWriterTest, AppendRangeStreamsASource) {
+  Dataset data = MakeData(90, 4, /*weighted=*/false, /*labeled=*/false);
+  std::string manifest = TempPath("writer_range.kml");
+  auto writer = ShardWriter::Open(manifest, data.dim(),
+                                  ShardWriter::Options{.rows_per_shard = 25});
+  ASSERT_TRUE(writer.ok());
+  InMemorySource source = data.AsSource();
+  ASSERT_TRUE(writer->AppendRange(source, 0, data.n()).ok());
+  auto finalized = writer->Finalize();
+  ASSERT_TRUE(finalized.ok());
+  EXPECT_EQ(finalized->shards.size(), 4u);  // 25+25+25+15
+
+  auto sharded = ShardedDataset::Open(manifest);
+  ASSERT_TRUE(sharded.ok());
+  Matrix centers = FirstKCenters(data, 5);
+  EXPECT_EQ(ComputeCost(*sharded, centers), ComputeCost(data, centers));
+}
+
+TEST(ShardWriterTest, RejectsShapeAndFlagMismatches) {
+  EXPECT_FALSE(ShardWriter::Open(TempPath("w_bad.kml"), 0,
+                                 ShardWriter::Options{.rows_per_shard = 4})
+                   .ok());
+  EXPECT_FALSE(
+      ShardWriter::Open(TempPath("w_bad.kml"), 3, ShardWriter::Options{})
+          .ok());
+
+  Dataset weighted = MakeData(10, 3, /*weighted=*/true, /*labeled=*/false);
+  Dataset labeled = MakeData(10, 3, /*weighted=*/false, /*labeled=*/true);
+  Dataset plain = MakeData(10, 4, /*weighted=*/false, /*labeled=*/false);
+
+  auto writer = ShardWriter::Open(TempPath("w_plain.kml"), 3,
+                                  ShardWriter::Options{.rows_per_shard = 8});
+  ASSERT_TRUE(writer.ok());
+  InMemorySource weighted_src = weighted.AsSource();
+  InMemorySource labeled_src = labeled.AsSource();
+  InMemorySource plain_src = plain.AsSource();
+  {
+    PinnedBlock pin = weighted_src.Pin(0, 10);
+    EXPECT_FALSE(writer->Append(pin.view()).ok());  // weights dropped
+  }
+  {
+    PinnedBlock pin = labeled_src.Pin(0, 10);
+    EXPECT_FALSE(writer->Append(pin.view()).ok());  // label mismatch
+  }
+  {
+    PinnedBlock pin = plain_src.Pin(0, 10);
+    EXPECT_FALSE(writer->Append(pin.view()).ok());  // dim mismatch
+  }
+  // Nothing valid was appended: Finalize must refuse.
+  EXPECT_FALSE(writer->Finalize().ok());
+
+  // A weight-less view into a weighted writer appends 1.0 weights.
+  auto wweighted = ShardWriter::Open(
+      TempPath("w_weighted.kml"), 3,
+      ShardWriter::Options{.rows_per_shard = 8, .has_weights = true});
+  ASSERT_TRUE(wweighted.ok());
+  Dataset plain3 = MakeData(10, 3, false, false);
+  InMemorySource plain3_src = plain3.AsSource();
+  {
+    PinnedBlock pin = plain3_src.Pin(0, 10);
+    ASSERT_TRUE(wweighted->Append(pin.view()).ok());
+  }
+  auto finalized = wweighted->Finalize();
+  ASSERT_TRUE(finalized.ok());
+  EXPECT_FALSE(wweighted->Finalize().ok());  // spent
+  auto reopened = ShardedDataset::Open(TempPath("w_weighted.kml"));
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->TotalWeight(), 10.0);
+}
+
+// --- Prefetch pipeline -------------------------------------------------
+
+/// As MakeEquivalence, with explicit control over the prefetcher.
+EquivalenceCase MakePrefetchCase(int64_t d, bool enable_prefetch,
+                                 const std::string& tag) {
+  EquivalenceCase c;
+  c.data = MakeData(503, d, /*weighted=*/true, /*labeled=*/false);
+  std::string manifest = TempPath("prefetch_" + tag + ".kml");
+  auto written =
+      WriteShards(c.data, manifest, ShardWriteOptions{.num_shards = 5});
+  EXPECT_TRUE(written.ok());
+  ShardedDatasetOptions options;
+  options.max_resident_bytes =
+      3 * ShardBytes(101, d, /*weighted=*/true, /*labeled=*/false);
+  options.enable_prefetch = enable_prefetch;
+  auto sharded = ShardedDataset::Open(manifest, options);
+  EXPECT_TRUE(sharded.ok()) << sharded.status().ToString();
+  c.sharded =
+      std::make_unique<ShardedDataset>(std::move(sharded).ValueOrDie());
+  return c;
+}
+
+TEST(ShardPrefetchTest, PrefetchOnOffAndInMemoryBitwiseIdentical) {
+  // The headline determinism assertion for the pipeline: prefetch on,
+  // prefetch off, and the in-memory path produce identical centers,
+  // assignments, and cost histories for both seeders and all three
+  // Lloyd variants at pool sizes null/1/4 with window < data.
+  for (int64_t d : {8, 48}) {  // plain and expanded kernels
+    EquivalenceCase on =
+        MakePrefetchCase(d, /*enable_prefetch=*/true,
+                         "on_d" + std::to_string(d));
+    EquivalenceCase off =
+        MakePrefetchCase(d, /*enable_prefetch=*/false,
+                         "off_d" + std::to_string(d));
+    const Dataset& data = on.data;
+
+    KMeansLLOptions ll_options;
+    ll_options.rounds = 3;
+    LloydOptions lloyd_options;
+    lloyd_options.max_iterations = 5;
+    lloyd_options.track_history = true;
+    Matrix seed = FirstKCenters(data, 8);
+
+    auto ll_mem = KMeansLLInit(data, 8, rng::MakeRootRng(21), ll_options);
+    auto pp_mem = KMeansPPInit(data, 8, rng::MakeRootRng(22));
+    auto lloyd_mem = RunLloyd(data, seed, lloyd_options);
+    auto hamerly_mem = RunLloydHamerly(data, seed, lloyd_options);
+    auto elkan_mem = RunLloydElkan(data, seed, lloyd_options);
+    ASSERT_TRUE(ll_mem.ok() && pp_mem.ok() && lloyd_mem.ok() &&
+                hamerly_mem.ok() && elkan_mem.ok());
+
+    std::unique_ptr<ThreadPool> pools[3] = {
+        nullptr, std::make_unique<ThreadPool>(1),
+        std::make_unique<ThreadPool>(4)};
+    for (const EquivalenceCase* c : {&on, &off}) {
+      for (auto& pool : pools) {
+        auto ll = KMeansLLInit(*c->sharded, 8, rng::MakeRootRng(21),
+                               ll_options, pool.get());
+        ASSERT_TRUE(ll.ok());
+        EXPECT_TRUE(ll->centers == ll_mem->centers);
+        EXPECT_EQ(ll->telemetry.round_potentials,
+                  ll_mem->telemetry.round_potentials);
+
+        auto pp = KMeansPPInit(*c->sharded, 8, rng::MakeRootRng(22),
+                               KMeansPPOptions{}, pool.get());
+        ASSERT_TRUE(pp.ok());
+        EXPECT_TRUE(pp->centers == pp_mem->centers);
+
+        auto lloyd =
+            RunLloyd(*c->sharded, seed, lloyd_options, pool.get());
+        ASSERT_TRUE(lloyd.ok());
+        EXPECT_TRUE(lloyd->centers == lloyd_mem->centers);
+        EXPECT_EQ(lloyd->assignment.cluster,
+                  lloyd_mem->assignment.cluster);
+        EXPECT_EQ(lloyd->cost_history, lloyd_mem->cost_history);
+      }
+      // The accelerated variants run sequentially (no pool parameter).
+      auto hamerly = RunLloydHamerly(*c->sharded, seed, lloyd_options);
+      ASSERT_TRUE(hamerly.ok());
+      EXPECT_TRUE(hamerly->centers == hamerly_mem->centers);
+      EXPECT_EQ(hamerly->assignment.cluster,
+                hamerly_mem->assignment.cluster);
+      EXPECT_EQ(hamerly->cost_history, hamerly_mem->cost_history);
+
+      auto elkan = RunLloydElkan(*c->sharded, seed, lloyd_options);
+      ASSERT_TRUE(elkan.ok());
+      EXPECT_TRUE(elkan->centers == elkan_mem->centers);
+      EXPECT_EQ(elkan->assignment.cluster,
+                elkan_mem->assignment.cluster);
+      EXPECT_EQ(elkan->cost_history, elkan_mem->cost_history);
+    }
+
+    // The prefetch-off source must never have touched the pipeline.
+    auto off_stats = off.sharded->io_stats();
+    EXPECT_EQ(off_stats.prefetch_issued, 0);
+    EXPECT_EQ(off_stats.prefetch_completed, 0);
+  }
+}
+
+TEST(ShardPrefetchTest, HintWarmsShardAndPinCountsHit) {
+  const int64_t n = 300, d = 8;
+  Dataset data = MakeData(n, d, false, false);
+  std::string manifest = TempPath("hint.kml");
+  ASSERT_TRUE(
+      WriteShards(data, manifest, ShardWriteOptions{.num_shards = 6}).ok());
+  auto sharded = ShardedDataset::Open(manifest);  // unbounded window
+  ASSERT_TRUE(sharded.ok());
+
+  // Hint one specific shard and wait for the background map to land.
+  auto [begin, end] = sharded->ShardRows(3);
+  sharded->PrefetchHint(begin, end);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (sharded->io_stats().prefetch_completed < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto stats = sharded->io_stats();
+  ASSERT_EQ(stats.prefetch_completed, 1);
+  EXPECT_EQ(stats.prefetch_issued, 1);
+  EXPECT_EQ(stats.maps, 1);
+  EXPECT_EQ(stats.prefetch_hits, 0);  // no pin yet
+
+  // Re-hinting a resident shard is a no-op.
+  sharded->PrefetchHint(begin, end);
+  EXPECT_EQ(sharded->io_stats().prefetch_issued, 1);
+
+  // The first pin consumes the prefetch without a demand map.
+  {
+    PinnedBlock pin = sharded->Pin(begin, end);
+    EXPECT_EQ(pin.view().Point(0)[0], data.Point(begin)[0]);
+  }
+  stats = sharded->io_stats();
+  EXPECT_EQ(stats.prefetch_hits, 1);
+  EXPECT_EQ(stats.maps, 1);  // still only the prefetcher's map
+  EXPECT_EQ(stats.prefetch_wasted, 0);
+
+  // Out-of-range hints are clipped/ignored, not fatal.
+  sharded->PrefetchHint(-5, 2);
+  sharded->PrefetchHint(n - 1, n + 100);
+  sharded->PrefetchHint(50, 50);
+}
+
+TEST(ShardPrefetchTest, WindowCapsOutstandingPrefetch) {
+  // A window of two shards leaves room to double-buffer exactly one
+  // prefetched shard next to the pinned one; hinting the whole dataset
+  // must not enqueue more than that.
+  const int64_t n = 240, d = 6;
+  Dataset data = MakeData(n, d, false, false);
+  std::string manifest = TempPath("cap.kml");
+  ASSERT_TRUE(
+      WriteShards(data, manifest, ShardWriteOptions{.num_shards = 6}).ok());
+  ShardedDatasetOptions options;
+  options.max_resident_bytes = 2 * ShardBytes(40, d, false, false);
+  options.max_prefetch_shards = 4;  // count cap higher than the window cap
+  auto sharded = ShardedDataset::Open(manifest, options);
+  ASSERT_TRUE(sharded.ok());
+
+  sharded->PrefetchHint(0, n);
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (sharded->io_stats().prefetch_completed <
+             sharded->io_stats().prefetch_issued &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto stats = sharded->io_stats();
+  EXPECT_EQ(stats.prefetch_issued, 1);
+  EXPECT_EQ(stats.prefetch_completed, 1);
+  EXPECT_LE(stats.resident_bytes, options.max_resident_bytes);
+
+  // A full streamed pass stays inside window + one pinned shard even
+  // with the pipeline hinting ahead of the cursor.
+  for (int pass = 0; pass < 2; ++pass) {
+    int64_t rows = 0;
+    ForEachBlock(*sharded, 0, n,
+                 [&](const DatasetView& v) { rows += v.rows(); });
+    EXPECT_EQ(rows, n);
+  }
+  stats = sharded->io_stats();
+  EXPECT_LE(stats.peak_resident_bytes,
+            options.max_resident_bytes + ShardBytes(40, d, false, false));
+  EXPECT_GT(stats.evictions, 0);
+}
+
+// --- IoStats: atomic, tear-free snapshots ------------------------------
+
+TEST(ShardStatsTest, ConcurrentSnapshotsNeverTearOrRegress) {
+  const int64_t n = 400, d = 8;
+  Dataset data = MakeData(n, d, false, false);
+  std::string manifest = TempPath("stats.kml");
+  ASSERT_TRUE(
+      WriteShards(data, manifest, ShardWriteOptions{.num_shards = 8}).ok());
+  ShardedDatasetOptions options;
+  options.max_resident_bytes = 3 * ShardBytes(50, d, false, false);
+  auto opened = ShardedDataset::Open(manifest, options);
+  ASSERT_TRUE(opened.ok());
+  ShardedDataset sharded = std::move(opened).ValueOrDie();
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  // Reader: every monotonic counter must be non-negative and
+  // non-decreasing across successive snapshots — a torn 64-bit read
+  // would violate both immediately.
+  std::thread reader([&] {
+    ShardedDataset::IoStats last;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ShardedDataset::IoStats s = sharded.io_stats();
+      if (s.maps < last.maps || s.evictions < last.evictions ||
+          s.prefetch_issued < last.prefetch_issued ||
+          s.prefetch_completed < last.prefetch_completed ||
+          s.prefetch_hits < last.prefetch_hits ||
+          s.prefetch_wasted < last.prefetch_wasted ||
+          s.stall_nanos < last.stall_nanos || s.resident_bytes < 0 ||
+          s.peak_resident_bytes < 0) {
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      last = s;
+    }
+  });
+
+  // Writers: concurrent streamed passes (pins, maps, evictions, hints).
+  std::vector<std::thread> scanners;
+  for (int t = 0; t < 4; ++t) {
+    scanners.emplace_back([&, t] {
+      for (int pass = 0; pass < 20; ++pass) {
+        const int64_t begin = (t * 100) % n;
+        sharded.PrefetchHint(begin, n);
+        ForEachBlock(sharded, begin, n, [](const DatasetView&) {});
+      }
+    });
+  }
+  for (auto& s : scanners) s.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_FALSE(failed.load());
+
+  auto stats = sharded.io_stats();
+  EXPECT_GT(stats.maps, 0);
+  EXPECT_GE(stats.prefetch_issued, stats.prefetch_completed);
+  // Every hit or wasted eviction consumes one issued prefetch. (Not
+  // compared against prefetch_completed: a pin may legitimately count a
+  // hit while the background worker is still warming pages, before it
+  // bumps the completed counter.)
+  EXPECT_GE(stats.prefetch_issued,
+            stats.prefetch_hits + stats.prefetch_wasted);
 }
 
 TEST(ShardEquivalenceTest, MiniBatchBitwiseIdentical) {
