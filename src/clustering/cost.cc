@@ -10,23 +10,15 @@
 
 namespace kmeansll {
 
-namespace {
-
-/// Shared reduction behind ComputeCost / ComputeAssignment: one frozen-
-/// panel scan over the source, folding w_x * d2(x, C) into per-chunk
-/// Kahan partials (combined in chunk order) and optionally writing the
-/// argmin indices. Rows within a chunk are visited block by block in
-/// ascending order, so the accumulation chain — and hence the result —
-/// is bitwise independent of how the source splits rows into blocks.
-double NearestReduce(const DatasetSource& data, const Matrix& centers,
-                     ThreadPool* pool, const double* point_norms,
-                     int32_t* out_cluster) {
-  KMEANSLL_CHECK_GT(centers.rows(), 0);
-  KMEANSLL_CHECK_EQ(centers.cols(), data.dim());
-  NearestCenterSearch search(centers);
-  // Pack the center panels once up front: the chunks below (and the pool
-  // workers running them) all scan the same frozen snapshot.
-  search.Freeze();
+/// Rows within a chunk are visited block by block in ascending order, so
+/// the accumulation chain — and hence the result — is bitwise independent
+/// of how the source splits rows into blocks.
+double ReduceNearestWithSearch(const DatasetSource& data,
+                               const NearestCenterSearch& search,
+                               ThreadPool* pool, const double* point_norms,
+                               int32_t* out_cluster) {
+  KMEANSLL_CHECK_GT(search.num_centers(), 0);
+  KMEANSLL_CHECK(search.frozen());
   // Shard-aware execution over an out-of-core source: workers take
   // chunks from disjoint shard spans and hint each span's next shard
   // ahead of its cursor. Timing only — the fold below stays in chunk
@@ -55,6 +47,21 @@ double NearestReduce(const DatasetSource& data, const Matrix& centers,
   KahanSum total = ParallelReduce<KahanSum>(pool, data.n(), KahanSum(), map,
                                             combine, &schedule);
   return total.Total();
+}
+
+namespace {
+
+/// ComputeCost / ComputeAssignment build and freeze a search of their own
+/// — one packing per call, shared by every chunk below.
+double NearestReduce(const DatasetSource& data, const Matrix& centers,
+                     ThreadPool* pool, const double* point_norms,
+                     int32_t* out_cluster) {
+  KMEANSLL_CHECK_GT(centers.rows(), 0);
+  KMEANSLL_CHECK_EQ(centers.cols(), data.dim());
+  NearestCenterSearch search(centers);
+  search.Freeze();
+  return ReduceNearestWithSearch(data, search, pool, point_norms,
+                                 out_cluster);
 }
 
 }  // namespace

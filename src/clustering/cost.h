@@ -16,12 +16,33 @@
 #define KMEANSLL_CLUSTERING_COST_H_
 
 #include "clustering/types.h"
+#include "distance/nearest.h"
 #include "matrix/dataset.h"
 #include "matrix/dataset_view.h"
 #include "matrix/matrix.h"
 #include "parallel/thread_pool.h"
 
 namespace kmeansll {
+
+/// The reduction behind ComputeCost / ComputeAssignment, over a
+/// caller-provided frozen search: one panel scan of `search`'s centers
+/// across `data`, folding w_x · d²(x, C) into per-chunk Kahan partials
+/// (combined in chunk order) and, when `out_cluster` is non-null (length
+/// n, any initial contents), writing each point's nearest-center index.
+/// Returns φ_X(C).
+///
+/// `search` must be frozen (panels packed). Results are bitwise identical
+/// to ComputeCost/ComputeAssignment over the same centers at any pool
+/// size — that is the point: a serving-layer CenterIndex holds one frozen
+/// search for its snapshot's lifetime and calls this with zero per-query
+/// packing cost, yet answers exactly like the training-side evaluators
+/// (the AssignBatch ≡ ComputeAssignment contract in
+/// docs/ARCHITECTURE.md "Serving layer"). `point_norms` (length n) may
+/// be null.
+double ReduceNearestWithSearch(const DatasetSource& data,
+                               const NearestCenterSearch& search,
+                               ThreadPool* pool, const double* point_norms,
+                               int32_t* out_cluster);
 
 /// φ_X(C); `pool` may be null for sequential execution. Centers must be
 /// non-empty and match the data dimension. `point_norms` (length n) may

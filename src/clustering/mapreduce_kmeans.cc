@@ -29,22 +29,41 @@ void CountPass(const MRContext& ctx) {
   }
 }
 
-/// Builds the job's input partitions and installs a task prologue that
-/// hints the partition one pool-width ahead of each starting map task,
-/// so an out-of-core source maps and touches upcoming shards while the
-/// current wave of tasks scans (see DatasetSource::PrefetchHint; a no-op
-/// for in-memory sources). Concurrent tasks already scan distinct
-/// contiguous partitions, so the wave itself pins distinct shards.
+/// Builds the job's input partitions and installs the prefetch-aware
+/// execution plan for them. Partition BOUNDARIES always come from
+/// MakePartitions — per-task partial sums fold over those row groups, so
+/// keeping them fixed is what makes MR results bitwise identical between
+/// in-memory and sharded sources. On top of that, when the source
+/// exposes residency units, MakeMapTaskSchedule supplies (a) a
+/// submission order that starts each concurrent wave on distinct shards
+/// even when the partition count does not match the shard count
+/// (partitions subdividing a shard would otherwise pile the wave onto
+/// it), and (b) per-task hints for the next partition of the same
+/// worker's shard span, issued by the task prologue while the current
+/// task scans (see DatasetSource::PrefetchHint; advisory, so neither
+/// lever can change results). Sources without residency units keep the
+/// plain one-pool-width-ahead hint.
 template <typename JobT>
 std::vector<DataPartition> PartitionsWithPrefetch(const DatasetSource& data,
                                                   const MRContext& ctx,
                                                   JobT* job) {
   std::vector<DataPartition> parts =
       MakePartitions(data, ctx.num_partitions);
-  const int64_t ahead =
+  const int64_t workers =
       ctx.pool == nullptr ? 1 : ctx.pool->num_threads();
-  job->WithPrologue([parts, ahead](int64_t t) {
-    const auto next = static_cast<size_t>(t + ahead);
+  mapreduce::MapTaskSchedule schedule =
+      mapreduce::MakeMapTaskSchedule(data, parts, workers);
+  if (!schedule.order.empty()) {
+    job->WithSubmissionOrder(std::move(schedule.order));
+    job->WithPrologue(
+        [&data, hints = std::move(schedule.hints)](int64_t t) {
+          const auto& [begin, end] = hints[static_cast<size_t>(t)];
+          if (begin < end) data.PrefetchHint(begin, end);
+        });
+    return parts;
+  }
+  job->WithPrologue([parts, workers](int64_t t) {
+    const auto next = static_cast<size_t>(t + workers);
     if (next < parts.size()) {
       parts[next].source->PrefetchHint(parts[next].begin,
                                        parts[next].end);

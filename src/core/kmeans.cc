@@ -3,8 +3,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
-#include <cstring>
-#include <fstream>
+#include <utility>
 
 #include "clustering/cost.h"
 #include "common/timer.h"
@@ -226,6 +225,12 @@ Result<KMeansReport> KMeans::Fit(const DatasetSource& data) const {
   report.lloyd_seconds = lloyd_timer.ElapsedSeconds();
   report.final_cost = report.assignment.cost;
   report.total_seconds = total_timer.ElapsedSeconds();
+
+  if (!config_.model_output_path.empty()) {
+    KMEANSLL_RETURN_NOT_OK(
+        data::SaveModel(MakeModelArtifact(config_, report, data.n()),
+                        config_.model_output_path));
+  }
   return report;
 }
 
@@ -237,61 +242,28 @@ Assignment Predict(const Matrix& centers, const DatasetSource& data) {
   return ComputeAssignment(data, centers);
 }
 
-namespace {
-constexpr char kModelMagic[8] = {'K', 'M', 'L', 'L', 'M', 'O', 'D', 'L'};
-constexpr int32_t kModelVersion = 1;
-}  // namespace
+data::ModelArtifact MakeModelArtifact(const KMeansConfig& config,
+                                      const KMeansReport& report,
+                                      int64_t trained_rows) {
+  data::ModelMetadata metadata;
+  metadata.init_method = InitMethodName(config.init);
+  metadata.seed = config.seed;
+  metadata.lloyd_iterations = report.lloyd_iterations;
+  metadata.trained_rows = trained_rows;
+  metadata.seed_cost = report.seed_cost;
+  metadata.final_cost = report.final_cost;
+  return data::MakeModelArtifact(report.centers, std::move(metadata));
+}
 
 Status SaveCenters(const Matrix& centers, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) {
-    return Status::IOError("cannot open '" + path + "' for writing");
-  }
-  out.write(kModelMagic, sizeof(kModelMagic));
-  int32_t version = kModelVersion;
-  int64_t rows = centers.rows();
-  int64_t cols = centers.cols();
-  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
-  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
-  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
-  out.write(reinterpret_cast<const char*>(centers.data()),
-            static_cast<std::streamsize>(centers.size() * sizeof(double)));
-  if (!out.good()) return Status::IOError("write to '" + path + "' failed");
-  return Status::OK();
+  return data::SaveModel(
+      data::MakeModelArtifact(centers, data::ModelMetadata{}), path);
 }
 
 Result<Matrix> LoadCenters(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) {
-    return Status::IOError("cannot open '" + path + "' for reading");
-  }
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in.good() || std::memcmp(magic, kModelMagic, sizeof(magic)) != 0) {
-    return Status::InvalidArgument("'" + path +
-                                   "' is not a kmeansll model file");
-  }
-  int32_t version = 0;
-  int64_t rows = 0, cols = 0;
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
-  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
-  if (!in.good() || version != kModelVersion) {
-    return Status::InvalidArgument("unsupported model version in '" + path +
-                                   "'");
-  }
-  if (rows <= 0 || cols <= 0 || rows > (int64_t{1} << 32) ||
-      cols > (int64_t{1} << 24)) {
-    return Status::InvalidArgument("implausible model shape in '" + path +
-                                   "'");
-  }
-  Matrix centers(rows, cols);
-  in.read(reinterpret_cast<char*>(centers.data()),
-          static_cast<std::streamsize>(centers.size() * sizeof(double)));
-  if (!in.good()) {
-    return Status::IOError("'" + path + "' is truncated");
-  }
-  return centers;
+  KMEANSLL_ASSIGN_OR_RETURN(data::ModelArtifact artifact,
+                            data::LoadModel(path));
+  return std::move(artifact.centers);
 }
 
 }  // namespace kmeansll

@@ -33,6 +33,7 @@
 #include "clustering/mapreduce_kmeans.h"
 #include "clustering/types.h"
 #include "common/result.h"
+#include "data/model_io.h"
 #include "matrix/dataset.h"
 
 namespace kmeansll {
@@ -88,6 +89,13 @@ struct KMeansConfig {
   bool use_mapreduce = false;
   /// Input splits when use_mapreduce is set.
   int64_t num_partitions = 8;
+
+  /// When non-empty, Fit() persists the fitted model at this path as a
+  /// KMLLMODL artifact (centers + center norms + training metadata, CRC
+  /// validated — see data/model_io.h). A failed save fails the Fit: a
+  /// training run whose deliverable is the artifact must not report
+  /// success without it.
+  std::string model_output_path;
 };
 
 /// Everything Fit() learned and measured.
@@ -141,15 +149,27 @@ class KMeans {
   std::unique_ptr<ThreadPool> pool_;  // created when num_threads > 0
 };
 
-/// Assigns every row of `data` to its nearest center.
+/// Assigns every row of `data` to its nearest center, packing the
+/// centers per call. Repeated Predicts against one model should go
+/// through the serving fast path instead — the Predict(CenterIndex, …)
+/// overloads in serving/center_index.h reuse the index's frozen panels
+/// and produce bitwise-identical assignments.
 Assignment Predict(const Matrix& centers, const Dataset& data);
 Assignment Predict(const Matrix& centers, const DatasetSource& data);
 
-/// Persists centers in a small self-describing binary format
-/// ("KMLLMODL" magic, version, k, d, row-major doubles).
+/// Builds the KMLLMODL artifact for a finished Fit: the report's centers
+/// plus its telemetry as model metadata (what Fit saves when
+/// config.model_output_path is set).
+data::ModelArtifact MakeModelArtifact(const KMeansConfig& config,
+                                      const KMeansReport& report,
+                                      int64_t trained_rows);
+
+/// Persists bare centers as a KMLLMODL artifact (empty metadata).
+/// Convenience wrapper over data::SaveModel.
 Status SaveCenters(const Matrix& centers, const std::string& path);
 
-/// Loads centers saved by SaveCenters. Fails on bad magic/short file.
+/// Loads the centers of a KMLLMODL artifact (drops norms/metadata).
+/// Fails on anything data::LoadModel rejects.
 Result<Matrix> LoadCenters(const std::string& path);
 
 }  // namespace kmeansll

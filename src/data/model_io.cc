@@ -1,0 +1,253 @@
+#include "data/model_io.h"
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+#include "distance/l2.h"
+
+namespace kmeansll::data {
+
+namespace {
+
+constexpr char kModelMagic[8] = {'K', 'M', 'L', 'L', 'M', 'O', 'D', 'L'};
+constexpr int32_t kModelVersion = 2;
+constexpr int64_t kMaxInitMethodBytes = 4096;
+
+// Reflected CRC-32 table (IEEE 802.3 polynomial 0xEDB88320), built once.
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int b = 0; b < 8; ++b) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256> kCrcTable = BuildCrcTable();
+
+// Appends raw bytes to the serialization buffer.
+void Put(std::string* out, const void* bytes, size_t size) {
+  out->append(static_cast<const char*>(bytes), size);
+}
+
+template <typename T>
+void PutScalar(std::string* out, T value) {
+  Put(out, &value, sizeof(T));
+}
+
+// Cursor over a fully loaded file; every read checks remaining bytes so
+// truncation surfaces as a typed error instead of garbage values.
+class Reader {
+ public:
+  Reader(const std::string& bytes, const std::string& path)
+      : bytes_(bytes), path_(path) {}
+
+  Status Read(void* dst, size_t size) {
+    if (offset_ + size > bytes_.size()) {
+      return Status::IOError("'" + path_ + "' is truncated");
+    }
+    std::memcpy(dst, bytes_.data() + offset_, size);
+    offset_ += size;
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status ReadScalar(T* value) {
+    return Read(value, sizeof(T));
+  }
+
+  size_t offset() const { return offset_; }
+
+ private:
+  const std::string& bytes_;
+  const std::string& path_;
+  size_t offset_ = 0;
+};
+
+}  // namespace
+
+uint32_t Crc32(const void* bytes, size_t size, uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = kCrcTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+ModelArtifact MakeModelArtifact(Matrix centers, ModelMetadata metadata) {
+  ModelArtifact artifact;
+  artifact.center_norms.resize(static_cast<size_t>(centers.rows()));
+  for (int64_t c = 0; c < centers.rows(); ++c) {
+    // SquaredNorm is the chain RowSquaredNorms uses, so the stored norms
+    // are bitwise the ones every expanded-kernel consumer recomputes.
+    artifact.center_norms[static_cast<size_t>(c)] =
+        SquaredNorm(centers.Row(c), centers.cols());
+  }
+  artifact.centers = std::move(centers);
+  artifact.metadata = std::move(metadata);
+  return artifact;
+}
+
+Status SaveModel(const ModelArtifact& artifact, const std::string& path) {
+  const int64_t k = artifact.centers.rows();
+  const int64_t d = artifact.centers.cols();
+  if (k <= 0 || d <= 0) {
+    return Status::InvalidArgument("model has no centers");
+  }
+  if (static_cast<int64_t>(artifact.center_norms.size()) != k) {
+    return Status::InvalidArgument(
+        "center_norms length " +
+        std::to_string(artifact.center_norms.size()) +
+        " does not match k=" + std::to_string(k));
+  }
+  const ModelMetadata& md = artifact.metadata;
+  if (static_cast<int64_t>(md.init_method.size()) > kMaxInitMethodBytes) {
+    return Status::InvalidArgument("init_method string too long");
+  }
+
+  // Serialize into memory first: the CRC covers every preceding byte, and
+  // a single write keeps a failed save from leaving a file with a valid
+  // header but missing payload.
+  std::string buf;
+  buf.reserve(static_cast<size_t>(128 + md.init_method.size() +
+                                  (k * d + k) * 8));
+  Put(&buf, kModelMagic, sizeof(kModelMagic));
+  PutScalar<int32_t>(&buf, kModelVersion);
+  PutScalar<int64_t>(&buf, k);
+  PutScalar<int64_t>(&buf, d);
+  PutScalar<uint32_t>(&buf, 0);  // flags, reserved
+  PutScalar<uint64_t>(&buf, md.seed);
+  PutScalar<int64_t>(&buf, md.lloyd_iterations);
+  PutScalar<int64_t>(&buf, md.trained_rows);
+  PutScalar<double>(&buf, md.seed_cost);
+  PutScalar<double>(&buf, md.final_cost);
+  PutScalar<int32_t>(&buf, static_cast<int32_t>(md.init_method.size()));
+  Put(&buf, md.init_method.data(), md.init_method.size());
+  Put(&buf, artifact.centers.data(),
+      static_cast<size_t>(k * d) * sizeof(double));
+  Put(&buf, artifact.center_norms.data(),
+      static_cast<size_t>(k) * sizeof(double));
+  PutScalar<uint32_t>(&buf, Crc32(buf.data(), buf.size()));
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!out.good()) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<ModelArtifact> LoadModel(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    return Status::IOError("read of '" + path + "' failed");
+  }
+
+  Reader reader(bytes, path);
+  char magic[8];
+  KMEANSLL_RETURN_NOT_OK(reader.Read(magic, sizeof(magic)));
+  if (std::memcmp(magic, kModelMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a kmeansll model file");
+  }
+  int32_t version = 0;
+  KMEANSLL_RETURN_NOT_OK(reader.ReadScalar(&version));
+  if (version != kModelVersion) {
+    return Status::InvalidArgument(
+        "unsupported model version " + std::to_string(version) + " in '" +
+        path + "' (expected " + std::to_string(kModelVersion) + ")");
+  }
+  int64_t k = 0, d = 0;
+  uint32_t flags = 0;
+  KMEANSLL_RETURN_NOT_OK(reader.ReadScalar(&k));
+  KMEANSLL_RETURN_NOT_OK(reader.ReadScalar(&d));
+  KMEANSLL_RETURN_NOT_OK(reader.ReadScalar(&flags));
+  if (k <= 0 || d <= 0 || k > (int64_t{1} << 32) ||
+      d > (int64_t{1} << 24)) {
+    return Status::InvalidArgument("implausible model shape in '" + path +
+                                   "'");
+  }
+  if (flags != 0) {
+    return Status::InvalidArgument("unknown model flags in '" + path + "'");
+  }
+  ModelMetadata md;
+  int32_t name_len = 0;
+  KMEANSLL_RETURN_NOT_OK(reader.ReadScalar(&md.seed));
+  KMEANSLL_RETURN_NOT_OK(reader.ReadScalar(&md.lloyd_iterations));
+  KMEANSLL_RETURN_NOT_OK(reader.ReadScalar(&md.trained_rows));
+  KMEANSLL_RETURN_NOT_OK(reader.ReadScalar(&md.seed_cost));
+  KMEANSLL_RETURN_NOT_OK(reader.ReadScalar(&md.final_cost));
+  KMEANSLL_RETURN_NOT_OK(reader.ReadScalar(&name_len));
+  if (name_len < 0 || name_len > kMaxInitMethodBytes) {
+    return Status::InvalidArgument("implausible metadata in '" + path +
+                                   "'");
+  }
+  md.init_method.resize(static_cast<size_t>(name_len));
+  KMEANSLL_RETURN_NOT_OK(
+      reader.Read(md.init_method.data(), md.init_method.size()));
+
+  // The declared shape fixes the exact file size; any surplus bytes are
+  // as suspect as missing ones (a concatenated or overwritten file).
+  const size_t payload_bytes = static_cast<size_t>(k * d + k) * 8;
+  const size_t expected = reader.offset() + payload_bytes + 4;
+  if (bytes.size() < expected) {
+    return Status::IOError("'" + path + "' is truncated");
+  }
+  if (bytes.size() > expected) {
+    return Status::InvalidArgument("'" + path +
+                                   "' has trailing bytes after the model");
+  }
+
+  ModelArtifact artifact;
+  artifact.metadata = std::move(md);
+  artifact.centers = Matrix(k, d);
+  KMEANSLL_RETURN_NOT_OK(reader.Read(
+      artifact.centers.data(), static_cast<size_t>(k * d) * 8));
+  artifact.center_norms.resize(static_cast<size_t>(k));
+  KMEANSLL_RETURN_NOT_OK(reader.Read(artifact.center_norms.data(),
+                                     static_cast<size_t>(k) * 8));
+
+  uint32_t stored_crc = 0;
+  KMEANSLL_RETURN_NOT_OK(reader.ReadScalar(&stored_crc));
+  const uint32_t actual_crc = Crc32(bytes.data(), bytes.size() - 4);
+  if (stored_crc != actual_crc) {
+    return Status::InvalidArgument("CRC mismatch in '" + path +
+                                   "': the model file is corrupt");
+  }
+
+  // Semantic validation: a CRC-clean file can still have been written by
+  // a buggy producer. A served model must be finite and self-consistent.
+  for (int64_t c = 0; c < k; ++c) {
+    const double* row = artifact.centers.Row(c);
+    for (int64_t t = 0; t < d; ++t) {
+      if (!std::isfinite(row[t])) {
+        return Status::InvalidArgument(
+            "non-finite coordinate in center " + std::to_string(c) +
+            " of '" + path + "'");
+      }
+    }
+    const double expected_norm = SquaredNorm(row, d);
+    if (std::memcmp(&expected_norm,
+                    &artifact.center_norms[static_cast<size_t>(c)],
+                    sizeof(double)) != 0) {
+      return Status::InvalidArgument(
+          "stored norm of center " + std::to_string(c) + " in '" + path +
+          "' does not match its coordinates");
+    }
+  }
+  return artifact;
+}
+
+}  // namespace kmeansll::data

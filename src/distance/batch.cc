@@ -656,6 +656,48 @@ void BatchTwoNearest(ConstMatrixView points, IndexRange rows,
             });
 }
 
+void BatchTopM(ConstMatrixView points, IndexRange rows,
+               const double* point_norms, const CenterPanels& panels,
+               const double* center_norms, BatchKernel kernel, int64_t m,
+               int32_t* out_index, double* out_d2) {
+  KMEANSLL_CHECK_GT(m, 0);
+  const int64_t n = rows.size();
+  for (int64_t s = 0; s < n * m; ++s) {
+    out_index[s] = -1;
+    out_d2[s] = std::numeric_limits<double>::infinity();
+  }
+  bool expanded = false;
+  if (!PrepareScan(points, rows, panels, center_norms, kernel, &expanded)) {
+    return;
+  }
+  std::vector<double> pn_storage;
+  point_norms =
+      EnsurePointNorms(points, rows, expanded, point_norms, &pn_storage);
+  const int64_t base = panels.first_center();
+  // Sorted-insertion merge: slots hold the m best distances ascending.
+  // Strict-< at every comparison means an equal later distance never
+  // displaces or outranks an earlier center, so tied centers sort by
+  // ascending index and slot 0 reproduces BatchNearestMerge exactly.
+  PanelScan(points, rows, point_norms, panels, center_norms, expanded,
+            [&](int64_t p, int64_t c_off, int64_t count,
+                const double* d2v) {
+              double* pd = out_d2 + p * m;
+              int32_t* pi = out_index + p * m;
+              for (int64_t j = 0; j < count; ++j) {
+                const double v = d2v[j];
+                if (!(v < pd[m - 1])) continue;
+                int64_t s = m - 1;
+                while (s > 0 && v < pd[s - 1]) {
+                  pd[s] = pd[s - 1];
+                  pi[s] = pi[s - 1];
+                  --s;
+                }
+                pd[s] = v;
+                pi[s] = static_cast<int32_t>(base + c_off + j);
+              }
+            });
+}
+
 void BatchDistances(ConstMatrixView points, IndexRange rows,
                     const double* point_norms, const CenterPanels& panels,
                     const double* center_norms, BatchKernel kernel,

@@ -199,6 +199,29 @@ void BatchTwoNearest(ConstMatrixView points, IndexRange rows,
                      const double* center_norms, BatchKernel kernel,
                      int32_t* out_index, double* out_d1, double* out_d2);
 
+/// Small-m top-m merge over pre-packed panels: for every point row in
+/// [rows.begin, rows.end) writes its m nearest packed centers in
+/// ascending distance order — out_index[(i - rows.begin) · m + s] is the
+/// absolute index of the (s+1)-th nearest center and out_d2[...] its
+/// squared distance. Output arrays are range-relative and need no
+/// initialization; when m > panels.num_centers() the unused trailing
+/// slots hold index -1 and distance +infinity.
+///
+/// Merge semantics extend the engine's argmin contract to m slots:
+/// centers are visited in ascending index order and inserted with
+/// strict-< comparisons, so among exactly-tied distances the
+/// lowest-index center sorts first and slot 0 is bitwise the
+/// BatchNearestMerge result (value and argmin). The per-center insertion
+/// is O(m) — this is the serving-layer primitive ("give me the m best
+/// clusters for this query"), meant for small m, not a full sort
+/// (m == k degenerates to insertion sort; use BatchDistances + sort
+/// instead). Same kernel/norm preconditions as the panels overload of
+/// BatchNearestMerge.
+void BatchTopM(ConstMatrixView points, IndexRange rows,
+               const double* point_norms, const CenterPanels& panels,
+               const double* center_norms, BatchKernel kernel, int64_t m,
+               int32_t* out_index, double* out_d2);
+
 /// Dense distance rows over pre-packed panels: out_d2[(i - rows.begin) ·
 /// panels.num_centers() + c] = ||points row i − packed center c||² for
 /// every point row in the range and every packed center. The values are
@@ -264,6 +287,13 @@ inline void BatchDistances(const Matrix& points, IndexRange rows,
                            double* out_d2) {
   BatchDistances(points.view(), rows, point_norms, panels, center_norms,
                  kernel, out_d2);
+}
+inline void BatchTopM(const Matrix& points, IndexRange rows,
+                      const double* point_norms, const CenterPanels& panels,
+                      const double* center_norms, BatchKernel kernel,
+                      int64_t m, int32_t* out_index, double* out_d2) {
+  BatchTopM(points.view(), rows, point_norms, panels, center_norms, kernel,
+            m, out_index, out_d2);
 }
 
 /// Resolves kAuto against the dimension: expanded iff

@@ -270,6 +270,23 @@ void NearestCenterSearch::FindTwoNearestRange(const DatasetSource& data,
   });
 }
 
+void NearestCenterSearch::FindTopMRange(ConstMatrixView points,
+                                        IndexRange rows,
+                                        const double* point_norms,
+                                        int64_t m, int32_t* out_index,
+                                        double* out_d2) const {
+  KMEANSLL_DCHECK(centers_.rows() > 0);
+  if (frozen_) {
+    BatchTopM(points, rows, point_norms, panels_, center_norms_or_null(),
+              batch_kernel(), m, out_index, out_d2);
+    return;
+  }
+  CenterPanels local;
+  local.Pack(centers_);
+  BatchTopM(points, rows, point_norms, local, center_norms_or_null(),
+            batch_kernel(), m, out_index, out_d2);
+}
+
 void NearestCenterSearch::DistancesRange(ConstMatrixView points,
                                          IndexRange rows,
                                          const double* point_norms,

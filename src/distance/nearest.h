@@ -156,6 +156,22 @@ class NearestCenterSearch {
                            const double* point_norms, int32_t* out_index,
                            double* out_d1, double* out_d2) const;
 
+  /// Batched top-m (fresh scan): for rows [rows.begin, rows.end) writes
+  /// each point's m nearest centers in ascending distance order —
+  /// out_index[(i - rows.begin) · m + s] / out_d2[...] are the
+  /// (s+1)-th nearest center row and its squared distance. Slot 0 is
+  /// bitwise the FindRange result; exact ties sort by ascending center
+  /// index; m > k leaves trailing slots at index -1 / +infinity. This is
+  /// the serving layer's AssignTopM primitive (see BatchTopM).
+  void FindTopMRange(ConstMatrixView points, IndexRange rows,
+                     const double* point_norms, int64_t m,
+                     int32_t* out_index, double* out_d2) const;
+  void FindTopMRange(const Matrix& points, IndexRange rows,
+                     const double* point_norms, int64_t m,
+                     int32_t* out_index, double* out_d2) const {
+    FindTopMRange(points.view(), rows, point_norms, m, out_index, out_d2);
+  }
+
   /// Batched dense distances: out_d2[(i - rows.begin) · k + c] =
   /// d²(points row i, center c) for every center, with the engine's
   /// values (expanded results clamped at zero). This feeds the Elkan

@@ -74,6 +74,17 @@ class Job {
     prologue_ = std::move(prologue);
     return *this;
   }
+  /// Permutes the order map tasks are SUBMITTED to the pool (must be a
+  /// permutation of [0, partitions.size()) when non-empty). Execution
+  /// order never affects results — per-task emissions are still folded
+  /// in task-index order — so this is a pure scheduling lever: a
+  /// prefetch-aware order (mapreduce::MakeMapTaskSchedule) starts a
+  /// concurrent wave on distinct shards of an out-of-core source instead
+  /// of piling it onto neighboring partitions that share shards.
+  Job& WithSubmissionOrder(std::vector<int64_t> order) {
+    submission_order_ = std::move(order);
+    return *this;
+  }
   Job& WithCombine(CombineFn combine) {
     combine_ = std::move(combine);
     return *this;
@@ -123,10 +134,19 @@ class Job {
         emitter.pairs().shrink_to_fit();
       }
     };
+    const bool ordered =
+        static_cast<int64_t>(submission_order_.size()) == num_tasks;
+    auto task_at = [&](int64_t p) {
+      const int64_t t =
+          ordered ? submission_order_[static_cast<size_t>(p)] : p;
+      KMEANSLL_CHECK(t >= 0 && t < num_tasks);
+      return t;
+    };
     if (pool == nullptr) {
-      for (int64_t t = 0; t < num_tasks; ++t) run_map_task(t);
+      for (int64_t p = 0; p < num_tasks; ++p) run_map_task(task_at(p));
     } else {
-      for (int64_t t = 0; t < num_tasks; ++t) {
+      for (int64_t p = 0; p < num_tasks; ++p) {
+        const int64_t t = task_at(p);
         pool->Submit([&run_map_task, t] { run_map_task(t); });
       }
       pool->Wait();
@@ -204,6 +224,7 @@ class Job {
   PrologueFn prologue_;
   CombineFn combine_;
   ReduceFn reduce_;
+  std::vector<int64_t> submission_order_;  // empty = ascending
   Counters* counters_ = nullptr;
 };
 

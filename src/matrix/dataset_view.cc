@@ -20,6 +20,25 @@ template <typename PerRun>
 void VisitRuns(const DatasetSource& source,
                const std::vector<int64_t>& indices, PerRun&& per_run) {
   const auto count = static_cast<int64_t>(indices.size());
+  // Residency-unit boundaries, for hinting ahead across shard
+  // transitions. Empty (in-memory sources) disables hinting entirely —
+  // no unit lookups, no hint calls on the hot gather path.
+  const std::vector<std::pair<int64_t, int64_t>> units =
+      count > 1 ? source.ResidencyRanges()
+                : std::vector<std::pair<int64_t, int64_t>>{};
+  auto unit_of = [&](int64_t row) -> size_t {
+    size_t lo = 0, hi = units.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi + 1) / 2;
+      if (units[mid].first <= row) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return lo;
+  };
+
   int64_t j = 0;
   while (j < count) {
     const int64_t first = indices[static_cast<size_t>(j)];
@@ -31,6 +50,20 @@ void VisitRuns(const DatasetSource& source,
       ++run;
     }
     KMEANSLL_CHECK(first + run <= source.n());
+    // Warm the next shard the gather will need while this run copies —
+    // but only at shard transitions: a random-sample gather decomposes
+    // into many single-row runs, and hinting each one would take the
+    // store's mutex per sampled row for no overlap (the accelerated
+    // Lloyd variants' rescan lists and minibatch samples are exactly
+    // that shape). One advisory hint per shard the tail visits is
+    // enough; hints never change the gathered bytes.
+    if (!units.empty() && j + run < count) {
+      const size_t cur_unit = unit_of(first + run - 1);
+      const int64_t next = indices[static_cast<size_t>(j + run)];
+      if (next >= 0 && next < source.n() && unit_of(next) != cur_unit) {
+        source.PrefetchHint(next, units[unit_of(next)].second);
+      }
+    }
     // A run may still span shard boundaries; ForEachBlock splits it.
     ForEachBlock(source, first, first + run, [&](const DatasetView& v) {
       per_run(j + (v.first_row() - first), v);

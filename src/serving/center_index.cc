@@ -1,0 +1,104 @@
+#include "serving/center_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "clustering/cost.h"
+
+namespace kmeansll::serving {
+
+CenterIndex::CenterIndex(Matrix centers, data::ModelMetadata metadata,
+                         uint64_t version)
+    : centers_(std::move(centers)),
+      metadata_(std::move(metadata)),
+      version_(version),
+      search_(centers_) {
+  KMEANSLL_CHECK_GT(centers_.rows(), 0);
+  KMEANSLL_CHECK_GT(centers_.cols(), 0);
+  search_.Freeze();
+}
+
+std::shared_ptr<const CenterIndex> CenterIndex::Build(Matrix centers,
+                                                      uint64_t version) {
+  // Plain new rather than make_shared: the constructor is private.
+  return std::shared_ptr<const CenterIndex>(
+      new CenterIndex(std::move(centers), data::ModelMetadata{}, version));
+}
+
+Result<std::shared_ptr<const CenterIndex>> CenterIndex::FromModel(
+    const data::ModelArtifact& artifact, uint64_t version) {
+  if (artifact.centers.rows() <= 0 || artifact.centers.cols() <= 0) {
+    return Status::InvalidArgument("model artifact has no centers");
+  }
+  return std::shared_ptr<const CenterIndex>(new CenterIndex(
+      artifact.centers, artifact.metadata, version));
+}
+
+NearestResult CenterIndex::AssignOne(const double* point) const {
+  return search_.Find(point);
+}
+
+void CenterIndex::AssignRange(ConstMatrixView points, IndexRange rows,
+                              int32_t* out_index, double* out_d2) const {
+  KMEANSLL_CHECK_EQ(points.cols(), dim());
+  if (out_d2 != nullptr) {
+    search_.FindRange(points, rows, /*point_norms=*/nullptr, out_index,
+                      out_d2);
+    return;
+  }
+  std::vector<double> d2(static_cast<size_t>(rows.size()));
+  search_.FindRange(points, rows, /*point_norms=*/nullptr, out_index,
+                    d2.data());
+}
+
+Assignment CenterIndex::AssignBatch(const DatasetSource& data,
+                                    ThreadPool* pool,
+                                    const double* point_norms) const {
+  KMEANSLL_CHECK_EQ(data.dim(), dim());
+  Assignment out;
+  out.cluster.assign(static_cast<size_t>(data.n()), -1);
+  out.cost = ReduceNearestWithSearch(data, search_, pool, point_norms,
+                                     out.cluster.data());
+  return out;
+}
+
+Assignment CenterIndex::AssignBatch(const Dataset& data, ThreadPool* pool,
+                                    const double* point_norms) const {
+  InMemorySource source = data.AsSource();
+  return AssignBatch(source, pool, point_norms);
+}
+
+int64_t CenterIndex::AssignTopM(const double* point, int64_t m,
+                                std::vector<int32_t>* out_index,
+                                std::vector<double>* out_d2) const {
+  KMEANSLL_CHECK_GT(m, 0);
+  std::vector<int32_t> idx(static_cast<size_t>(m));
+  std::vector<double> d2(static_cast<size_t>(m));
+  ConstMatrixView one(point, 1, dim());
+  search_.FindTopMRange(one, IndexRange{0, 1}, /*point_norms=*/nullptr, m,
+                        idx.data(), d2.data());
+  const int64_t filled = std::min<int64_t>(m, k());
+  idx.resize(static_cast<size_t>(filled));
+  d2.resize(static_cast<size_t>(filled));
+  *out_index = std::move(idx);
+  *out_d2 = std::move(d2);
+  return filled;
+}
+
+void CenterIndex::AssignTopMRange(ConstMatrixView points, IndexRange rows,
+                                  int64_t m, int32_t* out_index,
+                                  double* out_d2) const {
+  KMEANSLL_CHECK_EQ(points.cols(), dim());
+  search_.FindTopMRange(points, rows, /*point_norms=*/nullptr, m,
+                        out_index, out_d2);
+}
+
+Assignment Predict(const CenterIndex& index, const Dataset& data) {
+  return index.AssignBatch(data);
+}
+
+Assignment Predict(const CenterIndex& index, const DatasetSource& data) {
+  return index.AssignBatch(data);
+}
+
+}  // namespace kmeansll::serving

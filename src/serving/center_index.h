@@ -1,0 +1,120 @@
+// CenterIndex: an immutable, shareable snapshot of a fitted center set,
+// prepared for online nearest-center queries.
+//
+// Training produces centers; serving answers "which cluster is this
+// point in" at high QPS. The index is the bridge: it owns a bitwise copy
+// of the k × d centers together with everything the batch distance
+// engine (distance/batch.h) needs precomputed — the packed CenterPanels
+// and the center squared norms — so per-query work is pure scanning with
+// zero packing or norm cost. Once built, a CenterIndex never changes;
+// every query method is const and safe to call from any number of
+// threads concurrently, which is what lets ModelServer publish snapshots
+// RCU-style (readers hold a shared_ptr, writers build-then-swap — see
+// serving/model_server.h).
+//
+// Determinism contract (extends distance/batch.h): AssignBatch runs the
+// exact reduction ComputeAssignment runs (clustering/cost.h,
+// ReduceNearestWithSearch) over this index's frozen panels, so its
+// Assignment — indices, cost, and tie resolution — is bitwise identical
+// to ComputeAssignment on the same centers at any pool size. AssignOne
+// is the engine's scalar reference path (bitwise-consistent per pair),
+// and AssignTopM's slot 0 is bitwise the AssignOne result.
+
+#ifndef KMEANSLL_SERVING_CENTER_INDEX_H_
+#define KMEANSLL_SERVING_CENTER_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "clustering/types.h"
+#include "common/result.h"
+#include "data/model_io.h"
+#include "distance/nearest.h"
+#include "matrix/dataset.h"
+#include "matrix/dataset_view.h"
+#include "matrix/matrix.h"
+#include "parallel/thread_pool.h"
+
+namespace kmeansll::serving {
+
+class CenterIndex {
+ public:
+  /// Builds a snapshot from `centers` (copied/moved in; k >= 1, d >= 1).
+  /// Packs the panels and computes the norms once, up front. `version`
+  /// tags the snapshot (ModelServer bumps it per publish; it never
+  /// affects results).
+  static std::shared_ptr<const CenterIndex> Build(Matrix centers,
+                                                  uint64_t version = 0);
+
+  /// Builds from a loaded model artifact, adopting its metadata. The
+  /// artifact's stored norms are already validated against the centers
+  /// by data::LoadModel; Build recomputes with the same chain, so a
+  /// FromModel index serves bitwise like a Build index over the same
+  /// centers. Fails on an empty artifact.
+  static Result<std::shared_ptr<const CenterIndex>> FromModel(
+      const data::ModelArtifact& artifact, uint64_t version = 0);
+
+  KMEANSLL_DISALLOW_COPY_AND_ASSIGN(CenterIndex);
+
+  int64_t k() const { return centers_.rows(); }
+  int64_t dim() const { return centers_.cols(); }
+  uint64_t version() const { return version_; }
+  const Matrix& centers() const { return centers_; }
+  /// Training provenance (empty for Build-from-Matrix snapshots).
+  const data::ModelMetadata& metadata() const { return metadata_; }
+
+  /// Nearest center for one point (`point` has dim() coordinates).
+  /// Scalar engine path — the right call for a single ad-hoc query; high
+  /// request rates should go through serving::RequestBatcher, which
+  /// coalesces concurrent callers onto AssignRange.
+  NearestResult AssignOne(const double* point) const;
+
+  /// Nearest center + squared distance for rows [rows.begin, rows.end)
+  /// of a borrowed contiguous block (the batcher's path). Output arrays
+  /// are range-relative; `out_d2` may be null when only indices matter.
+  void AssignRange(ConstMatrixView points, IndexRange rows,
+                   int32_t* out_index, double* out_d2) const;
+
+  /// Full-dataset assignment: bitwise identical to
+  /// ComputeAssignment(data, centers(), pool, point_norms) — same
+  /// reduction, same chunk grid, same Kahan fold — with the packing cost
+  /// already paid at Build. `point_norms` (length data.n()) may be null.
+  Assignment AssignBatch(const DatasetSource& data,
+                         ThreadPool* pool = nullptr,
+                         const double* point_norms = nullptr) const;
+  Assignment AssignBatch(const Dataset& data, ThreadPool* pool = nullptr,
+                         const double* point_norms = nullptr) const;
+
+  /// The m nearest centers of one point, ascending by distance (exact
+  /// ties: ascending center index). Writes min(m, k) entries and returns
+  /// that count; slot 0 matches AssignOne bitwise. m >= 1.
+  int64_t AssignTopM(const double* point, int64_t m,
+                     std::vector<int32_t>* out_index,
+                     std::vector<double>* out_d2) const;
+
+  /// Batched top-m over a borrowed block: out_index/out_d2 hold m slots
+  /// per row, row-major (see NearestCenterSearch::FindTopMRange; slots
+  /// beyond k hold -1 / +infinity).
+  void AssignTopMRange(ConstMatrixView points, IndexRange rows, int64_t m,
+                       int32_t* out_index, double* out_d2) const;
+
+ private:
+  CenterIndex(Matrix centers, data::ModelMetadata metadata,
+              uint64_t version);
+
+  const Matrix centers_;  // declared before search_: search_ borrows it
+  const data::ModelMetadata metadata_;
+  const uint64_t version_;
+  NearestCenterSearch search_;  // frozen in the constructor, never again
+};
+
+/// Serving-side Predict: the facade spelling of AssignBatch. Lives here
+/// (not core/kmeans.h) so the training facade never depends upward on
+/// the serving layer; unqualified calls resolve via ADL on CenterIndex.
+Assignment Predict(const CenterIndex& index, const Dataset& data);
+Assignment Predict(const CenterIndex& index, const DatasetSource& data);
+
+}  // namespace kmeansll::serving
+
+#endif  // KMEANSLL_SERVING_CENTER_INDEX_H_

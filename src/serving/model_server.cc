@@ -1,0 +1,167 @@
+#include "serving/model_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace kmeansll::serving {
+
+ModelServer::ModelServer(std::shared_ptr<const CenterIndex> initial) {
+  KMEANSLL_CHECK(initial != nullptr);
+  snapshot_.store(std::move(initial), std::memory_order_release);
+}
+
+Status ModelServer::Publish(std::shared_ptr<const CenterIndex> next) {
+  if (next == nullptr) {
+    return Status::InvalidArgument("cannot publish a null snapshot");
+  }
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  const std::shared_ptr<const CenterIndex> current = Acquire();
+  if (next->dim() != current->dim()) {
+    return Status::InvalidArgument(
+        "snapshot dimension " + std::to_string(next->dim()) +
+        " does not match served dimension " +
+        std::to_string(current->dim()));
+  }
+  snapshot_.store(std::move(next), std::memory_order_release);
+  return Status::OK();
+}
+
+Status ModelServer::Refine(const RefineFn& fn) {
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  const std::shared_ptr<const CenterIndex> current = Acquire();
+  KMEANSLL_ASSIGN_OR_RETURN(Matrix next_centers, fn(*current));
+  if (next_centers.rows() <= 0) {
+    return Status::InvalidArgument("refinement produced no centers");
+  }
+  if (next_centers.cols() != current->dim()) {
+    return Status::InvalidArgument(
+        "refinement changed the dimension from " +
+        std::to_string(current->dim()) + " to " +
+        std::to_string(next_centers.cols()));
+  }
+  // Build-then-swap: panels and norms are packed here, outside any
+  // reader's path, and the finished index is installed in one store.
+  snapshot_.store(CenterIndex::Build(std::move(next_centers),
+                                     current->version() + 1),
+                  std::memory_order_release);
+  return Status::OK();
+}
+
+Status ModelServer::RefineWithMiniBatch(const DatasetSource& data,
+                                        const MiniBatchOptions& options,
+                                        uint64_t seed) {
+  return Refine([&](const CenterIndex& current) -> Result<Matrix> {
+    KMEANSLL_ASSIGN_OR_RETURN(
+        MiniBatchResult refined,
+        RunMiniBatch(data, current.centers(), options, rng::Rng(seed)));
+    return std::move(refined.centers);
+  });
+}
+
+RequestBatcher::RequestBatcher(const ModelServer* server,
+                               const RequestBatcherOptions& options)
+    : server_(server), options_(options) {
+  KMEANSLL_CHECK(server_ != nullptr);
+  KMEANSLL_CHECK_GE(options_.max_batch, 1);
+  KMEANSLL_CHECK_GE(options_.max_delay_us, 0);
+  KMEANSLL_CHECK_GE(options_.idle_close_us, 0);
+  dim_ = server_->Acquire()->dim();
+}
+
+NearestResult RequestBatcher::Assign(const double* point) {
+  std::shared_ptr<Batch> batch;
+  int64_t slot = 0;
+  bool leader = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (open_ == nullptr) {
+      open_ = std::make_shared<Batch>();
+      open_->points.reserve(
+          static_cast<size_t>(options_.max_batch * dim_));
+      leader = true;
+    }
+    batch = open_;
+    slot = batch->rows++;
+    batch->points.insert(batch->points.end(), point, point + dim_);
+    ++stats_.queries;
+    if (batch->rows >= options_.max_batch) {
+      // Full: stop accepting joins and wake the (possibly waiting)
+      // leader so the flush happens now, not at the deadline.
+      batch->closed = true;
+      open_ = nullptr;
+      leader_cv_.notify_all();
+    }
+
+    if (!leader) {
+      done_cv_.wait(lock, [&] { return batch->done; });
+      return batch->results[static_cast<size_t>(slot)];
+    }
+
+    // Leader: give followers up to max_delay_us to coalesce — the wait
+    // releases the lock, which is exactly what lets them join — but
+    // re-check every idle_close_us and flush early once joins go quiet
+    // (see RequestBatcherOptions::idle_close_us).
+    if (!batch->closed && options_.max_delay_us > 0) {
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(options_.max_delay_us);
+      while (!batch->closed) {
+        const int64_t joined = batch->rows;
+        auto wake = deadline;
+        if (options_.idle_close_us > 0) {
+          wake = std::min(
+              deadline, std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(
+                                options_.idle_close_us));
+        }
+        leader_cv_.wait_until(lock, wake, [&] { return batch->closed; });
+        if (batch->closed ||
+            std::chrono::steady_clock::now() >= deadline) {
+          break;
+        }
+        if (options_.idle_close_us > 0 && batch->rows == joined) {
+          break;  // quiescent: nobody joined during the idle window
+        }
+      }
+    }
+    if (!batch->closed) {
+      batch->closed = true;
+      if (open_ == batch) open_ = nullptr;
+    }
+  }
+
+  // Flush (outside the lock: followers of the *next* generation must be
+  // able to coalesce while this batch scans). The snapshot is acquired
+  // at flush time, so the whole batch is answered by one model version.
+  const std::shared_ptr<const CenterIndex> snapshot = server_->Acquire();
+  const int64_t rows = batch->rows;
+  std::vector<int32_t> idx(static_cast<size_t>(rows));
+  std::vector<double> d2(static_cast<size_t>(rows));
+  snapshot->AssignRange(
+      ConstMatrixView(batch->points.data(), rows, dim_),
+      IndexRange{0, rows}, idx.data(), d2.data());
+  batch->results.resize(static_cast<size_t>(rows));
+  for (int64_t i = 0; i < rows; ++i) {
+    batch->results[static_cast<size_t>(i)] = NearestResult{
+        static_cast<int64_t>(idx[static_cast<size_t>(i)]),
+        d2[static_cast<size_t>(i)]};
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch->done = true;
+    ++stats_.batches;
+    stats_.batched_points += rows;
+    stats_.largest_batch = std::max(stats_.largest_batch, rows);
+    done_cv_.notify_all();
+  }
+  return batch->results[static_cast<size_t>(slot)];
+}
+
+RequestBatcher::Stats RequestBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace kmeansll::serving

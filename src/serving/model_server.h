@@ -1,0 +1,182 @@
+// ModelServer + RequestBatcher: the online query path over CenterIndex
+// snapshots.
+//
+// ModelServer is an RCU-style snapshot holder. Readers acquire the
+// current CenterIndex as a shared_ptr via std::atomic<std::shared_ptr>
+// and keep serving from it for as long as they hold the reference.
+// Precision about the read path: libstdc++ implements the atomic
+// shared_ptr with an embedded lock-bit spin protocol (is_lock_free()
+// reports false), so Acquire is "a few atomic ops, never an OS mutex,
+// never blocked behind a writer's long critical section" rather than
+// formally lock-free — the writer's store inside Publish is itself just
+// a pointer swap, so the window a reader can spin on is a handful of
+// instructions, and crucially the EXPENSIVE part of a swap (building
+// the replacement index: packing panels, computing norms) happens
+// entirely before the store. Writers build a complete replacement index
+// off to the side and install it with that one swap
+// ("build-then-swap"), so a hot model swap never blocks a reader behind
+// index construction and a reader never observes a half-updated model:
+// queries in flight finish on the old snapshot, queries that acquire
+// after the swap see the new one, and the old index is freed when its
+// last reader drops it. bench/bm_serving.cc's SwapUnderLoad measures
+// the real cost: reader QPS under continuous swaps vs. undisturbed. This is the multi-version read
+// path the serving layer needs when a background refinement pass
+// (minibatch/streaming) periodically republishes centers (cf. snapshot-
+// versioned index structures like MV-PBT: lookups proceed untouched
+// while a writer installs the next version).
+//
+// RequestBatcher closes the throughput gap between "one point at a time"
+// and the batch engine. Concurrent single-point queries coalesce into
+// one contiguous block under a latency bound: the first caller in
+// becomes the batch's leader and waits up to max_delay_us for followers,
+// then runs ONE engine pass (CenterIndex::AssignRange over the frozen
+// panels) for the whole batch and hands each caller its slot. Per-point
+// work drops from a scalar k·d scan to a blocked, register-tiled scan
+// amortized across the batch — bench/bm_serving.cc measures the
+// difference. Every batch acquires its snapshot at flush time, so a
+// batcher transparently follows hot swaps.
+
+#ifndef KMEANSLL_SERVING_MODEL_SERVER_H_
+#define KMEANSLL_SERVING_MODEL_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "clustering/minibatch.h"
+#include "common/result.h"
+#include "distance/nearest.h"
+#include "matrix/dataset_view.h"
+#include "rng/rng.h"
+#include "serving/center_index.h"
+
+namespace kmeansll::serving {
+
+/// Atomic holder of the currently served CenterIndex snapshot.
+/// Reader methods (Acquire, published_version) never take a mutex and
+/// are safe from any thread (see the file comment for the exact
+/// guarantee); writer methods (Publish, Refine*) serialize among
+/// themselves on an internal mutex that readers never touch.
+class ModelServer {
+ public:
+  /// Starts serving `initial` (must be non-null).
+  explicit ModelServer(std::shared_ptr<const CenterIndex> initial);
+
+  KMEANSLL_DISALLOW_COPY_AND_ASSIGN(ModelServer);
+
+  /// The current snapshot. The returned reference keeps the snapshot
+  /// alive across any number of queries; re-Acquire to observe swaps.
+  /// High-QPS readers should hold one Acquire across many queries (the
+  /// batcher acquires once per flushed batch, not per point).
+  std::shared_ptr<const CenterIndex> Acquire() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  /// Version tag of the current snapshot.
+  uint64_t published_version() const { return Acquire()->version(); }
+
+  /// Installs `next` as the served snapshot (build-then-swap; the swap
+  /// itself is one atomic store). The replacement must match the current
+  /// snapshot's dimension — in-flight batched queries were validated
+  /// against it — but may change k freely. Fails on null or dim
+  /// mismatch; on failure the served snapshot is unchanged.
+  Status Publish(std::shared_ptr<const CenterIndex> next);
+
+  /// Builds the next model from the current one. The hook sees the
+  /// current snapshot and returns refined centers (e.g. one
+  /// minibatch/streaming pass); the server builds a fresh index tagged
+  /// version + 1 and publishes it. Refiners are serialized; readers are
+  /// never blocked. On hook failure nothing is published.
+  using RefineFn = std::function<Result<Matrix>(const CenterIndex&)>;
+  Status Refine(const RefineFn& fn);
+
+  /// RefineLoop convenience: folds one mini-batch refinement pass over
+  /// `data` (options.iterations stochastic updates starting from the
+  /// served centers) into a fresh snapshot. Call periodically from a
+  /// background thread to keep the served model tracking new data.
+  Status RefineWithMiniBatch(const DatasetSource& data,
+                             const MiniBatchOptions& options,
+                             uint64_t seed);
+
+ private:
+  std::atomic<std::shared_ptr<const CenterIndex>> snapshot_;
+  std::mutex writer_mu_;  // serializes Publish/Refine, never readers
+};
+
+/// Tuning knobs for RequestBatcher.
+struct RequestBatcherOptions {
+  /// Flush as soon as this many queries have coalesced.
+  int64_t max_batch = 64;
+  /// Leader's wait bound: a query is answered at most ~this much later
+  /// than it would be unbatched (plus the batch's own scan time).
+  int64_t max_delay_us = 200;
+  /// Quiescence flush: the leader closes the batch once no new query
+  /// has joined for this long, instead of sitting out the whole
+  /// max_delay_us. In the common regime — a bounded set of serving
+  /// threads that all re-enter the batcher as soon as their previous
+  /// query completes — the batch reaches the natural concurrency within
+  /// microseconds and then goes quiet; waiting further only adds
+  /// latency. 0 disables (wait for full or deadline).
+  int64_t idle_close_us = 20;
+};
+
+/// Coalesces concurrent single-point Assign calls into batch-engine
+/// passes against a ModelServer's current snapshot. Thread-safe; one
+/// batcher is meant to be shared by all serving threads.
+class RequestBatcher {
+ public:
+  /// Binds to `server` (borrowed; must outlive the batcher). The point
+  /// dimension is fixed from the current snapshot — Publish enforces
+  /// that it never changes.
+  RequestBatcher(const ModelServer* server,
+                 const RequestBatcherOptions& options);
+
+  KMEANSLL_DISALLOW_COPY_AND_ASSIGN(RequestBatcher);
+
+  /// Nearest center of `point` (dim() coordinates) under the snapshot
+  /// current at the batch's flush. Blocks until the result is ready —
+  /// at most ~max_delay_us of coalescing plus one batched scan. Results
+  /// are bitwise the unbatched AssignOne answers: the engine's per-pair
+  /// values do not depend on which batch a point lands in.
+  NearestResult Assign(const double* point);
+
+  int64_t dim() const { return dim_; }
+
+  /// Telemetry (monotonic since construction).
+  struct Stats {
+    int64_t queries = 0;        ///< Assign calls
+    int64_t batches = 0;        ///< engine passes flushed
+    int64_t batched_points = 0; ///< points across all flushed batches
+    int64_t largest_batch = 0;  ///< max coalesced batch size seen
+  };
+  Stats stats() const;
+
+ private:
+  /// One coalescing generation, shared by its leader and followers; the
+  /// batcher itself only references the currently joinable one.
+  struct Batch {
+    std::vector<double> points;          ///< rows · dim, contiguous
+    std::vector<NearestResult> results;  ///< filled by the leader
+    int64_t rows = 0;
+    bool closed = false;  ///< no further joins (full or deadline)
+    bool done = false;    ///< results ready for pickup
+  };
+
+  const ModelServer* server_;  // borrowed
+  RequestBatcherOptions options_;
+  int64_t dim_;
+
+  mutable std::mutex mu_;  // mutable: stats() is a const reader
+  std::condition_variable leader_cv_;  ///< wakes leaders when a batch fills
+  std::condition_variable done_cv_;    ///< wakes followers when results land
+  std::shared_ptr<Batch> open_;        ///< batch currently accepting joins
+  Stats stats_;
+};
+
+}  // namespace kmeansll::serving
+
+#endif  // KMEANSLL_SERVING_MODEL_SERVER_H_

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -448,6 +449,109 @@ TEST(BatchDeterminismTest, RowSquaredNormsIdenticalAcrossThreadCounts) {
   std::vector<double> reference = RowSquaredNorms(m, nullptr);
   ThreadPool pool(3);
   EXPECT_EQ(RowSquaredNorms(m, &pool), reference);  // bitwise
+}
+
+// --- Top-m merge mode (the serving layer's AssignTopM primitive) --------
+
+TEST(BatchTopMTest, MatchesSortedDenseDistances) {
+  for (const Shape& s : kShapes) {
+    Matrix points = RandomMatrix(s.n, s.d, 505 + s.n, 4.0);
+    Matrix centers = RandomMatrix(s.k, s.d, 606 + s.k, 4.0);
+    NearestCenterSearch search(centers);
+    search.Freeze();
+    const int64_t m = std::min<int64_t>(s.k, 4);
+
+    std::vector<double> dense(static_cast<size_t>(s.n * s.k));
+    search.DistancesRange(points, IndexRange{0, s.n}, nullptr,
+                          dense.data());
+    std::vector<int32_t> idx(static_cast<size_t>(s.n * m));
+    std::vector<double> d2(static_cast<size_t>(s.n * m));
+    search.FindTopMRange(points, IndexRange{0, s.n}, nullptr, m,
+                         idx.data(), d2.data());
+
+    for (int64_t i = 0; i < s.n; ++i) {
+      // Reference: stable sort of the engine's dense row by (d2, index).
+      std::vector<int32_t> order(static_cast<size_t>(s.k));
+      for (int64_t c = 0; c < s.k; ++c) {
+        order[static_cast<size_t>(c)] = static_cast<int32_t>(c);
+      }
+      const double* row = dense.data() + i * s.k;
+      std::stable_sort(order.begin(), order.end(),
+                       [&](int32_t a, int32_t b) { return row[a] < row[b]; });
+      for (int64_t slot = 0; slot < m; ++slot) {
+        const auto got = static_cast<size_t>(i * m + slot);
+        EXPECT_EQ(idx[got], order[static_cast<size_t>(slot)])
+            << "n=" << s.n << " k=" << s.k << " d=" << s.d << " point "
+            << i << " slot " << slot;
+        // Bitwise: top-m reports the engine's own values.
+        EXPECT_EQ(d2[got], row[order[static_cast<size_t>(slot)]]);
+      }
+    }
+  }
+}
+
+TEST(BatchTopMTest, SlotZeroBitwiseMatchesNearestMerge) {
+  Matrix points = RandomMatrix(130, 48, 707, 3.0);
+  Matrix centers = RandomMatrix(33, 48, 808, 3.0);
+  NearestCenterSearch search(centers);
+  search.Freeze();
+  const int64_t n = points.rows();
+  std::vector<int32_t> near_idx(static_cast<size_t>(n));
+  std::vector<double> near_d2(static_cast<size_t>(n));
+  search.FindRange(points, IndexRange{0, n}, nullptr, near_idx.data(),
+                   near_d2.data());
+  const int64_t m = 3;
+  std::vector<int32_t> idx(static_cast<size_t>(n * m));
+  std::vector<double> d2(static_cast<size_t>(n * m));
+  search.FindTopMRange(points, IndexRange{0, n}, nullptr, m, idx.data(),
+                       d2.data());
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(idx[static_cast<size_t>(i * m)],
+              near_idx[static_cast<size_t>(i)]);
+    EXPECT_EQ(d2[static_cast<size_t>(i * m)],
+              near_d2[static_cast<size_t>(i)]);  // bitwise
+  }
+}
+
+TEST(BatchTopMTest, ExactTiesSortByAscendingCenterIndex) {
+  // Integer grid with duplicated centers: distances are exactly equal, so
+  // tied centers must appear in ascending index order (the sequential
+  // ascending scan's strict-< insertion).
+  Matrix points(1, 2);
+  points.At(0, 0) = 0.0;
+  points.At(0, 1) = 0.0;
+  Matrix centers(4, 2);
+  centers.At(0, 0) = 3.0;  // d2 = 9
+  centers.At(1, 0) = 1.0;  // d2 = 1 (tied with 2)
+  centers.At(2, 1) = 1.0;  // d2 = 1 (tied with 1)
+  centers.At(3, 0) = 2.0;  // d2 = 4
+  NearestCenterSearch search(centers);
+  search.Freeze();
+  const int64_t m = 4;
+  std::vector<int32_t> idx(static_cast<size_t>(m));
+  std::vector<double> d2(static_cast<size_t>(m));
+  search.FindTopMRange(points, IndexRange{0, 1}, nullptr, m, idx.data(),
+                       d2.data());
+  EXPECT_EQ(idx, (std::vector<int32_t>{1, 2, 3, 0}));
+  EXPECT_EQ(d2, (std::vector<double>{1.0, 1.0, 4.0, 9.0}));
+}
+
+TEST(BatchTopMTest, PadsSlotsBeyondK) {
+  Matrix points = RandomMatrix(5, 8, 909, 2.0);
+  Matrix centers = RandomMatrix(2, 8, 1010, 2.0);
+  NearestCenterSearch search(centers);
+  search.Freeze();
+  const int64_t m = 4;
+  std::vector<int32_t> idx(static_cast<size_t>(5 * m));
+  std::vector<double> d2(static_cast<size_t>(5 * m));
+  search.FindTopMRange(points, IndexRange{0, 5}, nullptr, m, idx.data(),
+                       d2.data());
+  for (int64_t i = 0; i < 5; ++i) {
+    for (int64_t slot = 2; slot < m; ++slot) {
+      EXPECT_EQ(idx[static_cast<size_t>(i * m + slot)], -1);
+      EXPECT_TRUE(std::isinf(d2[static_cast<size_t>(i * m + slot)]));
+    }
+  }
 }
 
 }  // namespace

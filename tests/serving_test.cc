@@ -1,0 +1,307 @@
+// Serving-layer tests: CenterIndex queries are bitwise the training-side
+// evaluators' answers (AssignBatch ≡ ComputeAssignment at pool null/1/4,
+// AssignOne ≡ the scalar reference, AssignTopM ≡ sorted engine
+// distances), RequestBatcher coalescing never changes results, and
+// ModelServer hot swaps are safe and consistent under concurrent readers
+// (run under TSan in CI — the reader threads deliberately race Acquire
+// against Publish).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "clustering/cost.h"
+#include "core/kmeans.h"
+#include "data/model_io.h"
+#include "matrix/dataset.h"
+#include "rng/rng.h"
+#include "serving/center_index.h"
+#include "serving/model_server.h"
+
+namespace kmeansll {
+namespace {
+
+using serving::CenterIndex;
+using serving::ModelServer;
+using serving::RequestBatcher;
+using serving::RequestBatcherOptions;
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, uint64_t seed,
+                    double scale = 1.0) {
+  rng::Rng rng(seed);
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      m.At(i, j) = scale * rng.NextGaussian();
+    }
+  }
+  return m;
+}
+
+// Both kernel regimes: d = 8 keeps the plain kernel, d = 48 crosses the
+// kAuto expanded threshold (kExpandedKernelMinDim = 32).
+struct Shape {
+  int64_t n, k, d;
+};
+const Shape kShapes[] = {{300, 9, 8}, {257, 21, 48}};
+
+TEST(CenterIndexTest, AssignBatchBitwiseMatchesComputeAssignment) {
+  for (const Shape& s : kShapes) {
+    Dataset data(RandomMatrix(s.n, s.d, 11 + s.d, 4.0));
+    Matrix centers = RandomMatrix(s.k, s.d, 22 + s.d, 4.0);
+    auto index = CenterIndex::Build(centers);
+
+    for (int threads : {0, 1, 4}) {
+      std::unique_ptr<ThreadPool> pool;
+      if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+      Assignment expected = ComputeAssignment(data, centers, pool.get());
+      Assignment got = index->AssignBatch(data, pool.get());
+      EXPECT_EQ(got.cluster, expected.cluster) << "d=" << s.d
+                                               << " pool=" << threads;
+      EXPECT_EQ(got.cost, expected.cost);  // bitwise
+      // The Predict fast path is the same call.
+      Assignment via_predict = Predict(*index, data);
+      EXPECT_EQ(via_predict.cluster, expected.cluster);
+      EXPECT_EQ(via_predict.cost, expected.cost);
+    }
+  }
+}
+
+TEST(CenterIndexTest, AssignOneMatchesScalarReferenceAndBatch) {
+  for (const Shape& s : kShapes) {
+    Dataset data(RandomMatrix(s.n, s.d, 33 + s.d, 2.0));
+    Matrix centers = RandomMatrix(s.k, s.d, 44 + s.d, 2.0);
+    auto index = CenterIndex::Build(centers);
+    NearestCenterSearch reference(centers);
+    Assignment batch = index->AssignBatch(data);
+    for (int64_t i = 0; i < s.n; ++i) {
+      NearestResult one = index->AssignOne(data.points().Row(i));
+      NearestResult expected = reference.Find(data.points().Row(i));
+      EXPECT_EQ(one.index, expected.index);
+      EXPECT_EQ(one.distance2, expected.distance2);  // bitwise
+      EXPECT_EQ(one.index,
+                static_cast<int64_t>(batch.cluster[static_cast<size_t>(i)]));
+    }
+  }
+}
+
+TEST(CenterIndexTest, AssignTopMMatchesSortedReference) {
+  const Shape s = kShapes[1];
+  Dataset data(RandomMatrix(40, s.d, 55, 3.0));
+  Matrix centers = RandomMatrix(s.k, s.d, 66, 3.0);
+  auto index = CenterIndex::Build(centers);
+  NearestCenterSearch search(centers);
+  search.Freeze();
+
+  for (int64_t i = 0; i < data.n(); ++i) {
+    std::vector<double> dense(static_cast<size_t>(s.k));
+    search.DistancesRange(data.points(), IndexRange{i, i + 1}, nullptr,
+                          dense.data());
+    std::vector<int32_t> order(static_cast<size_t>(s.k));
+    for (int64_t c = 0; c < s.k; ++c) {
+      order[static_cast<size_t>(c)] = static_cast<int32_t>(c);
+    }
+    std::stable_sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+      return dense[static_cast<size_t>(a)] < dense[static_cast<size_t>(b)];
+    });
+
+    std::vector<int32_t> idx;
+    std::vector<double> d2;
+    const int64_t filled =
+        index->AssignTopM(data.points().Row(i), 5, &idx, &d2);
+    ASSERT_EQ(filled, 5);
+    for (int64_t slot = 0; slot < filled; ++slot) {
+      EXPECT_EQ(idx[static_cast<size_t>(slot)],
+                order[static_cast<size_t>(slot)]);
+      EXPECT_EQ(d2[static_cast<size_t>(slot)],
+                dense[static_cast<size_t>(order[static_cast<size_t>(slot)])]);
+    }
+    // Slot 0 is the AssignOne answer, bitwise.
+    NearestResult one = index->AssignOne(data.points().Row(i));
+    EXPECT_EQ(static_cast<int64_t>(idx[0]), one.index);
+    EXPECT_EQ(d2[0], one.distance2);
+  }
+
+  // m beyond k truncates to k.
+  std::vector<int32_t> idx;
+  std::vector<double> d2;
+  EXPECT_EQ(index->AssignTopM(data.points().Row(0), s.k + 7, &idx, &d2),
+            s.k);
+  EXPECT_EQ(static_cast<int64_t>(idx.size()), s.k);
+}
+
+TEST(CenterIndexTest, FromModelServesLikeBuild) {
+  Matrix centers = RandomMatrix(7, 40, 77, 2.0);
+  Dataset data(RandomMatrix(120, 40, 88, 2.0));
+  const std::string path = ::testing::TempDir() + "/serving_model.kmm";
+
+  data::ModelMetadata md;
+  md.init_method = "k-means||";
+  ASSERT_TRUE(
+      data::SaveModel(data::MakeModelArtifact(centers, md), path).ok());
+  auto artifact = data::LoadModel(path);
+  ASSERT_TRUE(artifact.ok()) << artifact.status();
+  auto from_model = CenterIndex::FromModel(*artifact, /*version=*/3);
+  ASSERT_TRUE(from_model.ok());
+
+  auto built = CenterIndex::Build(centers);
+  Assignment expected = built->AssignBatch(data);
+  Assignment got = (*from_model)->AssignBatch(data);
+  EXPECT_EQ(got.cluster, expected.cluster);
+  EXPECT_EQ(got.cost, expected.cost);  // bitwise
+  EXPECT_EQ((*from_model)->version(), 3u);
+  EXPECT_EQ((*from_model)->metadata().init_method, "k-means||");
+  std::remove(path.c_str());
+}
+
+TEST(RequestBatcherTest, BatchedResultsBitwiseMatchUnbatched) {
+  const Shape s = kShapes[1];
+  Dataset data(RandomMatrix(s.n, s.d, 99, 3.0));
+  Matrix centers = RandomMatrix(s.k, s.d, 111, 3.0);
+  ModelServer server(CenterIndex::Build(centers));
+  auto index = server.Acquire();
+
+  RequestBatcherOptions options;
+  options.max_batch = 8;
+  options.max_delay_us = 2000;
+  RequestBatcher batcher(&server, options);
+
+  constexpr int kThreads = 4;
+  std::vector<std::vector<NearestResult>> results(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int64_t i = t; i < data.n(); i += kThreads) {
+        results[static_cast<size_t>(t)].push_back(
+            batcher.Assign(data.points().Row(i)));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    size_t slot = 0;
+    for (int64_t i = t; i < data.n(); i += kThreads, ++slot) {
+      NearestResult expected = index->AssignOne(data.points().Row(i));
+      const NearestResult& got = results[static_cast<size_t>(t)][slot];
+      EXPECT_EQ(got.index, expected.index);
+      EXPECT_EQ(got.distance2, expected.distance2);  // bitwise
+    }
+  }
+
+  RequestBatcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.queries, s.n);
+  EXPECT_EQ(stats.batched_points, s.n);
+  EXPECT_GE(stats.batches, 1);
+  EXPECT_LE(stats.largest_batch, options.max_batch);
+}
+
+TEST(ModelServerTest, HotSwapIsConsistentUnderConcurrentReaders) {
+  const int64_t d = 16;
+  Matrix centers_a = RandomMatrix(8, d, 222, 2.0);
+  Matrix centers_b = RandomMatrix(12, d, 333, 2.0);
+  Dataset probes(RandomMatrix(64, d, 444, 2.0));
+
+  // Expected answers per center set, precomputed single-threaded.
+  Assignment expect_a =
+      CenterIndex::Build(centers_a)->AssignBatch(probes);
+  Assignment expect_b =
+      CenterIndex::Build(centers_b)->AssignBatch(probes);
+
+  ModelServer server(CenterIndex::Build(centers_a, /*version=*/0));
+  std::atomic<bool> stop{false};
+
+  // Writer: alternate publishing B and A snapshots with increasing
+  // versions while readers query.
+  std::thread writer([&] {
+    uint64_t version = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const Matrix& next = (version % 2 == 1) ? centers_b : centers_a;
+      EXPECT_TRUE(server.Publish(CenterIndex::Build(next, version)).ok());
+      ++version;
+    }
+  });
+
+  constexpr int kReaders = 4;
+  std::vector<std::thread> readers;
+  std::atomic<int64_t> checks{0};
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t last_version = 0;
+      rng::Rng rng(static_cast<uint64_t>(r) + 1);
+      for (int iter = 0; iter < 800; ++iter) {
+        auto snapshot = server.Acquire();
+        // Versions can only move forward for any single reader.
+        EXPECT_GE(snapshot->version(), last_version);
+        last_version = snapshot->version();
+        const auto i = static_cast<int64_t>(rng.NextUInt64() %
+                                            static_cast<uint64_t>(
+                                                probes.n()));
+        NearestResult got = snapshot->AssignOne(probes.points().Row(i));
+        const Assignment& expected =
+            snapshot->version() % 2 == 1 ? expect_b : expect_a;
+        EXPECT_EQ(got.index, static_cast<int64_t>(
+                                 expected.cluster[static_cast<size_t>(i)]));
+        checks.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& rt : readers) rt.join();
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(checks.load(), kReaders * 800);
+}
+
+TEST(ModelServerTest, PublishValidates) {
+  ModelServer server(CenterIndex::Build(RandomMatrix(4, 8, 555)));
+  EXPECT_TRUE(server.Publish(nullptr).IsInvalidArgument());
+  // Different k is fine; different dim is not.
+  EXPECT_TRUE(server.Publish(CenterIndex::Build(RandomMatrix(9, 8, 556)))
+                  .ok());
+  EXPECT_TRUE(server.Publish(CenterIndex::Build(RandomMatrix(4, 9, 557)))
+                  .IsInvalidArgument());
+  EXPECT_EQ(server.Acquire()->k(), 9);
+}
+
+TEST(ModelServerTest, RefineWithMiniBatchPublishesNextVersion) {
+  const int64_t d = 12;
+  Dataset data(RandomMatrix(500, d, 666, 3.0));
+  Matrix seed_centers = RandomMatrix(6, d, 777, 3.0);
+  ModelServer server(CenterIndex::Build(seed_centers, /*version=*/7));
+
+  MiniBatchOptions options;
+  options.batch_size = 64;
+  options.iterations = 20;
+  InMemorySource source = data.AsSource();
+  ASSERT_TRUE(server.RefineWithMiniBatch(source, options, 42).ok());
+
+  auto refined = server.Acquire();
+  EXPECT_EQ(refined->version(), 8u);
+  EXPECT_EQ(refined->k(), 6);
+  EXPECT_EQ(refined->dim(), d);
+  // The refined snapshot serves exactly like a fresh evaluator over its
+  // centers.
+  Assignment expected = ComputeAssignment(data, refined->centers());
+  Assignment got = refined->AssignBatch(data);
+  EXPECT_EQ(got.cluster, expected.cluster);
+  EXPECT_EQ(got.cost, expected.cost);
+
+  // A refiner that changes the dimension is rejected and publishes
+  // nothing.
+  EXPECT_TRUE(server
+                  .Refine([&](const CenterIndex&) -> Result<Matrix> {
+                    return RandomMatrix(6, d + 1, 888);
+                  })
+                  .IsInvalidArgument());
+  EXPECT_EQ(server.Acquire()->version(), 8u);
+}
+
+}  // namespace
+}  // namespace kmeansll
