@@ -25,6 +25,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "clustering/cost.h"
@@ -111,7 +112,10 @@ void BM_BatchedThreads(benchmark::State& state) {
   }();
   int64_t i = state.thread_index() * 37;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(batcher->Assign(f.queries.Row(i)));
+    // Admission control is off (default options), so every query is
+    // admitted; ValueOrDie documents that.
+    benchmark::DoNotOptimize(
+        batcher->Assign(f.queries.Row(i)).ValueOrDie());
     i = (i + 1) % kQueries;
   }
   state.SetItemsProcessed(state.iterations());
@@ -182,7 +186,13 @@ void BM_ServingSmoke(benchmark::State& state) {
   auto index = server.Acquire();
   for (auto _ : state) {
     for (int64_t i = 0; i < n; ++i) {
-      NearestResult batched = batcher.Assign(queries.Row(i));
+      Result<NearestResult> admitted = batcher.Assign(queries.Row(i));
+      if (!admitted.ok()) {
+        std::fprintf(stderr,
+                     "FATAL: default options must admit every query\n");
+        std::exit(1);
+      }
+      NearestResult batched = admitted.ValueOrDie();
       NearestResult direct = index->AssignOne(queries.Row(i));
       if (batched.index != direct.index ||
           batched.distance2 != direct.distance2) {
@@ -206,6 +216,53 @@ void BM_ServingSmoke(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_ServingSmoke);
+
+void BM_OverloadShedSmoke(benchmark::State& state) {
+  // Deterministic overload: max_pending = 1 with a parked leader means
+  // the second concurrent query MUST be shed with kUnavailable. Each
+  // iteration validates one full shed/serve cycle; the counters are
+  // checked at the end (acceptance: shedding is observable and exact,
+  // admitted queries are all answered).
+  const int64_t k = 16, d = 24;
+  Matrix centers = RandomMatrix(k, d, 77);
+  Matrix queries = RandomMatrix(2, d, 88);
+  ModelServer server(CenterIndex::Build(centers, /*version=*/1));
+  RequestBatcherOptions options;
+  options.max_batch = 2;
+  options.max_delay_us = 20000;  // leader parks; no follower can join
+  options.idle_close_us = 0;
+  options.max_pending = 1;
+  RequestBatcher batcher(&server, options);
+  int64_t cycles = 0;
+  for (auto _ : state) {
+    std::thread leader([&] {
+      if (!batcher.Assign(queries.Row(0)).ok()) {
+        std::fprintf(stderr, "FATAL: admitted leader query failed\n");
+        std::exit(1);
+      }
+    });
+    while (batcher.stats().queries < 2 * cycles + 1) {
+      std::this_thread::yield();
+    }
+    Result<NearestResult> shed = batcher.Assign(queries.Row(1));
+    if (shed.ok() || !shed.status().IsUnavailable()) {
+      std::fprintf(stderr,
+                   "FATAL: over-limit query was not shed kUnavailable\n");
+      std::exit(1);
+    }
+    leader.join();
+    ++cycles;
+  }
+  RequestBatcher::Stats stats = batcher.stats();
+  if (stats.shed != cycles || stats.served != cycles ||
+      stats.queries != stats.served + stats.shed) {
+    std::fprintf(stderr, "FATAL: shed/served counters inconsistent\n");
+    std::exit(1);
+  }
+  state.counters["shed"] = static_cast<double>(stats.shed);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OverloadShedSmoke)->Iterations(3);
 
 }  // namespace
 }  // namespace kmeansll

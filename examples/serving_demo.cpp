@@ -98,6 +98,11 @@ int main(int argc, char** argv) {
   serving::RequestBatcherOptions batch_options;
   batch_options.max_batch = 64;
   batch_options.max_delay_us = 200;
+  // Backpressure: bound the admitted backlog so a traffic spike sheds
+  // (kUnavailable + retry hint) instead of queueing unboundedly. The
+  // reader loop below just drops shed queries; a real frontend would
+  // surface the retry hint to its caller.
+  batch_options.max_pending = 4 * batch_options.max_batch;
   serving::RequestBatcher batcher(&server, batch_options);
 
   // --- 3. Serve under refinement -----------------------------------------
@@ -137,7 +142,8 @@ int main(int argc, char** argv) {
                     ? 0.0
                     : static_cast<double>(stats.batched_points) /
                           static_cast<double>(stats.batches))
-            << ", largest " << stats.largest_batch << ")\n";
+            << ", largest " << stats.largest_batch << "; "
+            << stats.shed << " shed under backpressure)\n";
 
   // --- 4. Bitwise check against the training-side evaluator --------------
   auto final_snapshot = server.Acquire();

@@ -1,12 +1,17 @@
 #include "clustering/init_kmeansll.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "clustering/lloyd.h"
+#include "common/fault_injection.h"
+#include "common/file_util.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "data/checkpoint_io.h"
 #include "distance/nearest.h"
 #include "rng/reservoir.h"
 #include "rng/splitmix64.h"
@@ -83,11 +88,56 @@ Result<InitResult> KMeansLLInit(const DatasetSource& data, int64_t k,
   InitResult result;
   result.centers = Matrix(data.dim());
 
-  // Step 1: one initial center, uniformly at random.
-  rng::Rng init_rng = rng.Fork(rng::StreamPurpose::kInitialCenter);
-  auto first = static_cast<int64_t>(init_rng.NextBounded(data.n()));
+  // Checkpoint/resume: every draw below is a pure function of
+  // (rng root, round, point index), so a seeding checkpoint needs only
+  // the candidate set and round potentials — the distance tracker is
+  // rebuilt by replaying the stored candidates, which is bitwise the
+  // incremental update sequence (ascending candidate order both ways).
+  const bool ckpt_enabled = !options.checkpoint_path.empty();
+  const int64_t ckpt_every =
+      std::max<int64_t>(1, options.checkpoint_every);
+  uint64_t ckpt_fp = 0;
+  if (ckpt_enabled) {
+    ckpt_fp = rng::HashCombine(rng.root_key(),
+                               static_cast<uint64_t>(data.n()));
+    ckpt_fp = rng::HashCombine(ckpt_fp, static_cast<uint64_t>(data.dim()));
+    ckpt_fp = rng::HashCombine(ckpt_fp, static_cast<uint64_t>(k));
+    ckpt_fp = rng::HashCombine(ckpt_fp, std::bit_cast<uint64_t>(ell));
+    ckpt_fp = rng::HashCombine(ckpt_fp,
+                               static_cast<uint64_t>(options.rounds));
+    ckpt_fp = rng::HashCombine(ckpt_fp, options.exact_ell ? 1u : 0u);
+  }
+
   Matrix candidates(data.dim());
-  {
+  int64_t start_round = 0;
+  bool resumed = false;
+  if (ckpt_enabled && FileExists(options.checkpoint_path)) {
+    Result<data::TrainingCheckpoint> loaded =
+        data::LoadCheckpoint(options.checkpoint_path);
+    if (!loaded.ok()) {
+      KMEANSLL_LOG(Warning)
+          << "ignoring unreadable seeding checkpoint at '"
+          << options.checkpoint_path
+          << "': " << loaded.status().message();
+    } else {
+      data::TrainingCheckpoint ckpt = std::move(loaded).ValueOrDie();
+      if (ckpt.phase == data::TrainingCheckpoint::Phase::kSeeding &&
+          ckpt.fingerprint == ckpt_fp && ckpt.iteration > 0 &&
+          ckpt.centers.cols() == data.dim() &&
+          !ckpt.cost_history.empty()) {
+        candidates = std::move(ckpt.centers);
+        result.telemetry.round_potentials = std::move(ckpt.cost_history);
+        result.telemetry.data_passes = ckpt.data_passes;
+        start_round = ckpt.iteration;
+        resumed = true;
+      }
+    }
+  }
+
+  if (!resumed) {
+    // Step 1: one initial center, uniformly at random.
+    rng::Rng init_rng = rng.Fork(rng::StreamPurpose::kInitialCenter);
+    auto first = static_cast<int64_t>(init_rng.NextBounded(data.n()));
     PinnedBlock pin = data.Pin(first, first + 1);
     candidates.AppendRow(pin.view().Point(0));
   }
@@ -95,16 +145,24 @@ Result<InitResult> KMeansLLInit(const DatasetSource& data, int64_t k,
   // Step 2: ψ = φ_X(C). The tracker runs every round's distance update as
   // one blocked parallel pass (cached point norms, fused potential).
   MinDistanceTracker tracker(data, pool);
-  double psi = tracker.AddCenters(candidates, 0);
-  result.telemetry.data_passes = 1;
-  result.telemetry.round_potentials.push_back(psi);
+  double psi;
+  if (resumed) {
+    // Replay the full candidate set; telemetry keeps the uninterrupted
+    // run's counts (the replay is a recovery pass, not a logical one).
+    tracker.AddCenters(candidates, 0);
+    psi = result.telemetry.round_potentials.front();
+  } else {
+    psi = tracker.AddCenters(candidates, 0);
+    result.telemetry.data_passes = 1;
+    result.telemetry.round_potentials.push_back(psi);
+  }
 
   const int64_t rounds = internal::ResolveRounds(options.rounds, psi);
   const auto ell_int =
       static_cast<int64_t>(std::llround(std::ceil(ell)));
 
   // Steps 3–6: r rounds of oversampled D² selection.
-  for (int64_t round = 0; round < rounds; ++round) {
+  for (int64_t round = start_round; round < rounds; ++round) {
     const double phi = tracker.Potential();
     if (!(phi > 0.0)) break;  // every point coincides with a candidate
 
@@ -157,6 +215,23 @@ Result<InitResult> KMeansLLInit(const DatasetSource& data, int64_t k,
     tracker.AddCenters(candidates, previous);
     result.telemetry.data_passes += 2;  // sampling pass + distance update
     result.telemetry.round_potentials.push_back(tracker.Potential());
+
+    if (ckpt_enabled && (round + 1) % ckpt_every == 0) {
+      // The last round checkpoints too: a crash between seeding and
+      // Lloyd then re-does only the cheap Steps 7–8 on resume.
+      data::TrainingCheckpoint ckpt;
+      ckpt.phase = data::TrainingCheckpoint::Phase::kSeeding;
+      ckpt.fingerprint = ckpt_fp;
+      ckpt.iteration = round + 1;
+      ckpt.centers = candidates;
+      ckpt.cost_history = result.telemetry.round_potentials;
+      ckpt.data_passes = result.telemetry.data_passes;
+      KMEANSLL_RETURN_NOT_OK(
+          data::SaveCheckpoint(ckpt, options.checkpoint_path));
+      // Kill point for crash tests: dies only when armed, right after
+      // the checkpoint became durable.
+      KMEANSLL_RETURN_NOT_OK(fault::Check("seed.kill"));
+    }
   }
   result.telemetry.rounds = rounds;
   result.telemetry.intermediate_centers = candidates.rows();
@@ -173,6 +248,12 @@ Result<InitResult> KMeansLLInit(const DatasetSource& data, int64_t k,
   });
   result.telemetry.data_passes += 1;
   result.telemetry.sampling_seconds = timer.ElapsedSeconds();
+
+  // Every data-wide pass is behind us: surface a degraded source as a
+  // clean error (a bad shard fails the seeding, never the process), and
+  // retire the checkpoint — the run is past the expensive phase.
+  KMEANSLL_RETURN_NOT_OK(data.status());
+  if (ckpt_enabled) (void)RemoveFileIfExists(options.checkpoint_path);
 
   // Step 8: recluster to k (skipped when we undershot; see header).
   if (candidates.rows() <= k) {

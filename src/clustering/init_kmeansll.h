@@ -22,6 +22,7 @@
 #define KMEANSLL_CLUSTERING_INIT_KMEANSLL_H_
 
 #include <cstdint>
+#include <string>
 
 #include "clustering/init_kmeanspp.h"
 #include "clustering/types.h"
@@ -65,6 +66,17 @@ struct KMeansLLOptions {
   int64_t recluster_lloyd_iterations = 30;
   /// Candidate draws per k-means++ step in the reclustering phase.
   KMeansPPOptions recluster_kmeanspp;
+  /// When non-empty, the sampling loop writes a KMLLCKPT seeding
+  /// checkpoint (candidate set + round potentials — see
+  /// data/checkpoint_io.h) atomically at this path every
+  /// `checkpoint_every` rounds, and a run finding a valid checkpoint for
+  /// the same job resumes the remaining rounds bitwise-identically (the
+  /// distance tracker is rebuilt by replaying the stored candidates).
+  /// Stale or corrupt checkpoints are ignored; the file is removed when
+  /// seeding completes.
+  std::string checkpoint_path;
+  /// Rounds between checkpoint saves (values < 1 behave as 1).
+  int64_t checkpoint_every = 1;
 };
 
 /// Runs k-means|| (Algorithm 2). Fails if k <= 0, k > n, or the options

@@ -62,10 +62,33 @@ Result<LloydResult> RunLloyd(const DatasetSource& data,
 
   LloydResult result;
   result.centers = initial_centers;
-  result.assignment = ComputeAssignment(data, result.centers, pool,
-                                        point_norms);
 
-  for (int64_t iter = 0; iter < options.max_iterations; ++iter) {
+  // Checkpoint/resume: a valid checkpoint restores the end state of its
+  // iteration; the previous assignment (and its cost, feeding the
+  // convergence tests) is recomputed against the stored entering centers
+  // — one data pass instead of O(n) persisted state — so the resumed
+  // trajectory is bitwise the uninterrupted one.
+  const internal::LloydCheckpointPlan plan =
+      internal::MakeLloydCheckpointPlan(data, initial_centers, options);
+  int64_t start_iter = 0;
+  {
+    Matrix resume_prev;
+    if (internal::TryResumeLloyd(plan, &result, &resume_prev)) {
+      start_iter = result.iterations;
+      result.assignment =
+          ComputeAssignment(data, resume_prev, pool, point_norms);
+    } else {
+      result.assignment = ComputeAssignment(data, result.centers, pool,
+                                            point_norms);
+    }
+  }
+
+  for (int64_t iter = start_iter; iter < options.max_iterations; ++iter) {
+    const bool will_checkpoint =
+        internal::ShouldCheckpoint(plan, iter, options.max_iterations);
+    Matrix entering_centers;
+    if (will_checkpoint) entering_centers = result.centers;
+
     Matrix new_centers;
     Assignment assignment;
     result.empty_cluster_repairs += LloydStep(
@@ -98,12 +121,20 @@ Result<LloydResult> RunLloyd(const DatasetSource& data,
         break;
       }
     }
+
+    if (will_checkpoint) {
+      KMEANSLL_RETURN_NOT_OK(
+          internal::CheckpointLloydIteration(plan, entering_centers,
+                                             result));
+    }
   }
 
   // Report the cost of the final centers (the assignment stored above is
   // the one that *produced* them; recompute so cost matches centers).
   result.assignment = ComputeAssignment(data, result.centers, pool,
                                         point_norms);
+  KMEANSLL_RETURN_NOT_OK(data.status());
+  internal::RemoveLloydCheckpoint(plan);
   return result;
 }
 

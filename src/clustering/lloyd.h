@@ -8,6 +8,7 @@
 #define KMEANSLL_CLUSTERING_LLOYD_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "clustering/types.h"
@@ -30,6 +31,16 @@ struct LloydOptions {
   double relative_tolerance = 0.0;
   /// Record φ after every iteration in LloydResult::cost_history.
   bool track_history = false;
+  /// When non-empty, a KMLLCKPT training checkpoint (see
+  /// data/checkpoint_io.h) is written atomically at this path every
+  /// `checkpoint_every` iterations, and a run finding a valid checkpoint
+  /// for the same job here resumes from it with bitwise-identical
+  /// results to an uninterrupted run. Stale or corrupt checkpoints are
+  /// ignored; the file is removed when the run completes.
+  std::string checkpoint_path;
+  /// Iterations between checkpoint saves (used when checkpoint_path is
+  /// set; values < 1 behave as 1).
+  int64_t checkpoint_every = 1;
 };
 
 /// Outcome of Lloyd's iteration.

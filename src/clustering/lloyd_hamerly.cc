@@ -74,7 +74,37 @@ Result<LloydResult> RunLloydHamerly(const DatasetSource& data,
   double previous_cost = std::numeric_limits<double>::quiet_NaN();
   bool have_previous_cost = false;  // first comparison at iteration 1
 
-  for (int64_t iter = 0; iter < options.max_iterations; ++iter) {
+  // Checkpoint/resume (shared protocol, see lloyd_internal.h). Bounds
+  // are *not* persisted: the resumed iteration starts with assignment
+  // -1 / upper ∞ / lower 0, so every point takes the batched full-scan
+  // path — exactness-preserving, hence the assignments (and therefore
+  // the centers) stay bitwise the uninterrupted run's. Only the previous
+  // assignment and cost need reconstructing, from the stored entering
+  // centers.
+  const internal::LloydCheckpointPlan plan =
+      internal::MakeLloydCheckpointPlan(data, initial_centers, options);
+  int64_t start_iter = 0;
+  {
+    Matrix resume_prev;
+    LloydResult resumed;
+    if (internal::TryResumeLloyd(plan, &resumed, &resume_prev)) {
+      result = std::move(resumed);
+      start_iter = result.iterations;
+      Assignment prev =
+          ComputeAssignment(data, resume_prev, /*pool=*/nullptr, pn);
+      previous_assignment = std::move(prev.cluster);
+      if (options.track_history || options.relative_tolerance > 0.0) {
+        previous_cost = prev.cost;
+        have_previous_cost = true;
+      }
+    }
+  }
+
+  for (int64_t iter = start_iter; iter < options.max_iterations; ++iter) {
+    const bool will_checkpoint =
+        internal::ShouldCheckpoint(plan, iter, options.max_iterations);
+    Matrix entering_centers;
+    if (will_checkpoint) entering_centers = result.centers;
     // Frozen panel snapshot of this iteration's centers: the
     // center-center scan, the batched full scans, and (via the norms
     // below) the scalar bound probes all read one packing.
@@ -240,9 +270,17 @@ Result<LloydResult> RunLloydHamerly(const DatasetSource& data,
       result.converged = true;
       break;
     }
+
+    if (will_checkpoint) {
+      KMEANSLL_RETURN_NOT_OK(
+          internal::CheckpointLloydIteration(plan, entering_centers,
+                                             result));
+    }
   }
 
   result.assignment = ComputeAssignment(data, result.centers, nullptr, pn);
+  KMEANSLL_RETURN_NOT_OK(data.status());
+  internal::RemoveLloydCheckpoint(plan);
   return result;
 }
 

@@ -1,11 +1,17 @@
 #include "clustering/lloyd_internal.h"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
+#include "common/fault_injection.h"
+#include "common/file_util.h"
+#include "common/logging.h"
 #include "common/math_util.h"
+#include "data/checkpoint_io.h"
 #include "distance/nearest.h"
 #include "parallel/parallel_for.h"
+#include "rng/rng.h"
 
 namespace kmeansll {
 namespace internal {
@@ -135,6 +141,84 @@ double AssignmentCost(const DatasetSource& data, const Matrix& centers,
     total.Merge(partial);
   }
   return total.Total();
+}
+
+LloydCheckpointPlan MakeLloydCheckpointPlan(const DatasetSource& data,
+                                            const Matrix& initial_centers,
+                                            const LloydOptions& options) {
+  LloydCheckpointPlan plan;
+  if (options.checkpoint_path.empty()) return plan;
+  plan.enabled = true;
+  plan.path = options.checkpoint_path;
+  plan.every = std::max<int64_t>(1, options.checkpoint_every);
+  uint64_t fp = data::HashBytes(
+      initial_centers.data(),
+      static_cast<size_t>(initial_centers.rows() *
+                          initial_centers.cols()) *
+          sizeof(double));
+  fp = rng::HashCombine(fp, static_cast<uint64_t>(data.n()));
+  fp = rng::HashCombine(fp, static_cast<uint64_t>(data.dim()));
+  fp = rng::HashCombine(fp,
+                        static_cast<uint64_t>(initial_centers.rows()));
+  fp = rng::HashCombine(fp,
+                        static_cast<uint64_t>(options.max_iterations));
+  fp = rng::HashCombine(
+      fp, std::bit_cast<uint64_t>(options.relative_tolerance));
+  fp = rng::HashCombine(fp, options.track_history ? 1u : 0u);
+  plan.fingerprint = fp;
+  return plan;
+}
+
+bool TryResumeLloyd(const LloydCheckpointPlan& plan, LloydResult* result,
+                    Matrix* prev_centers) {
+  if (!plan.enabled || !FileExists(plan.path)) return false;
+  Result<data::TrainingCheckpoint> loaded =
+      data::LoadCheckpoint(plan.path);
+  if (!loaded.ok()) {
+    KMEANSLL_LOG(Warning) << "ignoring unreadable Lloyd checkpoint at '"
+                          << plan.path
+                          << "': " << loaded.status().message();
+    return false;
+  }
+  data::TrainingCheckpoint ckpt = std::move(loaded).ValueOrDie();
+  if (ckpt.phase != data::TrainingCheckpoint::Phase::kLloyd ||
+      ckpt.fingerprint != plan.fingerprint || ckpt.iteration <= 0 ||
+      ckpt.prev_centers.rows() != ckpt.centers.rows()) {
+    return false;  // a different job's checkpoint: stale, not corrupt
+  }
+  result->centers = std::move(ckpt.centers);
+  result->iterations = ckpt.iteration;
+  result->empty_cluster_repairs = ckpt.empty_cluster_repairs;
+  result->cost_history = std::move(ckpt.cost_history);
+  *prev_centers = std::move(ckpt.prev_centers);
+  return true;
+}
+
+bool ShouldCheckpoint(const LloydCheckpointPlan& plan, int64_t iter,
+                      int64_t max_iterations) {
+  return plan.enabled && (iter + 1) % plan.every == 0 &&
+         iter + 1 < max_iterations;
+}
+
+Status CheckpointLloydIteration(const LloydCheckpointPlan& plan,
+                                const Matrix& prev_centers,
+                                const LloydResult& result) {
+  data::TrainingCheckpoint ckpt;
+  ckpt.phase = data::TrainingCheckpoint::Phase::kLloyd;
+  ckpt.fingerprint = plan.fingerprint;
+  ckpt.iteration = result.iterations;
+  ckpt.centers = result.centers;
+  ckpt.prev_centers = prev_centers;
+  ckpt.cost_history = result.cost_history;
+  ckpt.empty_cluster_repairs = result.empty_cluster_repairs;
+  KMEANSLL_RETURN_NOT_OK(data::SaveCheckpoint(ckpt, plan.path));
+  // Crash tests arm this site nth-call to kill the run at the exact
+  // moment a checkpoint became durable.
+  return fault::Check("lloyd.kill");
+}
+
+void RemoveLloydCheckpoint(const LloydCheckpointPlan& plan) {
+  if (plan.enabled) (void)RemoveFileIfExists(plan.path);
 }
 
 }  // namespace internal

@@ -11,8 +11,11 @@
 #define KMEANSLL_CLUSTERING_LLOYD_INTERNAL_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "clustering/lloyd.h"
+#include "common/result.h"
 #include "distance/batch.h"
 #include "distance/l2.h"
 #include "matrix/dataset.h"
@@ -96,6 +99,52 @@ double AssignmentCost(const DatasetSource& data, const Matrix& centers,
                       const std::vector<int32_t>& assignment,
                       const double* point_norms,
                       const double* center_norms, bool expanded);
+
+/// Checkpoint/resume plumbing shared by the three Lloyd runners (see
+/// data/checkpoint_io.h for the artifact and docs/ARCHITECTURE.md
+/// "Fault tolerance" for the protocol).
+struct LloydCheckpointPlan {
+  bool enabled = false;
+  std::string path;
+  int64_t every = 1;
+  uint64_t fingerprint = 0;
+};
+
+/// Builds the plan from the options (enabled iff checkpoint_path is
+/// non-empty). The fingerprint binds a checkpoint to the job — n, d, the
+/// exact initial-center bytes, and the convergence knobs — but NOT to
+/// the Lloyd variant: all variants walk the same center trajectory, so a
+/// checkpoint written by one resumes under any other.
+LloydCheckpointPlan MakeLloydCheckpointPlan(const DatasetSource& data,
+                                            const Matrix& initial_centers,
+                                            const LloydOptions& options);
+
+/// Attempts to resume from plan.path. On a valid Lloyd checkpoint with a
+/// matching fingerprint: fills `result` (centers, iterations, repairs,
+/// cost history), returns the centers that entered the checkpointed
+/// iteration in *prev_centers (the runner recomputes the previous
+/// assignment against them), and returns true. A missing, stale, or
+/// corrupt checkpoint returns false — the run starts from scratch
+/// (corruption is logged, never trusted).
+bool TryResumeLloyd(const LloydCheckpointPlan& plan, LloydResult* result,
+                    Matrix* prev_centers);
+
+/// True when iteration `iter` (0-based) should checkpoint under `plan`:
+/// every plan.every iterations, skipping the run's final iteration
+/// (whose state the returned result already carries).
+bool ShouldCheckpoint(const LloydCheckpointPlan& plan, int64_t iter,
+                      int64_t max_iterations);
+
+/// Atomically persists the end-of-iteration state. `prev_centers` are
+/// the centers that entered the iteration. Also hosts the "lloyd.kill"
+/// fault site so crash tests can kill the run exactly after a durable
+/// checkpoint.
+Status CheckpointLloydIteration(const LloydCheckpointPlan& plan,
+                                const Matrix& prev_centers,
+                                const LloydResult& result);
+
+/// Removes a completed run's checkpoint (best-effort).
+void RemoveLloydCheckpoint(const LloydCheckpointPlan& plan);
 
 }  // namespace internal
 }  // namespace kmeansll

@@ -72,10 +72,28 @@ std::vector<DataPartition> PartitionsWithPrefetch(const DatasetSource& data,
   return parts;
 }
 
+/// Installs the context's fault policy on a job: attempt budget,
+/// optional speculation, and the error channel every driver checks
+/// right after Run (a terminal task failure yields a Status, never an
+/// abort). `allow_speculation` is false for jobs whose map tasks write
+/// shared per-row state (the k-means|| distance update, the Lloyd
+/// assignment scatter): a retry of such a task is idempotent — it
+/// rewrites the same rows with the same values after the primary is
+/// dead — but a live speculative twin would race the primary on those
+/// rows, so only side-effect-free jobs speculate.
+template <typename JobT>
+void ApplyFaultPolicy(JobT* job, const MRContext& ctx, Status* error_out,
+                      bool allow_speculation = true) {
+  job->WithTaskAttempts(ctx.max_task_attempts)
+      .WithSpeculativeExecution(allow_speculation &&
+                                ctx.speculative_execution)
+      .WithErrorOut(error_out);
+}
+
 }  // namespace
 
-double MRComputeCost(const DatasetSource& data, const Matrix& centers,
-                     const MRContext& ctx) {
+Result<double> MRComputeCost(const DatasetSource& data,
+                             const Matrix& centers, const MRContext& ctx) {
   KMEANSLL_CHECK_GT(centers.rows(), 0);
   NearestCenterSearch search(centers);
   search.Freeze();  // one packing shared by every map task
@@ -109,8 +127,12 @@ double MRComputeCost(const DatasetSource& data, const Matrix& centers,
         return sum.Total();
       })
       .WithCounters(ctx.counters);
+  Status job_error;
+  ApplyFaultPolicy(&job, ctx, &job_error);
   auto outputs = job.Run(ctx.pool, PartitionsWithPrefetch(data, ctx, &job));
   CountPass(ctx);
+  KMEANSLL_RETURN_NOT_OK(job_error);
+  KMEANSLL_RETURN_NOT_OK(data.status());
   KMEANSLL_CHECK_EQ(outputs.size(), 1u);
   return outputs[0];
 }
@@ -129,9 +151,9 @@ struct DistanceState {
 
 /// Job 1: fold rows [first, |C|) of the candidate set into the distance
 /// state via the blocked batch engine and return the updated potential φ.
-double RunUpdateCostJob(const DatasetSource& data, const Matrix& candidates,
-                        int64_t first, DistanceState* state,
-                        const MRContext& ctx) {
+Result<double> RunUpdateCostJob(const DatasetSource& data,
+                                const Matrix& candidates, int64_t first,
+                                DistanceState* state, const MRContext& ctx) {
   const bool expanded = data.dim() >= kExpandedKernelMinDim;
   // Norms for the newly added candidate rows only (indexed relative to
   // `first`, as the engine expects).
@@ -178,8 +200,12 @@ double RunUpdateCostJob(const DatasetSource& data, const Matrix& candidates,
         return sum.Total();
       })
       .WithCounters(ctx.counters);
+  Status job_error;
+  ApplyFaultPolicy(&job, ctx, &job_error, /*allow_speculation=*/false);
   auto outputs = job.Run(ctx.pool, PartitionsWithPrefetch(data, ctx, &job));
   CountPass(ctx);
+  KMEANSLL_RETURN_NOT_OK(job_error);
+  KMEANSLL_RETURN_NOT_OK(data.status());
   return outputs[0];
 }
 
@@ -191,11 +217,11 @@ struct ExactCandidate {
 
 /// Job 2: D² sampling. Bernoulli mode emits every selected index;
 /// exact-ℓ mode emits per-point keys and the reducer keeps the top ℓ.
-std::vector<int64_t> RunSamplingJob(const DatasetSource& data,
-                                    const DistanceState& state, double phi,
-                                    double ell, int64_t ell_int,
-                                    bool exact_ell, uint64_t round_seed,
-                                    const MRContext& ctx) {
+Result<std::vector<int64_t>> RunSamplingJob(
+    const DatasetSource& data, const DistanceState& state, double phi,
+    double ell, int64_t ell_int, bool exact_ell, uint64_t round_seed,
+    const MRContext& ctx) {
+  Status job_error;
   std::vector<int64_t> chosen;
   if (!exact_ell) {
     Job<DataPartition, int, std::vector<int64_t>, std::vector<int64_t>> job;
@@ -228,9 +254,10 @@ std::vector<int64_t> RunSamplingJob(const DatasetSource& data,
           return merged;
         })
         .WithCounters(ctx.counters);
+    ApplyFaultPolicy(&job, ctx, &job_error);
     auto outputs =
         job.Run(ctx.pool, PartitionsWithPrefetch(data, ctx, &job));
-    chosen = std::move(outputs[0]);
+    if (job_error.ok()) chosen = std::move(outputs[0]);
   } else {
     Job<DataPartition, int, std::vector<ExactCandidate>,
         std::vector<int64_t>>
@@ -291,20 +318,23 @@ std::vector<int64_t> RunSamplingJob(const DatasetSource& data,
           return indices;
         })
         .WithCounters(ctx.counters);
+    ApplyFaultPolicy(&job, ctx, &job_error);
     auto outputs =
         job.Run(ctx.pool, PartitionsWithPrefetch(data, ctx, &job));
-    chosen = std::move(outputs[0]);
+    if (job_error.ok()) chosen = std::move(outputs[0]);
   }
   CountPass(ctx);
+  KMEANSLL_RETURN_NOT_OK(job_error);
+  KMEANSLL_RETURN_NOT_OK(data.status());
   return chosen;
 }
 
 /// Job 3 (Step 7): weight of every candidate = total weight of the points
 /// it attracts; (candidate, weight) pairs with a summing combiner.
-std::vector<double> RunWeightJob(const DatasetSource& data,
-                                 const DistanceState& state,
-                                 int64_t num_candidates,
-                                 const MRContext& ctx) {
+Result<std::vector<double>> RunWeightJob(const DatasetSource& data,
+                                         const DistanceState& state,
+                                         int64_t num_candidates,
+                                         const MRContext& ctx) {
   struct CenterWeight {
     int64_t center;
     double weight;
@@ -334,8 +364,12 @@ std::vector<double> RunWeightJob(const DatasetSource& data,
         return CenterWeight{center, sum.Total()};
       })
       .WithCounters(ctx.counters);
+  Status job_error;
+  ApplyFaultPolicy(&job, ctx, &job_error);
   auto outputs = job.Run(ctx.pool, PartitionsWithPrefetch(data, ctx, &job));
   CountPass(ctx);
+  KMEANSLL_RETURN_NOT_OK(job_error);
+  KMEANSLL_RETURN_NOT_OK(data.status());
   std::vector<double> weights(static_cast<size_t>(num_candidates), 0.0);
   for (const auto& cw : outputs) {
     weights[static_cast<size_t>(cw.center)] = cw.weight;
@@ -383,7 +417,9 @@ Result<InitResult> MRKMeansLLInit(const DatasetSource& data, int64_t k,
   }
 
   // Step 2: ψ via the update+cost job.
-  double psi = RunUpdateCostJob(data, candidates, 0, &state, ctx);
+  KMEANSLL_ASSIGN_OR_RETURN(double psi,
+                            RunUpdateCostJob(data, candidates, 0, &state,
+                                             ctx));
   result.telemetry.round_potentials.push_back(psi);
   result.telemetry.data_passes = 1;
 
@@ -396,15 +432,17 @@ Result<InitResult> MRKMeansLLInit(const DatasetSource& data, int64_t k,
     const uint64_t round_seed = rng::HashCombine(
         rng.Fork(rng::StreamPurpose::kRoundSampling, round).root_key(),
         static_cast<uint64_t>(round));
-    std::vector<int64_t> chosen =
+    KMEANSLL_ASSIGN_OR_RETURN(
+        std::vector<int64_t> chosen,
         RunSamplingJob(data, state, phi, ell, ell_int, options.exact_ell,
-                       round_seed, ctx);
+                       round_seed, ctx));
     result.telemetry.data_passes += 1;
 
     int64_t previous = candidates.rows();
     // `chosen` is sorted: the gather pins each shard at most once.
     candidates.AppendRows(GatherPoints(data, chosen));
-    phi = RunUpdateCostJob(data, candidates, previous, &state, ctx);
+    KMEANSLL_ASSIGN_OR_RETURN(
+        phi, RunUpdateCostJob(data, candidates, previous, &state, ctx));
     result.telemetry.data_passes += 1;
     result.telemetry.round_potentials.push_back(phi);
   }
@@ -412,8 +450,9 @@ Result<InitResult> MRKMeansLLInit(const DatasetSource& data, int64_t k,
   result.telemetry.intermediate_centers = candidates.rows();
 
   // Step 7.
-  std::vector<double> weights =
-      RunWeightJob(data, state, candidates.rows(), ctx);
+  KMEANSLL_ASSIGN_OR_RETURN(
+      std::vector<double> weights,
+      RunWeightJob(data, state, candidates.rows(), ctx));
   result.telemetry.data_passes += 1;
   result.telemetry.sampling_seconds = timer.ElapsedSeconds();
 
@@ -483,8 +522,12 @@ Result<InitResult> MRRandomInit(const DatasetSource& data, int64_t k,
         return indices;
       })
       .WithCounters(ctx.counters);
+  Status job_error;
+  ApplyFaultPolicy(&job, ctx, &job_error);
   auto outputs = job.Run(ctx.pool, PartitionsWithPrefetch(data, ctx, &job));
   CountPass(ctx);
+  KMEANSLL_RETURN_NOT_OK(job_error);
+  KMEANSLL_RETURN_NOT_OK(data.status());
 
   InitResult result;
   result.centers = GatherPoints(data, outputs[0]);
@@ -569,8 +612,12 @@ Result<InitResult> MRPartitionInit(const DatasetSource& data, int64_t k,
         return merged;
       })
       .WithCounters(ctx.counters);
+  Status job_error;
+  ApplyFaultPolicy(&job, ctx, &job_error);
   auto outputs = job.Run(ctx.pool, PartitionsWithPrefetch(data, ctx, &job));
   CountPass(ctx);
+  KMEANSLL_RETURN_NOT_OK(job_error);
+  KMEANSLL_RETURN_NOT_OK(data.status());
   KMEANSLL_CHECK(!outputs.empty() && !outputs[0].empty());
 
   std::vector<int64_t> all_selected;
@@ -722,10 +769,17 @@ Result<LloydResult> MRRunLloyd(const DatasetSource& data,
           return out;
         })
         .WithCounters(ctx.counters);
+    // The map scatters into the shared `assignment` vector, so a live
+    // speculative twin would race the primary; retries (which run only
+    // after the primary attempt died) are idempotent and stay enabled.
+    Status job_error;
+    ApplyFaultPolicy(&job, ctx, &job_error, /*allow_speculation=*/false);
 
     auto outputs =
         job.Run(ctx.pool, PartitionsWithPrefetch(data, ctx, &job));
     CountPass(ctx);
+    KMEANSLL_RETURN_NOT_OK(job_error);
+    KMEANSLL_RETURN_NOT_OK(data.status());
     ++result.iterations;
 
     Matrix new_centers(k, d);
@@ -800,14 +854,15 @@ Result<LloydResult> MRRunLloyd(const DatasetSource& data,
   }
 
   // Final cost must describe the final centers.
-  result.assignment.cost = MRComputeCost(data, result.centers, ctx);
+  KMEANSLL_ASSIGN_OR_RETURN(result.assignment.cost,
+                            MRComputeCost(data, result.centers, ctx));
   return result;
 }
 
 // --- Dataset conveniences (wrap in an InMemorySource and delegate) ------
 
-double MRComputeCost(const Dataset& data, const Matrix& centers,
-                     const MRContext& ctx) {
+Result<double> MRComputeCost(const Dataset& data, const Matrix& centers,
+                             const MRContext& ctx) {
   InMemorySource source = data.AsSource();
   return MRComputeCost(source, centers, ctx);
 }

@@ -42,6 +42,14 @@ struct MRContext {
   ThreadPool* pool = nullptr;
   /// Job counters (optional).
   mapreduce::Counters* counters = nullptr;
+  /// Task-attempt budget per map task (see Job::WithTaskAttempts): a
+  /// transient task failure is retried up to this many times before the
+  /// driver returns its error as a Status. Retried runs are bitwise
+  /// identical to fault-free runs (folds stay task-index-ordered).
+  int max_task_attempts = 3;
+  /// Straggler mitigation (see Job::WithSpeculativeExecution): submit a
+  /// speculative duplicate of every map task; first completion wins.
+  bool speculative_execution = false;
 };
 
 /// φ_X(C) computed as one MapReduce job.
@@ -52,10 +60,15 @@ struct MRContext {
 /// task pins the mmap while it scans) instead of a copied sub-dataset.
 /// The Dataset overloads wrap the data in an InMemorySource and
 /// delegate.
-double MRComputeCost(const DatasetSource& data, const Matrix& centers,
-                     const MRContext& ctx);
-double MRComputeCost(const Dataset& data, const Matrix& centers,
-                     const MRContext& ctx);
+///
+/// Every driver is fault-aware: map-task failures are retried under
+/// ctx.max_task_attempts and a task that exhausts its budget (or a
+/// source that degraded — see DatasetSource::status()) surfaces as the
+/// driver's error Status instead of aborting the process.
+Result<double> MRComputeCost(const DatasetSource& data,
+                             const Matrix& centers, const MRContext& ctx);
+Result<double> MRComputeCost(const Dataset& data, const Matrix& centers,
+                             const MRContext& ctx);
 
 /// k-means|| (Algorithm 2) with every data-wide step expressed as a
 /// MapReduce job; the reclustering of the small candidate set runs on

@@ -81,6 +81,9 @@ Result<MiniBatchResult> RunMiniBatch(const DatasetSource& data,
     }
   }
   result.final_cost = ComputeCost(data, result.centers);
+  // A degraded source served fallback blocks above: report the root
+  // cause instead of a result trained on synthetic zeros.
+  KMEANSLL_RETURN_NOT_OK(data.status());
   return result;
 }
 

@@ -88,7 +88,10 @@ Status StreamingKMeans::AddSource(const DatasetSource& source) {
   ForEachBlock(source, 0, source.n(), [&](const DatasetView& v) {
     if (status.ok()) status = AddBlock(v);
   });
-  return status;
+  // A degraded source substituted fallback blocks mid-stream; surface
+  // that as the scan's outcome rather than silently absorbing zeros.
+  KMEANSLL_RETURN_NOT_OK(status);
+  return source.status();
 }
 
 void StreamingKMeans::CompressBlock() {

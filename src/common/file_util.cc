@@ -1,0 +1,130 @@
+#include "common/file_util.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/fault_injection.h"
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace kmeansll {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " '" + path +
+                         "': " + std::strerror(errno));
+}
+
+#if !defined(_WIN32)
+// Flushes the directory containing `path` so a completed rename is
+// durable. Best-effort: some filesystems refuse O_RDONLY dir fsync.
+void FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+#endif
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, const void* data,
+                       size_t size, std::string_view fault_site) {
+#if defined(_WIN32)
+  (void)fault_site;
+  // Portability stub: plain write (the CI/targets for this repo are
+  // POSIX; Windows would need ReplaceFileW for the same guarantee).
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return ErrnoStatus("cannot open", path);
+  const size_t written = size == 0 ? 0 : std::fwrite(data, 1, size, f);
+  std::fclose(f);
+  if (written != size) return ErrnoStatus("short write to", path);
+  return Status::OK();
+#else
+  if (!fault_site.empty()) {
+    // Simulated crash/failure before anything reached the filesystem.
+    KMEANSLL_RETURN_NOT_OK(fault::Check(fault_site));
+  }
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("cannot create", tmp);
+
+  Status status;
+  const char* p = static_cast<const char*>(data);
+  size_t remaining = size;
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      status = ErrnoStatus("write failed for", tmp);
+      break;
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = ErrnoStatus("fsync failed for", tmp);
+  }
+  if (::close(fd) != 0 && status.ok()) {
+    status = ErrnoStatus("close failed for", tmp);
+  }
+  if (status.ok() && !fault_site.empty()) {
+    // Simulated crash between durability of the temp file and the
+    // rename: the destination must still hold its previous contents.
+    const std::string rename_site = std::string(fault_site) + ".rename";
+    status = fault::Check(rename_site);
+  }
+  if (status.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    status = ErrnoStatus("rename failed for", tmp);
+  }
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());  // best-effort cleanup; dest untouched
+    return status;
+  }
+  FsyncParentDir(path);
+  return Status::OK();
+#endif
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+#if defined(_WIN32)
+  if (std::remove(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("cannot remove", path);
+  }
+  return Status::OK();
+#else
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("cannot remove", path);
+  }
+  return Status::OK();
+#endif
+}
+
+bool FileExists(const std::string& path) {
+#if defined(_WIN32)
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+#else
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+#endif
+}
+
+}  // namespace kmeansll
+

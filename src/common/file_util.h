@@ -1,0 +1,44 @@
+// Crash-consistent file publication.
+//
+// AtomicWriteFile implements the standard temp+fsync+rename protocol:
+// the payload is written to `<path>.tmp.<pid>`, flushed to stable
+// storage with fsync, renamed over `path` (atomic within a filesystem,
+// POSIX rename(2)), and the parent directory is fsynced so the rename
+// itself survives a crash. A reader therefore sees either the complete
+// old file or the complete new file — never a torn prefix. This is the
+// publish step every durable artifact in the library (KMLLMODL models,
+// KMLLSHRD manifests, KMLLDATA shards, KMLLCKPT checkpoints) goes
+// through; cf. log-structured stores that batch-apply then atomically
+// flip a published pointer.
+//
+// `fault_site` (optional) names a fault-injection site checked before
+// the write and before the rename, so tests can simulate a crash at
+// either boundary and assert the destination is never torn.
+
+#ifndef KMEANSLL_COMMON_FILE_UTIL_H_
+#define KMEANSLL_COMMON_FILE_UTIL_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace kmeansll {
+
+/// Atomically publishes `size` bytes at `data` as the contents of
+/// `path`. On any failure the destination is untouched (the temp file
+/// is unlinked best-effort).
+Status AtomicWriteFile(const std::string& path, const void* data,
+                       size_t size, std::string_view fault_site = {});
+
+/// Removes `path` if it exists. Missing file is OK; other unlink
+/// failures surface as IOError.
+Status RemoveFileIfExists(const std::string& path);
+
+/// True iff `path` exists (any file type).
+bool FileExists(const std::string& path);
+
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_COMMON_FILE_UTIL_H_

@@ -1,0 +1,56 @@
+// Capped-exponential-backoff retry for transient I/O failures.
+//
+// Policy: only StatusCode::kIOError is considered transient (a bad
+// argument or failed precondition will not heal by waiting). Attempt n
+// sleeps base_backoff_us * 2^(n-1), capped at max_backoff_us, before
+// retrying. The helper reports how many retries it burned so callers
+// can feed telemetry counters.
+
+#ifndef KMEANSLL_COMMON_RETRY_H_
+#define KMEANSLL_COMMON_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/status.h"
+
+namespace kmeansll {
+
+struct RetryPolicy {
+  /// Total attempts (first try included). 1 disables retrying.
+  int max_attempts = 3;
+  /// Sleep before the first retry; doubles per attempt thereafter.
+  int64_t base_backoff_us = 100;
+  /// Backoff ceiling.
+  int64_t max_backoff_us = 10'000;
+};
+
+/// Runs `op` (any callable returning Status) up to policy.max_attempts
+/// times, backing off between attempts, and returns the last Status.
+/// Non-transient errors (anything but kIOError) return immediately.
+/// `*out_retries` (optional) receives the number of retries performed.
+template <typename Op>
+Status RetryTransient(const RetryPolicy& policy, Op&& op,
+                      int64_t* out_retries = nullptr) {
+  const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  int64_t backoff_us = policy.base_backoff_us;
+  Status status;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    status = op();
+    if (status.ok() || !status.IsIOError()) break;
+    if (attempt == attempts) break;
+    if (out_retries != nullptr) ++*out_retries;
+    if (backoff_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      backoff_us = backoff_us * 2 > policy.max_backoff_us
+                       ? policy.max_backoff_us
+                       : backoff_us * 2;
+    }
+  }
+  return status;
+}
+
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_COMMON_RETRY_H_

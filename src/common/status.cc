@@ -21,6 +21,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unknown";
     case StatusCode::kFailedPrecondition:
       return "Failed precondition";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unrecognized status code";
 }

@@ -23,6 +23,7 @@ enum class StatusCode : int {
   kNotImplemented = 4,
   kUnknown = 5,
   kFailedPrecondition = 6,
+  kUnavailable = 7,
 };
 
 /// Returns a stable human-readable name ("Invalid argument", ...).
@@ -68,6 +69,9 @@ class Status {
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -90,6 +94,7 @@ class Status {
   bool IsFailedPrecondition() const {
     return code() == StatusCode::kFailedPrecondition;
   }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

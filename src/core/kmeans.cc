@@ -30,6 +30,19 @@ KMeans::KMeans(KMeansConfig config) : config_(std::move(config)) {
   if (config_.num_threads > 0) {
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
   }
+  // Propagate the pipeline-level checkpoint path into the phase options
+  // (explicit per-phase paths win). Seeding and Lloyd use distinct files
+  // so a crash during Lloyd does not re-run the sampling rounds.
+  if (!config_.checkpoint_path.empty()) {
+    if (config_.kmeansll.checkpoint_path.empty()) {
+      config_.kmeansll.checkpoint_path = config_.checkpoint_path + ".seed";
+      config_.kmeansll.checkpoint_every = config_.checkpoint_every;
+    }
+    if (config_.lloyd.checkpoint_path.empty()) {
+      config_.lloyd.checkpoint_path = config_.checkpoint_path;
+      config_.lloyd.checkpoint_every = config_.checkpoint_every;
+    }
+  }
 }
 
 KMeans::~KMeans() = default;
@@ -173,10 +186,14 @@ Result<KMeansReport> KMeans::Fit(const DatasetSource& data) const {
     KMEANSLL_ASSIGN_OR_RETURN(
         InitResult candidate,
         InitializeWithContext(data, &report.counters, run_seed));
-    double cost = config_.use_mapreduce
-                      ? MRComputeCost(data, candidate.centers, ctx)
-                      : ComputeCost(data, candidate.centers, pool_.get(),
-                                    point_norms);
+    double cost;
+    if (config_.use_mapreduce) {
+      KMEANSLL_ASSIGN_OR_RETURN(
+          cost, MRComputeCost(data, candidate.centers, ctx));
+    } else {
+      cost = ComputeCost(data, candidate.centers, pool_.get(),
+                         point_norms);
+    }
     if (cost < best_cost) {
       best_cost = cost;
       init = std::move(candidate);
@@ -225,6 +242,12 @@ Result<KMeansReport> KMeans::Fit(const DatasetSource& data) const {
   report.lloyd_seconds = lloyd_timer.ElapsedSeconds();
   report.final_cost = report.assignment.cost;
   report.total_seconds = total_timer.ElapsedSeconds();
+
+  // A degraded source (see DatasetSource::status) served fallback blocks
+  // somewhere above: the report would be internally consistent but not
+  // the data's — fail the Fit with the root cause instead of persisting
+  // or returning it.
+  KMEANSLL_RETURN_NOT_OK(data.status());
 
   if (!config_.model_output_path.empty()) {
     KMEANSLL_RETURN_NOT_OK(

@@ -96,6 +96,22 @@ struct KMeansConfig {
   /// training run whose deliverable is the artifact must not report
   /// success without it.
   std::string model_output_path;
+
+  /// When non-empty, training checkpoints (KMLLCKPT artifacts, see
+  /// data/checkpoint_io.h) are written atomically during the sequential
+  /// pipeline: k-means|| seeding rounds checkpoint at `<path>.seed` and
+  /// Lloyd iterations at `<path>` (propagated into
+  /// kmeansll.checkpoint_path / lloyd.checkpoint_path unless those are
+  /// set explicitly). A re-run of the same configuration that finds a
+  /// valid checkpoint resumes from it and produces a bitwise-identical
+  /// report; checkpoints are removed as each phase completes. The
+  /// MapReduce path does not checkpoint (its per-task retry plus
+  /// speculative re-execution covers worker faults); with num_runs > 1
+  /// only the seeding run in flight at a crash resumes — completed runs
+  /// recompute deterministically.
+  std::string checkpoint_path;
+  /// Iterations/rounds between checkpoint saves (values < 1 act as 1).
+  int64_t checkpoint_every = 1;
 };
 
 /// Everything Fit() learned and measured.

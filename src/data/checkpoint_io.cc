@@ -1,0 +1,203 @@
+#include "data/checkpoint_io.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/file_util.h"
+#include "common/retry.h"
+#include "data/model_io.h"
+
+namespace kmeansll::data {
+
+namespace {
+
+constexpr char kCheckpointMagic[8] = {'K', 'M', 'L', 'L', 'C', 'K',
+                                      'P', 'T'};
+constexpr int32_t kCheckpointVersion = 1;
+constexpr int64_t kMaxHistoryLen = int64_t{1} << 24;
+
+void Put(std::string* out, const void* bytes, size_t size) {
+  out->append(static_cast<const char*>(bytes), size);
+}
+
+template <typename T>
+void PutScalar(std::string* out, T value) {
+  Put(out, &value, sizeof(T));
+}
+
+// Bounds-checked cursor, same discipline as model_io's loader.
+class Reader {
+ public:
+  Reader(const std::string& bytes, const std::string& path)
+      : bytes_(bytes), path_(path) {}
+
+  Status Read(void* dst, size_t size) {
+    if (offset_ + size > bytes_.size()) {
+      return Status::IOError("'" + path_ + "' is truncated");
+    }
+    std::memcpy(dst, bytes_.data() + offset_, size);
+    offset_ += size;
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status ReadScalar(T* value) {
+    return Read(value, sizeof(T));
+  }
+
+  size_t offset() const { return offset_; }
+
+ private:
+  const std::string& bytes_;
+  const std::string& path_;
+  size_t offset_ = 0;
+};
+
+}  // namespace
+
+uint64_t HashBytes(const void* bytes, size_t size) {
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+Status SaveCheckpoint(const TrainingCheckpoint& checkpoint,
+                      const std::string& path) {
+  const int64_t k = checkpoint.centers.rows();
+  const int64_t d = checkpoint.centers.cols();
+  const int64_t prev_k = checkpoint.prev_centers.rows();
+  if (k <= 0 || d <= 0) {
+    return Status::InvalidArgument("checkpoint has no centers");
+  }
+  if (prev_k > 0 && checkpoint.prev_centers.cols() != d) {
+    return Status::InvalidArgument(
+        "checkpoint prev_centers dimension mismatch");
+  }
+  const auto history_len =
+      static_cast<int64_t>(checkpoint.cost_history.size());
+
+  std::string buf;
+  buf.reserve(static_cast<size_t>(
+      128 + ((k + prev_k) * d + history_len) * 8));
+  Put(&buf, kCheckpointMagic, sizeof(kCheckpointMagic));
+  PutScalar<int32_t>(&buf, kCheckpointVersion);
+  PutScalar<int32_t>(&buf, static_cast<int32_t>(checkpoint.phase));
+  PutScalar<uint64_t>(&buf, checkpoint.fingerprint);
+  PutScalar<int64_t>(&buf, checkpoint.iteration);
+  PutScalar<int64_t>(&buf, checkpoint.empty_cluster_repairs);
+  PutScalar<int64_t>(&buf, checkpoint.data_passes);
+  PutScalar<int64_t>(&buf, k);
+  PutScalar<int64_t>(&buf, d);
+  PutScalar<int64_t>(&buf, prev_k);
+  PutScalar<int64_t>(&buf, history_len);
+  Put(&buf, checkpoint.centers.data(),
+      static_cast<size_t>(k * d) * sizeof(double));
+  if (prev_k > 0) {
+    Put(&buf, checkpoint.prev_centers.data(),
+        static_cast<size_t>(prev_k * d) * sizeof(double));
+  }
+  if (history_len > 0) {
+    Put(&buf, checkpoint.cost_history.data(),
+        static_cast<size_t>(history_len) * sizeof(double));
+  }
+  PutScalar<uint32_t>(&buf, Crc32(buf.data(), buf.size()));
+
+  // Crash-safe: the rename is the commit point, so an interrupted save
+  // leaves the previous checkpoint (or none), never a torn file.
+  return RetryTransient(RetryPolicy{}, [&] {
+    return AtomicWriteFile(path, buf.data(), buf.size(),
+                           "checkpoint.write");
+  });
+}
+
+Result<TrainingCheckpoint> LoadCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    return Status::IOError("read of '" + path + "' failed");
+  }
+
+  Reader reader(bytes, path);
+  char magic[8];
+  KMEANSLL_RETURN_NOT_OK(reader.Read(magic, sizeof(magic)));
+  if (std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument(
+        "'" + path + "' is not a kmeansll checkpoint file");
+  }
+  int32_t version = 0;
+  KMEANSLL_RETURN_NOT_OK(reader.ReadScalar(&version));
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument(
+        "unsupported checkpoint version " + std::to_string(version) +
+        " in '" + path + "'");
+  }
+  TrainingCheckpoint ckpt;
+  int32_t phase = 0;
+  int64_t k = 0, d = 0, prev_k = 0, history_len = 0;
+  KMEANSLL_RETURN_NOT_OK(reader.ReadScalar(&phase));
+  KMEANSLL_RETURN_NOT_OK(reader.ReadScalar(&ckpt.fingerprint));
+  KMEANSLL_RETURN_NOT_OK(reader.ReadScalar(&ckpt.iteration));
+  KMEANSLL_RETURN_NOT_OK(reader.ReadScalar(&ckpt.empty_cluster_repairs));
+  KMEANSLL_RETURN_NOT_OK(reader.ReadScalar(&ckpt.data_passes));
+  KMEANSLL_RETURN_NOT_OK(reader.ReadScalar(&k));
+  KMEANSLL_RETURN_NOT_OK(reader.ReadScalar(&d));
+  KMEANSLL_RETURN_NOT_OK(reader.ReadScalar(&prev_k));
+  KMEANSLL_RETURN_NOT_OK(reader.ReadScalar(&history_len));
+  if (phase != static_cast<int32_t>(TrainingCheckpoint::Phase::kSeeding) &&
+      phase != static_cast<int32_t>(TrainingCheckpoint::Phase::kLloyd)) {
+    return Status::InvalidArgument("unknown checkpoint phase in '" + path +
+                                   "'");
+  }
+  ckpt.phase = static_cast<TrainingCheckpoint::Phase>(phase);
+  if (k <= 0 || d <= 0 || prev_k < 0 || history_len < 0 ||
+      ckpt.iteration < 0 || ckpt.empty_cluster_repairs < 0 ||
+      ckpt.data_passes < 0 || k > (int64_t{1} << 32) ||
+      d > (int64_t{1} << 24) || prev_k > (int64_t{1} << 32) ||
+      history_len > kMaxHistoryLen) {
+    return Status::InvalidArgument("implausible checkpoint shape in '" +
+                                   path + "'");
+  }
+
+  const size_t payload_bytes =
+      static_cast<size_t>((k + prev_k) * d + history_len) * 8;
+  const size_t expected = reader.offset() + payload_bytes + 4;
+  if (bytes.size() < expected) {
+    return Status::IOError("'" + path + "' is truncated");
+  }
+  if (bytes.size() > expected) {
+    return Status::InvalidArgument(
+        "'" + path + "' has trailing bytes after the checkpoint");
+  }
+
+  ckpt.centers = Matrix(k, d);
+  KMEANSLL_RETURN_NOT_OK(
+      reader.Read(ckpt.centers.data(), static_cast<size_t>(k * d) * 8));
+  if (prev_k > 0) {
+    ckpt.prev_centers = Matrix(prev_k, d);
+    KMEANSLL_RETURN_NOT_OK(reader.Read(
+        ckpt.prev_centers.data(), static_cast<size_t>(prev_k * d) * 8));
+  }
+  if (history_len > 0) {
+    ckpt.cost_history.resize(static_cast<size_t>(history_len));
+    KMEANSLL_RETURN_NOT_OK(reader.Read(
+        ckpt.cost_history.data(), static_cast<size_t>(history_len) * 8));
+  }
+
+  uint32_t stored_crc = 0;
+  KMEANSLL_RETURN_NOT_OK(reader.ReadScalar(&stored_crc));
+  if (stored_crc != Crc32(bytes.data(), bytes.size() - 4)) {
+    return Status::InvalidArgument("CRC mismatch in '" + path +
+                                   "': the checkpoint is corrupt");
+  }
+  return ckpt;
+}
+
+}  // namespace kmeansll::data

@@ -5,6 +5,9 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/fault_injection.h"
+#include "common/file_util.h"
+#include "common/retry.h"
 #include "distance/l2.h"
 
 namespace kmeansll::data {
@@ -135,13 +138,13 @@ Status SaveModel(const ModelArtifact& artifact, const std::string& path) {
       static_cast<size_t>(k) * sizeof(double));
   PutScalar<uint32_t>(&buf, Crc32(buf.data(), buf.size()));
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::IOError("cannot open '" + path + "' for writing");
-  }
-  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-  if (!out.good()) return Status::IOError("write to '" + path + "' failed");
-  return Status::OK();
+  // Crash-safe publish: the complete buffer lands under a temp name, is
+  // fsynced, and is renamed over `path` — a crash at any point leaves
+  // either the previous model or the new one, never a torn file.
+  // Transient write failures (injected or real) are retried in place.
+  return RetryTransient(RetryPolicy{}, [&] {
+    return AtomicWriteFile(path, buf.data(), buf.size(), "model.write");
+  });
 }
 
 Result<ModelArtifact> LoadModel(const std::string& path) {
@@ -221,7 +224,12 @@ Result<ModelArtifact> LoadModel(const std::string& path) {
 
   uint32_t stored_crc = 0;
   KMEANSLL_RETURN_NOT_OK(reader.ReadScalar(&stored_crc));
-  const uint32_t actual_crc = Crc32(bytes.data(), bytes.size() - 4);
+  uint32_t actual_crc = Crc32(bytes.data(), bytes.size() - 4);
+  fault::FaultKind injected;
+  if (fault::CheckKind("model.read", &injected) &&
+      injected == fault::FaultKind::kCrcError) {
+    actual_crc ^= 0xDEADBEEFu;  // simulate bit rot caught by the checksum
+  }
   if (stored_crc != actual_crc) {
     return Status::InvalidArgument("CRC mismatch in '" + path +
                                    "': the model file is corrupt");

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <deque>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <thread>
 
@@ -19,8 +20,11 @@
 #include <unistd.h>
 #endif
 
+#include "common/fault_injection.h"
+#include "common/file_util.h"
 #include "common/macros.h"
 #include "common/math_util.h"
+#include "common/retry.h"
 #include "data/binary_io.h"
 
 namespace kmeansll::data {
@@ -67,41 +71,46 @@ int64_t FileSizeOf(const std::string& path) {
   return static_cast<int64_t>(in.tellg());
 }
 
+void AppendRaw(std::string* out, const void* bytes, size_t size) {
+  out->append(static_cast<const char*>(bytes), size);
+}
+
+template <typename T>
+void AppendScalar(std::string* out, T value) {
+  AppendRaw(out, &value, sizeof(T));
+}
+
 /// Writes the KMLLSHRD manifest file for `manifest`. Shared by
 /// WriteShards and ShardWriter::Finalize so the two producers cannot
-/// drift apart on the format.
+/// drift apart on the format. The manifest is the commit point of a
+/// sharded dataset — nothing opens the shard files except through it —
+/// so it is serialized in memory and published atomically
+/// (temp+fsync+rename): an interrupted Finalize leaves either no
+/// manifest (the dataset "does not exist" yet) or the previous complete
+/// one, never a torn shard table.
 Status WriteManifestFile(const std::string& manifest_path,
                          const ShardManifest& manifest) {
-  std::ofstream out(manifest_path, std::ios::binary);
-  if (!out.is_open()) {
-    return Status::IOError("cannot open '" + manifest_path +
-                           "' for writing");
-  }
-  out.write(kManifestMagic, sizeof(kManifestMagic));
+  std::string buf;
+  AppendRaw(&buf, kManifestMagic, sizeof(kManifestMagic));
   int32_t version = kManifestVersion;
   uint32_t flags = 0;
   if (manifest.has_weights) flags |= kFlagWeights;
   if (manifest.has_labels) flags |= kFlagLabels;
   auto num_shards = static_cast<int32_t>(manifest.shards.size());
-  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
-  out.write(reinterpret_cast<const char*>(&manifest.n),
-            sizeof(manifest.n));
-  out.write(reinterpret_cast<const char*>(&manifest.dim),
-            sizeof(manifest.dim));
-  out.write(reinterpret_cast<const char*>(&flags), sizeof(flags));
-  out.write(reinterpret_cast<const char*>(&num_shards),
-            sizeof(num_shards));
+  AppendScalar(&buf, version);
+  AppendScalar(&buf, manifest.n);
+  AppendScalar(&buf, manifest.dim);
+  AppendScalar(&buf, flags);
+  AppendScalar(&buf, num_shards);
   for (const ShardInfo& info : manifest.shards) {
-    out.write(reinterpret_cast<const char*>(&info.rows),
-              sizeof(info.rows));
-    auto len = static_cast<int32_t>(info.file.size());
-    out.write(reinterpret_cast<const char*>(&len), sizeof(len));
-    out.write(info.file.data(), len);
+    AppendScalar(&buf, info.rows);
+    AppendScalar(&buf, static_cast<int32_t>(info.file.size()));
+    AppendRaw(&buf, info.file.data(), info.file.size());
   }
-  if (!out.good()) {
-    return Status::IOError("write to '" + manifest_path + "' failed");
-  }
-  return Status::OK();
+  return RetryTransient(RetryPolicy{}, [&] {
+    return AtomicWriteFile(manifest_path, buf.data(), buf.size(),
+                           "manifest.write");
+  });
 }
 
 }  // namespace
@@ -245,39 +254,33 @@ struct ShardWriter::Impl {
     info.rows = buffered_rows;
     info.first_row = manifest.n;
 
+    // Serialize the whole shard in memory and publish it atomically:
+    // a crash mid-flush leaves no file under the shard's name, so a
+    // later writer restart cannot be confused by a torn shard (and the
+    // manifest — the commit point — hasn't referenced it yet anyway).
     const std::string path = dir + info.file;
-    std::ofstream out(path, std::ios::binary);
-    if (!out.is_open()) {
-      return Status::IOError("cannot open shard '" + path +
-                             "' for writing");
-    }
-    out.write(kShardMagic, sizeof(kShardMagic));
-    int32_t version = kShardVersion;
+    std::string buf;
+    buf.reserve(static_cast<size_t>(
+        ShardFileBytes(info.rows, manifest.dim, options.has_weights,
+                       options.has_labels)));
+    AppendRaw(&buf, kShardMagic, sizeof(kShardMagic));
     uint32_t flags = 0;
     if (options.has_weights) flags |= kFlagWeights;
     if (options.has_labels) flags |= kFlagLabels;
-    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
-    out.write(reinterpret_cast<const char*>(&info.rows),
-              sizeof(info.rows));
-    out.write(reinterpret_cast<const char*>(&manifest.dim),
-              sizeof(manifest.dim));
-    out.write(reinterpret_cast<const char*>(&flags), sizeof(flags));
-    out.write(reinterpret_cast<const char*>(points.data()),
-              static_cast<std::streamsize>(points.size() *
-                                           sizeof(double)));
+    AppendScalar(&buf, kShardVersion);
+    AppendScalar(&buf, info.rows);
+    AppendScalar(&buf, manifest.dim);
+    AppendScalar(&buf, flags);
+    AppendRaw(&buf, points.data(), points.size() * sizeof(double));
     if (options.has_weights) {
-      out.write(reinterpret_cast<const char*>(weights.data()),
-                static_cast<std::streamsize>(weights.size() *
-                                             sizeof(double)));
+      AppendRaw(&buf, weights.data(), weights.size() * sizeof(double));
     }
     if (options.has_labels) {
-      out.write(reinterpret_cast<const char*>(labels.data()),
-                static_cast<std::streamsize>(labels.size() *
-                                             sizeof(int32_t)));
+      AppendRaw(&buf, labels.data(), labels.size() * sizeof(int32_t));
     }
-    if (!out.good()) {
-      return Status::IOError("write to shard '" + path + "' failed");
-    }
+    KMEANSLL_RETURN_NOT_OK(RetryTransient(RetryPolicy{}, [&] {
+      return AtomicWriteFile(path, buf.data(), buf.size(), "shard.write");
+    }));
     manifest.n += buffered_rows;
     manifest.shards.push_back(std::move(info));
     points.clear();
@@ -419,6 +422,8 @@ struct ShardedDataset::Impl {
     bool touching = false;   // prefetcher is warming pages (no unmap!)
     bool queued = false;     // sitting in the prefetch queue
     bool protected_ = false; // prefetched, not yet pinned: evict last
+    bool failed = false;     // demand map retry budget exhausted
+    Status fail_status;      // why (set once, with `failed`)
   };
 
   /// IoStats as independent atomic cells: counters bumped under `mutex`
@@ -435,6 +440,8 @@ struct ShardedDataset::Impl {
     std::atomic<int64_t> prefetch_hits{0};
     std::atomic<int64_t> prefetch_wasted{0};
     std::atomic<int64_t> stall_nanos{0};
+    std::atomic<int64_t> map_retries{0};
+    std::atomic<int64_t> map_failures{0};
   };
 
   ShardManifest manifest;
@@ -456,6 +463,10 @@ struct ShardedDataset::Impl {
   mutable StatsCells stats;
   mutable bool total_weight_cached = false;
   mutable double total_weight = 0.0;
+  // Degraded-mode state (guarded by `mutex`): the first unrecoverable
+  // shard error, and zero-filled stand-in blocks for failed shards.
+  mutable Status failure;
+  mutable std::map<size_t, std::unique_ptr<char[]>> fallbacks;
 
   ~Impl() {
     {
@@ -553,12 +564,17 @@ struct ShardedDataset::Impl {
 
   /// Ensures `shard` is resident, mapping it on demand (or waiting out a
   /// map already in flight on another thread — the prefetcher's,
-  /// typically). Returns with `mutex` held and shard.base set. All
-  /// blocking is accounted to stall_nanos: this is exactly the time a
-  /// scan thread lost to shard I/O.
-  void EnsureResident(std::unique_lock<std::mutex>& lock, Shard& shard) {
+  /// typically). Transient map failures are retried with backoff under
+  /// options.io_retry (with `mutex` released, so other shards' pins
+  /// never serialize behind the backoff). Returns OK with `mutex` held
+  /// and shard.base set — or, once the retry budget is exhausted, marks
+  /// the shard failed and returns the error; the caller degrades to a
+  /// fallback block. All blocking is accounted to stall_nanos: this is
+  /// exactly the time a scan thread lost to shard I/O.
+  Status EnsureResident(std::unique_lock<std::mutex>& lock, Shard& shard) {
     using Clock = std::chrono::steady_clock;
     while (shard.base == nullptr) {
+      if (shard.failed) return shard.fail_status;
       if (shard.mapping) {
         const auto start = Clock::now();
         map_done.wait(lock, [&] {
@@ -575,7 +591,14 @@ struct ShardedDataset::Impl {
       lock.unlock();
       const auto start = Clock::now();
       const char* base = nullptr;
-      Status status = MapFile(shard.path, shard.file_bytes, &base);
+      int64_t retries = 0;
+      Status status = RetryTransient(
+          options.io_retry,
+          [&]() -> Status {
+            KMEANSLL_RETURN_NOT_OK(fault::Check("shard.map"));
+            return MapFile(shard.path, shard.file_bytes, &base);
+          },
+          &retries);
       const auto elapsed =
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               Clock::now() - start)
@@ -583,12 +606,23 @@ struct ShardedDataset::Impl {
       lock.lock();
       shard.mapping = false;
       stats.stall_nanos.fetch_add(elapsed, std::memory_order_relaxed);
-      // Pin has no error channel (the storage layer treats a vanished or
-      // unmappable shard after a successful Open as unrecoverable).
-      KMEANSLL_CHECK(status.ok());
+      stats.map_retries.fetch_add(retries, std::memory_order_relaxed);
+      if (!status.ok()) {
+        // Retry budget exhausted: degrade instead of aborting. The
+        // shard is marked failed so later pins don't burn the backoff
+        // again, and the dataset's sticky status records the first
+        // error for the driver to surface.
+        shard.failed = true;
+        shard.fail_status = status;
+        stats.map_failures.fetch_add(1, std::memory_order_relaxed);
+        if (failure.ok()) failure = status;
+        map_done.notify_all();
+        return status;
+      }
       PublishMapping(shard, base);
       map_done.notify_all();
     }
+    return Status::OK();
   }
 
   /// Evicts least-recently-used unpinned shards while over budget.
@@ -657,12 +691,21 @@ struct ShardedDataset::Impl {
       shard.mapping = true;
       lock.unlock();
       const char* base = nullptr;
-      Status status = MapFile(shard.path, shard.file_bytes, &base);
+      int64_t retries = 0;
+      Status status = RetryTransient(
+          options.io_retry,
+          [&]() -> Status {
+            KMEANSLL_RETURN_NOT_OK(fault::Check("shard.prefetch"));
+            return MapFile(shard.path, shard.file_bytes, &base);
+          },
+          &retries);
       lock.lock();
       shard.mapping = false;
+      stats.map_retries.fetch_add(retries, std::memory_order_relaxed);
       if (!status.ok()) {
-        // Leave the shard unmapped: the demand path will retry and
-        // surface the error (CHECK) on the scanning thread.
+        // A prefetch failure must never take down the scan: leave the
+        // shard unmapped (NOT failed) so the demand path gets its own
+        // retry budget and is the one to surface a clean error.
         prefetch_hold_bytes -= shard.file_bytes;
         map_done.notify_all();
         continue;
@@ -705,6 +748,30 @@ struct ShardedDataset::Impl {
     // Enforce the window as soon as a pin drops, so a streaming pass
     // never holds more than the budget plus its own pinned shards.
     EvictOverBudget();
+  }
+
+  /// Zero-filled stand-in block for a failed shard, laid out exactly
+  /// like its file (header + points + weights + labels) so the Pin path
+  /// slices it identically. Points read 0.0 and weights read 1.0 —
+  /// structurally valid inputs for every kernel (no NaNs, no zero total
+  /// weight) — so a degraded scan runs to completion and the driver
+  /// rejects the run via status(). Allocated once per failed shard;
+  /// caller holds `mutex`.
+  const char* FallbackBase(size_t shard_index) {
+    std::unique_ptr<char[]>& slot = fallbacks[shard_index];
+    if (slot == nullptr) {
+      const Shard& shard = shards[shard_index];
+      slot = std::make_unique<char[]>(
+          static_cast<size_t>(shard.file_bytes));  // value-init: zeros
+      if (manifest.has_weights) {
+        auto* weights = reinterpret_cast<double*>(
+            slot.get() + kShardHeaderBytes +
+            shard.rows * manifest.dim *
+                static_cast<int64_t>(sizeof(double)));
+        std::fill_n(weights, shard.rows, 1.0);
+      }
+    }
+    return slot.get();
   }
 };
 
@@ -827,6 +894,8 @@ ShardedDataset::IoStats ShardedDataset::io_stats() const {
   out.prefetch_wasted =
       cells.prefetch_wasted.load(std::memory_order_relaxed);
   out.stall_nanos = cells.stall_nanos.load(std::memory_order_relaxed);
+  out.map_retries = cells.map_retries.load(std::memory_order_relaxed);
+  out.map_failures = cells.map_failures.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -904,29 +973,40 @@ PinnedBlock ShardedDataset::Pin(int64_t begin, int64_t end) const {
 
   size_t shard_index;
   const char* base;
+  bool degraded = false;
   {
     std::unique_lock<std::mutex> lock(impl->mutex);
     shard_index = impl->ShardIndexOf(begin);
     Impl::Shard& shard = impl->shards[shard_index];
     const bool was_resident = shard.base != nullptr;
-    impl->EnsureResident(lock, shard);
-    if (shard.protected_) {
-      // First pin of a prefetched shard: the demand map (and its page
-      // faults) never happened on this thread. Protection ends here;
-      // from now on the shard ages out by plain LRU.
-      shard.protected_ = false;
-      --impl->protected_count;
-      impl->prefetch_hold_bytes -= shard.file_bytes;
-      if (was_resident) {
-        impl->stats.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+    const Status resident = impl->EnsureResident(lock, shard);
+    if (!resident.ok()) {
+      // Degraded pin: the shard's retry budget is spent. Serve the
+      // zero-filled stand-in so the scan completes; status() reports
+      // the failure to the driver. No pin accounting — there is no
+      // mapping to protect from eviction.
+      base = impl->FallbackBase(shard_index);
+      degraded = true;
+    } else {
+      if (shard.protected_) {
+        // First pin of a prefetched shard: the demand map (and its page
+        // faults) never happened on this thread. Protection ends here;
+        // from now on the shard ages out by plain LRU.
+        shard.protected_ = false;
+        --impl->protected_count;
+        impl->prefetch_hold_bytes -= shard.file_bytes;
+        if (was_resident) {
+          impl->stats.prefetch_hits.fetch_add(1,
+                                              std::memory_order_relaxed);
+        }
       }
+      ++shard.pin_count;
+      shard.last_use = ++impl->use_tick;
+      // A fresh map may have pushed residency over the window; evict
+      // other, unpinned shards now.
+      impl->EvictOverBudget();
+      base = shard.base;
     }
-    ++shard.pin_count;
-    shard.last_use = ++impl->use_tick;
-    // A fresh map may have pushed residency over the window; evict
-    // other, unpinned shards now.
-    impl->EvictOverBudget();
-    base = shard.base;
   }
 
   const Impl::Shard& shard = impl->shards[shard_index];
@@ -950,8 +1030,17 @@ PinnedBlock ShardedDataset::Pin(int64_t begin, int64_t end) const {
 
   DatasetView shard_view(ConstMatrixView(points, shard.rows, d),
                          shard.first_row, weights, labels);
+  if (degraded) {
+    // Fallback blocks are never unmapped, so there is nothing to unpin.
+    return PinnedBlock(shard_view.Slice(local_first, local_end), [] {});
+  }
   return PinnedBlock(shard_view.Slice(local_first, local_end),
                      [impl, shard_index] { impl->Unpin(shard_index); });
+}
+
+Status ShardedDataset::status() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->failure;
 }
 
 double ShardedDataset::TotalWeight() const {

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/retry.h"
 #include "matrix/dataset.h"
 #include "matrix/dataset_view.h"
 #include "matrix/matrix.h"
@@ -145,6 +146,10 @@ struct ShardedDatasetOptions {
   /// run ahead of the scan — and therefore how much the prefetcher can
   /// inflate residency beyond the LRU window. >= 1.
   int64_t max_prefetch_shards = 2;
+  /// Transient shard-map failures (a demand or prefetch mmap/open that
+  /// fails) are retried with capped exponential backoff under this
+  /// policy before the dataset degrades (see ShardedDataset::status()).
+  RetryPolicy io_retry;
 };
 
 /// DatasetSource over a sharded on-disk dataset. Thread-safe: Pin, pin
@@ -188,6 +193,11 @@ class ShardedDataset final : public DatasetSource {
     int64_t stall_nanos = 0;      ///< time scan threads spent blocked in
                                   ///< Pin on shard I/O (demand maps and
                                   ///< waits on in-flight maps)
+    int64_t map_retries = 0;      ///< transient map failures retried
+                                  ///< (demand + prefetch)
+    int64_t map_failures = 0;     ///< shards whose map retry budget was
+                                  ///< exhausted (the scan degraded; see
+                                  ///< status())
   };
 
   /// Opens a sharded dataset: parses the manifest and validates every
@@ -219,6 +229,14 @@ class ShardedDataset final : public DatasetSource {
   /// floor(max_resident_bytes / largest shard bytes), at least 1; 0 when
   /// the window is unbounded.
   int64_t ResidentUnitCapacity() const override;
+  /// Sticky health of the source. OK while every pin has served real
+  /// shard bytes. Once a shard exhausts its map retry budget the first
+  /// such error is recorded here permanently; the failed Pin (and every
+  /// later pin of that shard) serves a zero-filled fallback block so the
+  /// scan completes structurally, and the driver that owns the scan
+  /// checks status() at its Result boundary — a bad shard fails the
+  /// *scan*, never the process.
+  Status status() const override;
 
   int64_t num_shards() const;
   /// Global [begin, end) row range of shard s — e.g. to build

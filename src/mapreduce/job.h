@@ -18,14 +18,20 @@
 #ifndef KMEANSLL_MAPREDUCE_JOB_H_
 #define KMEANSLL_MAPREDUCE_JOB_H_
 
+#include <atomic>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/macros.h"
+#include "common/status.h"
 #include "mapreduce/counters.h"
 #include "parallel/thread_pool.h"
 
@@ -97,6 +103,37 @@ class Job {
     counters_ = counters;
     return *this;
   }
+  /// Task-attempt budget: a map task whose attempt fails (an injected
+  /// "mr.task" fault or an exception escaping the map function) is
+  /// re-executed up to `attempts` times total before the job declares
+  /// it failed. Every attempt runs against a fresh emitter, so a failed
+  /// attempt contributes nothing — the fold still sees exactly one
+  /// emission set per task, in task-index order, which keeps retried
+  /// runs bitwise identical to fault-free runs.
+  Job& WithTaskAttempts(int attempts) {
+    max_task_attempts_ = attempts;
+    return *this;
+  }
+  /// Straggler re-execution: submit a speculative duplicate of every
+  /// map task after the primaries. A duplicate that starts after its
+  /// task already completed exits immediately; when both run, the first
+  /// completion installs its result and the loser's is dropped
+  /// (install-first-wins on a per-task atomic), so duplicate completion
+  /// is safe and results stay bitwise identical.
+  Job& WithSpeculativeExecution(bool enabled) {
+    speculative_ = enabled;
+    return *this;
+  }
+  /// Error channel: when any task exhausts its attempt budget, the
+  /// first such failure is stored in `*status`, Run returns an empty
+  /// output vector, and nothing reduces. Without an error channel a
+  /// terminal task failure aborts (the pre-fault-tolerance behavior —
+  /// appropriate for callers that cannot observe partial results).
+  /// The caller owns `status` and should reset it before each Run.
+  Job& WithErrorOut(Status* status) {
+    error_out_ = status;
+    return *this;
+  }
 
   /// Runs the job over `partitions` on `pool` (nullptr = inline execution).
   /// Returns reduce outputs in ascending key order.
@@ -118,10 +155,28 @@ class Job {
     std::vector<std::map<K, V>> locals(
         combine_ != nullptr ? partitions.size() : 0);
     std::vector<int64_t> task_pairs(partitions.size(), 0);
-    auto run_map_task = [&](int64_t t) {
-      if (prologue_ != nullptr) prologue_(t);
+
+    // Fault-tolerance state. `installed[t]` is the per-task commit
+    // point: exactly one attempt (primary, retry, or speculative
+    // duplicate) wins the exchange and publishes its emissions; every
+    // other completion is dropped. pool->Wait() is the barrier that
+    // makes the winner's writes visible to the shuffle.
+    std::vector<std::atomic<bool>> installed(partitions.size());
+    std::atomic<int64_t> task_retries{0};
+    std::atomic<int64_t> task_failures{0};
+    std::atomic<int64_t> speculative_runs{0};
+    std::atomic<int64_t> dropped_duplicates{0};
+    std::mutex fail_mu;
+    Status first_failure;
+
+    auto install_result = [&](int64_t t, Emitter<K, V>&& scratch) {
+      if (installed[static_cast<size_t>(t)].exchange(
+              true, std::memory_order_acq_rel)) {
+        dropped_duplicates.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
       auto& emitter = emitters[static_cast<size_t>(t)];
-      map_(t, partitions[static_cast<size_t>(t)], &emitter);
+      emitter.pairs() = std::move(scratch.pairs());
       task_pairs[static_cast<size_t>(t)] =
           static_cast<int64_t>(emitter.pairs().size());
       if (combine_ != nullptr) {
@@ -132,6 +187,47 @@ class Job {
         }
         emitter.pairs().clear();
         emitter.pairs().shrink_to_fit();
+      }
+    };
+    auto run_map_task = [&](int64_t t) {
+      const int attempts = max_task_attempts_ < 1 ? 1 : max_task_attempts_;
+      for (int attempt = 1; attempt <= attempts; ++attempt) {
+        if (installed[static_cast<size_t>(t)].load(
+                std::memory_order_acquire)) {
+          return;  // another attempt (a speculative twin) already won
+        }
+        // A fresh emitter per attempt: a failed attempt's partial
+        // emissions never leak into the fold.
+        Emitter<K, V> scratch;
+        Status status = fault::Check("mr.task");
+        if (status.ok()) {
+          try {
+            if (prologue_ != nullptr) prologue_(t);
+            map_(t, partitions[static_cast<size_t>(t)], &scratch);
+          } catch (const std::exception& e) {
+            status = Status::Unknown(std::string("map task threw: ") +
+                                     e.what());
+          } catch (...) {
+            status = Status::Unknown("map task threw");
+          }
+        }
+        if (status.ok()) {
+          install_result(t, std::move(scratch));
+          return;
+        }
+        if (attempt < attempts) {
+          task_retries.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        task_failures.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(fail_mu);
+        if (first_failure.ok()) {
+          first_failure = Status(
+              status.code(),
+              "map task " + std::to_string(t) + " failed after " +
+                  std::to_string(attempts) + " attempts: " +
+                  status.message());
+        }
       }
     };
     const bool ordered =
@@ -149,7 +245,45 @@ class Job {
         const int64_t t = task_at(p);
         pool->Submit([&run_map_task, t] { run_map_task(t); });
       }
+      if (speculative_) {
+        // Speculative wave, submitted after every primary: each
+        // duplicate re-executes its task only if the primary hasn't
+        // finished by the time a worker picks it up (the classic
+        // straggler mitigation). Safe because completion is
+        // install-first-wins.
+        for (int64_t p = 0; p < num_tasks; ++p) {
+          const int64_t t = task_at(p);
+          pool->Submit([&run_map_task, &installed, &speculative_runs, t] {
+            if (installed[static_cast<size_t>(t)].load(
+                    std::memory_order_acquire)) {
+              return;
+            }
+            speculative_runs.fetch_add(1, std::memory_order_relaxed);
+            run_map_task(t);
+          });
+        }
+      }
       pool->Wait();
+    }
+
+    if (counters_ != nullptr) {
+      counters_->Add(kCounterTaskRetries,
+                     task_retries.load(std::memory_order_relaxed));
+      counters_->Add(kCounterTaskFailures,
+                     task_failures.load(std::memory_order_relaxed));
+      counters_->Add(kCounterSpeculativeTasks,
+                     speculative_runs.load(std::memory_order_relaxed));
+      counters_->Add(kCounterDroppedDuplicates,
+                     dropped_duplicates.load(std::memory_order_relaxed));
+    }
+    if (!first_failure.ok()) {
+      if (error_out_ != nullptr) {
+        *error_out_ = std::move(first_failure);
+        return {};
+      }
+      // No error channel: fail loudly rather than reduce over a
+      // partial fold (the pre-fault-tolerance contract).
+      first_failure.Abort("mapreduce job without an error channel");
     }
 
     int64_t map_output_pairs = 0;
@@ -226,6 +360,9 @@ class Job {
   ReduceFn reduce_;
   std::vector<int64_t> submission_order_;  // empty = ascending
   Counters* counters_ = nullptr;
+  int max_task_attempts_ = 3;
+  bool speculative_ = false;
+  Status* error_out_ = nullptr;  // borrowed; null = abort on failure
 };
 
 }  // namespace kmeansll::mapreduce

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/status.h"
 #include "matrix/matrix.h"
 #include "parallel/parallel_for.h"
 
@@ -186,6 +187,15 @@ class DatasetSource {
   /// window can hold — beyond it, workers just thrash each other's
   /// mappings.
   virtual int64_t ResidentUnitCapacity() const { return 0; }
+
+  /// Sticky health of the source. Pin has no error channel (a scan must
+  /// be able to stream without per-block error plumbing), so a source
+  /// that hits an unrecoverable I/O failure serves structurally valid
+  /// fallback blocks and records the first error here. Drivers check
+  /// this once, at their Result-returning boundary, after the scan —
+  /// the out-of-core analogue of checking ferror() after fread loops.
+  /// Default: always OK (in-memory sources cannot fail).
+  virtual Status status() const { return Status::OK(); }
 };
 
 /// DatasetSource over rows the caller already holds in memory. The

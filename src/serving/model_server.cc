@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <utility>
+
+#include "data/model_io.h"
 
 namespace kmeansll::serving {
 
@@ -13,28 +16,57 @@ ModelServer::ModelServer(std::shared_ptr<const CenterIndex> initial) {
 
 Status ModelServer::Publish(std::shared_ptr<const CenterIndex> next) {
   if (next == nullptr) {
+    publish_failed_.fetch_add(1, std::memory_order_relaxed);
     return Status::InvalidArgument("cannot publish a null snapshot");
   }
   std::lock_guard<std::mutex> writer_lock(writer_mu_);
   const std::shared_ptr<const CenterIndex> current = Acquire();
   if (next->dim() != current->dim()) {
+    publish_failed_.fetch_add(1, std::memory_order_relaxed);
     return Status::InvalidArgument(
         "snapshot dimension " + std::to_string(next->dim()) +
         " does not match served dimension " +
         std::to_string(current->dim()));
   }
   snapshot_.store(std::move(next), std::memory_order_release);
+  publishes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+Status ModelServer::PublishFromFile(const std::string& path) {
+  // Load and build entirely outside the swap: every validation failure
+  // (unreadable file, CRC mismatch from a torn write, empty artifact,
+  // wrong dimension via Publish) returns here with the old snapshot
+  // still installed and still serving.
+  Result<data::ModelArtifact> artifact = data::LoadModel(path);
+  if (!artifact.ok()) {
+    publish_failed_.fetch_add(1, std::memory_order_relaxed);
+    return artifact.status();
+  }
+  Result<std::shared_ptr<const CenterIndex>> next = CenterIndex::FromModel(
+      std::move(artifact).ValueOrDie(), published_version() + 1);
+  if (!next.ok()) {
+    publish_failed_.fetch_add(1, std::memory_order_relaxed);
+    return next.status();
+  }
+  return Publish(std::move(next).ValueOrDie());
 }
 
 Status ModelServer::Refine(const RefineFn& fn) {
   std::lock_guard<std::mutex> writer_lock(writer_mu_);
   const std::shared_ptr<const CenterIndex> current = Acquire();
-  KMEANSLL_ASSIGN_OR_RETURN(Matrix next_centers, fn(*current));
+  Result<Matrix> refined = fn(*current);
+  if (!refined.ok()) {
+    refine_failed_.fetch_add(1, std::memory_order_relaxed);
+    return refined.status();
+  }
+  Matrix next_centers = std::move(refined).ValueOrDie();
   if (next_centers.rows() <= 0) {
+    refine_failed_.fetch_add(1, std::memory_order_relaxed);
     return Status::InvalidArgument("refinement produced no centers");
   }
   if (next_centers.cols() != current->dim()) {
+    refine_failed_.fetch_add(1, std::memory_order_relaxed);
     return Status::InvalidArgument(
         "refinement changed the dimension from " +
         std::to_string(current->dim()) + " to " +
@@ -45,7 +77,18 @@ Status ModelServer::Refine(const RefineFn& fn) {
   snapshot_.store(CenterIndex::Build(std::move(next_centers),
                                      current->version() + 1),
                   std::memory_order_release);
+  refines_.fetch_add(1, std::memory_order_relaxed);
+  publishes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+ModelServer::Stats ModelServer::stats() const {
+  Stats out;
+  out.publishes = publishes_.load(std::memory_order_relaxed);
+  out.publish_failed = publish_failed_.load(std::memory_order_relaxed);
+  out.refines = refines_.load(std::memory_order_relaxed);
+  out.refine_failed = refine_failed_.load(std::memory_order_relaxed);
+  return out;
 }
 
 Status ModelServer::RefineWithMiniBatch(const DatasetSource& data,
@@ -66,25 +109,59 @@ RequestBatcher::RequestBatcher(const ModelServer* server,
   KMEANSLL_CHECK_GE(options_.max_batch, 1);
   KMEANSLL_CHECK_GE(options_.max_delay_us, 0);
   KMEANSLL_CHECK_GE(options_.idle_close_us, 0);
+  KMEANSLL_CHECK_GE(options_.max_pending, 0);
+  KMEANSLL_CHECK_GE(options_.max_latency_us, 0);
   dim_ = server_->Acquire()->dim();
 }
 
-NearestResult RequestBatcher::Assign(const double* point) {
+int64_t RequestBatcher::EstimatedLatencyUs() const {
+  // Coalescing delay plus one scan per full batch already ahead of a
+  // query admitted now. Until the first flush lands there is no scan
+  // estimate; treat it as free and let the EWMA take over.
+  const int64_t batches_ahead = pending_ / std::max<int64_t>(
+      options_.max_batch, 1) + 1;
+  return options_.max_delay_us + ewma_scan_us_ * batches_ahead;
+}
+
+Result<NearestResult> RequestBatcher::Assign(const double* point) {
   std::shared_ptr<Batch> batch;
   int64_t slot = 0;
   bool leader = false;
   {
     std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.queries;
+    // Admission control: shed before touching any batch state, so a
+    // rejected query costs the caller one mutex round-trip and nothing
+    // else. See RequestBatcherOptions::{max_pending, max_latency_us}.
+    if (options_.max_pending > 0 && pending_ >= options_.max_pending) {
+      ++stats_.shed;
+      return Status::Unavailable(
+          "batcher overloaded: " + std::to_string(pending_) +
+          " queries pending (max_pending=" +
+          std::to_string(options_.max_pending) + "); retry in ~" +
+          std::to_string(EstimatedLatencyUs()) + "us");
+    }
+    if (options_.max_latency_us > 0 &&
+        EstimatedLatencyUs() > options_.max_latency_us) {
+      ++stats_.shed;
+      return Status::Unavailable(
+          "batcher cannot meet the " +
+          std::to_string(options_.max_latency_us) +
+          "us latency target (estimated ~" +
+          std::to_string(EstimatedLatencyUs()) + "us); retry in ~" +
+          std::to_string(EstimatedLatencyUs()) + "us");
+    }
     if (open_ == nullptr) {
       open_ = std::make_shared<Batch>();
       open_->points.reserve(
           static_cast<size_t>(options_.max_batch * dim_));
+      open_->opened = std::chrono::steady_clock::now();
       leader = true;
     }
     batch = open_;
     slot = batch->rows++;
     batch->points.insert(batch->points.end(), point, point + dim_);
-    ++stats_.queries;
+    ++pending_;
     if (batch->rows >= options_.max_batch) {
       // Full: stop accepting joins and wake the (possibly waiting)
       // leader so the flush happens now, not at the deadline.
@@ -134,6 +211,7 @@ NearestResult RequestBatcher::Assign(const double* point) {
   // Flush (outside the lock: followers of the *next* generation must be
   // able to coalesce while this batch scans). The snapshot is acquired
   // at flush time, so the whole batch is answered by one model version.
+  const auto scan_start = std::chrono::steady_clock::now();
   const std::shared_ptr<const CenterIndex> snapshot = server_->Acquire();
   const int64_t rows = batch->rows;
   std::vector<int32_t> idx(static_cast<size_t>(rows));
@@ -147,6 +225,13 @@ NearestResult RequestBatcher::Assign(const double* point) {
         static_cast<int64_t>(idx[static_cast<size_t>(i)]),
         d2[static_cast<size_t>(i)]};
   }
+  const auto flush_end = std::chrono::steady_clock::now();
+  const int64_t scan_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          flush_end - scan_start).count();
+  const int64_t batch_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          flush_end - batch->opened).count();
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -154,6 +239,20 @@ NearestResult RequestBatcher::Assign(const double* point) {
     ++stats_.batches;
     stats_.batched_points += rows;
     stats_.largest_batch = std::max(stats_.largest_batch, rows);
+    stats_.served += rows;
+    // Misses are counted batch-wide against the leader's join time (the
+    // oldest query in the batch); followers joined later, so this is
+    // the conservative bound.
+    if (options_.max_latency_us > 0 &&
+        batch_us > options_.max_latency_us) {
+      stats_.deadline_misses += rows;
+    }
+    pending_ -= rows;
+    // EWMA with 1/4 weight on the newest scan: stable under jitter,
+    // adapts within a few batches when load shifts.
+    ewma_scan_us_ = ewma_scan_us_ == 0
+                        ? scan_us
+                        : (3 * ewma_scan_us_ + scan_us) / 4;
     done_cv_.notify_all();
   }
   return batch->results[static_cast<size_t>(slot)];

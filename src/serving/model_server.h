@@ -35,16 +35,27 @@
 // amortized across the batch — bench/bm_serving.cc measures the
 // difference. Every batch acquires its snapshot at flush time, so a
 // batcher transparently follows hot swaps.
+//
+// Under sustained overload the batcher degrades gracefully instead of
+// queueing without bound: RequestBatcherOptions::max_pending caps the
+// admitted-but-unanswered backlog and max_latency_us adds
+// deadline-aware admission, with over-limit queries shed immediately as
+// kUnavailable plus a retry-after hint (see Assign). Shedding is the
+// serving-side analogue of the training side's fail-clean I/O policy:
+// overload surfaces as a clean, retryable error, never as unbounded
+// latency or an aborted process.
 
 #ifndef KMEANSLL_SERVING_MODEL_SERVER_H_
 #define KMEANSLL_SERVING_MODEL_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "clustering/minibatch.h"
@@ -86,6 +97,14 @@ class ModelServer {
   /// mismatch; on failure the served snapshot is unchanged.
   Status Publish(std::shared_ptr<const CenterIndex> next);
 
+  /// Loads a KMLLMODL artifact from `path` and publishes it as the next
+  /// snapshot (version = published_version() + 1). Any failure — the
+  /// artifact is unreadable, corrupt (CRC), empty, or its dimension does
+  /// not match the served model — leaves the current snapshot serving
+  /// untouched and bumps stats().publish_failed: a torn or wrong file on
+  /// disk degrades to a refused swap, never to a broken reader.
+  Status PublishFromFile(const std::string& path);
+
   /// Builds the next model from the current one. The hook sees the
   /// current snapshot and returns refined centers (e.g. one
   /// minibatch/streaming pass); the server builds a fresh index tagged
@@ -102,9 +121,26 @@ class ModelServer {
                              const MiniBatchOptions& options,
                              uint64_t seed);
 
+  /// Writer-side telemetry (monotonic since construction). Each cell is
+  /// an independent atomic counter, so stats() is safe from any thread
+  /// and never touches writer_mu_; the snapshot is per-cell consistent,
+  /// not cross-cell (a concurrent Publish may be counted in publishes
+  /// before its sibling cells settle).
+  struct Stats {
+    int64_t publishes = 0;       ///< successful snapshot swaps
+    int64_t publish_failed = 0;  ///< refused swaps (null/dim/corrupt file)
+    int64_t refines = 0;         ///< successful Refine* passes
+    int64_t refine_failed = 0;   ///< Refine* passes that published nothing
+  };
+  Stats stats() const;
+
  private:
   std::atomic<std::shared_ptr<const CenterIndex>> snapshot_;
   std::mutex writer_mu_;  // serializes Publish/Refine, never readers
+  std::atomic<int64_t> publishes_{0};
+  std::atomic<int64_t> publish_failed_{0};
+  std::atomic<int64_t> refines_{0};
+  std::atomic<int64_t> refine_failed_{0};
 };
 
 /// Tuning knobs for RequestBatcher.
@@ -122,6 +158,21 @@ struct RequestBatcherOptions {
   /// microseconds and then goes quiet; waiting further only adds
   /// latency. 0 disables (wait for full or deadline).
   int64_t idle_close_us = 20;
+  /// Backpressure: upper bound on queries admitted but not yet answered
+  /// (queued in an open batch or in a batch being scanned). At the
+  /// bound, Assign sheds the query with kUnavailable instead of letting
+  /// the backlog — and therefore every caller's latency — grow without
+  /// limit. 0 disables (admit everything; the pre-backpressure
+  /// behavior).
+  int64_t max_pending = 0;
+  /// Deadline-aware admission: target end-to-end latency in
+  /// microseconds. A query is shed with kUnavailable when the batcher
+  /// estimates it cannot be answered within this budget — the estimate
+  /// is the coalescing delay plus an EWMA of recent batch scan times,
+  /// scaled by how many full batches are already queued ahead. Saying
+  /// "no" immediately beats saying "here is your answer, late": the
+  /// caller can retry, fall back, or shed its own load. 0 disables.
+  int64_t max_latency_us = 0;
 };
 
 /// Coalesces concurrent single-point Assign calls into batch-engine
@@ -142,16 +193,29 @@ class RequestBatcher {
   /// at most ~max_delay_us of coalescing plus one batched scan. Results
   /// are bitwise the unbatched AssignOne answers: the engine's per-pair
   /// values do not depend on which batch a point lands in.
-  NearestResult Assign(const double* point);
+  ///
+  /// Under overload (see RequestBatcherOptions::max_pending /
+  /// max_latency_us) the query may be shed instead: the call returns
+  /// kUnavailable immediately, without queuing, and the message carries
+  /// a retry-after-style hint ("retry in ~Nus") derived from the
+  /// current backlog. Admitted queries are always answered.
+  Result<NearestResult> Assign(const double* point);
 
   int64_t dim() const { return dim_; }
 
-  /// Telemetry (monotonic since construction).
+  /// Telemetry (monotonic since construction). queries = served + shed
+  /// once the batcher is quiescent; deadline_misses counts admitted
+  /// queries whose batch finished past max_latency_us anyway (the
+  /// admission estimate is a heuristic, so misses are possible — they
+  /// are telemetry for tuning, not a correctness signal).
   struct Stats {
-    int64_t queries = 0;        ///< Assign calls
-    int64_t batches = 0;        ///< engine passes flushed
-    int64_t batched_points = 0; ///< points across all flushed batches
-    int64_t largest_batch = 0;  ///< max coalesced batch size seen
+    int64_t queries = 0;          ///< Assign calls (admitted + shed)
+    int64_t batches = 0;          ///< engine passes flushed
+    int64_t batched_points = 0;   ///< points across all flushed batches
+    int64_t largest_batch = 0;    ///< max coalesced batch size seen
+    int64_t served = 0;           ///< queries answered with a result
+    int64_t shed = 0;             ///< queries rejected with kUnavailable
+    int64_t deadline_misses = 0;  ///< served but past max_latency_us
   };
   Stats stats() const;
 
@@ -164,7 +228,12 @@ class RequestBatcher {
     int64_t rows = 0;
     bool closed = false;  ///< no further joins (full or deadline)
     bool done = false;    ///< results ready for pickup
+    std::chrono::steady_clock::time_point opened;  ///< leader's join time
   };
+
+  /// Estimated microseconds until a query admitted now is answered;
+  /// also the retry hint quoted in shed errors. Callers hold mu_.
+  int64_t EstimatedLatencyUs() const;
 
   const ModelServer* server_;  // borrowed
   RequestBatcherOptions options_;
@@ -175,6 +244,8 @@ class RequestBatcher {
   std::condition_variable done_cv_;    ///< wakes followers when results land
   std::shared_ptr<Batch> open_;        ///< batch currently accepting joins
   Stats stats_;
+  int64_t pending_ = 0;       ///< admitted, not yet done (all batches)
+  int64_t ewma_scan_us_ = 0;  ///< smoothed batch scan time (0 until seen)
 };
 
 }  // namespace kmeansll::serving

@@ -28,7 +28,8 @@ TEST(MRComputeCostTest, MatchesSequentialCost) {
   auto gauss = MakeGauss(1500, 8, 120);
   MRContext ctx;
   ctx.num_partitions = 6;
-  double mr = MRComputeCost(gauss.data, gauss.true_centers, ctx);
+  double mr = MRComputeCost(gauss.data, gauss.true_centers, ctx)
+                  .ValueOrDie();
   double seq = ComputeCost(gauss.data, gauss.true_centers);
   EXPECT_NEAR(mr, seq, 1e-9 * (1 + seq));
 }
@@ -39,7 +40,8 @@ TEST(MRComputeCostTest, PartitionCountInvariant) {
   for (int64_t parts : {1, 3, 8, 17}) {
     MRContext ctx;
     ctx.num_partitions = parts;
-    double cost = MRComputeCost(gauss.data, gauss.true_centers, ctx);
+    double cost = MRComputeCost(gauss.data, gauss.true_centers, ctx)
+                      .ValueOrDie();
     if (parts == 1) {
       reference = cost;
     } else {
@@ -55,7 +57,7 @@ TEST(MRComputeCostTest, CountsJobAndPass) {
   MRContext ctx;
   ctx.num_partitions = 4;
   ctx.counters = &counters;
-  MRComputeCost(gauss.data, gauss.true_centers, ctx);
+  ASSERT_TRUE(MRComputeCost(gauss.data, gauss.true_centers, ctx).ok());
   EXPECT_EQ(counters.Get(mapreduce::kCounterJobs), 1);
   EXPECT_EQ(counters.Get(mapreduce::kCounterDataPasses), 1);
   EXPECT_EQ(counters.Get(mapreduce::kCounterMapTasks), 4);

@@ -180,7 +180,7 @@ TEST(RequestBatcherTest, BatchedResultsBitwiseMatchUnbatched) {
     workers.emplace_back([&, t] {
       for (int64_t i = t; i < data.n(); i += kThreads) {
         results[static_cast<size_t>(t)].push_back(
-            batcher.Assign(data.points().Row(i)));
+            batcher.Assign(data.points().Row(i)).ValueOrDie());
       }
     });
   }
@@ -201,6 +201,111 @@ TEST(RequestBatcherTest, BatchedResultsBitwiseMatchUnbatched) {
   EXPECT_EQ(stats.batched_points, s.n);
   EXPECT_GE(stats.batches, 1);
   EXPECT_LE(stats.largest_batch, options.max_batch);
+  // Defaults disable admission control: everything is admitted/served.
+  EXPECT_EQ(stats.served, s.n);
+  EXPECT_EQ(stats.shed, 0);
+}
+
+TEST(RequestBatcherTest, ShedsAtMaxPendingWithUnavailable) {
+  const int64_t d = 8;
+  Matrix centers = RandomMatrix(4, d, 1212, 2.0);
+  ModelServer server(CenterIndex::Build(centers));
+
+  RequestBatcherOptions options;
+  options.max_batch = 2;
+  options.max_delay_us = 200000;  // leader parks long enough to observe
+  options.idle_close_us = 0;      // no quiescence flush: deterministic
+  options.max_pending = 1;
+  RequestBatcher batcher(&server, options);
+
+  Matrix probes = RandomMatrix(2, d, 1313, 2.0);
+  // The leader occupies the single pending slot and waits for a
+  // follower that is never admitted.
+  std::thread leader([&] {
+    Result<NearestResult> r = batcher.Assign(probes.Row(0));
+    ASSERT_TRUE(r.ok());
+    NearestResult expected = server.Acquire()->AssignOne(probes.Row(0));
+    EXPECT_EQ(r.ValueOrDie().index, expected.index);
+    EXPECT_EQ(r.ValueOrDie().distance2, expected.distance2);
+  });
+  while (batcher.stats().queries < 1) std::this_thread::yield();
+
+  Result<NearestResult> shed = batcher.Assign(probes.Row(1));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsUnavailable());
+  EXPECT_NE(shed.status().message().find("retry in ~"),
+            std::string::npos);
+  leader.join();
+
+  RequestBatcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.queries, 2);
+  EXPECT_EQ(stats.served, 1);
+  EXPECT_EQ(stats.shed, 1);
+}
+
+TEST(RequestBatcherTest, DeadlineAdmissionShedsUnmeetableTarget) {
+  Matrix centers = RandomMatrix(4, 8, 1414, 2.0);
+  ModelServer server(CenterIndex::Build(centers));
+
+  // The coalescing delay alone exceeds the latency target, so admission
+  // can prove up front that the deadline is unmeetable.
+  RequestBatcherOptions options;
+  options.max_delay_us = 500;
+  options.max_latency_us = 100;
+  RequestBatcher batcher(&server, options);
+
+  Matrix probe = RandomMatrix(1, 8, 1515, 2.0);
+  Result<NearestResult> shed = batcher.Assign(probe.Row(0));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsUnavailable());
+  EXPECT_EQ(batcher.stats().shed, 1);
+  EXPECT_EQ(batcher.stats().served, 0);
+}
+
+TEST(RequestBatcherTest, OverloadShedsCleanlyUnderConcurrency) {
+  const int64_t d = 16;
+  Matrix centers = RandomMatrix(6, d, 1616, 2.0);
+  ModelServer server(CenterIndex::Build(centers));
+  auto index = server.Acquire();
+
+  RequestBatcherOptions options;
+  options.max_batch = 4;
+  options.max_delay_us = 100;
+  options.max_pending = 4;
+  RequestBatcher batcher(&server, options);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  Dataset probes(RandomMatrix(64, d, 1717, 2.0));
+  std::atomic<int64_t> served{0};
+  std::atomic<int64_t> shed{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int64_t row = (t * kPerThread + i) % probes.n();
+        Result<NearestResult> r = batcher.Assign(probes.points().Row(row));
+        if (!r.ok()) {
+          // Shed queries fail soft: kUnavailable, never a wrong answer.
+          EXPECT_TRUE(r.status().IsUnavailable());
+          shed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        NearestResult expected = index->AssignOne(probes.points().Row(row));
+        EXPECT_EQ(r.ValueOrDie().index, expected.index);
+        EXPECT_EQ(r.ValueOrDie().distance2, expected.distance2);
+        served.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  RequestBatcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.queries, kThreads * kPerThread);
+  EXPECT_EQ(stats.served, served.load());
+  EXPECT_EQ(stats.shed, shed.load());
+  EXPECT_EQ(stats.served + stats.shed, stats.queries);
+  EXPECT_EQ(stats.batched_points, stats.served);
 }
 
 TEST(ModelServerTest, HotSwapIsConsistentUnderConcurrentReaders) {
@@ -268,6 +373,88 @@ TEST(ModelServerTest, PublishValidates) {
   EXPECT_TRUE(server.Publish(CenterIndex::Build(RandomMatrix(4, 9, 557)))
                   .IsInvalidArgument());
   EXPECT_EQ(server.Acquire()->k(), 9);
+
+  ModelServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.publishes, 1);
+  EXPECT_EQ(stats.publish_failed, 2);
+}
+
+TEST(ModelServerTest, PublishFromFileSwapsValidArtifact) {
+  const int64_t d = 10;
+  Matrix centers_a = RandomMatrix(5, d, 1818, 2.0);
+  Matrix centers_b = RandomMatrix(7, d, 1919, 2.0);
+  ModelServer server(CenterIndex::Build(centers_a, /*version=*/4));
+
+  const std::string path = ::testing::TempDir() + "/publish_ok.kmm";
+  ASSERT_TRUE(data::SaveModel(
+                  data::MakeModelArtifact(centers_b, data::ModelMetadata{}),
+                  path)
+                  .ok());
+  ASSERT_TRUE(server.PublishFromFile(path).ok());
+  EXPECT_EQ(server.Acquire()->k(), 7);
+  EXPECT_EQ(server.Acquire()->version(), 5u);
+  EXPECT_EQ(server.stats().publishes, 1);
+  std::remove(path.c_str());
+}
+
+TEST(ModelServerTest, CorruptArtifactNeverTearsTheServedSnapshot) {
+  const int64_t d = 10;
+  Matrix centers_a = RandomMatrix(5, d, 2020, 2.0);
+  Matrix centers_b = RandomMatrix(7, d, 2121, 2.0);
+  Dataset probes(RandomMatrix(32, d, 2222, 2.0));
+  ModelServer server(CenterIndex::Build(centers_a, /*version=*/4));
+  Assignment expected = server.Acquire()->AssignBatch(probes);
+
+  const std::string path = ::testing::TempDir() + "/publish_torn.kmm";
+  ASSERT_TRUE(data::SaveModel(
+                  data::MakeModelArtifact(centers_b, data::ModelMetadata{}),
+                  path)
+                  .ok());
+  // Flip one byte mid-file: the artifact still opens but fails its CRC —
+  // exactly what an interrupted or bit-rotted write looks like.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 64, SEEK_SET), 0);
+    int byte = std::fgetc(f);
+    ASSERT_NE(byte, EOF);
+    ASSERT_EQ(std::fseek(f, 64, SEEK_SET), 0);
+    std::fputc(byte ^ 0xFF, f);
+    std::fclose(f);
+  }
+
+  Status publish = server.PublishFromFile(path);
+  EXPECT_FALSE(publish.ok());
+  EXPECT_EQ(server.stats().publish_failed, 1);
+  EXPECT_EQ(server.stats().publishes, 0);
+
+  // Missing file degrades the same way.
+  EXPECT_FALSE(
+      server.PublishFromFile(path + ".does_not_exist").ok());
+  EXPECT_EQ(server.stats().publish_failed, 2);
+
+  // A dimension-mismatched (but internally valid) artifact is refused
+  // by Publish itself.
+  const std::string mismatched = ::testing::TempDir() + "/publish_dim.kmm";
+  ASSERT_TRUE(data::SaveModel(data::MakeModelArtifact(
+                                  RandomMatrix(3, d + 2, 2323, 2.0),
+                                  data::ModelMetadata{}),
+                              mismatched)
+                  .ok());
+  EXPECT_TRUE(server.PublishFromFile(mismatched).IsInvalidArgument());
+  EXPECT_EQ(server.stats().publish_failed, 3);
+
+  // Through every failed swap the served snapshot stayed whole: same
+  // version, same k, bitwise the same answers.
+  auto snapshot = server.Acquire();
+  EXPECT_EQ(snapshot->version(), 4u);
+  EXPECT_EQ(snapshot->k(), 5);
+  Assignment got = snapshot->AssignBatch(probes);
+  EXPECT_EQ(got.cluster, expected.cluster);
+  EXPECT_EQ(got.cost, expected.cost);
+
+  std::remove(path.c_str());
+  std::remove(mismatched.c_str());
 }
 
 TEST(ModelServerTest, RefineWithMiniBatchPublishesNextVersion) {

@@ -478,8 +478,8 @@ TEST(ShardEquivalenceTest, MapReduceDriversBitwiseIdentical) {
   MRContext mem_ctx{.num_partitions = 5, .pool = &pool};
   MRContext shard_ctx{.num_partitions = 5, .pool = &pool};
 
-  EXPECT_EQ(MRComputeCost(*c.sharded, centers, shard_ctx),
-            MRComputeCost(c.data, centers, mem_ctx));
+  EXPECT_EQ(MRComputeCost(*c.sharded, centers, shard_ctx).ValueOrDie(),
+            MRComputeCost(c.data, centers, mem_ctx).ValueOrDie());
 
   KMeansLLOptions options;
   options.rounds = 3;
