@@ -1,0 +1,527 @@
+// Multi-tenant serving workload harness: YCSB-style skewed, mixed
+// operation streams against serving::ServerRegistry, modeled on
+// BonsaiKV's evaluation scheme (SNIPPETS.md §3 — skewed zipf datasets,
+// mixed op ratios, thread-scaling tables).
+//
+// Two modes:
+//
+//   * Bench mode (default; run a Release build): for each thread count
+//     in --threads, builds a fresh registry of --models tenants
+//     (k = --k, d = --d each), drives --ops operations split across the
+//     threads — each thread replaying its own deterministic
+//     WorkloadGenerator stream with zipf model-skew (--model_theta) and
+//     query-skew (--query_theta) and an assign/topm/bulk mix — while an
+//     optional publisher thread (--churn, default on) continuously
+//     republishes the hottest model, and prints a thread-scaling table
+//     (QPS, per-model p50/p95/p99 from the registry's tear-free
+//     histogram snapshots, shed counts, publish counts) plus a
+//     per-model breakdown at the highest thread count. Tables mirror to
+//     bench/out/*.tsv.
+//
+//   * --smoke (run under ctest, any build type): deterministic
+//     correctness gates with EXACT counts — generator replay is
+//     bitwise, a single-threaded mixed run must serve every operation
+//     (exact per-tenant served/topm/bulk accounting, zero sheds,
+//     answers bitwise vs AssignOne), and a deterministically overloaded
+//     tenant must shed EXACTLY its over-limit queries while a cold
+//     tenant runs shed-free and a publish to the cold tenant leaves the
+//     overloaded tenant's snapshot pointer and version untouched.
+//     Violations exit(1) so ctest reports FAIL, never a silent skip.
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "eval/args.h"
+#include "eval/table.h"
+#include "matrix/dataset_view.h"
+#include "matrix/matrix.h"
+#include "rng/rng.h"
+#include "serving/center_index.h"
+#include "serving/model_server.h"
+#include "serving/server_registry.h"
+#include "serving/workload.h"
+
+namespace kmeansll {
+namespace {
+
+using serving::CenterIndex;
+using serving::RequestBatcherOptions;
+using serving::ServerRegistry;
+using serving::TenantOptions;
+using serving::WorkloadGenerator;
+using serving::WorkloadOp;
+using serving::WorkloadOpType;
+using serving::WorkloadSpec;
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, uint64_t seed) {
+  rng::Rng rng(seed);
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = rng.NextGaussian();
+  return m;
+}
+
+std::string ModelName(int64_t rank) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "model-%03" PRId64, rank);
+  return std::string(buf);
+}
+
+[[noreturn]] void Fail(const char* what) {
+  std::fprintf(stderr, "FATAL: %s\n", what);
+  std::exit(1);
+}
+
+void Expect(bool ok, const char* what) {
+  if (!ok) Fail(what);
+}
+
+// Builds a registry of `num_models` tenants with per-model centers
+// (seeded by rank, so every run and every thread count serves identical
+// models) and returns it. Rank 0 is the zipf-hottest tenant.
+std::unique_ptr<ServerRegistry> BuildRegistry(
+    int64_t num_models, int64_t k, int64_t d,
+    const RequestBatcherOptions& batcher) {
+  auto registry = std::make_unique<ServerRegistry>();
+  for (int64_t m = 0; m < num_models; ++m) {
+    TenantOptions options;
+    options.batcher = batcher;
+    const Status st = registry->Register(
+        ModelName(m),
+        CenterIndex::Build(RandomMatrix(k, d, 1000 + (uint64_t)m),
+                           /*version=*/1),
+        options);
+    if (!st.ok()) Fail(st.message().c_str());
+  }
+  return registry;
+}
+
+struct LoadResult {
+  double elapsed_s = 0;
+  int64_t served = 0;  ///< successful ops of every kind
+  int64_t shed = 0;
+  int64_t publishes = 0;
+};
+
+// Drives `ops_total` operations (split evenly across `threads` worker
+// threads, each replaying WorkloadGenerator(spec, t)) against the
+// registry. With `churn`, a publisher thread republishes the hottest
+// model continuously — the swap-under-load regime the RCU snapshot path
+// is built for.
+LoadResult RunLoad(ServerRegistry& registry, const WorkloadSpec& spec,
+                   const Matrix& pool, int64_t threads, int64_t ops_total,
+                   bool churn, int64_t k, int64_t d) {
+  std::atomic<int64_t> served{0};
+  std::atomic<int64_t> shed{0};
+  std::atomic<bool> stop_churn{false};
+  std::atomic<int64_t> publishes{0};
+
+  std::thread publisher;
+  if (churn) {
+    publisher = std::thread([&] {
+      // Rebuild-and-swap the hot tenant as fast as Build allows; every
+      // publish is a full panel pack + norm pass off the read path.
+      const Matrix next = RandomMatrix(k, d, 4242);
+      uint64_t version = 2;
+      while (!stop_churn.load(std::memory_order_relaxed)) {
+        if (!registry.Publish(ModelName(0),
+                              CenterIndex::Build(next, version++))
+                 .ok()) {
+          Fail("publish churn failed");
+        }
+        publishes.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  const int64_t per_thread = ops_total / threads;
+  WallTimer timer;
+  std::vector<std::thread> workers;
+  for (int64_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      WorkloadGenerator gen(spec, static_cast<uint64_t>(t));
+      std::vector<int32_t> topm_idx;
+      std::vector<double> topm_d2;
+      for (int64_t i = 0; i < per_thread; ++i) {
+        const WorkloadOp op = gen.Next();
+        const std::string name = ModelName(op.model);
+        switch (op.type) {
+          case WorkloadOpType::kAssignOne: {
+            Result<NearestResult> r = registry.Assign(name, pool.Row(op.row));
+            if (r.ok()) {
+              served.fetch_add(1, std::memory_order_relaxed);
+            } else if (r.status().IsUnavailable()) {
+              shed.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              Fail(r.status().message().c_str());
+            }
+            break;
+          }
+          case WorkloadOpType::kAssignTopM: {
+            Result<int64_t> r = registry.AssignTopM(
+                name, pool.Row(op.row), spec.top_m, &topm_idx, &topm_d2);
+            if (!r.ok()) Fail(r.status().message().c_str());
+            served.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          case WorkloadOpType::kBulk: {
+            const int64_t start = std::min<int64_t>(
+                op.row, pool.rows() - spec.bulk_rows);
+            InMemorySource block(
+                ConstMatrixView(pool.Row(std::max<int64_t>(start, 0)),
+                                std::min(spec.bulk_rows, pool.rows()),
+                                pool.cols()),
+                /*weights=*/nullptr, /*labels=*/nullptr);
+            Result<Assignment> r = registry.AssignBulk(name, block);
+            if (!r.ok()) Fail(r.status().message().c_str());
+            served.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  LoadResult out;
+  out.elapsed_s = timer.ElapsedSeconds();
+  stop_churn.store(true, std::memory_order_relaxed);
+  if (publisher.joinable()) publisher.join();
+  out.served = served.load();
+  out.shed = shed.load();
+  out.publishes = publishes.load();
+  return out;
+}
+
+// --- Bench mode ----------------------------------------------------------
+
+int RunBench(const eval::Args& args) {
+  const int64_t models = args.GetInt("models", 8);
+  const int64_t k = args.GetInt("k", 1024);
+  const int64_t d = args.GetInt("d", 64);
+  const int64_t ops = args.GetInt("ops", 64000);
+  const int64_t pool_rows = args.GetInt("queries", 4096);
+  const bool churn = args.GetBool("churn", true);
+
+  WorkloadSpec spec;
+  spec.num_models = models;
+  spec.model_theta = args.GetDouble("model_theta", 0.99);
+  spec.query_pool = pool_rows;
+  spec.query_theta = args.GetDouble("query_theta", 0.8);
+  spec.mix.assign_one = args.GetDouble("assign", 0.90);
+  spec.mix.top_m = args.GetDouble("topm", 0.05);
+  spec.mix.bulk = args.GetDouble("bulk", 0.05);
+  spec.top_m = args.GetInt("m", 4);
+  spec.bulk_rows = args.GetInt("bulk_rows", 256);
+  spec.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+
+  const Matrix pool = RandomMatrix(pool_rows, d, 77);
+  RequestBatcherOptions batcher;
+  batcher.max_batch = args.GetInt("max_batch", 64);
+  batcher.max_delay_us = args.GetInt("max_delay_us", 200);
+  batcher.adaptive_batch = args.GetBool("adaptive", true);
+  batcher.max_pending = args.GetInt("max_pending", 0);
+  batcher.max_latency_us = args.GetInt("max_latency_us", 0);
+
+  std::printf(
+      "workload_harness: %" PRId64 " models, k=%" PRId64 " d=%" PRId64
+      ", %" PRId64 " ops, model_theta=%.2f query_theta=%.2f "
+      "mix=%.2f/%.2f/%.2f churn=%d adaptive=%d\n\n",
+      models, k, d, ops, spec.model_theta, spec.query_theta,
+      spec.mix.assign_one, spec.mix.top_m, spec.mix.bulk, churn ? 1 : 0,
+      batcher.adaptive_batch ? 1 : 0);
+
+  eval::TablePrinter scaling(
+      {"threads", "elapsed_s", "qps", "served", "shed", "publishes",
+       "hot_p50_us", "hot_p95_us", "hot_p99_us"});
+
+  std::vector<int64_t> thread_counts;
+  {
+    // --threads=8 runs {1,2,4,8}; --threads_exact=N runs just N.
+    const int64_t max_threads = args.GetInt("threads", 8);
+    if (args.Has("threads_exact")) {
+      thread_counts.push_back(args.GetInt("threads_exact", 1));
+    } else {
+      for (int64_t t = 1; t <= max_threads; t *= 2) {
+        thread_counts.push_back(t);
+      }
+    }
+  }
+
+  ServerRegistry* last_registry = nullptr;
+  std::unique_ptr<ServerRegistry> keep_alive;
+  for (const int64_t threads : thread_counts) {
+    keep_alive = BuildRegistry(models, k, d, batcher);
+    last_registry = keep_alive.get();
+    const LoadResult r =
+        RunLoad(*keep_alive, spec, pool, threads, ops, churn, k, d);
+    const auto hot = keep_alive->stats(ModelName(0));
+    if (!hot.ok()) Fail("missing hot-model stats");
+    const auto& lat = hot.ValueOrDie().latency;
+    scaling.AddRow({eval::CellInt(threads), eval::Cell(r.elapsed_s),
+                    eval::CellInt(static_cast<int64_t>(
+                        static_cast<double>(r.served) / r.elapsed_s)),
+                    eval::CellInt(r.served), eval::CellInt(r.shed),
+                    eval::CellInt(r.publishes),
+                    eval::CellInt(lat.PercentileValue(50.0)),
+                    eval::CellInt(lat.PercentileValue(95.0)),
+                    eval::CellInt(lat.PercentileValue(99.0))});
+  }
+  std::printf("Thread scaling (total ops fixed; zipf skew):\n");
+  scaling.Print(std::cout);
+  (void)scaling.WriteTsv(eval::TsvOutputPath("workload_scaling"));
+
+  // Per-model breakdown at the last (highest) thread count: the zipf
+  // skew should be visible as a hot head and a cold tail.
+  eval::TablePrinter breakdown(
+      {"model", "assign", "topm", "bulk_ops", "shed", "p50_us", "p95_us",
+       "p99_us", "max_us", "publishes"});
+  for (int64_t m = 0; m < models; ++m) {
+    const auto st = last_registry->stats(ModelName(m));
+    if (!st.ok()) Fail("missing model stats");
+    const ServerRegistry::TenantStats& s = st.ValueOrDie();
+    breakdown.AddRow(
+        {ModelName(m), eval::CellInt(s.batcher.served),
+         eval::CellInt(s.topm_queries), eval::CellInt(s.bulk_queries),
+         eval::CellInt(s.batcher.shed),
+         eval::CellInt(s.latency.PercentileValue(50.0)),
+         eval::CellInt(s.latency.PercentileValue(95.0)),
+         eval::CellInt(s.latency.PercentileValue(99.0)),
+         eval::CellInt(s.latency.max), eval::CellInt(s.server.publishes)});
+  }
+  std::printf("\nPer-model breakdown at %" PRId64 " threads:\n",
+              thread_counts.back());
+  breakdown.Print(std::cout);
+  (void)breakdown.WriteTsv(eval::TsvOutputPath("workload_models"));
+  return 0;
+}
+
+// --- Smoke mode ----------------------------------------------------------
+
+// Gate 1: the generator determinism contract, bitwise.
+void SmokeDeterminism() {
+  WorkloadSpec spec;
+  spec.num_models = 4;
+  spec.model_theta = 0.99;
+  spec.query_pool = 256;
+  spec.query_theta = 0.8;
+  spec.mix = {0.8, 0.1, 0.1};
+  spec.seed = 12345;
+  WorkloadGenerator a(spec, 0), b(spec, 0), other(spec, 1);
+  const std::vector<WorkloadOp> ops_a = a.Take(5000);
+  Expect(ops_a == b.Take(5000),
+         "same (seed, stream) must replay a bitwise-identical op stream");
+  Expect(ops_a != other.Take(5000),
+         "different stream_index must produce a different op stream");
+}
+
+// Gate 2: a single-threaded mixed run serves EVERY op with exact
+// per-tenant accounting and bitwise answers.
+void SmokeMixedServe() {
+  const int64_t models = 3, k = 16, d = 8, pool_rows = 64, ops = 2000;
+  WorkloadSpec spec;
+  spec.num_models = models;
+  spec.model_theta = 0.9;
+  spec.query_pool = pool_rows;
+  spec.query_theta = 0.5;
+  spec.mix = {0.8, 0.1, 0.1};
+  spec.top_m = 3;
+  spec.bulk_rows = 16;
+  spec.seed = 999;
+
+  RequestBatcherOptions batcher;  // no admission limits: nothing sheds
+  batcher.max_batch = 4;
+  batcher.max_delay_us = 50;
+  auto registry = BuildRegistry(models, k, d, batcher);
+  const Matrix pool = RandomMatrix(pool_rows, d, 77);
+
+  // Expected per-tenant op counts come from replaying the same stream.
+  std::vector<int64_t> want_assign(models, 0), want_topm(models, 0),
+      want_bulk(models, 0);
+  for (const WorkloadOp& op : WorkloadGenerator(spec, 0).Take(ops)) {
+    switch (op.type) {
+      case WorkloadOpType::kAssignOne: ++want_assign[op.model]; break;
+      case WorkloadOpType::kAssignTopM: ++want_topm[op.model]; break;
+      case WorkloadOpType::kBulk: ++want_bulk[op.model]; break;
+    }
+  }
+
+  std::vector<std::shared_ptr<const CenterIndex>> snapshots;
+  for (int64_t m = 0; m < models; ++m) {
+    snapshots.push_back(
+        registry->AcquireSnapshot(ModelName(m)).ValueOrDie());
+  }
+
+  WorkloadGenerator gen(spec, 0);
+  std::vector<int32_t> topm_idx;
+  std::vector<double> topm_d2;
+  for (int64_t i = 0; i < ops; ++i) {
+    const WorkloadOp op = gen.Next();
+    const std::string name = ModelName(op.model);
+    switch (op.type) {
+      case WorkloadOpType::kAssignOne: {
+        Result<NearestResult> r = registry->Assign(name, pool.Row(op.row));
+        Expect(r.ok(), "no-limit tenant must admit every query");
+        const NearestResult direct =
+            snapshots[op.model]->AssignOne(pool.Row(op.row));
+        Expect(r.ValueOrDie().index == direct.index &&
+                   r.ValueOrDie().distance2 == direct.distance2,
+               "routed answer must be bitwise AssignOne");
+        break;
+      }
+      case WorkloadOpType::kAssignTopM: {
+        Result<int64_t> r = registry->AssignTopM(
+            name, pool.Row(op.row), spec.top_m, &topm_idx, &topm_d2);
+        Expect(r.ok() && r.ValueOrDie() == spec.top_m,
+               "top-m must fill m slots");
+        const NearestResult direct =
+            snapshots[op.model]->AssignOne(pool.Row(op.row));
+        Expect(topm_idx[0] == direct.index &&
+                   topm_d2[0] == direct.distance2,
+               "top-m slot 0 must be bitwise AssignOne");
+        break;
+      }
+      case WorkloadOpType::kBulk: {
+        const int64_t start =
+            std::clamp<int64_t>(op.row, 0, pool_rows - spec.bulk_rows);
+        InMemorySource block(
+            ConstMatrixView(pool.Row(start), spec.bulk_rows, d), nullptr,
+            nullptr);
+        Result<Assignment> r = registry->AssignBulk(name, block);
+        Expect(r.ok(), "bulk op must succeed");
+        Expect(static_cast<int64_t>(r.ValueOrDie().cluster.size()) ==
+                   spec.bulk_rows,
+               "bulk result must cover every row");
+        break;
+      }
+    }
+  }
+
+  for (int64_t m = 0; m < models; ++m) {
+    const ServerRegistry::TenantStats s =
+        registry->stats(ModelName(m)).ValueOrDie();
+    Expect(s.batcher.queries == want_assign[m], "assign count mismatch");
+    Expect(s.batcher.served == want_assign[m], "served count mismatch");
+    Expect(s.batcher.shed == 0, "no-limit tenant must shed nothing");
+    Expect(s.topm_queries == want_topm[m], "topm count mismatch");
+    Expect(s.bulk_queries == want_bulk[m], "bulk count mismatch");
+    Expect(s.bulk_rows == want_bulk[m] * spec.bulk_rows,
+           "bulk row accounting mismatch");
+    Expect(s.latency.count == want_assign[m] + want_topm[m],
+           "latency histogram must hold every served assign/topm");
+  }
+}
+
+// Gate 3: deterministic overload — the hot tenant sheds EXACTLY its
+// over-limit queries, the cold tenant runs shed-free with bitwise
+// answers, and a publish to the cold tenant leaves the hot tenant's
+// snapshot pointer and version untouched.
+void SmokeOverloadIsolation() {
+  const int64_t k = 16, d = 8;
+  const int64_t kOverload = 40;
+
+  auto registry = std::make_unique<ServerRegistry>();
+  TenantOptions hot;
+  hot.batcher.max_batch = 2;
+  hot.batcher.max_delay_us = 300000;  // leader parks across the phase
+  hot.batcher.idle_close_us = 0;
+  hot.batcher.max_pending = 1;
+  Expect(registry
+             ->Register("hot", CenterIndex::Build(RandomMatrix(k, d, 1),
+                                                  /*version=*/1),
+                        hot)
+             .ok(),
+         "register hot");
+  Expect(registry
+             ->Register("cold", CenterIndex::Build(RandomMatrix(k, d, 2),
+                                                   /*version=*/1))
+             .ok(),
+         "register cold");
+
+  const Matrix pool = RandomMatrix(8, d, 3);
+  const auto hot_before = registry->AcquireSnapshot("hot").ValueOrDie();
+  const auto cold_snapshot = registry->AcquireSnapshot("cold").ValueOrDie();
+
+  // Park the hot tenant's leader: it occupies the single max_pending
+  // slot and waits out its (long) delay for a follower that admission
+  // control will never let in.
+  std::thread parked([&] {
+    Result<NearestResult> r = registry->Assign("hot", pool.Row(0));
+    Expect(r.ok(), "the admitted (parked) leader must be answered");
+  });
+  while (registry->stats("hot").ValueOrDie().batcher.queries < 1) {
+    std::this_thread::yield();
+  }
+
+  // Exactly kOverload over-limit queries to hot: every one sheds.
+  for (int64_t i = 0; i < kOverload; ++i) {
+    Result<NearestResult> r = registry->Assign("hot", pool.Row(i % 8));
+    Expect(!r.ok() && r.status().IsUnavailable(),
+           "over-limit hot query must shed kUnavailable");
+  }
+  // The same number of queries to cold: every one serves, bitwise.
+  for (int64_t i = 0; i < kOverload; ++i) {
+    Result<NearestResult> r = registry->Assign("cold", pool.Row(i % 8));
+    Expect(r.ok(), "cold tenant must be untouched by hot overload");
+    const NearestResult direct = cold_snapshot->AssignOne(pool.Row(i % 8));
+    Expect(r.ValueOrDie().index == direct.index &&
+               r.ValueOrDie().distance2 == direct.distance2,
+           "cold answers must stay bitwise under hot overload");
+  }
+
+  // Publish to cold while hot is overloaded: cold's version moves, the
+  // hot tenant's snapshot pointer and version do not.
+  Expect(registry
+             ->Publish("cold", CenterIndex::Build(RandomMatrix(k, d, 4),
+                                                  /*version=*/2))
+             .ok(),
+         "publish to cold under hot overload");
+  Expect(registry->AcquireSnapshot("cold").ValueOrDie()->version() == 2,
+         "cold publish must land");
+  const auto hot_after = registry->AcquireSnapshot("hot").ValueOrDie();
+  Expect(hot_after.get() == hot_before.get(),
+         "hot snapshot pointer must be untouched by cold publish");
+  Expect(hot_after->version() == 1, "hot version must be untouched");
+
+  parked.join();  // leader flushes at its deadline
+
+  const ServerRegistry::TenantStats hot_stats =
+      registry->stats("hot").ValueOrDie();
+  const ServerRegistry::TenantStats cold_stats =
+      registry->stats("cold").ValueOrDie();
+  Expect(hot_stats.batcher.queries == 1 + kOverload,
+         "hot query accounting");
+  Expect(hot_stats.batcher.served == 1, "hot must serve exactly the leader");
+  Expect(hot_stats.batcher.shed == kOverload,
+         "hot must shed exactly the over-limit queries");
+  Expect(cold_stats.batcher.queries == kOverload, "cold query accounting");
+  Expect(cold_stats.batcher.served == kOverload, "cold must serve all");
+  Expect(cold_stats.batcher.shed == 0, "cold must shed nothing");
+  Expect(cold_stats.server.publishes == 1, "cold publish accounting");
+  Expect(hot_stats.server.publishes == 0, "hot publish accounting");
+}
+
+int RunSmoke() {
+  SmokeDeterminism();
+  SmokeMixedServe();
+  SmokeOverloadIsolation();
+  std::printf("workload_harness --smoke: all gates passed\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kmeansll
+
+int main(int argc, char** argv) {
+  kmeansll::eval::Args args(argc, argv);
+  if (args.GetBool("smoke", false)) return kmeansll::RunSmoke();
+  return kmeansll::RunBench(args);
+}

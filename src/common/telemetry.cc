@@ -1,0 +1,73 @@
+#include "common/telemetry.h"
+
+#include <bit>
+
+namespace kmeansll {
+
+int LatencyHistogram::BucketFor(int64_t value) {
+  if (value < 0) value = 0;
+  if (value < kLinearMax) return static_cast<int>(value);
+  // exp = floor(log2(value)) >= kSubBits + 1; the top kSubBits bits
+  // below the leading bit pick the linear sub-bucket within the octave.
+  const int exp = 63 - std::countl_zero(static_cast<uint64_t>(value));
+  const int sub =
+      static_cast<int>((value >> (exp - kSubBits)) & (kSub - 1));
+  return static_cast<int>(kLinearMax) + (exp - kSubBits - 1) * kSub + sub;
+}
+
+int64_t LatencyHistogram::BucketUpperBound(int b) {
+  KMEANSLL_DCHECK(b >= 0 && b < kNumBuckets);
+  if (b < kLinearMax) return b;
+  const int rel = b - static_cast<int>(kLinearMax);
+  const int exp = kSubBits + 1 + rel / kSub;
+  const int sub = rel % kSub;
+  const int64_t width = int64_t{1} << (exp - kSubBits);
+  const int64_t lower = (int64_t{kSub} + sub) << (exp - kSubBits);
+  return lower + width - 1;
+}
+
+void LatencyHistogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[static_cast<size_t>(BucketFor(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  out.max = max_.load(std::memory_order_relaxed);
+  for (int b = 0; b < kNumBuckets; ++b) {
+    out.buckets[static_cast<size_t>(b)] =
+        buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+int64_t LatencyHistogram::Snapshot::PercentileValue(double p) const {
+  if (count <= 0) return 0;
+  if (p <= 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the requested sample, 1-based: ceil(p/100 * count), at
+  // least 1 so p -> 0 degenerates to the minimum.
+  int64_t rank = static_cast<int64_t>(p / 100.0 * static_cast<double>(count));
+  if (static_cast<double>(rank) * 100.0 < p * static_cast<double>(count)) {
+    ++rank;
+  }
+  if (rank < 1) rank = 1;
+  int64_t cumulative = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    cumulative += buckets[static_cast<size_t>(b)];
+    if (cumulative >= rank) return BucketUpperBound(b);
+  }
+  return max;  // count raced ahead of the bucket cells; report the max
+}
+
+}  // namespace kmeansll

@@ -1,0 +1,96 @@
+// Lock-free telemetry cells for the serving and storage layers.
+//
+// LatencyHistogram is the latency-percentile sibling of the IoStats
+// atomic-cell pattern (data/shard_store.h): every bucket is an
+// independent relaxed atomic, Record() is wait-free (one bucket
+// increment plus three counter updates, no mutex anywhere), and
+// snapshot() samples each cell individually — a concurrent snapshot can
+// never tear a single field, though cross-field invariants may be off by
+// an in-flight update (count and a bucket may momentarily disagree by
+// one). That is exactly the contract a per-model QPS/latency readout
+// needs when dozens of serving threads record while a stats scraper
+// reads: readers cost the recorders nothing.
+//
+// The bucket layout is a fixed logarithmic grid with linear sub-buckets
+// (an HdrHistogram-style scheme, sized for microsecond latencies):
+// values below 2^(kSubBits+1) get exact one-per-value buckets, and every
+// octave above is split into 2^kSubBits linear sub-buckets, so the
+// relative quantization error of any reported percentile is bounded by
+// 1/2^kSubBits (12.5% at kSubBits = 3) across the full int64 range. A
+// histogram is ~4 KB of cells — cheap enough to keep one per tenant —
+// and needs no per-recording allocation, calibration, or merge step, all
+// of which rules out the fancier t-digest for this use (we care about
+// tail buckets, fixed memory, and wait-free recording, not arbitrary
+// quantile resolution).
+
+#ifndef KMEANSLL_COMMON_TELEMETRY_H_
+#define KMEANSLL_COMMON_TELEMETRY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace kmeansll {
+
+/// Fixed-bucket concurrent histogram of non-negative int64 samples
+/// (conventionally microseconds). Record() is wait-free and safe from
+/// any number of threads; snapshot() is lock-free and per-cell
+/// consistent. Percentile queries report the upper bound of the bucket
+/// containing the requested rank, so reported percentiles are
+/// conservative (never below the true sample) and within 12.5% of it.
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per octave = 2^kSubBits; bounds the relative
+  /// quantization error of percentiles at 1/2^kSubBits.
+  static constexpr int kSubBits = 3;
+  static constexpr int kSub = 1 << kSubBits;
+  /// Exact one-per-value buckets for values in [0, kLinearMax).
+  static constexpr int64_t kLinearMax = kSub * 2;
+  /// One group of kSub buckets per octave from exponent kSubBits+1 up to
+  /// 62 (int64 max), after the linear region.
+  static constexpr int kNumBuckets =
+      static_cast<int>(kLinearMax) + (62 - kSubBits) * kSub;
+
+  LatencyHistogram() = default;
+  KMEANSLL_DISALLOW_COPY_AND_ASSIGN(LatencyHistogram);
+
+  /// Records one sample (negative values clamp to 0). Wait-free.
+  void Record(int64_t value);
+
+  /// Bucket index for `value`; exposed for the unit tests' monotonicity
+  /// and boundary checks.
+  static int BucketFor(int64_t value);
+  /// Largest value mapping to bucket `b` (the value a percentile query
+  /// landing in `b` reports).
+  static int64_t BucketUpperBound(int b);
+
+  /// A tear-free-per-cell copy of the histogram state.
+  struct Snapshot {
+    int64_t count = 0;  ///< samples recorded
+    int64_t sum = 0;    ///< sum of recorded values (mean = sum/count)
+    int64_t max = 0;    ///< largest value recorded
+    std::array<int64_t, kNumBuckets> buckets{};
+
+    /// Value at the `p`-th percentile (0 < p <= 100): the upper bound of
+    /// the bucket holding the ceil(p/100 * count)-th smallest sample.
+    /// Returns 0 on an empty snapshot.
+    int64_t PercentileValue(double p) const;
+    double MeanValue() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+  };
+  Snapshot snapshot() const;
+
+ private:
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+};
+
+}  // namespace kmeansll
+
+#endif  // KMEANSLL_COMMON_TELEMETRY_H_

@@ -31,6 +31,7 @@ enum class StreamPurpose : uint64_t {
   kLloydRepair = 6,
   kPartitionGroup = 7,
   kTrial = 8,
+  kWorkload = 9,
 };
 
 /// xoshiro256** stream with convenience draws. Copyable (copies fork the

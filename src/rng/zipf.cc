@@ -1,0 +1,52 @@
+#include "rng/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace kmeansll::rng {
+
+namespace {
+double Zeta(int64_t n, double theta) {
+  double sum = 0.0;
+  for (int64_t i = 1; i <= n; ++i) {
+    sum += std::pow(1.0 / static_cast<double>(i), theta);
+  }
+  return sum;
+}
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(int64_t n, double theta)
+    : n_(n), theta_(theta) {
+  KMEANSLL_CHECK_GE(n, 1);
+  KMEANSLL_CHECK_GE(theta, 0.0);
+  KMEANSLL_CHECK_LT(theta, 1.0);
+  alpha_ = 1.0 / (1.0 - theta_);
+  zetan_ = Zeta(n_, theta_);
+  half_pow_ = std::pow(0.5, theta_);
+  // eta degenerates at n == 1 (the only draw is rank 0 regardless).
+  eta_ = n_ == 1 ? 0.0
+                 : (1.0 - std::pow(2.0 / static_cast<double>(n_),
+                                   1.0 - theta_)) /
+                       (1.0 - Zeta(2, theta_) / zetan_);
+}
+
+int64_t ZipfGenerator::Next(Rng& rng) const {
+  const double u = rng.NextDouble();
+  if (n_ == 1) return 0;
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + half_pow_) return 1;
+  const auto rank = static_cast<int64_t>(
+      static_cast<double>(n_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return std::clamp<int64_t>(rank, 0, n_ - 1);
+}
+
+double ZipfGenerator::ItemProbability(int64_t rank) const {
+  KMEANSLL_DCHECK(rank >= 0 && rank < n_);
+  return std::pow(1.0 / static_cast<double>(rank + 1), theta_) / zetan_;
+}
+
+}  // namespace kmeansll::rng

@@ -1,0 +1,55 @@
+// Seeded zipfian rank sampling for skewed-workload generation.
+//
+// ZipfGenerator draws ranks in [0, n) with P(rank r) proportional to
+// 1/(r+1)^theta — rank 0 is the hottest item — using the classic
+// Gray et al. rejection-free inversion (the algorithm YCSB's
+// ZipfianGenerator uses): the zeta normalizer and the inversion
+// constants are precomputed once at construction, so Next() is two
+// pow() calls per draw and consumes exactly one uniform from the
+// caller's Rng. Determinism therefore composes with the library's rng
+// contract: the sampled rank sequence is a pure function of the Rng
+// stream, so seeded workloads replay bitwise (the workload harness and
+// tests/workload_test.cc rely on this).
+//
+// theta = 0 degenerates to the uniform distribution; theta in
+// [0.9, 0.99] is the YCSB-conventional "skewed" range (at theta = 0.99
+// and n = 100 the hottest rank alone carries ~19% of the draws).
+// theta >= 1 is rejected (the inversion constants diverge).
+
+#ifndef KMEANSLL_RNG_ZIPF_H_
+#define KMEANSLL_RNG_ZIPF_H_
+
+#include <cstdint>
+
+#include "rng/rng.h"
+
+namespace kmeansll::rng {
+
+class ZipfGenerator {
+ public:
+  /// Precomputes the inversion constants for `n` items (n >= 1) with
+  /// skew `theta` in [0, 1). O(n) once, for the zeta sum.
+  ZipfGenerator(int64_t n, double theta);
+
+  /// Draws one rank in [0, n); consumes exactly one uniform from `rng`.
+  int64_t Next(Rng& rng) const;
+
+  int64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// Exact model probability of `rank` (for statistical tests):
+  /// (1/(rank+1)^theta) / zeta(n, theta).
+  double ItemProbability(int64_t rank) const;
+
+ private:
+  int64_t n_;
+  double theta_;
+  double alpha_;     ///< 1 / (1 - theta)
+  double zetan_;     ///< sum_{i=1..n} 1/i^theta
+  double eta_;       ///< inversion constant (Gray et al.)
+  double half_pow_;  ///< 0.5^theta, the rank-1 branch threshold
+};
+
+}  // namespace kmeansll::rng
+
+#endif  // KMEANSLL_RNG_ZIPF_H_

@@ -111,7 +111,28 @@ RequestBatcher::RequestBatcher(const ModelServer* server,
   KMEANSLL_CHECK_GE(options_.idle_close_us, 0);
   KMEANSLL_CHECK_GE(options_.max_pending, 0);
   KMEANSLL_CHECK_GE(options_.max_latency_us, 0);
+  KMEANSLL_CHECK_GE(options_.min_batch, 1);
+  KMEANSLL_CHECK_LE(options_.min_batch, options_.max_batch);
   dim_ = server_->Acquire()->dim();
+}
+
+RequestBatcher::~RequestBatcher() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutdown_ = true;
+  leader_cv_.notify_all();
+  // Every caller inside Assign holds a +1 on pending_ until it is fully
+  // done touching this object (leaders through their flush, followers
+  // through their wakeup), so pending_ == 0 means no thread can touch a
+  // member after we return and destruction proceeds.
+  drain_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void RequestBatcher::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  // A parked leader re-checks shutdown_ in its wait predicate and
+  // flushes what it has; there is nothing else to hand off.
+  leader_cv_.notify_all();
 }
 
 int64_t RequestBatcher::EstimatedLatencyUs() const {
@@ -121,6 +142,18 @@ int64_t RequestBatcher::EstimatedLatencyUs() const {
   const int64_t batches_ahead = pending_ / std::max<int64_t>(
       options_.max_batch, 1) + 1;
   return options_.max_delay_us + ewma_scan_us_ * batches_ahead;
+}
+
+int64_t RequestBatcher::EffectiveBatchLimit() const {
+  if (!options_.adaptive_batch || ewma_gap_ns_ <= 0) {
+    return options_.max_batch;
+  }
+  // Expected joins over the leader's wait window at the observed
+  // arrival rate, plus the leader itself. Gaps below 1us saturate to
+  // the ceiling (the +1 guards the division, not the clamp).
+  const int64_t expected =
+      options_.max_delay_us * 1000 / ewma_gap_ns_ + 1;
+  return std::clamp(expected, options_.min_batch, options_.max_batch);
 }
 
 Result<NearestResult> RequestBatcher::Assign(const double* point) {
@@ -133,6 +166,10 @@ Result<NearestResult> RequestBatcher::Assign(const double* point) {
     // Admission control: shed before touching any batch state, so a
     // rejected query costs the caller one mutex round-trip and nothing
     // else. See RequestBatcherOptions::{max_pending, max_latency_us}.
+    if (shutdown_) {
+      ++stats_.shed;
+      return Status::Unavailable("batcher is shut down");
+    }
     if (options_.max_pending > 0 && pending_ >= options_.max_pending) {
       ++stats_.shed;
       return Status::Unavailable(
@@ -151,18 +188,32 @@ Result<NearestResult> RequestBatcher::Assign(const double* point) {
           std::to_string(EstimatedLatencyUs()) + "us); retry in ~" +
           std::to_string(EstimatedLatencyUs()) + "us");
     }
+    const auto arrived = std::chrono::steady_clock::now();
+    if (options_.adaptive_batch) {
+      // Arrival-rate EWMA over admitted queries (1/4 weight on the
+      // newest gap, like the scan EWMA): feeds EffectiveBatchLimit.
+      if (last_arrival_.time_since_epoch().count() != 0) {
+        const int64_t gap_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                arrived - last_arrival_).count();
+        ewma_gap_ns_ =
+            ewma_gap_ns_ == 0 ? gap_ns : (3 * ewma_gap_ns_ + gap_ns) / 4;
+      }
+      last_arrival_ = arrived;
+    }
     if (open_ == nullptr) {
       open_ = std::make_shared<Batch>();
-      open_->points.reserve(
-          static_cast<size_t>(options_.max_batch * dim_));
-      open_->opened = std::chrono::steady_clock::now();
+      open_->limit = EffectiveBatchLimit();
+      open_->points.reserve(static_cast<size_t>(open_->limit * dim_));
+      open_->opened = arrived;
       leader = true;
     }
     batch = open_;
     slot = batch->rows++;
+    batch->last_join = arrived;
     batch->points.insert(batch->points.end(), point, point + dim_);
     ++pending_;
-    if (batch->rows >= options_.max_batch) {
+    if (batch->rows >= batch->limit) {
       // Full: stop accepting joins and wake the (possibly waiting)
       // leader so the flush happens now, not at the deadline.
       batch->closed = true;
@@ -172,34 +223,38 @@ Result<NearestResult> RequestBatcher::Assign(const double* point) {
 
     if (!leader) {
       done_cv_.wait(lock, [&] { return batch->done; });
+      // Last touch of this object: the -1 on pending_ is what lets the
+      // destructor proceed, so it must not happen before the result is
+      // (about to be) read — the batch itself stays alive through our
+      // shared_ptr either way.
+      if (--pending_ == 0) drain_cv_.notify_all();
       return batch->results[static_cast<size_t>(slot)];
     }
 
     // Leader: give followers up to max_delay_us to coalesce — the wait
-    // releases the lock, which is exactly what lets them join — but
-    // re-check every idle_close_us and flush early once joins go quiet
-    // (see RequestBatcherOptions::idle_close_us).
-    if (!batch->closed && options_.max_delay_us > 0) {
+    // releases the lock, which is exactly what lets them join — and
+    // flush early once the batch has been quiet for a full
+    // idle_close_us window (measured from the newest join, so an early
+    // or spurious wakeup re-arms the wait instead of closing a batch
+    // whose idle window never elapsed). Shutdown wakes the leader and
+    // flushes immediately: admitted queries are answered, not stranded
+    // behind a deadline nobody will extend.
+    if (!batch->closed && !shutdown_ && options_.max_delay_us > 0) {
       const auto deadline =
-          std::chrono::steady_clock::now() +
-          std::chrono::microseconds(options_.max_delay_us);
-      while (!batch->closed) {
-        const int64_t joined = batch->rows;
+          batch->opened + std::chrono::microseconds(options_.max_delay_us);
+      while (!batch->closed && !shutdown_) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) break;
         auto wake = deadline;
         if (options_.idle_close_us > 0) {
-          wake = std::min(
-              deadline, std::chrono::steady_clock::now() +
-                            std::chrono::microseconds(
-                                options_.idle_close_us));
+          const auto quiet_at =
+              batch->last_join +
+              std::chrono::microseconds(options_.idle_close_us);
+          if (now >= quiet_at) break;  // true elapsed quiescence
+          wake = std::min(deadline, quiet_at);
         }
-        leader_cv_.wait_until(lock, wake, [&] { return batch->closed; });
-        if (batch->closed ||
-            std::chrono::steady_clock::now() >= deadline) {
-          break;
-        }
-        if (options_.idle_close_us > 0 && batch->rows == joined) {
-          break;  // quiescent: nobody joined during the idle window
-        }
+        leader_cv_.wait_until(lock, wake,
+                              [&] { return batch->closed || shutdown_; });
       }
     }
     if (!batch->closed) {
@@ -247,7 +302,11 @@ Result<NearestResult> RequestBatcher::Assign(const double* point) {
         batch_us > options_.max_latency_us) {
       stats_.deadline_misses += rows;
     }
-    pending_ -= rows;
+    // pending_ counts callers still inside Assign, so the leader only
+    // retires itself here; each follower retires itself as it wakes.
+    // That makes pending_ == 0 a safe-to-destruct signal, not just a
+    // backlog gauge (see ~RequestBatcher).
+    if (--pending_ == 0) drain_cv_.notify_all();
     // EWMA with 1/4 weight on the newest scan: stable under jitter,
     // adapts within a few batches when load shifts.
     ewma_scan_us_ = ewma_scan_us_ == 0
@@ -260,7 +319,9 @@ Result<NearestResult> RequestBatcher::Assign(const double* point) {
 
 RequestBatcher::Stats RequestBatcher::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats out = stats_;
+  out.adaptive_batch_limit = EffectiveBatchLimit();
+  return out;
 }
 
 }  // namespace kmeansll::serving

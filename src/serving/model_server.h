@@ -156,8 +156,23 @@ struct RequestBatcherOptions {
   /// threads that all re-enter the batcher as soon as their previous
   /// query completes — the batch reaches the natural concurrency within
   /// microseconds and then goes quiet; waiting further only adds
-  /// latency. 0 disables (wait for full or deadline).
+  /// latency. The window is measured from the batch's most recent join
+  /// (a spurious or early leader wakeup re-arms the wait rather than
+  /// closing a batch whose idle window has not actually elapsed).
+  /// 0 disables (wait for full or deadline).
   int64_t idle_close_us = 20;
+  /// Adaptive sizing: when true, the batch-full threshold tracks the
+  /// observed arrival rate instead of sitting at max_batch. Each batch
+  /// opens with limit clamp(expected arrivals within max_delay_us,
+  /// min_batch, max_batch), where the expectation comes from an EWMA of
+  /// admitted inter-arrival gaps. Under light load batches close at the
+  /// handful of queries that will realistically coalesce (no pointless
+  /// tail-waiting); under heavy load the limit grows back to max_batch
+  /// and the engine gets full panels. max_batch stays the hard ceiling;
+  /// results are unaffected (batch splits never change per-pair values).
+  bool adaptive_batch = false;
+  /// Floor for the adaptive limit (only read when adaptive_batch).
+  int64_t min_batch = 1;
   /// Backpressure: upper bound on queries admitted but not yet answered
   /// (queued in an open batch or in a batch being scanned). At the
   /// bound, Assign sheds the query with kUnavailable instead of letting
@@ -186,7 +201,22 @@ class RequestBatcher {
   RequestBatcher(const ModelServer* server,
                  const RequestBatcherOptions& options);
 
+  /// Drains safely: marks the batcher shut down (equivalent to
+  /// Shutdown()) and blocks until every in-flight Assign has returned.
+  /// Callers must not START a new Assign concurrently with destruction
+  /// (standard object lifetime), but calls already inside Assign are
+  /// answered, woken, and fully out of the object before members are
+  /// torn down.
+  ~RequestBatcher();
+
   KMEANSLL_DISALLOW_COPY_AND_ASSIGN(RequestBatcher);
+
+  /// Stops admitting: every later Assign is shed with kUnavailable, and
+  /// a leader currently parked waiting for followers is woken to flush
+  /// its batch immediately. Queries admitted before the call are still
+  /// answered (the "admitted queries are always answered" contract
+  /// holds across shutdown). Idempotent; safe from any thread.
+  void Shutdown();
 
   /// Nearest center of `point` (dim() coordinates) under the snapshot
   /// current at the batch's flush. Blocks until the result is ready —
@@ -216,6 +246,10 @@ class RequestBatcher {
     int64_t served = 0;           ///< queries answered with a result
     int64_t shed = 0;             ///< queries rejected with kUnavailable
     int64_t deadline_misses = 0;  ///< served but past max_latency_us
+    /// Batch-full threshold the next batch would open with: max_batch
+    /// when adaptive sizing is off, the current rate-derived limit in
+    /// [min_batch, max_batch] when it is on.
+    int64_t adaptive_batch_limit = 0;
   };
   Stats stats() const;
 
@@ -226,26 +260,36 @@ class RequestBatcher {
     std::vector<double> points;          ///< rows · dim, contiguous
     std::vector<NearestResult> results;  ///< filled by the leader
     int64_t rows = 0;
+    int64_t limit = 0;    ///< batch-full threshold fixed at open
     bool closed = false;  ///< no further joins (full or deadline)
     bool done = false;    ///< results ready for pickup
-    std::chrono::steady_clock::time_point opened;  ///< leader's join time
+    std::chrono::steady_clock::time_point opened;     ///< leader's join time
+    std::chrono::steady_clock::time_point last_join;  ///< newest join time
   };
 
   /// Estimated microseconds until a query admitted now is answered;
   /// also the retry hint quoted in shed errors. Callers hold mu_.
   int64_t EstimatedLatencyUs() const;
 
+  /// Batch-full threshold for a batch opening now (see
+  /// RequestBatcherOptions::adaptive_batch). Callers hold mu_.
+  int64_t EffectiveBatchLimit() const;
+
   const ModelServer* server_;  // borrowed
   RequestBatcherOptions options_;
   int64_t dim_;
 
   mutable std::mutex mu_;  // mutable: stats() is a const reader
-  std::condition_variable leader_cv_;  ///< wakes leaders when a batch fills
+  std::condition_variable leader_cv_;  ///< wakes leaders (fill/shutdown)
   std::condition_variable done_cv_;    ///< wakes followers when results land
+  std::condition_variable drain_cv_;   ///< wakes ~RequestBatcher at drain
   std::shared_ptr<Batch> open_;        ///< batch currently accepting joins
   Stats stats_;
-  int64_t pending_ = 0;       ///< admitted, not yet done (all batches)
+  bool shutdown_ = false;     ///< set by Shutdown(); sheds new arrivals
+  int64_t pending_ = 0;       ///< callers inside Assign, admitted not done
   int64_t ewma_scan_us_ = 0;  ///< smoothed batch scan time (0 until seen)
+  int64_t ewma_gap_ns_ = 0;   ///< smoothed admitted inter-arrival gap
+  std::chrono::steady_clock::time_point last_arrival_;  ///< newest admit
 };
 
 }  // namespace kmeansll::serving

@@ -1,0 +1,129 @@
+#include "serving/server_registry.h"
+
+#include <mutex>
+#include <utility>
+
+#include "common/timer.h"
+
+namespace kmeansll::serving {
+
+Status ServerRegistry::Register(const std::string& name,
+                                std::shared_ptr<const CenterIndex> initial,
+                                const TenantOptions& options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("model name must be non-empty");
+  }
+  if (initial == nullptr) {
+    return Status::InvalidArgument("initial snapshot must be non-null");
+  }
+  auto tenant = std::make_unique<Tenant>(std::move(initial), options.batcher);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const auto [it, inserted] = tenants_.emplace(name, std::move(tenant));
+  (void)it;
+  if (!inserted) {
+    return Status::InvalidArgument("model '" + name +
+                                   "' is already registered");
+  }
+  return Status::OK();
+}
+
+Result<ServerRegistry::Tenant*> ServerRegistry::Find(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    return Status::InvalidArgument("unknown model '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Result<NearestResult> ServerRegistry::Assign(const std::string& name,
+                                             const double* point) {
+  KMEANSLL_ASSIGN_OR_RETURN(Tenant * tenant, Find(name));
+  WallTimer timer;
+  Result<NearestResult> result = tenant->batcher.Assign(point);
+  if (result.ok()) {
+    tenant->latency.Record(timer.ElapsedNanos() / 1000);
+  }
+  return result;
+}
+
+Result<int64_t> ServerRegistry::AssignTopM(const std::string& name,
+                                           const double* point, int64_t m,
+                                           std::vector<int32_t>* out_index,
+                                           std::vector<double>* out_d2) {
+  KMEANSLL_ASSIGN_OR_RETURN(Tenant * tenant, Find(name));
+  WallTimer timer;
+  const std::shared_ptr<const CenterIndex> snapshot =
+      tenant->server.Acquire();
+  const int64_t filled = snapshot->AssignTopM(point, m, out_index, out_d2);
+  tenant->topm_queries.fetch_add(1, std::memory_order_relaxed);
+  tenant->latency.Record(timer.ElapsedNanos() / 1000);
+  return filled;
+}
+
+Result<Assignment> ServerRegistry::AssignBulk(const std::string& name,
+                                              const DatasetSource& data,
+                                              ThreadPool* pool) {
+  KMEANSLL_ASSIGN_OR_RETURN(Tenant * tenant, Find(name));
+  const std::shared_ptr<const CenterIndex> snapshot =
+      tenant->server.Acquire();
+  tenant->bulk_queries.fetch_add(1, std::memory_order_relaxed);
+  tenant->bulk_rows.fetch_add(data.n(), std::memory_order_relaxed);
+  return snapshot->AssignBatch(data, pool);
+}
+
+Status ServerRegistry::Publish(const std::string& name,
+                               std::shared_ptr<const CenterIndex> next) {
+  KMEANSLL_ASSIGN_OR_RETURN(Tenant * tenant, Find(name));
+  return tenant->server.Publish(std::move(next));
+}
+
+Status ServerRegistry::PublishFromFile(const std::string& name,
+                                       const std::string& path) {
+  KMEANSLL_ASSIGN_OR_RETURN(Tenant * tenant, Find(name));
+  return tenant->server.PublishFromFile(path);
+}
+
+Status ServerRegistry::Refine(const std::string& name,
+                              const ModelServer::RefineFn& fn) {
+  KMEANSLL_ASSIGN_OR_RETURN(Tenant * tenant, Find(name));
+  return tenant->server.Refine(fn);
+}
+
+Result<std::shared_ptr<const CenterIndex>> ServerRegistry::AcquireSnapshot(
+    const std::string& name) const {
+  KMEANSLL_ASSIGN_OR_RETURN(Tenant * tenant, Find(name));
+  return tenant->server.Acquire();
+}
+
+Result<ServerRegistry::TenantStats> ServerRegistry::stats(
+    const std::string& name) const {
+  KMEANSLL_ASSIGN_OR_RETURN(Tenant * tenant, Find(name));
+  TenantStats out;
+  out.batcher = tenant->batcher.stats();
+  out.server = tenant->server.stats();
+  out.topm_queries = tenant->topm_queries.load(std::memory_order_relaxed);
+  out.bulk_queries = tenant->bulk_queries.load(std::memory_order_relaxed);
+  out.bulk_rows = tenant->bulk_rows.load(std::memory_order_relaxed);
+  out.latency = tenant->latency.snapshot();
+  return out;
+}
+
+std::vector<std::string> ServerRegistry::model_names() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) {
+    (void)tenant;
+    names.push_back(name);
+  }
+  return names;
+}
+
+int64_t ServerRegistry::num_models() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return static_cast<int64_t>(tenants_.size());
+}
+
+}  // namespace kmeansll::serving

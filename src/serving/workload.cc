@@ -1,0 +1,46 @@
+#include "serving/workload.h"
+
+#include "common/macros.h"
+
+namespace kmeansll::serving {
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadSpec& spec,
+                                     uint64_t stream_index)
+    : spec_(spec),
+      models_(spec.num_models, spec.model_theta),
+      rows_(spec.query_pool, spec.query_theta),
+      rng_(rng::MakeRootRng(spec.seed)
+               .Fork(rng::StreamPurpose::kWorkload, stream_index)) {
+  KMEANSLL_CHECK_GE(spec_.top_m, 1);
+  KMEANSLL_CHECK_GE(spec_.bulk_rows, 1);
+  const double total =
+      spec_.mix.assign_one + spec_.mix.top_m + spec_.mix.bulk;
+  KMEANSLL_CHECK(spec_.mix.assign_one >= 0.0 && spec_.mix.top_m >= 0.0 &&
+                 spec_.mix.bulk >= 0.0 && total > 0.0);
+  cut_assign_ = spec_.mix.assign_one / total;
+  cut_topm_ = cut_assign_ + spec_.mix.top_m / total;
+}
+
+WorkloadOp WorkloadGenerator::Next() {
+  // Fixed draw order (op kind, model, row) keeps the stream bitwise
+  // reproducible: every op consumes exactly three uniforms.
+  WorkloadOp op;
+  const double u = rng_.NextDouble();
+  op.type = u < cut_assign_
+                ? WorkloadOpType::kAssignOne
+                : (u < cut_topm_ ? WorkloadOpType::kAssignTopM
+                                 : WorkloadOpType::kBulk);
+  op.model = static_cast<int32_t>(models_.Next(rng_));
+  op.row = static_cast<int32_t>(rows_.Next(rng_));
+  return op;
+}
+
+std::vector<WorkloadOp> WorkloadGenerator::Take(int64_t count) {
+  KMEANSLL_CHECK_GE(count, 0);
+  std::vector<WorkloadOp> ops;
+  ops.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) ops.push_back(Next());
+  return ops;
+}
+
+}  // namespace kmeansll::serving

@@ -1,0 +1,91 @@
+// YCSB-style workload generation for the multi-tenant serving layer.
+//
+// A workload is a deterministic stream of operations — which model,
+// which operation (single-point assign / top-m / bulk), which query row
+// — drawn from seeded zipf distributions, the methodology BonsaiKV's
+// evaluation scheme and the YCSB family use: serving systems are only
+// credible under SKEWED load (a few hot models and hot queries, a long
+// uniform tail says nothing about contention) and MIXED operations (a
+// read-only stream never exercises batching against bulk scans).
+//
+// Determinism contract: the op stream of WorkloadGenerator(spec, t) is
+// a pure function of (spec.seed, t) — same pair, bitwise-identical
+// stream; different stream_index, statistically independent stream (the
+// generator forks the library Rng with StreamPurpose::kWorkload). The
+// harness gives each load thread its own stream_index, so a multi-
+// threaded run issues exactly the same multiset of operations at any
+// thread count, and a single-threaded smoke can replay the exact stream
+// a failure came from. tests/workload_test.cc pins the contract:
+// bitwise replay, zipf frequency-vs-rank sanity against the exact model
+// probabilities, and mix-ratio accounting.
+
+#ifndef KMEANSLL_SERVING_WORKLOAD_H_
+#define KMEANSLL_SERVING_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng.h"
+#include "rng/zipf.h"
+
+namespace kmeansll::serving {
+
+enum class WorkloadOpType : uint8_t {
+  kAssignOne = 0,  ///< single-point nearest center (the QPS path)
+  kAssignTopM = 1, ///< m nearest centers of one point
+  kBulk = 2,       ///< batch assignment of bulk_rows points
+};
+
+/// One operation of the stream.
+struct WorkloadOp {
+  WorkloadOpType type = WorkloadOpType::kAssignOne;
+  int32_t model = 0;  ///< model rank: 0 is the hottest tenant
+  int32_t row = 0;    ///< query-pool rank: 0 is the hottest query
+  bool operator==(const WorkloadOp&) const = default;
+};
+
+/// Operation mix by weight (normalized internally; must sum > 0).
+struct WorkloadMix {
+  double assign_one = 1.0;
+  double top_m = 0.0;
+  double bulk = 0.0;
+};
+
+struct WorkloadSpec {
+  int64_t num_models = 1;    ///< tenants, ranked hot to cold
+  double model_theta = 0.0;  ///< zipf skew across models (0 = uniform)
+  int64_t query_pool = 1024; ///< distinct query points
+  double query_theta = 0.0;  ///< zipf skew across query rows
+  WorkloadMix mix;
+  int64_t top_m = 4;         ///< m for kAssignTopM ops
+  int64_t bulk_rows = 64;    ///< rows per kBulk op
+  uint64_t seed = 0xC0FFEE;
+};
+
+/// Deterministic op stream; one instance per load thread. Not
+/// thread-safe (each thread owns its own generator, which is the point).
+class WorkloadGenerator {
+ public:
+  /// `stream_index` identifies the thread's substream; see the file
+  /// comment for the determinism contract.
+  WorkloadGenerator(const WorkloadSpec& spec, uint64_t stream_index);
+
+  WorkloadOp Next();
+
+  /// Convenience: the next `count` ops as a vector.
+  std::vector<WorkloadOp> Take(int64_t count);
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  WorkloadSpec spec_;
+  rng::ZipfGenerator models_;
+  rng::ZipfGenerator rows_;
+  rng::Rng rng_;
+  double cut_assign_;  ///< normalized cumulative mix thresholds
+  double cut_topm_;
+};
+
+}  // namespace kmeansll::serving
+
+#endif  // KMEANSLL_SERVING_WORKLOAD_H_

@@ -24,6 +24,7 @@
 #include "rng/rng.h"
 #include "serving/center_index.h"
 #include "serving/model_server.h"
+#include "serving/server_registry.h"
 
 namespace kmeansll {
 namespace {
@@ -32,6 +33,8 @@ using serving::CenterIndex;
 using serving::ModelServer;
 using serving::RequestBatcher;
 using serving::RequestBatcherOptions;
+using serving::ServerRegistry;
+using serving::TenantOptions;
 
 Matrix RandomMatrix(int64_t rows, int64_t cols, uint64_t seed,
                     double scale = 1.0) {
@@ -488,6 +491,213 @@ TEST(ModelServerTest, RefineWithMiniBatchPublishesNextVersion) {
                   })
                   .IsInvalidArgument());
   EXPECT_EQ(server.Acquire()->version(), 8u);
+}
+
+// Shutdown() must wake a leader parked waiting for followers: the
+// leader flushes its batch immediately (admitted queries are always
+// answered), and every later Assign sheds kUnavailable. Before the
+// shutdown path existed, a parked leader could only be released by its
+// full max_delay_us expiring — with a multi-second delay the destructor
+// would sit on a batch nobody could close.
+TEST(RequestBatcherTest, ShutdownWakesParkedLeaderAndShedsLater) {
+  const int64_t d = 8;
+  ModelServer server(CenterIndex::Build(RandomMatrix(4, d, 2020, 2.0)));
+  RequestBatcherOptions options;
+  options.max_batch = 8;
+  options.max_delay_us = 5'000'000;  // parked ~forever without the wake
+  options.idle_close_us = 0;
+  RequestBatcher batcher(&server, options);
+
+  Matrix probes = RandomMatrix(2, d, 2121, 2.0);
+  std::thread leader([&] {
+    Result<NearestResult> r = batcher.Assign(probes.Row(0));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    const NearestResult expected =
+        server.Acquire()->AssignOne(probes.Row(0));
+    EXPECT_EQ(r.ValueOrDie().index, expected.index);
+    EXPECT_EQ(r.ValueOrDie().distance2, expected.distance2);
+  });
+  while (batcher.stats().queries < 1) std::this_thread::yield();
+
+  batcher.Shutdown();
+  leader.join();  // must return promptly, NOT after max_delay_us
+
+  Result<NearestResult> late = batcher.Assign(probes.Row(1));
+  ASSERT_FALSE(late.ok());
+  EXPECT_TRUE(late.status().IsUnavailable());
+
+  const RequestBatcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.served, 1);
+  EXPECT_EQ(stats.shed, 1);
+}
+
+// The idle-flush / shutdown race regression (run under TSan in CI).
+// The old leader wait compared row counts across a single wait: any
+// spurious or early wakeup closed the batch as "quiescent" even though
+// the idle window never elapsed, and destruction had no way to wake a
+// parked leader at all. This stress drives many short-lived batchers
+// with tiny idle windows, concurrent joiners, a mid-flight Shutdown,
+// and immediate destruction — every admitted query must be answered
+// bitwise, every post-shutdown query shed, and accounting must add up
+// on every iteration.
+TEST(RequestBatcherTest, IdleFlushShutdownStressAnswersEveryAdmission) {
+  const int64_t d = 8;
+  constexpr int kIterations = 25;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 40;
+  const auto index = CenterIndex::Build(RandomMatrix(5, d, 2222, 2.0));
+  const Matrix probes = RandomMatrix(kThreads * kPerThread, d, 2323, 2.0);
+
+  for (int iter = 0; iter < kIterations; ++iter) {
+    ModelServer server(index);
+    RequestBatcherOptions options;
+    options.max_batch = 8;
+    options.max_delay_us = 2000;
+    options.idle_close_us = 1;  // aggressive quiescence: maximal racing
+    RequestBatcher batcher(&server, options);
+
+    std::atomic<int64_t> served{0};
+    std::atomic<int64_t> shed{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads + 1);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          const double* point = probes.Row(t * kPerThread + i);
+          Result<NearestResult> r = batcher.Assign(point);
+          if (r.ok()) {
+            const NearestResult expected = index->AssignOne(point);
+            ASSERT_EQ(r.ValueOrDie().index, expected.index);
+            ASSERT_EQ(r.ValueOrDie().distance2, expected.distance2);
+            served.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            ASSERT_TRUE(r.status().IsUnavailable());
+            shed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    // Shut down mid-flight on odd iterations: in-flight admissions must
+    // still be answered, later ones shed. Even iterations exercise the
+    // destructor draining a batcher that was never shut down.
+    threads.emplace_back([&] {
+      if (iter % 2 == 1) {
+        while (batcher.stats().queries < kThreads * kPerThread / 2) {
+          std::this_thread::yield();
+        }
+        batcher.Shutdown();
+      }
+    });
+    for (auto& th : threads) th.join();
+
+    const RequestBatcher::Stats stats = batcher.stats();
+    ASSERT_EQ(stats.queries, int64_t{kThreads} * kPerThread);
+    ASSERT_EQ(stats.served, served.load());
+    ASSERT_EQ(stats.shed, shed.load());
+    ASSERT_EQ(stats.served + stats.shed, stats.queries);
+    if (iter % 2 == 0) ASSERT_EQ(stats.shed, 0);
+  }
+}
+
+// --- Multi-tenant isolation regressions ---------------------------------
+//
+// The registry's isolation claim, asserted bitwise: driving one tenant
+// into admission-control shedding, or publishing to it, must be
+// invisible to every other tenant.
+
+// Tenant "hot" is overloaded (single pending slot occupied by a parked
+// leader, everything else shed). Tenant "cold" must answer every query
+// bitwise-correct with zero sheds while that overload is in progress.
+TEST(MultiTenantIsolationTest, OverloadOnOneTenantLeavesOthersServing) {
+  const int64_t k = 8, d = 8, kQueries = 50;
+  ServerRegistry registry;
+  TenantOptions hot;
+  hot.batcher.max_batch = 2;
+  hot.batcher.max_delay_us = 200000;
+  hot.batcher.idle_close_us = 0;
+  hot.batcher.max_pending = 1;
+  ASSERT_TRUE(
+      registry.Register("hot", CenterIndex::Build(RandomMatrix(k, d, 1)), hot)
+          .ok());
+  ASSERT_TRUE(
+      registry.Register("cold", CenterIndex::Build(RandomMatrix(k, d, 2)))
+          .ok());
+  const Matrix probes = RandomMatrix(kQueries, d, 3);
+  const auto cold_snapshot = registry.AcquireSnapshot("cold").ValueOrDie();
+
+  std::thread parked([&] {
+    ASSERT_TRUE(registry.Assign("hot", probes.Row(0)).ok());
+  });
+  while (registry.stats("hot").ValueOrDie().batcher.queries < 1) {
+    std::this_thread::yield();
+  }
+
+  // Interleave: every hot query sheds, every cold query serves bitwise.
+  for (int64_t i = 0; i < kQueries; ++i) {
+    Result<NearestResult> h = registry.Assign("hot", probes.Row(i));
+    ASSERT_FALSE(h.ok());
+    EXPECT_TRUE(h.status().IsUnavailable());
+    Result<NearestResult> c = registry.Assign("cold", probes.Row(i));
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    const NearestResult expected = cold_snapshot->AssignOne(probes.Row(i));
+    ASSERT_EQ(c.ValueOrDie().index, expected.index);
+    ASSERT_EQ(c.ValueOrDie().distance2, expected.distance2);
+  }
+  parked.join();
+
+  const auto hot_stats = registry.stats("hot").ValueOrDie();
+  const auto cold_stats = registry.stats("cold").ValueOrDie();
+  EXPECT_EQ(hot_stats.batcher.shed, kQueries);
+  EXPECT_EQ(hot_stats.batcher.served, 1);  // the parked leader
+  EXPECT_EQ(cold_stats.batcher.served, kQueries);
+  EXPECT_EQ(cold_stats.batcher.shed, 0);
+  EXPECT_EQ(cold_stats.latency.count, kQueries);
+}
+
+// Publishing to tenant A under continuous query load on tenant B must
+// leave B's snapshot POINTER (not just its contents) and version
+// untouched — the publish path of one tenant shares no state with
+// another tenant's read path.
+TEST(MultiTenantIsolationTest, PublishToOneTenantNeverMovesAnother) {
+  const int64_t k = 8, d = 8;
+  constexpr int kPublishes = 50;
+  ServerRegistry registry;
+  ASSERT_TRUE(
+      registry.Register("a", CenterIndex::Build(RandomMatrix(k, d, 1), 1))
+          .ok());
+  ASSERT_TRUE(
+      registry.Register("b", CenterIndex::Build(RandomMatrix(k, d, 2), 1))
+          .ok());
+  const Matrix probes = RandomMatrix(64, d, 3);
+  const auto b_before = registry.AcquireSnapshot("b").ValueOrDie();
+
+  std::atomic<bool> stop{false};
+  std::thread load([&] {
+    int64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto r = registry.Assign("b", probes.Row(i++ % 64));
+      ASSERT_TRUE(r.ok());
+    }
+  });
+  for (int p = 0; p < kPublishes; ++p) {
+    ASSERT_TRUE(
+        registry
+            .Publish("a", CenterIndex::Build(
+                              RandomMatrix(k, d, 100 + (uint64_t)p),
+                              static_cast<uint64_t>(p) + 2))
+            .ok());
+    // B's snapshot must be the same object at every point in the churn.
+    ASSERT_EQ(registry.AcquireSnapshot("b").ValueOrDie().get(),
+              b_before.get());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  load.join();
+
+  EXPECT_EQ(registry.AcquireSnapshot("a").ValueOrDie()->version(),
+            static_cast<uint64_t>(kPublishes) + 1);
+  EXPECT_EQ(registry.AcquireSnapshot("b").ValueOrDie()->version(), 1u);
+  EXPECT_EQ(registry.stats("a").ValueOrDie().server.publishes, kPublishes);
+  EXPECT_EQ(registry.stats("b").ValueOrDie().server.publishes, 0);
 }
 
 }  // namespace

@@ -1,0 +1,202 @@
+// Tests for the zipf sampler and the YCSB-style workload generator:
+// the seeded-determinism contract (bitwise replay), zipf skew sanity
+// against the exact model probabilities, and mix-ratio accounting.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/rng.h"
+#include "rng/zipf.h"
+#include "serving/workload.h"
+
+namespace kmeansll {
+namespace {
+
+using rng::Rng;
+using rng::ZipfGenerator;
+using serving::WorkloadGenerator;
+using serving::WorkloadOp;
+using serving::WorkloadOpType;
+using serving::WorkloadSpec;
+
+// --- ZipfGenerator -------------------------------------------------------
+
+TEST(ZipfTest, DrawsAreInRange) {
+  const ZipfGenerator zipf(100, 0.99);
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t r = zipf.Next(rng);
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, 100);
+  }
+}
+
+TEST(ZipfTest, SameSeedReplaysBitwise) {
+  const ZipfGenerator zipf(1000, 0.9);
+  Rng a(42), b(42);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_EQ(zipf.Next(a), zipf.Next(b)) << "draw " << i;
+  }
+}
+
+TEST(ZipfTest, ItemProbabilitiesSumToOne) {
+  const ZipfGenerator zipf(257, 0.8);
+  double total = 0.0;
+  for (int64_t r = 0; r < 257; ++r) total += zipf.ItemProbability(r);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Monotone decreasing in rank.
+  for (int64_t r = 1; r < 257; ++r) {
+    EXPECT_LT(zipf.ItemProbability(r), zipf.ItemProbability(r - 1));
+  }
+}
+
+// Empirical frequencies track the exact model probabilities. Ranks 0
+// and 1 are exact inversion branches, so a 200k-draw estimate is tight;
+// ranks >= 2 come from the continuous-CDF approximation in the Gray
+// et al. inversion, whose bias pow(..., 1/(1-theta)) amplifies at high
+// theta — YCSB's ZipfianGenerator shares it — so they get a looser
+// band. The head must still be hot by the model's margin.
+TEST(ZipfTest, FrequenciesMatchModelProbabilities) {
+  const int64_t n = 100;
+  const double theta = 0.99;
+  const int64_t draws = 200000;
+  const ZipfGenerator zipf(n, theta);
+  Rng rng(123);
+  std::vector<int64_t> freq(n, 0);
+  for (int64_t i = 0; i < draws; ++i) ++freq[zipf.Next(rng)];
+
+  for (int64_t r = 0; r < 10; ++r) {
+    const double expected = zipf.ItemProbability(r) * draws;
+    ASSERT_GT(expected, 500.0);  // head ranks only: estimate is tight
+    const double tolerance = (r < 2 ? 0.05 : 0.25) * expected;
+    EXPECT_NEAR(freq[r], expected, tolerance)
+        << "rank " << r << " empirical " << freq[r] << " expected "
+        << expected;
+  }
+  // YCSB theta=0.99, n=100: the hottest rank carries ~19% of the mass.
+  EXPECT_GT(freq[0], draws / 10);
+  EXPECT_GT(freq[0], 5 * freq[n - 1]);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  const int64_t n = 16;
+  const ZipfGenerator zipf(n, 0.0);
+  for (int64_t r = 0; r < n; ++r) {
+    EXPECT_DOUBLE_EQ(zipf.ItemProbability(r), 1.0 / n);
+  }
+  Rng rng(9);
+  const int64_t draws = 160000;
+  std::vector<int64_t> freq(n, 0);
+  for (int64_t i = 0; i < draws; ++i) ++freq[zipf.Next(rng)];
+  for (int64_t r = 0; r < n; ++r) {
+    EXPECT_NEAR(freq[r], draws / n, 0.1 * draws / n) << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, SingleItemAlwaysRankZero) {
+  const ZipfGenerator zipf(1, 0.9);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Next(rng), 0);
+  EXPECT_DOUBLE_EQ(zipf.ItemProbability(0), 1.0);
+}
+
+// --- WorkloadGenerator ---------------------------------------------------
+
+WorkloadSpec TestSpec() {
+  WorkloadSpec spec;
+  spec.num_models = 8;
+  spec.model_theta = 0.99;
+  spec.query_pool = 512;
+  spec.query_theta = 0.8;
+  spec.mix = {0.7, 0.2, 0.1};
+  spec.seed = 20260808;
+  return spec;
+}
+
+// The contract the harness leans on: the op stream is a pure function
+// of (seed, stream_index), bitwise.
+TEST(WorkloadTest, SameSeedAndStreamReplaysBitwise) {
+  const WorkloadSpec spec = TestSpec();
+  WorkloadGenerator a(spec, 3), b(spec, 3);
+  const std::vector<WorkloadOp> ops = a.Take(10000);
+  EXPECT_EQ(ops, b.Take(10000));
+
+  // Take() and repeated Next() walk the same stream.
+  WorkloadGenerator c(spec, 3);
+  for (const WorkloadOp& op : ops) {
+    const WorkloadOp got = c.Next();
+    ASSERT_EQ(got, op);
+  }
+}
+
+TEST(WorkloadTest, DifferentStreamsAndSeedsDiffer) {
+  const WorkloadSpec spec = TestSpec();
+  WorkloadGenerator base(spec, 0), stream1(spec, 1);
+  WorkloadSpec reseeded = spec;
+  reseeded.seed = spec.seed + 1;
+  WorkloadGenerator other_seed(reseeded, 0);
+
+  const std::vector<WorkloadOp> ops = base.Take(1000);
+  EXPECT_NE(ops, stream1.Take(1000));
+  EXPECT_NE(ops, other_seed.Take(1000));
+}
+
+TEST(WorkloadTest, OpsStayInBounds) {
+  const WorkloadSpec spec = TestSpec();
+  WorkloadGenerator gen(spec, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const WorkloadOp op = gen.Next();
+    ASSERT_GE(op.model, 0);
+    ASSERT_LT(op.model, spec.num_models);
+    ASSERT_GE(op.row, 0);
+    ASSERT_LT(op.row, spec.query_pool);
+  }
+}
+
+// Mix-ratio accounting: empirical op-type fractions track the
+// normalized weights (weights need not be pre-normalized).
+TEST(WorkloadTest, MixRatiosAreHonored) {
+  WorkloadSpec spec = TestSpec();
+  spec.mix = {6.0, 3.0, 1.0};  // 60% / 30% / 10% after normalization
+  WorkloadGenerator gen(spec, 0);
+  const int64_t draws = 100000;
+  int64_t counts[3] = {0, 0, 0};
+  for (int64_t i = 0; i < draws; ++i) {
+    ++counts[static_cast<int>(gen.Next().type)];
+  }
+  EXPECT_NEAR(counts[0], 0.6 * draws, 0.03 * draws);
+  EXPECT_NEAR(counts[1], 0.3 * draws, 0.03 * draws);
+  EXPECT_NEAR(counts[2], 0.1 * draws, 0.03 * draws);
+}
+
+TEST(WorkloadTest, PureAssignMixNeverEmitsOtherOps) {
+  WorkloadSpec spec = TestSpec();
+  spec.mix = {1.0, 0.0, 0.0};
+  WorkloadGenerator gen(spec, 0);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_EQ(gen.Next().type, WorkloadOpType::kAssignOne);
+  }
+}
+
+// Model-skew flows through: the hottest model rank dominates the stream
+// with frequencies tracking the zipf model probabilities.
+TEST(WorkloadTest, ModelSkewMatchesZipfModel) {
+  const WorkloadSpec spec = TestSpec();
+  const ZipfGenerator reference(spec.num_models, spec.model_theta);
+  WorkloadGenerator gen(spec, 0);
+  const int64_t draws = 100000;
+  std::vector<int64_t> freq(spec.num_models, 0);
+  for (int64_t i = 0; i < draws; ++i) ++freq[gen.Next().model];
+  for (int64_t m = 0; m < spec.num_models; ++m) {
+    const double expected = reference.ItemProbability(m) * draws;
+    // Loose band: the inversion's mid-rank bias (see
+    // FrequenciesMatchModelProbabilities) applies here too.
+    EXPECT_NEAR(freq[m], expected, 0.25 * expected + 50.0) << "model " << m;
+  }
+}
+
+}  // namespace
+}  // namespace kmeansll
