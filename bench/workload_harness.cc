@@ -54,6 +54,7 @@ namespace kmeansll {
 namespace {
 
 using serving::CenterIndex;
+using serving::CenterIndexOptions;
 using serving::RequestBatcherOptions;
 using serving::ServerRegistry;
 using serving::TenantOptions;
@@ -86,10 +87,14 @@ void Expect(bool ok, const char* what) {
 
 // Builds a registry of `num_models` tenants with per-model centers
 // (seeded by rank, so every run and every thread count serves identical
-// models) and returns it. Rank 0 is the zipf-hottest tenant.
+// models) and returns it. Rank 0 is the zipf-hottest tenant. With
+// index_opts.enable_pruning the tenants serve from the two-level pruned
+// index (bitwise-identical answers in exact mode; see
+// src/serving/center_index.h).
 std::unique_ptr<ServerRegistry> BuildRegistry(
     int64_t num_models, int64_t k, int64_t d,
-    const RequestBatcherOptions& batcher) {
+    const RequestBatcherOptions& batcher,
+    const CenterIndexOptions& index_opts = CenterIndexOptions{}) {
   auto registry = std::make_unique<ServerRegistry>();
   for (int64_t m = 0; m < num_models; ++m) {
     TenantOptions options;
@@ -97,7 +102,7 @@ std::unique_ptr<ServerRegistry> BuildRegistry(
     const Status st = registry->Register(
         ModelName(m),
         CenterIndex::Build(RandomMatrix(k, d, 1000 + (uint64_t)m),
-                           /*version=*/1),
+                           index_opts, /*version=*/1),
         options);
     if (!st.ok()) Fail(st.message().c_str());
   }
@@ -118,7 +123,8 @@ struct LoadResult {
 // is built for.
 LoadResult RunLoad(ServerRegistry& registry, const WorkloadSpec& spec,
                    const Matrix& pool, int64_t threads, int64_t ops_total,
-                   bool churn, int64_t k, int64_t d) {
+                   bool churn, int64_t k, int64_t d,
+                   const CenterIndexOptions& index_opts = CenterIndexOptions{}) {
   std::atomic<int64_t> served{0};
   std::atomic<int64_t> shed{0};
   std::atomic<bool> stop_churn{false};
@@ -133,7 +139,7 @@ LoadResult RunLoad(ServerRegistry& registry, const WorkloadSpec& spec,
       uint64_t version = 2;
       while (!stop_churn.load(std::memory_order_relaxed)) {
         if (!registry.Publish(ModelName(0),
-                              CenterIndex::Build(next, version++))
+                              CenterIndex::Build(next, index_opts, version++))
                  .ok()) {
           Fail("publish churn failed");
         }
@@ -211,6 +217,15 @@ int RunBench(const eval::Args& args) {
   const int64_t pool_rows = args.GetInt("queries", 4096);
   const bool churn = args.GetBool("churn", true);
 
+  // --pruned serves every tenant from the two-level pruned index
+  // (exact unless --approx_probes caps the group scan). min_prune_k
+  // drops to 1 so the flag takes effect at any --k.
+  CenterIndexOptions index_opts;
+  index_opts.enable_pruning = args.GetBool("pruned", false);
+  index_opts.min_prune_k = 1;
+  index_opts.num_groups = args.GetInt("groups", 0);
+  index_opts.approx_probes = args.GetInt("approx_probes", 0);
+
   WorkloadSpec spec;
   spec.num_models = models;
   spec.model_theta = args.GetDouble("model_theta", 0.99);
@@ -234,10 +249,12 @@ int RunBench(const eval::Args& args) {
   std::printf(
       "workload_harness: %" PRId64 " models, k=%" PRId64 " d=%" PRId64
       ", %" PRId64 " ops, model_theta=%.2f query_theta=%.2f "
-      "mix=%.2f/%.2f/%.2f churn=%d adaptive=%d\n\n",
+      "mix=%.2f/%.2f/%.2f churn=%d adaptive=%d pruned=%d probes=%" PRId64
+      "\n\n",
       models, k, d, ops, spec.model_theta, spec.query_theta,
       spec.mix.assign_one, spec.mix.top_m, spec.mix.bulk, churn ? 1 : 0,
-      batcher.adaptive_batch ? 1 : 0);
+      batcher.adaptive_batch ? 1 : 0, index_opts.enable_pruning ? 1 : 0,
+      index_opts.approx_probes);
 
   eval::TablePrinter scaling(
       {"threads", "elapsed_s", "qps", "served", "shed", "publishes",
@@ -259,10 +276,10 @@ int RunBench(const eval::Args& args) {
   ServerRegistry* last_registry = nullptr;
   std::unique_ptr<ServerRegistry> keep_alive;
   for (const int64_t threads : thread_counts) {
-    keep_alive = BuildRegistry(models, k, d, batcher);
+    keep_alive = BuildRegistry(models, k, d, batcher, index_opts);
     last_registry = keep_alive.get();
-    const LoadResult r =
-        RunLoad(*keep_alive, spec, pool, threads, ops, churn, k, d);
+    const LoadResult r = RunLoad(*keep_alive, spec, pool, threads, ops,
+                                 churn, k, d, index_opts);
     const auto hot = keep_alive->stats(ModelName(0));
     if (!hot.ok()) Fail("missing hot-model stats");
     const auto& lat = hot.ValueOrDie().latency;
@@ -281,9 +298,14 @@ int RunBench(const eval::Args& args) {
 
   // Per-model breakdown at the last (highest) thread count: the zipf
   // skew should be visible as a hot head and a cold tail.
+  // Prune columns report the CURRENT snapshot's counters (publish/swap
+  // resets them): groups the triangle-inequality bound skipped vs
+  // scanned, and exact fallbacks (flat-path queries on a tenant whose
+  // index asked for pruning but fell below min_prune_k).
   eval::TablePrinter breakdown(
       {"model", "assign", "topm", "bulk_ops", "shed", "p50_us", "p95_us",
-       "p99_us", "max_us", "publishes"});
+       "p99_us", "max_us", "publishes", "prune_g", "g_scan", "g_pruned",
+       "fallback"});
   for (int64_t m = 0; m < models; ++m) {
     const auto st = last_registry->stats(ModelName(m));
     if (!st.ok()) Fail("missing model stats");
@@ -295,7 +317,11 @@ int RunBench(const eval::Args& args) {
          eval::CellInt(s.latency.PercentileValue(50.0)),
          eval::CellInt(s.latency.PercentileValue(95.0)),
          eval::CellInt(s.latency.PercentileValue(99.0)),
-         eval::CellInt(s.latency.max), eval::CellInt(s.server.publishes)});
+         eval::CellInt(s.latency.max), eval::CellInt(s.server.publishes),
+         eval::CellInt(s.pruned ? s.prune_groups : 0),
+         eval::CellInt(s.prune.groups_scanned),
+         eval::CellInt(s.prune.groups_pruned),
+         eval::CellInt(s.prune.exact_fallbacks)});
   }
   std::printf("\nPer-model breakdown at %" PRId64 " threads:\n",
               thread_counts.back());
@@ -324,8 +350,12 @@ void SmokeDeterminism() {
 }
 
 // Gate 2: a single-threaded mixed run serves EVERY op with exact
-// per-tenant accounting and bitwise answers.
-void SmokeMixedServe() {
+// per-tenant accounting and bitwise answers. With
+// index_opts.enable_pruning the tenants serve from the pruned index and
+// every routed answer is additionally checked bitwise against a flat
+// index built from the same seeded centers — the end-to-end form of the
+// exact-mode identity contract.
+void SmokeMixedServe(const CenterIndexOptions& index_opts) {
   const int64_t models = 3, k = 16, d = 8, pool_rows = 64, ops = 2000;
   WorkloadSpec spec;
   spec.num_models = models;
@@ -340,8 +370,16 @@ void SmokeMixedServe() {
   RequestBatcherOptions batcher;  // no admission limits: nothing sheds
   batcher.max_batch = 4;
   batcher.max_delay_us = 50;
-  auto registry = BuildRegistry(models, k, d, batcher);
+  auto registry = BuildRegistry(models, k, d, batcher, index_opts);
   const Matrix pool = RandomMatrix(pool_rows, d, 77);
+
+  // Flat twins of every tenant (same seeded centers, pruning off) for
+  // the bitwise cross-check when the registry serves pruned.
+  std::vector<std::shared_ptr<const CenterIndex>> flat;
+  for (int64_t m = 0; m < models; ++m) {
+    flat.push_back(CenterIndex::Build(RandomMatrix(k, d, 1000 + (uint64_t)m),
+                                      /*version=*/1));
+  }
 
   // Expected per-tenant op counts come from replaying the same stream.
   std::vector<int64_t> want_assign(models, 0), want_topm(models, 0),
@@ -375,6 +413,11 @@ void SmokeMixedServe() {
         Expect(r.ValueOrDie().index == direct.index &&
                    r.ValueOrDie().distance2 == direct.distance2,
                "routed answer must be bitwise AssignOne");
+        const NearestResult flat_direct =
+            flat[op.model]->AssignOne(pool.Row(op.row));
+        Expect(direct.index == flat_direct.index &&
+                   direct.distance2 == flat_direct.distance2,
+               "served answer must be bitwise the flat scan's");
         break;
       }
       case WorkloadOpType::kAssignTopM: {
@@ -387,6 +430,13 @@ void SmokeMixedServe() {
         Expect(topm_idx[0] == direct.index &&
                    topm_d2[0] == direct.distance2,
                "top-m slot 0 must be bitwise AssignOne");
+        std::vector<int32_t> flat_idx;
+        std::vector<double> flat_d2;
+        Expect(flat[op.model]
+                       ->AssignTopM(pool.Row(op.row), spec.top_m, &flat_idx,
+                                    &flat_d2) == spec.top_m &&
+                   topm_idx == flat_idx && topm_d2 == flat_d2,
+               "served top-m must be bitwise the flat scan's");
         break;
       }
       case WorkloadOpType::kBulk: {
@@ -417,6 +467,21 @@ void SmokeMixedServe() {
            "bulk row accounting mismatch");
     Expect(s.latency.count == want_assign[m] + want_topm[m],
            "latency histogram must hold every served assign/topm");
+    if (index_opts.enable_pruning) {
+      Expect(s.pruned, "tenant must be serving from the pruned index");
+      Expect(s.prune_groups > 0, "pruned tenant must report its groups");
+      Expect(s.prune.queries > 0, "prune telemetry must count queries");
+      Expect(s.prune.groups_scanned >= s.prune.queries,
+             "every exact pruned query scans at least one group");
+      Expect(s.prune.groups_scanned + s.prune.groups_pruned <=
+                 s.prune.queries * s.prune_groups,
+             "scanned+pruned groups cannot exceed queries x groups");
+      Expect(s.prune.exact_fallbacks == 0,
+             "min_prune_k=1 leaves no flat fallbacks");
+    } else {
+      Expect(!s.pruned && s.prune.queries == 0,
+             "flat tenants must report no prune telemetry");
+    }
   }
 }
 
@@ -509,11 +574,22 @@ void SmokeOverloadIsolation() {
   Expect(hot_stats.server.publishes == 0, "hot publish accounting");
 }
 
-int RunSmoke() {
+int RunSmoke(bool pruned) {
   SmokeDeterminism();
-  SmokeMixedServe();
+  CenterIndexOptions index_opts;
+  if (pruned) {
+    // k=16 in the smoke is far below the production min_prune_k
+    // threshold, so force the pruned path on and group at the smoke's
+    // scale — the gates themselves are unchanged: exact counts, zero
+    // sheds, bitwise answers (now additionally vs flat twins).
+    index_opts.enable_pruning = true;
+    index_opts.min_prune_k = 1;
+    index_opts.num_groups = 4;
+  }
+  SmokeMixedServe(index_opts);
   SmokeOverloadIsolation();
-  std::printf("workload_harness --smoke: all gates passed\n");
+  std::printf("workload_harness --smoke%s: all gates passed\n",
+              pruned ? " --pruned" : "");
   return 0;
 }
 
@@ -522,6 +598,8 @@ int RunSmoke() {
 
 int main(int argc, char** argv) {
   kmeansll::eval::Args args(argc, argv);
-  if (args.GetBool("smoke", false)) return kmeansll::RunSmoke();
+  if (args.GetBool("smoke", false)) {
+    return kmeansll::RunSmoke(args.GetBool("pruned", false));
+  }
   return kmeansll::RunBench(args);
 }

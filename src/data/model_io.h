@@ -34,7 +34,9 @@
 // bitwise, and a model whose stored norms disagree with what every
 // local scan will recompute is not "the same model" under that
 // contract. (Serving correctness never depends on the stored bytes —
-// serving::CenterIndex recomputes norms with the local chain at build.)
+// serving::CenterIndex adopts the loader-validated norms at build and
+// re-asserts them bitwise against its own chain, so a mismatch aborts
+// at Freeze rather than serving silently different distances.)
 
 #ifndef KMEANSLL_DATA_MODEL_IO_H_
 #define KMEANSLL_DATA_MODEL_IO_H_

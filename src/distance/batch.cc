@@ -403,13 +403,22 @@ inline void SqPanelTail(const double* x, const double* panel, int64_t d,
 // per-center squared distances. Panels are visited in ascending center
 // order within each point tile, so a merge that scans d2v left-to-right
 // observes centers exactly like a sequential ascending scan.
+//
+// `centers` restricts the visit to panels intersecting that
+// packed-relative range (the Subset entry points); boundary panels are
+// still computed at full width — per-pair chains are placement-
+// independent, so the extra lanes are bitwise-identical values the
+// subset merges simply do not read. Full-set callers pass
+// {0, panels.num_centers()}.
 template <typename Merge>
 void PanelScan(ConstMatrixView points, IndexRange rows,
                const double* point_norms, const CenterPanels& panels,
-               const double* center_norms, bool expanded, Merge&& merge) {
+               const double* center_norms, bool expanded,
+               IndexRange centers, Merge&& merge) {
   const int64_t d = panels.dim();
   const int64_t n = rows.size();
   const int64_t k = panels.num_centers();
+  const int64_t panel_lo = centers.begin / kCenterTile;
   const double* packed = panels.data();
 
   double acc0[kCenterTile];
@@ -430,7 +439,8 @@ void PanelScan(ConstMatrixView points, IndexRange rows,
   // stays L1-resident across the whole tile.
   for (int64_t pb = 0; pb < n; pb += kPointTile) {
     const int64_t pe = std::min(pb + kPointTile, n);
-    for (int64_t panel = 0; panel * kCenterTile < k; ++panel) {
+    for (int64_t panel = panel_lo; panel * kCenterTile < centers.end;
+         ++panel) {
       const int64_t c_off = panel * kCenterTile;
       const int64_t count = std::min<int64_t>(kCenterTile, k - c_off);
       const double* panel_data = packed + c_off * d;
@@ -560,9 +570,10 @@ void BatchNearestMerge(ConstMatrixView points, IndexRange rows,
   point_norms =
       EnsurePointNorms(points, rows, expanded, point_norms, &pn_storage);
   const int64_t base = panels.first_center();
+  const IndexRange all{0, panels.num_centers()};
   if (best_index == nullptr) {
     // Distance-only caller: skip the argmin bookkeeping.
-    PanelScan(points, rows, point_norms, panels, center_norms, expanded,
+    PanelScan(points, rows, point_norms, panels, center_norms, expanded, all,
               [&](int64_t p, int64_t, int64_t count, const double* d2v) {
                 double* bd = best_d2 + p;
                 for (int64_t j = 0; j < count; ++j) {
@@ -574,7 +585,7 @@ void BatchNearestMerge(ConstMatrixView points, IndexRange rows,
   // Centers are visited in ascending index order with strict-< updates,
   // so ties keep the lowest index / the existing value — identical to a
   // sequential scan.
-  PanelScan(points, rows, point_norms, panels, center_norms, expanded,
+  PanelScan(points, rows, point_norms, panels, center_norms, expanded, all,
             [&](int64_t p, int64_t c_off, int64_t count,
                 const double* d2v) {
               double* bd = best_d2 + p;
@@ -641,6 +652,7 @@ void BatchTwoNearest(ConstMatrixView points, IndexRange rows,
   // equal distance never displaces the best (strict <) but does take the
   // second slot only if strictly smaller than the incumbent second.
   PanelScan(points, rows, point_norms, panels, center_norms, expanded,
+            IndexRange{0, panels.num_centers()},
             [&](int64_t p, int64_t c_off, int64_t count,
                 const double* d2v) {
               for (int64_t j = 0; j < count; ++j) {
@@ -679,11 +691,94 @@ void BatchTopM(ConstMatrixView points, IndexRange rows,
   // displaces or outranks an earlier center, so tied centers sort by
   // ascending index and slot 0 reproduces BatchNearestMerge exactly.
   PanelScan(points, rows, point_norms, panels, center_norms, expanded,
+            IndexRange{0, panels.num_centers()},
             [&](int64_t p, int64_t c_off, int64_t count,
                 const double* d2v) {
               double* pd = out_d2 + p * m;
               int32_t* pi = out_index + p * m;
               for (int64_t j = 0; j < count; ++j) {
+                const double v = d2v[j];
+                if (!(v < pd[m - 1])) continue;
+                int64_t s = m - 1;
+                while (s > 0 && v < pd[s - 1]) {
+                  pd[s] = pd[s - 1];
+                  pi[s] = pi[s - 1];
+                  --s;
+                }
+                pd[s] = v;
+                pi[s] = static_cast<int32_t>(base + c_off + j);
+              }
+            });
+}
+
+void BatchNearestMergeSubset(ConstMatrixView points, IndexRange rows,
+                             const double* point_norms,
+                             const CenterPanels& panels,
+                             const double* center_norms, BatchKernel kernel,
+                             IndexRange centers, double* best_d2,
+                             int32_t* best_index) {
+  KMEANSLL_CHECK(centers.begin >= 0 && centers.end <= panels.num_centers());
+  if (centers.size() <= 0) return;
+  bool expanded = false;
+  if (!PrepareScan(points, rows, panels, center_norms, kernel, &expanded)) {
+    return;
+  }
+  std::vector<double> pn_storage;
+  point_norms =
+      EnsurePointNorms(points, rows, expanded, point_norms, &pn_storage);
+  const int64_t base = panels.first_center();
+  // Same strict-< ascending merge as the full-set overload, with the
+  // lane window clipped to the subset on the boundary panels.
+  PanelScan(points, rows, point_norms, panels, center_norms, expanded,
+            centers,
+            [&](int64_t p, int64_t c_off, int64_t count,
+                const double* d2v) {
+              const int64_t j_lo = std::max<int64_t>(0, centers.begin - c_off);
+              const int64_t j_hi =
+                  std::min<int64_t>(count, centers.end - c_off);
+              double* bd = best_d2 + p;
+              int32_t* bi = best_index + p;
+              for (int64_t j = j_lo; j < j_hi; ++j) {
+                if (d2v[j] < *bd) {
+                  *bd = d2v[j];
+                  *bi = static_cast<int32_t>(base + c_off + j);
+                }
+              }
+            });
+}
+
+void BatchTopMSubset(ConstMatrixView points, IndexRange rows,
+                     const double* point_norms, const CenterPanels& panels,
+                     const double* center_norms, BatchKernel kernel,
+                     IndexRange centers, int64_t m, int32_t* out_index,
+                     double* out_d2) {
+  KMEANSLL_CHECK_GT(m, 0);
+  KMEANSLL_CHECK(centers.begin >= 0 && centers.end <= panels.num_centers());
+  const int64_t n = rows.size();
+  for (int64_t s = 0; s < n * m; ++s) {
+    out_index[s] = -1;
+    out_d2[s] = std::numeric_limits<double>::infinity();
+  }
+  if (centers.size() <= 0) return;
+  bool expanded = false;
+  if (!PrepareScan(points, rows, panels, center_norms, kernel, &expanded)) {
+    return;
+  }
+  std::vector<double> pn_storage;
+  point_norms =
+      EnsurePointNorms(points, rows, expanded, point_norms, &pn_storage);
+  const int64_t base = panels.first_center();
+  // BatchTopM's sorted-insertion merge, lane-clipped to the subset.
+  PanelScan(points, rows, point_norms, panels, center_norms, expanded,
+            centers,
+            [&](int64_t p, int64_t c_off, int64_t count,
+                const double* d2v) {
+              const int64_t j_lo = std::max<int64_t>(0, centers.begin - c_off);
+              const int64_t j_hi =
+                  std::min<int64_t>(count, centers.end - c_off);
+              double* pd = out_d2 + p * m;
+              int32_t* pi = out_index + p * m;
+              for (int64_t j = j_lo; j < j_hi; ++j) {
                 const double v = d2v[j];
                 if (!(v < pd[m - 1])) continue;
                 int64_t s = m - 1;
@@ -711,6 +806,7 @@ void BatchDistances(ConstMatrixView points, IndexRange rows,
       EnsurePointNorms(points, rows, expanded, point_norms, &pn_storage);
   const int64_t k = panels.num_centers();
   PanelScan(points, rows, point_norms, panels, center_norms, expanded,
+            IndexRange{0, k},
             [&](int64_t p, int64_t c_off, int64_t count,
                 const double* d2v) {
               std::memcpy(out_d2 + p * k + c_off, d2v,

@@ -181,6 +181,27 @@ void BatchNearestMerge(ConstMatrixView points, IndexRange rows,
                        const double* center_norms, BatchKernel kernel,
                        double* best_d2, int32_t* best_index);
 
+/// Panel-subset variant of the panels overload: merges only packed
+/// centers [centers.begin, centers.end) (packed-relative, i.e. offsets
+/// into panels.num_centers()) instead of the whole packed set. This is
+/// the pruned-index primitive (serving/center_index.h): a two-level
+/// index keeps ONE packed panel set whose rows are grouped contiguously
+/// and scans only the groups its bounds could not eliminate.
+///
+/// Panels that straddle the subset boundary are computed at full panel
+/// width and clipped at the merge — bitwise-free under the engine
+/// contract, since a (point, center) value never depends on which other
+/// centers share its panel. Merge semantics, tie resolution, norm
+/// indexing (packed-relative), and the absolute best_index values are
+/// exactly the full-set overload's; scanning {0, panels.num_centers()}
+/// is bitwise the full scan.
+void BatchNearestMergeSubset(ConstMatrixView points, IndexRange rows,
+                             const double* point_norms,
+                             const CenterPanels& panels,
+                             const double* center_norms, BatchKernel kernel,
+                             IndexRange centers, double* best_d2,
+                             int32_t* best_index);
+
 /// Fresh two-nearest scan over pre-packed panels: for every point row in
 /// [rows.begin, rows.end) writes the absolute index of the nearest packed
 /// center (out_index), its squared distance (out_d1), and the
@@ -221,6 +242,18 @@ void BatchTopM(ConstMatrixView points, IndexRange rows,
                const double* point_norms, const CenterPanels& panels,
                const double* center_norms, BatchKernel kernel, int64_t m,
                int32_t* out_index, double* out_d2);
+
+/// Panel-subset variant of BatchTopM: the m nearest among packed centers
+/// [centers.begin, centers.end) only (packed-relative), with the same
+/// initialization, slot, and tie semantics — slot 0 is bitwise the
+/// BatchNearestMergeSubset result over the same subset, and trailing
+/// slots beyond the subset size hold -1 / +infinity. See
+/// BatchNearestMergeSubset for the boundary-panel clipping rationale.
+void BatchTopMSubset(ConstMatrixView points, IndexRange rows,
+                     const double* point_norms, const CenterPanels& panels,
+                     const double* center_norms, BatchKernel kernel,
+                     IndexRange centers, int64_t m, int32_t* out_index,
+                     double* out_d2);
 
 /// Dense distance rows over pre-packed panels: out_d2[(i - rows.begin) ·
 /// panels.num_centers() + c] = ||points row i − packed center c||² for

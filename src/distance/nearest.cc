@@ -65,6 +65,22 @@ void NearestCenterSearch::Freeze() {
   frozen_ = true;
 }
 
+void NearestCenterSearch::FreezeWithNorms(std::vector<double> norms) {
+  if (use_expanded_) {
+    KMEANSLL_CHECK_EQ(static_cast<int64_t>(norms.size()), centers_.rows());
+    // The adopted norms must be the local SquaredNorm chain's values for
+    // the bound rows, or every expanded-kernel distance would silently
+    // shift; the constructor's snapshot is exactly that chain, so a
+    // bitwise compare against it is a complete check at O(k) cost.
+    for (size_t c = 0; c < norms.size(); ++c) {
+      KMEANSLL_CHECK(norms[c] == center_norms_[c]);
+    }
+    center_norms_ = std::move(norms);
+  }
+  panels_.Pack(centers_);
+  frozen_ = true;
+}
+
 void NearestCenterSearch::Unfreeze() {
   panels_.Clear();
   frozen_ = false;

@@ -77,6 +77,17 @@ class NearestCenterSearch {
   /// snapshot.
   void Freeze();
 
+  /// Freeze() variant for callers holding externally validated row norms
+  /// of the bound centers — e.g. a LoadModel-checked artifact's, which
+  /// are already proven bitwise equal to RowSquaredNorms of the stored
+  /// rows. Adopts `norms` and packs the panels without the O(k·d)
+  /// norm recomputation Freeze() pays; the adopted values are
+  /// bitwise-asserted against the constructor's snapshot (so the centers
+  /// must be unchanged since construction — unlike Freeze(), this is NOT
+  /// a re-validation point after in-place mutation). Under the plain
+  /// kernel the norms are unused and simply discarded.
+  void FreezeWithNorms(std::vector<double> norms);
+
   /// Drops the cached panels; batch queries pack per call again.
   void Unfreeze();
 

@@ -43,8 +43,10 @@ Status ModelServer::PublishFromFile(const std::string& path) {
     publish_failed_.fetch_add(1, std::memory_order_relaxed);
     return artifact.status();
   }
+  // The replacement inherits the served snapshot's CenterIndexOptions, so
+  // a tenant published onto a pruned index stays pruned across file swaps.
   Result<std::shared_ptr<const CenterIndex>> next = CenterIndex::FromModel(
-      std::move(artifact).ValueOrDie(), published_version() + 1);
+      artifact.ValueOrDie(), Acquire()->options(), published_version() + 1);
   if (!next.ok()) {
     publish_failed_.fetch_add(1, std::memory_order_relaxed);
     return next.status();
@@ -72,9 +74,12 @@ Status ModelServer::Refine(const RefineFn& fn) {
         std::to_string(current->dim()) + " to " +
         std::to_string(next_centers.cols()));
   }
-  // Build-then-swap: panels and norms are packed here, outside any
-  // reader's path, and the finished index is installed in one store.
+  // Build-then-swap: panels, norms, and (when enabled) the pruned
+  // two-level index are packed here, outside any reader's path, and the
+  // finished index is installed in one store. Options carry over from
+  // the current snapshot so refinement never silently drops pruning.
   snapshot_.store(CenterIndex::Build(std::move(next_centers),
+                                     current->options(),
                                      current->version() + 1),
                   std::memory_order_release);
   refines_.fetch_add(1, std::memory_order_relaxed);

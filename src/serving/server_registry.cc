@@ -107,6 +107,11 @@ Result<ServerRegistry::TenantStats> ServerRegistry::stats(
   out.bulk_queries = tenant->bulk_queries.load(std::memory_order_relaxed);
   out.bulk_rows = tenant->bulk_rows.load(std::memory_order_relaxed);
   out.latency = tenant->latency.snapshot();
+  const std::shared_ptr<const CenterIndex> snapshot =
+      tenant->server.Acquire();
+  out.pruned = snapshot->pruned();
+  out.prune_groups = snapshot->num_groups();
+  out.prune = snapshot->prune_stats();
   return out;
 }
 

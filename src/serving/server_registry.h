@@ -128,6 +128,12 @@ class ServerRegistry {
     int64_t bulk_queries = 0;
     int64_t bulk_rows = 0;
     LatencyHistogram::Snapshot latency;  ///< served Assign/TopM, in us
+    /// Pruned-index telemetry of the CURRENT snapshot (counters live on
+    /// the snapshot, so a Publish/Refine swap starts them fresh —
+    /// per-version prune effectiveness, which is what a tuner wants).
+    bool pruned = false;          ///< current snapshot serves pruned
+    int64_t prune_groups = 0;     ///< coarse groups in the current index
+    PruneStats prune;             ///< scans / prunes / fallbacks
   };
   Result<TenantStats> stats(const std::string& name) const;
 
