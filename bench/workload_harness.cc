@@ -3,7 +3,7 @@
 // BonsaiKV's evaluation scheme (SNIPPETS.md §3 — skewed zipf datasets,
 // mixed op ratios, thread-scaling tables).
 //
-// Two modes:
+// Three modes:
 //
 //   * Bench mode (default; run a Release build): for each thread count
 //     in --threads, builds a fresh registry of --models tenants
@@ -27,25 +27,40 @@
 //     tenant runs shed-free and a publish to the cold tenant leaves the
 //     overloaded tenant's snapshot pointer and version untouched.
 //     Violations exit(1) so ctest reports FAIL, never a silent skip.
+//
+//   * --ingest: the continuous-ingest pipeline end to end — a producer
+//     appends batches into a LiveDataset (WAL + seal/compact) while a
+//     background RefineLoop republishes the "live" tenant and query
+//     threads keep assigning against it through the registry; prints
+//     ingest rate, refine/republish counts, and serve-side latency.
+//     With --smoke, a deterministic gate instead: EXACT
+//     appended/sealed/republished counts, bitwise row contents after
+//     reopen, checkpointed RefineLoop recovery, and bitwise served
+//     answers after the republishes (same exit(1) discipline).
 
 #include <algorithm>
 #include <atomic>
 #include <cinttypes>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/timer.h"
+#include "data/live_dataset.h"
 #include "eval/args.h"
 #include "eval/table.h"
 #include "matrix/dataset_view.h"
 #include "matrix/matrix.h"
 #include "rng/rng.h"
+#include "rng/splitmix64.h"
 #include "serving/center_index.h"
+#include "serving/freshness.h"
 #include "serving/model_server.h"
 #include "serving/server_registry.h"
 #include "serving/workload.h"
@@ -53,8 +68,15 @@
 namespace kmeansll {
 namespace {
 
+using data::IngestStats;
+using data::LiveDataset;
+using data::LiveDatasetOptions;
 using serving::CenterIndex;
 using serving::CenterIndexOptions;
+using serving::ModelServer;
+using serving::RefineLoop;
+using serving::RefineLoopOptions;
+using serving::RefineStats;
 using serving::RequestBatcherOptions;
 using serving::ServerRegistry;
 using serving::TenantOptions;
@@ -593,13 +615,348 @@ int RunSmoke(bool pruned) {
   return 0;
 }
 
+// --- Ingest mode ----------------------------------------------------------
+
+// Deterministic row content: coordinate j of global row r is a pure
+// function of (r, j), so any append schedule — and any crash/replay
+// history — produces bitwise-identical rows, and a reader can verify
+// every recovered row without keeping a copy of what was sent.
+double IngestCoord(int64_t r, int64_t j) {
+  return 10.0 * rng::UniformAtIndex(
+                    0xA11CE, static_cast<uint64_t>(r) * 131 +
+                                 static_cast<uint64_t>(j)) -
+         5.0;
+}
+
+std::vector<double> IngestBatch(int64_t first_row, int64_t rows, int64_t d) {
+  std::vector<double> batch(static_cast<size_t>(rows * d));
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      batch[static_cast<size_t>(i * d + j)] = IngestCoord(first_row + i, j);
+    }
+  }
+  return batch;
+}
+
+std::string IngestBasePath(const char* name) {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp != nullptr ? tmp : "/tmp") + "/" + name;
+}
+
+// Removes the live dataset's on-disk artifacts (oplog, manifest, shards)
+// so every run starts from an empty dataset.
+void RemoveLiveFiles(const std::string& base) {
+  std::remove((base + ".oplog").c_str());
+  std::remove((base + ".manifest").c_str());
+  for (int s = 0; s < 256; ++s) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), ".manifest.shard%d", s);
+    std::remove((base + buf).c_str());
+  }
+}
+
+// Appends one batch, honoring the documented backpressure contract: an
+// Unavailable append means the tail outran compaction — Seal() to drain,
+// then re-send the same batch.
+void IngestAppend(LiveDataset& live, const std::vector<double>& batch,
+                  int64_t rows) {
+  Status st = live.Append(batch.data(), rows);
+  if (st.IsUnavailable()) {
+    if (!live.Seal().ok()) Fail("seal under backpressure failed");
+    st = live.Append(batch.data(), rows);
+  }
+  if (!st.ok()) Fail(st.message().c_str());
+}
+
+RefineLoopOptions SmokeLoopOptions(int64_t k, const std::string& ckpt) {
+  RefineLoopOptions opts;
+  opts.seed = 0xF00D;
+  opts.min_new_rows = 1;
+  opts.minibatch.batch_size = 8;
+  opts.minibatch.iterations = 4;
+  opts.reseed.k = k;
+  opts.reseed.lloyd.max_iterations = 3;
+  opts.reseed.kmeansll.rounds = 2;
+  opts.reseed.kmeansll.oversampling = 4.0;
+  opts.checkpoint_path = ckpt;
+  return opts;
+}
+
+// Gate 4 (--smoke --ingest): the continuous-ingest pipeline with EXACT
+// counts. 12 batches x 8 rows through a LiveDataset with 16-row shards,
+// sealing every 3rd batch and refining after each seal, must produce
+// exactly 4 seals (16/32/16/32 sealed rows), 4 refine cycles, and 4
+// republishes (version 1 -> 5); every served row must be bitwise the
+// appended row; a reopen must replay exactly the acknowledged tail; and
+// a checkpoint-recovered RefineLoop must republish once and then refine
+// the post-recovery rows (version arithmetic exact throughout).
+void SmokeIngest() {
+  const int64_t d = 4, k = 4;
+  const int64_t kBatchRows = 8, kBatches = 12;  // 96 rows
+  const std::string base = IngestBasePath("kmll_workload_ingest_smoke");
+  const std::string ckpt = base + ".freshness.ckpt";
+  RemoveLiveFiles(base);
+  std::remove(ckpt.c_str());
+
+  LiveDatasetOptions live_opts;
+  live_opts.rows_per_shard = 16;
+  auto opened = LiveDataset::Open(base, d, /*has_weights=*/false, live_opts);
+  if (!opened.ok()) Fail(opened.status().message().c_str());
+  std::optional<LiveDataset> live(std::move(opened).ValueOrDie());
+
+  auto registry = std::make_unique<ServerRegistry>();
+  Expect(registry
+             ->Register("live", CenterIndex::Build(RandomMatrix(k, d, 17),
+                                                   /*version=*/1))
+             .ok(),
+         "register live tenant");
+  ModelServer* server = registry->server("live").ValueOrDie();
+
+  const RefineLoopOptions loop_opts = SmokeLoopOptions(k, ckpt);
+  auto loop = std::make_unique<RefineLoop>(server, &*live, loop_opts);
+
+  for (int64_t i = 0; i < kBatches; ++i) {
+    const std::vector<double> batch =
+        IngestBatch(i * kBatchRows, kBatchRows, d);
+    IngestAppend(*live, batch, kBatchRows);
+    if (i % 3 == 2) {
+      Expect(live->Seal().ok(), "seal must succeed");
+      Expect(loop->RunOnce().ok(), "refine cycle must succeed");
+    }
+  }
+
+  // Exact ingest accounting: 4 seal points cut 1, 2, 1, 2 full shards
+  // (the 8-row remainder carries across seals until the row count
+  // reaches a shard boundary again).
+  const IngestStats ing = live->ingest_stats();
+  Expect(ing.appended_batches == kBatches, "appended batch count");
+  Expect(ing.appended_rows == kBatches * kBatchRows, "appended row count");
+  Expect(ing.backpressure_rejections == 0,
+         "smoke schedule must never hit backpressure");
+  Expect(ing.seals == 4, "exactly 4 seals cut shards");
+  Expect(ing.sealed_rows == 96, "every row sealed by the final boundary");
+  Expect(live->n() == 96 && live->sealed_rows() == 96 &&
+             live->unsealed_rows() == 0,
+         "row counts after the final seal");
+
+  // Exact refine/republish accounting: every cycle refined and swapped
+  // one snapshot, so the version moved 1 -> 5.
+  const RefineStats rs = loop->stats();
+  Expect(rs.cycles == 4 && rs.skipped == 0 && rs.failures == 0,
+         "exactly 4 refine cycles");
+  Expect(rs.watermark == 96, "watermark must cover every ingested row");
+  ModelServer::Stats ss = server->stats();
+  Expect(ss.refines == 4 && ss.publishes == 4 && ss.publish_failed == 0,
+         "exactly 4 republishes");
+  Expect(server->published_version() == 5, "version advances once per cycle");
+
+  // Every stored row — sealed shards and tail alike — is bitwise the
+  // row that was appended.
+  int64_t rows_seen = 0, mismatches = 0;
+  ForEachBlock(*live, 0, live->n(), [&](const DatasetView& view) {
+    for (int64_t i = 0; i < view.rows(); ++i) {
+      const double* p = view.Point(i);
+      for (int64_t j = 0; j < d; ++j) {
+        if (p[j] != IngestCoord(view.first_row() + i, j)) ++mismatches;
+      }
+      ++rows_seen;
+    }
+  });
+  Expect(rows_seen == 96 && mismatches == 0,
+         "stored rows must be bitwise the appended rows");
+
+  // Crash + recover: an acknowledged (synced) unsealed batch must come
+  // back from the oplog replay, bit for bit and with exact counts.
+  const std::vector<double> tail = IngestBatch(96, kBatchRows, d);
+  IngestAppend(*live, tail, kBatchRows);
+  Expect(live->SyncLog().ok(), "log sync");
+  loop.reset();  // "crash": the loop and dataset objects go away
+  live.reset();
+
+  opened = LiveDataset::Open(base, d, /*has_weights=*/false, live_opts);
+  if (!opened.ok()) Fail(opened.status().message().c_str());
+  live.emplace(std::move(opened).ValueOrDie());
+  Expect(live->n() == 104, "reopen must recover every acknowledged row");
+  Expect(live->ingest_stats().recovered_rows == kBatchRows,
+         "exactly the unsealed tail is replayed");
+  Expect(live->ingest_stats().torn_bytes == 0,
+         "a clean shutdown leaves no torn tail");
+
+  // The recovered loop restores its checkpoint, republishes it once
+  // (idempotent re-publish; version 5 -> 6), then refines the 8
+  // post-recovery rows (6 -> 7).
+  auto loop2 = std::make_unique<RefineLoop>(server, &*live, loop_opts);
+  Expect(loop2->Recover().ok(), "refine-loop recovery");
+  Expect(loop2->stats().recoveries == 1, "checkpoint must be restored");
+  Expect(loop2->stats().watermark == 96, "recovered watermark");
+  Expect(server->stats().publishes == 5, "recovery republishes exactly once");
+  Expect(loop2->RunOnce().ok(), "post-recovery cycle");
+  Expect(loop2->stats().cycles == 1 && loop2->stats().watermark == 104,
+         "post-recovery cycle covers the replayed rows");
+  ss = server->stats();
+  Expect(ss.refines == 6 && ss.publishes == 6 && ss.publish_failed == 0,
+         "exact republish accounting across the crash");
+  Expect(server->published_version() == 7,
+         "version advances once per republish");
+  Expect(!ss.serving_stale, "a just-published tenant is not stale");
+
+  // Served answers route through the freshly republished snapshot,
+  // bitwise the direct AssignOne.
+  const Matrix probe = RandomMatrix(8, d, 23);
+  const auto snapshot = registry->AcquireSnapshot("live").ValueOrDie();
+  for (int64_t i = 0; i < probe.rows(); ++i) {
+    Result<NearestResult> r = registry->Assign("live", probe.Row(i));
+    Expect(r.ok(), "assign against the refreshed tenant");
+    const NearestResult direct = snapshot->AssignOne(probe.Row(i));
+    Expect(r.ValueOrDie().index == direct.index &&
+               r.ValueOrDie().distance2 == direct.distance2,
+           "served answer must be bitwise AssignOne after republish");
+  }
+
+  live.reset();
+  RemoveLiveFiles(base);
+  std::remove(ckpt.c_str());
+}
+
+int RunSmokeIngest() {
+  SmokeIngest();
+  std::printf("workload_harness --smoke --ingest: all gates passed\n");
+  return 0;
+}
+
+// Bench: producer appends into the LiveDataset (sealing every
+// --seal_every batches) while the background RefineLoop republishes the
+// "live" tenant and --threads query threads assign against it.
+int RunIngestBench(const eval::Args& args) {
+  const int64_t d = args.GetInt("d", 16);
+  const int64_t k = args.GetInt("k", 64);
+  const int64_t batch_rows = args.GetInt("batch_rows", 512);
+  const int64_t batches = args.GetInt("batches", 256);
+  const int64_t seal_every = args.GetInt("seal_every", 8);
+  const int64_t threads = args.GetInt("threads", 4);
+  const int64_t pool_rows = args.GetInt("queries", 1024);
+
+  const std::string base = args.GetString(
+      "base", IngestBasePath("kmll_workload_ingest_bench"));
+  const std::string ckpt = base + ".freshness.ckpt";
+  RemoveLiveFiles(base);
+  std::remove(ckpt.c_str());
+
+  LiveDatasetOptions live_opts;
+  live_opts.rows_per_shard = args.GetInt("rows_per_shard", 4096);
+  auto opened = LiveDataset::Open(base, d, /*has_weights=*/false, live_opts);
+  if (!opened.ok()) Fail(opened.status().message().c_str());
+  LiveDataset live = std::move(opened).ValueOrDie();
+
+  auto registry = std::make_unique<ServerRegistry>();
+  if (!registry
+           ->Register("live", CenterIndex::Build(RandomMatrix(k, d, 17),
+                                                 /*version=*/1))
+           .ok()) {
+    Fail("register live tenant");
+  }
+  ModelServer* server = registry->server("live").ValueOrDie();
+
+  RefineLoopOptions loop_opts;
+  loop_opts.seed = static_cast<uint64_t>(args.GetInt("seed", 0xF00D));
+  loop_opts.min_new_rows = live_opts.rows_per_shard;
+  loop_opts.minibatch.batch_size = args.GetInt("mb_batch", 256);
+  loop_opts.minibatch.iterations = args.GetInt("mb_iters", 20);
+  loop_opts.reseed.k = k;
+  loop_opts.checkpoint_path = ckpt;
+  loop_opts.freshness_slo_ms = args.GetInt("slo_ms", 0);
+  loop_opts.tick_ms = args.GetInt("tick_ms", 5);
+  RefineLoop loop(server, &live, loop_opts);
+  loop.Start();
+
+  std::printf(
+      "workload_harness --ingest: %" PRId64 " batches x %" PRId64
+      " rows, d=%" PRId64 " k=%" PRId64 ", seal_every=%" PRId64
+      ", rows_per_shard=%" PRId64 ", %" PRId64 " query threads\n\n",
+      batches, batch_rows, d, k, seal_every, live_opts.rows_per_shard,
+      threads);
+
+  const Matrix pool = RandomMatrix(pool_rows, d, 77);
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> served{0}, shed{0};
+  std::vector<std::thread> readers;
+  for (int64_t t = 0; t < threads; ++t) {
+    readers.emplace_back([&, t] {
+      int64_t i = t;
+      while (!stop.load(std::memory_order_relaxed)) {
+        Result<NearestResult> r =
+            registry->Assign("live", pool.Row(i % pool_rows));
+        if (r.ok()) {
+          served.fetch_add(1, std::memory_order_relaxed);
+        } else if (r.status().IsUnavailable()) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          Fail(r.status().message().c_str());
+        }
+        ++i;
+      }
+    });
+  }
+
+  WallTimer timer;
+  rng::Rng rng(static_cast<uint64_t>(args.GetInt("seed", 0xF00D)));
+  std::vector<double> batch(static_cast<size_t>(batch_rows * d));
+  for (int64_t i = 0; i < batches; ++i) {
+    for (double& v : batch) v = rng.NextGaussian();
+    IngestAppend(live, batch, batch_rows);
+    if ((i + 1) % seal_every == 0 && !live.Seal().ok()) Fail("seal failed");
+  }
+  if (!live.Seal().ok()) Fail("final seal failed");
+  const double ingest_s = timer.ElapsedSeconds();
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& r : readers) r.join();
+  loop.Stop();
+
+  const IngestStats ing = live.ingest_stats();
+  const RefineStats rs = loop.stats();
+  const ModelServer::Stats ss = server->stats();
+  const auto tenant = registry->stats("live");
+  if (!tenant.ok()) Fail("missing tenant stats");
+  const auto& lat = tenant.ValueOrDie().latency;
+
+  eval::TablePrinter table(
+      {"rows", "ingest_s", "rows_per_s", "seals", "sealed", "cycles",
+       "minibatch", "reseeds", "publishes", "slo_miss", "served", "shed",
+       "qps", "p50_us", "p95_us", "p99_us"});
+  table.AddRow(
+      {eval::CellInt(ing.appended_rows), eval::Cell(ingest_s),
+       eval::CellInt(static_cast<int64_t>(
+           static_cast<double>(ing.appended_rows) / ingest_s)),
+       eval::CellInt(ing.seals), eval::CellInt(ing.sealed_rows),
+       eval::CellInt(rs.cycles), eval::CellInt(rs.minibatch_refines),
+       eval::CellInt(rs.reseeds), eval::CellInt(ss.publishes),
+       eval::CellInt(rs.slo_misses), eval::CellInt(served.load()),
+       eval::CellInt(shed.load()),
+       eval::CellInt(static_cast<int64_t>(
+           static_cast<double>(served.load()) / ingest_s)),
+       eval::CellInt(lat.PercentileValue(50.0)),
+       eval::CellInt(lat.PercentileValue(95.0)),
+       eval::CellInt(lat.PercentileValue(99.0))});
+  std::printf("Ingest + refine + serve (one live tenant):\n");
+  table.Print(std::cout);
+  (void)table.WriteTsv(eval::TsvOutputPath("workload_ingest"));
+
+  RemoveLiveFiles(base);
+  std::remove(ckpt.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace kmeansll
 
 int main(int argc, char** argv) {
   kmeansll::eval::Args args(argc, argv);
+  const bool ingest = args.GetBool("ingest", false);
   if (args.GetBool("smoke", false)) {
+    if (ingest) return kmeansll::RunSmokeIngest();
     return kmeansll::RunSmoke(args.GetBool("pruned", false));
   }
+  if (ingest) return kmeansll::RunIngestBench(args);
   return kmeansll::RunBench(args);
 }

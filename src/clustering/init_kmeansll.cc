@@ -227,7 +227,8 @@ Result<InitResult> KMeansLLInit(const DatasetSource& data, int64_t k,
       ckpt.cost_history = result.telemetry.round_potentials;
       ckpt.data_passes = result.telemetry.data_passes;
       KMEANSLL_RETURN_NOT_OK(
-          data::SaveCheckpoint(ckpt, options.checkpoint_path));
+          data::SaveCheckpoint(ckpt, options.checkpoint_path,
+                               &result.telemetry.checkpoint_write_retries));
       // Kill point for crash tests: dies only when armed, right after
       // the checkpoint became durable.
       KMEANSLL_RETURN_NOT_OK(fault::Check("seed.kill"));

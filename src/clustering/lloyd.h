@@ -51,6 +51,9 @@ struct LloydResult {
   bool converged = false;    ///< reached a fixed point before the cap
   std::vector<double> cost_history;  ///< φ after each iteration (optional)
   int64_t empty_cluster_repairs = 0; ///< centers reseeded (see below)
+  /// Transient write retries burned saving iteration checkpoints (0 when
+  /// checkpointing is off or every save landed first try).
+  int64_t checkpoint_write_retries = 0;
 };
 
 /// Runs Lloyd's iteration from `initial_centers`.

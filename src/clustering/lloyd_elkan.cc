@@ -283,8 +283,9 @@ Result<LloydResult> RunLloydElkan(const DatasetSource& data,
 
     if (will_checkpoint) {
       KMEANSLL_RETURN_NOT_OK(
-          internal::CheckpointLloydIteration(plan, entering_centers,
-                                             result));
+          internal::CheckpointLloydIteration(
+              plan, entering_centers, result,
+              &result.checkpoint_write_retries));
     }
   }
 

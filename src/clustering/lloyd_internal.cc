@@ -202,7 +202,8 @@ bool ShouldCheckpoint(const LloydCheckpointPlan& plan, int64_t iter,
 
 Status CheckpointLloydIteration(const LloydCheckpointPlan& plan,
                                 const Matrix& prev_centers,
-                                const LloydResult& result) {
+                                const LloydResult& result,
+                                int64_t* out_retries) {
   data::TrainingCheckpoint ckpt;
   ckpt.phase = data::TrainingCheckpoint::Phase::kLloyd;
   ckpt.fingerprint = plan.fingerprint;
@@ -211,7 +212,7 @@ Status CheckpointLloydIteration(const LloydCheckpointPlan& plan,
   ckpt.prev_centers = prev_centers;
   ckpt.cost_history = result.cost_history;
   ckpt.empty_cluster_repairs = result.empty_cluster_repairs;
-  KMEANSLL_RETURN_NOT_OK(data::SaveCheckpoint(ckpt, plan.path));
+  KMEANSLL_RETURN_NOT_OK(data::SaveCheckpoint(ckpt, plan.path, out_retries));
   // Crash tests arm this site nth-call to kill the run at the exact
   // moment a checkpoint became durable.
   return fault::Check("lloyd.kill");

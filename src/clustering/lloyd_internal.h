@@ -138,10 +138,12 @@ bool ShouldCheckpoint(const LloydCheckpointPlan& plan, int64_t iter,
 /// Atomically persists the end-of-iteration state. `prev_centers` are
 /// the centers that entered the iteration. Also hosts the "lloyd.kill"
 /// fault site so crash tests can kill the run exactly after a durable
-/// checkpoint.
+/// checkpoint. `*out_retries` (optional) accumulates transient write
+/// retries — the runners feed LloydResult::checkpoint_write_retries.
 Status CheckpointLloydIteration(const LloydCheckpointPlan& plan,
                                 const Matrix& prev_centers,
-                                const LloydResult& result);
+                                const LloydResult& result,
+                                int64_t* out_retries = nullptr);
 
 /// Removes a completed run's checkpoint (best-effort).
 void RemoveLloydCheckpoint(const LloydCheckpointPlan& plan);

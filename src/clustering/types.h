@@ -33,6 +33,9 @@ struct InitTelemetry {
   /// Wall-clock seconds in candidate selection / in reclustering.
   double sampling_seconds = 0.0;
   double recluster_seconds = 0.0;
+  /// Transient write retries burned saving seeding checkpoints (0 when
+  /// checkpointing is off or every save landed first try).
+  int64_t checkpoint_write_retries = 0;
 };
 
 /// Output of any initialization method.

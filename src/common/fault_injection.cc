@@ -22,6 +22,8 @@ const char* FaultKindToString(FaultKind kind) {
       return "write failure";
     case FaultKind::kTaskFail:
       return "task failure";
+    case FaultKind::kTornWrite:
+      return "torn write";
   }
   return "unknown fault";
 }

@@ -36,7 +36,13 @@ namespace kmeansll::fault {
 /// What the armed site simulates. Sites interpret the kind themselves:
 /// I/O sites surface kShortRead/kMapFail/kWriteFail as Status::IOError,
 /// kCrcError corrupts validation, kSlowIo sleeps then succeeds, kTaskFail
-/// fails a MapReduce task attempt.
+/// fails a MapReduce task attempt. kTornWrite is the crash-shaped write
+/// failure: unlike kWriteFail (which fails before any byte lands), a
+/// torn write leaves a PREFIX of the payload on disk and then dies —
+/// writers that must be crash-consistent (the oplog's append path,
+/// AtomicWriteFile's temp file) consume it via CheckKind and truncate
+/// their own write mid-record, so recovery code faces the same torn
+/// tail a real power cut would leave.
 enum class FaultKind : int {
   kShortRead = 0,  ///< read/map returned fewer bytes than asked
   kMapFail = 1,    ///< mmap/open failed outright
@@ -44,6 +50,7 @@ enum class FaultKind : int {
   kSlowIo = 3,     ///< operation succeeds after an injected delay
   kWriteFail = 4,  ///< write/fsync/rename failed
   kTaskFail = 5,   ///< a MapReduce task attempt died mid-flight
+  kTornWrite = 6,  ///< write died mid-record, leaving a torn prefix
 };
 
 const char* FaultKindToString(FaultKind kind);

@@ -1,8 +1,10 @@
 #include "common/file_util.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include "common/fault_injection.h"
 
@@ -54,12 +56,50 @@ Status AtomicWriteFile(const std::string& path, const void* data,
   if (written != size) return ErrnoStatus("short write to", path);
   return Status::OK();
 #else
-  if (!fault_site.empty()) {
-    // Simulated crash/failure before anything reached the filesystem.
-    KMEANSLL_RETURN_NOT_OK(fault::Check(fault_site));
-  }
   const std::string tmp =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+#if KMEANSLL_FAULT_INJECTION
+  if (!fault_site.empty()) {
+    fault::FaultKind kind;
+    int64_t slow_us = 0;
+    if (fault::FaultInjector::Global().ShouldFail(fault_site, &kind,
+                                                  &slow_us)) {
+      if (kind == fault::FaultKind::kSlowIo) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(slow_us > 0 ? slow_us : 1000));
+      } else if (kind == fault::FaultKind::kTornWrite) {
+        // Simulated crash mid-write: persist a PREFIX of the payload in
+        // the temp file and die without cleanup, exactly as a power cut
+        // would. The destination must still hold its previous contents,
+        // and recovery must tolerate the stray torn temp file.
+        const int tfd =
+            ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (tfd >= 0) {
+          const size_t torn = size / 2;
+          size_t off = 0;
+          while (off < torn) {
+            const ssize_t n = ::write(tfd, static_cast<const char*>(data) + off,
+                                      torn - off);
+            if (n < 0) {
+              if (errno == EINTR) continue;
+              break;
+            }
+            off += static_cast<size_t>(n);
+          }
+          ::fsync(tfd);
+          ::close(tfd);
+        }
+        return Status::IOError(std::string("injected torn write at ") +
+                               std::string(fault_site));
+      } else {
+        // Simulated crash/failure before anything reached the filesystem.
+        return Status::IOError(std::string("injected ") +
+                               fault::FaultKindToString(kind) + " at " +
+                               std::string(fault_site));
+      }
+    }
+  }
+#endif  // KMEANSLL_FAULT_INJECTION
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return ErrnoStatus("cannot create", tmp);
 

@@ -12,8 +12,12 @@
 // flip a published pointer.
 //
 // `fault_site` (optional) names a fault-injection site checked before
-// the write and before the rename, so tests can simulate a crash at
-// either boundary and assert the destination is never torn.
+// the write and before the rename (`<site>.rename`), so tests can
+// simulate a crash at either boundary and assert the destination is
+// never torn. A kTornWrite fault at the pre-write site persists a
+// torn prefix of the payload in the temp file — left behind, as a
+// real crash would leave it — which proves the rename protocol keeps
+// the destination intact even when partial bytes reached the disk.
 
 #ifndef KMEANSLL_COMMON_FILE_UTIL_H_
 #define KMEANSLL_COMMON_FILE_UTIL_H_

@@ -233,6 +233,7 @@ Result<KMeansReport> KMeans::Fit(const DatasetSource& data) const {
       report.assignment = std::move(lloyd.assignment);
       report.lloyd_iterations = lloyd.iterations;
       report.lloyd_converged = lloyd.converged;
+      report.checkpoint_write_retries = lloyd.checkpoint_write_retries;
     }
   } else {
     report.centers = std::move(init.centers);
@@ -252,7 +253,8 @@ Result<KMeansReport> KMeans::Fit(const DatasetSource& data) const {
   if (!config_.model_output_path.empty()) {
     KMEANSLL_RETURN_NOT_OK(
         data::SaveModel(MakeModelArtifact(config_, report, data.n()),
-                        config_.model_output_path));
+                        config_.model_output_path,
+                        &report.model_write_retries));
   }
   return report;
 }

@@ -127,6 +127,13 @@ struct KMeansReport {
   double lloyd_seconds = 0;
   double total_seconds = 0;
   mapreduce::Counters counters;  ///< populated when use_mapreduce
+  /// Transient write retries burned persisting artifacts: Lloyd
+  /// checkpoints (init's seeding-checkpoint retries live in
+  /// init.checkpoint_write_retries) and the final model save. Non-zero
+  /// counters mean a save healed by retrying — telemetry a flaky-disk
+  /// postmortem wants, invisible in the Status.
+  int64_t checkpoint_write_retries = 0;
+  int64_t model_write_retries = 0;
 };
 
 /// Configured, reusable estimator. Thread-compatible: one Fit() at a time

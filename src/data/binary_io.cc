@@ -5,14 +5,25 @@
 #include <fstream>
 #include <vector>
 
+#include "data/model_io.h"  // for data::Crc32
+
 namespace kmeansll::data {
 
 namespace {
 
 constexpr char kMagic[8] = {'K', 'M', 'L', 'L', 'D', 'A', 'T', 'A'};
-constexpr int32_t kVersion = 1;
+// v1: header + payload only. v2 adds kFlagPayloadCrc and a trailing
+// little-endian uint32 CRC-32 over every preceding byte of the file
+// (header included), so silent payload corruption is detected at read
+// time the same way header corruption already is. The writer always
+// emits v2 with the CRC; v1 files remain readable.
+constexpr int32_t kVersion = 2;
+constexpr int32_t kMinVersion = 1;
 constexpr uint32_t kFlagWeights = 1u << 0;
 constexpr uint32_t kFlagLabels = 1u << 1;
+constexpr uint32_t kFlagPayloadCrc = 1u << 2;
+constexpr uint32_t kKnownFlags =
+    kFlagWeights | kFlagLabels | kFlagPayloadCrc;
 
 }  // namespace
 
@@ -29,29 +40,36 @@ Status WriteBinaryRange(const Dataset& dataset, int64_t begin, int64_t end,
   }
   int64_t n = end - begin;
   int64_t d = dataset.dim();
-  uint32_t flags = 0;
+  uint32_t flags = kFlagPayloadCrc;
   if (dataset.has_weights()) flags |= kFlagWeights;
   if (dataset.has_labels()) flags |= kFlagLabels;
 
-  out.write(kMagic, sizeof(kMagic));
+  // Every byte that hits the stream also folds into the running CRC so
+  // the trailing checksum covers the whole file without a second pass.
+  uint32_t crc = 0;
+  auto put = [&out, &crc](const void* bytes, size_t size) {
+    out.write(static_cast<const char*>(bytes),
+              static_cast<std::streamsize>(size));
+    crc = Crc32(bytes, size, crc);
+  };
+
+  put(kMagic, sizeof(kMagic));
   int32_t version = kVersion;
-  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
-  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  out.write(reinterpret_cast<const char*>(&d), sizeof(d));
-  out.write(reinterpret_cast<const char*>(&flags), sizeof(flags));
-  out.write(reinterpret_cast<const char*>(dataset.points().data() +
-                                          begin * d),
-            static_cast<std::streamsize>(n * d * sizeof(double)));
+  put(&version, sizeof(version));
+  put(&n, sizeof(n));
+  put(&d, sizeof(d));
+  put(&flags, sizeof(flags));
+  put(dataset.points().data() + begin * d,
+      static_cast<size_t>(n * d) * sizeof(double));
   if (dataset.has_weights()) {
-    out.write(reinterpret_cast<const char*>(dataset.weights().data() +
-                                            begin),
-              static_cast<std::streamsize>(n * sizeof(double)));
+    put(dataset.weights().data() + begin,
+        static_cast<size_t>(n) * sizeof(double));
   }
   if (dataset.has_labels()) {
-    out.write(reinterpret_cast<const char*>(dataset.labels().data() +
-                                            begin),
-              static_cast<std::streamsize>(n * sizeof(int32_t)));
+    put(dataset.labels().data() + begin,
+        static_cast<size_t>(n) * sizeof(int32_t));
   }
+  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
   if (!out.good()) return Status::IOError("write to '" + path + "' failed");
   return Status::OK();
 }
@@ -78,19 +96,33 @@ Result<Dataset> ReadBinary(const std::string& path) {
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   in.read(reinterpret_cast<char*>(&d), sizeof(d));
   in.read(reinterpret_cast<char*>(&flags), sizeof(flags));
-  if (!in.good() || version != kVersion) {
+  if (!in.good() || version < kMinVersion || version > kVersion) {
     return Status::InvalidArgument("unsupported dataset version in '" +
                                    path + "'");
+  }
+  if ((flags & ~kKnownFlags) != 0 ||
+      (version < 2 && (flags & kFlagPayloadCrc) != 0)) {
+    return Status::InvalidArgument("unknown flags in '" + path + "'");
   }
   if (n <= 0 || d <= 0 || n > (int64_t{1} << 40) ||
       d > (int64_t{1} << 24)) {
     return Status::InvalidArgument("implausible dataset shape in '" + path +
                                    "'");
   }
+  // Fold everything read so far (and every section below) into a running
+  // CRC; v2 files carry the expected value in their final four bytes.
+  uint32_t crc = Crc32(kMagic, sizeof(kMagic));
+  crc = Crc32(&version, sizeof(version), crc);
+  crc = Crc32(&n, sizeof(n), crc);
+  crc = Crc32(&d, sizeof(d), crc);
+  crc = Crc32(&flags, sizeof(flags), crc);
+
   Matrix points(n, d);
   in.read(reinterpret_cast<char*>(points.data()),
           static_cast<std::streamsize>(n * d * sizeof(double)));
   if (!in.good()) return Status::IOError("'" + path + "' is truncated");
+  crc = Crc32(points.data(), static_cast<size_t>(n * d) * sizeof(double),
+              crc);
 
   std::vector<double> weights;
   if ((flags & kFlagWeights) != 0) {
@@ -98,6 +130,7 @@ Result<Dataset> ReadBinary(const std::string& path) {
     in.read(reinterpret_cast<char*>(weights.data()),
             static_cast<std::streamsize>(n * sizeof(double)));
     if (!in.good()) return Status::IOError("'" + path + "' is truncated");
+    crc = Crc32(weights.data(), weights.size() * sizeof(double), crc);
   }
   std::vector<int32_t> labels;
   if ((flags & kFlagLabels) != 0) {
@@ -105,6 +138,16 @@ Result<Dataset> ReadBinary(const std::string& path) {
     in.read(reinterpret_cast<char*>(labels.data()),
             static_cast<std::streamsize>(n * sizeof(int32_t)));
     if (!in.good()) return Status::IOError("'" + path + "' is truncated");
+    crc = Crc32(labels.data(), labels.size() * sizeof(int32_t), crc);
+  }
+  if ((flags & kFlagPayloadCrc) != 0) {
+    uint32_t stored = 0;
+    in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (!in.good()) return Status::IOError("'" + path + "' is truncated");
+    if (stored != crc) {
+      return Status::InvalidArgument("payload CRC mismatch in '" + path +
+                                     "'");
+    }
   }
 
   if (!weights.empty() && !labels.empty()) {

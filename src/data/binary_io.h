@@ -2,6 +2,10 @@
 // flags, then row-major doubles, optional weights, optional labels.
 // Loads ~10x faster than CSV for the large synthetic workloads, and
 // round-trips weights/labels losslessly (CSV drops weights).
+//
+// Version 2 appends a CRC-32 over every preceding file byte (flagged
+// via the payload-CRC flag bit) so silent payload corruption fails
+// cleanly at read time; version 1 files (no checksum) remain readable.
 
 #ifndef KMEANSLL_DATA_BINARY_IO_H_
 #define KMEANSLL_DATA_BINARY_IO_H_

@@ -66,7 +66,7 @@ uint64_t HashBytes(const void* bytes, size_t size) {
 }
 
 Status SaveCheckpoint(const TrainingCheckpoint& checkpoint,
-                      const std::string& path) {
+                      const std::string& path, int64_t* out_retries) {
   const int64_t k = checkpoint.centers.rows();
   const int64_t d = checkpoint.centers.cols();
   const int64_t prev_k = checkpoint.prev_centers.rows();
@@ -108,10 +108,13 @@ Status SaveCheckpoint(const TrainingCheckpoint& checkpoint,
 
   // Crash-safe: the rename is the commit point, so an interrupted save
   // leaves the previous checkpoint (or none), never a torn file.
-  return RetryTransient(RetryPolicy{}, [&] {
-    return AtomicWriteFile(path, buf.data(), buf.size(),
-                           "checkpoint.write");
-  });
+  return RetryTransient(
+      RetryPolicy{},
+      [&] {
+        return AtomicWriteFile(path, buf.data(), buf.size(),
+                               "checkpoint.write");
+      },
+      out_retries);
 }
 
 Result<TrainingCheckpoint> LoadCheckpoint(const std::string& path) {

@@ -81,8 +81,11 @@ struct TrainingCheckpoint {
 
 /// Atomically persists `checkpoint` at `path` (temp + fsync + rename,
 /// transient failures retried). Fault-injection site: "checkpoint.write".
+/// `*out_retries` (optional) accumulates the retries burned, feeding the
+/// trainers' checkpoint_write_retries telemetry.
 Status SaveCheckpoint(const TrainingCheckpoint& checkpoint,
-                      const std::string& path);
+                      const std::string& path,
+                      int64_t* out_retries = nullptr);
 
 /// Reads a checkpoint saved by SaveCheckpoint. Fails on bad magic,
 /// version, implausible shape, truncation, surplus bytes, or CRC

@@ -97,7 +97,8 @@ ModelArtifact MakeModelArtifact(Matrix centers, ModelMetadata metadata) {
   return artifact;
 }
 
-Status SaveModel(const ModelArtifact& artifact, const std::string& path) {
+Status SaveModel(const ModelArtifact& artifact, const std::string& path,
+                 int64_t* out_retries) {
   const int64_t k = artifact.centers.rows();
   const int64_t d = artifact.centers.cols();
   if (k <= 0 || d <= 0) {
@@ -142,9 +143,12 @@ Status SaveModel(const ModelArtifact& artifact, const std::string& path) {
   // fsynced, and is renamed over `path` — a crash at any point leaves
   // either the previous model or the new one, never a torn file.
   // Transient write failures (injected or real) are retried in place.
-  return RetryTransient(RetryPolicy{}, [&] {
-    return AtomicWriteFile(path, buf.data(), buf.size(), "model.write");
-  });
+  return RetryTransient(
+      RetryPolicy{},
+      [&] {
+        return AtomicWriteFile(path, buf.data(), buf.size(), "model.write");
+      },
+      out_retries);
 }
 
 Result<ModelArtifact> LoadModel(const std::string& path) {

@@ -77,7 +77,11 @@ ModelArtifact MakeModelArtifact(Matrix centers, ModelMetadata metadata);
 /// Writes `artifact` at `path`. The artifact must be consistent
 /// (norms length == centers.rows()); Save fails on shape mismatch or I/O
 /// error and never leaves a file that passes LoadModel validation partial.
-Status SaveModel(const ModelArtifact& artifact, const std::string& path);
+/// Transient write failures are retried; `*out_retries` (optional)
+/// accumulates how many retries the save burned, feeding the
+/// write-retry telemetry counters (KMeansReport::model_write_retries).
+Status SaveModel(const ModelArtifact& artifact, const std::string& path,
+                 int64_t* out_retries = nullptr);
 
 /// Reads a model saved by SaveModel. Fails eagerly on bad magic,
 /// unsupported version, implausible or inconsistent shape, truncation,

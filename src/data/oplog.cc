@@ -1,0 +1,489 @@
+#include "data/oplog.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include "common/fault_injection.h"
+#include "common/file_util.h"
+#include "common/macros.h"
+#include "data/model_io.h"  // for data::Crc32
+
+namespace kmeansll::data {
+
+namespace {
+
+constexpr char kMagic[8] = {'K', 'M', 'L', 'L', 'O', 'P', 'L', 'G'};
+constexpr int32_t kVersion = 1;
+constexpr uint32_t kFlagWeights = 1u << 0;
+// magic(8) + version(4) + dim(8) + flags(4).
+constexpr int64_t kHeaderBytes = 24;
+// body = first_row(8) + rows(8) + payload.
+constexpr int64_t kBodyFixedBytes = 16;
+// frame = crc(4) + len(4) + body.
+constexpr int64_t kFrameFixedBytes = 8;
+
+void AppendRaw(std::string* out, const void* bytes, size_t size) {
+  out->append(static_cast<const char*>(bytes), size);
+}
+
+template <typename T>
+void AppendScalar(std::string* out, T value) {
+  AppendRaw(out, &value, sizeof(T));
+}
+
+int64_t RowBytes(int64_t dim, bool has_weights) {
+  return dim * static_cast<int64_t>(sizeof(double)) +
+         (has_weights ? static_cast<int64_t>(sizeof(double)) : 0);
+}
+
+Status FlushAndFsync(std::FILE* f, const std::string& path) {
+  if (std::fflush(f) != 0) {
+    return Status::IOError("fflush of oplog '" + path + "' failed");
+  }
+#if !defined(_WIN32)
+  if (::fsync(::fileno(f)) != 0) {
+    return Status::IOError("fsync of oplog '" + path + "' failed");
+  }
+#endif
+  return Status::OK();
+}
+
+bool FileExistsAt(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+struct OpLog::Impl {
+  std::string path;
+  int64_t dim = 0;
+  OpLogOptions options;
+  std::FILE* file = nullptr;  // positioned at file_end for appends
+  int64_t file_end = kHeaderBytes;
+  int64_t unsynced_bytes = 0;
+  int64_t unsynced_records = 0;
+  Status poison;  // sticky: set by torn writes / failed fsyncs
+  OpLogStats stats;
+
+  ~Impl() {
+    if (file != nullptr) std::fclose(file);
+  }
+
+  /// Marks the log unusable until reopened. The error is sticky on
+  /// purpose: after a torn write or a failed fsync the on-disk state is
+  /// unknown, and the only sound continuation is Open()'s scan.
+  Status Poison(Status status) {
+    if (poison.ok()) poison = status;
+    return poison;
+  }
+
+  Status DoSync() {
+    KMEANSLL_RETURN_NOT_OK(FlushAndFsync(file, path));
+    unsynced_bytes = 0;
+    unsynced_records = 0;
+    ++stats.syncs;
+    return Status::OK();
+  }
+
+  /// Serializes one record frame: crc | len | first_row | rows | data.
+  std::string BuildFrame(int64_t first_row, int64_t rows,
+                         const double* points,
+                         const double* weights) const {
+    std::string body;
+    const int64_t payload = rows * RowBytes(dim, options.has_weights);
+    body.reserve(static_cast<size_t>(kBodyFixedBytes + payload));
+    AppendScalar(&body, first_row);
+    AppendScalar(&body, rows);
+    AppendRaw(&body, points,
+              static_cast<size_t>(rows * dim) * sizeof(double));
+    if (options.has_weights) {
+      AppendRaw(&body, weights, static_cast<size_t>(rows) * sizeof(double));
+    }
+    const auto len = static_cast<uint32_t>(body.size());
+    uint32_t crc = Crc32(&len, sizeof(len));
+    crc = Crc32(body.data(), body.size(), crc);
+    std::string frame;
+    frame.reserve(kFrameFixedBytes + body.size());
+    AppendScalar(&frame, crc);
+    AppendScalar(&frame, len);
+    frame.append(body);
+    return frame;
+  }
+};
+
+OpLog::OpLog(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+OpLog::OpLog(OpLog&&) noexcept = default;
+OpLog& OpLog::operator=(OpLog&&) noexcept = default;
+OpLog::~OpLog() = default;
+
+Result<OpLog> OpLog::Create(const std::string& path, int64_t dim,
+                            const OpLogOptions& options) {
+  if (dim <= 0) return Status::InvalidArgument("dim must be positive");
+  std::FILE* f = std::fopen(path.c_str(), "wb+");
+  if (f == nullptr) {
+    return Status::IOError("cannot create oplog '" + path + "'");
+  }
+  std::string header;
+  AppendRaw(&header, kMagic, sizeof(kMagic));
+  AppendScalar(&header, kVersion);
+  AppendScalar(&header, dim);
+  AppendScalar(&header, options.has_weights ? kFlagWeights : 0u);
+  if (std::fwrite(header.data(), 1, header.size(), f) != header.size()) {
+    std::fclose(f);
+    return Status::IOError("cannot write oplog header to '" + path + "'");
+  }
+  if (Status st = FlushAndFsync(f, path); !st.ok()) {
+    std::fclose(f);
+    return st;
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->path = path;
+  impl->dim = dim;
+  impl->options = options;
+  impl->file = f;
+  impl->file_end = kHeaderBytes;
+  return OpLog(std::move(impl));
+}
+
+Result<OpLog> OpLog::Open(const std::string& path, int64_t dim,
+                          const OpLogOptions& options) {
+  if (dim <= 0) return Status::InvalidArgument("dim must be positive");
+  if (!FileExistsAt(path)) return Create(path, dim, options);
+
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) {
+    return Status::IOError("cannot open oplog '" + path + "'");
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->path = path;
+  impl->dim = dim;
+  impl->options = options;
+  impl->file = f;  // Impl now owns f; early returns close it
+
+  std::fseek(f, 0, SEEK_END);
+  const int64_t file_size = static_cast<int64_t>(std::ftell(f));
+  std::fseek(f, 0, SEEK_SET);
+
+  char header[kHeaderBytes];
+  if (file_size < kHeaderBytes ||
+      std::fread(header, 1, sizeof(header), f) != sizeof(header) ||
+      std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not a kmeansll oplog");
+  }
+  int32_t version = 0;
+  int64_t file_dim = 0;
+  uint32_t flags = 0;
+  std::memcpy(&version, header + 8, sizeof(version));
+  std::memcpy(&file_dim, header + 12, sizeof(file_dim));
+  std::memcpy(&flags, header + 20, sizeof(flags));
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported oplog version in '" + path +
+                                   "'");
+  }
+  if (file_dim != dim ||
+      ((flags & kFlagWeights) != 0) != options.has_weights) {
+    return Status::InvalidArgument("oplog '" + path +
+                                   "' shape disagrees with the request");
+  }
+
+  // Scan: keep the longest valid prefix of whole records, truncate the
+  // rest. Every exit from the loop sets `good_end` to a record
+  // boundary, so the surviving bytes are exactly some uninterrupted
+  // writer's log — the property replay's bitwise contract rests on.
+  const int64_t row_bytes = RowBytes(dim, options.has_weights);
+  int64_t good_end = kHeaderBytes;
+  std::vector<char> body;
+  while (good_end < file_size) {
+    const int64_t remaining = file_size - good_end;
+    if (remaining < kFrameFixedBytes) break;  // torn frame header
+    uint32_t crc = 0, len = 0;
+    if (std::fread(&crc, 1, sizeof(crc), f) != sizeof(crc) ||
+        std::fread(&len, 1, sizeof(len), f) != sizeof(len)) {
+      break;
+    }
+    if (len < kBodyFixedBytes ||
+        static_cast<int64_t>(len) > remaining - kFrameFixedBytes) {
+      break;  // torn or corrupt length
+    }
+    body.resize(len);
+    if (std::fread(body.data(), 1, len, f) != len) break;
+    uint32_t actual = Crc32(&len, sizeof(len));
+    actual = Crc32(body.data(), len, actual);
+    if (actual != crc) break;  // torn or corrupt body
+    int64_t first_row = 0, rows = 0;
+    std::memcpy(&first_row, body.data(), sizeof(first_row));
+    std::memcpy(&rows, body.data() + 8, sizeof(rows));
+    if (rows <= 0 || first_row < 0 ||
+        static_cast<int64_t>(len) != kBodyFixedBytes + rows * row_bytes) {
+      break;  // frame checks out but the record is not self-consistent
+    }
+    good_end += kFrameFixedBytes + len;
+    ++impl->stats.recovered_records;
+    impl->stats.recovered_rows += rows;
+  }
+
+  if (good_end < file_size) {
+    impl->stats.torn_bytes = file_size - good_end;
+#if !defined(_WIN32)
+    if (::ftruncate(::fileno(f), static_cast<off_t>(good_end)) != 0) {
+      return Status::IOError("cannot truncate torn tail of oplog '" + path +
+                             "'");
+    }
+    if (::fsync(::fileno(f)) != 0) {
+      return Status::IOError("fsync of oplog '" + path + "' failed");
+    }
+#else
+    return Status::IOError("torn oplog tail truncation unsupported here");
+#endif
+  }
+  std::fseek(f, static_cast<long>(good_end), SEEK_SET);
+  impl->file_end = good_end;
+  return OpLog(std::move(impl));
+}
+
+Status OpLog::Append(int64_t first_row, int64_t rows, const double* points,
+                     const double* weights) {
+  Impl* impl = impl_.get();
+  if (!impl->poison.ok()) return impl->poison;
+  if (rows <= 0) return Status::InvalidArgument("rows must be positive");
+  if ((weights != nullptr) != impl->options.has_weights) {
+    return Status::InvalidArgument(
+        impl->options.has_weights
+            ? "weighted oplog append requires weights"
+            : "weight-less oplog cannot take weights");
+  }
+
+  const std::string frame = impl->BuildFrame(first_row, rows, points,
+                                             weights);
+  fault::FaultKind kind;
+  if (fault::CheckKind("oplog.append", &kind)) {
+    if (kind == fault::FaultKind::kSlowIo) {
+      std::this_thread::sleep_for(std::chrono::microseconds(1000));
+    } else if (kind == fault::FaultKind::kTornWrite) {
+      // Crash mid-record: a prefix of the frame reaches the disk, then
+      // the writer dies. The log poisons itself — the torn tail is
+      // Open()'s problem now, which is the whole point of the test.
+      const size_t torn = frame.size() / 2;
+      (void)std::fwrite(frame.data(), 1, torn, impl->file);
+      (void)FlushAndFsync(impl->file, impl->path);
+      return impl->Poison(
+          Status::IOError("injected torn write at oplog.append"));
+    } else {
+      // Fails BEFORE any byte lands, so the caller may simply retry.
+      return Status::IOError("injected " +
+                             std::string(fault::FaultKindToString(kind)) +
+                             " at oplog.append");
+    }
+  }
+
+  if (std::fwrite(frame.data(), 1, frame.size(), impl->file) !=
+      frame.size()) {
+    // A short stdio write may have pushed a prefix into the file: the
+    // on-disk state is unknown, so poison (same as a torn write).
+    return impl->Poison(
+        Status::IOError("short write to oplog '" + impl->path + "'"));
+  }
+  impl->file_end += static_cast<int64_t>(frame.size());
+  impl->unsynced_bytes += static_cast<int64_t>(frame.size());
+  ++impl->unsynced_records;
+  ++impl->stats.records_appended;
+  impl->stats.rows_appended += rows;
+
+  const bool commit =
+      (impl->options.group_commit_bytes > 0 &&
+       impl->unsynced_bytes >= impl->options.group_commit_bytes) ||
+      (impl->options.group_commit_records > 0 &&
+       impl->unsynced_records >= impl->options.group_commit_records);
+  if (commit) return Sync();
+  return Status::OK();
+}
+
+Status OpLog::Sync() {
+  Impl* impl = impl_.get();
+  if (!impl->poison.ok()) return impl->poison;
+  if (Status st = fault::Check("oplog.fsync"); !st.ok()) {
+    // Durability of everything since the last successful sync is now
+    // unknown; poison so the owner reopens instead of acking blind.
+    return impl->Poison(st);
+  }
+  if (Status st = impl->DoSync(); !st.ok()) return impl->Poison(st);
+  return Status::OK();
+}
+
+Status OpLog::Reset() {
+  Impl* impl = impl_.get();
+  if (!impl->poison.ok()) return impl->poison;
+  if (std::fflush(impl->file) != 0) {
+    return impl->Poison(
+        Status::IOError("fflush of oplog '" + impl->path + "' failed"));
+  }
+#if !defined(_WIN32)
+  if (::ftruncate(::fileno(impl->file), static_cast<off_t>(kHeaderBytes)) !=
+      0) {
+    return impl->Poison(
+        Status::IOError("cannot reset oplog '" + impl->path + "'"));
+  }
+  if (::fsync(::fileno(impl->file)) != 0) {
+    return impl->Poison(
+        Status::IOError("fsync of oplog '" + impl->path + "' failed"));
+  }
+#else
+  return Status::IOError("oplog reset unsupported here");
+#endif
+  std::fseek(impl->file, static_cast<long>(kHeaderBytes), SEEK_SET);
+  impl->file_end = kHeaderBytes;
+  impl->unsynced_bytes = 0;
+  impl->unsynced_records = 0;
+  return Status::OK();
+}
+
+Status OpLog::Compact(int64_t min_first_row) {
+  Impl* impl = impl_.get();
+  if (!impl->poison.ok()) return impl->poison;
+  if (std::fflush(impl->file) != 0) {
+    return impl->Poison(
+        Status::IOError("fflush of oplog '" + impl->path + "' failed"));
+  }
+
+  // Assemble the survivor log in memory: header + surviving frames
+  // copied verbatim (same bytes an uninterrupted writer would hold).
+  std::string buf;
+  {
+    std::ifstream in(impl->path, std::ios::binary);
+    if (!in.is_open()) {
+      return Status::IOError("cannot open oplog '" + impl->path +
+                             "' for compaction");
+    }
+    std::vector<char> header(kHeaderBytes);
+    in.read(header.data(), kHeaderBytes);
+    if (!in.good()) {
+      return Status::IOError("oplog '" + impl->path +
+                             "' changed under compaction");
+    }
+    buf.append(header.data(), header.size());
+    int64_t offset = kHeaderBytes;
+    std::vector<char> frame;
+    while (offset < impl->file_end) {
+      uint32_t crc = 0, len = 0;
+      in.read(reinterpret_cast<char*>(&crc), sizeof(crc));
+      in.read(reinterpret_cast<char*>(&len), sizeof(len));
+      if (!in.good()) {
+        return Status::IOError("oplog '" + impl->path +
+                               "' changed under compaction");
+      }
+      frame.resize(len);
+      in.read(frame.data(), len);
+      if (!in.good()) {
+        return Status::IOError("oplog '" + impl->path +
+                               "' changed under compaction");
+      }
+      int64_t first_row = 0, rows = 0;
+      std::memcpy(&first_row, frame.data(), sizeof(first_row));
+      std::memcpy(&rows, frame.data() + 8, sizeof(rows));
+      // Keep any record with rows PAST the frontier — a batch may
+      // straddle a seal boundary, and its unsealed suffix must survive.
+      if (first_row + rows > min_first_row) {
+        AppendScalar(&buf, crc);
+        AppendScalar(&buf, len);
+        buf.append(frame.data(), frame.size());
+      }
+      offset += kFrameFixedBytes + static_cast<int64_t>(len);
+    }
+  }
+
+  KMEANSLL_RETURN_NOT_OK(
+      AtomicWriteFile(impl->path, buf.data(), buf.size()));
+  // The handle still references the pre-rename inode; reopen.
+  std::fclose(impl->file);
+  impl->file = std::fopen(impl->path.c_str(), "rb+");
+  if (impl->file == nullptr) {
+    return impl->Poison(
+        Status::IOError("cannot reopen oplog '" + impl->path +
+                        "' after compaction"));
+  }
+  std::fseek(impl->file, 0, SEEK_END);
+  impl->file_end = static_cast<int64_t>(std::ftell(impl->file));
+  impl->unsynced_bytes = 0;
+  impl->unsynced_records = 0;
+  return Status::OK();
+}
+
+Status OpLog::Replay(int64_t min_first_row, const ReplayFn& fn) const {
+  Impl* impl = impl_.get();
+  // Make buffered appends visible to the independent read below (plain
+  // flush, not fsync — replay reads the OS view, durability unchanged).
+  if (impl->file != nullptr) std::fflush(impl->file);
+
+  std::ifstream in(impl->path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open oplog '" + impl->path +
+                           "' for replay");
+  }
+  in.seekg(kHeaderBytes);
+  const int64_t row_bytes = RowBytes(impl->dim, impl->options.has_weights);
+  int64_t offset = kHeaderBytes;
+  std::vector<char> body;
+  while (offset < impl->file_end) {
+    uint32_t crc = 0, len = 0;
+    in.read(reinterpret_cast<char*>(&crc), sizeof(crc));
+    in.read(reinterpret_cast<char*>(&len), sizeof(len));
+    if (!in.good()) {
+      return Status::IOError("oplog '" + impl->path +
+                             "' changed under replay");
+    }
+    body.resize(len);
+    in.read(body.data(), len);
+    if (!in.good()) {
+      return Status::IOError("oplog '" + impl->path +
+                             "' changed under replay");
+    }
+    uint32_t actual = Crc32(&len, sizeof(len));
+    actual = Crc32(body.data(), len, actual);
+    if (actual != crc) {
+      return Status::InvalidArgument("oplog '" + impl->path +
+                                     "' record failed its CRC on replay");
+    }
+    int64_t first_row = 0, rows = 0;
+    std::memcpy(&first_row, body.data(), sizeof(first_row));
+    std::memcpy(&rows, body.data() + 8, sizeof(rows));
+    if (static_cast<int64_t>(len) != kBodyFixedBytes + rows * row_bytes) {
+      return Status::InvalidArgument("oplog '" + impl->path +
+                                     "' record shape is corrupt");
+    }
+    offset += kFrameFixedBytes + static_cast<int64_t>(len);
+    if (first_row < min_first_row) continue;  // sealed already
+    const auto* points =
+        reinterpret_cast<const double*>(body.data() + kBodyFixedBytes);
+    const double* weights =
+        impl->options.has_weights
+            ? reinterpret_cast<const double*>(body.data() + kBodyFixedBytes +
+                                              rows * impl->dim *
+                                                  static_cast<int64_t>(
+                                                      sizeof(double)))
+            : nullptr;
+    KMEANSLL_RETURN_NOT_OK(fn(first_row, rows, points, weights));
+  }
+  return Status::OK();
+}
+
+Status OpLog::status() const { return impl_->poison; }
+const std::string& OpLog::path() const { return impl_->path; }
+int64_t OpLog::dim() const { return impl_->dim; }
+bool OpLog::has_weights() const { return impl_->options.has_weights; }
+int64_t OpLog::tail_bytes() const {
+  return impl_->file_end - kHeaderBytes;
+}
+OpLogStats OpLog::stats() const { return impl_->stats; }
+
+}  // namespace kmeansll::data

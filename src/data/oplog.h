@@ -1,0 +1,158 @@
+// Append-only write-ahead log for continuous point ingest ("KMLLOPLG").
+//
+// The oplog is the durability frontier of a live dataset: a point batch
+// is acknowledged only after its record is framed, CRC'd, and written to
+// the log (group-commit fsync amortizes the flush across records, like
+// a database WAL). Sealed data lives in KMLLDATA shards; the oplog
+// holds exactly the unsealed tail, and recovery replays it.
+//
+// File layout:
+//
+//   header:  magic[8] "KMLLOPLG" | i32 version | i64 dim | u32 flags
+//   record:  u32 crc | u32 len | body[len]
+//   body:    i64 first_row | i64 rows | rows*dim f64 points
+//            [| rows f64 weights]
+//
+// `crc` is CRC-32 over (len || body), so a record is valid iff its
+// length field and every body byte survived. `first_row` is the global
+// row index of the record's first row — replay after a seal skips
+// records the sealed manifest already covers, which is what makes the
+// seal commit point (one atomic manifest rename) idempotent: the log
+// can be GC'd lazily after the rename, and a crash between the two
+// replays nothing twice.
+//
+// Crash semantics (the recovery argument):
+//   - Records are written strictly append-only; bytes before the last
+//     fsync horizon are never modified.
+//   - A crash mid-append leaves a torn suffix: a record whose length
+//     field, body, or CRC is incomplete or wrong. Open() scans the log
+//     front to back, keeps the longest valid prefix of whole records,
+//     and TRUNCATES the rest (ftruncate) — a torn tail is never
+//     replayed as data, and after truncation the log bytes are exactly
+//     the bytes of some uninterrupted run's log.
+//   - Replay is a pure function of the (truncated) log bytes: same
+//     bytes, same replayed batches, bitwise.
+//
+// Fault sites: "oplog.append" (kTornWrite persists a prefix of the
+// record then poisons the log, simulating a writer that died mid-write;
+// kWriteFail fails before any byte lands, so the append is retryable)
+// and "oplog.fsync" (a failed flush leaves durability unknown, so the
+// log poisons itself — the owner must reopen and recover, the same
+// discipline PostgreSQL adopted after fsyncgate).
+
+#ifndef KMEANSLL_DATA_OPLOG_H_
+#define KMEANSLL_DATA_OPLOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+
+namespace kmeansll::data {
+
+struct OpLogOptions {
+  bool has_weights = false;
+  /// Group commit: Append fsyncs when either this many bytes or this
+  /// many records have accumulated since the last flush (<=0 disables
+  /// that trigger; both disabled means the caller drives Sync itself).
+  int64_t group_commit_bytes = 1 << 20;
+  int64_t group_commit_records = 64;
+};
+
+/// Counters for telemetry and exact-count test gates. A snapshot, not
+/// atomic cells: the oplog itself is externally synchronized (one
+/// writer; see class comment).
+struct OpLogStats {
+  int64_t records_appended = 0;  ///< since open
+  int64_t rows_appended = 0;     ///< since open
+  int64_t syncs = 0;             ///< fsyncs issued (group + explicit)
+  int64_t recovered_records = 0; ///< valid records found by Open's scan
+  int64_t recovered_rows = 0;    ///< rows in those records
+  int64_t torn_bytes = 0;        ///< trailing bytes Open truncated
+};
+
+/// Single-writer append-only log. NOT internally synchronized: the
+/// owner (LiveDataset) serializes Append/Sync/Reset under its own
+/// write lock; Replay re-reads the file independently. Movable, not
+/// copyable.
+class OpLog {
+ public:
+  /// One replayed record: `points` is rows*dim row-major, `weights` is
+  /// rows long or nullptr for a weight-less log.
+  using ReplayFn = std::function<Status(
+      int64_t first_row, int64_t rows, const double* points,
+      const double* weights)>;
+
+  /// Creates a fresh log at `path` (truncating any existing file).
+  static Result<OpLog> Create(const std::string& path, int64_t dim,
+                              const OpLogOptions& options);
+
+  /// Opens `path`, creating it if missing. Scans existing records,
+  /// validates each frame's CRC, and truncates the torn tail (if any)
+  /// so the log ends on a whole record; appends continue from there.
+  static Result<OpLog> Open(const std::string& path, int64_t dim,
+                            const OpLogOptions& options);
+
+  OpLog(OpLog&&) noexcept;
+  OpLog& operator=(OpLog&&) noexcept;
+  OpLog(const OpLog&) = delete;
+  OpLog& operator=(const OpLog&) = delete;
+  ~OpLog();
+
+  /// Appends one batch record. `points` is rows*dim row-major;
+  /// `weights` must be non-null iff the log has weights. The record is
+  /// durable once a Sync (group-commit or explicit) covers it. After a
+  /// poisoning failure (torn write, failed fsync) every call returns
+  /// the sticky error: reopen via Open() to recover.
+  Status Append(int64_t first_row, int64_t rows, const double* points,
+                const double* weights);
+
+  /// Flushes buffered records to stable storage (fsync).
+  Status Sync();
+
+  /// Truncates the log back to its header — called after a seal has
+  /// compacted the tail into shards and published the manifest. Pure
+  /// GC: a crash that skips Reset is handled by replay's first_row
+  /// skip, so ordering it after the manifest rename is safe.
+  Status Reset();
+
+  /// Crash-safe GC: rewrites the log keeping only records that still
+  /// contain unsealed rows — first_row + rows > min_first_row, so a
+  /// record straddling the seal boundary survives whole (replay
+  /// re-skips its sealed prefix row-wise). Frames are copied verbatim,
+  /// with the temp+fsync+rename protocol — a crash anywhere leaves
+  /// either the old complete log (replay skips the sealed prefix) or
+  /// the new one, never a torn file. Used after a seal that leaves a
+  /// partial-shard remainder in the log; Compact of everything is
+  /// Reset by rename.
+  Status Compact(int64_t min_first_row);
+
+  /// Re-reads the log file and invokes `fn` for every valid record
+  /// whose first_row >= min_first_row, in log order. Pure function of
+  /// the log bytes; does not disturb the append cursor. Stops and
+  /// returns the first non-OK status from `fn`.
+  Status Replay(int64_t min_first_row, const ReplayFn& fn) const;
+
+  /// Sticky health: OK, or the poisoning error (torn write / failed
+  /// fsync) every later Append/Sync also returns.
+  Status status() const;
+
+  const std::string& path() const;
+  int64_t dim() const;
+  bool has_weights() const;
+  /// Log payload bytes past the header that are not yet Reset() away —
+  /// the backpressure signal LiveDataset compares against its cap.
+  int64_t tail_bytes() const;
+  OpLogStats stats() const;
+
+ private:
+  struct Impl;
+  explicit OpLog(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace kmeansll::data
+
+#endif  // KMEANSLL_DATA_OPLOG_H_

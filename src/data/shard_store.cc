@@ -26,6 +26,7 @@
 #include "common/math_util.h"
 #include "common/retry.h"
 #include "data/binary_io.h"
+#include "data/model_io.h"  // for data::Crc32
 
 namespace kmeansll::data {
 
@@ -35,20 +36,25 @@ constexpr char kManifestMagic[8] = {'K', 'M', 'L', 'L', 'S', 'H', 'R', 'D'};
 constexpr int32_t kManifestVersion = 1;
 
 // KMLLDATA shard header (see data/binary_io.cc): magic(8) + version(4) +
-// n(8) + d(8) + flags(4).
+// n(8) + d(8) + flags(4). Version 2 shards end with a uint32 CRC-32
+// over every preceding file byte; version 1 shards (no checksum) are
+// still accepted, so datasets written before the bump keep opening.
 constexpr int64_t kShardHeaderBytes = 32;
 constexpr char kShardMagic[8] = {'K', 'M', 'L', 'L', 'D', 'A', 'T', 'A'};
-constexpr int32_t kShardVersion = 1;
+constexpr int32_t kShardVersion = 2;
+constexpr int32_t kShardMinVersion = 1;
 constexpr uint32_t kFlagWeights = 1u << 0;
 constexpr uint32_t kFlagLabels = 1u << 1;
+constexpr uint32_t kFlagPayloadCrc = 1u << 2;
 
 /// Bytes a shard file must hold for `rows` rows of the manifest's shape.
 int64_t ShardFileBytes(int64_t rows, int64_t dim, bool weights,
-                       bool labels) {
+                       bool labels, bool payload_crc) {
   int64_t bytes = kShardHeaderBytes +
                   rows * dim * static_cast<int64_t>(sizeof(double));
   if (weights) bytes += rows * static_cast<int64_t>(sizeof(double));
   if (labels) bytes += rows * static_cast<int64_t>(sizeof(int32_t));
+  if (payload_crc) bytes += static_cast<int64_t>(sizeof(uint32_t));
   return bytes;
 }
 
@@ -262,9 +268,9 @@ struct ShardWriter::Impl {
     std::string buf;
     buf.reserve(static_cast<size_t>(
         ShardFileBytes(info.rows, manifest.dim, options.has_weights,
-                       options.has_labels)));
+                       options.has_labels, /*payload_crc=*/true)));
     AppendRaw(&buf, kShardMagic, sizeof(kShardMagic));
-    uint32_t flags = 0;
+    uint32_t flags = kFlagPayloadCrc;
     if (options.has_weights) flags |= kFlagWeights;
     if (options.has_labels) flags |= kFlagLabels;
     AppendScalar(&buf, kShardVersion);
@@ -278,6 +284,7 @@ struct ShardWriter::Impl {
     if (options.has_labels) {
       AppendRaw(&buf, labels.data(), labels.size() * sizeof(int32_t));
     }
+    AppendScalar(&buf, Crc32(buf.data(), buf.size()));
     KMEANSLL_RETURN_NOT_OK(RetryTransient(RetryPolicy{}, [&] {
       return AtomicWriteFile(path, buf.data(), buf.size(), "shard.write");
     }));
@@ -313,6 +320,22 @@ Result<ShardWriter> ShardWriter::Open(const std::string& manifest_path,
   impl->manifest.has_weights = options.has_weights;
   impl->manifest.has_labels = options.has_labels;
   return ShardWriter(std::move(impl));
+}
+
+Result<ShardWriter> ShardWriter::OpenForAppend(
+    const std::string& manifest_path, int64_t dim, const Options& options) {
+  KMEANSLL_ASSIGN_OR_RETURN(ShardWriter writer,
+                            Open(manifest_path, dim, options));
+  KMEANSLL_ASSIGN_OR_RETURN(ShardManifest existing,
+                            ReadShardManifest(manifest_path));
+  if (existing.dim != dim || existing.has_weights != options.has_weights ||
+      existing.has_labels != options.has_labels) {
+    return Status::InvalidArgument(
+        "existing manifest '" + manifest_path +
+        "' shape disagrees with the append request");
+  }
+  writer.impl_->manifest = std::move(existing);
+  return writer;
 }
 
 Status ShardWriter::Append(const DatasetView& view) {
@@ -413,6 +436,8 @@ struct ShardedDataset::Impl {
     int64_t rows = 0;
     int64_t first_row = 0;
     int64_t file_bytes = 0;  // exact bytes the mapping covers
+    bool has_crc = false;    // v2 shard with a trailing payload CRC
+    bool crc_checked = false;  // payload verified at first map
 
     // Mutable residency state, guarded by `mutex`.
     const char* base = nullptr;  // mapping base (null = not resident)
@@ -480,14 +505,42 @@ struct ShardedDataset::Impl {
     }
   }
 
-  static void Unmap(Shard& shard) {
+  static void UnmapRaw(const char* base, int64_t file_bytes) {
 #if defined(_WIN32)
-    std::free(const_cast<char*>(shard.base));
+    (void)file_bytes;
+    std::free(const_cast<char*>(base));
 #else
-    ::munmap(const_cast<char*>(shard.base),
-             static_cast<size_t>(shard.file_bytes));
+    ::munmap(const_cast<char*>(base), static_cast<size_t>(file_bytes));
 #endif
+  }
+
+  static void Unmap(Shard& shard) {
+    UnmapRaw(shard.base, shard.file_bytes);
     shard.base = nullptr;
+  }
+
+  /// Verifies a v2 shard's trailing payload CRC against its mapped
+  /// bytes — one sequential read over the mapping, done at first map
+  /// with `mutex` released so other shards' pins never wait on it. A
+  /// mismatch is deterministic corruption, not a transient I/O blip, so
+  /// it surfaces as InvalidArgument (which RetryTransient does NOT
+  /// retry) and the caller unmaps: corrupt bytes are never served.
+  static Status VerifyPayloadCrc(const Shard& shard, const char* base) {
+    const size_t body =
+        static_cast<size_t>(shard.file_bytes) - sizeof(uint32_t);
+    uint32_t stored = 0;
+    std::memcpy(&stored, base + body, sizeof(stored));
+    uint32_t actual = Crc32(base, body);
+    fault::FaultKind kind;
+    if (fault::CheckKind("shard.crc", &kind) &&
+        kind == fault::FaultKind::kCrcError) {
+      actual ^= 0x5f3759dfu;  // simulate silent payload corruption
+    }
+    if (stored != actual) {
+      return Status::InvalidArgument("payload CRC mismatch in shard '" +
+                                     shard.path + "'");
+    }
+    return Status::OK();
   }
 
   /// Maps the file behind `shard` read-only into *out_base. Pure I/O on
@@ -588,6 +641,7 @@ struct ShardedDataset::Impl {
         continue;
       }
       shard.mapping = true;
+      const bool verify_crc = shard.has_crc && !shard.crc_checked;
       lock.unlock();
       const auto start = Clock::now();
       const char* base = nullptr;
@@ -596,7 +650,17 @@ struct ShardedDataset::Impl {
           options.io_retry,
           [&]() -> Status {
             KMEANSLL_RETURN_NOT_OK(fault::Check("shard.map"));
-            return MapFile(shard.path, shard.file_bytes, &base);
+            KMEANSLL_RETURN_NOT_OK(
+                MapFile(shard.path, shard.file_bytes, &base));
+            if (verify_crc) {
+              Status crc = VerifyPayloadCrc(shard, base);
+              if (!crc.ok()) {
+                UnmapRaw(base, shard.file_bytes);
+                base = nullptr;
+                return crc;  // InvalidArgument: not retried, degrade
+              }
+            }
+            return Status::OK();
           },
           &retries);
       const auto elapsed =
@@ -605,6 +669,7 @@ struct ShardedDataset::Impl {
               .count();
       lock.lock();
       shard.mapping = false;
+      if (status.ok() && verify_crc) shard.crc_checked = true;
       stats.stall_nanos.fetch_add(elapsed, std::memory_order_relaxed);
       stats.map_retries.fetch_add(retries, std::memory_order_relaxed);
       if (!status.ok()) {
@@ -689,6 +754,7 @@ struct ShardedDataset::Impl {
         continue;
       }
       shard.mapping = true;
+      const bool verify_crc = shard.has_crc && !shard.crc_checked;
       lock.unlock();
       const char* base = nullptr;
       int64_t retries = 0;
@@ -696,11 +762,22 @@ struct ShardedDataset::Impl {
           options.io_retry,
           [&]() -> Status {
             KMEANSLL_RETURN_NOT_OK(fault::Check("shard.prefetch"));
-            return MapFile(shard.path, shard.file_bytes, &base);
+            KMEANSLL_RETURN_NOT_OK(
+                MapFile(shard.path, shard.file_bytes, &base));
+            if (verify_crc) {
+              Status crc = VerifyPayloadCrc(shard, base);
+              if (!crc.ok()) {
+                UnmapRaw(base, shard.file_bytes);
+                base = nullptr;
+                return crc;
+              }
+            }
+            return Status::OK();
           },
           &retries);
       lock.lock();
       shard.mapping = false;
+      if (status.ok() && verify_crc) shard.crc_checked = true;
       stats.map_retries.fetch_add(retries, std::memory_order_relaxed);
       if (!status.ok()) {
         // A prefetch failure must never take down the scan: leave the
@@ -795,9 +872,6 @@ Result<ShardedDataset> ShardedDataset::Open(
     shard.path = dir + info.file;
     shard.rows = info.rows;
     shard.first_row = info.first_row;
-    shard.file_bytes = ShardFileBytes(info.rows, manifest.dim,
-                                      manifest.has_weights,
-                                      manifest.has_labels);
 
     // Validate the shard header and size now: a corrupt or truncated
     // shard fails Open instead of a mid-scan pin.
@@ -818,15 +892,22 @@ Result<ShardedDataset> ShardedDataset::Open(
     in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
     in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
     in.read(reinterpret_cast<char*>(&flags), sizeof(flags));
-    if (!in.good() || version != kShardVersion) {
+    if (!in.good() || version < kShardMinVersion ||
+        version > kShardVersion) {
       return Status::InvalidArgument("unsupported shard version in '" +
                                      shard.path + "'");
     }
+    shard.has_crc = version >= 2 && (flags & kFlagPayloadCrc) != 0;
+    shard.file_bytes =
+        ShardFileBytes(info.rows, manifest.dim, manifest.has_weights,
+                       manifest.has_labels, shard.has_crc);
     uint32_t expected_flags = 0;
     if (manifest.has_weights) expected_flags |= kFlagWeights;
     if (manifest.has_labels) expected_flags |= kFlagLabels;
+    // The payload-CRC bit is a per-shard property (an appended dataset
+    // may mix v1 and v2 shards), not a manifest-level one.
     if (rows != info.rows || dim != manifest.dim ||
-        flags != expected_flags) {
+        (flags & ~kFlagPayloadCrc) != expected_flags) {
       return Status::InvalidArgument(
           "shard '" + shard.path + "' header (rows=" + std::to_string(rows) +
           ", dim=" + std::to_string(dim) +

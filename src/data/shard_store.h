@@ -98,6 +98,19 @@ class ShardWriter {
   static Result<ShardWriter> Open(const std::string& manifest_path,
                                   int64_t dim, const Options& options);
 
+  /// Resumes writing into an EXISTING sharded dataset: loads the
+  /// manifest at `manifest_path`, seeds the writer with its shard table,
+  /// and numbers new shard files after the existing ones. Finalize then
+  /// publishes a combined manifest (old shards + new) atomically — the
+  /// existing dataset stays fully readable until that rename lands, so
+  /// a crash mid-append leaves at most orphan ".shard<i>" files no
+  /// manifest references. This is LiveDataset's seal path: compact the
+  /// oplog tail onto the sealed shards without rewriting them. The
+  /// manifest's shape (dim, weights, labels) must match the arguments.
+  static Result<ShardWriter> OpenForAppend(const std::string& manifest_path,
+                                           int64_t dim,
+                                           const Options& options);
+
   ShardWriter(ShardWriter&&) noexcept;
   ShardWriter& operator=(ShardWriter&&) noexcept;
   ShardWriter(const ShardWriter&) = delete;
@@ -203,7 +216,12 @@ class ShardedDataset final : public DatasetSource {
   /// Opens a sharded dataset: parses the manifest and validates every
   /// shard file's header (magic, version, shape, flags) and size against
   /// it up front, so corruption fails here rather than mid-scan. Mapping
-  /// is lazy — no shard is mmap'd until first pinned.
+  /// is lazy — no shard is mmap'd until first pinned. Version-2 shards
+  /// carry a trailing payload CRC-32, verified once at the shard's
+  /// first map: a mismatch degrades that shard exactly like an
+  /// exhausted map-retry budget (fallback block + sticky status()),
+  /// so silent payload corruption fails a scan cleanly instead of
+  /// feeding garbage to the kernels.
   static Result<ShardedDataset> Open(const std::string& manifest_path,
                                      const ShardedDatasetOptions& options =
                                          ShardedDatasetOptions{});

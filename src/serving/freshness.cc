@@ -1,0 +1,283 @@
+#include "serving/freshness.h"
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "clustering/cost.h"
+#include "common/fault_injection.h"
+#include "common/file_util.h"
+#include "common/retry.h"
+#include "data/model_io.h"
+#include "rng/rng.h"
+#include "rng/splitmix64.h"
+
+namespace kmeansll::serving {
+
+namespace {
+
+constexpr char kMagic[8] = {'K', 'M', 'L', 'L', 'F', 'R', 'S', 'H'};
+constexpr int32_t kVersion = 1;
+
+template <typename T>
+void AppendScalar(std::string* buf, T value) {
+  buf->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool ReadScalar(const char** cursor, const char* end, T* value) {
+  if (end - *cursor < static_cast<ptrdiff_t>(sizeof(T))) return false;
+  std::memcpy(value, *cursor, sizeof(T));
+  *cursor += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+RefineLoop::RefineLoop(ModelServer* server, const DatasetSource* data,
+                       const RefineLoopOptions& options)
+    : server_(server), data_(data), options_(options) {
+  KMEANSLL_CHECK(server_ != nullptr);
+  KMEANSLL_CHECK(data_ != nullptr);
+}
+
+RefineLoop::~RefineLoop() { Stop(); }
+
+uint64_t RefineLoop::Fingerprint() const {
+  // Binds the checkpoint to the job identity that determines the loop's
+  // trajectory: the root seed and the data dimension. k is payload
+  // shape, not identity (a reseed may legitimately change it).
+  return rng::HashCombine(options_.seed,
+                          static_cast<uint64_t>(data_->dim()));
+}
+
+Status RefineLoop::WriteCheckpointLocked(const Matrix& centers) {
+  if (options_.checkpoint_path.empty()) return Status::OK();
+  std::string buf;
+  buf.append(kMagic, sizeof(kMagic));
+  AppendScalar(&buf, kVersion);
+  AppendScalar(&buf, Fingerprint());
+  AppendScalar(&buf, cycle_);
+  AppendScalar(&buf, watermark_);
+  AppendScalar(&buf, ewma_);
+  AppendScalar(&buf, centers.rows());
+  AppendScalar(&buf, centers.cols());
+  AppendScalar(&buf, static_cast<int64_t>(cost_history_.size()));
+  buf.append(reinterpret_cast<const char*>(centers.data()),
+             static_cast<size_t>(centers.size()) * sizeof(double));
+  buf.append(reinterpret_cast<const char*>(cost_history_.data()),
+             cost_history_.size() * sizeof(double));
+  AppendScalar(&buf, data::Crc32(buf.data(), buf.size()));
+  return RetryTransient(
+      RetryPolicy{},
+      [&] {
+        return AtomicWriteFile(options_.checkpoint_path, buf.data(),
+                               buf.size(), "freshness.checkpoint");
+      },
+      &stats_.checkpoint_retries);
+}
+
+Status RefineLoop::Recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.checkpoint_path.empty() ||
+      !FileExists(options_.checkpoint_path)) {
+    return Status::OK();
+  }
+  std::ifstream in(options_.checkpoint_path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open freshness checkpoint '" +
+                           options_.checkpoint_path + "'");
+  }
+  std::string buf((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::IOError("cannot read freshness checkpoint '" +
+                           options_.checkpoint_path + "'");
+  }
+
+  // Validation failures below mean a stale or torn artifact: ignore it
+  // and start fresh (the same never-trust-a-bad-checkpoint policy as
+  // data/checkpoint_io.h), never resume from garbage.
+  const char* cursor = buf.data();
+  const char* end = buf.data() + buf.size();
+  if (buf.size() < sizeof(kMagic) + sizeof(uint32_t) ||
+      std::memcmp(cursor, kMagic, sizeof(kMagic)) != 0) {
+    return Status::OK();
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, end - sizeof(uint32_t), sizeof(uint32_t));
+  if (data::Crc32(buf.data(), buf.size() - sizeof(uint32_t)) !=
+      stored_crc) {
+    return Status::OK();
+  }
+  cursor += sizeof(kMagic);
+  end -= sizeof(uint32_t);
+  int32_t version = 0;
+  uint64_t fingerprint = 0;
+  int64_t cycle = 0, watermark = 0, k = 0, d = 0, history_len = 0;
+  double ewma = 0;
+  if (!ReadScalar(&cursor, end, &version) || version != kVersion ||
+      !ReadScalar(&cursor, end, &fingerprint) ||
+      fingerprint != Fingerprint() ||
+      !ReadScalar(&cursor, end, &cycle) ||
+      !ReadScalar(&cursor, end, &watermark) ||
+      !ReadScalar(&cursor, end, &ewma) ||
+      !ReadScalar(&cursor, end, &k) || !ReadScalar(&cursor, end, &d) ||
+      !ReadScalar(&cursor, end, &history_len) || k <= 0 || d <= 0 ||
+      history_len < 0 ||
+      end - cursor !=
+          static_cast<ptrdiff_t>((k * d + history_len) * sizeof(double))) {
+    return Status::OK();
+  }
+  Matrix centers(k, d);
+  std::memcpy(centers.data(), cursor,
+              static_cast<size_t>(k * d) * sizeof(double));
+  cursor += k * d * sizeof(double);
+  std::vector<double> history(static_cast<size_t>(history_len));
+  std::memcpy(history.data(), cursor, history.size() * sizeof(double));
+
+  // Republish first: if the crash hit between checkpoint and publish,
+  // this is the half that is missing; if it hit after, republishing the
+  // same centers is harmless (version bumps, contents identical).
+  Status published = server_->Refine(
+      [&](const CenterIndex&) -> Result<Matrix> { return centers; });
+  if (!published.ok()) return published;
+  cycle_ = cycle;
+  watermark_ = watermark;
+  ewma_ = ewma;
+  cost_history_ = std::move(history);
+  ++stats_.recoveries;
+  stats_.last_cost_per_point =
+      cost_history_.empty() ? 0 : cost_history_.back();
+  return Status::OK();
+}
+
+Status RefineLoop::RunOnce() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status status = RunOnceLocked();
+  if (!status.ok()) ++stats_.failures;
+  return status;
+}
+
+Status RefineLoop::RunOnceLocked() {
+  const int64_t n = data_->n();
+  if (n <= 0 || n - watermark_ < std::max<int64_t>(options_.min_new_rows, 1)) {
+    ++stats_.skipped;
+    return Status::OK();
+  }
+  KMEANSLL_RETURN_NOT_OK(fault::Check("freshness.refine"));
+
+  // Drift: the SERVED model's cost-per-point on the data as it is now,
+  // against the EWMA of what this loop's own refinements achieve. The
+  // ratio test fires exactly when serving quality fell off the baseline
+  // — new rows alone don't trigger a reseed if the served centers still
+  // explain them.
+  const std::shared_ptr<const CenterIndex> snapshot = server_->Acquire();
+  const double served_cpp =
+      ComputeCost(*data_, snapshot->centers()) / static_cast<double>(n);
+  const bool reseed =
+      ewma_ > 0 && served_cpp > options_.drift_reseed_ratio * ewma_;
+  const uint64_t cycle_seed =
+      rng::HashCombine(options_.seed, static_cast<uint64_t>(cycle_));
+
+  Matrix next;
+  double post_cost = 0;
+  if (reseed) {
+    KMeansConfig config = options_.reseed;
+    config.seed = cycle_seed;
+    KMeans trainer(std::move(config));
+    KMEANSLL_ASSIGN_OR_RETURN(KMeansReport report, trainer.Fit(*data_));
+    next = std::move(report.centers);
+    post_cost = report.final_cost;
+  } else {
+    KMEANSLL_ASSIGN_OR_RETURN(
+        MiniBatchResult refined,
+        RunMiniBatch(*data_, snapshot->centers(), options_.minibatch,
+                     rng::Rng(cycle_seed)));
+    next = std::move(refined.centers);
+    post_cost = refined.final_cost;
+  }
+  const double post_cpp = post_cost / static_cast<double>(n);
+
+  // Commit order: advance the loop state, persist it WITH the new
+  // centers, and only then publish. A crash before the checkpoint
+  // re-runs the cycle (same seed, same result); a crash after it is
+  // exactly what Recover() repairs by republishing.
+  cycle_ += 1;
+  watermark_ = n;
+  ewma_ = ewma_ == 0 ? post_cpp
+                     : options_.ewma_alpha * post_cpp +
+                           (1 - options_.ewma_alpha) * ewma_;
+  cost_history_.push_back(post_cpp);
+  KMEANSLL_RETURN_NOT_OK(WriteCheckpointLocked(next));
+  KMEANSLL_RETURN_NOT_OK(server_->Refine(
+      [&](const CenterIndex&) -> Result<Matrix> { return std::move(next); }));
+
+  ++stats_.cycles;
+  if (reseed) {
+    ++stats_.reseeds;
+  } else {
+    ++stats_.minibatch_refines;
+  }
+  stats_.last_cost_per_point = post_cpp;
+  return Status::OK();
+}
+
+void RefineLoop::Start() {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(thread_mu_);
+    while (!stop_) {
+      tick_cv_.wait_for(lock,
+                        std::chrono::milliseconds(
+                            std::max<int64_t>(options_.tick_ms, 1)),
+                        [this] { return stop_; });
+      if (stop_) break;
+      lock.unlock();
+      if (options_.freshness_slo_ms > 0) {
+        const ModelServer::Stats server_stats = server_->stats();
+        if (server_stats.staleness_ms > options_.freshness_slo_ms) {
+          server_->MarkStale(true);
+          std::lock_guard<std::mutex> state_lock(mu_);
+          ++stats_.slo_misses;
+        }
+      }
+      // Failures are counted in stats_ and retried next tick — a broken
+      // cycle must not kill the freshness watchdog.
+      const Status cycle_status = RunOnce();
+      (void)cycle_status;
+      lock.lock();
+    }
+  });
+}
+
+void RefineLoop::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  tick_cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  running_ = false;
+}
+
+RefineStats RefineLoop::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RefineStats out = stats_;
+  out.ewma_cost_per_point = ewma_;
+  out.watermark = watermark_;
+  return out;
+}
+
+std::vector<double> RefineLoop::cost_history() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cost_history_;
+}
+
+}  // namespace kmeansll::serving

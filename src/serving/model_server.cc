@@ -9,9 +9,23 @@
 
 namespace kmeansll::serving {
 
+namespace {
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
 ModelServer::ModelServer(std::shared_ptr<const CenterIndex> initial) {
   KMEANSLL_CHECK(initial != nullptr);
   snapshot_.store(std::move(initial), std::memory_order_release);
+  StampPublish();
+}
+
+void ModelServer::StampPublish() {
+  last_publish_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
+  serving_stale_.store(false, std::memory_order_relaxed);
 }
 
 Status ModelServer::Publish(std::shared_ptr<const CenterIndex> next) {
@@ -30,6 +44,7 @@ Status ModelServer::Publish(std::shared_ptr<const CenterIndex> next) {
   }
   snapshot_.store(std::move(next), std::memory_order_release);
   publishes_.fetch_add(1, std::memory_order_relaxed);
+  StampPublish();
   return Status::OK();
 }
 
@@ -84,6 +99,7 @@ Status ModelServer::Refine(const RefineFn& fn) {
                   std::memory_order_release);
   refines_.fetch_add(1, std::memory_order_relaxed);
   publishes_.fetch_add(1, std::memory_order_relaxed);
+  StampPublish();
   return Status::OK();
 }
 
@@ -93,6 +109,10 @@ ModelServer::Stats ModelServer::stats() const {
   out.publish_failed = publish_failed_.load(std::memory_order_relaxed);
   out.refines = refines_.load(std::memory_order_relaxed);
   out.refine_failed = refine_failed_.load(std::memory_order_relaxed);
+  out.serving_stale = serving_stale_.load(std::memory_order_relaxed);
+  out.staleness_ms =
+      (SteadyNowNs() - last_publish_ns_.load(std::memory_order_relaxed)) /
+      1000000;
   return out;
 }
 

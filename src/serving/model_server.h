@@ -121,6 +121,18 @@ class ModelServer {
                              const MiniBatchOptions& options,
                              uint64_t seed);
 
+  /// Freshness-SLO degrade signal: the refine loop (serving/freshness.h)
+  /// sets this when it cannot republish within its SLO — the server
+  /// keeps answering from the last good snapshot ("serving stale"), and
+  /// the flag surfaces the degradation in stats()/TenantStats instead
+  /// of hiding it. Any successful Publish/Refine clears it.
+  void MarkStale(bool stale) {
+    serving_stale_.store(stale, std::memory_order_relaxed);
+  }
+  bool serving_stale() const {
+    return serving_stale_.load(std::memory_order_relaxed);
+  }
+
   /// Writer-side telemetry (monotonic since construction). Each cell is
   /// an independent atomic counter, so stats() is safe from any thread
   /// and never touches writer_mu_; the snapshot is per-cell consistent,
@@ -131,16 +143,25 @@ class ModelServer {
     int64_t publish_failed = 0;  ///< refused swaps (null/dim/corrupt file)
     int64_t refines = 0;         ///< successful Refine* passes
     int64_t refine_failed = 0;   ///< Refine* passes that published nothing
+    bool serving_stale = false;  ///< freshness SLO missed (see MarkStale)
+    int64_t staleness_ms = 0;    ///< ms since the last successful publish
+                                 ///< (construction counts as a publish)
   };
   Stats stats() const;
 
  private:
+  /// Stamps "a fresh snapshot was just installed" (publish time + clear
+  /// the stale flag). Callers hold writer_mu_ or are the constructor.
+  void StampPublish();
+
   std::atomic<std::shared_ptr<const CenterIndex>> snapshot_;
   std::mutex writer_mu_;  // serializes Publish/Refine, never readers
   std::atomic<int64_t> publishes_{0};
   std::atomic<int64_t> publish_failed_{0};
   std::atomic<int64_t> refines_{0};
   std::atomic<int64_t> refine_failed_{0};
+  std::atomic<bool> serving_stale_{false};
+  std::atomic<int64_t> last_publish_ns_{0};  ///< steady_clock nanos
 };
 
 /// Tuning knobs for RequestBatcher.

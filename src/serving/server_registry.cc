@@ -97,6 +97,11 @@ Result<std::shared_ptr<const CenterIndex>> ServerRegistry::AcquireSnapshot(
   return tenant->server.Acquire();
 }
 
+Result<ModelServer*> ServerRegistry::server(const std::string& name) {
+  KMEANSLL_ASSIGN_OR_RETURN(Tenant * tenant, Find(name));
+  return &tenant->server;
+}
+
 Result<ServerRegistry::TenantStats> ServerRegistry::stats(
     const std::string& name) const {
   KMEANSLL_ASSIGN_OR_RETURN(Tenant * tenant, Find(name));

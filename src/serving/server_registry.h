@@ -116,9 +116,18 @@ class ServerRegistry {
   Result<std::shared_ptr<const CenterIndex>> AcquireSnapshot(
       const std::string& name) const;
 
+  /// The tenant's ModelServer, for long-lived writer-side attachments —
+  /// the freshness RefineLoop (serving/freshness.h) binds to a tenant
+  /// through this. The pointer stays valid for the registry's lifetime
+  /// (tenants are never removed).
+  Result<ModelServer*> server(const std::string& name);
+
   /// One tenant's full telemetry: batcher counters (queries / served /
   /// shed / batches / adaptive limit), server counters (publishes /
-  /// refines), op-mix counters, and the latency-percentile snapshot.
+  /// refines, plus the freshness signal — `server.serving_stale` and
+  /// `server.staleness_ms` surface a refine loop that missed its SLO
+  /// while the tenant keeps answering from the last good snapshot),
+  /// op-mix counters, and the latency-percentile snapshot.
   /// Assembled from atomic cells and the batcher's stats mutex — never
   /// from a lock a query holds across engine work.
   struct TenantStats {

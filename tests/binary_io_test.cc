@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -92,6 +93,63 @@ TEST(BinaryIoTest, RejectsTruncated) {
     fclose(f);
   }
   EXPECT_TRUE(ReadBinary(path).status().IsIOError());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, PayloadCorruptionFailsTheCrc) {
+  auto uniform = GenerateUniform(60, 4, -1.0, 1.0, rng::Rng(7));
+  ASSERT_TRUE(uniform.ok());
+  std::string path = TempPath("kmeansll_bitrot.bin");
+  ASSERT_TRUE(WriteBinary(*uniform, path).ok());
+  // Flip one payload byte (offset 32 is the first point coordinate —
+  // past the header, so magic/version/shape checks all still pass).
+  {
+    FILE* f = fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(fseek(f, 32 + 17, SEEK_SET), 0);
+    int c = fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(fseek(f, 32 + 17, SEEK_SET), 0);
+    fputc(c ^ 0x01, f);
+    fclose(f);
+  }
+  auto loaded = ReadBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+  EXPECT_NE(loaded.status().message().find("payload CRC mismatch"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, Version1FilesWithoutCrcStayReadable) {
+  auto uniform = GenerateUniform(40, 3, 0.0, 2.0, rng::Rng(11));
+  ASSERT_TRUE(uniform.ok());
+  std::string path = TempPath("kmeansll_v1.bin");
+  ASSERT_TRUE(WriteBinary(*uniform, path).ok());
+  // Rewrite the v2 file as the v1 layout it extends: version = 1 at
+  // offset 8, payload-CRC flag (bit 2) cleared at offset 28, and the
+  // trailing 4 checksum bytes dropped.
+  {
+    FILE* f = fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    int32_t version = 1;
+    ASSERT_EQ(fseek(f, 8, SEEK_SET), 0);
+    ASSERT_EQ(fwrite(&version, sizeof(version), 1, f), 1u);
+    uint32_t flags = 0;
+    ASSERT_EQ(fseek(f, 28, SEEK_SET), 0);
+    ASSERT_EQ(fread(&flags, sizeof(flags), 1, f), 1u);
+    flags &= ~(1u << 2);
+    ASSERT_EQ(fseek(f, 28, SEEK_SET), 0);
+    ASSERT_EQ(fwrite(&flags, sizeof(flags), 1, f), 1u);
+    ASSERT_EQ(fseek(f, 0, SEEK_END), 0);
+    long end = ftell(f);
+    ASSERT_GT(end, 4);
+    ASSERT_EQ(ftruncate(fileno(f), end - 4), 0);
+    fclose(f);
+  }
+  auto loaded = ReadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->points() == uniform->points());
   std::remove(path.c_str());
 }
 

@@ -20,6 +20,7 @@
 //     bitwise-identically; stale or corrupt checkpoints are ignored.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <cstdio>
@@ -481,6 +482,45 @@ TEST(CrashConsistencyTest, ModelSaveNeverTearsTheDestination) {
   std::remove(path.c_str());
 }
 
+TEST(CrashConsistencyTest, TornWriteLeavesTornTempAndUntouchedDest) {
+  FaultGuard guard;
+  Matrix centers_v1 = MakeCenters(5, 6, 0xA);
+  Matrix centers_v2 = MakeCenters(5, 6, 0xB);
+  const std::string path = TempPath("model_torn.kmm");
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  (void)RemoveFileIfExists(path);
+  (void)RemoveFileIfExists(tmp);
+
+  ASSERT_TRUE(data::SaveModel(
+                  data::MakeModelArtifact(centers_v1, data::ModelMetadata{}),
+                  path)
+                  .ok());
+
+  // kTornWrite is the crash-shaped failure: unlike kWriteFail (which
+  // dies before any byte lands and cleans up), it persists a PREFIX of
+  // the temp file and leaves it behind — a power cut mid-write. The
+  // destination must still be v1 bitwise, and the stray torn temp must
+  // never pass validation.
+  FaultInjector::Global().Arm(
+      "model.write",
+      FaultRule{.kind = FaultKind::kTornWrite, .probability = 1.0});
+  Status save = data::SaveModel(
+      data::MakeModelArtifact(centers_v2, data::ModelMetadata{}), path);
+  EXPECT_FALSE(save.ok());
+  FaultInjector::Global().Reset();
+
+  EXPECT_TRUE(FileExists(tmp)) << "torn temp should be left behind";
+  EXPECT_FALSE(data::LoadModel(tmp).ok())
+      << "a torn prefix must never validate";
+  auto reloaded = data::LoadModel(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  ExpectBitwiseEqual(reloaded->centers, centers_v1,
+                     "destination after torn write");
+  std::remove(path.c_str());
+  std::remove(tmp.c_str());
+}
+
 TEST(CrashConsistencyTest, TransientWriteFaultIsRetriedToSuccess) {
   FaultGuard guard;
   Matrix centers = MakeCenters(5, 6);
@@ -500,6 +540,49 @@ TEST(CrashConsistencyTest, TransientWriteFaultIsRetriedToSuccess) {
   ASSERT_TRUE(reloaded.ok());
   ExpectBitwiseEqual(reloaded->centers, centers, "retried save");
   std::remove(path.c_str());
+}
+
+TEST(CrashConsistencyTest, WriteRetriesSurfaceInTelemetry) {
+  FaultGuard guard;
+  Dataset data = MakeData(240, 6);
+  Matrix initial = MakeCenters(5, 6);
+
+  // One transient checkpoint-write failure: the save heals by retrying,
+  // the run succeeds, and the burned retry is visible in the result —
+  // the flaky-disk signal a postmortem needs, invisible in the Status.
+  LloydOptions options;
+  options.max_iterations = 8;
+  options.checkpoint_path = TempPath("retry_count.ckpt");
+  options.checkpoint_every = 2;
+  (void)RemoveFileIfExists(options.checkpoint_path);
+  FaultInjector::Global().Arm(
+      "checkpoint.write",
+      FaultRule{.kind = FaultKind::kWriteFail, .nth_call = 1});
+  auto lloyd = RunLloyd(data, initial, options);
+  ASSERT_TRUE(lloyd.ok()) << lloyd.status().ToString();
+  EXPECT_GE(lloyd->checkpoint_write_retries, 1);
+  FaultInjector::Global().Reset();
+
+  // Same for the final model save, through the Fit facade.
+  KMeansConfig config;
+  config.k = 5;
+  config.kmeansll.rounds = 2;
+  config.kmeansll.oversampling = 10.0;
+  config.lloyd.max_iterations = 3;
+  config.model_output_path = TempPath("retry_count.kmm");
+  (void)RemoveFileIfExists(config.model_output_path);
+  FaultInjector::Global().Arm(
+      "model.write",
+      FaultRule{.kind = FaultKind::kWriteFail, .nth_call = 1});
+  auto report = KMeans(config).Fit(data);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->model_write_retries, 1);
+  std::remove(config.model_output_path.c_str());
+
+  // No faults → zero retries: the counters never drift on their own.
+  auto clean = RunLloyd(data, initial, LloydOptions{.max_iterations = 3});
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->checkpoint_write_retries, 0);
 }
 
 TEST(CrashConsistencyTest, InjectedCrcCorruptionFailsModelLoadCleanly) {

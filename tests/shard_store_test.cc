@@ -93,12 +93,13 @@ Dataset MakeData(int64_t n, int64_t d, bool weighted, bool labeled,
   return std::move(result).ValueOrDie();
 }
 
-/// Bytes one shard of `rows` rows occupies on disk.
+/// Bytes one shard of `rows` rows occupies on disk (v2: header +
+/// payload + trailing CRC-32).
 int64_t ShardBytes(int64_t rows, int64_t d, bool weighted, bool labeled) {
   int64_t bytes = 32 + rows * d * 8;
   if (weighted) bytes += rows * 8;
   if (labeled) bytes += rows * 4;
-  return bytes;
+  return bytes + 4;
 }
 
 // --- Format round-trip and failure paths -------------------------------
@@ -266,6 +267,46 @@ TEST(ShardFormatTest, ShardHeaderMismatchFails) {
                   b, ::testing::TempDir() + written->shards[0].file)
                   .ok());
   EXPECT_FALSE(ShardedDataset::Open(manifest).ok());
+}
+
+TEST(ShardFormatTest, PayloadBitRotDegradesAtFirstMap) {
+  Dataset data = MakeData(60, 3, false, false);
+  std::string manifest = TempPath("bitrot.kml");
+  auto written =
+      WriteShards(data, manifest, ShardWriteOptions{.num_shards = 3});
+  ASSERT_TRUE(written.ok());
+  // Flip one payload byte in shard 1: the header stays plausible, so
+  // Open (which only validates manifests and headers) succeeds — the
+  // shard's trailing CRC catches the rot at first map.
+  std::string shard_path = ::testing::TempDir() + written->shards[1].file;
+  {
+    FILE* f = fopen(shard_path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(fseek(f, 40, SEEK_SET), 0);
+    int c = fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(fseek(f, 40, SEEK_SET), 0);
+    fputc(c ^ 0x10, f);
+    fclose(f);
+  }
+  auto opened = ShardedDataset::Open(manifest);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  ShardedDataset sharded = std::move(opened).ValueOrDie();
+  EXPECT_TRUE(sharded.status().ok());
+
+  // A full scan crosses the corrupt shard: the source degrades with a
+  // clean sticky status instead of serving corrupt bytes. Corruption is
+  // deterministic (InvalidArgument), so the retry layer does NOT burn
+  // its transient-fault budget re-mapping it.
+  ForEachBlock(sharded, 0, sharded.n(), [](const DatasetView&) {});
+  Status degraded = sharded.status();
+  EXPECT_TRUE(degraded.IsInvalidArgument()) << degraded.ToString();
+  EXPECT_NE(degraded.message().find("payload CRC mismatch"),
+            std::string::npos);
+
+  // Sticky: the first root cause survives later scans.
+  ForEachBlock(sharded, 0, sharded.n(), [](const DatasetView&) {});
+  EXPECT_EQ(sharded.status().message(), degraded.message());
 }
 
 // --- Residency window --------------------------------------------------
