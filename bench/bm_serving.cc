@@ -20,6 +20,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bm_trace_main.h"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -565,3 +567,7 @@ BENCHMARK(BM_OverloadShedSmoke)->Iterations(3);
 
 }  // namespace
 }  // namespace kmeansll
+
+int main(int argc, char** argv) {
+  return kmeansll::bench::BenchmarkMainWithTrace(argc, argv);
+}

@@ -17,6 +17,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bm_trace_main.h"
+
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -262,3 +264,7 @@ BENCHMARK(BM_SmokeShardStream);
 
 }  // namespace
 }  // namespace kmeansll
+
+int main(int argc, char** argv) {
+  return kmeansll::bench::BenchmarkMainWithTrace(argc, argv);
+}

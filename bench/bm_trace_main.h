@@ -1,0 +1,64 @@
+// Shared main() for Google-Benchmark binaries that accept
+// --trace-out=FILE alongside the --benchmark_* flags. The flag is
+// consumed before benchmark::Initialize (which rejects flags it does
+// not know), span tracing is enabled for the whole run, and the
+// collected spans are written as Chrome trace-event JSON (loadable in
+// Perfetto / chrome://tracing) on exit. Without the flag the behavior
+// is exactly benchmark_main's.
+//
+// Under KMEANSLL_TRACING=OFF builds the flag still works: the tracer
+// is linkable, no spans are compiled in, and the output file holds an
+// empty (but valid) trace.
+
+#ifndef KMEANSLL_BENCH_BM_TRACE_MAIN_H_
+#define KMEANSLL_BENCH_BM_TRACE_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+#include "common/trace.h"
+
+namespace kmeansll::bench {
+
+inline int BenchmarkMainWithTrace(int argc, char** argv) {
+  static constexpr char kTraceFlag[] = "--trace-out=";
+  std::string trace_out;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(kTraceFlag, 0) == 0) {
+      trace_out = arg.substr(sizeof(kTraceFlag) - 1);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (!trace_out.empty()) trace::Tracer::Global().Enable();
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!trace_out.empty()) {
+    trace::Tracer& tracer = trace::Tracer::Global();
+    const Status written = tracer.WriteChromeJson(trace_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "FATAL: writing '%s': %s\n", trace_out.c_str(),
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(
+        stderr, "trace: %lld spans retained (%lld dropped) -> %s\n",
+        static_cast<long long>(tracer.RetainedCount()),
+        static_cast<long long>(tracer.DroppedCount()), trace_out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace kmeansll::bench
+
+#endif  // KMEANSLL_BENCH_BM_TRACE_MAIN_H_

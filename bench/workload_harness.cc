@@ -45,13 +45,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/file_util.h"
+#include "common/metrics.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "data/live_dataset.h"
 #include "eval/args.h"
 #include "eval/table.h"
@@ -229,6 +233,251 @@ LoadResult RunLoad(ServerRegistry& registry, const WorkloadSpec& spec,
   return out;
 }
 
+// --- Observability outputs ------------------------------------------------
+
+// Exact totals the smoke gates drive through the process-wide
+// MetricsRegistry. Instrumentation is pure observation: the bespoke
+// per-instance stats the gates assert are the source of truth, and the
+// global cells mirror them at the same sites, so after the gates the
+// registry must hold precisely these values.
+struct ExpectedCounters {
+  int64_t queries = 0;    ///< kmll_batcher_queries_total
+  int64_t served = 0;     ///< kmll_batcher_served_total
+  int64_t shed = 0;       ///< kmll_batcher_shed_total
+  int64_t publishes = 0;  ///< kmll_serving_publishes_total
+};
+ExpectedCounters g_smoke_expected;
+
+int64_t GlobalCounterValue(const char* name) {
+  return MetricsRegistry::Global().GetCounter(name, "")->value();
+}
+
+// Structural validation of a Prometheus text exposition: every sample
+// line belongs to a family declared by a preceding # TYPE line, counter
+// and bucket values are non-negative, each histogram bucket series is
+// cumulative (non-decreasing in emission order), and the +Inf bucket of
+// every label set equals its _count sample.
+void ValidatePrometheusText(const std::string& text) {
+  std::map<std::string, std::string> family_type;
+  std::map<std::string, int64_t> last_bucket;  // series key -> last value
+  std::map<std::string, int64_t> inf_bucket;   // series key -> +Inf value
+  int64_t samples = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t eol = text.find('\n', pos);
+    Expect(eol != std::string::npos,
+           "every exposition line must end with a newline");
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const size_t sp = line.find(' ', 7);
+        Expect(sp != std::string::npos, "malformed # TYPE line");
+        family_type[line.substr(7, sp - 7)] = line.substr(sp + 1);
+      }
+      continue;
+    }
+    ++samples;
+    const size_t name_end = line.find_first_of("{ ");
+    Expect(name_end != std::string::npos, "malformed sample line");
+    const std::string name = line.substr(0, name_end);
+    // Histogram series carry a _bucket/_sum/_count suffix on the family
+    // name; resolve back to the declared family.
+    std::string base = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s(suffix);
+      if (name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        const std::string candidate = name.substr(0, name.size() - s.size());
+        const auto cand = family_type.find(candidate);
+        if (cand != family_type.end() && cand->second == "histogram") {
+          base = candidate;
+          break;
+        }
+      }
+    }
+    const auto family = family_type.find(base);
+    Expect(family != family_type.end(),
+           "sample line without a preceding # TYPE declaration");
+    const size_t sp = line.rfind(' ');
+    const int64_t value = std::strtoll(line.c_str() + sp + 1, nullptr, 10);
+    if (family->second == "counter" || base != name) {
+      Expect(value >= 0, "counters and histogram series are non-negative");
+    }
+    if (base != name && name == base + "_bucket") {
+      // Series key: everything before the le pair, which the emitter
+      // always renders last — unique per (family, label set).
+      const size_t le = line.find("le=\"");
+      Expect(le != std::string::npos, "_bucket sample must carry le");
+      const std::string key = line.substr(0, le);
+      const auto last = last_bucket.find(key);
+      Expect(last == last_bucket.end() || value >= last->second,
+             "histogram bucket series must be cumulative");
+      last_bucket[key] = value;
+      if (line.compare(le, 9, "le=\"+Inf\"") == 0) inf_bucket[key] = value;
+    }
+    if (base != name && name == base + "_count") {
+      std::string labels;
+      if (line[name_end] == '{') {
+        const size_t close = line.find('}', name_end);
+        Expect(close != std::string::npos, "malformed label set");
+        labels = line.substr(name_end, close - name_end);  // sans '}'
+      }
+      const std::string key =
+          base + "_bucket" + (labels.empty() ? "{" : labels + ",");
+      const auto inf = inf_bucket.find(key);
+      Expect(inf != inf_bucket.end() && inf->second == value,
+             "histogram +Inf bucket must equal _count");
+    }
+  }
+  Expect(samples > 0, "exposition must carry at least one sample");
+}
+
+// Parses the trace emitter's "123.456" decimal-microsecond rendering
+// (exactly 3 fractional digits) back to integer nanoseconds.
+int64_t ParseMicrosToNs(const std::string& micros) {
+  const size_t dot = micros.find('.');
+  Expect(dot != std::string::npos && micros.size() == dot + 4 && dot > 0,
+         "trace timestamps carry exactly 3 fractional digits");
+  int64_t ns = 0;
+  for (size_t i = 0; i < micros.size(); ++i) {
+    if (i == dot) continue;
+    Expect(micros[i] >= '0' && micros[i] <= '9',
+           "malformed trace timestamp");
+    ns = ns * 10 + (micros[i] - '0');
+  }
+  return ns;
+}
+
+// Validates the Chrome trace-event envelope and every event object:
+// the emitter's fixed fields are present and well formed, and per-tid
+// span END times (ts + dur) are monotonic in output order. Spans record
+// at scope exit, so START times are NOT monotonic under nesting — end
+// times in ring order are the invariant a validator may hold. Returns
+// the event count.
+int64_t ValidateTraceJson(const std::string& json) {
+  const std::string head = "{\"traceEvents\":[";
+  const std::string tail = "],\"displayTimeUnit\":\"ms\"}";
+  Expect(json.rfind(head, 0) == 0, "trace must open with traceEvents");
+  Expect(json.size() >= head.size() + tail.size() &&
+             json.compare(json.size() - tail.size(), tail.size(), tail) == 0,
+         "trace must close with displayTimeUnit");
+  std::map<int64_t, int64_t> last_end_ns;
+  int64_t events = 0;
+  size_t pos = head.size();
+  const size_t end = json.size() - tail.size();
+  while (pos < end) {
+    if (json[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    Expect(json[pos] == '{', "trace events must be objects");
+    const size_t close = json.find('}', pos);
+    Expect(close != std::string::npos && close < end,
+           "unterminated trace event");
+    const std::string event = json.substr(pos, close + 1 - pos);
+    pos = close + 1;
+    ++events;
+    // Span names are fixed identifier-like literals (no commas, braces,
+    // or escapes), so splitting on ,} is exact for this emitter.
+    const auto field = [&event](const char* key) {
+      const std::string k = std::string("\"") + key + "\":";
+      const size_t at = event.find(k);
+      Expect(at != std::string::npos, "trace event missing a field");
+      const size_t start = at + k.size();
+      const size_t stop = event.find_first_of(",}", start);
+      return event.substr(start, stop - start);
+    };
+    Expect(field("ph") == "\"X\"", "spans are complete (X) events");
+    Expect(field("cat") == "\"kmll\"", "span category must be kmll");
+    Expect(field("name").size() > 2, "span name must be non-empty");
+    Expect(field("pid") == "1", "single-process trace");
+    const int64_t tid = std::strtoll(field("tid").c_str(), nullptr, 10);
+    Expect(tid >= 1, "tids are 1-based");
+    const int64_t ts_ns = ParseMicrosToNs(field("ts"));
+    const int64_t dur_ns = ParseMicrosToNs(field("dur"));
+    const int64_t end_ns = ts_ns + dur_ns;
+    const auto last = last_end_ns.find(tid);
+    Expect(last == last_end_ns.end() || end_ns >= last->second,
+           "per-tid span end times must be monotonic");
+    last_end_ns[tid] = end_ns;
+  }
+  return events;
+}
+
+// Writes --metrics-out / --trace-out after a run. In smoke mode
+// (smoke_exact) this is itself a gate: the global registry's counters
+// must equal the exact totals the earlier gates drove, the exposition
+// must carry those values verbatim, and the trace JSON must validate —
+// with spans present in a KMEANSLL_TRACING=1 build and absent in an
+// =0 build (same ctest invocation passes in both, which is what the CI
+// tracing-off leg runs). With `registry` non-null the metrics file is
+// the full ServerRegistry exposition (per-tenant families + the global
+// section); otherwise the global section alone.
+void FinishObservability(const eval::Args& args, bool smoke_exact,
+                         ServerRegistry* registry) {
+  const std::string metrics_path = args.GetString("metrics-out", "");
+  const std::string trace_path = args.GetString("trace-out", "");
+  if (metrics_path.empty() && trace_path.empty()) return;
+
+  if (smoke_exact) {
+    Expect(GlobalCounterValue("kmll_batcher_queries_total") ==
+               g_smoke_expected.queries,
+           "global query counter must mirror the gates' exact total");
+    Expect(GlobalCounterValue("kmll_batcher_served_total") ==
+               g_smoke_expected.served,
+           "global served counter must mirror the gates' exact total");
+    Expect(GlobalCounterValue("kmll_batcher_shed_total") ==
+               g_smoke_expected.shed,
+           "global shed counter must mirror the gates' exact total");
+    Expect(GlobalCounterValue("kmll_serving_publishes_total") ==
+               g_smoke_expected.publishes,
+           "global publish counter must mirror the gates' exact total");
+  }
+
+  const std::string text =
+      registry != nullptr ? registry->DumpPrometheusText()
+                          : MetricsRegistry::Global().DumpPrometheusText();
+  ValidatePrometheusText(text);
+  if (smoke_exact) {
+    const std::string served_line =
+        "kmll_batcher_served_total " +
+        std::to_string(g_smoke_expected.served) + "\n";
+    Expect(text.find(served_line) != std::string::npos,
+           "exposition must carry the exact served count");
+  }
+  if (!metrics_path.empty()) {
+    const Status written =
+        AtomicWriteFile(metrics_path, text.data(), text.size());
+    if (!written.ok()) Fail(written.message().c_str());
+    std::printf("metrics: %zu bytes -> %s\n", text.size(),
+                metrics_path.c_str());
+  }
+
+  if (!trace_path.empty()) {
+    trace::Tracer& tracer = trace::Tracer::Global();
+    const std::string json = tracer.DumpChromeJson();
+    const int64_t events = ValidateTraceJson(json);
+    if (smoke_exact) {
+#if KMEANSLL_TRACING
+      Expect(events > 0, "a traced smoke run must record spans");
+      Expect(tracer.DroppedCount() == 0,
+             "the smoke must not overflow the span ring");
+      Expect(events == tracer.RecordedCount(),
+             "every recorded span must be exported");
+#else
+      Expect(events == 0, "a KMEANSLL_TRACING=OFF build records no spans");
+#endif
+    }
+    const Status written =
+        AtomicWriteFile(trace_path, json.data(), json.size());
+    if (!written.ok()) Fail(written.message().c_str());
+    std::printf("trace: %" PRId64 " spans (%" PRId64 " dropped) -> %s\n",
+                events, tracer.DroppedCount(), trace_path.c_str());
+  }
+}
+
 // --- Bench mode ----------------------------------------------------------
 
 int RunBench(const eval::Args& args) {
@@ -349,6 +598,8 @@ int RunBench(const eval::Args& args) {
               thread_counts.back());
   breakdown.Print(std::cout);
   (void)breakdown.WriteTsv(eval::TsvOutputPath("workload_models"));
+
+  FinishObservability(args, /*smoke_exact=*/false, last_registry);
   return 0;
 }
 
@@ -505,6 +756,36 @@ void SmokeMixedServe(const CenterIndexOptions& index_opts) {
              "flat tenants must report no prune telemetry");
     }
   }
+
+  // The per-tenant Prometheus exposition must carry the same exact
+  // counts, labeled by model, with the served-latency histogram holding
+  // every assign/topm — and embed the process-wide section.
+  const std::string prom = registry->DumpPrometheusText();
+  ValidatePrometheusText(prom);
+  for (int64_t m = 0; m < models; ++m) {
+    Expect(prom.find("kmll_tenant_served_total{model=\"" + ModelName(m) +
+                     "\"} " + std::to_string(want_assign[m])) !=
+               std::string::npos,
+           "per-tenant exposition must carry the exact served count");
+    Expect(prom.find("kmll_tenant_latency_us_bucket{model=\"" +
+                     ModelName(m) + "\",le=\"+Inf\"} " +
+                     std::to_string(want_assign[m] + want_topm[m])) !=
+               std::string::npos,
+           "per-tenant latency histogram must hold every assign/topm");
+  }
+  Expect(prom.find("# TYPE kmll_tenant_latency_us histogram") !=
+             std::string::npos,
+         "per-tenant latency must be exposed as a histogram");
+  Expect(prom.find("# TYPE kmll_batcher_served_total counter") !=
+             std::string::npos,
+         "registry dump must embed the process-wide section");
+
+  // Feed the final observability gate: these exact totals must reappear
+  // in the process-wide registry (see FinishObservability).
+  for (int64_t m = 0; m < models; ++m) {
+    g_smoke_expected.queries += want_assign[m];
+    g_smoke_expected.served += want_assign[m];
+  }
 }
 
 // Gate 3: deterministic overload — the hot tenant sheds EXACTLY its
@@ -594,6 +875,11 @@ void SmokeOverloadIsolation() {
   Expect(cold_stats.batcher.shed == 0, "cold must shed nothing");
   Expect(cold_stats.server.publishes == 1, "cold publish accounting");
   Expect(hot_stats.server.publishes == 0, "hot publish accounting");
+
+  g_smoke_expected.queries += 1 + 2 * kOverload;  // parked leader + both
+  g_smoke_expected.served += 1 + kOverload;
+  g_smoke_expected.shed += kOverload;
+  g_smoke_expected.publishes += 1;
 }
 
 int RunSmoke(bool pruned) {
@@ -813,6 +1099,10 @@ void SmokeIngest() {
            "served answer must be bitwise AssignOne after republish");
   }
 
+  g_smoke_expected.queries += probe.rows();
+  g_smoke_expected.served += probe.rows();
+  g_smoke_expected.publishes += 6;  // 4 cycles + recovery + post-recovery
+
   live.reset();
   RemoveLiveFiles(base);
   std::remove(ckpt.c_str());
@@ -942,6 +1232,8 @@ int RunIngestBench(const eval::Args& args) {
   table.Print(std::cout);
   (void)table.WriteTsv(eval::TsvOutputPath("workload_ingest"));
 
+  FinishObservability(args, /*smoke_exact=*/false, registry.get());
+
   RemoveLiveFiles(base);
   std::remove(ckpt.c_str());
   return 0;
@@ -952,10 +1244,21 @@ int RunIngestBench(const eval::Args& args) {
 
 int main(int argc, char** argv) {
   kmeansll::eval::Args args(argc, argv);
+  // --trace-out enables span collection for the whole run; the file is
+  // validated and written after the mode finishes. --metrics-out dumps
+  // the Prometheus exposition the same way. In smoke mode the two flags
+  // turn the dump itself into a gate (exact counter cross-checks).
+  if (!args.GetString("trace-out", "").empty()) {
+    kmeansll::trace::Tracer::Global().Enable();
+  }
   const bool ingest = args.GetBool("ingest", false);
   if (args.GetBool("smoke", false)) {
-    if (ingest) return kmeansll::RunSmokeIngest();
-    return kmeansll::RunSmoke(args.GetBool("pruned", false));
+    const int rc = ingest ? kmeansll::RunSmokeIngest()
+                          : kmeansll::RunSmoke(args.GetBool("pruned", false));
+    if (rc != 0) return rc;
+    kmeansll::FinishObservability(args, /*smoke_exact=*/true,
+                                  /*registry=*/nullptr);
+    return 0;
   }
   if (ingest) return kmeansll::RunIngestBench(args);
   return kmeansll::RunBench(args);

@@ -11,6 +11,7 @@
 #include "common/file_util.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "data/checkpoint_io.h"
 #include "distance/nearest.h"
 #include "rng/reservoir.h"
@@ -163,6 +164,7 @@ Result<InitResult> KMeansLLInit(const DatasetSource& data, int64_t k,
 
   // Steps 3–6: r rounds of oversampled D² selection.
   for (int64_t round = start_round; round < rounds; ++round) {
+    KMEANSLL_TRACE_SPAN("seeding.round");
     const double phi = tracker.Potential();
     if (!(phi > 0.0)) break;  // every point coincides with a candidate
 

@@ -8,6 +8,7 @@
 #include "clustering/lloyd_internal.h"
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "common/trace.h"
 #include "distance/batch.h"
 #include "distance/nearest.h"
 #include "parallel/parallel_for.h"
@@ -19,13 +20,21 @@ int64_t LloydStep(const DatasetSource& data, const Matrix& centers,
                   ThreadPool* pool, const double* point_norms) {
   const int64_t k = centers.rows();
   const int64_t d = centers.cols();
-  *assignment = ComputeAssignment(data, centers, pool, point_norms);
+  {
+    KMEANSLL_TRACE_SPAN("lloyd.assign_scan");
+    *assignment = ComputeAssignment(data, centers, pool, point_norms);
+  }
 
-  internal::CentroidSums totals =
-      internal::AccumulateCentroids(data, assignment->cluster, k, pool);
+  internal::CentroidSums totals;
+  {
+    KMEANSLL_TRACE_SPAN("lloyd.centroid_accumulate");
+    totals =
+        internal::AccumulateCentroids(data, assignment->cluster, k, pool);
+  }
   std::vector<int64_t> empty =
       internal::CentroidsFromSums(totals, k, d, new_centers);
   if (!empty.empty()) {
+    KMEANSLL_TRACE_SPAN("lloyd.repair_empty");
     internal::RepairEmptyClusters(data, centers, empty, new_centers, pool,
                                   point_norms);
   }
@@ -84,6 +93,7 @@ Result<LloydResult> RunLloyd(const DatasetSource& data,
   }
 
   for (int64_t iter = start_iter; iter < options.max_iterations; ++iter) {
+    KMEANSLL_TRACE_SPAN("lloyd.iteration");
     const bool will_checkpoint =
         internal::ShouldCheckpoint(plan, iter, options.max_iterations);
     Matrix entering_centers;

@@ -7,6 +7,7 @@
 
 #include "clustering/cost.h"
 #include "clustering/lloyd_internal.h"
+#include "common/trace.h"
 #include "common/math_util.h"
 #include "distance/batch.h"
 #include "distance/nearest.h"
@@ -101,6 +102,7 @@ Result<LloydResult> RunLloydHamerly(const DatasetSource& data,
   }
 
   for (int64_t iter = start_iter; iter < options.max_iterations; ++iter) {
+    KMEANSLL_TRACE_SPAN("lloyd_hamerly.iteration");
     const bool will_checkpoint =
         internal::ShouldCheckpoint(plan, iter, options.max_iterations);
     Matrix entering_centers;

@@ -43,6 +43,14 @@ std::mutex& EmitMutex() {
   return m;
 }
 
+// Installed sink; nullptr means the built-in stderr destination. Read
+// and written under EmitMutex() so a sink can never be swapped out from
+// under an in-flight Write().
+LogSink*& SinkStorage() {
+  static LogSink* sink = nullptr;
+  return sink;
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() {
@@ -51,6 +59,13 @@ LogLevel GetLogLevel() {
 
 void SetLogLevel(LogLevel level) {
   LevelStorage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogSink* SetLogSink(LogSink* sink) {
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  LogSink* previous = SinkStorage();
+  SinkStorage() = sink;
+  return previous;
 }
 
 namespace internal {
@@ -71,7 +86,11 @@ LogMessage::~LogMessage() {
   if (!enabled_) return;
   stream_ << "\n";
   std::lock_guard<std::mutex> lock(EmitMutex());
-  std::fputs(stream_.str().c_str(), stderr);
+  if (LogSink* sink = SinkStorage(); sink != nullptr) {
+    sink->Write(level_, stream_.str());
+  } else {
+    std::fputs(stream_.str().c_str(), stderr);
+  }
 }
 
 }  // namespace internal

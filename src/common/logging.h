@@ -1,4 +1,6 @@
-// Minimal leveled logger. Thread-safe, writes to stderr. Level is
+// Minimal leveled logger. Thread-safe; emits through a pluggable
+// LogSink (stderr by default, swappable so tests can capture and assert
+// on WARNING/ERROR lines instead of scraping stderr). Level is
 // controlled programmatically or via the KMEANSLL_LOG_LEVEL environment
 // variable (0=DEBUG 1=INFO 2=WARNING 3=ERROR 4=OFF; default INFO).
 
@@ -23,6 +25,22 @@ enum class LogLevel : int {
 /// Process-wide minimum level; messages below it are dropped.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Destination for formatted log lines. Write() receives one complete
+/// line (prefix + message + trailing '\n') and is always called under
+/// the logger's emit mutex, so implementations need no locking of their
+/// own and lines never interleave.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(LogLevel level, const std::string& line) = 0;
+};
+
+/// Installs `sink` as the process-wide log destination and returns the
+/// previous one (nullptr for the built-in stderr sink). Passing nullptr
+/// restores the stderr default. The caller keeps ownership of `sink`
+/// and must keep it alive until another SetLogSink call replaces it.
+LogSink* SetLogSink(LogSink* sink);
 
 namespace internal {
 

@@ -1,0 +1,179 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "common/file_util.h"
+
+namespace kmeansll {
+namespace trace {
+
+// One recording thread's span storage. The owner thread is the only
+// writer: it fills events_[next_ % capacity] and then publishes with a
+// release store of next_ + 1, so an exporter that acquires next_ sees
+// fully written slots for every index below it. Overflow overwrites the
+// oldest slot (the ring keeps the most recent `capacity` spans);
+// dropped = max(0, next_ - capacity) exactly, with no extra counter on
+// the hot path.
+struct Tracer::ThreadRing {
+  explicit ThreadRing(size_t capacity, int tid)
+      : capacity(capacity), tid(tid), events(capacity) {}
+
+  const size_t capacity;
+  const int tid;
+  std::vector<TraceEvent> events;
+  std::atomic<int64_t> next{0};  ///< spans ever recorded on this thread
+};
+
+namespace {
+
+// Per-thread cache of the ring registered with the global tracer, plus
+// the tracer generation it was registered under — Reset() bumps the
+// generation to invalidate caches without freeing memory out from under
+// a live recorder's pointer.
+struct RingCache {
+  Tracer::ThreadRing* ring = nullptr;
+  uint64_t generation = 0;
+};
+thread_local RingCache t_ring_cache;
+
+// Nanoseconds rendered as decimal microseconds ("1234.567") without
+// any floating-point round trip.
+std::string FormatMicros(int64_t ns) {
+  std::string out = std::to_string(ns / 1000);
+  const int64_t frac = ns % 1000;
+  out += ".";
+  out += static_cast<char>('0' + frac / 100);
+  out += static_cast<char>('0' + (frac / 10) % 10);
+  out += static_cast<char>('0' + frac % 10);
+  return out;
+}
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+Tracer::Tracer() {
+  TraceEpoch();  // pin the epoch before any span can observe the clock
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+int64_t Tracer::NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - TraceEpoch())
+      .count();
+}
+
+Tracer::ThreadRing* Tracer::RingForThisThread() {
+  const uint64_t generation = generation_.load(std::memory_order_acquire);
+  if (t_ring_cache.ring != nullptr && t_ring_cache.generation == generation) {
+    return t_ring_cache.ring;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.push_back(std::make_unique<ThreadRing>(ring_capacity_, next_tid_++));
+  t_ring_cache.ring = rings_.back().get();
+  t_ring_cache.generation = generation_.load(std::memory_order_relaxed);
+  return t_ring_cache.ring;
+}
+
+void Tracer::Record(const char* name, int64_t start_ns, int64_t dur_ns) {
+  if (!enabled()) return;
+  ThreadRing* ring = RingForThisThread();
+  const int64_t slot = ring->next.load(std::memory_order_relaxed);
+  TraceEvent& event =
+      ring->events[static_cast<size_t>(slot) % ring->capacity];
+  event.name = name;
+  event.start_ns = start_ns;
+  event.dur_ns = dur_ns;
+  ring->next.store(slot + 1, std::memory_order_release);
+}
+
+size_t Tracer::RetainedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& ring : rings_) {
+    const int64_t recorded = ring->next.load(std::memory_order_acquire);
+    total += std::min<size_t>(static_cast<size_t>(recorded), ring->capacity);
+  }
+  return total;
+}
+
+int64_t Tracer::RecordedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& ring : rings_) {
+    total += ring->next.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+int64_t Tracer::DroppedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t dropped = 0;
+  for (const auto& ring : rings_) {
+    const int64_t recorded = ring->next.load(std::memory_order_acquire);
+    const int64_t over = recorded - static_cast<int64_t>(ring->capacity);
+    if (over > 0) dropped += over;
+  }
+  return dropped;
+}
+
+std::string Tracer::DumpChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& ring : rings_) {
+    const int64_t recorded = ring->next.load(std::memory_order_acquire);
+    const int64_t retained =
+        std::min<int64_t>(recorded, static_cast<int64_t>(ring->capacity));
+    // Oldest retained span first: per-tid output order is recording
+    // order, which is monotonic in span end time (spans record at scope
+    // exit against a steady clock).
+    for (int64_t i = recorded - retained; i < recorded; ++i) {
+      const TraceEvent& event =
+          ring->events[static_cast<size_t>(i) % ring->capacity];
+      if (!first) out << ",";
+      first = false;
+      // Chrome trace-event "X" (complete) event; ts/dur in microseconds
+      // with full nanosecond precision (3 fractional digits), so span
+      // end times (ts + dur) stay exactly monotonic per tid after the
+      // unit conversion — the harness's trace validator relies on it.
+      out << "{\"name\":\"" << event.name << "\",\"cat\":\"kmll\","
+          << "\"ph\":\"X\",\"ts\":" << FormatMicros(event.start_ns)
+          << ",\"dur\":" << FormatMicros(std::max<int64_t>(event.dur_ns, 0))
+          << ",\"pid\":1,\"tid\":" << ring->tid << "}";
+    }
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+Status Tracer::WriteChromeJson(const std::string& path) const {
+  const std::string json = DumpChromeJson();
+  return AtomicWriteFile(path, json.data(), json.size());
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.clear();
+  next_tid_ = 1;
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Tracer::SetRingCapacityForTest(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_capacity_ = capacity == 0 ? 1 : capacity;
+}
+
+}  // namespace trace
+}  // namespace kmeansll

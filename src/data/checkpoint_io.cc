@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/file_util.h"
+#include "common/metrics.h"
 #include "common/retry.h"
 #include "data/model_io.h"
 
@@ -108,13 +109,20 @@ Status SaveCheckpoint(const TrainingCheckpoint& checkpoint,
 
   // Crash-safe: the rename is the commit point, so an interrupted save
   // leaves the previous checkpoint (or none), never a torn file.
-  return RetryTransient(
+  int64_t retries = 0;
+  Status written = RetryTransient(
       RetryPolicy{},
       [&] {
         return AtomicWriteFile(path, buf.data(), buf.size(),
                                "checkpoint.write");
       },
-      out_retries);
+      &retries);
+  if (out_retries != nullptr) *out_retries += retries;
+  MetricsRegistry::Global()
+      .GetCounter("kmll_train_checkpoint_retries_total",
+                  "Transient training-checkpoint write failures retried.")
+      ->Increment(retries);
+  return written;
 }
 
 Result<TrainingCheckpoint> LoadCheckpoint(const std::string& path) {

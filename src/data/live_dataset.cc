@@ -10,6 +10,8 @@
 #include "common/file_util.h"
 #include "common/macros.h"
 #include "common/math_util.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace kmeansll::data {
 
@@ -196,6 +198,11 @@ Status LiveDataset::Append(const double* points, int64_t rows,
     if (impl->tail_rows + rows > impl->options.max_unsealed_rows) {
       impl->backpressure_rejections.fetch_add(1,
                                               std::memory_order_relaxed);
+      MetricsRegistry::Global()
+          .GetCounter("kmll_ingest_backpressure_rejections_total",
+                      "Appends rejected because the unsealed tail was "
+                      "full.")
+          ->Increment();
       return Status::Unavailable(
           "unsealed tail is full (" + std::to_string(impl->tail_rows) +
           " rows); Seal() to drain before appending");
@@ -215,12 +222,23 @@ Status LiveDataset::Append(const double* points, int64_t rows,
   impl->ApplyToTail(points, rows, weights);
   impl->appended_batches.fetch_add(1, std::memory_order_relaxed);
   impl->appended_rows.fetch_add(rows, std::memory_order_relaxed);
+  {
+    static Counter* batches = MetricsRegistry::Global().GetCounter(
+        "kmll_ingest_appended_batches_total",
+        "Batches applied to live-dataset tails (post-WAL).");
+    static Counter* ingested_rows = MetricsRegistry::Global().GetCounter(
+        "kmll_ingest_appended_rows_total",
+        "Rows applied to live-dataset tails (post-WAL).");
+    batches->Increment();
+    ingested_rows->Increment(rows);
+  }
   return Status::OK();
 }
 
 Status LiveDataset::Seal() {
   Impl* impl = impl_.get();
   std::lock_guard<std::mutex> wlock(impl->write_mu);
+  KMEANSLL_TRACE_SPAN("ingest.seal");
   // Crash site at the seal entry: nothing has happened yet, recovery
   // replays the whole tail.
   KMEANSLL_RETURN_NOT_OK(fault::Check("oplog.seal"));
@@ -296,6 +314,16 @@ Status LiveDataset::Seal() {
   }
   impl->seals.fetch_add(1, std::memory_order_relaxed);
   impl->sealed_rows_total.fetch_add(seal_rows, std::memory_order_relaxed);
+  {
+    static Counter* seal_count = MetricsRegistry::Global().GetCounter(
+        "kmll_ingest_seals_total",
+        "Seal compactions of full tail segments into shards.");
+    static Counter* sealed_rows = MetricsRegistry::Global().GetCounter(
+        "kmll_ingest_sealed_rows_total",
+        "Rows compacted from the tail into sealed shards.");
+    seal_count->Increment();
+    sealed_rows->Increment(seal_rows);
+  }
 
   // GC the log past the new frontier. Failure here loses no data (the
   // old log replays fine — recovery skips sealed rows); surface it so

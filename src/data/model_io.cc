@@ -7,6 +7,7 @@
 
 #include "common/fault_injection.h"
 #include "common/file_util.h"
+#include "common/metrics.h"
 #include "common/retry.h"
 #include "distance/l2.h"
 
@@ -143,12 +144,19 @@ Status SaveModel(const ModelArtifact& artifact, const std::string& path,
   // fsynced, and is renamed over `path` — a crash at any point leaves
   // either the previous model or the new one, never a torn file.
   // Transient write failures (injected or real) are retried in place.
-  return RetryTransient(
+  int64_t retries = 0;
+  Status written = RetryTransient(
       RetryPolicy{},
       [&] {
         return AtomicWriteFile(path, buf.data(), buf.size(), "model.write");
       },
-      out_retries);
+      &retries);
+  if (out_retries != nullptr) *out_retries += retries;
+  MetricsRegistry::Global()
+      .GetCounter("kmll_model_write_retries_total",
+                  "Transient model-artifact write failures retried.")
+      ->Increment(retries);
+  return written;
 }
 
 Result<ModelArtifact> LoadModel(const std::string& path) {

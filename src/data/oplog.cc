@@ -14,6 +14,7 @@
 #include "common/fault_injection.h"
 #include "common/file_util.h"
 #include "common/macros.h"
+#include "common/metrics.h"
 #include "data/model_io.h"  // for data::Crc32
 
 namespace kmeansll::data {
@@ -93,6 +94,11 @@ struct OpLog::Impl {
     unsynced_bytes = 0;
     unsynced_records = 0;
     ++stats.syncs;
+    MetricsRegistry::Global()
+        .GetCounter("kmll_oplog_syncs_total",
+                    "Oplog fsync batches (group commits plus explicit "
+                    "Sync calls).")
+        ->Increment();
     return Status::OK();
   }
 
@@ -231,10 +237,18 @@ Result<OpLog> OpLog::Open(const std::string& path, int64_t dim,
     good_end += kFrameFixedBytes + len;
     ++impl->stats.recovered_records;
     impl->stats.recovered_rows += rows;
+    MetricsRegistry::Global()
+        .GetCounter("kmll_oplog_recovered_records_total",
+                    "Intact record frames replayed from oplogs on reopen.")
+        ->Increment();
   }
 
   if (good_end < file_size) {
     impl->stats.torn_bytes = file_size - good_end;
+    MetricsRegistry::Global()
+        .GetCounter("kmll_oplog_torn_bytes_total",
+                    "Bytes truncated from torn oplog tails on reopen.")
+        ->Increment(impl->stats.torn_bytes);
 #if !defined(_WIN32)
     if (::ftruncate(::fileno(f), static_cast<off_t>(good_end)) != 0) {
       return Status::IOError("cannot truncate torn tail of oplog '" + path +
@@ -299,6 +313,16 @@ Status OpLog::Append(int64_t first_row, int64_t rows, const double* points,
   ++impl->unsynced_records;
   ++impl->stats.records_appended;
   impl->stats.rows_appended += rows;
+  {
+    static Counter* records = MetricsRegistry::Global().GetCounter(
+        "kmll_oplog_records_appended_total",
+        "Record frames appended to write-ahead oplogs.");
+    static Counter* appended_rows = MetricsRegistry::Global().GetCounter(
+        "kmll_oplog_rows_appended_total",
+        "Data rows appended through the write-ahead oplog.");
+    records->Increment();
+    appended_rows->Increment(rows);
+  }
 
   const bool commit =
       (impl->options.group_commit_bytes > 0 &&

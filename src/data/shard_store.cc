@@ -24,13 +24,64 @@
 #include "common/file_util.h"
 #include "common/macros.h"
 #include "common/math_util.h"
+#include "common/metrics.h"
 #include "common/retry.h"
+#include "common/trace.h"
 #include "data/binary_io.h"
 #include "data/model_io.h"  // for data::Crc32
 
 namespace kmeansll::data {
 
 namespace {
+
+// Process-wide registry mirrors of the per-instance StatsCells: every
+// StatsCells bump also bumps one of these, so a single Prometheus
+// scrape sees storage-layer totals across all datasets ever opened.
+// Resolved once; updates through the handles are wait-free.
+struct ShardStoreMetrics {
+  Counter* maps;
+  Counter* evictions;
+  Gauge* resident_bytes;
+  Gauge* peak_resident_bytes;
+  Counter* prefetch_issued;
+  Counter* prefetch_completed;
+  Counter* prefetch_hits;
+  Counter* prefetch_wasted;
+  Counter* stall_ns;
+  Counter* map_retries;
+  Counter* map_failures;
+};
+
+const ShardStoreMetrics& ShardMetrics() {
+  static const ShardStoreMetrics* m = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    return new ShardStoreMetrics{
+        r.GetCounter("kmll_shard_maps_total",
+                     "Shard mmaps published (demand plus prefetch)."),
+        r.GetCounter("kmll_shard_evictions_total",
+                     "Shards unmapped by the LRU resident window."),
+        r.GetGauge("kmll_shard_resident_bytes",
+                   "Bytes currently mapped across all shard stores."),
+        r.GetGauge("kmll_shard_peak_resident_bytes",
+                   "High-water mark of kmll_shard_resident_bytes."),
+        r.GetCounter("kmll_shard_prefetch_issued_total",
+                     "Shards enqueued by PrefetchHint."),
+        r.GetCounter("kmll_shard_prefetch_completed_total",
+                     "Prefetched shards fully page-warmed."),
+        r.GetCounter("kmll_shard_prefetch_hits_total",
+                     "Pins that found their shard prefetched."),
+        r.GetCounter("kmll_shard_prefetch_wasted_total",
+                     "Prefetched shards evicted before any pin."),
+        r.GetCounter("kmll_shard_stall_ns_total",
+                     "Nanoseconds scan threads blocked on shard I/O."),
+        r.GetCounter("kmll_shard_map_retries_total",
+                     "Transient map failures retried with backoff."),
+        r.GetCounter("kmll_shard_map_failures_total",
+                     "Shards whose demand-map retry budget was exhausted."),
+    };
+  }();
+  return *m;
+}
 
 constexpr char kManifestMagic[8] = {'K', 'M', 'L', 'L', 'S', 'H', 'R', 'D'};
 constexpr int32_t kManifestVersion = 1;
@@ -613,6 +664,10 @@ struct ShardedDataset::Impl {
       stats.peak_resident_bytes.store(resident,
                                       std::memory_order_relaxed);
     }
+    const ShardStoreMetrics& m = ShardMetrics();
+    m.maps->Increment();
+    m.resident_bytes->Add(shard.file_bytes);
+    m.peak_resident_bytes->UpdateMax(m.resident_bytes->value());
   }
 
   /// Ensures `shard` is resident, mapping it on demand (or waiting out a
@@ -633,11 +688,12 @@ struct ShardedDataset::Impl {
         map_done.wait(lock, [&] {
           return shard.base != nullptr || !shard.mapping;
         });
-        stats.stall_nanos.fetch_add(
+        const int64_t waited =
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 Clock::now() - start)
-                .count(),
-            std::memory_order_relaxed);
+                .count();
+        stats.stall_nanos.fetch_add(waited, std::memory_order_relaxed);
+        ShardMetrics().stall_ns->Increment(waited);
         continue;
       }
       shard.mapping = true;
@@ -646,23 +702,27 @@ struct ShardedDataset::Impl {
       const auto start = Clock::now();
       const char* base = nullptr;
       int64_t retries = 0;
-      Status status = RetryTransient(
-          options.io_retry,
-          [&]() -> Status {
-            KMEANSLL_RETURN_NOT_OK(fault::Check("shard.map"));
-            KMEANSLL_RETURN_NOT_OK(
-                MapFile(shard.path, shard.file_bytes, &base));
-            if (verify_crc) {
-              Status crc = VerifyPayloadCrc(shard, base);
-              if (!crc.ok()) {
-                UnmapRaw(base, shard.file_bytes);
-                base = nullptr;
-                return crc;  // InvalidArgument: not retried, degrade
+      Status status;
+      {
+        KMEANSLL_TRACE_SPAN("shard.demand_map");
+        status = RetryTransient(
+            options.io_retry,
+            [&]() -> Status {
+              KMEANSLL_RETURN_NOT_OK(fault::Check("shard.map"));
+              KMEANSLL_RETURN_NOT_OK(
+                  MapFile(shard.path, shard.file_bytes, &base));
+              if (verify_crc) {
+                Status crc = VerifyPayloadCrc(shard, base);
+                if (!crc.ok()) {
+                  UnmapRaw(base, shard.file_bytes);
+                  base = nullptr;
+                  return crc;  // InvalidArgument: not retried, degrade
+                }
               }
-            }
-            return Status::OK();
-          },
-          &retries);
+              return Status::OK();
+            },
+            &retries);
+      }
       const auto elapsed =
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               Clock::now() - start)
@@ -672,6 +732,8 @@ struct ShardedDataset::Impl {
       if (status.ok() && verify_crc) shard.crc_checked = true;
       stats.stall_nanos.fetch_add(elapsed, std::memory_order_relaxed);
       stats.map_retries.fetch_add(retries, std::memory_order_relaxed);
+      ShardMetrics().stall_ns->Increment(elapsed);
+      ShardMetrics().map_retries->Increment(retries);
       if (!status.ok()) {
         // Retry budget exhausted: degrade instead of aborting. The
         // shard is marked failed so later pins don't burn the backoff
@@ -680,6 +742,7 @@ struct ShardedDataset::Impl {
         shard.failed = true;
         shard.fail_status = status;
         stats.map_failures.fetch_add(1, std::memory_order_relaxed);
+        ShardMetrics().map_failures->Increment();
         if (failure.ok()) failure = status;
         map_done.notify_all();
         return status;
@@ -722,11 +785,14 @@ struct ShardedDataset::Impl {
         --protected_count;
         prefetch_hold_bytes -= victim->file_bytes;
         stats.prefetch_wasted.fetch_add(1, std::memory_order_relaxed);
+        ShardMetrics().prefetch_wasted->Increment();
       }
       Unmap(*victim);
       stats.resident_bytes.fetch_sub(victim->file_bytes,
                                      std::memory_order_relaxed);
       stats.evictions.fetch_add(1, std::memory_order_relaxed);
+      ShardMetrics().resident_bytes->Add(-victim->file_bytes);
+      ShardMetrics().evictions->Increment();
     }
   }
 
@@ -758,27 +824,32 @@ struct ShardedDataset::Impl {
       lock.unlock();
       const char* base = nullptr;
       int64_t retries = 0;
-      Status status = RetryTransient(
-          options.io_retry,
-          [&]() -> Status {
-            KMEANSLL_RETURN_NOT_OK(fault::Check("shard.prefetch"));
-            KMEANSLL_RETURN_NOT_OK(
-                MapFile(shard.path, shard.file_bytes, &base));
-            if (verify_crc) {
-              Status crc = VerifyPayloadCrc(shard, base);
-              if (!crc.ok()) {
-                UnmapRaw(base, shard.file_bytes);
-                base = nullptr;
-                return crc;
+      Status status;
+      {
+        KMEANSLL_TRACE_SPAN("shard.prefetch_map");
+        status = RetryTransient(
+            options.io_retry,
+            [&]() -> Status {
+              KMEANSLL_RETURN_NOT_OK(fault::Check("shard.prefetch"));
+              KMEANSLL_RETURN_NOT_OK(
+                  MapFile(shard.path, shard.file_bytes, &base));
+              if (verify_crc) {
+                Status crc = VerifyPayloadCrc(shard, base);
+                if (!crc.ok()) {
+                  UnmapRaw(base, shard.file_bytes);
+                  base = nullptr;
+                  return crc;
+                }
               }
-            }
-            return Status::OK();
-          },
-          &retries);
+              return Status::OK();
+            },
+            &retries);
+      }
       lock.lock();
       shard.mapping = false;
       if (status.ok() && verify_crc) shard.crc_checked = true;
       stats.map_retries.fetch_add(retries, std::memory_order_relaxed);
+      ShardMetrics().map_retries->Increment(retries);
       if (!status.ok()) {
         // A prefetch failure must never take down the scan: leave the
         // shard unmapped (NOT failed) so the demand path gets its own
@@ -793,10 +864,14 @@ struct ShardedDataset::Impl {
       shard.touching = true;  // pins may proceed; eviction may not
       map_done.notify_all();
       lock.unlock();
-      TouchPages(base, shard.file_bytes);
+      {
+        KMEANSLL_TRACE_SPAN("shard.prefetch_warm");
+        TouchPages(base, shard.file_bytes);
+      }
       lock.lock();
       shard.touching = false;
       stats.prefetch_completed.fetch_add(1, std::memory_order_relaxed);
+      ShardMetrics().prefetch_completed->Increment();
       EvictOverBudget();
       if (shutting_down) return;
     }
@@ -1024,6 +1099,7 @@ void ShardedDataset::PrefetchHint(int64_t begin, int64_t end) const {
     impl->prefetch_hold_bytes += shard.file_bytes;
     impl->prefetch_queue.push_back(s);
     impl->stats.prefetch_issued.fetch_add(1, std::memory_order_relaxed);
+    ShardMetrics().prefetch_issued->Increment();
     enqueued = true;
   }
   if (!enqueued) return;
@@ -1079,6 +1155,7 @@ PinnedBlock ShardedDataset::Pin(int64_t begin, int64_t end) const {
         if (was_resident) {
           impl->stats.prefetch_hits.fetch_add(1,
                                               std::memory_order_relaxed);
+          ShardMetrics().prefetch_hits->Increment();
         }
       }
       ++shard.pin_count;

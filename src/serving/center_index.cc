@@ -10,6 +10,7 @@
 #include "clustering/init_kmeansll.h"
 #include "clustering/lloyd.h"
 #include "common/math_util.h"
+#include "common/metrics.h"
 #include "distance/batch.h"
 #include "distance/l2.h"
 #include "parallel/parallel_for.h"
@@ -18,6 +19,32 @@
 namespace kmeansll::serving {
 
 namespace {
+
+// Process-wide prune-effectiveness totals, mirrored from the per-index
+// atomic cells (PruneStats stays the per-snapshot source of truth).
+struct PruneMetrics {
+  Counter* queries;
+  Counter* groups_scanned;
+  Counter* groups_pruned;
+  Counter* exact_fallbacks;
+};
+const PruneMetrics& GetPruneMetrics() {
+  static const PruneMetrics* m = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    return new PruneMetrics{
+        r.GetCounter("kmll_prune_queries_total",
+                     "Queries answered via the two-level pruned path."),
+        r.GetCounter("kmll_prune_groups_scanned_total",
+                     "Coarse groups that reached the distance engine."),
+        r.GetCounter("kmll_prune_groups_pruned_total",
+                     "Coarse groups skipped by bounds or probe caps."),
+        r.GetCounter("kmll_prune_exact_fallbacks_total",
+                     "Queries served by the flat scan instead of the "
+                     "pruned path."),
+    };
+  }();
+  return *m;
+}
 
 // Query rows per coarse-distance tile: bounds the per-call scratch
 // (tile × g doubles) while amortizing the coarse scan's panel traffic.
@@ -320,8 +347,11 @@ void CenterIndex::PrunedFindRange(ConstMatrixView points, IndexRange rows,
     }
   }
   stat_queries_.fetch_add(n, std::memory_order_relaxed);
+  GetPruneMetrics().queries->Increment(static_cast<int64_t>(n));
   stat_groups_scanned_.fetch_add(scanned_total, std::memory_order_relaxed);
+  GetPruneMetrics().groups_scanned->Increment(static_cast<int64_t>(scanned_total));
   stat_groups_pruned_.fetch_add(pruned_total, std::memory_order_relaxed);
+  GetPruneMetrics().groups_pruned->Increment(static_cast<int64_t>(pruned_total));
 }
 
 void CenterIndex::PrunedFindTopMRange(ConstMatrixView points,
@@ -435,8 +465,11 @@ void CenterIndex::PrunedFindTopMRange(ConstMatrixView points,
     }
   }
   stat_queries_.fetch_add(n, std::memory_order_relaxed);
+  GetPruneMetrics().queries->Increment(static_cast<int64_t>(n));
   stat_groups_scanned_.fetch_add(scanned_total, std::memory_order_relaxed);
+  GetPruneMetrics().groups_scanned->Increment(static_cast<int64_t>(scanned_total));
   stat_groups_pruned_.fetch_add(pruned_total, std::memory_order_relaxed);
+  GetPruneMetrics().groups_pruned->Increment(static_cast<int64_t>(pruned_total));
 }
 
 NearestResult CenterIndex::AssignOne(const double* point) const {
@@ -452,6 +485,7 @@ NearestResult CenterIndex::AssignOne(const double* point) const {
   }
   if (options_.enable_pruning) {
     stat_exact_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    GetPruneMetrics().exact_fallbacks->Increment(static_cast<int64_t>(1));
   }
   return search_.Find(point);
 }
@@ -472,6 +506,7 @@ void CenterIndex::AssignRange(ConstMatrixView points, IndexRange rows,
   }
   if (options_.enable_pruning) {
     stat_exact_fallbacks_.fetch_add(rows.size(), std::memory_order_relaxed);
+    GetPruneMetrics().exact_fallbacks->Increment(static_cast<int64_t>(rows.size()));
   }
   if (out_d2 != nullptr) {
     search_.FindRange(points, rows, /*point_norms=*/nullptr, out_index,
@@ -492,6 +527,7 @@ Assignment CenterIndex::AssignBatch(const DatasetSource& data,
   if (pruned_ == nullptr) {
     if (options_.enable_pruning) {
       stat_exact_fallbacks_.fetch_add(data.n(), std::memory_order_relaxed);
+      GetPruneMetrics().exact_fallbacks->Increment(static_cast<int64_t>(data.n()));
     }
     out.cost = ReduceNearestWithSearch(data, search_, pool, point_norms,
                                        out.cluster.data());
@@ -546,6 +582,7 @@ int64_t CenterIndex::AssignTopM(const double* point, int64_t m,
   } else {
     if (options_.enable_pruning) {
       stat_exact_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      GetPruneMetrics().exact_fallbacks->Increment(static_cast<int64_t>(1));
     }
     search_.FindTopMRange(one, IndexRange{0, 1}, /*point_norms=*/nullptr, m,
                           idx.data(), d2.data());
@@ -569,6 +606,7 @@ void CenterIndex::AssignTopMRange(ConstMatrixView points, IndexRange rows,
   }
   if (options_.enable_pruning) {
     stat_exact_fallbacks_.fetch_add(rows.size(), std::memory_order_relaxed);
+    GetPruneMetrics().exact_fallbacks->Increment(static_cast<int64_t>(rows.size()));
   }
   search_.FindTopMRange(points, rows, /*point_norms=*/nullptr, m, out_index,
                         out_d2);

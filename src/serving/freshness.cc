@@ -8,7 +8,9 @@
 #include "clustering/cost.h"
 #include "common/fault_injection.h"
 #include "common/file_util.h"
+#include "common/metrics.h"
 #include "common/retry.h"
+#include "common/trace.h"
 #include "data/model_io.h"
 #include "rng/rng.h"
 #include "rng/splitmix64.h"
@@ -19,6 +21,36 @@ namespace {
 
 constexpr char kMagic[8] = {'K', 'M', 'L', 'L', 'F', 'R', 'S', 'H'};
 constexpr int32_t kVersion = 1;
+
+struct RefineMetrics {
+  Counter* cycles;
+  Counter* minibatch_refines;
+  Counter* reseeds;
+  Counter* failures;
+  Counter* checkpoint_retries;
+  Counter* slo_misses;
+};
+const RefineMetrics& GetRefineMetrics() {
+  static const RefineMetrics* m = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    return new RefineMetrics{
+        r.GetCounter("kmll_freshness_cycles_total",
+                     "Refine cycles that republished a model."),
+        r.GetCounter("kmll_freshness_minibatch_refines_total",
+                     "Cycles repaired with minibatch SGD."),
+        r.GetCounter("kmll_freshness_reseeds_total",
+                     "Cycles that fell back to a full k-means|| reseed."),
+        r.GetCounter("kmll_freshness_failures_total",
+                     "Refine cycles that returned an error."),
+        r.GetCounter("kmll_freshness_checkpoint_retries_total",
+                     "Transient checkpoint-write failures retried."),
+        r.GetCounter("kmll_freshness_slo_misses_total",
+                     "Watchdog ticks that found the served model past "
+                     "the freshness SLO."),
+    };
+  }();
+  return *m;
+}
 
 template <typename T>
 void AppendScalar(std::string* buf, T value) {
@@ -69,13 +101,17 @@ Status RefineLoop::WriteCheckpointLocked(const Matrix& centers) {
   buf.append(reinterpret_cast<const char*>(cost_history_.data()),
              cost_history_.size() * sizeof(double));
   AppendScalar(&buf, data::Crc32(buf.data(), buf.size()));
-  return RetryTransient(
+  const int64_t retries_before = stats_.checkpoint_retries;
+  Status written = RetryTransient(
       RetryPolicy{},
       [&] {
         return AtomicWriteFile(options_.checkpoint_path, buf.data(),
                                buf.size(), "freshness.checkpoint");
       },
       &stats_.checkpoint_retries);
+  GetRefineMetrics().checkpoint_retries->Increment(
+      stats_.checkpoint_retries - retries_before);
+  return written;
 }
 
 Status RefineLoop::Recover() {
@@ -156,11 +192,15 @@ Status RefineLoop::Recover() {
 Status RefineLoop::RunOnce() {
   std::lock_guard<std::mutex> lock(mu_);
   Status status = RunOnceLocked();
-  if (!status.ok()) ++stats_.failures;
+  if (!status.ok()) {
+    ++stats_.failures;
+    GetRefineMetrics().failures->Increment();
+  }
   return status;
 }
 
 Status RefineLoop::RunOnceLocked() {
+  KMEANSLL_TRACE_SPAN("freshness.refine_cycle");
   const int64_t n = data_->n();
   if (n <= 0 || n - watermark_ < std::max<int64_t>(options_.min_new_rows, 1)) {
     ++stats_.skipped;
@@ -215,10 +255,13 @@ Status RefineLoop::RunOnceLocked() {
       [&](const CenterIndex&) -> Result<Matrix> { return std::move(next); }));
 
   ++stats_.cycles;
+  GetRefineMetrics().cycles->Increment();
   if (reseed) {
     ++stats_.reseeds;
+    GetRefineMetrics().reseeds->Increment();
   } else {
     ++stats_.minibatch_refines;
+    GetRefineMetrics().minibatch_refines->Increment();
   }
   stats_.last_cost_per_point = post_cpp;
   return Status::OK();
@@ -244,6 +287,7 @@ void RefineLoop::Start() {
           server_->MarkStale(true);
           std::lock_guard<std::mutex> state_lock(mu_);
           ++stats_.slo_misses;
+          GetRefineMetrics().slo_misses->Increment();
         }
       }
       // Failures are counted in stats_ and retried next tick — a broken

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "data/model_io.h"
 
 namespace kmeansll::serving {
@@ -14,6 +16,61 @@ int64_t SteadyNowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+// Process-wide serving totals, mirrored from the per-instance atomic
+// cells (ModelServer::Stats / RequestBatcher::Stats stay the exact
+// per-instance source of truth the tests assert on).
+Counter* PublishesCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "kmll_serving_publishes_total",
+      "Model snapshots installed (publishes plus refines).");
+  return c;
+}
+Counter* PublishFailedCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "kmll_serving_publish_failed_total",
+      "Publish attempts rejected with the old snapshot left serving.");
+  return c;
+}
+Counter* RefinesCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "kmll_serving_refines_total",
+      "In-place refinements built and swapped in.");
+  return c;
+}
+Counter* RefineFailedCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "kmll_serving_refine_failed_total",
+      "Refinements rejected before any swap.");
+  return c;
+}
+
+struct BatcherMetrics {
+  Counter* queries;
+  Counter* batches;
+  Counter* served;
+  Counter* shed;
+  Counter* deadline_misses;
+};
+const BatcherMetrics& GetBatcherMetrics() {
+  static const BatcherMetrics* m = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    return new BatcherMetrics{
+        r.GetCounter("kmll_batcher_queries_total",
+                     "Single-point queries entering request batchers."),
+        r.GetCounter("kmll_batcher_batches_total",
+                     "Coalesced batches flushed through AssignRange."),
+        r.GetCounter("kmll_batcher_served_total",
+                     "Queries answered by a flushed batch."),
+        r.GetCounter("kmll_batcher_shed_total",
+                     "Queries shed by admission control or shutdown."),
+        r.GetCounter("kmll_batcher_deadline_misses_total",
+                     "Served queries whose batch exceeded the latency "
+                     "target."),
+    };
+  }();
+  return *m;
 }
 }  // namespace
 
@@ -29,14 +86,17 @@ void ModelServer::StampPublish() {
 }
 
 Status ModelServer::Publish(std::shared_ptr<const CenterIndex> next) {
+  KMEANSLL_TRACE_SPAN("serving.publish");
   if (next == nullptr) {
     publish_failed_.fetch_add(1, std::memory_order_relaxed);
+    PublishFailedCounter()->Increment();
     return Status::InvalidArgument("cannot publish a null snapshot");
   }
   std::lock_guard<std::mutex> writer_lock(writer_mu_);
   const std::shared_ptr<const CenterIndex> current = Acquire();
   if (next->dim() != current->dim()) {
     publish_failed_.fetch_add(1, std::memory_order_relaxed);
+    PublishFailedCounter()->Increment();
     return Status::InvalidArgument(
         "snapshot dimension " + std::to_string(next->dim()) +
         " does not match served dimension " +
@@ -44,6 +104,7 @@ Status ModelServer::Publish(std::shared_ptr<const CenterIndex> next) {
   }
   snapshot_.store(std::move(next), std::memory_order_release);
   publishes_.fetch_add(1, std::memory_order_relaxed);
+  PublishesCounter()->Increment();
   StampPublish();
   return Status::OK();
 }
@@ -56,6 +117,7 @@ Status ModelServer::PublishFromFile(const std::string& path) {
   Result<data::ModelArtifact> artifact = data::LoadModel(path);
   if (!artifact.ok()) {
     publish_failed_.fetch_add(1, std::memory_order_relaxed);
+    PublishFailedCounter()->Increment();
     return artifact.status();
   }
   // The replacement inherits the served snapshot's CenterIndexOptions, so
@@ -64,26 +126,31 @@ Status ModelServer::PublishFromFile(const std::string& path) {
       artifact.ValueOrDie(), Acquire()->options(), published_version() + 1);
   if (!next.ok()) {
     publish_failed_.fetch_add(1, std::memory_order_relaxed);
+    PublishFailedCounter()->Increment();
     return next.status();
   }
   return Publish(std::move(next).ValueOrDie());
 }
 
 Status ModelServer::Refine(const RefineFn& fn) {
+  KMEANSLL_TRACE_SPAN("serving.refine");
   std::lock_guard<std::mutex> writer_lock(writer_mu_);
   const std::shared_ptr<const CenterIndex> current = Acquire();
   Result<Matrix> refined = fn(*current);
   if (!refined.ok()) {
     refine_failed_.fetch_add(1, std::memory_order_relaxed);
+    RefineFailedCounter()->Increment();
     return refined.status();
   }
   Matrix next_centers = std::move(refined).ValueOrDie();
   if (next_centers.rows() <= 0) {
     refine_failed_.fetch_add(1, std::memory_order_relaxed);
+    RefineFailedCounter()->Increment();
     return Status::InvalidArgument("refinement produced no centers");
   }
   if (next_centers.cols() != current->dim()) {
     refine_failed_.fetch_add(1, std::memory_order_relaxed);
+    RefineFailedCounter()->Increment();
     return Status::InvalidArgument(
         "refinement changed the dimension from " +
         std::to_string(current->dim()) + " to " +
@@ -99,6 +166,8 @@ Status ModelServer::Refine(const RefineFn& fn) {
                   std::memory_order_release);
   refines_.fetch_add(1, std::memory_order_relaxed);
   publishes_.fetch_add(1, std::memory_order_relaxed);
+  RefinesCounter()->Increment();
+  PublishesCounter()->Increment();
   StampPublish();
   return Status::OK();
 }
@@ -188,15 +257,18 @@ Result<NearestResult> RequestBatcher::Assign(const double* point) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     ++stats_.queries;
+    GetBatcherMetrics().queries->Increment();
     // Admission control: shed before touching any batch state, so a
     // rejected query costs the caller one mutex round-trip and nothing
     // else. See RequestBatcherOptions::{max_pending, max_latency_us}.
     if (shutdown_) {
       ++stats_.shed;
+      GetBatcherMetrics().shed->Increment();
       return Status::Unavailable("batcher is shut down");
     }
     if (options_.max_pending > 0 && pending_ >= options_.max_pending) {
       ++stats_.shed;
+      GetBatcherMetrics().shed->Increment();
       return Status::Unavailable(
           "batcher overloaded: " + std::to_string(pending_) +
           " queries pending (max_pending=" +
@@ -206,6 +278,7 @@ Result<NearestResult> RequestBatcher::Assign(const double* point) {
     if (options_.max_latency_us > 0 &&
         EstimatedLatencyUs() > options_.max_latency_us) {
       ++stats_.shed;
+      GetBatcherMetrics().shed->Increment();
       return Status::Unavailable(
           "batcher cannot meet the " +
           std::to_string(options_.max_latency_us) +
@@ -296,9 +369,12 @@ Result<NearestResult> RequestBatcher::Assign(const double* point) {
   const int64_t rows = batch->rows;
   std::vector<int32_t> idx(static_cast<size_t>(rows));
   std::vector<double> d2(static_cast<size_t>(rows));
-  snapshot->AssignRange(
-      ConstMatrixView(batch->points.data(), rows, dim_),
-      IndexRange{0, rows}, idx.data(), d2.data());
+  {
+    KMEANSLL_TRACE_SPAN("batcher.flush");
+    snapshot->AssignRange(
+        ConstMatrixView(batch->points.data(), rows, dim_),
+        IndexRange{0, rows}, idx.data(), d2.data());
+  }
   batch->results.resize(static_cast<size_t>(rows));
   for (int64_t i = 0; i < rows; ++i) {
     batch->results[static_cast<size_t>(i)] = NearestResult{
@@ -320,12 +396,15 @@ Result<NearestResult> RequestBatcher::Assign(const double* point) {
     stats_.batched_points += rows;
     stats_.largest_batch = std::max(stats_.largest_batch, rows);
     stats_.served += rows;
+    GetBatcherMetrics().batches->Increment();
+    GetBatcherMetrics().served->Increment(rows);
     // Misses are counted batch-wide against the leader's join time (the
     // oldest query in the batch); followers joined later, so this is
     // the conservative bound.
     if (options_.max_latency_us > 0 &&
         batch_us > options_.max_latency_us) {
       stats_.deadline_misses += rows;
+      GetBatcherMetrics().deadline_misses->Increment(rows);
     }
     // pending_ counts callers still inside Assign, so the leader only
     // retires itself here; each follower retires itself as it wakes.

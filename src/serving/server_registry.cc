@@ -2,7 +2,9 @@
 
 #include <mutex>
 #include <utility>
+#include <vector>
 
+#include "common/metrics.h"
 #include "common/timer.h"
 
 namespace kmeansll::serving {
@@ -134,6 +136,148 @@ std::vector<std::string> ServerRegistry::model_names() const {
 int64_t ServerRegistry::num_models() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return static_cast<int64_t>(tenants_.size());
+}
+
+std::string ServerRegistry::DumpPrometheusText() const {
+  // Snapshot every tenant first so each metric family lists all of its
+  // `model="..."` samples under a single # TYPE header, as the text
+  // format requires. Tenant pointers are stable and the per-tenant
+  // reads are the same atomic/mutex-protected paths stats() uses, so
+  // the shared lock is held only for the map walk.
+  std::vector<std::pair<std::string, TenantStats>> snaps;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    snaps.reserve(tenants_.size());
+    for (const auto& [name, tenant] : tenants_) {
+      TenantStats s;
+      s.batcher = tenant->batcher.stats();
+      s.server = tenant->server.stats();
+      s.topm_queries = tenant->topm_queries.load(std::memory_order_relaxed);
+      s.bulk_queries = tenant->bulk_queries.load(std::memory_order_relaxed);
+      s.bulk_rows = tenant->bulk_rows.load(std::memory_order_relaxed);
+      s.latency = tenant->latency.snapshot();
+      const std::shared_ptr<const CenterIndex> snapshot =
+          tenant->server.Acquire();
+      s.pruned = snapshot->pruned();
+      s.prune_groups = snapshot->num_groups();
+      s.prune = snapshot->prune_stats();
+      snaps.emplace_back(name, std::move(s));
+    }
+  }
+
+  std::string out;
+  const auto family = [&](const std::string& name, const char* type,
+                          const std::string& help,
+                          int64_t (*value)(const TenantStats&)) {
+    out += "# HELP " + name + " " + help + "\n";
+    out += "# TYPE " + name + " " + type + "\n";
+    for (const auto& [model, s] : snaps) {
+      // Escape the three characters the format reserves in label values.
+      std::string escaped;
+      escaped.reserve(model.size());
+      for (char c : model) {
+        if (c == '\\') {
+          escaped += "\\\\";
+        } else if (c == '"') {
+          escaped += "\\\"";
+        } else if (c == '\n') {
+          escaped += "\\n";
+        } else {
+          escaped += c;
+        }
+      }
+      out += name + "{model=\"" + escaped + "\"} " +
+             std::to_string(value(s)) + "\n";
+    }
+  };
+
+  family("kmll_tenant_queries_total", "counter",
+         "Batched Assign calls admitted or shed, per tenant.",
+         [](const TenantStats& s) { return s.batcher.queries; });
+  family("kmll_tenant_served_total", "counter",
+         "Queries answered with a result, per tenant.",
+         [](const TenantStats& s) { return s.batcher.served; });
+  family("kmll_tenant_shed_total", "counter",
+         "Queries rejected with kUnavailable, per tenant.",
+         [](const TenantStats& s) { return s.batcher.shed; });
+  family("kmll_tenant_deadline_misses_total", "counter",
+         "Queries served past their latency deadline, per tenant.",
+         [](const TenantStats& s) { return s.batcher.deadline_misses; });
+  family("kmll_tenant_batches_total", "counter",
+         "Engine passes flushed by the batcher, per tenant.",
+         [](const TenantStats& s) { return s.batcher.batches; });
+  family("kmll_tenant_batched_points_total", "counter",
+         "Points across all flushed batches, per tenant.",
+         [](const TenantStats& s) { return s.batcher.batched_points; });
+  family("kmll_tenant_largest_batch", "gauge",
+         "Largest coalesced batch seen, per tenant.",
+         [](const TenantStats& s) { return s.batcher.largest_batch; });
+  family("kmll_tenant_adaptive_batch_limit", "gauge",
+         "Batch-full threshold the next batch opens with, per tenant.",
+         [](const TenantStats& s) { return s.batcher.adaptive_batch_limit; });
+  family("kmll_tenant_publishes_total", "counter",
+         "Successful snapshot publishes, per tenant.",
+         [](const TenantStats& s) { return s.server.publishes; });
+  family("kmll_tenant_publish_failed_total", "counter",
+         "Refused snapshot publishes, per tenant.",
+         [](const TenantStats& s) { return s.server.publish_failed; });
+  family("kmll_tenant_refines_total", "counter",
+         "Successful refine passes, per tenant.",
+         [](const TenantStats& s) { return s.server.refines; });
+  family("kmll_tenant_refine_failed_total", "counter",
+         "Refine passes that published nothing, per tenant.",
+         [](const TenantStats& s) { return s.server.refine_failed; });
+  family("kmll_tenant_serving_stale", "gauge",
+         "1 when the freshness SLO is missed and the tenant serves the "
+         "last good snapshot, else 0.",
+         [](const TenantStats& s) {
+           return static_cast<int64_t>(s.server.serving_stale ? 1 : 0);
+         });
+  family("kmll_tenant_staleness_ms", "gauge",
+         "Milliseconds since the tenant's last successful publish.",
+         [](const TenantStats& s) { return s.server.staleness_ms; });
+  family("kmll_tenant_topm_queries_total", "counter",
+         "AssignTopM calls, per tenant.",
+         [](const TenantStats& s) { return s.topm_queries; });
+  family("kmll_tenant_bulk_queries_total", "counter",
+         "AssignBulk calls, per tenant.",
+         [](const TenantStats& s) { return s.bulk_queries; });
+  family("kmll_tenant_bulk_rows_total", "counter",
+         "Rows assigned through AssignBulk, per tenant.",
+         [](const TenantStats& s) { return s.bulk_rows; });
+  family("kmll_tenant_prune_queries_total", "counter",
+         "Queries answered via the pruned path on the current snapshot, "
+         "per tenant (reset on publish).",
+         [](const TenantStats& s) { return s.prune.queries; });
+  family("kmll_tenant_prune_groups_scanned_total", "counter",
+         "Coarse groups that reached the engine on the current snapshot, "
+         "per tenant (reset on publish).",
+         [](const TenantStats& s) { return s.prune.groups_scanned; });
+  family("kmll_tenant_prune_groups_pruned_total", "counter",
+         "Coarse groups skipped on the current snapshot, per tenant "
+         "(reset on publish).",
+         [](const TenantStats& s) { return s.prune.groups_pruned; });
+  family("kmll_tenant_prune_exact_fallbacks_total", "counter",
+         "Pruned-path queries served flat on the current snapshot, per "
+         "tenant (reset on publish).",
+         [](const TenantStats& s) { return s.prune.exact_fallbacks; });
+
+  // Per-tenant served latency (Assign + TopM), cumulative bucket format.
+  out +=
+      "# HELP kmll_tenant_latency_us Served Assign/AssignTopM latency in "
+      "microseconds, per tenant. Bucket bounds are HdrHistogram-style (8 "
+      "linear sub-buckets per octave); percentile estimates report the "
+      "bucket upper bound, conservative within 12.5% relative error.\n";
+  out += "# TYPE kmll_tenant_latency_us histogram\n";
+  for (const auto& [model, s] : snaps) {
+    AppendPrometheusHistogram("kmll_tenant_latency_us", {{"model", model}},
+                              s.latency, &out);
+  }
+
+  // The process-wide registry closes the scrape: shard I/O, oplog,
+  // ingest, freshness, and training counters live there.
+  out += MetricsRegistry::Global().DumpPrometheusText();
+  return out;
 }
 
 }  // namespace kmeansll::serving

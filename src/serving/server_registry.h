@@ -150,6 +150,16 @@ class ServerRegistry {
   std::vector<std::string> model_names() const;
   int64_t num_models() const;
 
+  /// One-call Prometheus scrape for the whole process: every tenant's
+  /// serving telemetry as `kmll_tenant_*` families labeled
+  /// `model="<name>"` (batcher admit/serve/shed counters, publish and
+  /// refine counters, freshness gauges, op-mix counters, the per-tenant
+  /// Assign/TopM latency histogram in cumulative bucket format, and the
+  /// current snapshot's prune counters), followed by the process-wide
+  /// MetricsRegistry::Global() exposition. Values are tear-free per
+  /// cell, same contract as stats().
+  std::string DumpPrometheusText() const;
+
  private:
   /// One model's serving column. The members form a dependency chain
   /// (batcher borrows server and is declared LAST so its destructor —

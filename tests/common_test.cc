@@ -6,6 +6,9 @@
 #include <cmath>
 #include <cstdlib>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/env.h"
 #include "common/logging.h"
@@ -297,6 +300,37 @@ TEST(LoggingTest, LevelRoundTrips) {
   EXPECT_EQ(GetLogLevel(), LogLevel::kError);
   KMEANSLL_LOG(Info) << "suppressed at error level";  // must not crash
   SetLogLevel(old_level);
+}
+
+TEST(LoggingTest, PluggableSinkCapturesLines) {
+  struct CaptureSink : LogSink {
+    std::vector<std::pair<LogLevel, std::string>> lines;
+    void Write(LogLevel level, const std::string& line) override {
+      lines.emplace_back(level, line);
+    }
+  };
+  CaptureSink sink;
+  const LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  LogSink* previous = SetLogSink(&sink);
+
+  KMEANSLL_LOG(Warning) << "captured " << 42;
+  KMEANSLL_LOG(Debug) << "below the level: dropped before the sink";
+
+  EXPECT_EQ(SetLogSink(previous), &sink);  // restore returns ours
+  SetLogLevel(old_level);
+
+  ASSERT_EQ(sink.lines.size(), 1u);
+  EXPECT_EQ(sink.lines[0].first, LogLevel::kWarning);
+  const std::string& line = sink.lines[0].second;
+  // One complete line: [TAG file:line] message, trailing newline.
+  EXPECT_NE(line.find("captured 42"), std::string::npos);
+  EXPECT_NE(line.find("common_test.cc:"), std::string::npos);
+  EXPECT_EQ(line.front(), '[');
+  EXPECT_EQ(line.back(), '\n');
+  // After restore, nothing new reaches the detached sink.
+  KMEANSLL_LOG(Error) << "post-restore line goes to stderr";
+  EXPECT_EQ(sink.lines.size(), 1u);
 }
 
 // ----------------------------------------------------------------- Timer

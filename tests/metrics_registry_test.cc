@@ -1,0 +1,228 @@
+// Tests for common/metrics.h: registry handle identity and idempotence,
+// label-distinguished cells, exact counts under concurrent increments,
+// Gauge::UpdateMax, and the Prometheus text exposition — HELP/TYPE
+// framing, label escaping, cumulative histogram buckets closed by +Inf
+// with bucket(+Inf) == _count, and the documented 12.5% percentile
+// error bound in histogram HELP text.
+//
+// (tests/metrics_test.cc covers *clustering* metrics — cost/φ — hence
+// the _registry_ suffix here.)
+
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/telemetry.h"
+
+namespace kmeansll {
+namespace {
+
+// First occurrence of `needle` in `text`, asserted present.
+size_t FindOrFail(const std::string& text, const std::string& needle) {
+  const size_t at = text.find(needle);
+  EXPECT_NE(at, std::string::npos) << "missing: " << needle << "\nin:\n"
+                                   << text;
+  return at;
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndIdempotent) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.GetCounter("kmll_test_ops_total", "Ops.");
+  Counter* c2 = registry.GetCounter("kmll_test_ops_total", "");  // help optional
+  EXPECT_EQ(c1, c2);
+  Gauge* g1 = registry.GetGauge("kmll_test_depth", "Depth.");
+  EXPECT_EQ(g1, registry.GetGauge("kmll_test_depth", "Depth."));
+  LatencyHistogram* h1 = registry.GetHistogram("kmll_test_latency_us", "L.");
+  EXPECT_EQ(h1, registry.GetHistogram("kmll_test_latency_us", ""));
+  EXPECT_EQ(registry.CellCount(), 3u);
+
+  c1->Increment();
+  c1->Increment(4);
+  EXPECT_EQ(c2->value(), 5);
+}
+
+TEST(MetricsRegistryTest, LabelsDistinguishCellsWithinAFamily) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("kmll_test_served_total", "Served.",
+                                   {{"model", "a"}});
+  Counter* b = registry.GetCounter("kmll_test_served_total", "",
+                                   {{"model", "b"}});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, registry.GetCounter("kmll_test_served_total", "",
+                                   {{"model", "a"}}));
+  EXPECT_EQ(registry.CellCount(), 2u);
+  a->Increment(3);
+  b->Increment(7);
+
+  const std::string text = registry.DumpPrometheusText();
+  // One family header, one sample line per labeled cell.
+  EXPECT_EQ(text.find("# HELP kmll_test_served_total Served."),
+            text.rfind("# HELP kmll_test_served_total"));
+  FindOrFail(text, "# TYPE kmll_test_served_total counter\n");
+  FindOrFail(text, "kmll_test_served_total{model=\"a\"} 3\n");
+  FindOrFail(text, "kmll_test_served_total{model=\"b\"} 7\n");
+}
+
+TEST(MetricsRegistryTest, CounterAndGaugeExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("kmll_test_flushes_total", "Flushes.")->Increment(11);
+  Gauge* gauge = registry.GetGauge("kmll_test_resident_bytes", "Resident.");
+  gauge->Set(100);
+  gauge->Add(-25);
+
+  const std::string text = registry.DumpPrometheusText();
+  FindOrFail(text, "# HELP kmll_test_flushes_total Flushes.\n");
+  FindOrFail(text, "# TYPE kmll_test_flushes_total counter\n");
+  FindOrFail(text, "kmll_test_flushes_total 11\n");
+  FindOrFail(text, "# TYPE kmll_test_resident_bytes gauge\n");
+  FindOrFail(text, "kmll_test_resident_bytes 75\n");
+}
+
+TEST(MetricsRegistryTest, LabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  registry
+      .GetCounter("kmll_test_escaped_total", "E.",
+                  {{"path", "a\\b\"c\nd"}})
+      ->Increment();
+  const std::string text = registry.DumpPrometheusText();
+  FindOrFail(text,
+             "kmll_test_escaped_total{path=\"a\\\\b\\\"c\\nd\"} 1\n");
+  // The raw newline must not survive into the sample line.
+  EXPECT_EQ(text.find("c\nd"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, GaugeUpdateMaxIsMonotonic) {
+  MetricsRegistry registry;
+  Gauge* peak = registry.GetGauge("kmll_test_peak_rows", "Peak.");
+  peak->UpdateMax(10);
+  peak->UpdateMax(4);  // lower: no effect
+  EXPECT_EQ(peak->value(), 10);
+  peak->UpdateMax(25);
+  EXPECT_EQ(peak->value(), 25);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("kmll_test_hot_total", "Hot.");
+  Gauge* peak = registry.GetGauge("kmll_test_hot_peak", "Peak.");
+  constexpr int kThreads = 8;
+  constexpr int64_t kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, counter, peak, t] {
+      // Handle resolution from other threads must return the same cell.
+      Counter* mine = registry.GetCounter("kmll_test_hot_total", "");
+      EXPECT_EQ(mine, counter);
+      for (int64_t i = 0; i < kPerThread; ++i) {
+        mine->Increment();
+        peak->UpdateMax(t * kPerThread + i);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(counter->value(), kThreads * kPerThread);
+  EXPECT_EQ(peak->value(), (kThreads - 1) * kPerThread + kPerThread - 1);
+}
+
+TEST(MetricsRegistryTest, HistogramExpositionIsCumulative) {
+  MetricsRegistry registry;
+  LatencyHistogram* hist =
+      registry.GetHistogram("kmll_test_lat_us", "Latency.");
+  // Samples spread across buckets, including a zero.
+  const int64_t samples[] = {0, 1, 1, 7, 100, 5000};
+  int64_t sum = 0;
+  for (int64_t s : samples) {
+    hist->Record(s);
+    sum += s;
+  }
+
+  const std::string text = registry.DumpPrometheusText();
+  // Histogram HELP must carry the documented percentile error bound.
+  const size_t help_at = FindOrFail(text, "# HELP kmll_test_lat_us ");
+  const size_t help_end = text.find('\n', help_at);
+  const std::string help = text.substr(help_at, help_end - help_at);
+  EXPECT_NE(help.find("12.5%"), std::string::npos) << help;
+  FindOrFail(text, "# TYPE kmll_test_lat_us histogram\n");
+  FindOrFail(text, "kmll_test_lat_us_sum " + std::to_string(sum) + "\n");
+  FindOrFail(text, "kmll_test_lat_us_count 6\n");
+  FindOrFail(text, "kmll_test_lat_us_bucket{le=\"+Inf\"} 6\n");
+
+  // Walk every bucket line: le strictly increasing, cumulative counts
+  // non-decreasing, and +Inf closes the series at _count.
+  double prev_le = -1.0;
+  int64_t prev_count = -1;
+  bool saw_inf = false;
+  size_t pos = 0;
+  const std::string bucket_prefix = "kmll_test_lat_us_bucket{le=\"";
+  while ((pos = text.find(bucket_prefix, pos)) != std::string::npos) {
+    EXPECT_FALSE(saw_inf) << "+Inf must be the final bucket";
+    const size_t le_start = pos + bucket_prefix.size();
+    const size_t le_end = text.find('"', le_start);
+    const std::string le = text.substr(le_start, le_end - le_start);
+    const size_t val_start = text.find(' ', le_end) + 1;
+    const size_t val_end = text.find('\n', val_start);
+    const int64_t count =
+        std::stoll(text.substr(val_start, val_end - val_start));
+    if (le == "+Inf") {
+      saw_inf = true;
+      EXPECT_EQ(count, 6);
+    } else {
+      const double bound = std::stod(le);
+      EXPECT_GT(bound, prev_le) << "le bounds must strictly increase";
+      prev_le = bound;
+    }
+    EXPECT_GE(count, prev_count) << "cumulative counts must not decrease";
+    prev_count = count;
+    pos = val_end;
+  }
+  EXPECT_TRUE(saw_inf);
+}
+
+TEST(MetricsRegistryTest, EmptyHistogramStillExposesValidSeries) {
+  MetricsRegistry registry;
+  registry.GetHistogram("kmll_test_idle_us", "Idle.");
+  const std::string text = registry.DumpPrometheusText();
+  // No samples: just the +Inf closer, zero sum and count.
+  FindOrFail(text, "kmll_test_idle_us_bucket{le=\"+Inf\"} 0\n");
+  FindOrFail(text, "kmll_test_idle_us_sum 0\n");
+  FindOrFail(text, "kmll_test_idle_us_count 0\n");
+}
+
+TEST(MetricsRegistryTest, AppendPrometheusHistogramMatchesRegistryDump) {
+  MetricsRegistry registry;
+  LatencyHistogram* hist = registry.GetHistogram(
+      "kmll_test_shared_us", "S.", {{"model", "m0"}});
+  hist->Record(42);
+  hist->Record(900);
+
+  std::string direct;
+  AppendPrometheusHistogram("kmll_test_shared_us", {{"model", "m0"}},
+                            hist->snapshot(), &direct);
+  // The standalone helper renders the same series lines the registry
+  // dump embeds (the dump adds HELP/TYPE framing around them).
+  const std::string text = registry.DumpPrometheusText();
+  EXPECT_NE(text.find(direct), std::string::npos)
+      << "helper output:\n" << direct << "\nregistry dump:\n" << text;
+  FindOrFail(direct,
+             "kmll_test_shared_us_bucket{model=\"m0\",le=\"+Inf\"} 2\n");
+  FindOrFail(direct, "kmll_test_shared_us_count{model=\"m0\"} 2\n");
+  FindOrFail(direct, "kmll_test_shared_us_sum{model=\"m0\"} 942\n");
+}
+
+TEST(MetricsRegistryTest, GlobalRegistryIsASingleton) {
+  MetricsRegistry& a = MetricsRegistry::Global();
+  MetricsRegistry& b = MetricsRegistry::Global();
+  EXPECT_EQ(&a, &b);
+  // Registration through Global() behaves like any other registry; use a
+  // unique name so repeated in-process test runs stay idempotent.
+  Counter* c = a.GetCounter("kmll_test_global_probe_total", "Probe.");
+  EXPECT_EQ(c, b.GetCounter("kmll_test_global_probe_total", ""));
+}
+
+}  // namespace
+}  // namespace kmeansll
